@@ -1,0 +1,58 @@
+// Ablation D: SPT compiler knobs — the cost-driven framework's pieces
+// (paper Section 4): software value prediction, loop unrolling, and
+// cost-driven selection itself (vs transforming every canonical loop).
+#include <iostream>
+
+#include "bench_util.h"
+
+int main() {
+  using namespace spt;
+
+  struct Mode {
+    std::string name;
+    void (*tweak)(compiler::CompilerOptions&);
+  };
+  const std::vector<Mode> modes = {
+      {"default", [](compiler::CompilerOptions&) {}},
+      {"no SVP",
+       [](compiler::CompilerOptions& o) { o.enable_svp = false; }},
+      {"no unrolling",
+       [](compiler::CompilerOptions& o) { o.enable_unrolling = false; }},
+      {"select all",
+       [](compiler::CompilerOptions& o) { o.cost_driven_selection = false; }},
+  };
+
+  support::Table t("Ablation: compiler knobs (program speedup)");
+  std::vector<std::string> header{"benchmark"};
+  for (const auto& m : modes) header.push_back(m.name);
+  t.setHeader(header);
+
+  std::vector<double> sums(modes.size(), 0.0);
+  int n = 0;
+  for (const auto& base_entry : harness::defaultSuite()) {
+    std::vector<std::string> row{base_entry.workload.name};
+    for (std::size_t m = 0; m < modes.size(); ++m) {
+      harness::SuiteEntry entry = base_entry;
+      modes[m].tweak(entry.copts);
+      const auto r = harness::runSuiteEntry(entry);
+      row.push_back(bench::pct(r.programSpeedup()));
+      sums[m] += r.programSpeedup();
+    }
+    t.addRow(std::move(row));
+    ++n;
+  }
+  std::vector<std::string> avg{"Average"};
+  for (const double s : sums) avg.push_back(bench::pct(s / n));
+  t.addRow(std::move(avg));
+  t.print(std::cout);
+  std::cout
+      << "finding: disabling SVP or unrolling costs little on this suite "
+         "(few loops need them; the micro.svp_stride bench isolates SVP's "
+         "win). 'select all' is a genuine reproduction delta: on this "
+         "simulator selective re-execution bounds the downside of bad "
+         "loops so aggressively that transforming everything never loses — "
+         "the paper's cost model is calibrated for hardware where "
+         "misspeculation and thread overheads bite harder. See "
+         "EXPERIMENTS.md for the discussion.\n";
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Ablation B: misspeculation recovery mechanism. The paper's key
+// architectural claim (Section 3) is that selective re-execution with fast
+// commit (SRX+FC) preserves the large correct fraction of speculative work
+// that conventional full-squash TLS recovery discards.
+#include <iostream>
+
+#include "bench_util.h"
+
+int main() {
+  using namespace spt;
+  using support::RecoveryMechanism;
+
+  const std::vector<std::pair<RecoveryMechanism, std::string>> modes = {
+      {RecoveryMechanism::kSelectiveReplayFastCommit, "SRX+FC (default)"},
+      {RecoveryMechanism::kSelectiveReplay, "SRX only"},
+      {RecoveryMechanism::kFullSquash, "full squash"},
+  };
+
+  support::Table t("Ablation: recovery mechanism (program speedup)");
+  t.setHeader({"benchmark", modes[0].second, modes[1].second,
+               modes[2].second});
+
+  std::vector<double> sums(modes.size(), 0.0);
+  int n = 0;
+  for (const auto& entry : harness::defaultSuite()) {
+    std::vector<std::string> row{entry.workload.name};
+    for (std::size_t m = 0; m < modes.size(); ++m) {
+      support::MachineConfig config;
+      config.recovery = modes[m].first;
+      const auto r = harness::runSuiteEntry(entry, config);
+      row.push_back(bench::pct(r.programSpeedup()));
+      sums[m] += r.programSpeedup();
+    }
+    t.addRow(std::move(row));
+    ++n;
+  }
+  t.addRow({"Average", bench::pct(sums[0] / n), bench::pct(sums[1] / n),
+            bench::pct(sums[2] / n)});
+  t.print(std::cout);
+  std::cout
+      << "expectation: both selective modes dominate full squash by a wide "
+         "margin (the paper's core architectural claim). Between the two "
+         "selective modes the difference is the constant bulk-commit "
+         "overhead vs walking the buffer at replay width: with the "
+         "per-iteration forking and small loop bodies of this suite the "
+         "walk is often shorter, so SRX-only edges ahead; fast commit wins "
+         "once buffers run deep (see the deep-buffer unit test and the SRB "
+         "ablation).\n";
+  return 0;
+}

@@ -1,0 +1,126 @@
+// Component throughput microbenchmarks (google-benchmark): interpreter,
+// profiler, cache model, branch predictor, pipeline, SPT compilation, and
+// end-to-end simulation rates. These guard the infrastructure's own
+// performance (the paper's 20-billion-instruction runs require a fast
+// simulator).
+#include <benchmark/benchmark.h>
+
+#include "harness/experiment.h"
+#include "interp/interpreter.h"
+#include "profile/profiler.h"
+#include "sim/baseline.h"
+#include "sim/spt_machine.h"
+#include "support/rng.h"
+#include "workloads/workloads.h"
+
+namespace {
+
+using namespace spt;
+
+ir::Module& gzipModule() {
+  static ir::Module m = [] {
+    ir::Module mod = workloads::findWorkload("gzip").build(1);
+    mod.finalize();
+    return mod;
+  }();
+  return m;
+}
+
+void BM_Interpreter(benchmark::State& state) {
+  ir::Module& m = gzipModule();
+  interp::ProgramContext ctx(m);
+  std::uint64_t instrs = 0;
+  for (auto _ : state) {
+    interp::Memory memory;
+    trace::NullSink sink;
+    interp::Interpreter interp(ctx, memory, sink);
+    instrs += interp.runMain().dynamic_instrs;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(instrs));
+}
+BENCHMARK(BM_Interpreter)->Unit(benchmark::kMillisecond);
+
+void BM_Profiler(benchmark::State& state) {
+  ir::Module& m = gzipModule();
+  interp::ProgramContext ctx(m);
+  std::uint64_t instrs = 0;
+  for (auto _ : state) {
+    interp::Memory memory;
+    profile::Profiler profiler(m);
+    interp::Interpreter interp(ctx, memory, profiler);
+    instrs += interp.runMain().dynamic_instrs;
+    benchmark::DoNotOptimize(profiler.take());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(instrs));
+}
+BENCHMARK(BM_Profiler)->Unit(benchmark::kMillisecond);
+
+void BM_CacheAccess(benchmark::State& state) {
+  support::MachineConfig config;
+  sim::MemorySystem memory(config);
+  support::Rng rng(1);
+  std::uint64_t t = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        memory.accessData(rng.nextBelow(1u << 22) & ~7ull, ++t));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheAccess);
+
+void BM_BranchPredictor(benchmark::State& state) {
+  sim::BranchPredictor bp(1024);
+  support::Rng rng(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bp.predictAndUpdate(rng.nextBool(0.7)));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BranchPredictor);
+
+void BM_BaselineSimulation(benchmark::State& state) {
+  ir::Module& m = gzipModule();
+  static harness::TracedRun run = harness::traceProgram(gzipModule());
+  support::MachineConfig config;
+  std::uint64_t instrs = 0;
+  for (auto _ : state) {
+    sim::BaselineMachine machine(m, run.trace, config);
+    instrs += machine.run().instrs;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(instrs));
+}
+BENCHMARK(BM_BaselineSimulation)->Unit(benchmark::kMillisecond);
+
+void BM_SptCompilation(benchmark::State& state) {
+  for (auto _ : state) {
+    ir::Module m = workloads::findWorkload("gzip").build(1);
+    compiler::SptCompiler cc;
+    harness::InterpProfileRunner runner;
+    benchmark::DoNotOptimize(cc.compile(m, runner));
+  }
+}
+BENCHMARK(BM_SptCompilation)->Unit(benchmark::kMillisecond);
+
+void BM_SptSimulation(benchmark::State& state) {
+  static ir::Module m = [] {
+    ir::Module mod = workloads::findWorkload("gzip").build(1);
+    compiler::SptCompiler cc;
+    harness::InterpProfileRunner runner;
+    cc.compile(mod, runner);
+    return mod;
+  }();
+  static harness::TracedRun run = harness::traceProgram(m);
+  static trace::LoopIndex index(m, run.trace);
+  support::MachineConfig config;
+  std::uint64_t instrs = 0;
+  for (auto _ : state) {
+    sim::SptMachine machine(m, run.trace, index, config);
+    instrs += machine.run().instrs;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(instrs));
+}
+BENCHMARK(BM_SptSimulation)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,40 @@
+// Paper Figure 1 (and Section 1's quoted numbers): the parser linked-list
+// free loop. The paper reports for this loop: >40% loop speedup, ~5% of
+// speculatively executed instructions invalid, ~20% of speculative threads
+// perfectly parallel (fast-committed).
+#include <iostream>
+
+#include "bench_util.h"
+#include "workloads/workloads.h"
+
+int main() {
+  using namespace spt;
+  auto workload = workloads::findWorkload("micro.parser_free");
+  harness::SuiteEntry entry;
+  entry.workload = workload;
+  const auto r = harness::runSuiteEntry(entry);
+
+  // Loop-level numbers for the free loop itself.
+  const std::string loop = "main.free_list";
+  const auto& base_loop = r.baseline.loops.at(loop);
+  const auto& spt_loop = r.spt.loops.at(loop);
+  const auto& threads = r.spt.loop_threads.at(loop);
+  const double loop_speedup =
+      sim::speedupOf(base_loop.cycles, spt_loop.cycles);
+
+  support::Table t("Figure 1: parser free-list loop");
+  t.setHeader({"metric", "measured", "paper"});
+  t.addRow({"loop speedup", bench::pct(loop_speedup), ">40%"});
+  t.addRow({"invalid speculative instructions",
+            bench::pct(threads.misspeculationRatio()), "~5%"});
+  t.addRow({"perfectly parallel threads (fast commits)",
+            bench::pct(threads.fastCommitRatio()), "~20%"});
+  t.addRow({"threads spawned", std::to_string(threads.spawned), "-"});
+  t.addRow({"program speedup", bench::pct(r.programSpeedup()), "-"});
+  t.print(std::cout);
+
+  std::cout << "\nNotes: the free-list push makes nearly every thread "
+               "violate, but selective re-execution recovers all "
+               "head-independent work — the paper's motivating example.\n";
+  return 0;
+}

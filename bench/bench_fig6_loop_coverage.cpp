@@ -1,0 +1,36 @@
+// Paper Figure 6: cumulative loop coverage vs loop body size, per
+// benchmark. The paper reports total loop coverage above 60% for all
+// benchmarks except gap (which jumps sharply once its ~2500-instruction
+// hot loop is admitted) and vortex (negligible coverage at any size).
+#include <iostream>
+
+#include "bench_util.h"
+#include "harness/coverage.h"
+
+int main() {
+  using namespace spt;
+  const std::vector<std::int64_t> limits = {10,   30,    100,   300,
+                                            1000, 2500,  10000, 100000,
+                                            1000000};
+
+  support::Table t("Figure 6: cumulative loop coverage by avg body size");
+  std::vector<std::string> header{"benchmark"};
+  for (const auto l : limits) header.push_back("<=" + std::to_string(l));
+  t.setHeader(header);
+
+  for (const auto& entry : harness::defaultSuite()) {
+    ir::Module m = entry.workload.build(1);
+    const auto coverage = harness::measureLoopCoverage(m);
+    std::vector<std::string> row{entry.workload.name};
+    for (const auto l : limits) {
+      row.push_back(bench::pct(coverage.coverageUpTo(l), 0));
+    }
+    t.addRow(std::move(row));
+  }
+  t.print(std::cout);
+  bench::printPaperNote(
+      "most benchmarks reach >60% coverage by body size 10K; gap jumps "
+      "sharply when ~2500-instruction bodies are included; vortex stays "
+      "negligible at every size");
+  return 0;
+}

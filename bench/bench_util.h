@@ -1,0 +1,23 @@
+// Shared helpers for the figure/table reproduction benches.
+#pragma once
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "harness/suite.h"
+#include "support/stats.h"
+#include "support/table.h"
+
+namespace spt::bench {
+
+inline std::string pct(double fraction, int decimals = 1) {
+  return support::percent(fraction, 1.0, decimals);
+}
+
+/// Prints the paper-reported reference next to our measurement.
+inline void printPaperNote(const std::string& note) {
+  std::cout << "paper: " << note << "\n\n";
+}
+
+}  // namespace spt::bench

@@ -1,0 +1,77 @@
+// The paper's motivating example (Figure 1): parser's linked-list free
+// loop. Demonstrates the headline SPT behaviour — a loop whose iterations
+// almost all *misspeculate* (the free-list push is a true cross-iteration
+// memory dependence) yet still speeds up >40%, because selective
+// re-execution recovers every instruction that did not depend on the list
+// head.
+//
+//   $ ./parser_freelist
+#include <iostream>
+
+#include "harness/experiment.h"
+#include "support/stats.h"
+#include "ir/printer.h"
+#include "workloads/workloads.h"
+
+using namespace spt;
+
+int main() {
+  auto workload = workloads::findWorkload("micro.parser_free");
+  std::cout << workload.name << ": " << workload.description << "\n\n";
+
+  // Show the loop before compilation.
+  {
+    ir::Module before = workload.build(1);
+    before.finalize();
+    std::cout << "--- free loop, before SPT compilation ---\n";
+    const auto& func = before.function(before.mainFunc());
+    for (const auto& block : func.blocks) {
+      if (block.label.rfind("free_list", 0) != 0) continue;
+      std::cout << block.label << ":\n";
+      for (const auto& instr : block.instrs) {
+        std::cout << "  ";
+        ir::printInstr(std::cout, before, instr);
+        std::cout << "\n";
+      }
+    }
+  }
+
+  const auto result = harness::runSptExperiment(workload.build(1));
+
+  // Show the loop after: the fork, the hoisted next-pointer slice, the
+  // restore, and the kill on the exit edge are all visible.
+  std::cout << "\n--- free loop, after SPT compilation ---\n";
+  // The experiment compiles a copy internally; recompile one for display.
+  ir::Module after = workload.build(1);
+  compiler::SptCompiler cc;
+  harness::InterpProfileRunner runner;
+  cc.compile(after, runner);
+  const auto& func = after.function(after.mainFunc());
+  for (const auto& block : func.blocks) {
+    if (block.label.find("free_list") == std::string::npos) continue;
+    std::cout << block.label << ":\n";
+    for (const auto& instr : block.instrs) {
+      std::cout << "  ";
+      ir::printInstr(std::cout, after, instr);
+      std::cout << "\n";
+    }
+  }
+
+  const auto& threads = result.spt.loop_threads.at("main.free_list");
+  const auto& base_loop = result.baseline.loops.at("main.free_list");
+  const auto& spt_loop = result.spt.loops.at("main.free_list");
+
+  std::cout << "\n--- runtime behaviour (paper Figure 1 numbers) ---\n"
+            << "  loop speedup:         "
+            << support::percent(
+                   sim::speedupOf(base_loop.cycles, spt_loop.cycles), 1.0)
+            << "   (paper: >40%)\n"
+            << "  threads spawned:      " << threads.spawned << "\n"
+            << "  perfectly parallel:   "
+            << support::percent(threads.fastCommitRatio(), 1.0)
+            << "   (paper: ~20%)\n"
+            << "  invalid instructions: "
+            << support::percent(threads.misspeculationRatio(), 1.0)
+            << "   (paper: ~5%)\n";
+  return 0;
+}

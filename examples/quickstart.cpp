@@ -1,0 +1,101 @@
+// Quickstart: parallelize a loop with SPT in ~60 lines.
+//
+// Builds a small program in the SPT mini-IR, runs the whole pipeline —
+// profile, cost-driven compile, trace, simulate baseline vs the two-core
+// SPT machine — and prints what the compiler decided and what it bought.
+//
+//   $ ./quickstart
+#include <iostream>
+
+#include "harness/experiment.h"
+#include "support/stats.h"
+#include "ir/builder.h"
+
+using namespace spt;
+using namespace spt::ir;
+
+// for (i = 0; i < n; ++i) { out[i] = mix(in[i]); }   — an independent
+// per-element transform with the induction update at the bottom, the shape
+// the SPT compiler's partition search hoists above the fork.
+Module buildProgram(std::int64_t n) {
+  Module m("quickstart");
+  const FuncId main_id = m.addFunction("main", 0);
+  IrBuilder b(m, main_id);
+
+  const BlockId entry = b.createBlock("entry");
+  const BlockId head = b.createBlock("transform");  // loop header
+  const BlockId body = b.createBlock("body");
+  const BlockId exit = b.createBlock("exit");
+
+  const Reg i = b.func().newReg();
+  const Reg end = b.func().newReg();
+  const Reg in = b.func().newReg();
+  const Reg out = b.func().newReg();
+
+  b.setInsertPoint(entry);
+  {
+    Instr h1;
+    h1.op = Opcode::kHalloc;
+    h1.dst = in;
+    h1.imm = n * 8;
+    b.append(h1);
+    Instr h2;
+    h2.op = Opcode::kHalloc;
+    h2.dst = out;
+    h2.imm = n * 8;
+    b.append(h2);
+  }
+  b.constTo(i, 0);
+  b.constTo(end, n);
+  b.br(head);
+
+  b.setInsertPoint(head);
+  const Reg cond = b.cmpLt(i, end);
+  b.condBr(cond, body, exit);
+
+  b.setInsertPoint(body);
+  const Reg eight = b.iconst(8);
+  const Reg off = b.mul(i, eight);
+  const Reg v = b.load(b.add(in, off), 0);
+  const Reg k = b.iconst(0x9e3779b97f4a7c15ll);
+  Reg h = b.mul(b.add(v, i), k);
+  const Reg c29 = b.iconst(29);
+  h = b.xor_(h, b.shr(h, c29));
+  h = b.mul(h, k);
+  b.store(b.add(out, off), 0, h);
+  const Reg one = b.iconst(1);
+  const Reg next = b.add(i, one);
+  b.movTo(i, next);  // induction update at the bottom: a violation
+                     // candidate the compiler will hoist pre-fork
+  b.br(head);
+
+  b.setInsertPoint(exit);
+  b.ret(i);
+  m.setMainFunc(main_id);
+  return m;
+}
+
+int main() {
+  // One call runs the paper's whole methodology: two-pass cost-driven
+  // compilation, sequential tracing of both versions, and simulation of
+  // the baseline (1 core) and SPT (2 cores) machines.
+  const auto result = harness::runSptExperiment(buildProgram(2000));
+
+  std::cout << "What the compiler decided:\n";
+  result.plan.print(std::cout);
+
+  std::cout << "\nWhat it bought:\n"
+            << "  baseline cycles: " << result.baseline.cycles << "\n"
+            << "  SPT cycles:      " << result.spt.cycles << "\n"
+            << "  program speedup: "
+            << support::percent(result.programSpeedup(), 1.0) << "\n"
+            << "  threads spawned: " << result.spt.threads.spawned
+            << ", fast-committed: "
+            << support::percent(result.spt.threads.fastCommitRatio(), 1.0)
+            << "\n";
+
+  std::cout << "\nSequential semantics preserved: result "
+            << result.baseline_run.return_value << " == "
+            << result.spt_run.return_value << ", memory hashes match.\n";
+  return 0;
+}

@@ -1,0 +1,47 @@
+#include "analysis/cfg.h"
+
+#include <algorithm>
+
+#include "support/check.h"
+
+namespace spt::analysis {
+
+Cfg::Cfg(const ir::Function& func) : func_(func) {
+  const std::size_t n = func.blocks.size();
+  SPT_CHECK_MSG(n > 0, "CFG of empty function");
+  succs_.resize(n);
+  preds_.resize(n);
+  for (const auto& block : func.blocks) {
+    succs_[block.id] = block.successors();
+    for (const ir::BlockId s : succs_[block.id]) {
+      SPT_CHECK(s < n);
+      preds_[s].push_back(block.id);
+    }
+  }
+
+  // Iterative post-order DFS from the entry block.
+  rpo_index_.assign(n, n);
+  std::vector<std::uint8_t> state(n, 0);  // 0=unvisited 1=on-stack 2=done
+  std::vector<std::pair<ir::BlockId, std::size_t>> stack;
+  std::vector<ir::BlockId> post;
+  stack.emplace_back(0, 0);
+  state[0] = 1;
+  while (!stack.empty()) {
+    auto& [b, next] = stack.back();
+    if (next < succs_[b].size()) {
+      const ir::BlockId s = succs_[b][next++];
+      if (state[s] == 0) {
+        state[s] = 1;
+        stack.emplace_back(s, 0);
+      }
+    } else {
+      state[b] = 2;
+      post.push_back(b);
+      stack.pop_back();
+    }
+  }
+  rpo_.assign(post.rbegin(), post.rend());
+  for (std::size_t i = 0; i < rpo_.size(); ++i) rpo_index_[rpo_[i]] = i;
+}
+
+}  // namespace spt::analysis

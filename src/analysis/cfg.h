@@ -1,0 +1,54 @@
+// Control-flow graph view over an ir::Function.
+#pragma once
+
+#include <vector>
+
+#include "ir/module.h"
+
+namespace spt::analysis {
+
+/// Reference to a static instruction inside one function.
+struct InstrRef {
+  ir::BlockId block = ir::kInvalidBlock;
+  std::uint32_t index = 0;
+
+  bool valid() const { return block != ir::kInvalidBlock; }
+  bool operator==(const InstrRef&) const = default;
+  auto operator<=>(const InstrRef&) const = default;
+};
+
+/// Predecessor/successor lists and reverse post-order for a function.
+/// The function must outlive the Cfg and must not be mutated under it.
+class Cfg {
+ public:
+  explicit Cfg(const ir::Function& func);
+
+  const ir::Function& func() const { return func_; }
+  std::size_t blockCount() const { return succs_.size(); }
+
+  const std::vector<ir::BlockId>& succs(ir::BlockId b) const {
+    return succs_[b];
+  }
+  const std::vector<ir::BlockId>& preds(ir::BlockId b) const {
+    return preds_[b];
+  }
+
+  /// Reverse post-order starting at the entry; unreachable blocks excluded.
+  const std::vector<ir::BlockId>& rpo() const { return rpo_; }
+
+  /// Position of a block in rpo(); blockCount() for unreachable blocks.
+  std::size_t rpoIndex(ir::BlockId b) const { return rpo_index_[b]; }
+
+  bool reachable(ir::BlockId b) const {
+    return rpo_index_[b] != succs_.size();
+  }
+
+ private:
+  const ir::Function& func_;
+  std::vector<std::vector<ir::BlockId>> succs_;
+  std::vector<std::vector<ir::BlockId>> preds_;
+  std::vector<ir::BlockId> rpo_;
+  std::vector<std::size_t> rpo_index_;
+};
+
+}  // namespace spt::analysis

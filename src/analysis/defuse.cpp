@@ -1,0 +1,76 @@
+#include "analysis/defuse.h"
+
+#include <algorithm>
+
+namespace spt::analysis {
+
+DefUse::DefUse(const Cfg& cfg) : cfg_(cfg) {
+  const ir::Function& func = cfg.func();
+  const std::size_t nblocks = func.blocks.size();
+  const std::size_t nregs = func.reg_count;
+  defs_.resize(nregs);
+  uses_.resize(nregs);
+
+  // Per-block gen (upward-exposed uses) and kill (defined) sets.
+  std::vector<std::vector<bool>> gen(nblocks, std::vector<bool>(nregs));
+  std::vector<std::vector<bool>> kill(nblocks, std::vector<bool>(nregs));
+  std::vector<ir::Reg> tmp_uses;
+
+  for (const auto& block : func.blocks) {
+    for (std::uint32_t i = 0; i < block.instrs.size(); ++i) {
+      const ir::Instr& instr = block.instrs[i];
+      tmp_uses.clear();
+      instr.appendUses(tmp_uses);
+      for (const ir::Reg r : tmp_uses) {
+        uses_[r.index].push_back({block.id, i});
+        if (!kill[block.id][r.index]) gen[block.id][r.index] = true;
+      }
+      if (instr.dst.valid() && ir::producesValue(instr.op)) {
+        defs_[instr.dst.index].push_back({block.id, i});
+        kill[block.id][instr.dst.index] = true;
+      }
+    }
+  }
+
+  // Backward liveness: live_in(b) = gen(b) | (live_out(b) & ~kill(b)).
+  std::vector<std::vector<bool>> in(nblocks, std::vector<bool>(nregs));
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    // Iterate blocks in reverse RPO for fast convergence.
+    for (auto it = cfg.rpo().rbegin(); it != cfg.rpo().rend(); ++it) {
+      const ir::BlockId b = *it;
+      for (std::size_t r = 0; r < nregs; ++r) {
+        if (in[b][r]) continue;
+        bool live = gen[b][r];
+        if (!live && !kill[b][r]) {
+          for (const ir::BlockId s : cfg.succs(b)) {
+            if (in[s][r]) {
+              live = true;
+              break;
+            }
+          }
+        }
+        if (live) {
+          in[b][r] = true;
+          changed = true;
+        }
+      }
+    }
+  }
+
+  live_in_.resize(nblocks);
+  for (std::size_t b = 0; b < nblocks; ++b) {
+    for (std::size_t r = 0; r < nregs; ++r) {
+      if (in[b][r]) live_in_[b].push_back(ir::Reg{
+          static_cast<std::uint32_t>(r)});
+    }
+  }
+}
+
+bool DefUse::isLiveIn(ir::BlockId b, ir::Reg r) const {
+  const auto& v = live_in_[b];
+  return std::binary_search(v.begin(), v.end(), r);
+}
+
+}  // namespace spt::analysis

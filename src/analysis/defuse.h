@@ -1,0 +1,36 @@
+// Register def/use sites and block-level liveness for one function.
+#pragma once
+
+#include <vector>
+
+#include "analysis/cfg.h"
+
+namespace spt::analysis {
+
+/// Definition and use sites per virtual register, plus iterative liveness.
+class DefUse {
+ public:
+  explicit DefUse(const Cfg& cfg);
+
+  const std::vector<InstrRef>& defsOf(ir::Reg r) const {
+    return defs_[r.index];
+  }
+  const std::vector<InstrRef>& usesOf(ir::Reg r) const {
+    return uses_[r.index];
+  }
+
+  /// Registers live on entry to block b (read before any write on some path
+  /// from the top of b).
+  const std::vector<ir::Reg>& liveIn(ir::BlockId b) const {
+    return live_in_[b];
+  }
+  bool isLiveIn(ir::BlockId b, ir::Reg r) const;
+
+ private:
+  const Cfg& cfg_;
+  std::vector<std::vector<InstrRef>> defs_;   // indexed by register
+  std::vector<std::vector<InstrRef>> uses_;   // indexed by register
+  std::vector<std::vector<ir::Reg>> live_in_;  // indexed by block, sorted
+};
+
+}  // namespace spt::analysis

@@ -1,0 +1,52 @@
+#include "analysis/dominators.h"
+
+#include "support/check.h"
+
+namespace spt::analysis {
+
+DomTree::DomTree(const Cfg& cfg) : cfg_(cfg) {
+  const std::size_t n = cfg.blockCount();
+  idom_.assign(n, ir::kInvalidBlock);
+  const ir::BlockId entry = cfg.rpo().front();
+  idom_[entry] = entry;
+
+  const auto intersect = [&](ir::BlockId a, ir::BlockId b) {
+    while (a != b) {
+      while (cfg_.rpoIndex(a) > cfg_.rpoIndex(b)) a = idom_[a];
+      while (cfg_.rpoIndex(b) > cfg_.rpoIndex(a)) b = idom_[b];
+    }
+    return a;
+  };
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const ir::BlockId b : cfg.rpo()) {
+      if (b == entry) continue;
+      ir::BlockId new_idom = ir::kInvalidBlock;
+      for (const ir::BlockId p : cfg.preds(b)) {
+        if (!cfg.reachable(p) || idom_[p] == ir::kInvalidBlock) continue;
+        new_idom = new_idom == ir::kInvalidBlock ? p : intersect(new_idom, p);
+      }
+      SPT_CHECK_MSG(new_idom != ir::kInvalidBlock,
+                    "reachable block with no processed predecessor");
+      if (idom_[b] != new_idom) {
+        idom_[b] = new_idom;
+        changed = true;
+      }
+    }
+  }
+}
+
+bool DomTree::dominates(ir::BlockId a, ir::BlockId b) const {
+  if (!cfg_.reachable(a) || !cfg_.reachable(b)) return false;
+  const ir::BlockId entry = cfg_.rpo().front();
+  ir::BlockId cur = b;
+  for (;;) {
+    if (cur == a) return true;
+    if (cur == entry) return false;
+    cur = idom_[cur];
+  }
+}
+
+}  // namespace spt::analysis

@@ -1,0 +1,26 @@
+// Dominator tree (Cooper–Harvey–Kennedy iterative algorithm).
+#pragma once
+
+#include <vector>
+
+#include "analysis/cfg.h"
+
+namespace spt::analysis {
+
+class DomTree {
+ public:
+  explicit DomTree(const Cfg& cfg);
+
+  /// Immediate dominator; the entry block's idom is itself. Unreachable
+  /// blocks report kInvalidBlock.
+  ir::BlockId idom(ir::BlockId b) const { return idom_[b]; }
+
+  /// True if a dominates b (reflexive).
+  bool dominates(ir::BlockId a, ir::BlockId b) const;
+
+ private:
+  const Cfg& cfg_;
+  std::vector<ir::BlockId> idom_;
+};
+
+}  // namespace spt::analysis

@@ -1,0 +1,94 @@
+#include "analysis/loops.h"
+
+#include <algorithm>
+#include <map>
+
+#include "support/check.h"
+
+namespace spt::analysis {
+
+bool Loop::contains(ir::BlockId b) const {
+  return std::binary_search(blocks.begin(), blocks.end(), b);
+}
+
+LoopForest::LoopForest(const Cfg& cfg, const DomTree& dom) {
+  const std::size_t n = cfg.blockCount();
+  innermost_.assign(n, kInvalidLoop);
+  header_loop_.assign(n, kInvalidLoop);
+
+  // Collect back edges grouped by header.
+  std::map<ir::BlockId, std::vector<ir::BlockId>> latches_by_header;
+  for (const ir::BlockId b : cfg.rpo()) {
+    for (const ir::BlockId s : cfg.succs(b)) {
+      if (cfg.reachable(s) && dom.dominates(s, b)) {
+        latches_by_header[s].push_back(b);
+      }
+    }
+  }
+
+  // Build the body of each loop by backward flood from the latches.
+  for (const auto& [header, latches] : latches_by_header) {
+    Loop loop;
+    loop.id = static_cast<LoopId>(loops_.size());
+    loop.header = header;
+    loop.latches = latches;
+    std::vector<std::uint8_t> in_loop(n, 0);
+    in_loop[header] = 1;
+    std::vector<ir::BlockId> work(latches.begin(), latches.end());
+    while (!work.empty()) {
+      const ir::BlockId b = work.back();
+      work.pop_back();
+      if (in_loop[b]) continue;
+      in_loop[b] = 1;
+      for (const ir::BlockId p : cfg.preds(b)) {
+        if (cfg.reachable(p) && !in_loop[p]) work.push_back(p);
+      }
+    }
+    for (ir::BlockId b = 0; b < n; ++b) {
+      if (in_loop[b]) loop.blocks.push_back(b);
+    }
+    for (const ir::BlockId b : loop.blocks) {
+      for (const ir::BlockId s : cfg.succs(b)) {
+        if (!in_loop[s]) loop.exit_edges.emplace_back(b, s);
+      }
+    }
+    header_loop_[header] = loop.id;
+    loops_.push_back(std::move(loop));
+  }
+
+  // Nesting: loop A is the parent of B if A != B, A contains B's header,
+  // and A is the smallest such loop. Depth follows from parent chains.
+  for (auto& inner : loops_) {
+    std::size_t best_size = SIZE_MAX;
+    for (const auto& outer : loops_) {
+      if (outer.id == inner.id) continue;
+      if (outer.contains(inner.header) && outer.blocks.size() < best_size &&
+          outer.blocks.size() >= inner.blocks.size()) {
+        // A loop containing another's header contains the whole loop for
+        // natural loops sharing no header.
+        inner.parent = outer.id;
+        best_size = outer.blocks.size();
+      }
+    }
+  }
+  for (auto& loop : loops_) {
+    std::uint32_t depth = 1;
+    for (LoopId p = loop.parent; p != kInvalidLoop; p = loops_[p].parent) {
+      ++depth;
+      SPT_CHECK_MSG(depth <= loops_.size() + 1, "loop nesting cycle");
+    }
+    loop.depth = depth;
+  }
+
+  // Innermost loop per block: the containing loop with maximal depth.
+  for (const auto& loop : loops_) {
+    for (const ir::BlockId b : loop.blocks) {
+      const LoopId cur = innermost_[b];
+      if (cur == kInvalidLoop || loops_[cur].depth < loop.depth) {
+        innermost_[b] = loop.id;
+      }
+    }
+  }
+}
+
+}  // namespace spt::analysis

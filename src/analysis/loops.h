@@ -1,0 +1,52 @@
+// Natural-loop detection.
+//
+// The SPT compiler parallelizes natural loops (paper Section 4): back edges
+// t->h with h dominating t define a loop; loops sharing a header are merged.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/cfg.h"
+#include "analysis/dominators.h"
+
+namespace spt::analysis {
+
+using LoopId = std::uint32_t;
+inline constexpr LoopId kInvalidLoop = 0xffffffffu;
+
+struct Loop {
+  LoopId id = kInvalidLoop;
+  ir::BlockId header = ir::kInvalidBlock;
+  std::vector<ir::BlockId> blocks;   // includes header, sorted
+  std::vector<ir::BlockId> latches;  // sources of back edges into header
+  /// Edges leaving the loop: (inside block, outside successor).
+  std::vector<std::pair<ir::BlockId, ir::BlockId>> exit_edges;
+  LoopId parent = kInvalidLoop;  // innermost enclosing loop
+  std::uint32_t depth = 1;       // 1 for outermost
+
+  bool contains(ir::BlockId b) const;
+};
+
+/// All natural loops of one function.
+class LoopForest {
+ public:
+  LoopForest(const Cfg& cfg, const DomTree& dom);
+
+  std::size_t loopCount() const { return loops_.size(); }
+  const Loop& loop(LoopId id) const { return loops_[id]; }
+  const std::vector<Loop>& loops() const { return loops_; }
+
+  /// Innermost loop containing block b, or kInvalidLoop.
+  LoopId innermostLoopOf(ir::BlockId b) const { return innermost_[b]; }
+
+  /// Loop whose header is b, or kInvalidLoop.
+  LoopId loopWithHeader(ir::BlockId b) const { return header_loop_[b]; }
+
+ private:
+  std::vector<Loop> loops_;
+  std::vector<LoopId> innermost_;
+  std::vector<LoopId> header_loop_;
+};
+
+}  // namespace spt::analysis

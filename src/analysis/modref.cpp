@@ -1,0 +1,47 @@
+#include "analysis/modref.h"
+
+namespace spt::analysis {
+
+ModRefSummary::ModRefSummary(const ir::Module& module) {
+  summary_.resize(module.functionCount());
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (ir::FuncId f = 0; f < module.functionCount(); ++f) {
+      ModRef next = summary_[f];
+      for (const auto& block : module.function(f).blocks) {
+        for (const auto& instr : block.instrs) {
+          switch (instr.op) {
+            case ir::Opcode::kLoad:
+              next.reads_memory = true;
+              break;
+            case ir::Opcode::kStore:
+              next.writes_memory = true;
+              break;
+            case ir::Opcode::kHalloc:
+              next.allocates = true;
+              break;
+            case ir::Opcode::kCall: {
+              const ModRef& callee = summary_[instr.callee];
+              next.reads_memory |= callee.reads_memory;
+              next.writes_memory |= callee.writes_memory;
+              next.allocates |= callee.allocates;
+              break;
+            }
+            default:
+              break;
+          }
+        }
+      }
+      if (next.reads_memory != summary_[f].reads_memory ||
+          next.writes_memory != summary_[f].writes_memory ||
+          next.allocates != summary_[f].allocates) {
+        summary_[f] = next;
+        changed = true;
+      }
+    }
+  }
+}
+
+}  // namespace spt::analysis

@@ -1,0 +1,34 @@
+// Transitive side-effect (mod/ref) summaries for functions.
+//
+// The SPT compiler needs to know whether a call can read or write memory:
+// calls with side effects are violation candidates and memory-dependence
+// endpoints (cf. the paper's Figure 5 discussion of foo()/bar()).
+#pragma once
+
+#include <vector>
+
+#include "ir/module.h"
+
+namespace spt::analysis {
+
+struct ModRef {
+  bool reads_memory = false;
+  bool writes_memory = false;
+  bool allocates = false;  // contains halloc
+
+  bool pure() const { return !reads_memory && !writes_memory && !allocates; }
+};
+
+/// Computes a fixed point of mod/ref bits over the call graph (recursion
+/// converges because the bits only grow).
+class ModRefSummary {
+ public:
+  explicit ModRefSummary(const ir::Module& module);
+
+  const ModRef& of(ir::FuncId f) const { return summary_[f]; }
+
+ private:
+  std::vector<ModRef> summary_;
+};
+
+}  // namespace spt::analysis

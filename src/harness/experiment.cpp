@@ -1,0 +1,64 @@
+#include "harness/experiment.h"
+
+#include "ir/verifier.h"
+#include "support/check.h"
+
+namespace spt::harness {
+
+profile::ProfileData InterpProfileRunner::run(
+    const ir::Module& module,
+    const std::unordered_set<ir::StaticId>& value_candidates) {
+  interp::ProgramContext ctx(module);
+  interp::Memory memory;
+  profile::Profiler profiler(module, value_candidates);
+  interp::Interpreter interp(ctx, memory, profiler);
+  interp.runMain(args_);
+  return profiler.take();
+}
+
+TracedRun traceProgram(ir::Module& module, std::vector<std::int64_t> args) {
+  if (!module.finalized()) module.finalize();
+  TracedRun out;
+  interp::ProgramContext ctx(module);
+  interp::Memory memory;
+  interp::Interpreter interp(ctx, memory, out.trace);
+  out.result = interp.runMain(args);
+  return out;
+}
+
+ExperimentResult runSptExperiment(ir::Module module,
+                                  const compiler::CompilerOptions& copts,
+                                  const support::MachineConfig& mconfig,
+                                  std::vector<std::int64_t> args) {
+  ExperimentResult result;
+
+  // Baseline: the unmodified module.
+  ir::Module baseline = module;
+  baseline.finalize();
+
+  // SPT: two-pass cost-driven compilation in place.
+  compiler::SptCompiler cc(copts);
+  InterpProfileRunner runner(args);
+  result.plan = cc.compile(module, runner);
+
+  // Sequential semantics must be preserved by the transformation.
+  TracedRun base_run = traceProgram(baseline, args);
+  TracedRun spt_run = traceProgram(module, args);
+  result.baseline_run = base_run.result;
+  result.spt_run = spt_run.result;
+  SPT_CHECK_MSG(
+      base_run.result.return_value == spt_run.result.return_value,
+      "SPT transformation changed the program result");
+  SPT_CHECK_MSG(base_run.result.memory_hash == spt_run.result.memory_hash,
+                "SPT transformation changed the memory image");
+
+  // Simulate.
+  sim::BaselineMachine base_machine(baseline, base_run.trace, mconfig);
+  result.baseline = base_machine.run();
+  const trace::LoopIndex index(module, spt_run.trace);
+  sim::SptMachine spt_machine(module, spt_run.trace, index, mconfig);
+  result.spt = spt_machine.run();
+  return result;
+}
+
+}  // namespace spt::harness

@@ -1,0 +1,64 @@
+// End-to-end experiment harness.
+//
+// Wires the full pipeline the paper's evaluation uses (Section 5.1):
+// compile a source module two ways (baseline = untouched; SPT = two-pass
+// cost-driven speculative parallelization), trace both sequential
+// executions through the interpreter, and simulate the baseline trace on
+// one core and the SPT trace on the two-pipeline SPT machine.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "interp/interpreter.h"
+#include "profile/profiler.h"
+#include "sim/baseline.h"
+#include "sim/spt_machine.h"
+#include "spt/driver.h"
+
+namespace spt::harness {
+
+/// ProfileRunner that interprets the module's main function.
+class InterpProfileRunner final : public compiler::ProfileRunner {
+ public:
+  explicit InterpProfileRunner(std::vector<std::int64_t> args = {})
+      : args_(std::move(args)) {}
+
+  profile::ProfileData run(
+      const ir::Module& module,
+      const std::unordered_set<ir::StaticId>& value_candidates) override;
+
+ private:
+  std::vector<std::int64_t> args_;
+};
+
+struct TracedRun {
+  trace::TraceBuffer trace;
+  interp::RunResult result;
+};
+
+/// Interprets `module`'s main function, collecting the full trace.
+/// Finalizes the module first if needed.
+TracedRun traceProgram(ir::Module& module,
+                       std::vector<std::int64_t> args = {});
+
+struct ExperimentResult {
+  compiler::SptPlan plan;
+  interp::RunResult baseline_run;
+  interp::RunResult spt_run;
+  sim::MachineResult baseline;
+  sim::MachineResult spt;
+
+  double programSpeedup() const {
+    return sim::speedupOf(baseline.cycles, spt.cycles);
+  }
+};
+
+/// Runs the whole pipeline on `module` (taken by value: the experiment
+/// compiles a copy and leaves the caller's module untouched).
+ExperimentResult runSptExperiment(
+    ir::Module module, const compiler::CompilerOptions& copts = {},
+    const support::MachineConfig& mconfig = {},
+    std::vector<std::int64_t> args = {});
+
+}  // namespace spt::harness

@@ -1,0 +1,46 @@
+#include "interp/memory.h"
+
+#include <cstring>
+
+#include "support/check.h"
+
+namespace spt::interp {
+
+Memory::Memory(std::size_t size_bytes) : bytes_(size_bytes, 0) {}
+
+void Memory::checkAccess(std::uint64_t addr) const {
+  SPT_CHECK_MSG(addr != 0, "null pointer dereference");
+  SPT_CHECK_MSG(addr % 8 == 0, "unaligned 64-bit access");
+  SPT_CHECK_MSG(addr + 8 <= bytes_.size(), "memory access out of bounds");
+}
+
+std::int64_t Memory::load64(std::uint64_t addr) const {
+  checkAccess(addr);
+  std::int64_t v;
+  std::memcpy(&v, bytes_.data() + addr, 8);
+  return v;
+}
+
+void Memory::store64(std::uint64_t addr, std::int64_t value) {
+  checkAccess(addr);
+  std::memcpy(bytes_.data() + addr, &value, 8);
+}
+
+std::uint64_t Memory::alloc(std::uint64_t bytes) {
+  const std::uint64_t rounded = (bytes + 7) & ~7ull;
+  SPT_CHECK_MSG(brk_ + rounded <= bytes_.size(), "interpreter heap overflow");
+  const std::uint64_t base = brk_;
+  brk_ += rounded;
+  return base;
+}
+
+std::uint64_t Memory::hash() const {
+  std::uint64_t h = 1469598103934665603ull;  // FNV offset basis
+  for (std::uint64_t i = 0; i < brk_ && i < bytes_.size(); ++i) {
+    h ^= bytes_[i];
+    h *= 1099511628211ull;  // FNV prime
+  }
+  return h;
+}
+
+}  // namespace spt::interp

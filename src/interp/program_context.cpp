@@ -1,0 +1,30 @@
+#include "interp/program_context.h"
+
+#include <algorithm>
+
+#include "support/check.h"
+
+namespace spt::interp {
+
+ProgramContext::ProgramContext(const ir::Module& module) : module_(module) {
+  SPT_CHECK_MSG(module.finalized(),
+                "ProgramContext requires a finalized module");
+  infos_.reserve(module.functionCount());
+  for (ir::FuncId f = 0; f < module.functionCount(); ++f) {
+    auto info = std::make_unique<FuncInfo>(module.function(f));
+    const std::size_t nblocks = module.function(f).blocks.size();
+    info->block_loop_chain.resize(nblocks);
+    for (ir::BlockId b = 0; b < nblocks; ++b) {
+      std::vector<analysis::LoopId> chain;
+      for (analysis::LoopId l = info->loops.innermostLoopOf(b);
+           l != analysis::kInvalidLoop; l = info->loops.loop(l).parent) {
+        chain.push_back(l);
+      }
+      std::reverse(chain.begin(), chain.end());  // outermost first
+      info->block_loop_chain[b] = std::move(chain);
+    }
+    infos_.push_back(std::move(info));
+  }
+}
+
+}  // namespace spt::interp

@@ -1,0 +1,55 @@
+// Immutable per-program bundle of analyses used by the interpreter, the
+// profilers, and the simulator.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "analysis/cfg.h"
+#include "analysis/dominators.h"
+#include "analysis/loops.h"
+#include "ir/module.h"
+
+namespace spt::interp {
+
+/// Builds and owns Cfg/DomTree/LoopForest for every function of a finalized
+/// module. The module must not be mutated while a ProgramContext refers to
+/// it (block vectors are referenced, not copied).
+class ProgramContext {
+ public:
+  explicit ProgramContext(const ir::Module& module);
+
+  const ir::Module& module() const { return module_; }
+  const analysis::Cfg& cfg(ir::FuncId f) const { return infos_[f]->cfg; }
+  const analysis::LoopForest& loops(ir::FuncId f) const {
+    return infos_[f]->loops;
+  }
+
+  /// Loops containing block b, outermost first (possibly empty).
+  const std::vector<analysis::LoopId>& loopChain(ir::FuncId f,
+                                                 ir::BlockId b) const {
+    return infos_[f]->block_loop_chain[b];
+  }
+
+  /// Static id of the first instruction of a block (the loop identity used
+  /// by trace markers when the block is a loop header).
+  ir::StaticId firstSid(ir::FuncId f, ir::BlockId b) const {
+    return module_.function(f).blocks[b].instrs.front().static_id;
+  }
+
+ private:
+  struct FuncInfo {
+    analysis::Cfg cfg;
+    analysis::DomTree dom;
+    analysis::LoopForest loops;
+    std::vector<std::vector<analysis::LoopId>> block_loop_chain;
+
+    explicit FuncInfo(const ir::Function& func)
+        : cfg(func), dom(cfg), loops(cfg, dom) {}
+  };
+
+  const ir::Module& module_;
+  std::vector<std::unique_ptr<FuncInfo>> infos_;
+};
+
+}  // namespace spt::interp

@@ -1,0 +1,203 @@
+#include "ir/builder.h"
+
+#include "support/check.h"
+
+namespace spt::ir {
+
+IrBuilder::IrBuilder(Module& module, FuncId func)
+    : module_(module), func_(func) {}
+
+Function& IrBuilder::func() { return module_.function(func_); }
+
+BlockId IrBuilder::createBlock(std::string label) {
+  Function& f = func();
+  BasicBlock block;
+  block.id = static_cast<BlockId>(f.blocks.size());
+  block.label = std::move(label);
+  f.blocks.push_back(std::move(block));
+  return f.blocks.back().id;
+}
+
+void IrBuilder::setInsertPoint(BlockId block) {
+  SPT_CHECK(block < func().blocks.size());
+  insert_ = block;
+}
+
+Reg IrBuilder::param(std::uint32_t i) const {
+  SPT_CHECK(i < module_.function(func_).param_count);
+  return Reg{i};
+}
+
+Reg IrBuilder::newReg() { return func().newReg(); }
+
+Instr& IrBuilder::emit(Instr instr) {
+  SPT_CHECK_MSG(insert_ != kInvalidBlock, "no insert point set");
+  BasicBlock& block = func().blocks[insert_];
+  SPT_CHECK_MSG(!block.hasTerminator(), "appending after terminator");
+  block.instrs.push_back(std::move(instr));
+  return block.instrs.back();
+}
+
+Reg IrBuilder::emitBinary(Opcode op, Reg a, Reg b) {
+  Instr i;
+  i.op = op;
+  i.dst = newReg();
+  i.a = a;
+  i.b = b;
+  return emit(std::move(i)).dst;
+}
+
+Reg IrBuilder::iconst(std::int64_t value) {
+  Instr i;
+  i.op = Opcode::kConst;
+  i.dst = newReg();
+  i.imm = value;
+  return emit(std::move(i)).dst;
+}
+
+Reg IrBuilder::mov(Reg src) {
+  Instr i;
+  i.op = Opcode::kMov;
+  i.dst = newReg();
+  i.a = src;
+  return emit(std::move(i)).dst;
+}
+
+Reg IrBuilder::add(Reg a, Reg b) { return emitBinary(Opcode::kAdd, a, b); }
+Reg IrBuilder::sub(Reg a, Reg b) { return emitBinary(Opcode::kSub, a, b); }
+Reg IrBuilder::mul(Reg a, Reg b) { return emitBinary(Opcode::kMul, a, b); }
+Reg IrBuilder::div(Reg a, Reg b) { return emitBinary(Opcode::kDiv, a, b); }
+Reg IrBuilder::rem(Reg a, Reg b) { return emitBinary(Opcode::kRem, a, b); }
+Reg IrBuilder::and_(Reg a, Reg b) { return emitBinary(Opcode::kAnd, a, b); }
+Reg IrBuilder::or_(Reg a, Reg b) { return emitBinary(Opcode::kOr, a, b); }
+Reg IrBuilder::xor_(Reg a, Reg b) { return emitBinary(Opcode::kXor, a, b); }
+Reg IrBuilder::shl(Reg a, Reg b) { return emitBinary(Opcode::kShl, a, b); }
+Reg IrBuilder::shr(Reg a, Reg b) { return emitBinary(Opcode::kShr, a, b); }
+Reg IrBuilder::cmpEq(Reg a, Reg b) { return emitBinary(Opcode::kCmpEq, a, b); }
+Reg IrBuilder::cmpNe(Reg a, Reg b) { return emitBinary(Opcode::kCmpNe, a, b); }
+Reg IrBuilder::cmpLt(Reg a, Reg b) { return emitBinary(Opcode::kCmpLt, a, b); }
+Reg IrBuilder::cmpLe(Reg a, Reg b) { return emitBinary(Opcode::kCmpLe, a, b); }
+Reg IrBuilder::cmpGt(Reg a, Reg b) { return emitBinary(Opcode::kCmpGt, a, b); }
+Reg IrBuilder::cmpGe(Reg a, Reg b) { return emitBinary(Opcode::kCmpGe, a, b); }
+
+Reg IrBuilder::load(Reg addr, std::int64_t offset) {
+  Instr i;
+  i.op = Opcode::kLoad;
+  i.dst = newReg();
+  i.a = addr;
+  i.imm = offset;
+  return emit(std::move(i)).dst;
+}
+
+Reg IrBuilder::halloc(std::int64_t bytes) {
+  Instr i;
+  i.op = Opcode::kHalloc;
+  i.dst = newReg();
+  i.imm = bytes;
+  return emit(std::move(i)).dst;
+}
+
+Reg IrBuilder::addImm(Reg a, std::int64_t imm) {
+  return add(a, iconst(imm));
+}
+
+void IrBuilder::movTo(Reg dst, Reg src) {
+  Instr i;
+  i.op = Opcode::kMov;
+  i.dst = dst;
+  i.a = src;
+  emit(std::move(i));
+}
+
+void IrBuilder::constTo(Reg dst, std::int64_t value) {
+  Instr i;
+  i.op = Opcode::kConst;
+  i.dst = dst;
+  i.imm = value;
+  emit(std::move(i));
+}
+
+void IrBuilder::loadTo(Reg dst, Reg addr, std::int64_t offset) {
+  Instr i;
+  i.op = Opcode::kLoad;
+  i.dst = dst;
+  i.a = addr;
+  i.imm = offset;
+  emit(std::move(i));
+}
+
+void IrBuilder::store(Reg addr, std::int64_t offset, Reg value) {
+  Instr i;
+  i.op = Opcode::kStore;
+  i.a = addr;
+  i.b = value;
+  i.imm = offset;
+  emit(std::move(i));
+}
+
+void IrBuilder::br(BlockId target) {
+  Instr i;
+  i.op = Opcode::kBr;
+  i.target0 = target;
+  emit(std::move(i));
+}
+
+void IrBuilder::condBr(Reg cond, BlockId if_true, BlockId if_false) {
+  Instr i;
+  i.op = Opcode::kCondBr;
+  i.a = cond;
+  i.target0 = if_true;
+  i.target1 = if_false;
+  emit(std::move(i));
+}
+
+void IrBuilder::ret(Reg value) {
+  Instr i;
+  i.op = Opcode::kRet;
+  i.a = value;
+  emit(std::move(i));
+}
+
+Reg IrBuilder::call(FuncId callee, std::initializer_list<Reg> args) {
+  return call(callee, std::vector<Reg>(args));
+}
+
+Reg IrBuilder::call(FuncId callee, const std::vector<Reg>& args) {
+  Instr i;
+  i.op = Opcode::kCall;
+  i.dst = newReg();
+  i.callee = callee;
+  i.args = args;
+  return emit(std::move(i)).dst;
+}
+
+void IrBuilder::callVoid(FuncId callee, std::initializer_list<Reg> args) {
+  Instr i;
+  i.op = Opcode::kCall;
+  i.callee = callee;
+  i.args = std::vector<Reg>(args);
+  emit(std::move(i));
+}
+
+void IrBuilder::sptFork(BlockId start_point) {
+  Instr i;
+  i.op = Opcode::kSptFork;
+  i.target0 = start_point;
+  emit(std::move(i));
+}
+
+void IrBuilder::sptKill() {
+  Instr i;
+  i.op = Opcode::kSptKill;
+  emit(std::move(i));
+}
+
+void IrBuilder::nop() {
+  Instr i;
+  i.op = Opcode::kNop;
+  emit(std::move(i));
+}
+
+void IrBuilder::append(Instr instr) { emit(std::move(instr)); }
+
+}  // namespace spt::ir

@@ -1,0 +1,92 @@
+// Fluent construction API for the SPT mini-IR.
+//
+// Workloads and tests build programs through IrBuilder rather than pushing
+// Instr structs by hand; the builder allocates registers, keeps an insert
+// point, and fills in the boilerplate.
+#pragma once
+
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "ir/module.h"
+
+namespace spt::ir {
+
+class IrBuilder {
+ public:
+  IrBuilder(Module& module, FuncId func);
+
+  Module& module() { return module_; }
+  Function& func();
+  FuncId funcId() const { return func_; }
+
+  /// Creates a new empty block; does not move the insert point.
+  BlockId createBlock(std::string label);
+
+  /// Subsequent instructions are appended to `block`.
+  void setInsertPoint(BlockId block);
+  BlockId insertPoint() const { return insert_; }
+
+  /// i-th parameter register (r0..r(param_count-1)).
+  Reg param(std::uint32_t i) const;
+
+  /// Fresh unused virtual register.
+  Reg newReg();
+
+  // -- Value-producing instructions (return the destination register) --
+  Reg iconst(std::int64_t value);
+  Reg mov(Reg src);
+  Reg add(Reg a, Reg b);
+  Reg sub(Reg a, Reg b);
+  Reg mul(Reg a, Reg b);
+  Reg div(Reg a, Reg b);
+  Reg rem(Reg a, Reg b);
+  Reg and_(Reg a, Reg b);
+  Reg or_(Reg a, Reg b);
+  Reg xor_(Reg a, Reg b);
+  Reg shl(Reg a, Reg b);
+  Reg shr(Reg a, Reg b);
+  Reg cmpEq(Reg a, Reg b);
+  Reg cmpNe(Reg a, Reg b);
+  Reg cmpLt(Reg a, Reg b);
+  Reg cmpLe(Reg a, Reg b);
+  Reg cmpGt(Reg a, Reg b);
+  Reg cmpGe(Reg a, Reg b);
+  Reg load(Reg addr, std::int64_t offset = 0);
+  Reg halloc(std::int64_t bytes);
+
+  /// addImm/subImm helpers emit a const + add pair (the IR has no
+  /// immediate-operand arithmetic on purpose — keeps the DDG uniform).
+  Reg addImm(Reg a, std::int64_t imm);
+
+  // -- Instructions writing a caller-chosen destination --
+  void movTo(Reg dst, Reg src);
+  void constTo(Reg dst, std::int64_t value);
+  void loadTo(Reg dst, Reg addr, std::int64_t offset = 0);
+
+  // -- Non-value instructions --
+  void store(Reg addr, std::int64_t offset, Reg value);
+  void br(BlockId target);
+  void condBr(Reg cond, BlockId if_true, BlockId if_false);
+  void ret(Reg value = kNoReg);
+  Reg call(FuncId callee, std::initializer_list<Reg> args);
+  Reg call(FuncId callee, const std::vector<Reg>& args);
+  void callVoid(FuncId callee, std::initializer_list<Reg> args);
+  void sptFork(BlockId start_point);
+  void sptKill();
+  void nop();
+
+  /// Appends an arbitrary pre-built instruction at the insert point.
+  void append(Instr instr);
+
+ private:
+  Instr& emit(Instr instr);
+  Reg emitBinary(Opcode op, Reg a, Reg b);
+
+  Module& module_;
+  FuncId func_;
+  BlockId insert_ = kInvalidBlock;
+};
+
+}  // namespace spt::ir

@@ -1,0 +1,21 @@
+#include "ir/instr.h"
+
+#include <algorithm>
+
+namespace spt::ir {
+
+void Instr::appendUses(std::vector<Reg>& out) const {
+  if (a.valid()) out.push_back(a);
+  if (b.valid()) out.push_back(b);
+  for (const Reg r : args) {
+    if (r.valid()) out.push_back(r);
+  }
+}
+
+bool Instr::uses(Reg r) const {
+  if (!r.valid()) return false;
+  if (a == r || b == r) return true;
+  return std::find(args.begin(), args.end(), r) != args.end();
+}
+
+}  // namespace spt::ir

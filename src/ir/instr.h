@@ -1,0 +1,72 @@
+// Instruction and register representation of the SPT mini-IR.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ir/opcode.h"
+
+namespace spt::ir {
+
+/// Virtual register. Functions have an unbounded virtual register file;
+/// registers are function-local. Strongly typed to prevent mixing with
+/// block/function ids.
+struct Reg {
+  std::uint32_t index = kInvalidIndex;
+
+  static constexpr std::uint32_t kInvalidIndex = 0xffffffffu;
+
+  constexpr Reg() = default;
+  constexpr explicit Reg(std::uint32_t i) : index(i) {}
+
+  constexpr bool valid() const { return index != kInvalidIndex; }
+  constexpr bool operator==(const Reg&) const = default;
+  constexpr auto operator<=>(const Reg&) const = default;
+};
+
+inline constexpr Reg kNoReg{};
+
+using BlockId = std::uint32_t;
+using FuncId = std::uint32_t;
+inline constexpr BlockId kInvalidBlock = 0xffffffffu;
+inline constexpr FuncId kInvalidFunc = 0xffffffffu;
+
+/// Module-wide unique id of a static instruction, assigned by
+/// Module::finalize(). Doubles as the basis of the instruction's synthetic
+/// code address for I-cache simulation.
+using StaticId = std::uint32_t;
+inline constexpr StaticId kInvalidStaticId = 0xffffffffu;
+
+/// A single three-address instruction.
+///
+/// Field usage by opcode family:
+///  - arithmetic/compare: dst, a, b (kMov/kConst use a / imm)
+///  - kLoad:  dst = mem64[a + imm]
+///  - kStore: mem64[a + imm] = b
+///  - kBr: target0;   kCondBr: a, target0 (taken), target1 (not taken)
+///  - kCall: callee, args, dst (optional)
+///  - kRet: a (optional)
+///  - kSptFork: target0 (speculative thread start-point)
+///  - kHalloc: dst, imm (byte count)
+struct Instr {
+  Opcode op = Opcode::kNop;
+  Reg dst;
+  Reg a;
+  Reg b;
+  std::int64_t imm = 0;
+  BlockId target0 = kInvalidBlock;
+  BlockId target1 = kInvalidBlock;
+  FuncId callee = kInvalidFunc;
+  std::vector<Reg> args;
+
+  /// Assigned by Module::finalize(); kInvalidStaticId before that.
+  StaticId static_id = kInvalidStaticId;
+
+  /// Collects source registers (a, b, args as applicable) into `out`.
+  void appendUses(std::vector<Reg>& out) const;
+
+  /// True if this instruction reads register r.
+  bool uses(Reg r) const;
+};
+
+}  // namespace spt::ir

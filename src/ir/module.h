@@ -1,0 +1,92 @@
+// Basic blocks, functions, and modules of the SPT mini-IR.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ir/instr.h"
+
+namespace spt::ir {
+
+/// A basic block: straight-line instructions ending in one terminator.
+struct BasicBlock {
+  BlockId id = kInvalidBlock;
+  std::string label;
+  std::vector<Instr> instrs;
+
+  const Instr& terminator() const { return instrs.back(); }
+  bool hasTerminator() const {
+    return !instrs.empty() && isTerminator(instrs.back().op);
+  }
+
+  /// Successor block ids, taken edge first for kCondBr. Empty for kRet.
+  std::vector<BlockId> successors() const;
+};
+
+/// A function. Parameters arrive in registers r0..r(param_count-1); entry is
+/// always block 0.
+struct Function {
+  FuncId id = kInvalidFunc;
+  std::string name;
+  std::uint32_t param_count = 0;
+  std::uint32_t reg_count = 0;  // virtual registers in use (>= param_count)
+  std::vector<BasicBlock> blocks;
+
+  BasicBlock& entry() { return blocks.front(); }
+  const BasicBlock& entry() const { return blocks.front(); }
+
+  /// Allocates a fresh virtual register.
+  Reg newReg() { return Reg{reg_count++}; }
+
+  /// Total static instruction count.
+  std::size_t instrCount() const;
+};
+
+/// A module: a set of functions with unique names. `main_func` is the
+/// program entry point used by the interpreter.
+class Module {
+ public:
+  explicit Module(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+
+  /// Creates an empty function and returns its id.
+  FuncId addFunction(std::string name, std::uint32_t param_count);
+
+  Function& function(FuncId id);
+  const Function& function(FuncId id) const;
+  std::size_t functionCount() const { return funcs_.size(); }
+
+  /// Finds a function by name; returns kInvalidFunc if absent.
+  FuncId findFunction(const std::string& name) const;
+
+  FuncId mainFunc() const { return main_func_; }
+  void setMainFunc(FuncId id) { main_func_ = id; }
+
+  /// Assigns module-wide StaticIds to every instruction (in function/block/
+  /// instruction order) and records the lookup side tables. Must be called
+  /// (again) after any structural change before tracing or simulating.
+  void finalize();
+  bool finalized() const { return finalized_; }
+  std::uint32_t staticInstrCount() const { return static_count_; }
+
+  /// Reverse lookup from StaticId (valid after finalize()).
+  struct StaticLocation {
+    FuncId func = kInvalidFunc;
+    BlockId block = kInvalidBlock;
+    std::uint32_t index = 0;  // within the block
+  };
+  const StaticLocation& locate(StaticId id) const;
+  const Instr& instrAt(StaticId id) const;
+
+ private:
+  std::string name_;
+  std::vector<Function> funcs_;
+  FuncId main_func_ = kInvalidFunc;
+  bool finalized_ = false;
+  std::uint32_t static_count_ = 0;
+  std::vector<StaticLocation> locations_;
+};
+
+}  // namespace spt::ir

@@ -1,0 +1,105 @@
+#include "ir/opcode.h"
+
+namespace spt::ir {
+
+const char* opcodeName(Opcode op) {
+  switch (op) {
+    case Opcode::kConst: return "const";
+    case Opcode::kMov: return "mov";
+    case Opcode::kAdd: return "add";
+    case Opcode::kSub: return "sub";
+    case Opcode::kMul: return "mul";
+    case Opcode::kDiv: return "div";
+    case Opcode::kRem: return "rem";
+    case Opcode::kAnd: return "and";
+    case Opcode::kOr: return "or";
+    case Opcode::kXor: return "xor";
+    case Opcode::kShl: return "shl";
+    case Opcode::kShr: return "shr";
+    case Opcode::kCmpEq: return "cmpeq";
+    case Opcode::kCmpNe: return "cmpne";
+    case Opcode::kCmpLt: return "cmplt";
+    case Opcode::kCmpLe: return "cmple";
+    case Opcode::kCmpGt: return "cmpgt";
+    case Opcode::kCmpGe: return "cmpge";
+    case Opcode::kLoad: return "load";
+    case Opcode::kStore: return "store";
+    case Opcode::kBr: return "br";
+    case Opcode::kCondBr: return "condbr";
+    case Opcode::kCall: return "call";
+    case Opcode::kRet: return "ret";
+    case Opcode::kSptFork: return "spt_fork";
+    case Opcode::kSptKill: return "spt_kill";
+    case Opcode::kHalloc: return "halloc";
+    case Opcode::kNop: return "nop";
+  }
+  return "???";
+}
+
+bool isBranch(Opcode op) {
+  return op == Opcode::kBr || op == Opcode::kCondBr;
+}
+
+bool isTerminator(Opcode op) { return isBranch(op) || op == Opcode::kRet; }
+
+bool isMemory(Opcode op) {
+  return op == Opcode::kLoad || op == Opcode::kStore;
+}
+
+bool producesValue(Opcode op) {
+  switch (op) {
+    case Opcode::kStore:
+    case Opcode::kBr:
+    case Opcode::kCondBr:
+    case Opcode::kRet:
+    case Opcode::kSptFork:
+    case Opcode::kSptKill:
+    case Opcode::kNop:
+      return false;
+    case Opcode::kCall:  // dst is optional but allowed
+    default:
+      return true;
+  }
+}
+
+std::uint32_t baseLatency(Opcode op) {
+  switch (op) {
+    case Opcode::kMul:
+      return 3;
+    case Opcode::kDiv:
+    case Opcode::kRem:
+      return 20;
+    case Opcode::kLoad:
+      return 1;  // plus cache latency, added by the memory model
+    default:
+      return 1;
+  }
+}
+
+bool isPureComputation(Opcode op) {
+  switch (op) {
+    case Opcode::kConst:
+    case Opcode::kMov:
+    case Opcode::kAdd:
+    case Opcode::kSub:
+    case Opcode::kMul:
+    case Opcode::kDiv:
+    case Opcode::kRem:
+    case Opcode::kAnd:
+    case Opcode::kOr:
+    case Opcode::kXor:
+    case Opcode::kShl:
+    case Opcode::kShr:
+    case Opcode::kCmpEq:
+    case Opcode::kCmpNe:
+    case Opcode::kCmpLt:
+    case Opcode::kCmpLe:
+    case Opcode::kCmpGt:
+    case Opcode::kCmpGe:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace spt::ir

@@ -1,0 +1,67 @@
+// Opcode set of the SPT mini-IR.
+//
+// The IR is a typed (int64-only) three-address representation at the same
+// granularity ORC's WOPT statements have in the paper: arithmetic, memory,
+// control flow, calls, and the two SPT threading instructions (spt_fork /
+// spt_kill, paper Section 3.1).
+#pragma once
+
+#include <cstdint>
+
+namespace spt::ir {
+
+enum class Opcode : std::uint8_t {
+  kConst,  // dst = imm
+  kMov,    // dst = a
+  kAdd,    // dst = a + b
+  kSub,    // dst = a - b
+  kMul,    // dst = a * b
+  kDiv,    // dst = a / b   (b != 0 checked by the interpreter)
+  kRem,    // dst = a % b   (b != 0 checked by the interpreter)
+  kAnd,    // dst = a & b
+  kOr,     // dst = a | b
+  kXor,    // dst = a ^ b
+  kShl,    // dst = a << (b & 63)
+  kShr,    // dst = (uint64)a >> (b & 63)
+  kCmpEq,  // dst = (a == b)
+  kCmpNe,  // dst = (a != b)
+  kCmpLt,  // dst = (a < b), signed
+  kCmpLe,  // dst = (a <= b), signed
+  kCmpGt,  // dst = (a > b), signed
+  kCmpGe,  // dst = (a >= b), signed
+  kLoad,   // dst = mem64[a + imm]
+  kStore,  // mem64[a + imm] = b
+  kBr,     // goto target0
+  kCondBr, // if (a != 0) goto target0 else goto target1
+  kCall,   // dst = callee(args...)   (dst optional)
+  kRet,    // return a (a optional; kNoReg returns 0)
+  kSptFork,  // fork speculative thread at target0 (no-op on spec pipeline)
+  kSptKill,  // kill any running speculative thread
+  kHalloc,   // dst = bump-allocate imm bytes from the interpreter heap
+  kNop,
+};
+
+/// Stable mnemonic for printing and diagnostics.
+const char* opcodeName(Opcode op);
+
+/// True for kBr/kCondBr (control transfers that end a block).
+bool isBranch(Opcode op);
+
+/// True for kBr/kCondBr/kRet (all block terminators).
+bool isTerminator(Opcode op);
+
+/// True for kLoad/kStore.
+bool isMemory(Opcode op);
+
+/// True if the opcode writes a destination register (when dst is set).
+bool producesValue(Opcode op);
+
+/// Fixed execution latency in cycles for non-memory opcodes; memory latency
+/// comes from the cache model. Mirrors Itanium2-like integer latencies.
+std::uint32_t baseLatency(Opcode op);
+
+/// True for pure register-to-register computations that the speculative
+/// value emulator can re-evaluate (everything except memory/control/calls).
+bool isPureComputation(Opcode op);
+
+}  // namespace spt::ir

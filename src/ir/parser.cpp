@@ -1,0 +1,393 @@
+#include "ir/parser.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <unordered_map>
+#include <vector>
+
+namespace spt::ir {
+namespace {
+
+/// Cursor over one line of text with tiny combinators.
+class Line {
+ public:
+  explicit Line(const std::string& s) : s_(s) {}
+
+  void skipSpace() {
+    while (pos_ < s_.size() && (s_[pos_] == ' ' || s_[pos_] == '\t')) ++pos_;
+  }
+
+  bool eat(const char* literal) {
+    skipSpace();
+    const std::size_t n = std::char_traits<char>::length(literal);
+    if (s_.compare(pos_, n, literal) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+
+  bool atEnd() {
+    skipSpace();
+    // A trailing comment counts as end of content.
+    return pos_ >= s_.size() || s_[pos_] == ';';
+  }
+
+  std::optional<std::string> ident() {
+    skipSpace();
+    std::size_t start = pos_;
+    while (pos_ < s_.size() &&
+           (std::isalnum(static_cast<unsigned char>(s_[pos_])) != 0 ||
+            s_[pos_] == '_' || s_[pos_] == '.')) {
+      ++pos_;
+    }
+    if (pos_ == start) return std::nullopt;
+    return s_.substr(start, pos_ - start);
+  }
+
+  std::optional<std::int64_t> integer() {
+    skipSpace();
+    std::size_t start = pos_;
+    if (pos_ < s_.size() && (s_[pos_] == '-' || s_[pos_] == '+')) ++pos_;
+    while (pos_ < s_.size() &&
+           std::isdigit(static_cast<unsigned char>(s_[pos_])) != 0) {
+      ++pos_;
+    }
+    if (pos_ == start) return std::nullopt;
+    // Parse as unsigned first so INT64_MIN round-trips.
+    errno = 0;
+    const std::string tok = s_.substr(start, pos_ - start);
+    return static_cast<std::int64_t>(std::strtoll(tok.c_str(), nullptr, 10));
+  }
+
+  std::optional<Reg> reg() {
+    skipSpace();
+    if (pos_ >= s_.size() || s_[pos_] != 'r') return std::nullopt;
+    const std::size_t save = pos_;
+    ++pos_;
+    const auto n = integer();
+    if (!n || *n < 0) {
+      pos_ = save;
+      return std::nullopt;
+    }
+    return Reg{static_cast<std::uint32_t>(*n)};
+  }
+
+  std::optional<BlockId> blockRef() {
+    skipSpace();
+    if (pos_ >= s_.size() || s_[pos_] != 'B') return std::nullopt;
+    const std::size_t save = pos_;
+    ++pos_;
+    const auto n = integer();
+    if (!n || *n < 0) {
+      pos_ = save;
+      return std::nullopt;
+    }
+    return static_cast<BlockId>(*n);
+  }
+
+  std::size_t pos() const { return pos_; }
+  void advanceTo(std::size_t p) { pos_ = p; }
+  const std::string& text() const { return s_; }
+
+ private:
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+struct Parser {
+  const std::vector<std::string>& lines;
+  Module module;
+  ParseError error;
+  bool failed = false;
+
+  explicit Parser(const std::vector<std::string>& ls, std::string name)
+      : lines(ls), module(std::move(name)) {}
+
+  bool fail(std::size_t line_no, std::string message) {
+    if (!failed) {
+      failed = true;
+      error.line = line_no + 1;
+      error.message = std::move(message);
+    }
+    return false;
+  }
+
+  /// Parses "func @name(params=N, regs=M)" headers (pass 1).
+  bool scanHeaders() {
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+      Line line(lines[i]);
+      if (!line.eat("func")) continue;
+      if (!line.eat("@")) return fail(i, "expected @name after func");
+      const auto name = line.ident();
+      if (!name) return fail(i, "expected function name");
+      if (!line.eat("(params=")) return fail(i, "expected (params=");
+      const auto params = line.integer();
+      if (!params || *params < 0) return fail(i, "bad param count");
+      if (!line.eat(", regs=")) return fail(i, "expected , regs=");
+      const auto regs = line.integer();
+      if (!regs || *regs < *params) return fail(i, "bad reg count");
+      if (module.findFunction(*name) != kInvalidFunc) {
+        return fail(i, "duplicate function @" + *name);
+      }
+      const FuncId f =
+          module.addFunction(*name, static_cast<std::uint32_t>(*params));
+      module.function(f).reg_count = static_cast<std::uint32_t>(*regs);
+    }
+    if (module.functionCount() == 0) {
+      return fail(0, "no functions in module");
+    }
+    return true;
+  }
+
+  std::optional<Reg> expectReg(Line& line, std::size_t line_no,
+                               const char* what) {
+    const auto r = line.reg();
+    if (!r) fail(line_no, std::string("expected register for ") + what);
+    return r;
+  }
+
+  std::optional<BlockId> expectBlock(Line& line, std::size_t line_no) {
+    const auto b = line.blockRef();
+    if (!b) fail(line_no, "expected block reference (B<n>)");
+    return b;
+  }
+
+  /// Parses one instruction line into `instr`. Returns false on error.
+  bool parseInstr(Function& func, const std::string& text,
+                  std::size_t line_no, Instr& instr) {
+    Line line(text);
+
+    // Optional "rN = " destination.
+    std::optional<Reg> dst;
+    {
+      Line probe(text);
+      const auto r = probe.reg();
+      if (r && probe.eat("=")) {
+        dst = r;
+        line.advanceTo(probe.pos());
+      }
+    }
+
+    const auto op_name = line.ident();
+    if (!op_name) return fail(line_no, "expected opcode");
+    const std::string& op = *op_name;
+
+    static const std::unordered_map<std::string, Opcode> kBinary = {
+        {"add", Opcode::kAdd},     {"sub", Opcode::kSub},
+        {"mul", Opcode::kMul},     {"div", Opcode::kDiv},
+        {"rem", Opcode::kRem},     {"and", Opcode::kAnd},
+        {"or", Opcode::kOr},       {"xor", Opcode::kXor},
+        {"shl", Opcode::kShl},     {"shr", Opcode::kShr},
+        {"cmpeq", Opcode::kCmpEq}, {"cmpne", Opcode::kCmpNe},
+        {"cmplt", Opcode::kCmpLt}, {"cmple", Opcode::kCmpLe},
+        {"cmpgt", Opcode::kCmpGt}, {"cmpge", Opcode::kCmpGe},
+    };
+
+    if (const auto it = kBinary.find(op); it != kBinary.end()) {
+      if (!dst) return fail(line_no, op + " needs a destination");
+      instr.op = it->second;
+      instr.dst = *dst;
+      const auto a = expectReg(line, line_no, "lhs");
+      if (!a) return false;
+      if (!line.eat(",")) return fail(line_no, "expected ,");
+      const auto b = expectReg(line, line_no, "rhs");
+      if (!b) return false;
+      instr.a = *a;
+      instr.b = *b;
+      return true;
+    }
+    if (op == "const" || op == "halloc") {
+      if (!dst) return fail(line_no, op + " needs a destination");
+      instr.op = op == "const" ? Opcode::kConst : Opcode::kHalloc;
+      instr.dst = *dst;
+      const auto imm = line.integer();
+      if (!imm) return fail(line_no, "expected immediate");
+      instr.imm = *imm;
+      return true;
+    }
+    if (op == "mov") {
+      if (!dst) return fail(line_no, "mov needs a destination");
+      instr.op = Opcode::kMov;
+      instr.dst = *dst;
+      const auto a = expectReg(line, line_no, "source");
+      if (!a) return false;
+      instr.a = *a;
+      return true;
+    }
+    if (op == "load") {
+      if (!dst) return fail(line_no, "load needs a destination");
+      instr.op = Opcode::kLoad;
+      instr.dst = *dst;
+      if (!line.eat("[")) return fail(line_no, "expected [");
+      const auto a = expectReg(line, line_no, "address");
+      if (!a) return false;
+      if (!line.eat("+")) return fail(line_no, "expected +");
+      const auto imm = line.integer();
+      if (!imm) return fail(line_no, "expected offset");
+      if (!line.eat("]")) return fail(line_no, "expected ]");
+      instr.a = *a;
+      instr.imm = *imm;
+      return true;
+    }
+    if (op == "store") {
+      instr.op = Opcode::kStore;
+      if (!line.eat("[")) return fail(line_no, "expected [");
+      const auto a = expectReg(line, line_no, "address");
+      if (!a) return false;
+      if (!line.eat("+")) return fail(line_no, "expected +");
+      const auto imm = line.integer();
+      if (!imm) return fail(line_no, "expected offset");
+      if (!line.eat("]")) return fail(line_no, "expected ]");
+      if (!line.eat("=")) return fail(line_no, "expected =");
+      const auto b = expectReg(line, line_no, "value");
+      if (!b) return false;
+      instr.a = *a;
+      instr.b = *b;
+      instr.imm = *imm;
+      return true;
+    }
+    if (op == "br" || op == "spt_fork") {
+      instr.op = op == "br" ? Opcode::kBr : Opcode::kSptFork;
+      const auto target = expectBlock(line, line_no);
+      if (!target) return false;
+      instr.target0 = *target;
+      return true;
+    }
+    if (op == "condbr") {
+      instr.op = Opcode::kCondBr;
+      const auto c = expectReg(line, line_no, "condition");
+      if (!c) return false;
+      if (!line.eat(",")) return fail(line_no, "expected ,");
+      const auto t0 = expectBlock(line, line_no);
+      if (!t0) return false;
+      if (!line.eat(",")) return fail(line_no, "expected ,");
+      const auto t1 = expectBlock(line, line_no);
+      if (!t1) return false;
+      instr.a = *c;
+      instr.target0 = *t0;
+      instr.target1 = *t1;
+      return true;
+    }
+    if (op == "call") {
+      instr.op = Opcode::kCall;
+      if (dst) instr.dst = *dst;
+      if (!line.eat("@")) return fail(line_no, "expected @callee");
+      const auto callee = line.ident();
+      if (!callee) return fail(line_no, "expected callee name");
+      instr.callee = module.findFunction(*callee);
+      if (instr.callee == kInvalidFunc) {
+        return fail(line_no, "unknown callee @" + *callee);
+      }
+      if (!line.eat("(")) return fail(line_no, "expected (");
+      if (!line.eat(")")) {
+        for (;;) {
+          const auto arg = expectReg(line, line_no, "argument");
+          if (!arg) return false;
+          instr.args.push_back(*arg);
+          if (line.eat(")")) break;
+          if (!line.eat(",")) return fail(line_no, "expected , or )");
+        }
+      }
+      return true;
+    }
+    if (op == "ret") {
+      instr.op = Opcode::kRet;
+      if (!line.atEnd()) {
+        const auto a = expectReg(line, line_no, "return value");
+        if (!a) return false;
+        instr.a = *a;
+      }
+      return true;
+    }
+    if (op == "spt_kill") {
+      instr.op = Opcode::kSptKill;
+      return true;
+    }
+    if (op == "nop") {
+      instr.op = Opcode::kNop;
+      return true;
+    }
+    (void)func;
+    return fail(line_no, "unknown opcode '" + op + "'");
+  }
+
+  /// Pass 2: fills function bodies.
+  bool parseBodies() {
+    Function* func = nullptr;
+    for (std::size_t i = 0; i < lines.size() && !failed; ++i) {
+      const std::string& raw = lines[i];
+      Line line(raw);
+      if (line.atEnd()) continue;
+
+      if (Line probe(raw); probe.eat("module")) continue;
+      if (Line probe(raw); probe.eat("func")) {
+        Line header(raw);
+        header.eat("func");
+        header.eat("@");
+        const auto name = header.ident();
+        func = &module.function(module.findFunction(*name));
+        continue;
+      }
+
+      // Block label: "name:" (content before ':' with no '=' sign).
+      const std::size_t colon = raw.find(':');
+      const std::size_t eq = raw.find('=');
+      if (colon != std::string::npos &&
+          (eq == std::string::npos || colon < eq)) {
+        if (func == nullptr) return fail(i, "label outside a function");
+        Line lbl(raw);
+        const auto name = lbl.ident();
+        BasicBlock block;
+        block.id = static_cast<BlockId>(func->blocks.size());
+        block.label = name ? *name : "";
+        func->blocks.push_back(std::move(block));
+        continue;
+      }
+
+      if (func == nullptr || func->blocks.empty()) {
+        return fail(i, "instruction outside a block");
+      }
+      Instr instr;
+      if (!parseInstr(*func, raw, i, instr)) return false;
+      func->blocks.back().instrs.push_back(std::move(instr));
+    }
+    return !failed;
+  }
+};
+
+}  // namespace
+
+std::optional<Module> parseModule(const std::string& text,
+                                  ParseError* error) {
+  std::vector<std::string> lines;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const std::size_t end = text.find('\n', start);
+    if (end == std::string::npos) {
+      lines.push_back(text.substr(start));
+      break;
+    }
+    lines.push_back(text.substr(start, end - start));
+    start = end + 1;
+  }
+
+  // Module name from the first "module <name>" line, if present.
+  std::string name = "parsed";
+  for (const std::string& l : lines) {
+    Line line(l);
+    if (line.eat("module")) {
+      if (const auto n = line.ident()) name = *n;
+      break;
+    }
+  }
+
+  Parser parser(lines, std::move(name));
+  if (!parser.scanHeaders() || !parser.parseBodies()) {
+    if (error != nullptr) *error = parser.error;
+    return std::nullopt;
+  }
+  const FuncId main_id = parser.module.findFunction("main");
+  if (main_id != kInvalidFunc) parser.module.setMainFunc(main_id);
+  return std::move(parser.module);
+}
+
+}  // namespace spt::ir

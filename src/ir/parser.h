@@ -1,0 +1,39 @@
+// Text-format parser for the SPT mini-IR.
+//
+// Accepts the exact output of ir::printModule / printFunction, so modules
+// round-trip through text. Users can author programs as text instead of
+// through IrBuilder:
+//
+//   module demo
+//   func @main(params=0, regs=3)
+//   entry:  ; B0
+//     r0 = const 0
+//     r1 = const 10
+//     br B1
+//   loop:  ; B1
+//     r2 = cmplt r0, r1
+//     condbr r2, B2, B3
+//   ...
+//
+// Branch targets use block ordinals ("B1" = the function's second block).
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "ir/module.h"
+
+namespace spt::ir {
+
+struct ParseError {
+  std::size_t line = 0;  // 1-based
+  std::string message;
+};
+
+/// Parses a whole module. On success the module's main function is the one
+/// named "main" when present. Returns std::nullopt and fills `error` on
+/// failure.
+std::optional<Module> parseModule(const std::string& text,
+                                  ParseError* error = nullptr);
+
+}  // namespace spt::ir

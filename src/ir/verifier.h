@@ -1,0 +1,27 @@
+// Structural verifier for the SPT mini-IR.
+//
+// The SPT compiler rewrites loops aggressively; the verifier is run after
+// every transformation in tests to catch malformed output early.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ir/module.h"
+
+namespace spt::ir {
+
+/// Verifies structural invariants of a function:
+///  - every block has exactly one terminator, at the end;
+///  - branch targets are in range; call callees exist with matching arity;
+///  - register indices are below reg_count;
+///  - instructions have the operands their opcode requires;
+///  - spt_fork targets a block of the same function.
+/// Returns a list of human-readable problems (empty means valid).
+std::vector<std::string> verifyFunction(const Module& module,
+                                        const Function& func);
+
+/// Verifies every function; aggregates problems prefixed by function name.
+std::vector<std::string> verifyModule(const Module& module);
+
+}  // namespace spt::ir

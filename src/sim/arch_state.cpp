@@ -1,0 +1,81 @@
+#include "sim/arch_state.h"
+
+#include "support/check.h"
+
+namespace spt::sim {
+
+ArchState::ArchState(const ir::Module& module) : module_(module) {}
+
+ApplyInfo ArchState::apply(const trace::Record& record) {
+  SPT_CHECK(record.kind == trace::RecordKind::kInstr);
+  ApplyInfo info;
+
+  if (!started_) {
+    // Lazily create the entry frame from the first record.
+    const auto& loc = module_.locate(record.sid);
+    Frame frame;
+    frame.id = record.frame;
+    frame.func = loc.func;
+    frame.regs.assign(module_.function(loc.func).reg_count, 0);
+    frames_.push_back(std::move(frame));
+    started_ = true;
+  }
+
+  SPT_CHECK_MSG(!frames_.empty() && frames_.back().id == record.frame,
+                "trace record frame does not match the reconstructed stack");
+  Frame& top = frames_.back();
+  const ir::Instr& instr = module_.instrAt(record.sid);
+
+  switch (instr.op) {
+    case ir::Opcode::kCall: {
+      const ir::Function& callee = module_.function(instr.callee);
+      Frame next;
+      next.id = record.callee_frame;
+      next.func = instr.callee;
+      next.regs.assign(callee.reg_count, 0);
+      for (std::size_t i = 0; i < instr.args.size(); ++i) {
+        next.regs[i] = top.regs[instr.args[i].index];
+      }
+      next.ret_dst = instr.dst;
+      info.callee_frame = next.id;
+      info.callee_func = instr.callee;
+      info.callee_params = callee.param_count;
+      frames_.push_back(std::move(next));
+      return info;
+    }
+    case ir::Opcode::kRet: {
+      const ir::Reg dst = top.ret_dst;
+      frames_.pop_back();
+      if (!frames_.empty()) {
+        info.caller_frame = frames_.back().id;
+        info.caller_dst = dst;
+        if (dst.valid()) frames_.back().regs[dst.index] = record.value;
+      }
+      return info;
+    }
+    case ir::Opcode::kStore:
+      memory_[record.mem_addr] = record.value;
+      return info;
+    case ir::Opcode::kLoad:
+      memory_[record.mem_addr] = record.value;
+      top.regs[instr.dst.index] = record.value;
+      return info;
+    case ir::Opcode::kHalloc:
+      ++halloc_count_;
+      top.regs[instr.dst.index] = record.value;
+      return info;
+    default:
+      if (instr.dst.valid() && ir::producesValue(instr.op)) {
+        top.regs[instr.dst.index] = record.value;
+      }
+      return info;
+  }
+}
+
+std::int64_t ArchState::memValue(std::uint64_t addr,
+                                 std::int64_t fallback) const {
+  const auto it = memory_.find(addr);
+  return it == memory_.end() ? fallback : it->second;
+}
+
+}  // namespace spt::sim

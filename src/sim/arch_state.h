@@ -1,0 +1,71 @@
+// Architectural state reconstruction from the sequential trace.
+//
+// The simulator's main thread walks the trace in order; ArchState mirrors
+// the interpreter's frames and register values from the trace records, and
+// learns memory contents from the loads/stores it passes. The SPT machine
+// uses it for: fork-time register snapshots, value-based register
+// dependence checking, and the memory values speculative loads observe.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "ir/module.h"
+#include "trace/record.h"
+
+namespace spt::sim {
+
+/// Side information a machine needs about the record it just applied.
+struct ApplyInfo {
+  // kCall:
+  trace::FrameId callee_frame = 0;
+  ir::FuncId callee_func = ir::kInvalidFunc;
+  std::uint32_t callee_params = 0;
+  // kRet:
+  trace::FrameId caller_frame = 0;
+  ir::Reg caller_dst;  // invalid when the callee's result is unused
+};
+
+class ArchState {
+ public:
+  /// The first applied record must belong to frame 0 of `entry` (the
+  /// module's main function unless overridden).
+  explicit ArchState(const ir::Module& module);
+
+  /// Applies one kInstr record (markers must not be passed).
+  ApplyInfo apply(const trace::Record& record);
+
+  const ir::Instr& instrOf(const trace::Record& record) const {
+    return module_.instrAt(record.sid);
+  }
+
+  trace::FrameId curFrame() const { return frames_.back().id; }
+  ir::FuncId curFunc() const { return frames_.back().func; }
+  const std::vector<std::int64_t>& topRegs() const {
+    return frames_.back().regs;
+  }
+
+  /// Current memory value at `addr` as of the applied prefix; `fallback`
+  /// when the address was never observed (then the trace-recorded value is
+  /// the correct content).
+  std::int64_t memValue(std::uint64_t addr, std::int64_t fallback) const;
+
+  std::uint64_t hallocCount() const { return halloc_count_; }
+
+ private:
+  struct Frame {
+    trace::FrameId id = 0;
+    ir::FuncId func = ir::kInvalidFunc;
+    std::vector<std::int64_t> regs;
+    ir::Reg ret_dst;
+  };
+
+  const ir::Module& module_;
+  std::vector<Frame> frames_;
+  std::unordered_map<std::uint64_t, std::int64_t> memory_;
+  std::uint64_t halloc_count_ = 0;
+  bool started_ = false;
+};
+
+}  // namespace spt::sim

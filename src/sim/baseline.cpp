@@ -1,0 +1,94 @@
+#include "sim/baseline.h"
+
+#include "sim/arch_state.h"
+#include "sim/loop_tracker.h"
+#include "support/check.h"
+
+namespace spt::sim {
+
+ExecInstr makeExecInstr(const ir::Module& module, const trace::Record& record,
+                        std::uint64_t mem_addr_override) {
+  SPT_CHECK(record.kind == trace::RecordKind::kInstr);
+  const ir::Instr& instr = module.instrAt(record.sid);
+  ExecInstr e;
+  e.sid = record.sid;
+  e.op = instr.op;
+  e.base_latency = ir::baseLatency(instr.op);
+
+  int n = 0;
+  const auto addSrc = [&](ir::Reg r) {
+    if (r.valid() && n < 4) e.srcs[n++] = Pipeline::regKey(record.frame, r);
+  };
+  addSrc(instr.a);
+  addSrc(instr.b);
+  for (const ir::Reg arg : instr.args) addSrc(arg);
+
+  if (instr.dst.valid() && ir::producesValue(instr.op) &&
+      instr.op != ir::Opcode::kCall) {
+    // A call's destination becomes ready when the callee returns; the
+    // machines set it explicitly on kRet.
+    e.dst = Pipeline::regKey(record.frame, instr.dst);
+  }
+  if (instr.op == ir::Opcode::kLoad) {
+    e.is_load = true;
+    e.mem_addr = mem_addr_override != 0 ? mem_addr_override : record.mem_addr;
+  } else if (instr.op == ir::Opcode::kStore) {
+    e.is_store = true;
+    e.mem_addr = mem_addr_override != 0 ? mem_addr_override : record.mem_addr;
+  }
+  if (instr.op == ir::Opcode::kCondBr) {
+    e.is_cond_branch = true;
+    e.taken = record.taken;
+  }
+  return e;
+}
+
+BaselineMachine::BaselineMachine(const ir::Module& module,
+                                 const trace::TraceBuffer& trace,
+                                 const support::MachineConfig& config)
+    : module_(module), trace_(trace), config_(config) {}
+
+MachineResult BaselineMachine::run() {
+  MemorySystem memory(config_);
+  Pipeline pipe(config_, memory);
+  ArchState arch(module_);
+  LoopCycleTracker loops(module_);
+
+  for (std::size_t i = 0; i < trace_.size(); ++i) {
+    const trace::Record& r = trace_[i];
+    if (r.kind != trace::RecordKind::kInstr) {
+      loops.onMarker(r, pipe.cycle());
+      continue;
+    }
+    const ExecInstr e = makeExecInstr(module_, r);
+    const std::uint64_t done = pipe.execute(e);
+    const ApplyInfo info = arch.apply(r);
+    const ir::Instr& instr = module_.instrAt(r.sid);
+    if (instr.op == ir::Opcode::kCall) {
+      // Parameters materialize in the callee when the call issues.
+      for (std::uint32_t p = 0; p < info.callee_params; ++p) {
+        pipe.setRegReady(Pipeline::regKey(info.callee_frame, ir::Reg{p}),
+                         done, false);
+      }
+    } else if (instr.op == ir::Opcode::kRet && info.caller_dst.valid()) {
+      pipe.setRegReady(Pipeline::regKey(info.caller_frame, info.caller_dst),
+                       done, false);
+    }
+  }
+
+  pipe.finish();
+  loops.finish(pipe.cycle());
+
+  MachineResult result;
+  result.cycles = pipe.cycle();
+  result.instrs = pipe.instrsIssued();
+  result.breakdown = pipe.breakdown();
+  result.loops = loops.stats();
+  result.l1d = memory.l1d().stats();
+  result.l2 = memory.l2().stats();
+  result.l3 = memory.l3().stats();
+  result.branch_mispredict_ratio = pipe.predictor().mispredictRatio();
+  return result;
+}
+
+}  // namespace spt::sim

@@ -1,0 +1,34 @@
+// Baseline single-core machine: runs a sequential trace on one pipeline.
+//
+// This is the paper's reference configuration ("the optimized non-SPT code
+// running on one core", Section 5.5).
+#pragma once
+
+#include "ir/module.h"
+#include "sim/result.h"
+#include "support/machine_config.h"
+#include "trace/trace.h"
+
+namespace spt::sim {
+
+/// Converts one kInstr record into a timed ExecInstr. `mem_addr_override`
+/// replaces the record's address (used by speculative emulation where the
+/// effective address may differ). Call arguments beyond the fourth do not
+/// constrain timing.
+ExecInstr makeExecInstr(const ir::Module& module, const trace::Record& record,
+                        std::uint64_t mem_addr_override = 0);
+
+class BaselineMachine {
+ public:
+  BaselineMachine(const ir::Module& module, const trace::TraceBuffer& trace,
+                  const support::MachineConfig& config);
+
+  MachineResult run();
+
+ private:
+  const ir::Module& module_;
+  const trace::TraceBuffer& trace_;
+  const support::MachineConfig& config_;
+};
+
+}  // namespace spt::sim

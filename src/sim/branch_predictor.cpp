@@ -1,0 +1,34 @@
+#include "sim/branch_predictor.h"
+
+#include <bit>
+
+#include "support/check.h"
+
+namespace spt::sim {
+
+BranchPredictor::BranchPredictor(std::uint32_t entries)
+    : pht_(entries, 2) /* weakly taken */ {
+  SPT_CHECK_MSG(entries > 0 && std::has_single_bit(entries),
+                "GAg table size must be a power of two");
+  history_mask_ = entries - 1;
+}
+
+bool BranchPredictor::predictAndUpdate(bool actual_taken) {
+  const std::uint32_t index = history_ & history_mask_;
+  std::uint8_t& counter = pht_[index];
+  const bool predicted_taken = counter >= 2;
+
+  ++predictions_;
+  const bool correct = predicted_taken == actual_taken;
+  if (!correct) ++mispredictions_;
+
+  if (actual_taken) {
+    if (counter < 3) ++counter;
+  } else {
+    if (counter > 0) --counter;
+  }
+  history_ = ((history_ << 1) | (actual_taken ? 1u : 0u)) & history_mask_;
+  return correct;
+}
+
+}  // namespace spt::sim

@@ -1,0 +1,35 @@
+// GAg branch predictor (paper Table 1: GAg with 1K entries, 5-cycle
+// mispredict penalty). A single global history register indexes one shared
+// pattern history table of 2-bit saturating counters.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace spt::sim {
+
+class BranchPredictor {
+ public:
+  explicit BranchPredictor(std::uint32_t entries);
+
+  /// Predicts, updates the tables with the actual outcome, and reports
+  /// whether the prediction was correct.
+  bool predictAndUpdate(bool actual_taken);
+
+  std::uint64_t predictions() const { return predictions_; }
+  std::uint64_t mispredictions() const { return mispredictions_; }
+  double mispredictRatio() const {
+    return predictions_ == 0
+               ? 0.0
+               : static_cast<double>(mispredictions_) / predictions_;
+  }
+
+ private:
+  std::vector<std::uint8_t> pht_;  // 2-bit counters
+  std::uint32_t history_ = 0;
+  std::uint32_t history_mask_;
+  std::uint64_t predictions_ = 0;
+  std::uint64_t mispredictions_ = 0;
+};
+
+}  // namespace spt::sim

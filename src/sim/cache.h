@@ -1,0 +1,82 @@
+// Set-associative LRU caches and the shared memory hierarchy.
+//
+// Paper Table 1: separate L1 I/D caches (16KB 4-way 64B 1cy), unified L2
+// (256KB 8-way 64B 5cy), unified L3 (3MB 12-way 128B 12cy), 150-cycle
+// memory. Both pipelines share the hierarchy (Figure 2), and accesses are
+// tagged with timestamps to maintain temporal ordering (Section 5.1).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "support/machine_config.h"
+
+namespace spt::sim {
+
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+
+  double missRatio() const {
+    const std::uint64_t total = hits + misses;
+    return total == 0 ? 0.0 : static_cast<double>(misses) / total;
+  }
+};
+
+/// One set-associative cache level with LRU replacement. Timestamps drive
+/// the LRU ordering so that interleaved accesses from the two pipelines age
+/// lines consistently.
+class Cache {
+ public:
+  explicit Cache(const support::CacheConfig& config);
+
+  /// Returns true on hit; on miss the line is (re)filled. `timestamp` is
+  /// the access cycle.
+  bool access(std::uint64_t addr, std::uint64_t timestamp);
+
+  /// Hit check without state change (used by tests).
+  bool probe(std::uint64_t addr) const;
+
+  const CacheStats& stats() const { return stats_; }
+  std::uint32_t numSets() const { return num_sets_; }
+
+ private:
+  struct Line {
+    std::uint64_t tag = ~0ull;
+    std::uint64_t last_used = 0;
+    bool valid = false;
+  };
+
+  support::CacheConfig config_;
+  std::uint32_t num_sets_;
+  std::uint64_t block_shift_;
+  std::vector<Line> lines_;  // num_sets_ * associativity
+  CacheStats stats_;
+};
+
+/// The shared three-level hierarchy plus memory. Returns total access
+/// latency in cycles for instruction fetches and data accesses.
+class MemorySystem {
+ public:
+  explicit MemorySystem(const support::MachineConfig& config);
+
+  /// Data access (load or store fill); returns the latency in cycles.
+  std::uint32_t accessData(std::uint64_t addr, std::uint64_t timestamp);
+
+  /// Instruction fetch; returns the latency in cycles.
+  std::uint32_t accessInstr(std::uint64_t addr, std::uint64_t timestamp);
+
+  const Cache& l1d() const { return l1d_; }
+  const Cache& l1i() const { return l1i_; }
+  const Cache& l2() const { return l2_; }
+  const Cache& l3() const { return l3_; }
+
+ private:
+  support::MachineConfig config_;
+  Cache l1i_;
+  Cache l1d_;
+  Cache l2_;
+  Cache l3_;
+};
+
+}  // namespace spt::sim

@@ -1,0 +1,46 @@
+#include "sim/loop_tracker.h"
+
+#include "support/check.h"
+
+namespace spt::sim {
+
+void LoopCycleTracker::onMarker(const trace::Record& record,
+                                std::uint64_t cycle) {
+  switch (record.kind) {
+    case trace::RecordKind::kIterBegin:
+      if (record.value == 0) {
+        open_.push_back({record.sid, cycle, 1});
+      } else {
+        SPT_CHECK_MSG(!open_.empty() && open_.back().sid == record.sid,
+                      "iteration marker for a loop that is not innermost");
+        ++open_.back().iterations;
+      }
+      return;
+    case trace::RecordKind::kLoopExit: {
+      SPT_CHECK_MSG(!open_.empty() && open_.back().sid == record.sid,
+                    "unbalanced loop exit marker");
+      const Open top = open_.back();
+      open_.pop_back();
+      LoopCycleStats& s = stats_[trace::loopNameOf(module_, top.sid)];
+      s.cycles += cycle - top.begin_cycle;
+      ++s.episodes;
+      s.iterations += top.iterations;
+      return;
+    }
+    case trace::RecordKind::kInstr:
+      SPT_UNREACHABLE("onMarker fed an instruction record");
+  }
+}
+
+void LoopCycleTracker::finish(std::uint64_t cycle) {
+  while (!open_.empty()) {
+    const Open top = open_.back();
+    open_.pop_back();
+    LoopCycleStats& s = stats_[trace::loopNameOf(module_, top.sid)];
+    s.cycles += cycle - top.begin_cycle;
+    ++s.episodes;
+    s.iterations += top.iterations;
+  }
+}
+
+}  // namespace spt::sim

@@ -1,0 +1,47 @@
+// Per-loop cycle attribution from trace markers.
+//
+// Tracks, on the main thread's time line, how many cycles each static loop
+// (all episodes summed) was open. Nested loops accumulate independently, so
+// an outer loop's cycles include its inner loops — consistently in both the
+// baseline and the SPT run, which is what the Figure 8 loop-level speedups
+// compare.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ir/module.h"
+#include "sim/result.h"
+#include "trace/trace.h"
+
+namespace spt::sim {
+
+class LoopCycleTracker {
+ public:
+  explicit LoopCycleTracker(const ir::Module& module) : module_(module) {}
+
+  /// Feed every marker the main thread passes (normal execution or commit
+  /// walk) in trace order, with the main pipeline's cycle at that moment.
+  void onMarker(const trace::Record& record, std::uint64_t cycle);
+
+  /// Closes still-open episodes (trace ended inside a loop).
+  void finish(std::uint64_t cycle);
+
+  const std::map<std::string, LoopCycleStats>& stats() const {
+    return stats_;
+  }
+
+ private:
+  struct Open {
+    ir::StaticId sid;
+    std::uint64_t begin_cycle;
+    std::uint64_t iterations;
+  };
+
+  const ir::Module& module_;
+  std::vector<Open> open_;
+  std::map<std::string, LoopCycleStats> stats_;
+};
+
+}  // namespace spt::sim

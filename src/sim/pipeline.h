@@ -1,0 +1,116 @@
+// In-order pipeline timing model (Itanium2-like, paper Table 1).
+//
+// The model is event-driven rather than cycle-stepped: each dynamic
+// instruction issues in order, constrained by issue width, operand
+// readiness (register scoreboard), I-cache fetch latency and branch
+// mispredictions. Every cycle the pipeline clock advances is attributed to
+// one of three categories — execution, pipeline stall, or D-cache stall —
+// which is exactly the breakdown paper Figure 9 reports.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+#include "ir/instr.h"
+#include "sim/branch_predictor.h"
+#include "sim/cache.h"
+#include "trace/record.h"
+
+namespace spt::sim {
+
+enum class StallKind : std::uint8_t {
+  kExecution,
+  kPipeline,
+  kDCache,
+};
+
+struct CycleBreakdown {
+  std::uint64_t execution = 0;
+  std::uint64_t pipeline_stall = 0;
+  std::uint64_t dcache_stall = 0;
+
+  std::uint64_t total() const {
+    return execution + pipeline_stall + dcache_stall;
+  }
+  void add(StallKind kind, std::uint64_t cycles);
+};
+
+/// One dynamic instruction prepared for timing simulation.
+struct ExecInstr {
+  ir::StaticId sid = ir::kInvalidStaticId;
+  ir::Opcode op = ir::Opcode::kNop;
+  std::uint32_t base_latency = 1;
+  /// Frame-qualified source register keys (see Pipeline::regKey); 0 = none.
+  std::uint64_t srcs[4] = {0, 0, 0, 0};
+  std::uint64_t dst = 0;
+  bool is_load = false;
+  bool is_store = false;
+  std::uint64_t mem_addr = 0;
+  bool is_cond_branch = false;
+  bool taken = false;
+};
+
+class Pipeline {
+ public:
+  Pipeline(const support::MachineConfig& config, MemorySystem& memory);
+
+  /// Frame-qualified register key; 0 is reserved for "no register".
+  static std::uint64_t regKey(trace::FrameId frame, ir::Reg reg) {
+    return ((static_cast<std::uint64_t>(frame) << 32) | reg.index) + 1;
+  }
+
+  /// Issues one instruction; returns the cycle its result is available.
+  std::uint64_t execute(const ExecInstr& instr);
+
+  /// Consumes one replay-commit slot (replay width entries retire per
+  /// cycle during SRB replay, paper Section 3.1).
+  void commitFromBuffer();
+
+  /// Jumps the clock forward attributing the gap to `kind` (used for
+  /// fork/commit overheads and cross-pipeline synchronization).
+  void advanceTo(std::uint64_t cycle, StallKind kind);
+
+  /// Jumps the clock forward distributing the gap across categories in the
+  /// proportions of `profile` (used at fast commit: the jump corresponds to
+  /// work the speculative pipeline performed, so it inherits that
+  /// pipeline's breakdown).
+  void advanceToWithProfile(std::uint64_t cycle, const CycleBreakdown& profile);
+
+  /// Marks a register value as available at `cycle` without issuing
+  /// (register context copies at fork / commit).
+  void setRegReady(std::uint64_t key, std::uint64_t cycle, bool from_load);
+
+  std::uint64_t cycle() const { return cycle_; }
+  const CycleBreakdown& breakdown() const { return breakdown_; }
+  BranchPredictor& predictor() { return predictor_; }
+  std::uint64_t instrsIssued() const { return instrs_issued_; }
+
+  /// Accounts the current partially-filled cycle; call before reading final
+  /// numbers.
+  void finish();
+
+ private:
+  struct RegState {
+    std::uint64_t ready = 0;
+    bool from_load = false;
+  };
+
+  void bumpCycleTo(std::uint64_t cycle, StallKind kind);
+  RegState sourceState(const ExecInstr& instr) const;
+  void maybePurgeScoreboard();
+
+  const support::MachineConfig& config_;
+  MemorySystem& memory_;
+  BranchPredictor predictor_;
+
+  std::uint64_t cycle_ = 0;
+  std::uint32_t slots_ = 0;         // issue slots used this cycle
+  std::uint32_t replay_slots_ = 0;  // replay-commit slots used this cycle
+  bool cycle_had_issue_ = false;
+  std::uint64_t instrs_issued_ = 0;
+  CycleBreakdown breakdown_;
+  std::unordered_map<std::uint64_t, RegState> scoreboard_;
+};
+
+}  // namespace spt::sim

@@ -1,0 +1,73 @@
+// Simulation result structures shared by the baseline and SPT machines.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "sim/cache.h"
+#include "sim/pipeline.h"
+
+namespace spt::sim {
+
+/// Cycles attributed to a static loop (all dynamic episodes aggregated;
+/// nested loops also accumulate into their ancestors, consistently across
+/// baseline and SPT runs).
+struct LoopCycleStats {
+  std::uint64_t cycles = 0;
+  std::uint64_t episodes = 0;
+  std::uint64_t iterations = 0;
+};
+
+/// Speculative-threading statistics (paper Figure 8 inputs).
+struct ThreadStats {
+  std::uint64_t spawned = 0;       // spt_fork executed with idle spec core
+  std::uint64_t forks_ignored = 0; // spt_fork while the spec core was busy
+  std::uint64_t wrong_path = 0;    // forked with no next iteration
+  std::uint64_t fast_commits = 0;
+  std::uint64_t replays = 0;       // arrivals that needed selective replay
+  std::uint64_t squashes = 0;      // full-squash recoveries (ablation mode)
+  std::uint64_t killed = 0;        // killed by spt_kill / end of trace
+  std::uint64_t spec_instrs = 0;   // speculatively executed instructions
+  std::uint64_t misspec_instrs = 0;  // re-executed during replay
+  std::uint64_t committed_instrs = 0;
+
+  double fastCommitRatio() const {
+    return spawned == 0 ? 0.0
+                        : static_cast<double>(fast_commits) / spawned;
+  }
+  double misspeculationRatio() const {
+    return spec_instrs == 0
+               ? 0.0
+               : static_cast<double>(misspec_instrs) / spec_instrs;
+  }
+
+  void accumulate(const ThreadStats& other);
+};
+
+struct MachineResult {
+  std::uint64_t cycles = 0;
+  std::uint64_t instrs = 0;
+  CycleBreakdown breakdown;
+  std::map<std::string, LoopCycleStats> loops;
+  ThreadStats threads;                             // whole program
+  std::map<std::string, ThreadStats> loop_threads; // per SPT loop
+  CacheStats l1d;
+  CacheStats l2;
+  CacheStats l3;
+  double branch_mispredict_ratio = 0.0;
+
+  double ipc() const {
+    return cycles == 0 ? 0.0
+                       : static_cast<double>(instrs) / cycles;
+  }
+};
+
+/// Speedup of `spt` over `baseline` as a fraction (0.156 == 15.6%).
+inline double speedupOf(std::uint64_t baseline_cycles,
+                        std::uint64_t spt_cycles) {
+  if (spt_cycles == 0) return 0.0;
+  return static_cast<double>(baseline_cycles) / spt_cycles - 1.0;
+}
+
+}  // namespace spt::sim

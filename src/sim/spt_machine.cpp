@@ -1,0 +1,664 @@
+#include "sim/spt_machine.h"
+
+#include "support/check.h"
+
+namespace spt::sim {
+namespace {
+
+/// Binary-op evaluation for speculative emulation. Unlike the interpreter,
+/// faults (division by zero on stale inputs) are reported, not fatal: a
+/// real speculative pipeline would suppress the fault and the thread would
+/// be squashed at validation.
+std::int64_t emulateBinary(ir::Opcode op, std::int64_t a, std::int64_t b,
+                           bool& fault) {
+  using ir::Opcode;
+  switch (op) {
+    case Opcode::kAdd:
+      return static_cast<std::int64_t>(static_cast<std::uint64_t>(a) +
+                                       static_cast<std::uint64_t>(b));
+    case Opcode::kSub:
+      return static_cast<std::int64_t>(static_cast<std::uint64_t>(a) -
+                                       static_cast<std::uint64_t>(b));
+    case Opcode::kMul:
+      return static_cast<std::int64_t>(static_cast<std::uint64_t>(a) *
+                                       static_cast<std::uint64_t>(b));
+    case Opcode::kDiv:
+      if (b == 0 || (a == INT64_MIN && b == -1)) {
+        fault = true;
+        return 0;
+      }
+      return a / b;
+    case Opcode::kRem:
+      if (b == 0 || (a == INT64_MIN && b == -1)) {
+        fault = true;
+        return 0;
+      }
+      return a % b;
+    case Opcode::kAnd:
+      return a & b;
+    case Opcode::kOr:
+      return a | b;
+    case Opcode::kXor:
+      return a ^ b;
+    case Opcode::kShl:
+      return static_cast<std::int64_t>(static_cast<std::uint64_t>(a)
+                                       << (b & 63));
+    case Opcode::kShr:
+      return static_cast<std::int64_t>(static_cast<std::uint64_t>(a) >>
+                                       (b & 63));
+    case Opcode::kCmpEq:
+      return a == b;
+    case Opcode::kCmpNe:
+      return a != b;
+    case Opcode::kCmpLt:
+      return a < b;
+    case Opcode::kCmpLe:
+      return a <= b;
+    case Opcode::kCmpGt:
+      return a > b;
+    case Opcode::kCmpGe:
+      return a >= b;
+    default:
+      SPT_UNREACHABLE("not a binary opcode");
+  }
+}
+
+}  // namespace
+
+void ThreadStats::accumulate(const ThreadStats& other) {
+  spawned += other.spawned;
+  forks_ignored += other.forks_ignored;
+  wrong_path += other.wrong_path;
+  fast_commits += other.fast_commits;
+  replays += other.replays;
+  squashes += other.squashes;
+  killed += other.killed;
+  spec_instrs += other.spec_instrs;
+  misspec_instrs += other.misspec_instrs;
+  committed_instrs += other.committed_instrs;
+}
+
+SptMachine::SptMachine(const ir::Module& module,
+                       const trace::TraceBuffer& trace,
+                       const trace::LoopIndex& loop_index,
+                       const support::MachineConfig& config)
+    : module_(module),
+      trace_(trace),
+      loop_index_(loop_index),
+      config_(config),
+      memory_(std::make_unique<MemorySystem>(config)),
+      main_pipe_(std::make_unique<Pipeline>(config, *memory_)),
+      spec_pipe_(std::make_unique<Pipeline>(config, *memory_)),
+      arch_(module),
+      loop_tracker_(module) {}
+
+ThreadStats& SptMachine::loopThreadStats() {
+  return result_.loop_threads[spec_.loop_name];
+}
+
+CycleBreakdown SptMachine::specProfileSinceFork() const {
+  const CycleBreakdown& now = spec_pipe_->breakdown();
+  const CycleBreakdown& base = spec_.breakdown_at_fork;
+  CycleBreakdown delta;
+  delta.execution = now.execution - base.execution;
+  delta.pipeline_stall = now.pipeline_stall - base.pipeline_stall;
+  delta.dcache_stall = now.dcache_stall - base.dcache_stall;
+  return delta;
+}
+
+std::int64_t SptMachine::specReadReg(trace::FrameId frame, ir::Reg reg) {
+  const std::uint64_t key = Pipeline::regKey(frame, reg);
+  const auto it = spec_.rf.find(key);
+  if (it != spec_.rf.end()) return it->second;
+  if (frame == spec_.fork_frame) {
+    // Live-in read from the fork-time register context.
+    spec_.livein_reads[reg.index].push_back(spec_.srb.size());
+    return spec_.fork_rf[reg.index];
+  }
+  // Registers of frames created during speculation are zero-initialized,
+  // matching interpreter frames.
+  return 0;
+}
+
+void SptMachine::specWriteReg(trace::FrameId frame, ir::Reg reg,
+                              std::int64_t value) {
+  spec_.rf[Pipeline::regKey(frame, reg)] = value;
+}
+
+bool SptMachine::specCanStep() const {
+  return spec_.active && !spec_.wrong_path && !spec_.stalled &&
+         spec_.pos < trace_.size() &&
+         spec_.srb.size() < config_.speculation_result_buffer_entries &&
+         spec_pipe_->cycle() <= main_pipe_->cycle();
+}
+
+MachineResult SptMachine::run() {
+  while (pos_ < trace_.size()) {
+    if (specCanStep()) {
+      stepSpec();
+    } else {
+      stepMain();
+    }
+  }
+  if (spec_.active) killSpec();
+
+  main_pipe_->finish();
+  loop_tracker_.finish(main_pipe_->cycle());
+
+  result_.cycles = main_pipe_->cycle();
+  result_.instrs = main_pipe_->instrsIssued() + spec_pipe_->instrsIssued();
+  result_.breakdown = main_pipe_->breakdown();
+  result_.loops = loop_tracker_.stats();
+  result_.l1d = memory_->l1d().stats();
+  result_.l2 = memory_->l2().stats();
+  result_.l3 = memory_->l3().stats();
+  result_.branch_mispredict_ratio = main_pipe_->predictor().mispredictRatio();
+  return result_;
+}
+
+void SptMachine::stepMain() {
+  const trace::Record& r = trace_[pos_];
+
+  if (spec_.active && !spec_.wrong_path && pos_ == spec_.start_pos) {
+    arrival();
+    return;
+  }
+
+  if (r.kind != trace::RecordKind::kInstr) {
+    loop_tracker_.onMarker(r, main_pipe_->cycle());
+    ++pos_;
+    return;
+  }
+
+  if (r.op == ir::Opcode::kSptFork) {
+    executeFork(r);
+    ++pos_;
+    return;
+  }
+  executeMainInstr(r);
+  ++pos_;
+}
+
+void SptMachine::executeFork(const trace::Record& r) {
+  // The fork instruction itself plus the register-context copy (Table 1:
+  // 1 cycle minimum — the copy is assumed banked/bulk, not port-limited;
+  // our virtual-register IR would otherwise overcharge it).
+  main_pipe_->execute(makeExecInstr(module_, r));
+  main_pipe_->advanceTo(main_pipe_->cycle() + config_.rf_copy_overhead,
+                        StallKind::kPipeline);
+  arch_.apply(r);
+
+  if (spec_.active) {
+    ++result_.threads.forks_ignored;
+    return;
+  }
+
+  const std::size_t start = loop_index_.startOfFork(pos_);
+
+  // Loop attribution: the fork's target block is the loop header.
+  const auto& loc = module_.locate(r.sid);
+  const ir::Function& func = module_.function(loc.func);
+  const ir::Instr& fork = func.blocks[loc.block].instrs[loc.index];
+  const ir::StaticId header_sid =
+      func.blocks[fork.target0].instrs.front().static_id;
+
+  spec_ = SpecThread{};
+  spec_.active = true;
+  spec_.loop_name = trace::loopNameOf(module_, header_sid);
+  spec_.halloc_at_fork = arch_.hallocCount();
+  spec_.breakdown_at_fork = spec_pipe_->breakdown();
+  main_written_.clear();
+
+  ThreadStats& ts = loopThreadStats();
+  ++result_.threads.spawned;
+  ++ts.spawned;
+
+  if (start == trace::LoopIndex::kNoStart) {
+    // No next iteration exists in the trace: the speculative thread runs a
+    // wrong path we cannot replay; it occupies the core until spt_kill.
+    spec_.wrong_path = true;
+    ++result_.threads.wrong_path;
+    ++ts.wrong_path;
+    return;
+  }
+
+  spec_.start_pos = start;
+  // Loop forks start at a kIterBegin marker (skip it); region forks start
+  // directly at the target instruction.
+  spec_.pos = trace_[start].kind == trace::RecordKind::kInstr ? start
+                                                              : start + 1;
+  spec_.fork_frame = arch_.curFrame();
+  spec_.fork_rf = arch_.topRegs();
+  spec_pipe_->advanceTo(main_pipe_->cycle(), StallKind::kPipeline);
+}
+
+void SptMachine::executeMainInstr(const trace::Record& r) {
+  const ir::Instr& instr = module_.instrAt(r.sid);
+
+  if (instr.op == ir::Opcode::kSptKill) {
+    main_pipe_->execute(makeExecInstr(module_, r));
+    arch_.apply(r);
+    if (spec_.active) killSpec();
+    return;
+  }
+
+  const ExecInstr e = makeExecInstr(module_, r);
+  const std::uint64_t done = main_pipe_->execute(e);
+  const ApplyInfo info = arch_.apply(r);
+
+  if (instr.op == ir::Opcode::kCall) {
+    for (std::uint32_t p = 0; p < info.callee_params; ++p) {
+      main_pipe_->setRegReady(Pipeline::regKey(info.callee_frame, ir::Reg{p}),
+                              done, false);
+    }
+  } else if (instr.op == ir::Opcode::kRet && info.caller_dst.valid()) {
+    main_pipe_->setRegReady(
+        Pipeline::regKey(info.caller_frame, info.caller_dst), done, false);
+  }
+
+  if (!spec_.active || spec_.wrong_path) return;
+
+  // Memory dependence checking: every main store is checked against the
+  // speculative load address buffer (paper Section 3.2).
+  if (instr.op == ir::Opcode::kStore) {
+    const auto it = spec_.lab.find(r.mem_addr);
+    if (it != spec_.lab.end()) {
+      for (const std::size_t idx : it->second) {
+        spec_.srb[idx].violated = true;
+      }
+    }
+  }
+
+  // Register tracking for the scoreboard checking mode.
+  if (r.frame == spec_.fork_frame && instr.dst.valid() &&
+      ir::producesValue(instr.op)) {
+    main_written_.insert(instr.dst.index);
+  }
+}
+
+void SptMachine::stepSpec() {
+  const trace::Record& r = trace_[spec_.pos];
+  if (r.kind != trace::RecordKind::kInstr) {
+    ++spec_.pos;
+    return;
+  }
+
+  const ir::Instr& instr = module_.instrAt(r.sid);
+  SrbEntry entry;
+  entry.record_index = spec_.pos;
+
+  // Buffer-capacity stalls for stores/loads.
+  if (instr.op == ir::Opcode::kStore &&
+      spec_.ssb.size() >= config_.speculative_store_buffer_entries) {
+    spec_.stalled = true;
+    return;
+  }
+  if (instr.op == ir::Opcode::kLoad &&
+      spec_.lab.size() >= config_.load_address_buffer_entries) {
+    spec_.stalled = true;
+    return;
+  }
+
+  std::uint64_t mem_addr_override = 0;
+  bool stall_after = false;
+  bool ssb_forwarded = false;
+
+  switch (instr.op) {
+    case ir::Opcode::kConst:
+      entry.emu_value = instr.imm;
+      specWriteReg(r.frame, instr.dst, entry.emu_value);
+      break;
+    case ir::Opcode::kMov:
+      entry.emu_value = specReadReg(r.frame, instr.a);
+      specWriteReg(r.frame, instr.dst, entry.emu_value);
+      break;
+    case ir::Opcode::kLoad: {
+      const std::int64_t base = specReadReg(r.frame, instr.a);
+      const std::uint64_t addr =
+          static_cast<std::uint64_t>(base + instr.imm);
+      entry.emu_addr = addr;
+      mem_addr_override = addr;
+      const auto hit = spec_.ssb.find(addr);
+      if (hit != spec_.ssb.end()) {
+        entry.emu_value = hit->second.first;
+        ssb_forwarded = true;  // forwarded from the SSB: no cache access
+      } else {
+        spec_.lab[addr].push_back(spec_.srb.size());
+        entry.emu_value = addr == r.mem_addr
+                              ? arch_.memValue(addr, r.value)
+                              : arch_.memValue(addr, 0);
+      }
+      specWriteReg(r.frame, instr.dst, entry.emu_value);
+      break;
+    }
+    case ir::Opcode::kStore: {
+      const std::int64_t base = specReadReg(r.frame, instr.a);
+      const std::int64_t value = specReadReg(r.frame, instr.b);
+      const std::uint64_t addr =
+          static_cast<std::uint64_t>(base + instr.imm);
+      entry.emu_addr = addr;
+      entry.emu_value = value;
+      mem_addr_override = addr;
+      spec_.ssb[addr] = {value, spec_.srb.size()};
+      break;
+    }
+    case ir::Opcode::kBr:
+      break;
+    case ir::Opcode::kCondBr: {
+      const std::int64_t cond = specReadReg(r.frame, instr.a);
+      entry.emu_value = cond;
+      const bool outcome = cond != 0;
+      if (outcome != r.taken) {
+        // The speculative thread would fetch down the other path, which the
+        // sequential trace cannot provide; it stops producing results here
+        // and replay will stop at this entry.
+        entry.branch_mismatch = true;
+        stall_after = true;
+      }
+      break;
+    }
+    case ir::Opcode::kCall: {
+      const ir::Function& callee = module_.function(instr.callee);
+      for (std::size_t i = 0; i < instr.args.size(); ++i) {
+        const std::int64_t v = specReadReg(r.frame, instr.args[i]);
+        specWriteReg(r.callee_frame, ir::Reg{static_cast<std::uint32_t>(i)},
+                     v);
+      }
+      (void)callee;
+      spec_.call_stack.push_back({r.frame, instr.dst});
+      break;
+    }
+    case ir::Opcode::kRet: {
+      if (spec_.call_stack.empty()) {
+        // Returning out of the forked function: stop speculating.
+        spec_.stalled = true;
+        return;
+      }
+      const std::int64_t v =
+          instr.a.valid() ? specReadReg(r.frame, instr.a) : 0;
+      entry.emu_value = v;
+      const CallCtx ctx = spec_.call_stack.back();
+      spec_.call_stack.pop_back();
+      if (ctx.dst.valid()) specWriteReg(ctx.caller_frame, ctx.dst, v);
+      break;
+    }
+    case ir::Opcode::kHalloc:
+      // The bump allocator is shared architectural state; if the main
+      // thread allocated since the fork the speculative address is stale.
+      entry.emu_value = r.value;
+      entry.violated = arch_.hallocCount() != spec_.halloc_at_fork;
+      specWriteReg(r.frame, instr.dst, entry.emu_value);
+      break;
+    case ir::Opcode::kSptFork:
+    case ir::Opcode::kSptKill:
+    case ir::Opcode::kNop:
+      // No-ops on the speculative pipeline (paper Section 3.1).
+      break;
+    default: {
+      bool fault = false;
+      const std::int64_t a = specReadReg(r.frame, instr.a);
+      const std::int64_t b = specReadReg(r.frame, instr.b);
+      entry.emu_value = emulateBinary(instr.op, a, b, fault);
+      if (fault) {
+        entry.violated = true;
+        entry.emu_value = r.value;
+        stall_after = true;
+      }
+      specWriteReg(r.frame, instr.dst, entry.emu_value);
+      break;
+    }
+  }
+
+  ExecInstr e = makeExecInstr(module_, r, mem_addr_override);
+  // Speculative stores stay in the SSB; they only reach the shared cache
+  // at commit time. Loads satisfied by the SSB are forwarded without a
+  // cache access.
+  e.is_store = false;
+  if (ssb_forwarded) e.is_load = false;
+  spec_pipe_->execute(e);
+  spec_.srb.push_back(entry);
+  ++spec_.pos;
+  if (stall_after) spec_.stalled = true;
+}
+
+void SptMachine::arrival() {
+  SPT_CHECK(arch_.curFrame() == spec_.fork_frame);
+  ThreadStats& ts = loopThreadStats();
+
+  // Register dependence check (paper Section 3.2).
+  const std::vector<std::int64_t>& now = arch_.topRegs();
+  for (const auto& [reg, indices] : spec_.livein_reads) {
+    bool violated;
+    if (config_.register_check == support::RegisterCheckMode::kValueBased) {
+      violated = now[reg] != spec_.fork_rf[reg];
+    } else {
+      violated = main_written_.contains(reg);
+    }
+    if (violated) {
+      for (const std::size_t idx : indices) {
+        spec_.srb[idx].input_violated = true;
+      }
+    }
+  }
+
+  bool any_violation = false;
+  for (const SrbEntry& e : spec_.srb) {
+    if (e.violated || e.input_violated) {
+      any_violation = true;
+      break;
+    }
+  }
+
+  result_.threads.spec_instrs += spec_.srb.size();
+  ts.spec_instrs += spec_.srb.size();
+
+  switch (config_.recovery) {
+    case support::RecoveryMechanism::kSelectiveReplayFastCommit:
+      if (!any_violation) {
+        fastCommit();
+      } else {
+        replayCommit();
+      }
+      return;
+    case support::RecoveryMechanism::kSelectiveReplay:
+      replayCommit();
+      return;
+    case support::RecoveryMechanism::kFullSquash:
+      if (!any_violation) {
+        fastCommit();
+      } else {
+        fullSquash();
+      }
+      return;
+  }
+}
+
+void SptMachine::syncToFreezePoint() {
+  // The speculative thread is frozen at arrival; results in the buffer were
+  // produced by (at latest) the speculative pipeline's clock, so the main
+  // pipeline cannot consume them earlier. The jump inherits the speculative
+  // pipeline's cycle breakdown — it represents that pipeline's work.
+  const std::uint64_t freeze =
+      std::max(main_pipe_->cycle(), spec_pipe_->cycle());
+  main_pipe_->advanceToWithProfile(freeze, specProfileSinceFork());
+}
+
+void SptMachine::fastCommit() {
+  ThreadStats& ts = loopThreadStats();
+  syncToFreezePoint();
+  // The bulk commit costs the Table 1 minimum regardless of buffer depth —
+  // that is fast commit's whole point versus walking the buffer at replay
+  // width.
+  main_pipe_->advanceTo(main_pipe_->cycle() + config_.fast_commit_overhead,
+                        StallKind::kPipeline);
+
+  // Commit the speculative state: walk the committed record range, applying
+  // architectural effects and loop markers at commit time.
+  for (std::size_t i = spec_.start_pos; i < spec_.pos; ++i) {
+    const trace::Record& r = trace_[i];
+    if (r.kind != trace::RecordKind::kInstr) {
+      loop_tracker_.onMarker(r, main_pipe_->cycle());
+      continue;
+    }
+    const ApplyInfo info = arch_.apply(r);
+    const ir::Instr& instr = module_.instrAt(r.sid);
+    if (instr.op == ir::Opcode::kStore) {
+      // Outstanding speculative stores write back at commit.
+      memory_->accessData(r.mem_addr, main_pipe_->cycle());
+    }
+    if (instr.dst.valid() && ir::producesValue(instr.op)) {
+      main_pipe_->setRegReady(Pipeline::regKey(r.frame, instr.dst),
+                              main_pipe_->cycle(), false);
+    }
+    if (instr.op == ir::Opcode::kRet && info.caller_dst.valid()) {
+      main_pipe_->setRegReady(
+          Pipeline::regKey(info.caller_frame, info.caller_dst),
+          main_pipe_->cycle(), false);
+    }
+  }
+
+  result_.threads.committed_instrs += spec_.srb.size();
+  ts.committed_instrs += spec_.srb.size();
+  ++result_.threads.fast_commits;
+  ++ts.fast_commits;
+
+  pos_ = spec_.pos;
+  spec_.active = false;
+}
+
+void SptMachine::replayCommit() {
+  ThreadStats& ts = loopThreadStats();
+  ++result_.threads.replays;
+  ++ts.replays;
+  syncToFreezePoint();
+
+  std::unordered_set<std::uint64_t> dirty_regs;
+  std::unordered_set<std::uint64_t> dirty_addrs;
+  const bool value_based =
+      config_.register_check == support::RegisterCheckMode::kValueBased;
+
+  std::size_t srb_i = 0;
+  bool diverged = false;
+  std::size_t resume_pos = spec_.pos;
+
+  for (std::size_t rec_i = spec_.start_pos;
+       rec_i < spec_.pos && !diverged; ++rec_i) {
+    const trace::Record& r = trace_[rec_i];
+    if (r.kind != trace::RecordKind::kInstr) {
+      loop_tracker_.onMarker(r, main_pipe_->cycle());
+      continue;
+    }
+    SrbEntry& e = spec_.srb[srb_i++];
+    SPT_CHECK(e.record_index == rec_i);
+    const ir::Instr& instr = module_.instrAt(r.sid);
+
+    bool dirty = e.violated || e.input_violated;
+    if (!dirty) {
+      const auto srcDirty = [&](ir::Reg reg) {
+        return reg.valid() &&
+               dirty_regs.contains(Pipeline::regKey(r.frame, reg));
+      };
+      dirty = srcDirty(instr.a) || srcDirty(instr.b);
+      if (!dirty) {
+        for (const ir::Reg arg : instr.args) {
+          if (srcDirty(arg)) {
+            dirty = true;
+            break;
+          }
+        }
+      }
+      if (!dirty && instr.op == ir::Opcode::kLoad) {
+        dirty = dirty_addrs.contains(e.emu_addr) ||
+                dirty_addrs.contains(r.mem_addr);
+      }
+    }
+
+    const ApplyInfo info = arch_.apply(r);
+
+    if (dirty) {
+      // Selective re-execution on the main pipeline (normal width).
+      const std::uint64_t done =
+          main_pipe_->execute(makeExecInstr(module_, r));
+      ++result_.threads.misspec_instrs;
+      ++ts.misspec_instrs;
+
+      const bool value_changed =
+          e.emu_value != r.value ||
+          (instr.op == ir::Opcode::kStore && e.emu_addr != r.mem_addr) ||
+          e.branch_mismatch;
+      if (!value_based || value_changed) {
+        if (instr.dst.valid() && ir::producesValue(instr.op)) {
+          dirty_regs.insert(Pipeline::regKey(r.frame, instr.dst));
+        }
+        if (instr.op == ir::Opcode::kStore) {
+          dirty_addrs.insert(e.emu_addr);
+          dirty_addrs.insert(r.mem_addr);
+        }
+        if (instr.op == ir::Opcode::kCall) {
+          for (std::uint32_t p = 0; p < info.callee_params; ++p) {
+            dirty_regs.insert(Pipeline::regKey(info.callee_frame, ir::Reg{p}));
+          }
+        }
+        if (instr.op == ir::Opcode::kRet && info.caller_dst.valid()) {
+          dirty_regs.insert(
+              Pipeline::regKey(info.caller_frame, info.caller_dst));
+        }
+      }
+      if (instr.op == ir::Opcode::kCall) {
+        for (std::uint32_t p = 0; p < info.callee_params; ++p) {
+          main_pipe_->setRegReady(
+              Pipeline::regKey(info.callee_frame, ir::Reg{p}), done, false);
+        }
+      } else if (instr.op == ir::Opcode::kRet && info.caller_dst.valid()) {
+        main_pipe_->setRegReady(
+            Pipeline::regKey(info.caller_frame, info.caller_dst), done,
+            false);
+      }
+      if (e.branch_mismatch) {
+        // The re-executed branch goes the other way: everything after it in
+        // the buffer is wrong-path and is discarded (paper Section 3.1).
+        diverged = true;
+        resume_pos = rec_i + 1;
+      }
+    } else {
+      main_pipe_->commitFromBuffer();
+      if (instr.dst.valid() && ir::producesValue(instr.op)) {
+        main_pipe_->setRegReady(Pipeline::regKey(r.frame, instr.dst),
+                                main_pipe_->cycle(), false);
+      }
+      if (instr.op == ir::Opcode::kStore) {
+        memory_->accessData(r.mem_addr, main_pipe_->cycle());
+      }
+      ++result_.threads.committed_instrs;
+      ++ts.committed_instrs;
+    }
+  }
+
+  pos_ = diverged ? resume_pos : spec_.pos;
+  spec_.active = false;
+}
+
+void SptMachine::fullSquash() {
+  ThreadStats& ts = loopThreadStats();
+  ++result_.threads.squashes;
+  ++ts.squashes;
+  result_.threads.misspec_instrs += spec_.srb.size();
+  ts.misspec_instrs += spec_.srb.size();
+  main_pipe_->advanceTo(main_pipe_->cycle() + config_.fast_commit_overhead,
+                        StallKind::kPipeline);
+  pos_ = spec_.start_pos;  // re-execute the whole speculative span normally
+  spec_.active = false;
+}
+
+void SptMachine::killSpec() {
+  ThreadStats& ts = loopThreadStats();
+  ++result_.threads.killed;
+  ++ts.killed;
+  result_.threads.spec_instrs += spec_.srb.size();
+  ts.spec_instrs += spec_.srb.size();
+  result_.threads.misspec_instrs += spec_.srb.size();
+  ts.misspec_instrs += spec_.srb.size();
+  spec_.active = false;
+}
+
+}  // namespace spt::sim

@@ -1,0 +1,120 @@
+// The two-pipeline SPT machine (paper Section 3).
+//
+// Trace-driven co-simulation of the main and speculative pipelines over the
+// sequential trace:
+//  * the main pipeline executes trace records in order;
+//  * `spt_fork` spawns a speculative thread at the next iteration's
+//    start-point (resolved by trace::LoopIndex); the register context copy
+//    costs rf_copy_overhead cycles;
+//  * the speculative pipeline runs ahead whenever its clock is behind the
+//    main clock, emulating every instruction on the fork-time register
+//    snapshot — so speculative values, and therefore misspeculation, are
+//    exact rather than modeled probabilistically;
+//  * speculative stores go to the speculative store buffer; speculative
+//    loads look it up first and otherwise register in the load address
+//    buffer, which every later main-thread store checks (memory dependence
+//    checking, Section 3.2);
+//  * when the main thread arrives at the start-point, registers are checked
+//    (value-based or scoreboard mode) and the thread is fast-committed,
+//    selectively replayed (correct entries commit at replay width, dirty
+//    entries re-execute; a mismatching re-executed branch stops replay), or
+//    fully squashed, per the configured recovery mechanism;
+//  * a speculative thread is frozen at arrival; it also stops on its own at
+//    a mismatching branch (wrong path), a division fault, a full SSB/LAB,
+//    or when it would return out of the forked function.
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "ir/module.h"
+#include "sim/arch_state.h"
+#include "sim/baseline.h"
+#include "sim/loop_tracker.h"
+#include "sim/result.h"
+#include "support/machine_config.h"
+#include "trace/trace.h"
+
+namespace spt::sim {
+
+class SptMachine {
+ public:
+  SptMachine(const ir::Module& module, const trace::TraceBuffer& trace,
+             const trace::LoopIndex& loop_index,
+             const support::MachineConfig& config);
+
+  MachineResult run();
+
+ private:
+  struct SrbEntry {
+    std::size_t record_index = 0;
+    std::int64_t emu_value = 0;
+    std::uint64_t emu_addr = 0;
+    bool violated = false;         // LAB hit / allocator race / fault
+    bool input_violated = false;   // register check at arrival
+    bool branch_mismatch = false;  // emulated direction != trace direction
+  };
+
+  struct CallCtx {
+    trace::FrameId caller_frame = 0;
+    ir::Reg dst;
+  };
+
+  struct SpecThread {
+    bool active = false;
+    bool wrong_path = false;
+    bool stalled = false;
+    std::size_t start_pos = 0;
+    std::size_t pos = 0;
+    trace::FrameId fork_frame = 0;
+    std::vector<std::int64_t> fork_rf;
+    std::unordered_map<std::uint64_t, std::int64_t> rf;  // emulated overlay
+    std::unordered_map<std::uint64_t, std::pair<std::int64_t, std::size_t>>
+        ssb;  // addr -> (value, producing SRB index)
+    std::unordered_map<std::uint64_t, std::vector<std::size_t>> lab;
+    std::unordered_map<std::uint32_t, std::vector<std::size_t>> livein_reads;
+    std::vector<SrbEntry> srb;
+    std::vector<CallCtx> call_stack;
+    std::uint64_t halloc_at_fork = 0;
+    CycleBreakdown breakdown_at_fork;
+    std::string loop_name;
+  };
+
+  void stepMain();
+  void stepSpec();
+  bool specCanStep() const;
+  void executeFork(const trace::Record& record);
+  void executeMainInstr(const trace::Record& record);
+  void arrival();
+  void syncToFreezePoint();
+  void fastCommit();
+  void replayCommit();
+  void fullSquash();
+  void killSpec();
+
+  std::int64_t specReadReg(trace::FrameId frame, ir::Reg reg);
+  void specWriteReg(trace::FrameId frame, ir::Reg reg, std::int64_t value);
+
+  ThreadStats& loopThreadStats();
+  CycleBreakdown specProfileSinceFork() const;
+
+  const ir::Module& module_;
+  const trace::TraceBuffer& trace_;
+  const trace::LoopIndex& loop_index_;
+  const support::MachineConfig& config_;
+
+  std::unique_ptr<MemorySystem> memory_;
+  std::unique_ptr<Pipeline> main_pipe_;
+  std::unique_ptr<Pipeline> spec_pipe_;
+  ArchState arch_;
+  LoopCycleTracker loop_tracker_;
+
+  std::size_t pos_ = 0;  // main thread's next record
+  SpecThread spec_;
+  std::unordered_set<std::uint32_t> main_written_;  // fork-frame regs
+  MachineResult result_;
+};
+
+}  // namespace spt::sim

@@ -1,0 +1,162 @@
+#include "spt/cost_model.h"
+
+#include <algorithm>
+
+#include "support/check.h"
+
+namespace spt::compiler {
+namespace {
+
+constexpr double kSvpPredictorCost = 2.0;  // const + add before the fork
+constexpr double kSvpCheckCost = 2.0;      // cmp + branch after the def
+constexpr double kSvpFixupCost = 1.0;      // mov on misprediction
+
+double clamp01(double p) { return p < 0.0 ? 0.0 : (p > 1.0 ? 1.0 : p); }
+
+}  // namespace
+
+CostResult evaluatePartition(const LoopAnalysis& loop,
+                             const Partition& partition,
+                             const CompilerOptions& options) {
+  SPT_CHECK(partition.actions.size() == loop.deps.size());
+  CostResult result;
+
+  // --- Pre-fork cost: header statements run sequentially by position; the
+  // hoisted slices (union — shared slice statements are counted once) and
+  // SVP predictors join them.
+  std::vector<bool> hoisted(loop.stmts.size(), false);
+  double svp_overhead_iter = 0.0;
+  double svp_prefork = 0.0;
+  for (std::size_t d = 0; d < loop.deps.size(); ++d) {
+    const CarriedDep& dep = loop.deps[d];
+    switch (partition.actions[d]) {
+      case DepAction::kLeave:
+        break;
+      case DepAction::kHoist:
+        SPT_CHECK_MSG(dep.movable, "kHoist on an immovable dependence");
+        for (const std::size_t s : dep.slice) hoisted[s] = true;
+        break;
+      case DepAction::kSvp:
+        SPT_CHECK_MSG(dep.svp_applicable, "kSvp on a non-SVP dependence");
+        svp_prefork += kSvpPredictorCost + 1.0;  // predictor + body-top mov
+        svp_overhead_iter += kSvpPredictorCost + 1.0 + kSvpCheckCost +
+                             dep.svp_mispredict * kSvpFixupCost;
+        break;
+    }
+  }
+  result.prefork_cost = loop.header_cost + svp_prefork;
+  for (std::size_t s = 0; s < loop.stmts.size(); ++s) {
+    if (hoisted[s]) result.prefork_cost += loop.stmts[s].cost;
+  }
+
+  result.iter_cost = loop.iter_cost + svp_overhead_iter;
+
+  // --- Cost graph: direct violation seeds on consumers.
+  std::vector<double> direct(loop.stmts.size(), 0.0);
+  for (std::size_t d = 0; d < loop.deps.size(); ++d) {
+    const CarriedDep& dep = loop.deps[d];
+    double p = 0.0;
+    switch (partition.actions[d]) {
+      case DepAction::kLeave:
+        p = dep.probability;
+        break;
+      case DepAction::kHoist:
+        p = 0.0;  // satisfied: the source runs before the fork
+        break;
+      case DepAction::kSvp:
+        p = dep.probability * dep.svp_mispredict;
+        break;
+    }
+    if (p <= 0.0) continue;
+    for (const std::size_t c : dep.consumers) {
+      // Independent-sources combination.
+      direct[c] = 1.0 - (1.0 - direct[c]) * (1.0 - clamp01(p));
+    }
+  }
+
+  // --- Topological propagation (statements are already in topological
+  // order): P(c) = 1 - (1-direct) * Π over producers x (1 - P(x)·p(x→c)).
+  std::vector<double> reexec(loop.stmts.size(), 0.0);
+  for (std::size_t i = 0; i < loop.stmts.size(); ++i) {
+    reexec[i] = direct[i];
+  }
+  for (std::size_t x = 0; x < loop.stmts.size(); ++x) {
+    if (reexec[x] <= 0.0) continue;
+    for (const std::size_t y : loop.uses_of[x]) {
+      const double rx = loop.stmts[x].reach;
+      const double ry = loop.stmts[y].reach;
+      const double edge_p = rx <= 0.0 ? 1.0 : clamp01(ry / rx);
+      const double via = clamp01(reexec[x] * edge_p);
+      reexec[y] = 1.0 - (1.0 - reexec[y]) * (1.0 - via);
+    }
+  }
+
+  result.misspec_cost = 0.0;
+  for (std::size_t i = 0; i < loop.stmts.size(); ++i) {
+    result.misspec_cost += reexec[i] * loop.stmts[i].cost;
+  }
+  // Callee-internal consumers: profiled re-execution tails.
+  for (std::size_t d = 0; d < loop.deps.size(); ++d) {
+    const CarriedDep& dep = loop.deps[d];
+    if (dep.tail_cost <= 0.0) continue;
+    double residual = 0.0;
+    switch (partition.actions[d]) {
+      case DepAction::kLeave:
+        residual = dep.probability;
+        break;
+      case DepAction::kHoist:
+        residual = 0.0;
+        break;
+      case DepAction::kSvp:
+        residual = dep.probability * dep.svp_mispredict;
+        break;
+    }
+    result.misspec_cost += residual * dep.tail_cost;
+  }
+
+  // --- Selection model. Steady state with one speculative thread running
+  // one iteration ahead: per committed pair of iterations the machine pays
+  // the sequential iteration, the pre-fork region, the expected
+  // re-execution, and the thread overheads.
+  const double T = result.iter_cost;
+  const double A = result.prefork_cost + options.fork_overhead;
+  const double M = result.misspec_cost;
+  const double C = options.commit_overhead;
+  result.feasible =
+      result.prefork_cost <= options.max_prefork_fraction * T;
+
+  // Probability that a random speculative thread suffers at least one
+  // violation: it then pays the replay walk (committed entries retire at
+  // replay width) plus the re-execution M, instead of a bulk fast commit.
+  double p_clean = 1.0;
+  for (std::size_t d = 0; d < loop.deps.size(); ++d) {
+    const CarriedDep& dep = loop.deps[d];
+    double residual = 0.0;
+    switch (partition.actions[d]) {
+      case DepAction::kLeave:
+        residual = dep.probability;
+        break;
+      case DepAction::kHoist:
+        residual = 0.0;
+        break;
+      case DepAction::kSvp:
+        residual = dep.probability * dep.svp_mispredict;
+        break;
+    }
+    p_clean *= 1.0 - clamp01(residual);
+  }
+  const double p_violate = 1.0 - p_clean;
+  const double replay_walk = T / options.replay_width;
+  const double recovery = C + p_violate * (replay_walk + M);
+
+  const double n = std::max(loop.avg_trip, 1.0);
+  const double pair_time = T + A + recovery;  // two iterations
+  // The sequential reference runs the *original* body: SVP instrumentation
+  // only exists in the SPT version.
+  const double seq_time = n * loop.iter_cost;
+  const double par_time = T + (n - 1.0) * pair_time / 2.0;
+  result.est_speedup = par_time <= 0.0 ? 0.0 : seq_time / par_time - 1.0;
+  return result;
+}
+
+}  // namespace spt::compiler

@@ -1,0 +1,42 @@
+// Misspeculation cost model (paper Section 4.1, Equation 1).
+//
+// Given a partition — a decision per cross-iteration dependence (leave in
+// the post-fork region, hoist its source pre-fork, or software-value-
+// predict it) — the model builds the cost graph over the loop's statements,
+// walks it in topological order computing each node's re-execution
+// probability P(c), and returns  misspeculation_cost = Σ P(c)·Cost(c)
+// plus the pre-fork cost and the estimated loop speedup used for selection.
+#pragma once
+
+#include <vector>
+
+#include "spt/loop_analysis.h"
+
+namespace spt::compiler {
+
+enum class DepAction : std::uint8_t {
+  kLeave,  // source stays post-fork: dependence may violate
+  kHoist,  // source's slice moves pre-fork: dependence satisfied
+  kSvp,    // software value prediction reduces the probability
+};
+
+struct Partition {
+  /// One action per LoopAnalysis::deps entry.
+  std::vector<DepAction> actions;
+};
+
+struct CostResult {
+  double misspec_cost = 0.0;  // Eq. 1 over the cost graph
+  double prefork_cost = 0.0;  // header + hoisted slices + SVP predictors
+  double iter_cost = 0.0;     // expected cycles per iteration (with SVP ovh)
+  double est_speedup = 0.0;   // fractional (0.35 == +35%)
+  bool feasible = false;      // pre-fork region within the Amdahl bound
+};
+
+/// Evaluates one partition. Actions must be legal (kHoist only on movable
+/// deps, kSvp only on svp_applicable deps).
+CostResult evaluatePartition(const LoopAnalysis& loop,
+                             const Partition& partition,
+                             const CompilerOptions& options);
+
+}  // namespace spt::compiler

@@ -1,0 +1,50 @@
+// The two-pass SPT compilation driver (paper Section 4.1).
+//
+// Pass 1: profile the sequential program; select loop candidates by shape,
+// body size, trip count and coverage; apply unrolling preprocessing;
+// identify SVP value-profiling candidates and run the value-profiling pass;
+// search each candidate's optimal partition. Pass 2: select all good (and
+// only good) loops by estimated speedup and apply the SPT transformation.
+#pragma once
+
+#include <unordered_set>
+
+#include "profile/profile_data.h"
+#include "spt/options.h"
+#include "spt/plan.h"
+
+namespace spt::compiler {
+
+/// How the driver obtains profiles: the harness runs the interpreter over
+/// the workload's input; tests may stub it.
+class ProfileRunner {
+ public:
+  virtual ~ProfileRunner() = default;
+  virtual profile::ProfileData run(
+      const ir::Module& module,
+      const std::unordered_set<ir::StaticId>& value_candidates) = 0;
+};
+
+class SptCompiler {
+ public:
+  explicit SptCompiler(CompilerOptions options = {})
+      : options_(options) {}
+
+  const CompilerOptions& options() const { return options_; }
+
+  /// Runs both passes, transforming `module` in place (the caller keeps a
+  /// pristine copy as the baseline). The module is finalized and verified
+  /// on return. If unrolling was applied to loops that pass 2 then
+  /// rejected, compilation restarts from the pristine module with those
+  /// loops on an unroll deny-list — preprocessing must not degrade loops
+  /// that end up untransformed.
+  SptPlan compile(ir::Module& module, ProfileRunner& runner);
+
+ private:
+  SptPlan compileOnce(ir::Module& module, ProfileRunner& runner,
+                      const std::unordered_set<std::string>& deny_unroll);
+
+  CompilerOptions options_;
+};
+
+}  // namespace spt::compiler

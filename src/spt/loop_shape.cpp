@@ -1,0 +1,160 @@
+#include "spt/loop_shape.h"
+
+#include <algorithm>
+
+#include "support/check.h"
+#include "trace/trace.h"
+
+namespace spt::compiler {
+
+bool LoopShape::isMandatory(ir::BlockId b) const {
+  return std::binary_search(mandatory_blocks.begin(), mandatory_blocks.end(),
+                            b);
+}
+
+LoopShape recognizeLoop(const ir::Module& module, const ir::Function& func,
+                        const analysis::Cfg& cfg,
+                        const analysis::LoopForest& forest,
+                        analysis::LoopId loop_id) {
+  const analysis::Loop& loop = forest.loop(loop_id);
+  LoopShape shape;
+  shape.func = func.id;
+  shape.header = loop.header;
+  shape.header_sid = func.blocks[loop.header].instrs.front().static_id;
+  shape.name = trace::loopNameOf(module, shape.header_sid);
+
+  const auto reject = [&](std::string reason) {
+    shape.transformable = false;
+    shape.reject_reason = std::move(reason);
+    return shape;
+  };
+
+  // Innermost only.
+  for (const analysis::Loop& other : forest.loops()) {
+    if (other.id != loop_id && other.parent == loop_id) {
+      return reject("contains inner loop");
+    }
+  }
+
+  // Header must end in a conditional branch with exactly one exit.
+  const ir::Instr& hterm = func.blocks[loop.header].terminator();
+  if (hterm.op != ir::Opcode::kCondBr) {
+    return reject("header does not end in a conditional exit test");
+  }
+  const bool t0_in = loop.contains(hterm.target0);
+  const bool t1_in = loop.contains(hterm.target1);
+  if (t0_in == t1_in) {
+    return reject(t0_in ? "header branch never exits"
+                        : "header branch always exits");
+  }
+  shape.exit_on_taken = !t0_in;
+  shape.body_entry = t0_in ? hterm.target0 : hterm.target1;
+  shape.exit_block = t0_in ? hterm.target1 : hterm.target0;
+
+  // All exits must come from the header; all body terminators stay inside.
+  for (const auto& [from, to] : loop.exit_edges) {
+    (void)to;
+    if (from != loop.header) return reject("side exit from loop body");
+  }
+
+  // No rets or pre-existing SPT instructions inside; collect statements.
+  for (const ir::BlockId b : loop.blocks) {
+    for (const ir::Instr& instr : func.blocks[b].instrs) {
+      if (instr.op == ir::Opcode::kRet) return reject("ret inside loop");
+      if (instr.op == ir::Opcode::kSptFork ||
+          instr.op == ir::Opcode::kSptKill) {
+        return reject("already SPT-transformed");
+      }
+    }
+  }
+
+  // Topological order of loop blocks (header first, ignoring back edges).
+  // Loop blocks form a DAG once back edges to the header are dropped.
+  std::vector<ir::BlockId> order;
+  {
+    std::vector<ir::BlockId> in_loop_sorted = loop.blocks;
+    std::sort(in_loop_sorted.begin(), in_loop_sorted.end());
+    const auto inLoop = [&](ir::BlockId b) {
+      return std::binary_search(in_loop_sorted.begin(), in_loop_sorted.end(),
+                                b);
+    };
+    // Kahn's algorithm over in-loop forward edges.
+    std::vector<std::uint32_t> indegree(func.blocks.size(), 0);
+    for (const ir::BlockId b : loop.blocks) {
+      for (const ir::BlockId s : cfg.succs(b)) {
+        if (inLoop(s) && s != loop.header) ++indegree[s];
+      }
+    }
+    std::vector<ir::BlockId> ready{loop.header};
+    while (!ready.empty()) {
+      const ir::BlockId b = ready.back();
+      ready.pop_back();
+      order.push_back(b);
+      for (const ir::BlockId s : cfg.succs(b)) {
+        if (inLoop(s) && s != loop.header && --indegree[s] == 0) {
+          ready.push_back(s);
+        }
+      }
+    }
+    if (order.size() != loop.blocks.size()) {
+      return reject("irreducible body (unexpected cycle without header)");
+    }
+  }
+  shape.blocks = order;
+
+  // Mandatory blocks: on every body-entry-to-header path. Block b is
+  // mandatory iff the header is unreachable from the body entry when b is
+  // removed (header and body entry are trivially mandatory).
+  {
+    std::vector<ir::BlockId> sorted = loop.blocks;
+    std::sort(sorted.begin(), sorted.end());
+    const auto inLoop = [&](ir::BlockId b) {
+      return std::binary_search(sorted.begin(), sorted.end(), b);
+    };
+    for (const ir::BlockId b : sorted) {
+      if (b == loop.header || b == shape.body_entry) {
+        shape.mandatory_blocks.push_back(b);
+        continue;
+      }
+      // DFS from the body entry avoiding b; mandatory iff the header is
+      // not reached.
+      std::vector<ir::BlockId> work{shape.body_entry};
+      std::vector<bool> seen(func.blocks.size(), false);
+      seen[shape.body_entry] = true;
+      bool header_reached = false;
+      while (!work.empty() && !header_reached) {
+        const ir::BlockId cur = work.back();
+        work.pop_back();
+        for (const ir::BlockId s : cfg.succs(cur)) {
+          if (s == loop.header) {
+            header_reached = true;
+            break;
+          }
+          if (s == b || !inLoop(s) || seen[s]) continue;
+          seen[s] = true;
+          work.push_back(s);
+        }
+      }
+      if (!header_reached) shape.mandatory_blocks.push_back(b);
+    }
+  }
+
+  // Statements: header first, then body blocks in topological order.
+  const auto addBlockStmts = [&](ir::BlockId b) {
+    const auto& instrs = func.blocks[b].instrs;
+    for (std::uint32_t i = 0; i + 1 < instrs.size() + 1; ++i) {
+      if (ir::isTerminator(instrs[i].op)) continue;
+      shape.stmts.push_back({b, i});
+    }
+  };
+  addBlockStmts(loop.header);
+  shape.header_stmt_count = shape.stmts.size();
+  for (const ir::BlockId b : order) {
+    if (b != loop.header) addBlockStmts(b);
+  }
+
+  shape.transformable = true;
+  return shape;
+}
+
+}  // namespace spt::compiler

@@ -1,0 +1,69 @@
+// Canonical loop-shape recognition for SPT transformation.
+//
+// The SPT compiler transforms innermost natural loops in top-test shape:
+//
+//   H (header):  <stmts> ; condbr c, BODY..., EXIT   (either polarity)
+//   body blocks: a branching DAG, every path ending with br H (latches)
+//
+// Loops that do not fit (inner loops, side exits, rets, existing SPT
+// instructions, non-condbr headers) are recognized but marked untransformable
+// with a reason — they still participate in coverage statistics.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/cfg.h"
+#include "analysis/defuse.h"
+#include "analysis/dominators.h"
+#include "analysis/loops.h"
+#include "ir/module.h"
+
+namespace spt::compiler {
+
+/// A statement position inside the loop (block + instruction index).
+struct StmtRef {
+  ir::BlockId block = ir::kInvalidBlock;
+  std::uint32_t index = 0;
+
+  bool operator==(const StmtRef&) const = default;
+  auto operator<=>(const StmtRef&) const = default;
+};
+
+struct LoopShape {
+  bool transformable = false;
+  std::string reject_reason;
+
+  ir::FuncId func = ir::kInvalidFunc;
+  ir::BlockId header = ir::kInvalidBlock;
+  ir::StaticId header_sid = ir::kInvalidStaticId;  // loop identity
+  std::string name;  // "func.label"
+
+  ir::BlockId body_entry = ir::kInvalidBlock;
+  ir::BlockId exit_block = ir::kInvalidBlock;  // H's out-of-loop successor
+  bool exit_on_taken = false;  // true when condbr's taken side leaves
+
+  /// All loop blocks in topological order (header first).
+  std::vector<ir::BlockId> blocks;
+  /// Blocks executed on *every* path from the body entry back to the
+  /// header (sorted). Statements here run exactly once per iteration, so
+  /// they are eligible for pre-fork hoisting and SVP.
+  std::vector<ir::BlockId> mandatory_blocks;
+  /// Statements of the loop body in program order: header statements
+  /// (always pre-fork) followed by body-block statements. Terminators are
+  /// excluded.
+  std::vector<StmtRef> stmts;
+  /// Number of leading `stmts` that live in the header.
+  std::size_t header_stmt_count = 0;
+
+  bool isMandatory(ir::BlockId b) const;
+};
+
+/// Recognizes the shape of loop `loop_id` of `func`. Always fills identity
+/// fields; `transformable` tells whether the transformation supports it.
+LoopShape recognizeLoop(const ir::Module& module, const ir::Function& func,
+                        const analysis::Cfg& cfg,
+                        const analysis::LoopForest& forest,
+                        analysis::LoopId loop_id);
+
+}  // namespace spt::compiler

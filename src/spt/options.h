@@ -1,0 +1,61 @@
+// SPT compiler options (selection thresholds, cost-model constants).
+#pragma once
+
+#include <cstdint>
+
+namespace spt::compiler {
+
+struct CompilerOptions {
+  // ---- Pass-1 candidate filters (paper Section 4.1 "simple selection
+  // criteria like loop body size and trip count").
+  double min_avg_body_size = 4.0;
+  double max_avg_body_size = 1000.0;  // paper Section 5.3 (gap uses 2500)
+  double min_avg_trip_count = 3.0;
+  /// Loops below this fraction of total execution are not worth the
+  /// threading overhead bookkeeping.
+  double min_coverage = 0.001;
+
+  // ---- Partition search.
+  /// Pre-fork region must stay below this fraction of the iteration cost
+  /// (Amdahl constraint, paper Section 4).
+  double max_prefork_fraction = 0.5;
+  /// Search effort bound: maximum violation candidates enumerated
+  /// exhaustively; beyond this a greedy order is used.
+  std::uint32_t max_search_candidates = 16;
+
+  // ---- Software value prediction (paper Section 4.4).
+  bool enable_svp = true;
+  /// Minimum profiled predictability for a stride predictor to be emitted.
+  double svp_min_predictability = 0.75;
+
+  // ---- Loop unrolling preprocessing (paper Section 4.1).
+  bool enable_unrolling = true;
+  /// Bodies smaller than this (average dynamic instructions) are unrolled
+  /// until they exceed it or the factor cap is hit.
+  double unroll_body_threshold = 12.0;
+  std::uint32_t max_unroll_factor = 4;
+
+  // ---- Pass-2 selection.
+  /// Estimated speedup a loop must exceed to be transformed.
+  double min_estimated_speedup = 0.05;
+  /// When false, the cost model is bypassed and every transformable
+  /// candidate is selected (ablation).
+  bool cost_driven_selection = true;
+
+  // ---- Region-based speculation (paper Section 6; an extension, off by
+  // default like the paper leaves it to future work).
+  bool enable_region_speculation = false;
+  /// Minimum straight-line block cost worth splitting.
+  double region_min_cost = 120.0;
+  /// Weight of the cross-half register-dependence penalty.
+  double region_penalty_weight = 2.0;
+  /// Minimum estimated overlap benefit to apply a split.
+  double region_min_benefit = 30.0;
+
+  // ---- Cost-model constants (cycles, mirroring the machine config).
+  double fork_overhead = 2.0;    // spt_fork + RF copy
+  double commit_overhead = 5.0;  // fast commit
+  double replay_width = 12.0;    // SRB entries retired per replay cycle
+};
+
+}  // namespace spt::compiler

@@ -1,0 +1,142 @@
+#include "spt/partition_search.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "support/check.h"
+
+namespace spt::compiler {
+namespace {
+
+std::vector<DepAction> legalActions(const CarriedDep& dep,
+                                    const CompilerOptions& options) {
+  std::vector<DepAction> actions{DepAction::kLeave};
+  if (dep.movable) actions.push_back(DepAction::kHoist);
+  if (dep.svp_applicable && options.enable_svp) {
+    actions.push_back(DepAction::kSvp);
+  }
+  return actions;
+}
+
+/// Violation weight: how much re-execution the dependence is likely to
+/// cause if left in the post-fork region (used to order the search).
+double depWeight(const LoopAnalysis& loop, const CarriedDep& dep) {
+  double consumer_cost = 0.0;
+  for (const std::size_t c : dep.consumers) {
+    consumer_cost += loop.stmts[c].cost;
+  }
+  return dep.probability * (1.0 + consumer_cost);
+}
+
+class Searcher {
+ public:
+  Searcher(const LoopAnalysis& loop, const CompilerOptions& options)
+      : loop_(loop), options_(options) {}
+
+  SearchResult run() {
+    const std::size_t n = loop_.deps.size();
+    choices_.resize(n);
+    std::uint64_t combos = 1;
+    for (std::size_t d = 0; d < n; ++d) {
+      choices_[d] = legalActions(loop_.deps[d], options_);
+      combos = std::min<std::uint64_t>(combos * choices_[d].size(), 1u << 20);
+    }
+
+    best_.partition.actions.assign(n, DepAction::kLeave);
+    best_.cost = evaluatePartition(loop_, best_.partition, options_);
+    ++best_.evaluated;
+
+    if (combos <= kExhaustiveLimit && n <= options_.max_search_candidates) {
+      Partition current;
+      current.actions.assign(n, DepAction::kLeave);
+      enumerate(current, 0, /*prefork_so_far=*/loop_.header_cost);
+    } else {
+      greedy();
+    }
+    return best_;
+  }
+
+ private:
+  static constexpr std::uint64_t kExhaustiveLimit = 4096;
+
+  bool better(const CostResult& a, const CostResult& b) const {
+    // Feasible beats infeasible; then higher estimated speedup; then lower
+    // misspeculation cost (the paper's primary objective) as tiebreak.
+    if (a.feasible != b.feasible) return a.feasible;
+    if (a.est_speedup != b.est_speedup) return a.est_speedup > b.est_speedup;
+    return a.misspec_cost < b.misspec_cost;
+  }
+
+  void consider(const Partition& partition) {
+    const CostResult cost = evaluatePartition(loop_, partition, options_);
+    ++best_.evaluated;
+    if (better(cost, best_.cost)) {
+      best_.partition = partition;
+      best_.cost = cost;
+    }
+  }
+
+  void enumerate(Partition& current, std::size_t d, double prefork_so_far) {
+    if (d == loop_.deps.size()) {
+      consider(current);
+      return;
+    }
+    for (const DepAction action : choices_[d]) {
+      double next_prefork = prefork_so_far;
+      if (action == DepAction::kHoist) {
+        // Size-bounding function: hoisting only grows the pre-fork region,
+        // so once past the Amdahl bound the whole subtree is infeasible.
+        next_prefork += loop_.deps[d].slice_cost;
+        if (next_prefork > options_.max_prefork_fraction * loop_.iter_cost) {
+          continue;
+        }
+      }
+      current.actions[d] = action;
+      enumerate(current, d + 1, next_prefork);
+    }
+    current.actions[d] = DepAction::kLeave;
+  }
+
+  void greedy() {
+    // Deps in decreasing violation weight; take the best local action for
+    // each, keeping earlier decisions fixed.
+    std::vector<std::size_t> order(loop_.deps.size());
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      return depWeight(loop_, loop_.deps[a]) >
+             depWeight(loop_, loop_.deps[b]);
+    });
+    Partition current = best_.partition;
+    for (const std::size_t d : order) {
+      Partition trial = current;
+      CostResult best_local = evaluatePartition(loop_, current, options_);
+      ++best_.evaluated;
+      DepAction best_action = current.actions[d];
+      for (const DepAction action : choices_[d]) {
+        trial.actions[d] = action;
+        const CostResult cost = evaluatePartition(loop_, trial, options_);
+        ++best_.evaluated;
+        if (better(cost, best_local)) {
+          best_local = cost;
+          best_action = action;
+        }
+      }
+      current.actions[d] = best_action;
+    }
+    consider(current);
+  }
+
+  const LoopAnalysis& loop_;
+  const CompilerOptions& options_;
+  std::vector<std::vector<DepAction>> choices_;
+  SearchResult best_;
+};
+
+}  // namespace
+
+SearchResult searchOptimalPartition(const LoopAnalysis& loop,
+                                    const CompilerOptions& options) {
+  return Searcher(loop, options).run();
+}
+
+}  // namespace spt::compiler

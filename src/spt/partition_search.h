@@ -1,0 +1,28 @@
+// Optimal loop partition search (paper Section 4.2).
+//
+// The search enumerates combinations of violation candidates (not of loop
+// statements — the partition is uniquely decided by which candidates move
+// pre-fork), pruned by the two monotone constraint functions the paper
+// describes: the size-bounding function (adding a hoist only grows the
+// pre-fork region) and the cost-bounding function (adding a hoist only
+// shrinks the misspeculation cost).
+#pragma once
+
+#include "spt/cost_model.h"
+
+namespace spt::compiler {
+
+struct SearchResult {
+  Partition partition;
+  CostResult cost;
+  std::uint64_t evaluated = 0;  // cost-model evaluations performed
+};
+
+/// Finds the partition with the best estimated speedup among feasible ones
+/// (pre-fork region within the Amdahl bound). Deps beyond
+/// options.max_search_candidates (ordered by violation weight) are fixed
+/// greedily instead of enumerated.
+SearchResult searchOptimalPartition(const LoopAnalysis& loop,
+                                    const CompilerOptions& options);
+
+}  // namespace spt::compiler

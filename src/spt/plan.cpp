@@ -1,0 +1,75 @@
+#include "spt/plan.h"
+
+#include "support/stats.h"
+#include "support/table.h"
+
+namespace spt::compiler {
+
+std::size_t SptPlan::candidateCount() const {
+  std::size_t n = 0;
+  for (const auto& entry : loops) n += entry.candidate;
+  return n;
+}
+
+std::size_t SptPlan::selectedCount() const {
+  std::size_t n = 0;
+  for (const auto& entry : loops) n += entry.selected;
+  return n;
+}
+
+double SptPlan::selectedCoverage() const {
+  double c = 0.0;
+  for (const auto& entry : loops) {
+    if (entry.selected) c += entry.coverage;
+  }
+  return c;
+}
+
+void SptPlan::print(std::ostream& os) const {
+  support::Table table("SPT compilation plan");
+  table.setHeader({"loop", "coverage", "body", "trip", "deps", "actions",
+                   "misspec", "prefork", "est.speedup", "status"});
+  for (const auto& entry : loops) {
+    std::string actions;
+    for (const DepAction a : entry.actions) {
+      actions += a == DepAction::kLeave  ? 'L'
+                 : a == DepAction::kHoist ? 'H'
+                                          : 'S';
+    }
+    std::string status;
+    if (entry.transformed) {
+      status = "SPT " + entry.transform_detail;
+      if (entry.unroll_factor > 1) {
+        status += " unroll=" + std::to_string(entry.unroll_factor);
+      }
+    } else if (entry.selected) {
+      status = "selected (not applied): " + entry.reject_reason;
+    } else {
+      status = entry.reject_reason.empty() ? "not selected"
+                                           : entry.reject_reason;
+    }
+    table.addRow({entry.name, support::percent(entry.coverage, 1.0),
+                  support::fixed(entry.avg_body_size, 1),
+                  support::fixed(entry.avg_trip, 1),
+                  std::to_string(entry.dep_count), actions,
+                  support::fixed(entry.cost.misspec_cost, 2),
+                  support::fixed(entry.cost.prefork_cost, 2),
+                  support::percent(entry.cost.est_speedup, 1.0), status});
+  }
+  table.print(os);
+
+  if (!regions.empty()) {
+    support::Table rt("Region-based speculation (Section 6 extension)");
+    rt.setHeader({"region", "prefix cost", "suffix cost", "dep penalty",
+                  "status"});
+    for (const auto& region : regions) {
+      rt.addRow({region.name, support::fixed(region.prefix_cost, 1),
+                 support::fixed(region.suffix_cost, 1),
+                 support::fixed(region.dependence_penalty, 1),
+                 region.applied ? "split" : "skipped"});
+    }
+    rt.print(os);
+  }
+}
+
+}  // namespace spt::compiler

@@ -1,0 +1,55 @@
+// The SPT compilation plan: one entry per loop, mirroring the output of
+// the paper's first compilation pass (Section 4.1) that the second pass
+// reads back to select and transform the good loops.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "spt/cost_model.h"
+#include "spt/region_speculation.h"
+
+namespace spt::compiler {
+
+struct LoopPlanEntry {
+  std::string name;
+  ir::FuncId func = ir::kInvalidFunc;
+  ir::StaticId header_sid = ir::kInvalidStaticId;
+
+  // Profile summary (pass 1 filters).
+  double coverage = 0.0;
+  double avg_body_size = 0.0;
+  double avg_trip = 0.0;
+
+  bool candidate = false;        // passed the pass-1 filters & shape check
+  std::string reject_reason;     // set when !candidate / !transformed
+  int unroll_factor = 1;
+
+  // Partition search outcome.
+  std::size_t dep_count = 0;
+  std::vector<DepAction> actions;
+  CostResult cost;
+  std::uint64_t evaluated = 0;
+
+  bool selected = false;     // pass-2 decision
+  bool transformed = false;  // transformation applied successfully
+  std::string transform_detail;
+};
+
+struct SptPlan {
+  std::vector<LoopPlanEntry> loops;
+  /// Region-based speculation splits (only with
+  /// CompilerOptions::enable_region_speculation).
+  std::vector<RegionPlanEntry> regions;
+  std::uint64_t profiled_instrs = 0;
+
+  std::size_t candidateCount() const;
+  std::size_t selectedCount() const;
+  /// Fraction of profiled execution covered by the selected loops.
+  double selectedCoverage() const;
+
+  void print(std::ostream& os) const;
+};
+
+}  // namespace spt::compiler

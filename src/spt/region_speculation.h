@@ -1,0 +1,45 @@
+// Region-based speculation (paper Section 6, future work).
+//
+// "Region-based speculation is believed to be a potential approach, which
+// tries to parallelize a sequential piece of code by executing its first
+// half and second half in parallel."
+//
+// This pass implements that idea for straight-line regions: a large basic
+// block outside any loop is split in two; an spt_fork at the top of the
+// block starts a speculative thread at the second half while the main
+// thread executes the first. The split point balances the two halves while
+// minimizing the registers the second half reads from the first (each such
+// read is a guaranteed violation whose dependents replay).
+//
+// Off by default (CompilerOptions::enable_region_speculation): like the
+// paper, we treat it as an extension; bench_ext_region_speculation measures
+// what it buys on the call-dominated workloads (vortex, gap's sweep).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ir/module.h"
+#include "profile/profile_data.h"
+#include "spt/options.h"
+
+namespace spt::compiler {
+
+struct RegionPlanEntry {
+  std::string name;  // "func.label" of the split block
+  ir::FuncId func = ir::kInvalidFunc;
+  ir::BlockId block = ir::kInvalidBlock;
+  double prefix_cost = 0.0;
+  double suffix_cost = 0.0;
+  double dependence_penalty = 0.0;
+  bool applied = false;
+};
+
+/// Finds and applies region speculation across the module (blocks outside
+/// loops with enough straight-line work). Mutates the module; call
+/// finalize() afterwards. Returns one entry per applied region.
+std::vector<RegionPlanEntry> applyRegionSpeculation(
+    ir::Module& module, const profile::ProfileData& profile,
+    const CompilerOptions& options);
+
+}  // namespace spt::compiler

@@ -1,0 +1,420 @@
+#include "spt/transform.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "support/check.h"
+
+namespace spt::compiler {
+namespace {
+
+void replaceUses(ir::Instr& instr, ir::Reg from, ir::Reg to) {
+  if (instr.a == from) instr.a = to;
+  if (instr.b == from) instr.b = to;
+  for (ir::Reg& arg : instr.args) {
+    if (arg == from) arg = to;
+  }
+}
+
+struct HoistInfo {
+  std::size_t dep_index = 0;
+  ir::Reg reg;
+  ir::Reg temp;
+  StmtRef source;
+  // Branch copying (conditional-arm sources).
+  bool guarded = false;
+  ir::Reg guard_cond;
+  bool guard_taken_side = false;
+  ir::BlockId arm_block = ir::kInvalidBlock;
+  std::vector<StmtRef> arm_refs;  // arm-resident slice members, in order
+};
+
+struct SvpInfo {
+  std::size_t dep_index = 0;
+  ir::Reg reg;
+  ir::Reg pred;
+  std::int64_t stride = 0;
+  StmtRef source;
+};
+
+ir::Instr makeMov(ir::Reg dst, ir::Reg src) {
+  ir::Instr mv;
+  mv.op = ir::Opcode::kMov;
+  mv.dst = dst;
+  mv.a = src;
+  return mv;
+}
+
+ir::Instr makeBr(ir::BlockId target) {
+  ir::Instr br;
+  br.op = ir::Opcode::kBr;
+  br.target0 = target;
+  return br;
+}
+
+}  // namespace
+
+TransformOutcome transformLoop(ir::Module& module, const LoopAnalysis& loop,
+                               const Partition& partition) {
+  SPT_CHECK(partition.actions.size() == loop.deps.size());
+  const LoopShape& shape = loop.shape;
+  TransformOutcome outcome;
+
+  if (shape.header == 0) {
+    outcome.detail = "header is the function entry block";
+    return outcome;
+  }
+
+  ir::Function& func = module.function(shape.func);
+
+  // ---- Collect the work lists, resolving conflicts: a dependence whose
+  // source already moves as part of another hoisted slice needs nothing.
+  std::vector<HoistInfo> hoists;
+  std::vector<SvpInfo> svps;
+  /// Mandatory-block hoisted positions (slice union), in statement order;
+  /// conditional-arm members are emitted under the copied branch instead.
+  std::vector<StmtRef> hoisted_refs;
+  std::set<StmtRef> hoisted_set;  // everything removed from its home block
+
+  std::map<ir::BlockId, std::size_t> block_order;
+  for (std::size_t i = 0; i < shape.blocks.size(); ++i) {
+    block_order[shape.blocks[i]] = i;
+  }
+  const auto refLess = [&](const StmtRef& a, const StmtRef& b) {
+    if (a.block != b.block) {
+      return block_order.at(a.block) < block_order.at(b.block);
+    }
+    return a.index < b.index;
+  };
+
+  for (std::size_t d = 0; d < loop.deps.size(); ++d) {
+    if (partition.actions[d] != DepAction::kHoist) continue;
+    const CarriedDep& dep = loop.deps[d];
+    SPT_CHECK(dep.movable);
+    HoistInfo h;
+    h.dep_index = d;
+    h.reg = dep.reg;
+    h.temp = func.newReg();
+    h.source = loop.stmts[dep.source_stmt].ref;
+    h.guarded = dep.needs_branch_copy;
+    h.guard_cond = dep.guard_cond;
+    h.guard_taken_side = dep.guard_taken_side;
+    h.arm_block = dep.arm_block;
+    for (const std::size_t s : dep.slice) {
+      const StmtRef& ref = loop.stmts[s].ref;
+      if (h.guarded && ref.block == h.arm_block) {
+        h.arm_refs.push_back(ref);
+        hoisted_set.insert(ref);
+        continue;
+      }
+      SPT_CHECK(shape.isMandatory(ref.block));
+      if (hoisted_set.insert(ref).second) hoisted_refs.push_back(ref);
+    }
+    std::sort(h.arm_refs.begin(), h.arm_refs.end(), refLess);
+    hoists.push_back(std::move(h));
+  }
+  std::sort(hoisted_refs.begin(), hoisted_refs.end(), refLess);
+
+  for (std::size_t d = 0; d < loop.deps.size(); ++d) {
+    if (partition.actions[d] != DepAction::kSvp) continue;
+    const CarriedDep& dep = loop.deps[d];
+    SPT_CHECK(dep.svp_applicable);
+    const StmtRef& ref = loop.stmts[dep.source_stmt].ref;
+    SPT_CHECK(shape.isMandatory(ref.block));
+    if (hoisted_set.contains(ref)) continue;  // already satisfied
+    SvpInfo s;
+    s.dep_index = d;
+    s.reg = dep.reg;
+    s.pred = func.newReg();
+    s.stride = dep.svp_stride;
+    s.source = ref;
+    svps.push_back(std::move(s));
+  }
+
+  // ---- 1. Preheader: initialize temporaries and predictors, then fall
+  // into the header. All out-of-loop predecessors retarget to it.
+  std::vector<ir::BlockId> loop_blocks_sorted = shape.blocks;
+  std::sort(loop_blocks_sorted.begin(), loop_blocks_sorted.end());
+  const auto inLoop = [&](ir::BlockId b) {
+    return std::binary_search(loop_blocks_sorted.begin(),
+                              loop_blocks_sorted.end(), b);
+  };
+
+  {
+    ir::BasicBlock pre;
+    pre.id = static_cast<ir::BlockId>(func.blocks.size());
+    pre.label = "spt_pre_" + func.blocks[shape.header].label;
+    for (const HoistInfo& h : hoists) {
+      pre.instrs.push_back(makeMov(h.temp, h.reg));
+    }
+    for (const SvpInfo& s : svps) {
+      pre.instrs.push_back(makeMov(s.pred, s.reg));
+    }
+    pre.instrs.push_back(makeBr(shape.header));
+    const ir::BlockId pre_id = pre.id;
+    func.blocks.push_back(std::move(pre));
+    for (ir::BasicBlock& block : func.blocks) {
+      if (block.id == pre_id || inLoop(block.id)) continue;
+      ir::Instr& term = block.instrs.back();
+      if (term.target0 == shape.header) term.target0 = pre_id;
+      if (term.op == ir::Opcode::kCondBr && term.target1 == shape.header) {
+        term.target1 = pre_id;
+      }
+    }
+  }
+
+  // ---- 2. Header rewrite: reads of each handled carried register see the
+  // temporary / predictor (the next-iteration value the pre-fork region
+  // produced), so the speculative thread's exit test is not stale.
+  for (ir::Instr& instr : func.blocks[shape.header].instrs) {
+    for (const HoistInfo& h : hoists) replaceUses(instr, h.reg, h.temp);
+    for (const SvpInfo& s : svps) replaceUses(instr, s.reg, s.pred);
+  }
+
+  // ---- 3. Pre-fork pieces.
+  // Head: start-point restores plus the mandatory hoisted slices.
+  std::vector<ir::Instr> head_instrs;
+  for (const HoistInfo& h : hoists) {
+    head_instrs.push_back(makeMov(h.reg, h.temp));
+  }
+  for (const SvpInfo& s : svps) {
+    head_instrs.push_back(makeMov(s.reg, s.pred));
+  }
+  for (const StmtRef& ref : hoisted_refs) {
+    const HoistInfo* as_source = nullptr;
+    for (const HoistInfo& h : hoists) {
+      if (!h.guarded && h.source == ref) {
+        as_source = &h;
+        break;
+      }
+    }
+    ir::Instr copy = func.blocks[ref.block].instrs[ref.index];
+    if (as_source != nullptr) copy.dst = as_source->temp;
+    head_instrs.push_back(std::move(copy));
+  }
+  // Guarded arm segments must be copied from the pristine blocks now —
+  // the rebuild below removes the slice members from their home block.
+  std::vector<std::vector<ir::Instr>> arm_copies(hoists.size());
+  for (std::size_t hi = 0; hi < hoists.size(); ++hi) {
+    const HoistInfo& h = hoists[hi];
+    if (!h.guarded) continue;
+    for (const StmtRef& ref : h.arm_refs) {
+      ir::Instr copy = func.blocks[ref.block].instrs[ref.index];
+      if (h.source == ref) copy.dst = h.temp;
+      arm_copies[hi].push_back(std::move(copy));
+    }
+  }
+  // Tail: SVP predictors and the fork.
+  std::vector<ir::Instr> tail_instrs;
+  for (const SvpInfo& s : svps) {
+    ir::Instr k;
+    k.op = ir::Opcode::kConst;
+    k.dst = func.newReg();
+    k.imm = s.stride;
+    tail_instrs.push_back(k);
+    ir::Instr add;
+    add.op = ir::Opcode::kAdd;
+    add.dst = s.pred;
+    add.a = s.reg;
+    add.b = k.dst;
+    tail_instrs.push_back(add);
+  }
+  {
+    ir::Instr fork;
+    fork.op = ir::Opcode::kSptFork;
+    fork.target0 = shape.header;
+    tail_instrs.push_back(fork);
+  }
+
+  // ---- 4. Rebuild every loop block: drop moved slice statements, replace
+  // hoist sources with r = mov t, track SVP source positions. The body
+  // entry's own contents go into `body_rest` for assembly below.
+  struct SvpPosition {
+    std::size_t svp_index;
+    ir::BlockId block;
+    std::uint32_t position;
+    bool in_body_rest;
+  };
+  std::vector<SvpPosition> svp_positions;
+  std::vector<ir::Instr> body_rest;
+
+  for (const ir::BlockId block_id : shape.blocks) {
+    ir::BasicBlock& block = func.blocks[block_id];
+    const bool is_entry = block_id == shape.body_entry;
+    std::vector<ir::Instr> out;
+    out.reserve(block.instrs.size());
+    for (std::uint32_t i = 0; i < block.instrs.size(); ++i) {
+      const StmtRef ref{block_id, i};
+      const HoistInfo* as_source = nullptr;
+      for (const HoistInfo& h : hoists) {
+        if (h.source == ref) {
+          as_source = &h;
+          break;
+        }
+      }
+      if (as_source != nullptr) {
+        out.push_back(makeMov(as_source->reg, as_source->temp));
+        continue;
+      }
+      if (hoisted_set.contains(ref)) continue;  // moved above the fork
+      for (std::size_t s = 0; s < svps.size(); ++s) {
+        if (svps[s].source == ref) {
+          svp_positions.push_back({s, block_id,
+                                   static_cast<std::uint32_t>(out.size()),
+                                   is_entry});
+        }
+      }
+      out.push_back(block.instrs[i]);
+    }
+    if (is_entry) {
+      body_rest = std::move(out);
+      block.instrs.clear();
+    } else {
+      block.instrs = std::move(out);
+    }
+  }
+
+  // ---- 5. Assemble the body-entry chain:
+  //   body_entry: [restores][mandatory hoists] (then per guarded hoist:)
+  //     condbr guard -> ARM / ELSE;  ARM: arm slice copies, t = source;
+  //     ELSE: t = r;  both -> CONT
+  //   final block: [SVP predictors][spt_fork][original body-entry rest]
+  ir::BlockId cur = shape.body_entry;
+  func.blocks[cur].instrs = head_instrs;
+  int guarded_count = 0;
+  for (std::size_t hi = 0; hi < hoists.size(); ++hi) {
+    const HoistInfo& h = hoists[hi];
+    if (!h.guarded) continue;
+    ++guarded_count;
+    const std::string base = func.blocks[shape.body_entry].label;
+    const auto next_id = [&] {
+      return static_cast<ir::BlockId>(func.blocks.size());
+    };
+    ir::BasicBlock arm;
+    arm.id = next_id();
+    arm.label = base + "_bc_arm" + std::to_string(arm.id);
+    ir::BasicBlock els;
+    els.id = arm.id + 1;
+    els.label = base + "_bc_else" + std::to_string(els.id);
+    ir::BasicBlock cont;
+    cont.id = arm.id + 2;
+    cont.label = base + "_bc_cont" + std::to_string(cont.id);
+
+    arm.instrs = arm_copies[hi];
+    arm.instrs.push_back(makeBr(cont.id));
+    els.instrs.push_back(makeMov(h.temp, h.reg));
+    els.instrs.push_back(makeBr(cont.id));
+
+    ir::Instr guard;
+    guard.op = ir::Opcode::kCondBr;
+    guard.a = h.guard_cond;
+    guard.target0 = h.guard_taken_side ? arm.id : els.id;
+    guard.target1 = h.guard_taken_side ? els.id : arm.id;
+    func.blocks[cur].instrs.push_back(guard);
+
+    const ir::BlockId cont_id = cont.id;
+    func.blocks.push_back(std::move(arm));
+    func.blocks.push_back(std::move(els));
+    func.blocks.push_back(std::move(cont));
+    cur = cont_id;
+  }
+  {
+    ir::BasicBlock& final_block = func.blocks[cur];
+    const auto tail_offset =
+        static_cast<std::uint32_t>(final_block.instrs.size() +
+                                   tail_instrs.size());
+    final_block.instrs.insert(final_block.instrs.end(), tail_instrs.begin(),
+                              tail_instrs.end());
+    final_block.instrs.insert(final_block.instrs.end(), body_rest.begin(),
+                              body_rest.end());
+    // SVP sources recorded inside the body rest now live in `cur`.
+    for (SvpPosition& pos : svp_positions) {
+      if (pos.in_body_rest) {
+        pos.block = cur;
+        pos.position += tail_offset;
+      }
+    }
+  }
+
+  // ---- 6. SVP check-and-recover: split after each source (within each
+  // block, last first so earlier positions stay valid):
+  //   if (pred != r) pred = r;
+  std::sort(svp_positions.begin(), svp_positions.end(),
+            [](const SvpPosition& a, const SvpPosition& b) {
+              if (a.block != b.block) return a.block < b.block;
+              return a.position > b.position;
+            });
+  for (const SvpPosition& pos : svp_positions) {
+    const SvpInfo& s = svps[pos.svp_index];
+    ir::BasicBlock& blk = func.blocks[pos.block];
+
+    ir::BasicBlock cont;
+    cont.id = static_cast<ir::BlockId>(func.blocks.size());
+    cont.label = blk.label + "_svp_cont" + std::to_string(cont.id);
+    cont.instrs.assign(blk.instrs.begin() + pos.position + 1,
+                       blk.instrs.end());
+    blk.instrs.erase(blk.instrs.begin() + pos.position + 1,
+                     blk.instrs.end());
+
+    ir::BasicBlock fix;
+    fix.id = cont.id + 1;
+    fix.label = blk.label + "_svp_fix" + std::to_string(fix.id);
+    fix.instrs.push_back(makeMov(s.pred, s.reg));
+    fix.instrs.push_back(makeBr(cont.id));
+
+    ir::Instr cmp;
+    cmp.op = ir::Opcode::kCmpNe;
+    cmp.dst = func.newReg();
+    cmp.a = s.pred;
+    cmp.b = s.reg;
+    ir::Instr br;
+    br.op = ir::Opcode::kCondBr;
+    br.a = cmp.dst;
+    br.target0 = fix.id;
+    br.target1 = cont.id;
+
+    // Re-acquire the block reference: push_back may reallocate.
+    func.blocks.push_back(std::move(cont));
+    func.blocks.push_back(std::move(fix));
+    ir::BasicBlock& blk2 = func.blocks[pos.block];
+    blk2.instrs.push_back(cmp);
+    blk2.instrs.push_back(br);
+  }
+
+  // ---- 7. spt_kill on the exit edge. The exit target is read from the
+  // live terminator (another loop's transform may have retargeted it to a
+  // preheader since the shape was computed).
+  {
+    const ir::Instr& live_hterm = func.blocks[shape.header].instrs.back();
+    const ir::BlockId live_exit =
+        shape.exit_on_taken ? live_hterm.target0 : live_hterm.target1;
+    ir::BasicBlock kill;
+    kill.id = static_cast<ir::BlockId>(func.blocks.size());
+    kill.label = "spt_kill_" + func.blocks[shape.header].label;
+    ir::Instr k;
+    k.op = ir::Opcode::kSptKill;
+    kill.instrs.push_back(k);
+    kill.instrs.push_back(makeBr(live_exit));
+    const ir::BlockId kill_id = kill.id;
+    func.blocks.push_back(std::move(kill));
+    ir::Instr& hterm = func.blocks[shape.header].instrs.back();
+    if (shape.exit_on_taken) {
+      hterm.target0 = kill_id;
+    } else {
+      hterm.target1 = kill_id;
+    }
+  }
+
+  outcome.applied = true;
+  outcome.hoisted_deps = static_cast<int>(hoists.size());
+  outcome.svp_deps = static_cast<int>(svps.size());
+  outcome.detail = "hoisted=" + std::to_string(outcome.hoisted_deps) +
+                   " svp=" + std::to_string(outcome.svp_deps);
+  if (guarded_count > 0) {
+    outcome.detail += " branch_copied=" + std::to_string(guarded_count);
+  }
+  return outcome;
+}
+
+}  // namespace compiler

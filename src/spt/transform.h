@@ -1,0 +1,38 @@
+// SPT loop transformation (paper Section 4.3 + 4.4).
+//
+// Rewrites a canonical loop into an SPT loop:
+//  * a preheader initializes the hoist temporaries / SVP predictors;
+//  * the body entry is rebuilt as
+//      [r = t restores] [r = pred restores]
+//      [hoisted slices] [t = <next value> copies] [pred = r + stride]
+//      spt_fork H
+//      [original statements, sources replaced by r = mov t]
+//  * header uses of handled carried registers are rewritten to the
+//    temporary/predictor, so the speculative thread's exit test reads the
+//    pre-fork-produced next value rather than the stale register (this is
+//    the live-range-breaking temporary of paper Section 4.3);
+//  * SVP sources get check-and-recover code (paper Figure 5):
+//      if (pred != r) pred = r;
+//  * an spt_kill lands on the loop's exit edge.
+#pragma once
+
+#include <string>
+
+#include "spt/cost_model.h"
+
+namespace spt::compiler {
+
+struct TransformOutcome {
+  bool applied = false;
+  std::string detail;  // human-readable summary or failure reason
+  int hoisted_deps = 0;
+  int svp_deps = 0;
+};
+
+/// Applies the partition to the loop, mutating the module. The analysis
+/// must have been computed on this same module. Call module.finalize() and
+/// re-verify afterwards.
+TransformOutcome transformLoop(ir::Module& module, const LoopAnalysis& loop,
+                               const Partition& partition);
+
+}  // namespace spt::compiler

@@ -1,0 +1,102 @@
+#include "spt/unroll.h"
+
+#include <unordered_map>
+
+#include "support/check.h"
+
+namespace spt::compiler {
+
+bool unrollLoop(ir::Module& module, const LoopShape& shape,
+                std::uint32_t factor) {
+  if (!shape.transformable || factor < 2) return false;
+  ir::Function& func = module.function(shape.func);
+
+  // Copies are chained: iteration-end edges (to the original header) in
+  // copy j retarget to copy j+1's header; the last copy's edges form the
+  // real back edges. A cloned header's exit side jumps to the original
+  // header, which re-tests and leaves the loop.
+  //
+  // Clones must come from a snapshot of the pristine loop: chaining
+  // rewrites the previous copy's terminators before the next clone round.
+  std::unordered_map<ir::BlockId, std::vector<ir::Instr>> pristine;
+  for (const ir::BlockId b : shape.blocks) {
+    pristine[b] = func.blocks[b].instrs;
+  }
+
+  std::vector<ir::BlockId> prev_latch_blocks;  // blocks whose H-edges retarget
+  // Copy 0 is the original body.
+  for (const ir::BlockId b : shape.blocks) prev_latch_blocks.push_back(b);
+
+  for (std::uint32_t copy = 1; copy < factor; ++copy) {
+    std::unordered_map<ir::BlockId, ir::BlockId> clone_of;
+    const std::string suffix = "_u" + std::to_string(copy);
+    // Allocate clone ids first (blocks may reference each other).
+    for (const ir::BlockId b : shape.blocks) {
+      clone_of[b] = static_cast<ir::BlockId>(func.blocks.size() +
+                                             clone_of.size());
+    }
+    const ir::BlockId cloned_header = clone_of[shape.header];
+
+    std::vector<ir::BasicBlock> clones;
+    clones.reserve(shape.blocks.size());
+    for (const ir::BlockId b : shape.blocks) {
+      ir::BasicBlock clone;
+      clone.id = clone_of[b];
+      clone.label = func.blocks[b].label.empty()
+                        ? ""
+                        : func.blocks[b].label + suffix;
+      clone.instrs = pristine.at(b);
+      ir::Instr& term = clone.instrs.back();
+      const auto remap = [&](ir::BlockId target) -> ir::BlockId {
+        if (target == shape.header) {
+          // Iteration end inside a clone: fall back to the original
+          // header on the next unroll round... except the cloned header's
+          // own exit handled below.
+          return shape.header;
+        }
+        const auto it = clone_of.find(target);
+        return it != clone_of.end() ? it->second : target;
+      };
+      if (ir::isBranch(term.op)) {
+        term.target0 = remap(term.target0);
+        if (term.op == ir::Opcode::kCondBr) term.target1 = remap(term.target1);
+      }
+      if (b == shape.header) {
+        // The cloned test must not exit directly; failing it returns to
+        // the original header, which re-tests and exits.
+        if (shape.exit_on_taken) {
+          term.target0 = shape.header;
+        } else {
+          term.target1 = shape.header;
+        }
+      }
+      clones.push_back(std::move(clone));
+    }
+
+    // Chain: previous copy's iteration-end edges now enter this clone's
+    // header instead of the original header.
+    for (const ir::BlockId b : prev_latch_blocks) {
+      ir::Instr& term = func.blocks[b].instrs.back();
+      if (!ir::isBranch(term.op)) continue;
+      if (b == shape.header) continue;  // the loop's entry test stays
+      // Do not redirect a cloned header's fail-edge (it must re-test at
+      // the original header); only true iteration-end edges move.
+      if (term.target0 == shape.header) term.target0 = cloned_header;
+      if (term.op == ir::Opcode::kCondBr && term.target1 == shape.header) {
+        term.target1 = cloned_header;
+      }
+    }
+
+    // Next round rewires this copy's iteration-end edges. The cloned
+    // header is excluded: its fail edge deliberately re-tests at the
+    // original header and must stay.
+    prev_latch_blocks.clear();
+    for (auto& clone : clones) {
+      if (clone.id != cloned_header) prev_latch_blocks.push_back(clone.id);
+      func.blocks.push_back(std::move(clone));
+    }
+  }
+  return true;
+}
+
+}  // namespace spt::compiler

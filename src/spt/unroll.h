@@ -1,0 +1,21 @@
+// Loop unrolling preprocessing (paper Section 4.1).
+//
+// Small loop bodies cannot amortize the fork/commit overheads, so the SPT
+// compiler unrolls them before partitioning. The transformation preserves
+// the canonical top-test shape: each cloned body is preceded by a cloned
+// exit test that jumps back to the original header (which re-tests and
+// exits) when the trip count ends inside the unrolled body — exits remain
+// solely at the original header, and sequential semantics are unchanged.
+#pragma once
+
+#include "spt/loop_shape.h"
+
+namespace spt::compiler {
+
+/// Unrolls the canonical loop by `factor` (>= 2), mutating the function.
+/// Returns false (leaving the module untouched) if the shape does not
+/// support it. Invalidates analyses and StaticIds: re-finalize afterwards.
+bool unrollLoop(ir::Module& module, const LoopShape& shape,
+                std::uint32_t factor);
+
+}  // namespace spt::compiler

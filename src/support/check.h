@@ -1,0 +1,37 @@
+// Lightweight runtime checks used across the SPT code base.
+//
+// SPT_CHECK is always on (simulator and compiler correctness both depend on
+// internal invariants; the cost of the checks is negligible next to the
+// interpretation/simulation work). SPT_UNREACHABLE marks impossible paths.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace spt::support {
+
+[[noreturn]] inline void checkFailed(const char* cond, const char* file,
+                                     int line, const char* msg) {
+  std::fprintf(stderr, "SPT_CHECK failed: %s\n  at %s:%d\n  %s\n", cond, file,
+               line, msg != nullptr ? msg : "");
+  std::abort();
+}
+
+}  // namespace spt::support
+
+#define SPT_CHECK(cond)                                                 \
+  do {                                                                  \
+    if (!(cond)) {                                                      \
+      ::spt::support::checkFailed(#cond, __FILE__, __LINE__, nullptr);  \
+    }                                                                   \
+  } while (false)
+
+#define SPT_CHECK_MSG(cond, msg)                                      \
+  do {                                                                \
+    if (!(cond)) {                                                    \
+      ::spt::support::checkFailed(#cond, __FILE__, __LINE__, (msg));  \
+    }                                                                 \
+  } while (false)
+
+#define SPT_UNREACHABLE(msg) \
+  ::spt::support::checkFailed("unreachable", __FILE__, __LINE__, (msg))

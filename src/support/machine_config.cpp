@@ -1,0 +1,61 @@
+#include "support/machine_config.h"
+
+namespace spt::support {
+namespace {
+
+void printCache(std::ostream& os, const char* name, const CacheConfig& c) {
+  os << "  " << name << ": " << c.size_bytes / 1024 << "KB, "
+     << c.associativity << "-way, " << c.block_bytes << "B-block, "
+     << c.latency_cycles << "-cycle latency\n";
+}
+
+}  // namespace
+
+std::string toString(RecoveryMechanism mechanism) {
+  switch (mechanism) {
+    case RecoveryMechanism::kSelectiveReplayFastCommit:
+      return "Selective re-execution with fast-commit (SRX+FC)";
+    case RecoveryMechanism::kSelectiveReplay:
+      return "Selective re-execution (SRX)";
+    case RecoveryMechanism::kFullSquash:
+      return "Full squash";
+  }
+  return "unknown";
+}
+
+std::string toString(RegisterCheckMode mode) {
+  switch (mode) {
+    case RegisterCheckMode::kScoreboard:
+      return "Scoreboard-based";
+    case RegisterCheckMode::kValueBased:
+      return "Value-based";
+  }
+  return "unknown";
+}
+
+void MachineConfig::print(std::ostream& os) const {
+  os << "Processor cores: 2 in-order cores (main + speculative)\n"
+     << "Cache hierarchy:\n";
+  printCache(os, "L1I", l1i);
+  printCache(os, "L1D", l1d);
+  printCache(os, "L2 ", l2);
+  printCache(os, "L3 ", l3);
+  os << "Memory latency: " << memory_latency_cycles << " cycles\n"
+     << "Normal / re-execution fetch width: " << fetch_width << '\n'
+     << "Normal / re-execution issue width: " << issue_width << '\n'
+     << "Replay fetch width: " << replay_fetch_width << '\n'
+     << "Replay issue width: " << replay_issue_width << '\n'
+     << "RF read/write ports: " << rf_ports << '\n'
+     << "Branch predictor: GAg with " << branch_predictor_entries
+     << " entries\n"
+     << "Mispredicted branch penalty: " << branch_mispredict_penalty
+     << " cycles\n"
+     << "RF copy overhead: " << rf_copy_overhead << " cycle minimum\n"
+     << "Fast commit overhead: " << fast_commit_overhead << " cycles minimum\n"
+     << "Speculation result buffer size: "
+     << speculation_result_buffer_entries << " entries\n"
+     << "Misspeculation recovery mechanism: " << toString(recovery) << '\n'
+     << "Register dependence checking: " << toString(register_check) << '\n';
+}
+
+}  // namespace spt::support

@@ -1,0 +1,79 @@
+// The SPT machine configuration (paper Table 1).
+//
+// Both the simulator (timing) and the SPT compiler (cost model, thread
+// overheads) consume this structure, so it lives in support rather than sim.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+
+namespace spt::support {
+
+/// Recovery mechanism used when the main thread reaches the start-point.
+enum class RecoveryMechanism {
+  /// Selective re-execution with fast commit (paper default, "SRX+FC").
+  kSelectiveReplayFastCommit,
+  /// Selective re-execution, but even violation-free threads go through the
+  /// replay walk (no bulk fast commit).
+  kSelectiveReplay,
+  /// Conventional TLS recovery: any violation squashes the entire
+  /// speculative thread and all its results (ablation baseline).
+  kFullSquash,
+};
+
+/// Register dependence checking mode (paper Section 3.2).
+enum class RegisterCheckMode {
+  /// A register written by the main thread after the fork-point is
+  /// "updated"; any speculative read of it is a violation.
+  kScoreboard,
+  /// Only registers whose *value* at the start-point differs from the
+  /// fork-point value cause violations (paper default).
+  kValueBased,
+};
+
+/// One cache level's geometry and latency.
+struct CacheConfig {
+  std::uint32_t size_bytes = 0;
+  std::uint32_t associativity = 1;
+  std::uint32_t block_bytes = 64;
+  std::uint32_t latency_cycles = 1;
+};
+
+/// Machine configuration mirroring paper Table 1. Defaults are the paper's
+/// default configuration (Itanium2-like cores and memory subsystem).
+struct MachineConfig {
+  // Two Itanium2-like in-order cores (main + speculative).
+  CacheConfig l1i{16 * 1024, 4, 64, 1};
+  CacheConfig l1d{16 * 1024, 4, 64, 1};
+  CacheConfig l2{256 * 1024, 8, 64, 5};
+  CacheConfig l3{3 * 1024 * 1024, 12, 128, 12};
+  std::uint32_t memory_latency_cycles = 150;
+
+  std::uint32_t fetch_width = 6;        // normal / re-execution fetch
+  std::uint32_t issue_width = 6;        // normal / re-execution issue
+  std::uint32_t replay_fetch_width = 12;
+  std::uint32_t replay_issue_width = 12;
+  std::uint32_t rf_ports = 12;
+
+  std::uint32_t branch_predictor_entries = 1024;  // GAg
+  std::uint32_t branch_mispredict_penalty = 5;
+
+  std::uint32_t rf_copy_overhead = 1;      // cycles, minimum, at fork
+  std::uint32_t fast_commit_overhead = 5;  // cycles, minimum
+
+  std::uint32_t speculation_result_buffer_entries = 1024;
+  std::uint32_t speculative_store_buffer_entries = 256;
+  std::uint32_t load_address_buffer_entries = 256;
+
+  RecoveryMechanism recovery = RecoveryMechanism::kSelectiveReplayFastCommit;
+  RegisterCheckMode register_check = RegisterCheckMode::kValueBased;
+
+  /// Pretty-prints the configuration in the shape of paper Table 1.
+  void print(std::ostream& os) const;
+};
+
+std::string toString(RecoveryMechanism mechanism);
+std::string toString(RegisterCheckMode mode);
+
+}  // namespace spt::support

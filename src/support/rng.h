@@ -1,0 +1,45 @@
+// Deterministic pseudo-random number generation (xoshiro256**).
+//
+// Every randomized component of the repository (workload data, profiling
+// inputs, synthetic traces) draws from an explicitly seeded Rng so that all
+// benches and tests are bit-reproducible across runs and machines.
+#pragma once
+
+#include <cstdint>
+
+namespace spt::support {
+
+/// xoshiro256** 1.0 by Blackman & Vigna (public domain reference
+/// implementation, re-expressed). Not cryptographic; fast and high quality
+/// for simulation purposes.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) { reseed(seed); }
+
+  /// Re-initializes the state from a 64-bit seed via splitmix64 expansion.
+  void reseed(std::uint64_t seed);
+
+  /// Uniform 64-bit value.
+  std::uint64_t next();
+
+  /// Uniform in [0, bound). bound == 0 yields 0.
+  std::uint64_t nextBelow(std::uint64_t bound);
+
+  /// Uniform in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t nextInRange(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double nextDouble();
+
+  /// Bernoulli trial with probability p (clamped to [0,1]).
+  bool nextBool(double p);
+
+  /// Geometric-ish small integer: number of successes before failure with
+  /// continue-probability p; capped at `cap` to bound loop trip counts.
+  std::uint64_t nextGeometric(double p, std::uint64_t cap);
+
+ private:
+  std::uint64_t state_[4];
+};
+
+}  // namespace spt::support

@@ -1,0 +1,58 @@
+#include "support/stats.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace spt::support {
+
+void RunningStat::add(double x) {
+  ++count_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+  if (x < min_) min_ = x;
+  if (x > max_) max_ = x;
+}
+
+double RunningStat::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStat::stddev() const { return std::sqrt(variance()); }
+
+void Histogram::add(std::int64_t key, std::uint64_t weight) {
+  bins_[key] += weight;
+  total_ += weight;
+}
+
+std::uint64_t Histogram::weightOf(std::int64_t key) const {
+  const auto it = bins_.find(key);
+  return it == bins_.end() ? 0 : it->second;
+}
+
+std::uint64_t Histogram::cumulativeWeightUpTo(std::int64_t key) const {
+  std::uint64_t acc = 0;
+  for (const auto& [k, w] : bins_) {
+    if (k > key) break;
+    acc += w;
+  }
+  return acc;
+}
+
+std::string percent(double numerator, double denominator, int decimals) {
+  const double v =
+      denominator == 0.0 ? 0.0 : 100.0 * numerator / denominator;
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%.*f%%", decimals, v);
+  return buf;
+}
+
+std::string fixed(double value, int decimals) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%.*f", decimals, value);
+  return buf;
+}
+
+}  // namespace spt::support

@@ -1,0 +1,58 @@
+// Small statistics helpers shared by the profiler, simulator and benches.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace spt::support {
+
+/// Streaming mean/variance/min/max accumulator (Welford's algorithm).
+class RunningStat {
+ public:
+  void add(double x);
+
+  std::uint64_t count() const { return count_; }
+  double mean() const { return count_ == 0 ? 0.0 : mean_; }
+  double variance() const;
+  double stddev() const;
+  double min() const { return count_ == 0 ? 0.0 : min_; }
+  double max() const { return count_ == 0 ? 0.0 : max_; }
+  double sum() const { return sum_; }
+
+ private:
+  std::uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Counting histogram over arbitrary integer keys (e.g. loop body sizes).
+class Histogram {
+ public:
+  void add(std::int64_t key, std::uint64_t weight = 1);
+
+  std::uint64_t totalWeight() const { return total_; }
+  std::uint64_t weightOf(std::int64_t key) const;
+
+  /// Sum of weights for all keys <= `key` (for cumulative-coverage curves).
+  std::uint64_t cumulativeWeightUpTo(std::int64_t key) const;
+
+  const std::map<std::int64_t, std::uint64_t>& bins() const { return bins_; }
+
+ private:
+  std::map<std::int64_t, std::uint64_t> bins_;
+  std::uint64_t total_ = 0;
+};
+
+/// Ratio formatted as a percentage string with fixed precision, e.g. "15.6%".
+std::string percent(double numerator, double denominator, int decimals = 1);
+
+/// Plain fixed-precision formatting helper (std::to_string prints 6 digits).
+std::string fixed(double value, int decimals = 2);
+
+}  // namespace spt::support

@@ -1,0 +1,75 @@
+#include "support/table.h"
+
+#include <algorithm>
+
+#include "support/check.h"
+
+namespace spt::support {
+namespace {
+
+std::string csvEscape(const std::string& field) {
+  if (field.find_first_of(",\"\n") == std::string::npos) return field;
+  std::string out = "\"";
+  for (const char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+void Table::setHeader(std::vector<std::string> header) {
+  SPT_CHECK_MSG(rows_.empty(), "setHeader must precede addRow");
+  header_ = std::move(header);
+}
+
+void Table::addRow(std::vector<std::string> row) {
+  SPT_CHECK_MSG(row.size() == header_.size(), "row arity mismatch");
+  rows_.push_back(std::move(row));
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(header_.size(), 0);
+  for (std::size_t c = 0; c < header_.size(); ++c)
+    widths[c] = header_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+
+  const auto printRow = [&](const std::vector<std::string>& row) {
+    os << "|";
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << ' ' << row[c] << std::string(widths[c] - row[c].size(), ' ')
+         << " |";
+    }
+    os << '\n';
+  };
+  const auto printRule = [&] {
+    os << "+";
+    for (const std::size_t w : widths) os << std::string(w + 2, '-') << '+';
+    os << '\n';
+  };
+
+  os << "== " << title_ << " ==\n";
+  printRule();
+  printRow(header_);
+  printRule();
+  for (const auto& row : rows_) printRow(row);
+  printRule();
+}
+
+void Table::printCsv(std::ostream& os) const {
+  const auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c != 0) os << ',';
+      os << csvEscape(row[c]);
+    }
+    os << '\n';
+  };
+  emit(header_);
+  for (const auto& row : rows_) emit(row);
+}
+
+}  // namespace spt::support

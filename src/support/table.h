@@ -1,0 +1,38 @@
+// ASCII table and CSV emission for bench output.
+//
+// Every bench binary prints its figure/table as an aligned ASCII table (the
+// "rows/series the paper reports") and can optionally dump CSV for plotting.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace spt::support {
+
+class Table {
+ public:
+  explicit Table(std::string title) : title_(std::move(title)) {}
+
+  /// Sets the column headers. Must be called before addRow.
+  void setHeader(std::vector<std::string> header);
+
+  /// Appends a row; the row must have the same arity as the header.
+  void addRow(std::vector<std::string> row);
+
+  std::size_t rowCount() const { return rows_.size(); }
+  const std::string& title() const { return title_; }
+
+  /// Renders the aligned ASCII form.
+  void print(std::ostream& os) const;
+
+  /// Renders RFC-4180-ish CSV (quotes fields containing commas/quotes).
+  void printCsv(std::ostream& os) const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace spt::support

@@ -1,0 +1,57 @@
+// Dynamic trace records.
+//
+// The interpreter executes a program *sequentially* and emits one record per
+// dynamic instruction plus loop markers. The SPT simulator is trace-driven
+// exactly as the paper's is (Section 5.1): it replays this sequential trace
+// on two pipelines. Records carry enough information (result values, memory
+// addresses, overwritten memory values, branch outcomes) for the simulator
+// to emulate speculative execution exactly.
+#pragma once
+
+#include <cstdint>
+
+#include "ir/instr.h"
+
+namespace spt::trace {
+
+enum class RecordKind : std::uint8_t {
+  kInstr,      // a dynamic instruction (including spt_fork / spt_kill)
+  kIterBegin,  // control reached a loop header (entry or back edge)
+  kLoopExit,   // control left a loop (exit edge or frame return)
+};
+
+/// Dynamic frame id; frames are numbered in call order, starting at 0 for
+/// the main function's frame. Registers are frame-local.
+using FrameId = std::uint32_t;
+
+struct Record {
+  RecordKind kind = RecordKind::kInstr;
+  ir::Opcode op = ir::Opcode::kNop;
+  /// kCondBr: true if target0 (the "taken" side) was followed.
+  bool taken = false;
+
+  /// kInstr: static id of the instruction.
+  /// kIterBegin/kLoopExit: static id of the first instruction of the loop
+  /// header block (the loop's stable identity within a module).
+  ir::StaticId sid = ir::kInvalidStaticId;
+
+  /// Frame the instruction executed in (for markers: the frame the loop
+  /// runs in).
+  FrameId frame = 0;
+
+  /// kInstr with a destination: the architectural result value.
+  /// kIterBegin: the 0-based iteration index within this loop episode.
+  std::int64_t value = 0;
+
+  /// kLoad/kStore: the effective byte address.
+  std::uint64_t mem_addr = 0;
+
+  /// kStore: the value overwritten in memory (enables reconstruction of the
+  /// fork-time memory image during speculative emulation).
+  std::int64_t mem_old = 0;
+
+  /// kCall: the callee's new frame id.
+  FrameId callee_frame = 0;
+};
+
+}  // namespace spt::trace

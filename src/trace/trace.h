@@ -1,0 +1,102 @@
+// Trace sinks, in-memory trace buffer, and the loop/fork index.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "ir/module.h"
+#include "trace/record.h"
+
+namespace spt::trace {
+
+/// Streaming consumer of trace records (profilers implement this so that
+/// profiling runs need not buffer the whole trace).
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void onRecord(const Record& record) = 0;
+};
+
+/// Sink that discards everything (plain functional runs).
+class NullSink final : public TraceSink {
+ public:
+  void onRecord(const Record&) override {}
+};
+
+/// Sink that forwards to several sinks.
+class TeeSink final : public TraceSink {
+ public:
+  void add(TraceSink* sink) { sinks_.push_back(sink); }
+  void onRecord(const Record& record) override {
+    for (TraceSink* s : sinks_) s->onRecord(record);
+  }
+
+ private:
+  std::vector<TraceSink*> sinks_;
+};
+
+/// Stores the full trace in memory; the simulator requires random access
+/// (fork resolution looks ahead to the speculative start-point).
+class TraceBuffer final : public TraceSink {
+ public:
+  void onRecord(const Record& record) override { records_.push_back(record); }
+
+  std::size_t size() const { return records_.size(); }
+  const Record& operator[](std::size_t i) const { return records_[i]; }
+  const std::vector<Record>& records() const { return records_; }
+
+  /// Number of kInstr records.
+  std::size_t instrCount() const;
+
+ private:
+  std::vector<Record> records_;
+};
+
+/// Stable display name for a loop: "func.label" of its header block.
+std::string loopNameOf(const ir::Module& module, ir::StaticId header_sid);
+
+/// One dynamic execution episode of a loop: from entering the header to the
+/// exit marker. `iter_begins` are record indices of kIterBegin markers.
+struct LoopEpisode {
+  ir::StaticId header_sid = ir::kInvalidStaticId;
+  FrameId frame = 0;
+  std::vector<std::size_t> iter_begins;
+  std::size_t exit_index = 0;  // index of the kLoopExit marker (or trace end)
+};
+
+/// Index over a TraceBuffer that resolves SPT forks to their speculative
+/// start-points and groups iterations into loop episodes.
+///
+/// Two fork flavours are resolved:
+///  * loop forks — the fork's target block is the header of a currently
+///    open loop: the start-point is the next kIterBegin of that loop;
+///  * region forks (region-based speculation, paper Section 6) — the
+///    target is an ordinary block downstream in the same frame: the
+///    start-point is the next kInstr record of that block's first
+///    instruction in the forking frame.
+class LoopIndex {
+ public:
+  LoopIndex(const ir::Module& module, const TraceBuffer& trace);
+
+  static constexpr std::size_t kNoStart = static_cast<std::size_t>(-1);
+
+  /// For the fork record at `record_index`: the record index of the
+  /// speculative thread's start-point (a kIterBegin marker for loop forks,
+  /// a kInstr record for region forks), or kNoStart when control never
+  /// reached the start-point (wrong-path fork).
+  std::size_t startOfFork(std::size_t record_index) const;
+
+  const std::vector<LoopEpisode>& episodes() const { return episodes_; }
+
+  /// Stable display name for a loop: "func.label" of the header block.
+  std::string loopName(ir::StaticId header_sid) const;
+
+ private:
+  const ir::Module& module_;
+  std::unordered_map<std::size_t, std::size_t> fork_start_;
+  std::vector<LoopEpisode> episodes_;
+};
+
+}  // namespace spt::trace

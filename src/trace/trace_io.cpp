@@ -1,0 +1,116 @@
+#include "trace/trace_io.h"
+
+#include <cstring>
+#include <fstream>
+#include <ostream>
+
+namespace spt::trace {
+namespace {
+
+constexpr char kMagic[8] = {'S', 'P', 'T', 'T', 'R', 'A', 'C', 'E'};
+constexpr std::uint32_t kVersion = 1;
+
+/// On-disk record layout (packed, little-endian on every supported target).
+struct DiskRecord {
+  std::uint8_t kind;
+  std::uint8_t op;
+  std::uint8_t taken;
+  std::uint8_t pad = 0;
+  std::uint32_t sid;
+  std::uint32_t frame;
+  std::uint32_t callee_frame;
+  std::int64_t value;
+  std::uint64_t mem_addr;
+  std::int64_t mem_old;
+};
+static_assert(sizeof(DiskRecord) == 40);
+
+DiskRecord toDisk(const Record& r) {
+  DiskRecord d{};
+  d.kind = static_cast<std::uint8_t>(r.kind);
+  d.op = static_cast<std::uint8_t>(r.op);
+  d.taken = r.taken ? 1 : 0;
+  d.sid = r.sid;
+  d.frame = r.frame;
+  d.callee_frame = r.callee_frame;
+  d.value = r.value;
+  d.mem_addr = r.mem_addr;
+  d.mem_old = r.mem_old;
+  return d;
+}
+
+Record fromDisk(const DiskRecord& d) {
+  Record r;
+  r.kind = static_cast<RecordKind>(d.kind);
+  r.op = static_cast<ir::Opcode>(d.op);
+  r.taken = d.taken != 0;
+  r.sid = d.sid;
+  r.frame = d.frame;
+  r.callee_frame = d.callee_frame;
+  r.value = d.value;
+  r.mem_addr = d.mem_addr;
+  r.mem_old = d.mem_old;
+  return r;
+}
+
+}  // namespace
+
+bool writeTrace(std::ostream& os, const TraceBuffer& trace) {
+  os.write(kMagic, sizeof kMagic);
+  const std::uint32_t version = kVersion;
+  os.write(reinterpret_cast<const char*>(&version), sizeof version);
+  const std::uint64_t count = trace.size();
+  os.write(reinterpret_cast<const char*>(&count), sizeof count);
+  for (const Record& r : trace.records()) {
+    const DiskRecord d = toDisk(r);
+    os.write(reinterpret_cast<const char*>(&d), sizeof d);
+  }
+  return static_cast<bool>(os);
+}
+
+bool writeTraceFile(const std::string& path, const TraceBuffer& trace) {
+  std::ofstream out(path, std::ios::binary);
+  return out && writeTrace(out, trace);
+}
+
+std::optional<TraceBuffer> readTrace(std::istream& is, std::string* error) {
+  const auto fail = [&](const char* why) -> std::optional<TraceBuffer> {
+    if (error != nullptr) *error = why;
+    return std::nullopt;
+  };
+  char magic[8];
+  is.read(magic, sizeof magic);
+  if (!is || std::memcmp(magic, kMagic, sizeof magic) != 0) {
+    return fail("bad magic");
+  }
+  std::uint32_t version = 0;
+  is.read(reinterpret_cast<char*>(&version), sizeof version);
+  if (!is || version != kVersion) return fail("unsupported version");
+  std::uint64_t count = 0;
+  is.read(reinterpret_cast<char*>(&count), sizeof count);
+  if (!is) return fail("truncated header");
+
+  TraceBuffer buffer;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    DiskRecord d;
+    is.read(reinterpret_cast<char*>(&d), sizeof d);
+    if (!is) return fail("truncated record stream");
+    if (d.kind > static_cast<std::uint8_t>(RecordKind::kLoopExit)) {
+      return fail("corrupt record kind");
+    }
+    buffer.onRecord(fromDisk(d));
+  }
+  return buffer;
+}
+
+std::optional<TraceBuffer> readTraceFile(const std::string& path,
+                                         std::string* error) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    if (error != nullptr) *error = "cannot open " + path;
+    return std::nullopt;
+  }
+  return readTrace(in, error);
+}
+
+}  // namespace spt::trace

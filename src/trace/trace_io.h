@@ -1,0 +1,31 @@
+// Binary trace serialization.
+//
+// The paper's simulator consumes execution-trace files (Section 5.1); this
+// gives the same workflow: trace once, simulate many configurations without
+// re-interpreting. The format is a fixed little-endian record stream with a
+// small header (magic, version, record count).
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "trace/trace.h"
+
+namespace spt::trace {
+
+/// Writes the buffer to a stream. Returns false on I/O failure.
+bool writeTrace(std::ostream& os, const TraceBuffer& trace);
+
+/// Convenience: writes to a file path.
+bool writeTraceFile(const std::string& path, const TraceBuffer& trace);
+
+/// Reads a trace written by writeTrace. Returns std::nullopt on a short,
+/// corrupt, or version-mismatched stream; `error` (when given) explains.
+std::optional<TraceBuffer> readTrace(std::istream& is,
+                                     std::string* error = nullptr);
+
+std::optional<TraceBuffer> readTraceFile(const std::string& path,
+                                         std::string* error = nullptr);
+
+}  // namespace spt::trace

@@ -1,0 +1,117 @@
+// bzip2 analog: block-sort rank updates whose every iteration updates
+// global statistics through helper calls — the "indirect global memory
+// updates via function calls" that the paper says hurt bzip2's gain — plus
+// a serial run-length encoder.
+#include "workloads/common.h"
+#include "workloads/workloads.h"
+
+namespace spt::workloads {
+
+using namespace ir;
+
+Workload bzip2Like() {
+  Workload w;
+  w.name = "bzip2";
+  w.description =
+      "Block-sort rank sweep with per-iteration global statistics updates "
+      "through calls (frequent cheap misspeculation) and a serial RLE pass.";
+  w.build = [](std::uint64_t scale) {
+    Module m("bzip2");
+
+    // bump_stats(stats, v): updates a shared histogram bucket AND a shared
+    // byte counter — the counter makes every iteration dependent.
+    const FuncId bump = m.addFunction("bump_stats", 2);
+    {
+      IrBuilder b(m, bump);
+      b.setInsertPoint(b.createBlock("entry"));
+      const Reg stats = b.param(0);
+      const Reg v = b.param(1);
+      const Reg bucket = emitMask(b, v, 4);  // 16 buckets
+      const Reg baddr = emitIndex(b, stats, bucket);
+      const Reg old = b.load(baddr, 0);
+      const Reg one = b.iconst(1);
+      b.store(baddr, 0, b.add(old, one));
+      // Shared total counter at stats[16]: the update is a dependent
+      // multiply chain, so the cross-iteration memory recurrence is
+      // latency-bound (this is what makes bzip2's gain small).
+      const Reg total = b.load(stats, 16 * 8);
+      const Reg kf = b.iconst(0x100000001b3ll);
+      Reg nt = b.mul(total, kf);
+      nt = b.mul(b.xor_(nt, total), kf);
+      nt = b.add(nt, v);
+      b.store(stats, 16 * 8, nt);
+      b.ret(total);
+    }
+
+    const FuncId main_id = m.addFunction("main", 0);
+    IrBuilder b(m, main_id);
+    b.setInsertPoint(b.createBlock("entry"));
+    const Reg prng = b.newReg();
+    b.constTo(prng, 0xc4ceb9fe1a85ec53ll);
+    const Reg chk = b.newReg();
+    b.constTo(chk, 0);
+
+    const auto N = static_cast<std::int64_t>(1400 * scale);
+    const auto RLE_N = static_cast<std::int64_t>(5500 * scale);
+    const Reg block = emitRandomArrayImm(b, "block_init", RLE_N, prng, 10);
+    const Reg rank = b.halloc(N * 8);
+    const Reg stats = b.halloc(17 * 8);
+
+    // Rank sweep: per-element sort-rank computation plus global stats —
+    // the shared total counter is read *early* (feeding the stored rank)
+    // and written *late* through the call, so every iteration violates and
+    // replays its counter-dependent chain.
+    {
+      const Reg i = b.newReg();
+      b.constTo(i, 0);
+      const Reg end = b.iconst(N);
+      countedLoop(b, "rank_sweep", i, end, [&](IrBuilder& b2) {
+        const Reg total_in = b2.load(stats, 16 * 8);
+        const Reg v = b2.load(emitIndex(b2, block, i), 0);
+        const Reg k1 = b2.iconst(0x85ebca6b);
+        const Reg k2 = b2.iconst(13);
+        Reg r = b2.mul(b2.xor_(v, total_in), k1);
+        r = b2.xor_(r, b2.shr(r, k2));
+        r = b2.add(r, i);
+        r = b2.mul(r, k1);
+        r = b2.xor_(r, b2.shl(r, k2));
+        b2.store(emitIndex(b2, rank, i), 0, r);
+        b2.callVoid(bump, {stats, v});
+      });
+    }
+
+    // Serial RLE: run state is conditionally updated — stays sequential.
+    {
+      const Reg i = b.newReg();
+      b.constTo(i, 1);
+      const Reg end = b.iconst(RLE_N);
+      const Reg run_len = b.newReg();
+      b.constTo(run_len, 1);
+      countedLoop(b, "rle_encode", i, end, [&](IrBuilder& b2) {
+        const Reg cur = b2.load(emitIndex(b2, block, i), 0);
+        const Reg one = b2.iconst(1);
+        const Reg prev_idx = b2.sub(i, one);
+        const Reg prev = b2.load(emitIndex(b2, block, prev_idx), 0);
+        const Reg same = b2.cmpEq(cur, prev);
+        // run_len = same ? run_len + 1 : 1, branch-free.
+        const Reg grown = b2.add(run_len, one);
+        const Reg not_same = b2.sub(one, same);
+        const Reg kept = b2.mul(grown, same);
+        const Reg reset = b2.mul(one, not_same);
+        const Reg kf = b2.iconst(0x100000001b3ll);
+        Reg rl = b2.add(kept, reset);
+        rl = b2.add(b2.mul(b2.mul(rl, kf), kf), rl);
+        b2.movTo(run_len, rl);
+        b2.movTo(chk, b2.add(chk, rl));
+      });
+    }
+
+    const Reg total = b.load(stats, 16 * 8);
+    b.ret(b.xor_(chk, total));
+    m.setMainFunc(main_id);
+    return m;
+  };
+  return w;
+}
+
+}  // namespace spt::workloads

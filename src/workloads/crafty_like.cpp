@@ -1,0 +1,97 @@
+// crafty analog: chess-engine-style bitboard work where most loop coverage
+// sits in short-trip-count move-generation loops nested under a position
+// driver — the paper notes crafty "has many loops of short iteration
+// counts that is inefficient to parallelize at iteration level".
+#include "workloads/common.h"
+#include "workloads/workloads.h"
+
+namespace spt::workloads {
+
+using namespace ir;
+
+Workload craftyLike() {
+  Workload w;
+  w.name = "crafty";
+  w.description =
+      "Move generation with trip-count-4 direction loops under a position "
+      "driver, a 64-square evaluation sweep, and hash probes.";
+  w.build = [](std::uint64_t scale) {
+    Module m("crafty");
+    const FuncId main_id = m.addFunction("main", 0);
+    IrBuilder b(m, main_id);
+    b.setInsertPoint(b.createBlock("entry"));
+    const Reg prng = b.newReg();
+    b.constTo(prng, 0x94d049bb133111ebll);
+    const Reg chk = b.newReg();
+    b.constTo(chk, 0);
+
+    const auto POSITIONS = static_cast<std::int64_t>(600 * scale);
+    const std::int64_t HASH = 1024;
+
+    const Reg board = emitRandomArrayImm(b, "board_init", 64, prng);
+    const Reg hash_table = emitRandomArrayImm(b, "hash_init", HASH, prng);
+    const Reg moves = b.halloc(64 * 8);
+
+    // Position driver: untransformable (inner loops); the inner direction
+    // loops have trip count 4 and tiny bodies — rejected by selection.
+    {
+      const Reg pos = b.newReg();
+      b.constTo(pos, 0);
+      const Reg pend = b.iconst(POSITIONS);
+      countedLoop(b, "search_positions", pos, pend, [&](IrBuilder& b2) {
+        const Reg piece = b2.newReg();
+        b2.constTo(piece, 0);
+        const Reg npieces = b2.iconst(12);
+        countedLoop(b2, "gen_pieces", piece, npieces, [&](IrBuilder& b3) {
+          const Reg sq = emitMask(b3, b3.add(piece, pos), 6);
+          const Reg bits = b3.load(emitIndex(b3, board, sq), 0);
+          const Reg dir = b3.newReg();
+          b3.constTo(dir, 0);
+          const Reg ndirs = b3.iconst(4);
+          countedLoop(b3, "gen_dirs", dir, ndirs, [&](IrBuilder& b4) {
+            const Reg ray = b4.shr(bits, dir);
+            const Reg slot = emitMask(b4, b4.add(sq, dir), 6);
+            b4.store(emitIndex(b4, moves, slot), 0, ray);
+          });
+        });
+        // Hash probe: one global-table read-modify-write per position.
+        const Reg key = emitXorshift(b2, prng);
+        const Reg h = emitMask(b2, key, 10);
+        const Reg haddr = emitIndex(b2, hash_table, h);
+        const Reg old = b2.load(haddr, 0);
+        b2.store(haddr, 0, b2.xor_(old, key));
+        b2.movTo(chk, b2.add(chk, old));
+      });
+    }
+
+    // Evaluation: the one healthy parallel loop (64 squares, decent body).
+    {
+      const Reg round = b.newReg();
+      b.constTo(round, 0);
+      const Reg rounds = b.iconst(POSITIONS / 32);
+      countedLoop(b, "eval_rounds", round, rounds, [&](IrBuilder& b2) {
+        const Reg sq = b2.newReg();
+        b2.constTo(sq, 0);
+        const Reg n64 = b2.iconst(64);
+        countedLoop(b2, "evaluate", sq, n64, [&](IrBuilder& b3) {
+          const Reg v = b3.load(emitIndex(b3, board, sq), 0);
+          const Reg k1 = b3.iconst(0xff51afd7ed558ccdll);
+          Reg score = b3.mul(v, k1);
+          const Reg c33 = b3.iconst(33);
+          score = b3.xor_(score, b3.shr(score, c33));
+          score = b3.add(score, sq);
+          score = b3.mul(score, k1);
+          score = b3.xor_(score, b3.shl(score, c33));
+          b3.store(emitIndex(b3, moves, sq), 0, score);
+        });
+      });
+    }
+
+    b.ret(chk);
+    m.setMainFunc(main_id);
+    return m;
+  };
+  return w;
+}
+
+}  // namespace spt::workloads

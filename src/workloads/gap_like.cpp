@@ -1,0 +1,138 @@
+// gap analog: one very hot loop whose body is usually small but
+// occasionally makes a huge function call (a GC-style region sweep) — the
+// skewed loop the paper highlights under Figure 6, admitted only when the
+// body-size limit is raised to 2500.
+#include "workloads/common.h"
+#include "workloads/workloads.h"
+
+namespace spt::workloads {
+
+using namespace ir;
+
+Workload gapLike() {
+  Workload w;
+  w.name = "gap";
+  w.description =
+      "One hot interpreter loop; ~1/4 of iterations call a large region "
+      "sweep (4000 straight-line instructions), giving a skewed body-size "
+      "distribution with an average near 1500 instructions.";
+  w.build = [](std::uint64_t scale) {
+    Module m("gap");
+
+    const std::int64_t REGION_SLOTS = 700;
+
+    // gc_sweep(region_base): rewrites every slot of one region as
+    // *straight-line* generated code (~8 instructions per slot -> ~4000
+    // instructions per call, a 64KB I-cache footprint). Keeping it
+    // loop-free is what makes the enclosing collect_bags loop's body-size
+    // distribution skewed, as the paper describes for gap.
+    const FuncId gc_sweep = m.addFunction("gc_sweep", 1);
+    {
+      IrBuilder b(m, gc_sweep);
+      b.setInsertPoint(b.createBlock("entry"));
+      const Reg region = b.param(0);
+      Reg acc = b.iconst(0);
+      const Reg k = b.iconst(0xbf58476d1ce4e5b9ll);
+      const Reg c27 = b.iconst(27);
+      for (std::int64_t slot = 0; slot < REGION_SLOTS; ++slot) {
+        const Reg v = b.load(region, slot * 8);
+        Reg nv = b.mul(v, k);
+        nv = b.xor_(nv, b.shr(nv, c27));
+        b.store(region, slot * 8, nv);
+        acc = b.add(acc, nv);
+      }
+      b.ret(acc);
+    }
+
+    const FuncId main_id = m.addFunction("main", 0);
+    IrBuilder b(m, main_id);
+    b.setInsertPoint(b.createBlock("entry"));
+    const Reg prng = b.newReg();
+    b.constTo(prng, 0xd6e8feb86659fd93ll);
+    const Reg chk = b.newReg();
+    b.constTo(chk, 0);
+
+    const auto BAGS = static_cast<std::int64_t>(500 * scale);
+    const auto NAMES = static_cast<std::int64_t>(11000 * scale);
+    const std::int64_t NREGIONS = 4;
+
+    const Reg bags = emitRandomArrayImm(b, "bag_init", BAGS, prng, 16);
+    const Reg out = b.halloc(BAGS * 8);
+    // Four regions; consecutive huge calls hit different regions, so huge
+    // iterations stay speculatively independent.
+    const Reg regions = b.halloc(NREGIONS * REGION_SLOTS * 8);
+
+    {
+      const Reg i = b.newReg();
+      b.constTo(i, 0);
+      const Reg end = b.iconst(BAGS);
+      countedLoop(b, "collect_bags", i, end, [&](IrBuilder& b2) {
+        const Reg v = b2.load(emitIndex(b2, bags, i), 0);
+        // Common case: ~20 instructions of interpreter-style dispatch.
+        const Reg k1 = b2.iconst(0x94d049bb133111ebll);
+        Reg d = b2.mul(v, k1);
+        const Reg c31 = b2.iconst(31);
+        d = b2.xor_(d, b2.shr(d, c31));
+        d = b2.add(d, i);
+        d = b2.mul(d, k1);
+        d = b2.xor_(d, b2.shl(d, c31));
+        b2.store(emitIndex(b2, out, i), 0, d);
+
+        // Rare case (v % 4 == 0, ~1/4): the huge region sweep.
+        const Reg three_m = b2.iconst(3);
+        const Reg low = b2.and_(v, three_m);
+        const Reg zero = b2.iconst(0);
+        const Reg is_big = b2.cmpEq(low, zero);
+        const BlockId big = b2.createBlock("collect_big" );
+        const BlockId join = b2.createBlock("collect_join");
+        b2.condBr(is_big, big, join);
+        b2.setInsertPoint(big);
+        const Reg region_idx = emitMask(b2, i, 2);  // rotate over 4 regions
+        const Reg slot_bytes = b2.iconst(REGION_SLOTS * 8);
+        const Reg region = b2.add(regions, b2.mul(region_idx, slot_bytes));
+        const Reg swept = b2.call(gc_sweep, {region});
+        b2.store(emitIndex(b2, out, i), 0, swept);
+        b2.br(join);
+        b2.setInsertPoint(join);
+      });
+    }
+
+    // Identifier hashing: the small-body loop work that gives gap its
+    // ~35% coverage below the Figure 6 jump.
+    {
+      const Reg names = b.halloc(NAMES * 8);
+      const Reg i = b.newReg();
+      b.constTo(i, 0);
+      const Reg end = b.iconst(NAMES);
+      countedLoop(b, "name_hash", i, end, [&](IrBuilder& b2) {
+        const Reg mask = b2.iconst(255);
+        const Reg src = b2.and_(i, mask);
+        const Reg v = b2.load(emitIndex(b2, bags, src), 0);
+        const Reg k1 = b2.iconst(0xff51afd7ed558ccdll);
+        Reg h = b2.mul(b2.add(v, i), k1);
+        const Reg c33 = b2.iconst(33);
+        h = b2.xor_(h, b2.shr(h, c33));
+        h = b2.mul(h, k1);
+        b2.store(emitIndex(b2, names, i), 0, h);
+      });
+    }
+
+    // Small tail checksum loop.
+    {
+      const Reg i = b.newReg();
+      b.constTo(i, 0);
+      const Reg end = b.iconst(BAGS);
+      countedLoop(b, "bag_checksum", i, end, [&](IrBuilder& b2) {
+        const Reg v = b2.load(emitIndex(b2, out, i), 0);
+        b2.movTo(chk, b2.xor_(chk, v));
+      });
+    }
+
+    b.ret(chk);
+    m.setMainFunc(main_id);
+    return m;
+  };
+  return w;
+}
+
+}  // namespace spt::workloads

@@ -1,0 +1,157 @@
+// gcc analog: many medium-sized loops — bitset dataflow sweeps, constant
+// propagation passes with conditional updates, and an instruction-list walk
+// with occasional table updates. The known hard-to-parallelize benchmark
+// that still gets ~14% in the paper.
+#include "workloads/common.h"
+#include "workloads/workloads.h"
+
+namespace spt::workloads {
+
+using namespace ir;
+
+Workload gccLike() {
+  Workload w;
+  w.name = "gcc";
+  w.description =
+      "Bitset dataflow over basic blocks, constant-propagation sweeps, and "
+      "an RTL-style list walk with low-probability table collisions.";
+  w.build = [](std::uint64_t scale) {
+    Module m("gcc");
+
+    // note_use(table, reg_id): bumps a use-count cell (random index:
+    // low-probability distance-1 dependences).
+    const FuncId note_use = m.addFunction("note_use", 2);
+    {
+      IrBuilder b(m, note_use);
+      b.setInsertPoint(b.createBlock("entry"));
+      const Reg idx = emitMask(b, b.param(1), 8);  // 256 cells
+      const Reg addr = emitIndex(b, b.param(0), idx);
+      const Reg old = b.load(addr, 0);
+      const Reg one = b.iconst(1);
+      b.store(addr, 0, b.add(old, one));
+      b.ret(old);
+    }
+
+    const FuncId main_id = m.addFunction("main", 0);
+    IrBuilder b(m, main_id);
+    b.setInsertPoint(b.createBlock("entry"));
+    const Reg prng = b.newReg();
+    b.constTo(prng, 0x2b992ddfa23249d6ll);
+    const Reg chk = b.newReg();
+    b.constTo(chk, 0);
+
+    const auto BLOCKS = static_cast<std::int64_t>(16 * scale);
+    const std::int64_t WORDS = 48;  // bitset words per block
+    const auto INSNS = static_cast<std::int64_t>(3000 * scale);
+
+    const Reg gen = emitRandomArrayImm(b, "gen_init", BLOCKS * WORDS, prng);
+    const Reg kill = emitRandomArrayImm(b, "kill_init", BLOCKS * WORDS, prng);
+    const Reg in = b.halloc(BLOCKS * WORDS * 8);
+    const Reg out = b.halloc(BLOCKS * WORDS * 8);
+    const Reg use_table = b.halloc(256 * 8);
+    const Reg insns = emitRandomArrayImm(b, "insn_init", INSNS, prng, 20);
+
+    // Dataflow: outer loop over blocks (contains the inner loop), inner
+    // parallel sweep over bitset words.
+    {
+      const Reg blk = b.newReg();
+      b.constTo(blk, 0);
+      const Reg nblk = b.iconst(BLOCKS);
+      const Reg words = b.iconst(WORDS);
+      countedLoop(b, "dataflow_blocks", blk, nblk, [&](IrBuilder& b2) {
+        const Reg base = b2.mul(blk, words);
+        const Reg word = b2.newReg();
+        b2.constTo(word, 0);
+        countedLoop(b2, "dataflow_words", word, words, [&](IrBuilder& b3) {
+          const Reg idx = b3.add(base, word);
+          const Reg o = b3.load(emitIndex(b3, out, idx), 0);
+          const Reg k = b3.load(emitIndex(b3, kill, idx), 0);
+          const Reg g = b3.load(emitIndex(b3, gen, idx), 0);
+          const Reg minus1 = b3.iconst(-1);
+          const Reg not_k = b3.xor_(k, minus1);
+          const Reg masked = b3.and_(o, not_k);
+          const Reg res = b3.or_(masked, g);
+          b3.store(emitIndex(b3, in, idx), 0, res);
+          const Reg two = b3.iconst(2);
+          const Reg nxt = b3.or_(res, b3.shr(res, two));
+          b3.store(emitIndex(b3, out, idx), 0, nxt);
+        });
+      });
+    }
+
+    // Constant propagation sweep: conditional stores, no carried scalars.
+    {
+      const Reg i = b.newReg();
+      b.constTo(i, 0);
+      const Reg end = b.iconst(INSNS / 3);
+      countedLoop(b, "const_prop", i, end, [&](IrBuilder& b2) {
+        const Reg v = b2.load(emitIndex(b2, insns, i), 0);
+        const Reg seven = b2.iconst(7);
+        const Reg low = b2.and_(v, seven);
+        const Reg zero = b2.iconst(0);
+        const Reg is_const = b2.cmpEq(low, zero);
+        const Reg k1 = b2.iconst(0xcc9e2d51);
+        Reg folded = b2.mul(v, k1);
+        folded = b2.xor_(folded, v);
+        const Reg five = b2.iconst(5);
+        folded = b2.add(folded, b2.shr(v, five));
+        // Branch-free conditional store value.
+        const Reg keep = b2.sub(b2.iconst(1), is_const);
+        const Reg merged =
+            b2.add(b2.mul(folded, is_const), b2.mul(v, keep));
+        b2.store(emitIndex(b2, insns, i), 0, merged);
+      });
+    }
+
+    // RTL walk: per-insn decode work plus an occasional use-table bump.
+    {
+      const Reg i = b.newReg();
+      b.constTo(i, 0);
+      const Reg end = b.iconst(2 * INSNS / 3);
+      countedLoop(b, "rtl_walk", i, end, [&](IrBuilder& b2) {
+        const Reg v = b2.load(emitIndex(b2, insns, i), 0);
+        const Reg k1 = b2.iconst(0x1b873593);
+        Reg d = b2.mul(v, k1);
+        const Reg nine = b2.iconst(9);
+        d = b2.xor_(d, b2.shr(d, nine));
+        d = b2.add(d, i);
+        const Reg r = b2.call(note_use, {use_table, d});
+        b2.movTo(chk, b2.xor_(chk, r));
+      });
+    }
+
+    // Live-range numbering: a serial dependent recurrence (the running
+    // range id depends on the previous instruction's).
+    {
+      const Reg i = b.newReg();
+      b.constTo(i, 0);
+      const Reg end = b.iconst(3 * INSNS);
+      const Reg range = b.newReg();
+      b.constTo(range, 1);
+      countedLoop(b, "live_ranges", i, end, [&](IrBuilder& b2) {
+        const Reg imask = b2.iconst(2047);
+        const Reg idx = b2.and_(i, imask);
+        const Reg v = b2.load(emitIndex(b2, insns, idx), 0);
+        const Reg three = b2.iconst(3);
+        const Reg starts = b2.and_(v, three);
+        const Reg zero = b2.iconst(0);
+        const Reg is_start = b2.cmpEq(starts, zero);
+        // Latency-bound recurrence: dependent multiplies serialize the
+        // loop regardless of issue width.
+        const Reg k9 = b2.iconst(0x100000001b3ll);
+        Reg rr = b2.mul(b2.add(range, is_start), k9);
+        rr = b2.mul(b2.xor_(rr, v), k9);
+        rr = b2.add(b2.mul(rr, k9), is_start);
+        b2.movTo(range, rr);
+        b2.movTo(chk, b2.xor_(chk, rr));
+      });
+    }
+
+    b.ret(chk);
+    m.setMainFunc(main_id);
+    return m;
+  };
+  return w;
+}
+
+}  // namespace spt::workloads

@@ -1,0 +1,127 @@
+// gzip analog: window fill, hash-chain insertion (low-probability
+// cross-iteration dependences through the hash head table — speculation
+// usually succeeds, occasionally replays), match scanning with short inner
+// loops, and a serial CRC.
+#include "workloads/common.h"
+#include "workloads/workloads.h"
+
+namespace spt::workloads {
+
+using namespace ir;
+
+Workload gzipLike() {
+  Workload w;
+  w.name = "gzip";
+  w.description =
+      "LZ77-style hash insertion and match scanning; dynamic parallelism "
+      "with rare hash-bucket collisions between consecutive positions.";
+  w.build = [](std::uint64_t scale) {
+    Module m("gzip");
+    const FuncId main_id = m.addFunction("main", 0);
+    IrBuilder b(m, main_id);
+    b.setInsertPoint(b.createBlock("entry"));
+    const Reg prng = b.newReg();
+    b.constTo(prng, 0xda3e39cb94b95bdbll);
+    const Reg chk = b.newReg();
+    b.constTo(chk, 0);
+
+    const auto W = static_cast<std::int64_t>(4200 * scale);
+    const std::int64_t HASH_BITS = 9;  // 512 heads: ~0.2% collision rate
+    const std::int64_t H = 1ll << HASH_BITS;
+
+    // Input window.
+    const Reg window = emitRandomArrayImm(b, "fill_window", W, prng, 12);
+    const Reg head = emitRandomArrayImm(b, "head_init", H, prng, 1);
+    const Reg prev = b.halloc(W * 8);
+
+    // Hash-chain insertion: prev[i] = head[h]; head[h] = i. The head-table
+    // read-modify-write creates a distance-1 dependence only when two
+    // consecutive positions hash to the same bucket.
+    {
+      const Reg i = b.newReg();
+      b.constTo(i, 0);
+      const Reg end = b.iconst(W);
+      countedLoop(b, "hash_insert", i, end, [&](IrBuilder& b2) {
+        const Reg v = b2.load(emitIndex(b2, window, i), 0);
+        // 64-bit odd constant so the top HASH_BITS bits actually mix.
+        const Reg k1 = b2.iconst(0x9e3779b97f4a7c15ll);
+        const Reg mixed = b2.mul(v, k1);
+        const Reg shift = b2.iconst(64 - HASH_BITS);
+        const Reg h = b2.shr(mixed, shift);
+        const Reg head_addr = emitIndex(b2, head, h);
+        const Reg old = b2.load(head_addr, 0);
+        b2.store(emitIndex(b2, prev, i), 0, old);
+        b2.store(head_addr, 0, i);
+        // Extra literal-cost modelling work.
+        const Reg c = b2.iconst(0x27d4eb2f);
+        Reg acc = b2.xor_(v, old);
+        acc = b2.mul(acc, c);
+        acc = b2.add(acc, v);
+        b2.store(emitIndex(b2, prev, i), 0, acc);
+      });
+    }
+
+    // Match scanning: outer loop over positions with a short inner
+    // comparison loop (inner trips ~4: too short to select; the outer loop
+    // contains it and is not transformable).
+    {
+      const Reg pos = b.newReg();
+      b.constTo(pos, 8);
+      const Reg pos_end = b.iconst(W - 8);
+      countedLoop(b, "match_scan", pos, pos_end, [&](IrBuilder& b2) {
+        const Reg j = b2.newReg();
+        b2.constTo(j, 0);
+        const Reg four = b2.iconst(4);
+        Reg len = b2.newReg();
+        b2.constTo(len, 0);
+        countedLoop(b2, "match_len", j, four, [&](IrBuilder& b3) {
+          const Reg idx1 = b3.add(pos, j);
+          const Reg a = b3.load(emitIndex(b3, window, idx1), 0);
+          const Reg back = b3.iconst(7);
+          const Reg idx2 = b3.sub(idx1, back);
+          const Reg c = b3.load(emitIndex(b3, window, idx2), 0);
+          const Reg eq = b3.cmpEq(a, c);
+          b3.movTo(len, b3.add(len, eq));
+        });
+        b2.movTo(chk, b2.add(chk, len));
+      });
+    }
+
+    // Serial CRC over the prev[] table (accumulator: stays sequential).
+    {
+      const Reg i = b.newReg();
+      b.constTo(i, 0);
+      const Reg end = b.iconst(W);
+      countedLoop(b, "crc", i, end, [&](IrBuilder& b2) {
+        const Reg v = b2.load(emitIndex(b2, prev, i), 0);
+        const Reg k = b2.iconst(0xedb88320);
+        const Reg one = b2.iconst(1);
+        const Reg shifted = b2.shr(chk, one);
+        const Reg mixed = b2.xor_(shifted, v);
+        b2.movTo(chk, b2.xor_(b2.mul(mixed, k), v));
+      });
+    }
+
+    // Adler-style second checksum over the window (serial).
+    {
+      const Reg i = b.newReg();
+      b.constTo(i, 0);
+      const Reg end = b.iconst(W);
+      const Reg s2 = b.newReg();
+      b.constTo(s2, 1);
+      countedLoop(b, "adler", i, end, [&](IrBuilder& b2) {
+        const Reg v = b2.load(emitIndex(b2, window, i), 0);
+        b2.movTo(chk, b2.add(chk, v));
+        b2.movTo(s2, b2.add(s2, chk));
+      });
+      b.movTo(chk, b.xor_(chk, s2));
+    }
+
+    b.ret(chk);
+    m.setMainFunc(main_id);
+    return m;
+  };
+  return w;
+}
+
+}  // namespace spt::workloads

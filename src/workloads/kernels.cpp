@@ -1,0 +1,108 @@
+#include "workloads/kernels.h"
+
+#include "workloads/common.h"
+
+namespace spt::workloads {
+
+using namespace ir;
+
+FuncId addFreeNodeFunc(Module& m, const std::string& name, int work) {
+  const FuncId f = m.addFunction(name, 2);  // (freelist_addr, node)
+  IrBuilder b(m, f);
+  const BlockId entry = b.createBlock("entry");
+  const BlockId do_push = b.createBlock("push");
+  const BlockId done = b.createBlock("done");
+  b.setInsertPoint(entry);
+  const Reg fl = b.param(0);
+  const Reg node = b.param(1);
+
+  // The free-list head is read *early* and written *late*: a speculative
+  // thread one iteration ahead reads it before the main thread's store
+  // lands, so nearly every thread misspeculates — but only the short
+  // old_head-dependent chain re-executes (paper Figure 1: 80% of threads
+  // violate, yet 95% of speculative instructions stay correct).
+  const Reg old_head = b.load(fl, 0);
+
+  // Payload bookkeeping (the free_Tconnector-style local work),
+  // independent of the free-list head.
+  const Reg v = b.load(node, 0);
+  Reg acc = v;
+  const Reg three = b.iconst(3);
+  const Reg magic = b.iconst(0x5bd1e995);
+  for (int k = 0; k < work; ++k) {
+    switch (k % 4) {
+      case 0:
+        acc = b.mul(acc, three);
+        break;
+      case 1:
+        acc = b.xor_(acc, magic);
+        break;
+      case 2:
+        acc = b.add(acc, v);
+        break;
+      default: {
+        const Reg five = b.iconst(5);
+        acc = b.shr(acc, five);
+        break;
+      }
+    }
+  }
+  b.store(node, 16, acc);
+
+  // Free-list push (the global update) — skipped for ~1/4 of nodes (small
+  // blocks go back to the arena, not the free list), so a matching
+  // fraction of speculative threads runs perfectly parallel (the paper
+  // reports ~20% for this loop).
+  const Reg three_mask = b.iconst(3);
+  const Reg low = b.and_(v, three_mask);
+  const Reg zero = b.iconst(0);
+  const Reg keep = b.cmpEq(low, zero);
+  b.condBr(keep, done, do_push);
+  b.setInsertPoint(do_push);
+  b.store(node, 24, old_head);
+  b.store(fl, 0, node);
+  b.br(done);
+  b.setInsertPoint(done);
+  b.ret(acc);
+  return f;
+}
+
+std::pair<Reg, Reg> emitBuildList(IrBuilder& b, const std::string& label_build,
+                                  std::int64_t n, Reg prng) {
+  const Reg base = b.halloc(n * 32);
+  const Reg freelist = b.halloc(8);
+  const Reg i = b.newReg();
+  b.constTo(i, 0);
+  const Reg end = b.iconst(n);
+  const Reg thirty_two = b.iconst(32);
+  const Reg last = b.iconst(n - 1);
+  countedLoop(b, label_build, i, end, [&](IrBuilder& bb) {
+    const Reg off = bb.mul(i, thirty_two);
+    const Reg node = bb.add(base, off);
+    const Reg payload = emitXorshift(bb, prng);
+    bb.store(node, 0, payload);
+    // next = (i == n-1) ? 0 : node + 32, branch-free via masking.
+    const Reg is_last = bb.cmpEq(i, last);
+    const Reg one = bb.iconst(1);
+    const Reg not_last = bb.sub(one, is_last);
+    const Reg next = bb.add(node, thirty_two);
+    const Reg masked = bb.mul(next, not_last);
+    bb.store(node, 8, masked);
+    const Reg zero = bb.iconst(0);
+    bb.store(node, 16, zero);
+    bb.store(node, 24, zero);
+  });
+  return {base, freelist};
+}
+
+void emitFreeListLoop(IrBuilder& b, const std::string& label, Reg head,
+                      Reg freelist, FuncId free_node) {
+  const Reg p = b.newReg();
+  b.movTo(p, head);
+  chaseLoop(b, label, p, /*next_offset=*/8, [&](IrBuilder& bb, Reg pnext) {
+    (void)pnext;
+    bb.callVoid(free_node, {freelist, p});
+  });
+}
+
+}  // namespace spt::workloads

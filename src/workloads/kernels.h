@@ -1,0 +1,35 @@
+// Shared kernels used by more than one workload (notably the paper's
+// Figure 1 linked-list free loop, used by parser_like and micro.parser_free).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "ir/builder.h"
+
+namespace spt::workloads {
+
+/// Adds `free_node(freelist_head_addr, node)`: payload bookkeeping on the
+/// node (about `work` arithmetic instructions plus two node-local memory
+/// operations) followed by a push onto the free list — the global update
+/// that makes the Figure 1 loop misspeculate on ~all iterations while only
+/// a few of its instructions need re-execution.
+/// Node layout (32 bytes): +0 payload, +8 next, +16 scratch, +24 free-link.
+ir::FuncId addFreeNodeFunc(ir::Module& m, const std::string& name, int work);
+
+/// Emits, at the current insert point:
+///  * allocation of `n` 32-byte nodes as a linked list (build loop labelled
+///    `label_build`), payload from the caller's PRNG state register;
+///  * allocation of the free-list head cell;
+/// Returns (head_node_reg, freelist_addr_reg). Builder ends un-terminated.
+std::pair<ir::Reg, ir::Reg> emitBuildList(ir::IrBuilder& b,
+                                          const std::string& label_build,
+                                          std::int64_t n, ir::Reg prng);
+
+/// Emits the Figure 1 free loop (labelled `label`): chases `head` via the
+/// +8 next field, calling free_node(freelist, node) on each node. Builder
+/// ends un-terminated in the loop exit block.
+void emitFreeListLoop(ir::IrBuilder& b, const std::string& label,
+                      ir::Reg head, ir::Reg freelist, ir::FuncId free_node);
+
+}  // namespace spt::workloads

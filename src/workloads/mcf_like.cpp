@@ -1,0 +1,171 @@
+// mcf analog: memory-bound network-simplex-style sweeps over arc arrays
+// much larger than the L3 cache, plus pointer chasing through a node tree.
+// SPT gains here come mostly from memory-level parallelism: the speculative
+// thread's loads overlap the main thread's misses (the D-cache-stall
+// reduction visible for mcf in paper Figure 9).
+#include <bit>
+
+#include "workloads/common.h"
+#include "workloads/workloads.h"
+
+namespace spt::workloads {
+
+using namespace ir;
+
+Workload mcfLike() {
+  Workload w;
+  w.name = "mcf";
+  w.description =
+      "Arc-cost refresh sweeps over a >L3 working set and basis-tree "
+      "pointer chasing; memory-bound.";
+  w.build = [](std::uint64_t scale) {
+    Module m("mcf");
+    const FuncId main_id = m.addFunction("main", 0);
+    IrBuilder b(m, main_id);
+    b.setInsertPoint(b.createBlock("entry"));
+    const Reg prng = b.newReg();
+    b.constTo(prng, 0x8cb92ba72f3d8dd7ll);
+    const Reg chk = b.newReg();
+    b.constTo(chk, 0);
+
+    // The cost array alone is 4MB (beyond the 3MB L3); the refresh sweep
+    // strides through it pseudo-randomly, so most of its loads go to
+    // memory — mcf's defining behaviour.
+    const auto COST_ENTRIES =
+        static_cast<std::int64_t>(std::bit_ceil(524288 * scale));
+    const auto ARCS = static_cast<std::int64_t>(3500 * scale);
+    // Power of two: the tree permutation masks indices. 32k nodes * 16B =
+    // 512KB, beyond L2.
+    const auto NODES =
+        static_cast<std::int64_t>(std::bit_ceil(32768 * scale));
+
+    const std::int64_t SIDE = 8192;  // flow/head side arrays (L3-resident)
+    // The big cost array stays zero-initialized (halloc zero-fills): its
+    // point is the cache footprint, not the values.
+    const Reg cost = b.halloc(COST_ENTRIES * 8);
+    const Reg flow = emitRandomArrayImm(b, "flow_init", SIDE, prng, 8);
+    const Reg headn = emitRandomArrayImm(b, "head_init", SIDE, prng, 13);
+
+    // Basis tree: next[i] is a pseudo-random permutation step (i*K+1 mod
+    // NODES), giving a full-cycle pointer chain with poor locality.
+    const Reg tree = b.halloc(NODES * 16);
+    {
+      const Reg i = b.newReg();
+      b.constTo(i, 0);
+      const Reg end = b.iconst(NODES);
+      const Reg sixteen = b.iconst(16);
+      countedLoop(b, "tree_init", i, end, [&](IrBuilder& b2) {
+        const Reg k = b2.iconst(48271);
+        const Reg mul = b2.mul(i, k);
+        const Reg one = b2.iconst(1);
+        const Reg mixed = b2.add(mul, one);
+        const Reg nmask = b2.iconst(NODES - 1);
+        const Reg nxt = b2.and_(mixed, nmask);
+        const Reg potential = emitXorshift(b2, prng);
+        const Reg addr = b2.add(tree, b2.mul(i, sixteen));
+        // next pointer: 0 terminates; index 0 maps to null to bound trips.
+        const Reg zero = b2.iconst(0);
+        const Reg is_zero = b2.cmpEq(nxt, zero);
+        const Reg keep = b2.sub(one, is_zero);
+        const Reg next_addr = b2.add(tree, b2.mul(nxt, sixteen));
+        b2.store(addr, 0, b2.mul(next_addr, keep));
+        b2.store(addr, 8, potential);
+      });
+    }
+
+    // Arc cost refresh: independent per-arc computation whose cost-array
+    // accesses are pseudo-random over 4MB — nearly every load misses the
+    // whole hierarchy. Fully parallel: the speculative thread's misses
+    // overlap the main thread's (memory-level parallelism).
+    {
+      const Reg i = b.newReg();
+      b.constTo(i, 0);
+      const Reg end = b.iconst(ARCS);
+      countedLoop(b, "refresh_arcs", i, end, [&](IrBuilder& b2) {
+        const Reg k = b2.iconst(2654435761ll);
+        const Reg scrambled = b2.mul(i, k);
+        const Reg cmask = b2.iconst(COST_ENTRIES - 1);
+        const Reg idx = b2.and_(scrambled, cmask);
+        const Reg c = b2.load(emitIndex(b2, cost, idx), 0);
+        const Reg smask = b2.iconst(SIDE - 1);
+        const Reg si = b2.and_(i, smask);
+        const Reg fl = b2.load(emitIndex(b2, flow, si), 0);
+        const Reg h = b2.load(emitIndex(b2, headn, si), 0);
+        Reg red = b2.sub(c, fl);
+        const Reg two = b2.iconst(2);
+        red = b2.add(red, b2.shr(h, two));
+        red = b2.xor_(red, b2.shl(fl, two));
+        red = b2.add(red, i);
+        b2.store(emitIndex(b2, cost, idx), 0, red);
+      });
+    }
+
+    // Basis-tree chase: Figure-1-shaped pointer walk with potential
+    // updates on each node (node-local, so iterations are independent
+    // apart from the chase itself).
+    {
+      const Reg start = b.add(tree, b.iconst(16));  // node 1
+      const Reg p = b.newReg();
+      b.movTo(p, start);
+      chaseLoop(b, "basis_chase", p, 0, [&](IrBuilder& b2, Reg pnext) {
+        (void)pnext;
+        const Reg pot = b2.load(p, 8);
+        const Reg k = b2.iconst(0x9e3779b9);
+        Reg np = b2.mul(pot, k);
+        const Reg six = b2.iconst(6);
+        np = b2.xor_(np, b2.shr(np, six));
+        np = b2.add(np, pot);
+        b2.store(p, 8, np);
+        b2.movTo(chk, b2.add(chk, np));
+      });
+    }
+
+    // Pivot scan: a dependent recurrence through memory (spill[i] is
+    // computed from spill[i-1]) with random cost-array loads — a serial,
+    // memory-heavy phase the compiler must reject.
+    {
+      const auto PIVOTS = static_cast<std::int64_t>(16000 * scale);
+      const Reg spill = b.halloc(PIVOTS * 8);
+      const Reg i = b.newReg();
+      b.constTo(i, 1);
+      const Reg end = b.iconst(PIVOTS);
+      countedLoop(b, "pivot_scan", i, end, [&](IrBuilder& b2) {
+        const Reg one = b2.iconst(1);
+        const Reg prev_i = b2.sub(i, one);
+        const Reg prev = b2.load(emitIndex(b2, spill, prev_i), 0);
+        const Reg k = b2.iconst(2246822519ll);
+        const Reg cmask = b2.iconst(32767);  // a 256KB L3-resident window
+        const Reg idx = b2.and_(b2.mul(i, k), cmask);
+        const Reg c = b2.load(emitIndex(b2, cost, idx), 0);
+        const Reg kf = b2.iconst(0x100000001b3ll);
+        Reg v = b2.mul(b2.xor_(prev, c), kf);
+        v = b2.mul(b2.add(v, i), kf);
+        v = b2.mul(b2.xor_(v, prev), kf);
+        b2.store(emitIndex(b2, spill, i), 0, v);
+      });
+      const Reg last = b.load(emitIndex(b, spill, b.iconst(PIVOTS - 1)), 0);
+      b.movTo(chk, b.xor_(chk, last));
+    }
+
+    // Price-out pass: sequential sweep over the side arrays.
+    {
+      const Reg i = b.newReg();
+      b.constTo(i, 0);
+      const Reg end = b.iconst(SIDE);
+      countedLoop(b, "price_out", i, end, [&](IrBuilder& b2) {
+        const Reg c = b2.load(emitIndex(b2, cost, i), 0);
+        const Reg h = b2.load(emitIndex(b2, headn, i), 0);
+        const Reg three = b2.iconst(3);
+        const Reg v = b2.add(b2.mul(c, three), h);
+        b2.store(emitIndex(b2, flow, i), 0, v);
+      });
+    }
+
+    b.ret(chk);
+    m.setMainFunc(main_id);
+    return m;
+  };
+  return w;
+}
+
+}  // namespace spt::workloads

@@ -1,0 +1,117 @@
+// parser analog: dictionary lookups plus the Figure 1 linked-list free
+// loops. High loop coverage, good SPT gains through selective re-execution
+// (the free-list push misspeculates, but cheaply).
+#include "workloads/common.h"
+#include "workloads/kernels.h"
+#include "workloads/workloads.h"
+
+namespace spt::workloads {
+
+using namespace ir;
+
+Workload parserLike() {
+  Workload w;
+  w.name = "parser";
+  w.description =
+      "Dictionary classification and lookup sweeps plus two linked-list "
+      "free loops (paper Figure 1's hot loop).";
+  w.build = [](std::uint64_t scale) {
+    Module m("parser");
+    const FuncId free_node = addFreeNodeFunc(m, "free_node", 20);
+
+    const FuncId main_id = m.addFunction("main", 0);
+    IrBuilder b(m, main_id);
+    b.setInsertPoint(b.createBlock("entry"));
+    const Reg prng = b.newReg();
+    b.constTo(prng, 0x853c49e6748fea9bll);
+    const Reg chk = b.newReg();
+    b.constTo(chk, 0);
+
+    const auto T = static_cast<std::int64_t>(1600 * scale);
+    const std::int64_t D = 4096;
+
+    // Dictionary of word hashes.
+    const Reg dict = emitRandomArrayImm(b, "dict_init", D, prng, 30);
+
+    const Reg run = b.newReg();
+    b.constTo(run, 0);
+    const Reg runs = b.iconst(2);
+    countedLoop(b, "run_loop", run, runs, [&](IrBuilder& bb) {
+      // Token stream.
+      const Reg tok = emitRandomArrayImm(bb, "tok_init", T, prng, 16);
+      const Reg out = bb.halloc(T * 8);
+
+      // Classification sweep: independent per-token work.
+      {
+        const Reg i = bb.newReg();
+        bb.constTo(i, 0);
+        const Reg end = bb.iconst(T);
+        countedLoop(bb, "classify", i, end, [&](IrBuilder& b2) {
+          const Reg v = b2.load(emitIndex(b2, tok, i), 0);
+          Reg acc = v;
+          const Reg k1 = b2.iconst(0x9e3779b9);
+          const Reg k2 = b2.iconst(7);
+          acc = b2.mul(acc, k1);
+          acc = b2.xor_(acc, b2.shr(acc, k2));
+          acc = b2.add(acc, v);
+          acc = b2.mul(acc, k1);
+          acc = b2.xor_(acc, b2.shl(acc, k2));
+          b2.store(emitIndex(b2, out, i), 0, acc);
+        });
+      }
+
+      // Dictionary lookup sweep: random dictionary probes.
+      {
+        const Reg i = bb.newReg();
+        bb.constTo(i, 0);
+        const Reg end = bb.iconst(T);
+        countedLoop(bb, "dict_lookup", i, end, [&](IrBuilder& b2) {
+          const Reg t = b2.load(emitIndex(b2, out, i), 0);
+          const Reg h = emitMask(b2, t, 12);
+          const Reg d = b2.load(emitIndex(b2, dict, h), 0);
+          const Reg mixed = b2.xor_(d, t);
+          const Reg three = b2.iconst(3);
+          const Reg r = b2.mul(mixed, three);
+          b2.store(emitIndex(b2, out, i), 0, r);
+        });
+      }
+
+      // Clause lists: build then free (Figure 1).
+      {
+        const auto n1 = static_cast<std::int64_t>(1500 * scale);
+        const auto [head, freelist] =
+            emitBuildList(bb, "build_clauses", n1, prng);
+        emitFreeListLoop(bb, "free_clauses", head, freelist, free_node);
+        const Reg fl_head = bb.load(freelist, 0);
+        bb.movTo(chk, bb.xor_(chk, fl_head));
+      }
+      {
+        const auto n2 = static_cast<std::int64_t>(700 * scale);
+        const auto [head, freelist] =
+            emitBuildList(bb, "build_links", n2, prng);
+        emitFreeListLoop(bb, "free_links", head, freelist, free_node);
+        const Reg fl_head = bb.load(freelist, 0);
+        bb.movTo(chk, bb.xor_(chk, fl_head));
+      }
+
+      // Serial word count (tiny accumulator body: rejected or unrolled).
+      {
+        const Reg i = bb.newReg();
+        bb.constTo(i, 0);
+        const Reg end = bb.iconst(T);
+        countedLoop(bb, "count_words", i, end, [&](IrBuilder& b2) {
+          const Reg v = b2.load(emitIndex(b2, out, i), 0);
+          const Reg low = emitMask(b2, v, 2);
+          bb.movTo(chk, b2.add(chk, low));
+        });
+      }
+    });
+
+    b.ret(chk);
+    m.setMainFunc(main_id);
+    return m;
+  };
+  return w;
+}
+
+}  // namespace spt::workloads

@@ -1,0 +1,21 @@
+#include "workloads/workloads.h"
+
+#include "support/check.h"
+
+namespace spt::workloads {
+
+std::vector<Workload> specSuite() {
+  return {bzip2Like(), craftyLike(), gapLike(),    gccLike(), gzipLike(),
+          mcfLike(),   parserLike(), twolfLike(), vortexLike(), vprLike()};
+}
+
+Workload findWorkload(const std::string& name) {
+  for (Workload& w : specSuite()) {
+    if (w.name == name) return w;
+  }
+  if (Workload w = microParserFree(); w.name == name) return w;
+  if (Workload w = microSvpStride(); w.name == name) return w;
+  SPT_UNREACHABLE("unknown workload name");
+}
+
+}  // namespace spt::workloads

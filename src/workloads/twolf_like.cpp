@@ -1,0 +1,120 @@
+// twolf analog: standard-cell placement cost sweeps with conditional
+// memory updates and a cheap serial cost accumulator — moderate SPT gains
+// through selective re-execution of the short accumulator chain.
+#include "workloads/common.h"
+#include "workloads/workloads.h"
+
+namespace spt::workloads {
+
+using namespace ir;
+
+Workload twolfLike() {
+  Workload w;
+  w.name = "twolf";
+  w.description =
+      "Placement cost sweeps (wire-length style) with conditional stores "
+      "and a carried total-cost accumulator.";
+  w.build = [](std::uint64_t scale) {
+    Module m("twolf");
+    const FuncId main_id = m.addFunction("main", 0);
+    IrBuilder b(m, main_id);
+    b.setInsertPoint(b.createBlock("entry"));
+    const Reg prng = b.newReg();
+    b.constTo(prng, 0xa0761d6478bd642fll);
+    const Reg chk = b.newReg();
+    b.constTo(chk, 0);
+
+    const auto CELLS = static_cast<std::int64_t>(2600 * scale);
+
+    const Reg xs = emitRandomArrayImm(b, "x_init", CELLS, prng, 10);
+    const Reg ys = emitRandomArrayImm(b, "y_init", CELLS, prng, 10);
+    const Reg cost = b.halloc(CELLS * 8);
+
+    const Reg pass = b.newReg();
+    b.constTo(pass, 0);
+    const Reg passes = b.iconst(1);
+    countedLoop(b, "anneal_passes", pass, passes, [&](IrBuilder& bb) {
+      // Wire cost sweep: independent per-cell computation with a cheap
+      // carried accumulator left in the post-fork region.
+      {
+        const Reg c = bb.newReg();
+        bb.constTo(c, 1);
+        const Reg end = bb.iconst(CELLS - 1);
+        countedLoop(bb, "cost_sweep", c, end, [&](IrBuilder& b2) {
+          const Reg x = b2.load(emitIndex(b2, xs, c), 0);
+          const Reg y = b2.load(emitIndex(b2, ys, c), 0);
+          const Reg one = b2.iconst(1);
+          const Reg left = b2.sub(c, one);
+          const Reg xl = b2.load(emitIndex(b2, xs, left), 0);
+          const Reg dx = b2.sub(x, xl);
+          // |dx| without branches: (dx ^ (dx>>63)) - (dx>>63).
+          const Reg c63 = b2.iconst(63);
+          const Reg sign = b2.shr(dx, c63);
+          const Reg adx = b2.sub(b2.xor_(dx, sign), sign);
+          const Reg two = b2.iconst(2);
+          const Reg wire = b2.add(adx, b2.mul(y, two));
+          b2.store(emitIndex(b2, cost, c), 0, wire);
+          b2.movTo(chk, b2.add(chk, wire));
+        });
+      }
+
+      // Swap evaluation: conditional position updates (accepted moves).
+      {
+        const Reg c = bb.newReg();
+        bb.constTo(c, 0);
+        const Reg end = bb.iconst(CELLS - 3);
+        countedLoop(bb, "swap_eval", c, end, [&](IrBuilder& b2) {
+          const Reg here = b2.load(emitIndex(b2, cost, c), 0);
+          const Reg three = b2.iconst(3);
+          const Reg there_idx = b2.add(c, three);
+          const Reg there = b2.load(emitIndex(b2, cost, there_idx), 0);
+          const Reg gain = b2.sub(here, there);
+          const Reg zero = b2.iconst(0);
+          const Reg accept = b2.cmpGt(gain, zero);
+          const BlockId do_swap = b2.createBlock("swap_do");
+          const BlockId join = b2.createBlock("swap_join");
+          b2.condBr(accept, do_swap, join);
+          b2.setInsertPoint(do_swap);
+          const Reg x = b2.load(emitIndex(b2, xs, c), 0);
+          const Reg one = b2.iconst(1);
+          b2.store(emitIndex(b2, xs, c), 0, b2.add(x, one));
+          b2.br(join);
+          b2.setInsertPoint(join);
+        });
+      }
+    });
+
+    // Net ripple propagation: a latency-bound dependent recurrence (the
+    // multiply chain dominates the iteration, so neither the baseline nor
+    // the SPT machine can overlap anything). Two passes.
+    {
+      const Reg rpass = b.newReg();
+      b.constTo(rpass, 0);
+      const Reg rpasses = b.iconst(2);
+      countedLoop(b, "ripple_passes", rpass, rpasses, [&](IrBuilder& bb) {
+        const Reg i = bb.newReg();
+        bb.constTo(i, 1);
+        const Reg end = bb.iconst(CELLS);
+        countedLoop(bb, "net_ripple", i, end, [&](IrBuilder& b2) {
+          const Reg one = b2.iconst(1);
+          const Reg prev_i = b2.sub(i, one);
+          const Reg prev = b2.load(emitIndex(b2, cost, prev_i), 0);
+          const Reg cur = b2.load(emitIndex(b2, cost, i), 0);
+          const Reg kf = b2.iconst(0x100000001b3ll);
+          Reg v = b2.mul(b2.xor_(prev, cur), kf);
+          v = b2.mul(b2.add(v, cur), kf);
+          v = b2.mul(b2.xor_(v, prev), kf);
+          b2.store(emitIndex(b2, cost, i), 0, v);
+          b2.movTo(chk, b2.xor_(chk, v));
+        });
+      });
+    }
+
+    b.ret(chk);
+    m.setMainFunc(main_id);
+    return m;
+  };
+  return w;
+}
+
+}  // namespace spt::workloads

@@ -1,0 +1,113 @@
+// vortex analog: an object-database workload whose execution is dominated
+// by call trees (insert / lookup / validate chains driven by recursion),
+// with almost no loop coverage — the paper's Figure 6 shows vortex's loop
+// coverage staying negligible, and Figure 9 shows no SPT gain.
+#include "workloads/common.h"
+#include "workloads/workloads.h"
+
+namespace spt::workloads {
+
+using namespace ir;
+
+Workload vortexLike() {
+  Workload w;
+  w.name = "vortex";
+  w.description =
+      "Recursive transaction driver issuing database insert/lookup/validate "
+      "call chains; negligible loop coverage by construction.";
+  w.build = [](std::uint64_t scale) {
+    Module m("vortex");
+    const std::int64_t TABLE = 2048;
+
+    // insert(db, key): hashed store plus chain bookkeeping.
+    const FuncId insert = m.addFunction("db_insert", 2);
+    {
+      IrBuilder b(m, insert);
+      b.setInsertPoint(b.createBlock("entry"));
+      const Reg key = b.param(1);
+      const Reg k1 = b.iconst(0xff51afd7ed558ccdll);
+      Reg h = b.mul(key, k1);
+      const Reg c33 = b.iconst(33);
+      h = b.xor_(h, b.shr(h, c33));
+      const Reg slot = emitMask(b, h, 11);
+      const Reg addr = emitIndex(b, b.param(0), slot);
+      const Reg old = b.load(addr, 0);
+      b.store(addr, 0, b.xor_(old, key));
+      b.ret(slot);
+    }
+
+    // lookup(db, key): hashed probe with a short rehash chain.
+    const FuncId lookup = m.addFunction("db_lookup", 2);
+    {
+      IrBuilder b(m, lookup);
+      b.setInsertPoint(b.createBlock("entry"));
+      const Reg key = b.param(1);
+      const Reg k1 = b.iconst(0xc4ceb9fe1a85ec53ll);
+      Reg h = b.mul(key, k1);
+      const Reg c29 = b.iconst(29);
+      h = b.xor_(h, b.shr(h, c29));
+      const Reg s0 = emitMask(b, h, 11);
+      const Reg v0 = b.load(emitIndex(b, b.param(0), s0), 0);
+      const Reg one = b.iconst(1);
+      const Reg s1 = emitMask(b, b.add(s0, one), 11);
+      const Reg v1 = b.load(emitIndex(b, b.param(0), s1), 0);
+      b.ret(b.xor_(v0, v1));
+    }
+
+    // validate(v): pure arithmetic tree.
+    const FuncId validate = m.addFunction("db_validate", 1);
+    {
+      IrBuilder b(m, validate);
+      b.setInsertPoint(b.createBlock("entry"));
+      Reg v = b.param(0);
+      const Reg k = b.iconst(0x2545f4914f6cdd1dll);
+      for (int i = 0; i < 8; ++i) {
+        v = (i % 2 == 0) ? b.mul(v, k) : b.xor_(v, b.param(0));
+      }
+      b.ret(v);
+    }
+
+    // process(db, n): one transaction then recurse (no loop!).
+    const FuncId process = m.addFunction("process", 2);
+    {
+      IrBuilder b(m, process);
+      const BlockId entry = b.createBlock("entry");
+      const BlockId work = b.createBlock("work");
+      const BlockId done = b.createBlock("done");
+      b.setInsertPoint(entry);
+      const Reg n = b.param(1);
+      const Reg zero = b.iconst(0);
+      const Reg stop = b.cmpEq(n, zero);
+      b.condBr(stop, done, work);
+      b.setInsertPoint(work);
+      const Reg k1 = b.iconst(0x9e3779b97f4a7c15ll);
+      const Reg key = b.mul(n, k1);
+      const Reg slot = b.call(insert, {b.param(0), key});
+      const Reg found = b.call(lookup, {b.param(0), key});
+      const Reg ok = b.call(validate, {found});
+      const Reg mixed = b.xor_(b.add(slot, ok), key);
+      const Reg one = b.iconst(1);
+      const Reg rest = b.call(process, {b.param(0), b.sub(n, one)});
+      b.ret(b.xor_(mixed, rest));
+      b.setInsertPoint(done);
+      b.ret(zero);
+    }
+
+    const FuncId main_id = m.addFunction("main", 0);
+    IrBuilder b(m, main_id);
+    b.setInsertPoint(b.createBlock("entry"));
+    const Reg prng = b.newReg();
+    b.constTo(prng, 0xe7037ed1a0b428dbll);
+    const Reg db = emitRandomArrayImm(b, "db_init", TABLE, prng);
+    const auto n = static_cast<std::int64_t>(1600 * scale);
+    const Reg count = b.iconst(n);
+    const Reg r1 = b.call(process, {db, count});
+    const Reg r2 = b.call(process, {db, count});
+    b.ret(b.xor_(r1, r2));
+    m.setMainFunc(main_id);
+    return m;
+  };
+  return w;
+}
+
+}  // namespace spt::workloads

@@ -1,0 +1,126 @@
+// vpr analog: FPGA place-and-route style sweeps — congestion cost updates
+// (parallel), a minimum-cost search with a conditionally-updated carried
+// minimum (unhoistable, occasionally violating), and timing-delay updates.
+#include "workloads/common.h"
+#include "workloads/workloads.h"
+
+namespace spt::workloads {
+
+using namespace ir;
+
+Workload vprLike() {
+  Workload w;
+  w.name = "vpr";
+  w.description =
+      "Routing congestion sweeps, a conditional running-minimum search, "
+      "and delay propagation updates.";
+  w.build = [](std::uint64_t scale) {
+    Module m("vpr");
+    const FuncId main_id = m.addFunction("main", 0);
+    IrBuilder b(m, main_id);
+    b.setInsertPoint(b.createBlock("entry"));
+    const Reg prng = b.newReg();
+    b.constTo(prng, 0x6c62272e07bb0142ll);
+    const Reg chk = b.newReg();
+    b.constTo(chk, 0);
+
+    const auto NODES = static_cast<std::int64_t>(3600 * scale);
+
+    const Reg occupancy = emitRandomArrayImm(b, "occ_init", NODES, prng, 6);
+    const Reg capacity = emitRandomArrayImm(b, "cap_init", NODES, prng, 6);
+    const Reg costs = b.halloc(NODES * 8);
+    const Reg delays = b.halloc(NODES * 8);
+
+    // Congestion cost sweep: independent per-node work (~20 instrs).
+    {
+      const Reg i = b.newReg();
+      b.constTo(i, 0);
+      const Reg end = b.iconst(NODES);
+      countedLoop(b, "congestion", i, end, [&](IrBuilder& b2) {
+        const Reg occ = b2.load(emitIndex(b2, occupancy, i), 0);
+        const Reg cap = b2.load(emitIndex(b2, capacity, i), 0);
+        const Reg one = b2.iconst(1);
+        const Reg cap1 = b2.add(cap, one);
+        const Reg over = b2.sub(occ, cap);
+        const Reg c63 = b2.iconst(63);
+        const Reg sign = b2.shr(over, c63);
+        const Reg pos_over = b2.sub(b2.xor_(over, sign), sign);
+        const Reg base_cost = b2.mul(pos_over, cap1);
+        const Reg hist = b2.shl(occ, b2.iconst(2));
+        const Reg total = b2.add(base_cost, hist);
+        b2.store(emitIndex(b2, costs, i), 0, total);
+      });
+    }
+
+    // Minimum-cost search: the carried minimum is updated conditionally
+    // (conditional def: not hoistable, not SVP-able; violates only when a
+    // new minimum is found, which becomes rare as the sweep progresses —
+    // dynamic parallelism the compiler cannot prove).
+    {
+      const Reg best = b.newReg();
+      b.constTo(best, INT64_MAX);
+      const Reg i = b.newReg();
+      b.constTo(i, 0);
+      const Reg end = b.iconst(NODES);
+      countedLoop(b, "min_search", i, end, [&](IrBuilder& b2) {
+        const Reg c = b2.load(emitIndex(b2, costs, i), 0);
+        const Reg k1 = b2.iconst(0x9e3779b9);
+        Reg scored = b2.mul(c, k1);
+        const Reg c7 = b2.iconst(7);
+        scored = b2.xor_(scored, b2.shr(scored, c7));
+        const Reg better = b2.cmpLt(scored, best);
+        const BlockId take = b2.createBlock("min_take");
+        const BlockId join = b2.createBlock("min_join");
+        b2.condBr(better, take, join);
+        b2.setInsertPoint(take);
+        b2.movTo(best, scored);
+        b2.br(join);
+        b2.setInsertPoint(join);
+      });
+      b.movTo(chk, b.xor_(chk, best));
+    }
+
+    // Delay propagation: reads a neighbour, writes self (distance-4
+    // neighbour: no distance-1 dependence).
+    {
+      const Reg i = b.newReg();
+      b.constTo(i, 4);
+      const Reg end = b.iconst(NODES);
+      countedLoop(b, "delay_update", i, end, [&](IrBuilder& b2) {
+        const Reg four = b2.iconst(4);
+        const Reg src = b2.sub(i, four);
+        const Reg d = b2.load(emitIndex(b2, delays, src), 0);
+        const Reg c = b2.load(emitIndex(b2, costs, i), 0);
+        const Reg two = b2.iconst(2);
+        const Reg nd = b2.add(d, b2.shr(c, two));
+        b2.store(emitIndex(b2, delays, i), 0, nd);
+      });
+    }
+
+    // Critical-path timing walk: serial recurrence over the delays.
+    {
+      const Reg i = b.newReg();
+      b.constTo(i, 1);
+      const Reg end = b.iconst(NODES);
+      countedLoop(b, "timing_walk", i, end, [&](IrBuilder& b2) {
+        const Reg one = b2.iconst(1);
+        const Reg prev_i = b2.sub(i, one);
+        const Reg prev = b2.load(emitIndex(b2, delays, prev_i), 0);
+        const Reg cur = b2.load(emitIndex(b2, delays, i), 0);
+        const Reg kf = b2.iconst(0x100000001b3ll);
+        Reg worst = b2.mul(b2.add(cur, prev), kf);
+        worst = b2.mul(b2.xor_(worst, prev), kf);
+        worst = b2.mul(b2.add(worst, cur), kf);
+        b2.store(emitIndex(b2, delays, i), 0, worst);
+      });
+      b.movTo(chk, b.xor_(chk, b.load(emitIndex(b, delays, b.iconst(100)), 0)));
+    }
+
+    b.ret(chk);
+    m.setMainFunc(main_id);
+    return m;
+  };
+  return w;
+}
+
+}  // namespace spt::workloads

@@ -1,0 +1,51 @@
+// The synthetic SPECint2000-analog workload suite.
+//
+// Ten programs reproduce the loop characteristics the paper reports for
+// the ten SPECint2000 benchmarks it evaluates (Section 5.2): parser's
+// linked-list free loops (Figure 1), gap's single skewed hot loop with
+// occasionally-huge call bodies, vortex's near-absent loop coverage,
+// crafty's short trip counts, mcf's memory-bound pointer chasing, and so
+// on. Two microkernels reproduce the paper's worked examples (Figures 1
+// and 5) in isolation.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "ir/module.h"
+
+namespace spt::workloads {
+
+struct Workload {
+  std::string name;
+  std::string description;
+  /// Builds the program; `scale` multiplies the input size (1 = default,
+  /// suitable for full-program simulation in seconds).
+  std::function<ir::Module(std::uint64_t scale)> build;
+};
+
+// The ten SPECint2000 analogs, in the paper's figure order.
+Workload bzip2Like();
+Workload craftyLike();
+Workload gapLike();
+Workload gccLike();
+Workload gzipLike();
+Workload mcfLike();
+Workload parserLike();
+Workload twolfLike();
+Workload vortexLike();
+Workload vprLike();
+
+/// All ten, in figure order.
+std::vector<Workload> specSuite();
+
+// Microkernels for the paper's worked examples.
+Workload microParserFree();  // Figure 1: linked-list free loop
+Workload microSvpStride();   // Figure 5: x = bar(x) stride prediction
+
+/// Finds a workload by name across the suite and microkernels.
+Workload findWorkload(const std::string& name);
+
+}  // namespace spt::workloads

@@ -1,0 +1,253 @@
+// Tests for branch-copied hoisting (paper Section 4.3, second
+// complication): a violation-candidate source in a conditional arm is
+// hoisted by duplicating its guard branch into the pre-fork region.
+#include <gtest/gtest.h>
+
+#include "analysis/modref.h"
+#include "harness/experiment.h"
+#include "ir/builder.h"
+#include "ir/verifier.h"
+#include "spt/loop_analysis.h"
+#include "spt/loop_shape.h"
+#include "spt/partition_search.h"
+#include "spt/transform.h"
+
+namespace spt::compiler {
+namespace {
+
+using namespace ir;
+
+/// Running-maximum loop: the carried register is updated only when a new
+/// maximum is found — the canonical conditional-source case.
+///   for (i = 0; i < n; ++i) { v = mix(a[i]); if (v > best) best = v; }
+Module buildRunningMax(std::int64_t n) {
+  Module m("running_max");
+  const FuncId f = m.addFunction("main", 0);
+  IrBuilder b(m, f);
+  const BlockId entry = b.createBlock("entry");
+  const BlockId init_head = b.createBlock("fill");
+  const BlockId init_body = b.createBlock("fill_body");
+  const BlockId pre = b.createBlock("pre");
+  const BlockId head = b.createBlock("max_loop");
+  const BlockId body = b.createBlock("body");
+  const BlockId take = b.createBlock("take");
+  const BlockId join = b.createBlock("join");
+  const BlockId ex = b.createBlock("exit");
+
+  const Reg i = b.func().newReg();
+  const Reg best = b.func().newReg();
+  const Reg nr = b.func().newReg();
+  const Reg arr = b.func().newReg();
+  const Reg seed = b.func().newReg();
+
+  b.setInsertPoint(entry);
+  {
+    Instr h;
+    h.op = Opcode::kHalloc;
+    h.dst = arr;
+    h.imm = n * 8;
+    b.append(h);
+  }
+  b.constTo(i, 0);
+  b.constTo(nr, n);
+  b.constTo(seed, 0x2545f4914f6cdd1dll);
+  b.br(init_head);
+  b.setInsertPoint(init_head);
+  const Reg fc = b.cmpLt(i, nr);
+  b.condBr(fc, init_body, pre);
+  b.setInsertPoint(init_body);
+  const Reg k0 = b.iconst(6364136223846793005ll);
+  const Reg s2 = b.add(b.mul(seed, k0), b.iconst(1442695040888963407ll));
+  b.movTo(seed, s2);
+  const Reg eight0 = b.iconst(8);
+  b.store(b.add(arr, b.mul(i, eight0)), 0, seed);
+  const Reg one0 = b.iconst(1);
+  b.movTo(i, b.add(i, one0));
+  b.br(init_head);
+
+  b.setInsertPoint(pre);
+  b.constTo(i, 0);
+  b.constTo(best, INT64_MIN);
+  b.br(head);
+
+  b.setInsertPoint(head);
+  const Reg c = b.cmpLt(i, nr);
+  b.condBr(c, body, ex);
+
+  b.setInsertPoint(body);
+  const Reg eight = b.iconst(8);
+  const Reg v0 = b.load(b.add(arr, b.mul(i, eight)), 0);
+  const Reg k = b.iconst(0x9e3779b97f4a7c15ll);
+  const Reg v = b.xor_(b.mul(v0, k), v0);
+  const Reg better = b.cmpGt(v, best);
+  b.condBr(better, take, join);
+  b.setInsertPoint(take);
+  b.movTo(best, v);
+  b.br(join);
+  b.setInsertPoint(join);
+  const Reg one = b.iconst(1);
+  b.movTo(i, b.add(i, one));
+  b.br(head);
+
+  b.setInsertPoint(ex);
+  b.ret(best);
+  m.setMainFunc(f);
+  return m;
+}
+
+LoopAnalysis analyzeMaxLoop(Module& m) {
+  m.finalize();
+  harness::InterpProfileRunner runner;
+  const auto prof = runner.run(m, {});
+  const Function& func = m.function(m.mainFunc());
+  const analysis::Cfg cfg(func);
+  const analysis::DomTree dom(cfg);
+  const analysis::LoopForest forest(cfg, dom);
+  const analysis::DefUse du(cfg);
+  const analysis::ModRefSummary mr(m);
+  for (analysis::LoopId l = 0; l < forest.loopCount(); ++l) {
+    const LoopShape shape = recognizeLoop(m, func, cfg, forest, l);
+    if (shape.name == "main.max_loop") {
+      return analyzeLoop(m, func, cfg, du, mr, shape, prof,
+                         CompilerOptions{});
+    }
+  }
+  ADD_FAILURE() << "max_loop not found";
+  return {};
+}
+
+TEST(BranchCopy, ConditionalSourceIsMovableWithBranchCopy) {
+  Module m = buildRunningMax(400);
+  const LoopAnalysis la = analyzeMaxLoop(m);
+  const CarriedDep* best_dep = nullptr;
+  for (const CarriedDep& dep : la.deps) {
+    if (dep.kind == DepKind::kRegister && dep.needs_branch_copy) {
+      best_dep = &dep;
+    }
+  }
+  ASSERT_NE(best_dep, nullptr) << "conditional best-dep not recognized";
+  EXPECT_TRUE(best_dep->movable);
+  EXPECT_TRUE(best_dep->guard_cond.valid());
+  // New maxima become rare quickly: probability well below 1.
+  EXPECT_LT(best_dep->probability, 0.5);
+  // The slice spans the arm block and the mandatory condition chain.
+  EXPECT_GE(best_dep->slice.size(), 2u);
+}
+
+TEST(BranchCopy, TransformPreservesSemantics) {
+  Module m = buildRunningMax(400);
+  ir::Module baseline = m;
+  const auto before = harness::traceProgram(baseline);
+
+  const LoopAnalysis la = analyzeMaxLoop(m);
+  const SearchResult sr = searchOptimalPartition(la, CompilerOptions{});
+  // Force-hoist every movable dependence to exercise the branch copy even
+  // if the search would pick something else.
+  Partition partition = sr.partition;
+  bool any_guarded = false;
+  for (std::size_t d = 0; d < la.deps.size(); ++d) {
+    if (la.deps[d].movable) {
+      partition.actions[d] = DepAction::kHoist;
+      any_guarded |= la.deps[d].needs_branch_copy;
+    }
+  }
+  ASSERT_TRUE(any_guarded);
+  const TransformOutcome outcome = transformLoop(m, la, partition);
+  ASSERT_TRUE(outcome.applied);
+  EXPECT_NE(outcome.detail.find("branch_copied="), std::string::npos);
+  m.finalize();
+  ASSERT_TRUE(verifyModule(m).empty());
+
+  const auto after = harness::traceProgram(m);
+  EXPECT_EQ(before.result.return_value, after.result.return_value);
+  EXPECT_EQ(before.result.memory_hash, after.result.memory_hash);
+}
+
+TEST(BranchCopy, EndToEndSpeedsUpRunningMax) {
+  const auto result = harness::runSptExperiment(buildRunningMax(800));
+  bool transformed_with_copy = false;
+  for (const auto& entry : result.plan.loops) {
+    if (entry.name == "main.max_loop" && entry.transformed) {
+      transformed_with_copy =
+          entry.transform_detail.find("branch_copied=") != std::string::npos;
+    }
+  }
+  if (transformed_with_copy) {
+    // New maxima are rare, so nearly all threads fast-commit.
+    EXPECT_GT(result.spt.threads.fastCommitRatio(), 0.8);
+    EXPECT_GT(result.programSpeedup(), 0.05);
+  } else {
+    // The cost model may legitimately prefer leaving the rare dependence
+    // speculative; the loop must still be handled correctly.
+    EXPECT_EQ(result.baseline_run.return_value,
+              result.spt_run.return_value);
+  }
+}
+
+TEST(BranchCopy, RejectsArmWithMultiplePredecessors) {
+  // A join block written by two arms is not a simple conditional arm.
+  Module m("t");
+  const FuncId f = m.addFunction("main", 0);
+  IrBuilder b(m, f);
+  const BlockId entry = b.createBlock("entry");
+  const BlockId head = b.createBlock("diamond_loop");
+  const BlockId body = b.createBlock("body");
+  const BlockId a1 = b.createBlock("a1");
+  const BlockId a2 = b.createBlock("a2");
+  const BlockId join = b.createBlock("join");
+  const BlockId ex = b.createBlock("exit");
+  const Reg i = b.func().newReg();
+  const Reg acc = b.func().newReg();
+  b.setInsertPoint(entry);
+  b.constTo(i, 0);
+  b.constTo(acc, 0);
+  b.br(head);
+  b.setInsertPoint(head);
+  const Reg n = b.iconst(50);
+  const Reg c = b.cmpLt(i, n);
+  b.condBr(c, body, ex);
+  b.setInsertPoint(body);
+  const Reg one = b.iconst(1);
+  const Reg bit = b.and_(i, one);
+  b.condBr(bit, a1, a2);
+  b.setInsertPoint(a1);
+  b.br(join);
+  b.setInsertPoint(a2);
+  b.br(join);
+  b.setInsertPoint(join);
+  // acc's def in the join block: join has two predecessors, so the
+  // branch-copy shape does not apply — but join IS mandatory (on every
+  // path), so the def hoists through the plain path instead.
+  const Reg a = b.add(acc, i);
+  b.movTo(acc, a);
+  b.movTo(i, b.add(i, one));
+  b.br(head);
+  b.setInsertPoint(ex);
+  b.ret(acc);
+  m.setMainFunc(f);
+
+  m.finalize();
+  harness::InterpProfileRunner runner;
+  const auto prof = runner.run(m, {});
+  const Function& func = m.function(f);
+  const analysis::Cfg cfg(func);
+  const analysis::DomTree dom(cfg);
+  const analysis::LoopForest forest(cfg, dom);
+  const analysis::DefUse du(cfg);
+  const analysis::ModRefSummary mr(m);
+  for (analysis::LoopId l = 0; l < forest.loopCount(); ++l) {
+    const LoopShape shape = recognizeLoop(m, func, cfg, forest, l);
+    if (shape.name != "main.diamond_loop") continue;
+    EXPECT_TRUE(shape.isMandatory(join));
+    EXPECT_FALSE(shape.isMandatory(a1));
+    const LoopAnalysis la =
+        analyzeLoop(m, func, cfg, du, mr, shape, prof, CompilerOptions{});
+    for (const CarriedDep& dep : la.deps) {
+      if (dep.kind != DepKind::kRegister) continue;
+      EXPECT_FALSE(dep.needs_branch_copy);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace spt::compiler

@@ -1,0 +1,100 @@
+// Parameterized machine-configuration sweep: every combination of SRB
+// size, recovery mechanism, and register-check mode must preserve
+// sequential semantics and basic accounting invariants on a workload that
+// exercises forking, violation, replay, and kill paths.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "harness/suite.h"
+#include "workloads/workloads.h"
+
+namespace spt {
+namespace {
+
+using Param = std::tuple<std::uint32_t, support::RecoveryMechanism,
+                         support::RegisterCheckMode>;
+
+class ConfigSweep : public ::testing::TestWithParam<Param> {};
+
+TEST_P(ConfigSweep, InvariantsHoldOnParserFree) {
+  const auto [srb, recovery, regcheck] = GetParam();
+  support::MachineConfig config;
+  config.speculation_result_buffer_entries = srb;
+  config.recovery = recovery;
+  config.register_check = regcheck;
+
+  auto workload = workloads::findWorkload("micro.parser_free");
+  const auto result =
+      harness::runSptExperiment(workload.build(1), {}, config);
+
+  // Semantics (also asserted inside the harness).
+  EXPECT_EQ(result.baseline_run.return_value, result.spt_run.return_value);
+  EXPECT_EQ(result.baseline_run.memory_hash, result.spt_run.memory_hash);
+
+  // Accounting.
+  const auto& threads = result.spt.threads;
+  EXPECT_GT(threads.spawned, 0u);
+  EXPECT_LE(threads.fast_commits + threads.replays + threads.squashes +
+                threads.killed,
+            threads.spawned);
+  EXPECT_EQ(result.baseline.breakdown.total(), result.baseline.cycles);
+  EXPECT_EQ(result.spt.breakdown.total(), result.spt.cycles);
+  // Speculation can lose on hostile configs, but within overhead bounds.
+  EXPECT_LT(result.spt.cycles, result.baseline.cycles * 3 / 2);
+  // Determinism.
+  const auto again =
+      harness::runSptExperiment(workload.build(1), {}, config);
+  EXPECT_EQ(result.spt.cycles, again.spt.cycles);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Machines, ConfigSweep,
+    ::testing::Combine(
+        ::testing::Values(16u, 256u, 1024u),
+        ::testing::Values(
+            support::RecoveryMechanism::kSelectiveReplayFastCommit,
+            support::RecoveryMechanism::kSelectiveReplay,
+            support::RecoveryMechanism::kFullSquash),
+        ::testing::Values(support::RegisterCheckMode::kValueBased,
+                          support::RegisterCheckMode::kScoreboard)),
+    [](const ::testing::TestParamInfo<Param>& info) {
+      // No structured bindings here: the preprocessor would split the
+      // bracketed list on its commas inside the macro argument.
+      std::string name = "srb" + std::to_string(std::get<0>(info.param));
+      const auto recovery = std::get<1>(info.param);
+      name += recovery == support::RecoveryMechanism::kFullSquash ? "_squash"
+              : recovery == support::RecoveryMechanism::kSelectiveReplay
+                  ? "_srx"
+                  : "_srxfc";
+      name += std::get<2>(info.param) ==
+                      support::RegisterCheckMode::kValueBased
+                  ? "_value"
+                  : "_scoreboard";
+      return name;
+    });
+
+/// Whole-suite integration: every SPECint analog compiles and simulates
+/// under the default configuration with semantics preserved (the harness
+/// asserts), and SPT never loses.
+class SuiteIntegration : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(SuiteIntegration, DefaultConfigNeverLoses) {
+  for (const auto& entry : harness::defaultSuite()) {
+    if (entry.workload.name != GetParam()) continue;
+    const auto result = harness::runSuiteEntry(entry);
+    EXPECT_GE(result.programSpeedup(), -0.01) << entry.workload.name;
+    EXPECT_EQ(result.baseline_run.return_value,
+              result.spt_run.return_value);
+    return;
+  }
+  FAIL() << "workload not found";
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBenchmarks, SuiteIntegration,
+                         ::testing::Values("bzip2", "crafty", "gap", "gcc",
+                                           "gzip", "mcf", "parser", "twolf",
+                                           "vortex", "vpr"));
+
+}  // namespace
+}  // namespace spt

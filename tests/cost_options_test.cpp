@@ -1,0 +1,140 @@
+// Property sweeps over compiler-option knobs: the cost model must respond
+// monotonically to overhead constants, the partition search must always
+// return legal actions, and buffer-capacity limits in the machine must
+// stall speculation without breaking anything.
+#include <gtest/gtest.h>
+
+#include "analysis/modref.h"
+#include "harness/experiment.h"
+#include "ir/builder.h"
+#include "spt/loop_analysis.h"
+#include "spt/loop_shape.h"
+#include "spt/partition_search.h"
+#include "workloads/workloads.h"
+
+namespace spt::compiler {
+namespace {
+
+/// Analyzes the hottest transformable loop of a workload.
+struct Analyzed {
+  ir::Module module;
+  LoopAnalysis la;
+};
+
+Analyzed analyzeHotLoop(const std::string& workload_name) {
+  Analyzed out{workloads::findWorkload(workload_name).build(1), {}};
+  out.module.finalize();
+  harness::InterpProfileRunner runner;
+  const auto prof = runner.run(out.module, {});
+
+  double best_cov = -1.0;
+  for (ir::FuncId f = 0; f < out.module.functionCount(); ++f) {
+    const ir::Function& func = out.module.function(f);
+    const analysis::Cfg cfg(func);
+    const analysis::DomTree dom(cfg);
+    const analysis::LoopForest forest(cfg, dom);
+    const analysis::DefUse du(cfg);
+    const analysis::ModRefSummary mr(out.module);
+    for (analysis::LoopId l = 0; l < forest.loopCount(); ++l) {
+      const LoopShape shape =
+          recognizeLoop(out.module, func, cfg, forest, l);
+      if (!shape.transformable) continue;
+      const auto* stats = prof.loopStats(shape.header_sid);
+      if (stats == nullptr) continue;
+      const double cov = static_cast<double>(stats->dyn_instrs);
+      if (cov > best_cov) {
+        best_cov = cov;
+        out.la = analyzeLoop(out.module, func, cfg, du, mr, shape, prof,
+                             CompilerOptions{});
+      }
+    }
+  }
+  EXPECT_GT(best_cov, 0.0);
+  return out;
+}
+
+class CostKnobs : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(CostKnobs, SpeedupMonotoneInOverheads) {
+  const Analyzed a = analyzeHotLoop(GetParam());
+  if (a.la.deps.empty()) GTEST_SKIP() << "no deps to partition";
+  CompilerOptions options;
+  const SearchResult base = searchOptimalPartition(a.la, options);
+
+  // More expensive commits can never raise the best estimated speedup.
+  CompilerOptions costly = options;
+  costly.commit_overhead = 50.0;
+  const SearchResult slow = searchOptimalPartition(a.la, costly);
+  EXPECT_LE(slow.cost.est_speedup, base.cost.est_speedup + 1e-9);
+
+  // Same for fork overhead.
+  CompilerOptions forky = options;
+  forky.fork_overhead = 50.0;
+  const SearchResult forked = searchOptimalPartition(a.la, forky);
+  EXPECT_LE(forked.cost.est_speedup, base.cost.est_speedup + 1e-9);
+}
+
+TEST_P(CostKnobs, SearchActionsAreAlwaysLegal) {
+  const Analyzed a = analyzeHotLoop(GetParam());
+  for (const double frac : {0.05, 0.25, 0.5, 0.9}) {
+    CompilerOptions options;
+    options.max_prefork_fraction = frac;
+    const SearchResult r = searchOptimalPartition(a.la, options);
+    ASSERT_EQ(r.partition.actions.size(), a.la.deps.size());
+    for (std::size_t d = 0; d < a.la.deps.size(); ++d) {
+      switch (r.partition.actions[d]) {
+        case DepAction::kLeave:
+          break;
+        case DepAction::kHoist:
+          EXPECT_TRUE(a.la.deps[d].movable);
+          break;
+        case DepAction::kSvp:
+          EXPECT_TRUE(a.la.deps[d].svp_applicable);
+          break;
+      }
+    }
+    EXPECT_GT(r.evaluated, 0u);
+  }
+}
+
+TEST_P(CostKnobs, AllLeavePartitionAlwaysEvaluates) {
+  const Analyzed a = analyzeHotLoop(GetParam());
+  Partition all_leave;
+  all_leave.actions.assign(a.la.deps.size(), DepAction::kLeave);
+  const CostResult cost = evaluatePartition(a.la, all_leave,
+                                            CompilerOptions{});
+  EXPECT_GE(cost.misspec_cost, 0.0);
+  EXPECT_GE(cost.prefork_cost, a.la.header_cost - 1e-9);
+  EXPECT_TRUE(cost.feasible);  // nothing hoisted: minimal pre-fork region
+}
+
+INSTANTIATE_TEST_SUITE_P(HotLoops, CostKnobs,
+                         ::testing::Values("gzip", "mcf", "twolf", "parser",
+                                           "micro.parser_free"),
+                         [](const ::testing::TestParamInfo<std::string>& i) {
+                           std::string n = i.param;
+                           for (char& c : n) {
+                             if (c == '.') c = '_';
+                           }
+                           return n;
+                         });
+
+TEST(BufferCapacity, TinySsbAndLabStillCorrect) {
+  support::MachineConfig config;
+  config.speculative_store_buffer_entries = 2;
+  config.load_address_buffer_entries = 2;
+  auto workload = workloads::findWorkload("micro.parser_free");
+  const auto result =
+      harness::runSptExperiment(workload.build(1), {}, config);
+  // Speculation is heavily throttled but semantics and accounting hold.
+  EXPECT_EQ(result.baseline_run.return_value, result.spt_run.return_value);
+  EXPECT_GT(result.spt.threads.spawned, 0u);
+
+  support::MachineConfig roomy;
+  const auto fast =
+      harness::runSptExperiment(workload.build(1), {}, roomy);
+  EXPECT_LE(fast.spt.cycles, result.spt.cycles);
+}
+
+}  // namespace
+}  // namespace spt::compiler

@@ -1,0 +1,152 @@
+// Edge-case tests: multi-block unrolling, module copy independence,
+// ThreadStats aggregation, and degenerate loop trips through the whole
+// pipeline.
+#include <gtest/gtest.h>
+
+#include "harness/experiment.h"
+#include "ir/builder.h"
+#include "ir/verifier.h"
+#include "sim/result.h"
+#include "spt/loop_shape.h"
+#include "spt/unroll.h"
+#include "test_programs.h"
+
+namespace spt {
+namespace {
+
+using namespace ir;
+
+/// Loop with a conditional arm in the body (multi-block unroll target).
+Module buildConditionalLoop(std::int64_t n) {
+  Module m("cond");
+  const FuncId f = m.addFunction("main", 0);
+  IrBuilder b(m, f);
+  const BlockId entry = b.createBlock("entry");
+  const BlockId head = b.createBlock("cond_loop");
+  const BlockId body = b.createBlock("body");
+  const BlockId odd = b.createBlock("odd");
+  const BlockId join = b.createBlock("join");
+  const BlockId ex = b.createBlock("exit");
+  const Reg i = b.func().newReg();
+  const Reg acc = b.func().newReg();
+  b.setInsertPoint(entry);
+  b.constTo(i, 0);
+  b.constTo(acc, 0);
+  b.br(head);
+  b.setInsertPoint(head);
+  const Reg nr = b.iconst(n);
+  const Reg c = b.cmpLt(i, nr);
+  b.condBr(c, body, ex);
+  b.setInsertPoint(body);
+  const Reg one = b.iconst(1);
+  const Reg bit = b.and_(i, one);
+  b.condBr(bit, odd, join);
+  b.setInsertPoint(odd);
+  b.movTo(acc, b.add(acc, i));
+  b.br(join);
+  b.setInsertPoint(join);
+  b.movTo(i, b.add(i, one));
+  b.br(head);
+  b.setInsertPoint(ex);
+  b.ret(acc);
+  m.setMainFunc(f);
+  return m;
+}
+
+compiler::LoopShape shapeOfLabel(Module& m, const std::string& label) {
+  m.finalize();
+  const Function& func = m.function(m.mainFunc());
+  const analysis::Cfg cfg(func);
+  const analysis::DomTree dom(cfg);
+  const analysis::LoopForest forest(cfg, dom);
+  for (analysis::LoopId l = 0; l < forest.loopCount(); ++l) {
+    const auto shape = compiler::recognizeLoop(m, func, cfg, forest, l);
+    if (shape.name == "main." + label) return shape;
+  }
+  ADD_FAILURE() << "loop not found";
+  return {};
+}
+
+TEST(UnrollEdge, MultiBlockBodySemantics) {
+  for (const std::int64_t n : {0, 1, 5, 17, 64}) {
+    Module m = buildConditionalLoop(n);
+    Module pristine = m;
+    const auto before = harness::traceProgram(pristine);
+    const auto shape = shapeOfLabel(m, "cond_loop");
+    ASSERT_TRUE(shape.transformable);
+    ASSERT_TRUE(compiler::unrollLoop(m, shape, 4));
+    m.finalize();
+    ASSERT_TRUE(verifyModule(m).empty());
+    const auto after = harness::traceProgram(m);
+    EXPECT_EQ(before.result.return_value, after.result.return_value)
+        << "n=" << n;
+  }
+}
+
+TEST(UnrollEdge, UnrolledConditionalLoopStillTransformable) {
+  Module m = buildConditionalLoop(40);
+  const auto shape = shapeOfLabel(m, "cond_loop");
+  ASSERT_TRUE(compiler::unrollLoop(m, shape, 2));
+  const auto again = shapeOfLabel(m, "cond_loop");
+  EXPECT_TRUE(again.transformable) << again.reject_reason;
+  // The unrolled loop's mandatory set still contains the joins.
+  EXPECT_GE(again.mandatory_blocks.size(), 2u);
+}
+
+TEST(ModuleCopy, DeepAndIndependent) {
+  Module a("orig");
+  testing::buildArraySum(a, 30);
+  a.finalize();
+  Module b = a;  // the harness baseline relies on value-copy semantics
+  // Mutating the copy must not affect the original.
+  IrBuilder builder(b, b.mainFunc());
+  builder.setInsertPoint(builder.createBlock("extra"));
+  builder.ret();
+  EXPECT_NE(a.function(a.mainFunc()).blocks.size(),
+            b.function(b.mainFunc()).blocks.size());
+  const auto r1 = harness::traceProgram(a);
+  EXPECT_EQ(r1.result.return_value, 29 * 30 / 2);
+}
+
+TEST(ThreadStats, AccumulateSums) {
+  sim::ThreadStats a;
+  a.spawned = 10;
+  a.fast_commits = 6;
+  a.spec_instrs = 100;
+  a.misspec_instrs = 5;
+  sim::ThreadStats b;
+  b.spawned = 4;
+  b.fast_commits = 1;
+  b.spec_instrs = 50;
+  b.misspec_instrs = 10;
+  a.accumulate(b);
+  EXPECT_EQ(a.spawned, 14u);
+  EXPECT_EQ(a.fast_commits, 7u);
+  EXPECT_EQ(a.spec_instrs, 150u);
+  EXPECT_DOUBLE_EQ(a.fastCommitRatio(), 7.0 / 14.0);
+  EXPECT_DOUBLE_EQ(a.misspeculationRatio(), 15.0 / 150.0);
+}
+
+TEST(ThreadStats, RatiosOnEmpty) {
+  sim::ThreadStats empty;
+  EXPECT_DOUBLE_EQ(empty.fastCommitRatio(), 0.0);
+  EXPECT_DOUBLE_EQ(empty.misspeculationRatio(), 0.0);
+}
+
+TEST(PipelineEdge, ZeroTripLoopThroughPipeline) {
+  // A loop that never runs any iteration: nothing to speculate, nothing
+  // breaks anywhere in the pipeline.
+  Module m = buildConditionalLoop(0);
+  const auto result = harness::runSptExperiment(std::move(m));
+  EXPECT_EQ(result.baseline_run.return_value, result.spt_run.return_value);
+  EXPECT_EQ(result.spt.threads.spawned, 0u);
+}
+
+TEST(PipelineEdge, SingleIterationLoop) {
+  Module m = buildConditionalLoop(1);
+  const auto result = harness::runSptExperiment(std::move(m));
+  EXPECT_EQ(result.baseline_run.return_value, result.spt_run.return_value);
+}
+
+}  // namespace
+}  // namespace spt

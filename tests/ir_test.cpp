@@ -1,0 +1,199 @@
+// Unit tests for src/ir: builder, module finalize, printer, verifier.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "ir/builder.h"
+#include "ir/module.h"
+#include "ir/printer.h"
+#include "ir/verifier.h"
+#include "test_programs.h"
+
+namespace spt::ir {
+namespace {
+
+TEST(Opcode, Traits) {
+  EXPECT_TRUE(isBranch(Opcode::kBr));
+  EXPECT_TRUE(isBranch(Opcode::kCondBr));
+  EXPECT_FALSE(isBranch(Opcode::kRet));
+  EXPECT_TRUE(isTerminator(Opcode::kRet));
+  EXPECT_TRUE(isMemory(Opcode::kLoad));
+  EXPECT_TRUE(isMemory(Opcode::kStore));
+  EXPECT_FALSE(isMemory(Opcode::kAdd));
+  EXPECT_TRUE(producesValue(Opcode::kAdd));
+  EXPECT_FALSE(producesValue(Opcode::kStore));
+  EXPECT_FALSE(producesValue(Opcode::kSptFork));
+  EXPECT_TRUE(isPureComputation(Opcode::kCmpLt));
+  EXPECT_FALSE(isPureComputation(Opcode::kLoad));
+  EXPECT_FALSE(isPureComputation(Opcode::kCall));
+  EXPECT_GT(baseLatency(Opcode::kDiv), baseLatency(Opcode::kAdd));
+  EXPECT_STREQ(opcodeName(Opcode::kSptFork), "spt_fork");
+}
+
+TEST(Instr, UsesAndAppendUses) {
+  Instr i;
+  i.op = Opcode::kAdd;
+  i.dst = Reg{2};
+  i.a = Reg{0};
+  i.b = Reg{1};
+  EXPECT_TRUE(i.uses(Reg{0}));
+  EXPECT_TRUE(i.uses(Reg{1}));
+  EXPECT_FALSE(i.uses(Reg{2}));
+  EXPECT_FALSE(i.uses(kNoReg));
+  std::vector<Reg> uses;
+  i.appendUses(uses);
+  EXPECT_EQ(uses.size(), 2u);
+}
+
+TEST(Builder, BuildsValidFunction) {
+  Module m("t");
+  testing::buildArraySum(m, 10);
+  EXPECT_TRUE(verifyModule(m).empty());
+}
+
+TEST(Builder, ParamRegisters) {
+  Module m("t");
+  const FuncId f = m.addFunction("f", 2);
+  IrBuilder b(m, f);
+  EXPECT_EQ(b.param(0), Reg{0});
+  EXPECT_EQ(b.param(1), Reg{1});
+  const Reg fresh = b.newReg();
+  EXPECT_EQ(fresh, Reg{2});
+}
+
+TEST(Module, FinalizeAssignsDenseStaticIds) {
+  Module m("t");
+  testing::buildFib(m, 5);
+  m.finalize();
+  ASSERT_TRUE(m.finalized());
+  std::size_t total = 0;
+  for (FuncId f = 0; f < m.functionCount(); ++f) {
+    total += m.function(f).instrCount();
+  }
+  EXPECT_EQ(m.staticInstrCount(), total);
+  // Every sid must round-trip through locate().
+  for (StaticId s = 0; s < m.staticInstrCount(); ++s) {
+    const auto& loc = m.locate(s);
+    const Instr& instr = m.function(loc.func).blocks[loc.block].instrs[loc.index];
+    EXPECT_EQ(instr.static_id, s);
+    EXPECT_EQ(&m.instrAt(s), &instr);
+  }
+}
+
+TEST(Module, FindFunction) {
+  Module m("t");
+  testing::buildFib(m, 5);
+  EXPECT_NE(m.findFunction("fib"), kInvalidFunc);
+  EXPECT_NE(m.findFunction("main"), kInvalidFunc);
+  EXPECT_EQ(m.findFunction("nope"), kInvalidFunc);
+}
+
+TEST(Printer, ContainsKeyInstructions) {
+  Module m("t");
+  testing::buildForkLoop(m, 4);
+  m.finalize();
+  std::ostringstream ss;
+  printModule(ss, m);
+  const std::string out = ss.str();
+  EXPECT_NE(out.find("spt_fork"), std::string::npos);
+  EXPECT_NE(out.find("spt_kill"), std::string::npos);
+  EXPECT_NE(out.find("condbr"), std::string::npos);
+  EXPECT_NE(out.find("fork_loop"), std::string::npos);
+}
+
+TEST(Verifier, CatchesMissingTerminator) {
+  Module m("t");
+  const FuncId f = m.addFunction("f", 0);
+  IrBuilder b(m, f);
+  b.setInsertPoint(b.createBlock("entry"));
+  b.iconst(1);  // no terminator
+  const auto problems = verifyFunction(m, m.function(f));
+  ASSERT_FALSE(problems.empty());
+  EXPECT_NE(problems[0].find("terminator"), std::string::npos);
+}
+
+TEST(Verifier, CatchesBadBranchTarget) {
+  Module m("t");
+  const FuncId f = m.addFunction("f", 0);
+  IrBuilder b(m, f);
+  b.setInsertPoint(b.createBlock("entry"));
+  Instr br;
+  br.op = Opcode::kBr;
+  br.target0 = 99;
+  b.append(br);
+  EXPECT_FALSE(verifyFunction(m, m.function(f)).empty());
+}
+
+TEST(Verifier, CatchesRegisterOutOfRange) {
+  Module m("t");
+  const FuncId f = m.addFunction("f", 0);
+  IrBuilder b(m, f);
+  b.setInsertPoint(b.createBlock("entry"));
+  Instr add;
+  add.op = Opcode::kAdd;
+  add.dst = Reg{1000};
+  add.a = Reg{1001};
+  add.b = Reg{1002};
+  b.append(add);
+  b.ret();
+  EXPECT_FALSE(verifyFunction(m, m.function(f)).empty());
+}
+
+TEST(Verifier, CatchesCallArityMismatch) {
+  Module m("t");
+  const FuncId callee = m.addFunction("callee", 2);
+  {
+    IrBuilder b(m, callee);
+    b.setInsertPoint(b.createBlock("entry"));
+    b.ret(b.param(0));
+  }
+  const FuncId f = m.addFunction("f", 0);
+  IrBuilder b(m, f);
+  b.setInsertPoint(b.createBlock("entry"));
+  const Reg x = b.iconst(1);
+  Instr call;
+  call.op = Opcode::kCall;
+  call.callee = callee;
+  call.args = {x};  // needs 2
+  b.append(call);
+  b.ret();
+  const auto problems = verifyFunction(m, m.function(f));
+  ASSERT_FALSE(problems.empty());
+  EXPECT_NE(problems[0].find("arity"), std::string::npos);
+}
+
+TEST(Verifier, CatchesMissingOperand) {
+  Module m("t");
+  const FuncId f = m.addFunction("f", 0);
+  IrBuilder b(m, f);
+  b.setInsertPoint(b.createBlock("entry"));
+  Instr load;
+  load.op = Opcode::kLoad;
+  load.dst = Reg{0};
+  // load.a missing
+  m.function(f).reg_count = 1;
+  b.append(load);
+  b.ret();
+  EXPECT_FALSE(verifyFunction(m, m.function(f)).empty());
+}
+
+TEST(Verifier, AcceptsAllTestPrograms) {
+  {
+    Module m("a");
+    testing::buildArraySum(m, 8);
+    EXPECT_TRUE(verifyModule(m).empty());
+  }
+  {
+    Module m("b");
+    testing::buildFib(m, 6);
+    EXPECT_TRUE(verifyModule(m).empty());
+  }
+  {
+    Module m("c");
+    testing::buildForkLoop(m, 6);
+    EXPECT_TRUE(verifyModule(m).empty());
+  }
+}
+
+}  // namespace
+}  // namespace spt::ir

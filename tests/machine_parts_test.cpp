@@ -1,0 +1,195 @@
+// Tests for simulator internals not covered by sim_test: ArchState
+// reconstruction, LoopCycleTracker attribution, pipeline scoreboard purge,
+// and the advanceToWithProfile distribution.
+#include <gtest/gtest.h>
+
+#include "harness/experiment.h"
+#include "ir/builder.h"
+#include "sim/arch_state.h"
+#include "sim/loop_tracker.h"
+#include "sim/pipeline.h"
+#include "test_programs.h"
+
+namespace spt::sim {
+namespace {
+
+using namespace ir;
+
+TEST(ArchState, ReconstructsRegistersAndMemory) {
+  Module m("t");
+  testing::buildArraySum(m, 16);
+  harness::TracedRun run = harness::traceProgram(m);
+
+  ArchState arch(m);
+  for (const auto& rec : run.trace.records()) {
+    if (rec.kind != trace::RecordKind::kInstr) continue;
+    arch.apply(rec);
+  }
+  // After the full run the architectural memory must contain the array:
+  // find any store record and confirm memValue matches its final value.
+  std::unordered_map<std::uint64_t, std::int64_t> final_values;
+  for (const auto& rec : run.trace.records()) {
+    if (rec.kind == trace::RecordKind::kInstr &&
+        rec.op == Opcode::kStore) {
+      final_values[rec.mem_addr] = rec.value;
+    }
+  }
+  ASSERT_FALSE(final_values.empty());
+  for (const auto& [addr, value] : final_values) {
+    EXPECT_EQ(arch.memValue(addr, -999), value);
+  }
+}
+
+TEST(ArchState, TracksFramesThroughCalls) {
+  Module m("t");
+  testing::buildFib(m, 8);
+  harness::TracedRun run = harness::traceProgram(m);
+
+  ArchState arch(m);
+  int max_depth_events = 0;
+  for (const auto& rec : run.trace.records()) {
+    if (rec.kind != trace::RecordKind::kInstr) continue;
+    const ApplyInfo info = arch.apply(rec);
+    if (rec.op == Opcode::kCall) {
+      EXPECT_EQ(info.callee_frame, rec.callee_frame);
+      EXPECT_EQ(info.callee_params, 1u);
+      ++max_depth_events;
+    }
+    if (rec.op == Opcode::kRet && info.caller_dst.valid()) {
+      // The caller's frame must be the current frame after the pop.
+      EXPECT_EQ(info.caller_frame, arch.curFrame());
+    }
+  }
+  EXPECT_GT(max_depth_events, 10);
+}
+
+TEST(ArchState, MemValueFallback) {
+  Module m("t");
+  testing::buildArraySum(m, 4);
+  m.finalize();
+  ArchState arch(m);
+  EXPECT_EQ(arch.memValue(0xdead000, 42), 42);
+}
+
+TEST(LoopCycleTracker, AttributesNestedCycles) {
+  Module m("t");
+  m.finalize();
+  // Build markers by hand: outer opens at cycle 0, inner runs [10, 30],
+  // outer closes at 100.
+  Module mm("labels");
+  const FuncId f = mm.addFunction("main", 0);
+  IrBuilder b(mm, f);
+  const BlockId outer_b = b.createBlock("outerL");
+  const BlockId inner_b = b.createBlock("innerL");
+  b.setInsertPoint(outer_b);
+  b.nop();
+  b.ret();
+  b.setInsertPoint(inner_b);
+  b.nop();
+  b.ret();
+  mm.setMainFunc(f);
+  mm.finalize();
+  const auto outer_sid = mm.function(f).blocks[outer_b].instrs[0].static_id;
+  const auto inner_sid = mm.function(f).blocks[inner_b].instrs[0].static_id;
+
+  LoopCycleTracker tracker(mm);
+  trace::Record rec;
+  rec.kind = trace::RecordKind::kIterBegin;
+  rec.sid = outer_sid;
+  rec.value = 0;
+  tracker.onMarker(rec, 0);
+  rec.sid = inner_sid;
+  tracker.onMarker(rec, 10);
+  trace::Record exit_rec;
+  exit_rec.kind = trace::RecordKind::kLoopExit;
+  exit_rec.sid = inner_sid;
+  tracker.onMarker(exit_rec, 30);
+  exit_rec.sid = outer_sid;
+  tracker.onMarker(exit_rec, 100);
+
+  const auto& stats = tracker.stats();
+  EXPECT_EQ(stats.at("main.outerL").cycles, 100u);
+  EXPECT_EQ(stats.at("main.innerL").cycles, 20u);
+  EXPECT_EQ(stats.at("main.outerL").episodes, 1u);
+}
+
+TEST(LoopCycleTracker, FinishClosesOpenEpisodes) {
+  Module mm("labels");
+  const FuncId f = mm.addFunction("main", 0);
+  IrBuilder b(mm, f);
+  const BlockId blk = b.createBlock("openL");
+  b.setInsertPoint(blk);
+  b.nop();
+  b.ret();
+  mm.setMainFunc(f);
+  mm.finalize();
+  const auto sid = mm.function(f).blocks[blk].instrs[0].static_id;
+
+  LoopCycleTracker tracker(mm);
+  trace::Record rec;
+  rec.kind = trace::RecordKind::kIterBegin;
+  rec.sid = sid;
+  rec.value = 0;
+  tracker.onMarker(rec, 5);
+  tracker.finish(25);
+  EXPECT_EQ(tracker.stats().at("main.openL").cycles, 20u);
+}
+
+TEST(Pipeline, ScoreboardPurgeIsLossless) {
+  support::MachineConfig config;
+  MemorySystem memory(config);
+  Pipeline pipe(config, memory);
+  // Write far more than the purge threshold of distinct registers whose
+  // values are all ready immediately; timing must be unaffected by purges.
+  for (std::uint64_t i = 0; i < (1u << 17); ++i) {
+    ExecInstr e;
+    e.sid = static_cast<ir::StaticId>(i % 16);
+    e.op = Opcode::kAdd;
+    e.dst = i + 1;
+    pipe.execute(e);
+  }
+  pipe.finish();
+  // 2^17 independent instructions at width 6 ≈ 21846 cycles, plus cold
+  // I-cache fills; a purge bug (lost pending latencies / spurious stalls)
+  // would blow far past this envelope.
+  EXPECT_GE(pipe.cycle(), (1u << 17) / 6);
+  EXPECT_LE(pipe.cycle(), (1u << 17) / 6 + 1024);
+}
+
+TEST(Pipeline, AdvanceToWithProfileDistributes) {
+  support::MachineConfig config;
+  MemorySystem memory(config);
+  Pipeline pipe(config, memory);
+  CycleBreakdown profile;
+  profile.execution = 60;
+  profile.pipeline_stall = 20;
+  profile.dcache_stall = 20;
+  pipe.advanceToWithProfile(100, profile);
+  EXPECT_EQ(pipe.cycle(), 100u);
+  const auto& b = pipe.breakdown();
+  EXPECT_EQ(b.total(), 100u);
+  EXPECT_EQ(b.execution, 60u);
+  EXPECT_EQ(b.dcache_stall, 20u);
+  EXPECT_EQ(b.pipeline_stall, 20u);
+}
+
+TEST(Pipeline, AdvanceToWithEmptyProfileIsPipelineStall) {
+  support::MachineConfig config;
+  MemorySystem memory(config);
+  Pipeline pipe(config, memory);
+  pipe.advanceToWithProfile(50, CycleBreakdown{});
+  EXPECT_EQ(pipe.breakdown().pipeline_stall, 50u);
+}
+
+TEST(Pipeline, CommitFromBufferUsesReplayWidth) {
+  support::MachineConfig config;
+  MemorySystem memory(config);
+  Pipeline pipe(config, memory);
+  for (int i = 0; i < 120; ++i) pipe.commitFromBuffer();
+  pipe.finish();
+  EXPECT_EQ(pipe.cycle(), 10u);  // 120 entries at 12/cycle
+  EXPECT_EQ(pipe.breakdown().execution, 10u);
+}
+
+}  // namespace
+}  // namespace spt::sim

@@ -1,0 +1,201 @@
+// Tests for the IR text parser: hand-written programs, error reporting,
+// and print→parse→print round trips over every workload in the suite.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "harness/experiment.h"
+#include "ir/parser.h"
+#include "ir/printer.h"
+#include "ir/verifier.h"
+#include "test_programs.h"
+#include "workloads/workloads.h"
+
+namespace spt::ir {
+namespace {
+
+TEST(Parser, ParsesHandWrittenProgram) {
+  const std::string text = R"(module demo
+func @main(params=0, regs=4)
+entry:
+  r0 = const 0
+  r1 = const 10
+  br B1
+loop:
+  r2 = cmplt r0, r1
+  condbr r2, B2, B3
+body:
+  r3 = const 1
+  r0 = add r0, r3
+  br B1
+done:
+  ret r0
+)";
+  ParseError error;
+  auto m = parseModule(text, &error);
+  ASSERT_TRUE(m.has_value()) << error.message << " at line " << error.line;
+  EXPECT_EQ(m->name(), "demo");
+  ASSERT_TRUE(verifyModule(*m).empty());
+  const auto run = harness::traceProgram(*m);
+  EXPECT_EQ(run.result.return_value, 10);
+}
+
+TEST(Parser, ParsesMemoryAndCalls) {
+  const std::string text = R"(module demo
+func @double(params=1, regs=3)
+entry:
+  r1 = const 2
+  r2 = mul r0, r1
+  ret r2
+func @main(params=0, regs=5)
+entry:
+  r0 = halloc 16
+  r1 = const 21
+  store [r0 + 8] = r1
+  r2 = load [r0 + 8]
+  r3 = call @double(r2)
+  ret r3
+)";
+  auto m = parseModule(text);
+  ASSERT_TRUE(m.has_value());
+  ASSERT_TRUE(verifyModule(*m).empty());
+  const auto run = harness::traceProgram(*m);
+  EXPECT_EQ(run.result.return_value, 42);
+}
+
+TEST(Parser, ParsesSptInstructions) {
+  const std::string text = R"(module demo
+func @main(params=0, regs=3)
+entry:
+  r0 = const 0
+  br B1
+head:
+  r1 = const 3
+  r2 = cmplt r0, r1
+  condbr r2, B2, B3
+body:
+  spt_fork B1
+  r0 = add r0, r2
+  br B1
+exit:
+  spt_kill
+  ret r0
+)";
+  auto m = parseModule(text);
+  ASSERT_TRUE(m.has_value());
+  ASSERT_TRUE(verifyModule(*m).empty());
+  int forks = 0, kills = 0;
+  for (const auto& block : m->function(m->mainFunc()).blocks) {
+    for (const auto& instr : block.instrs) {
+      forks += instr.op == Opcode::kSptFork;
+      kills += instr.op == Opcode::kSptKill;
+    }
+  }
+  EXPECT_EQ(forks, 1);
+  EXPECT_EQ(kills, 1);
+}
+
+TEST(Parser, NegativeOffsetsRoundTrip) {
+  const std::string text = R"(module demo
+func @main(params=0, regs=3)
+entry:
+  r0 = halloc 32
+  r1 = const 16
+  r2 = add r0, r1
+  r1 = load [r2 + -8]
+  ret r1
+)";
+  auto m = parseModule(text);
+  ASSERT_TRUE(m.has_value());
+  const auto run = harness::traceProgram(*m);
+  EXPECT_EQ(run.result.return_value, 0);
+}
+
+TEST(Parser, ReportsErrors) {
+  const struct {
+    const char* text;
+    const char* expected;
+  } cases[] = {
+      {"module m\n", "no functions"},
+      {"module m\nfunc @f(params=2, regs=1)\nentry:\n  ret\n", "bad reg"},
+      {"module m\nfunc @f(params=0, regs=1)\nentry:\n  r0 = bogus r0, r0\n",
+       "unknown opcode"},
+      {"module m\nfunc @f(params=0, regs=1)\nentry:\n  r0 = call @nope()\n",
+       "unknown callee"},
+      {"module m\nfunc @f(params=0, regs=1)\n  ret\n",
+       "instruction outside a block"},
+      {"module m\nfunc @f(params=0, regs=2)\nentry:\n  r0 = add r1\n",
+       "expected ,"},
+  };
+  for (const auto& c : cases) {
+    ParseError error;
+    auto m = parseModule(c.text, &error);
+    EXPECT_FALSE(m.has_value()) << c.text;
+    EXPECT_NE(error.message.find(c.expected), std::string::npos)
+        << "got: " << error.message;
+    EXPECT_GT(error.line, 0u);
+  }
+}
+
+TEST(Parser, RoundTripIsStable) {
+  Module m("t");
+  testing::buildFib(m, 9);
+  m.finalize();
+  std::ostringstream first;
+  printModule(first, m);
+
+  auto reparsed = parseModule(first.str());
+  ASSERT_TRUE(reparsed.has_value());
+  reparsed->finalize();
+  std::ostringstream second;
+  printModule(second, *reparsed);
+  EXPECT_EQ(first.str(), second.str());
+
+  // And the program still computes the same thing.
+  const auto r1 = harness::traceProgram(m);
+  const auto r2 = harness::traceProgram(*reparsed);
+  EXPECT_EQ(r1.result.return_value, r2.result.return_value);
+  EXPECT_EQ(r1.result.dynamic_instrs, r2.result.dynamic_instrs);
+}
+
+class WorkloadRoundTrip : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(WorkloadRoundTrip, PrintParsePrintIsIdentityAndRuns) {
+  workloads::Workload w = workloads::findWorkload(GetParam());
+  ir::Module m = w.build(1);
+  m.finalize();
+  std::ostringstream first;
+  printModule(first, m);
+
+  ParseError error;
+  auto reparsed = parseModule(first.str(), &error);
+  ASSERT_TRUE(reparsed.has_value())
+      << error.message << " at line " << error.line;
+  reparsed->finalize();
+  ASSERT_TRUE(verifyModule(*reparsed).empty());
+
+  std::ostringstream second;
+  printModule(second, *reparsed);
+  EXPECT_EQ(first.str(), second.str());
+
+  const auto r1 = harness::traceProgram(m);
+  const auto r2 = harness::traceProgram(*reparsed);
+  EXPECT_EQ(r1.result.return_value, r2.result.return_value);
+  EXPECT_EQ(r1.result.memory_hash, r2.result.memory_hash);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Suite, WorkloadRoundTrip,
+    ::testing::Values("bzip2", "crafty", "gap", "gcc", "gzip", "mcf",
+                      "parser", "twolf", "vortex", "vpr",
+                      "micro.parser_free", "micro.svp_stride"),
+    [](const ::testing::TestParamInfo<std::string>& info) {
+      std::string name = info.param;
+      for (char& c : name) {
+        if (c == '.') c = '_';
+      }
+      return name;
+    });
+
+}  // namespace
+}  // namespace spt::ir

@@ -1,0 +1,91 @@
+// Property tests over randomly generated programs: the SPT pipeline must
+// preserve sequential semantics, produce verifiable IR, keep simulator
+// invariants, and stay deterministic — for every seed and under every
+// machine configuration.
+#include <gtest/gtest.h>
+
+#include "harness/experiment.h"
+#include "ir/verifier.h"
+#include "random_programs.h"
+
+namespace spt {
+namespace {
+
+class FuzzPipeline : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FuzzPipeline, GeneratedProgramIsValidAndDeterministic) {
+  ir::Module m1 = testing::generateRandomProgram(GetParam());
+  ir::Module m2 = testing::generateRandomProgram(GetParam());
+  m1.finalize();
+  ASSERT_TRUE(ir::verifyModule(m1).empty());
+  const auto r1 = harness::traceProgram(m1);
+  const auto r2 = harness::traceProgram(m2);
+  EXPECT_EQ(r1.result.return_value, r2.result.return_value);
+  EXPECT_EQ(r1.result.memory_hash, r2.result.memory_hash);
+  EXPECT_GT(r1.result.dynamic_instrs, 100u);
+}
+
+TEST_P(FuzzPipeline, SptCompilationPreservesSemantics) {
+  // runSptExperiment internally SPT_CHECKs return value and memory hash
+  // equality between the baseline and transformed modules; reaching the
+  // assertions below means the transformation was sound.
+  const auto result =
+      harness::runSptExperiment(testing::generateRandomProgram(GetParam()));
+  EXPECT_EQ(result.baseline_run.return_value, result.spt_run.return_value);
+  EXPECT_EQ(result.baseline_run.memory_hash, result.spt_run.memory_hash);
+}
+
+TEST_P(FuzzPipeline, SimulatorInvariantsHold) {
+  const auto result =
+      harness::runSptExperiment(testing::generateRandomProgram(GetParam()));
+  const auto& threads = result.spt.threads;
+  EXPECT_LE(threads.fast_commits + threads.replays + threads.squashes +
+                threads.killed,
+            threads.spawned);
+  EXPECT_LE(threads.committed_instrs + threads.misspec_instrs,
+            threads.spec_instrs + threads.misspec_instrs);
+  EXPECT_EQ(result.baseline.breakdown.total(), result.baseline.cycles);
+  EXPECT_GT(result.spt.cycles, 0u);
+  // The SPT machine can be slower on adversarial programs, but never by
+  // more than the thread overheads allow.
+  EXPECT_LT(result.spt.cycles, result.baseline.cycles * 2);
+}
+
+TEST_P(FuzzPipeline, TransformedModuleVerifies) {
+  ir::Module m = testing::generateRandomProgram(GetParam());
+  compiler::CompilerOptions copts;
+  copts.cost_driven_selection = false;  // force-transform every candidate
+  compiler::SptCompiler cc(copts);
+  harness::InterpProfileRunner runner;
+  cc.compile(m, runner);
+  EXPECT_TRUE(ir::verifyModule(m).empty());
+}
+
+TEST_P(FuzzPipeline, ForceTransformAllPreservesSemantics) {
+  compiler::CompilerOptions copts;
+  copts.cost_driven_selection = false;
+  const auto result = harness::runSptExperiment(
+      testing::generateRandomProgram(GetParam()), copts);
+  EXPECT_EQ(result.baseline_run.return_value, result.spt_run.return_value);
+}
+
+TEST_P(FuzzPipeline, RecoveryModesAgreeOnSemanticsAndStats) {
+  ir::Module source = testing::generateRandomProgram(GetParam());
+  for (const auto recovery :
+       {support::RecoveryMechanism::kSelectiveReplayFastCommit,
+        support::RecoveryMechanism::kSelectiveReplay,
+        support::RecoveryMechanism::kFullSquash}) {
+    support::MachineConfig config;
+    config.recovery = recovery;
+    const auto result = harness::runSptExperiment(source, {}, config);
+    EXPECT_EQ(result.baseline_run.return_value,
+              result.spt_run.return_value);
+    EXPECT_GT(result.spt.cycles, 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzPipeline,
+                         ::testing::Range<std::uint64_t>(1, 17));
+
+}  // namespace
+}  // namespace spt

@@ -1,0 +1,152 @@
+// Tests for region-based speculation: the split transformation, region
+// fork resolution in the trace index, semantics preservation, and the
+// vortex end-to-end win.
+#include <gtest/gtest.h>
+
+#include "harness/suite.h"
+#include "ir/builder.h"
+#include "ir/verifier.h"
+#include "random_programs.h"
+#include "spt/region_speculation.h"
+#include "workloads/workloads.h"
+
+namespace spt::compiler {
+namespace {
+
+using namespace ir;
+
+/// main() calls work() `n` times; work() is one big straight-line block of
+/// two independent halves (writes to different arrays).
+Module buildTwoHalves(std::int64_t n) {
+  Module m("halves");
+  const FuncId work = m.addFunction("work", 3);  // (a, b, i)
+  {
+    IrBuilder b(m, work);
+    b.setInsertPoint(b.createBlock("body"));
+    const Reg eight = b.iconst(8);
+    const Reg off = b.mul(b.param(2), eight);
+    // First half: mixes into array a.
+    Reg x = b.param(2);
+    const Reg k = b.iconst(0x9e3779b97f4a7c15ll);
+    for (int i = 0; i < 12; ++i) {
+      x = (i % 2 == 0) ? b.mul(x, k) : b.xor_(x, b.param(2));
+    }
+    b.store(b.add(b.param(0), off), 0, x);
+    // Second half: independent mixes into array b.
+    Reg y = b.add(b.param(2), k);
+    for (int i = 0; i < 12; ++i) {
+      y = (i % 2 == 0) ? b.mul(y, k) : b.add(y, b.param(2));
+    }
+    b.store(b.add(b.param(1), off), 0, y);
+    b.ret(y);
+  }
+  const FuncId main_id = m.addFunction("main", 0);
+  {
+    IrBuilder b(m, main_id);
+    b.setInsertPoint(b.createBlock("entry"));
+    const Reg a = b.halloc(n * 8);
+    const Reg bb = b.halloc(n * 8);
+    const Reg i = b.newReg();
+    b.constTo(i, 0);
+    const Reg end = b.iconst(n);
+    const BlockId head = b.createBlock("driver");
+    const BlockId body = b.createBlock("driver_body");
+    const BlockId ex = b.createBlock("exit");
+    b.br(head);
+    b.setInsertPoint(head);
+    const Reg c = b.cmpLt(i, end);
+    b.condBr(c, body, ex);
+    b.setInsertPoint(body);
+    b.call(work, {a, bb, i});
+    const Reg one = b.iconst(1);
+    b.movTo(i, b.add(i, one));
+    b.br(head);
+    b.setInsertPoint(ex);
+    b.ret(b.load(b.add(bb, b.iconst(8)), 0));
+  }
+  m.setMainFunc(main_id);
+  return m;
+}
+
+TEST(RegionSpeculation, SplitsBigStraightLineBlock) {
+  Module m = buildTwoHalves(100);
+  m.finalize();
+  harness::InterpProfileRunner runner;
+  const auto prof = runner.run(m, {});
+  CompilerOptions options;
+  options.enable_region_speculation = true;
+  options.region_min_cost = 30.0;
+  options.region_min_benefit = 5.0;
+  const auto regions = applyRegionSpeculation(m, prof, options);
+  ASSERT_EQ(regions.size(), 1u);
+  EXPECT_TRUE(regions[0].applied);
+  EXPECT_EQ(regions[0].name, "work.body");
+  EXPECT_GT(regions[0].prefix_cost, 10.0);
+  EXPECT_GT(regions[0].suffix_cost, 10.0);
+  m.finalize();
+  EXPECT_TRUE(verifyModule(m).empty());
+
+  // Fork present, targeting the new half block.
+  int forks = 0;
+  for (const auto& block : m.function(m.findFunction("work")).blocks) {
+    for (const auto& instr : block.instrs) {
+      forks += instr.op == Opcode::kSptFork;
+    }
+  }
+  EXPECT_EQ(forks, 1);
+}
+
+TEST(RegionSpeculation, PreservesSemanticsAndSpawnsThreads) {
+  Module source = buildTwoHalves(150);
+  compiler::CompilerOptions copts;
+  copts.enable_region_speculation = true;
+  copts.region_min_cost = 30.0;
+  copts.region_min_benefit = 5.0;
+  const auto result = harness::runSptExperiment(source, copts);
+  EXPECT_EQ(result.baseline_run.return_value, result.spt_run.return_value);
+  EXPECT_EQ(result.baseline_run.memory_hash, result.spt_run.memory_hash);
+  EXPECT_FALSE(result.plan.regions.empty());
+  EXPECT_GT(result.spt.threads.spawned, 50u);
+  // The two halves are independent: nearly everything fast-commits and
+  // the region overlap wins.
+  EXPECT_GT(result.spt.threads.fastCommitRatio(), 0.9);
+  EXPECT_GT(result.programSpeedup(), 0.1);
+}
+
+TEST(RegionSpeculation, VortexGainsFromRegions) {
+  harness::SuiteEntry entry;
+  for (auto& e : harness::defaultSuite()) {
+    if (e.workload.name == "vortex") entry = e;
+  }
+  const auto plain = harness::runSuiteEntry(entry);
+  entry.copts.enable_region_speculation = true;
+  const auto regions = harness::runSuiteEntry(entry);
+  EXPECT_LT(plain.programSpeedup(), 0.01);
+  EXPECT_GT(regions.programSpeedup(), 0.2);
+  EXPECT_FALSE(regions.plan.regions.empty());
+}
+
+TEST(RegionSpeculation, OffByDefault) {
+  Module m = buildTwoHalves(50);
+  const auto result = harness::runSptExperiment(std::move(m));
+  EXPECT_TRUE(result.plan.regions.empty());
+}
+
+class RegionFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RegionFuzz, SemanticsPreservedWithRegionsEnabled) {
+  compiler::CompilerOptions copts;
+  copts.enable_region_speculation = true;
+  copts.region_min_cost = 25.0;
+  copts.region_min_benefit = 2.0;
+  const auto result = harness::runSptExperiment(
+      testing::generateRandomProgram(GetParam()), copts);
+  EXPECT_EQ(result.baseline_run.return_value, result.spt_run.return_value);
+  EXPECT_EQ(result.baseline_run.memory_hash, result.spt_run.memory_hash);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RegionFuzz,
+                         ::testing::Range<std::uint64_t>(1, 11));
+
+}  // namespace
+}  // namespace spt::compiler

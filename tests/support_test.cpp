@@ -1,0 +1,185 @@
+// Unit tests for src/support.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "support/machine_config.h"
+#include "support/rng.h"
+#include "support/stats.h"
+#include "support/table.h"
+
+namespace spt::support {
+namespace {
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a.next() == b.next());
+  EXPECT_LT(same, 5);
+}
+
+TEST(Rng, ReseedRestartsSequence) {
+  Rng a(7);
+  const auto first = a.next();
+  a.next();
+  a.reseed(7);
+  EXPECT_EQ(a.next(), first);
+}
+
+TEST(Rng, NextBelowRespectsBound) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.nextBelow(17), 17u);
+  }
+  EXPECT_EQ(rng.nextBelow(0), 0u);
+  EXPECT_EQ(rng.nextBelow(1), 0u);
+}
+
+TEST(Rng, NextInRangeInclusive) {
+  Rng rng(5);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = rng.nextInRange(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.nextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, BernoulliFrequencyTracksP) {
+  Rng rng(13);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.nextBool(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, BernoulliExtremes) {
+  Rng rng(17);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.nextBool(0.0));
+    EXPECT_TRUE(rng.nextBool(1.0));
+  }
+}
+
+TEST(Rng, GeometricCapped) {
+  Rng rng(19);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LE(rng.nextGeometric(0.99, 10), 10u);
+  }
+}
+
+TEST(RunningStat, Empty) {
+  RunningStat s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStat, KnownValues) {
+  RunningStat s;
+  for (const double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+}
+
+TEST(Histogram, CumulativeWeights) {
+  Histogram h;
+  h.add(10, 5);
+  h.add(100, 20);
+  h.add(1000, 75);
+  EXPECT_EQ(h.totalWeight(), 100u);
+  EXPECT_EQ(h.cumulativeWeightUpTo(9), 0u);
+  EXPECT_EQ(h.cumulativeWeightUpTo(10), 5u);
+  EXPECT_EQ(h.cumulativeWeightUpTo(999), 25u);
+  EXPECT_EQ(h.cumulativeWeightUpTo(100000), 100u);
+  EXPECT_EQ(h.weightOf(100), 20u);
+  EXPECT_EQ(h.weightOf(11), 0u);
+}
+
+TEST(Stats, PercentFormatting) {
+  EXPECT_EQ(percent(156, 1000), "15.6%");
+  EXPECT_EQ(percent(1, 0), "0.0%");
+  EXPECT_EQ(percent(1, 3, 2), "33.33%");
+}
+
+TEST(Table, PrintAligned) {
+  Table t("demo");
+  t.setHeader({"name", "value"});
+  t.addRow({"alpha", "1"});
+  t.addRow({"b", "22"});
+  std::ostringstream ss;
+  t.print(ss);
+  const std::string out = ss.str();
+  EXPECT_NE(out.find("== demo =="), std::string::npos);
+  EXPECT_NE(out.find("| alpha | 1     |"), std::string::npos);
+  EXPECT_NE(out.find("| b     | 22    |"), std::string::npos);
+}
+
+TEST(Table, CsvEscaping) {
+  Table t("csv");
+  t.setHeader({"a", "b"});
+  t.addRow({"x,y", "quote\"inside"});
+  std::ostringstream ss;
+  t.printCsv(ss);
+  EXPECT_EQ(ss.str(), "a,b\n\"x,y\",\"quote\"\"inside\"\n");
+}
+
+TEST(MachineConfig, Table1Defaults) {
+  const MachineConfig config;
+  EXPECT_EQ(config.l1d.size_bytes, 16u * 1024);
+  EXPECT_EQ(config.l1d.associativity, 4u);
+  EXPECT_EQ(config.l2.size_bytes, 256u * 1024);
+  EXPECT_EQ(config.l2.latency_cycles, 5u);
+  EXPECT_EQ(config.l3.size_bytes, 3u * 1024 * 1024);
+  EXPECT_EQ(config.l3.block_bytes, 128u);
+  EXPECT_EQ(config.l3.latency_cycles, 12u);
+  EXPECT_EQ(config.memory_latency_cycles, 150u);
+  EXPECT_EQ(config.fetch_width, 6u);
+  EXPECT_EQ(config.replay_issue_width, 12u);
+  EXPECT_EQ(config.branch_predictor_entries, 1024u);
+  EXPECT_EQ(config.branch_mispredict_penalty, 5u);
+  EXPECT_EQ(config.rf_copy_overhead, 1u);
+  EXPECT_EQ(config.fast_commit_overhead, 5u);
+  EXPECT_EQ(config.speculation_result_buffer_entries, 1024u);
+  EXPECT_EQ(config.recovery, RecoveryMechanism::kSelectiveReplayFastCommit);
+  EXPECT_EQ(config.register_check, RegisterCheckMode::kValueBased);
+}
+
+TEST(MachineConfig, PrintsAllTable1Rows) {
+  const MachineConfig config;
+  std::ostringstream ss;
+  config.print(ss);
+  const std::string out = ss.str();
+  for (const char* needle :
+       {"16KB, 4-way, 64B-block, 1-cycle", "256KB, 8-way, 64B-block, 5-cycle",
+        "3072KB, 12-way, 128B-block, 12-cycle", "150 cycles",
+        "GAg with 1024 entries", "1024 entries",
+        "Selective re-execution with fast-commit (SRX+FC)", "Value-based"}) {
+    EXPECT_NE(out.find(needle), std::string::npos) << "missing: " << needle;
+  }
+}
+
+}  // namespace
+}  // namespace spt::support

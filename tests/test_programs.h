@@ -1,0 +1,171 @@
+// Shared IR program builders for tests.
+#pragma once
+
+#include <cstdint>
+
+#include "ir/builder.h"
+#include "ir/module.h"
+
+namespace spt::testing {
+
+/// main(): sums 0..n-1 through memory.
+///   buf = halloc(n*8); for i: buf[i] = i; s = 0; for i: s += buf[i]; ret s
+/// Returns the id of main. Loop header blocks are labelled "init_loop" and
+/// "sum_loop".
+inline ir::FuncId buildArraySum(ir::Module& module, std::int64_t n) {
+  using namespace ir;
+  const FuncId main_id = module.addFunction("main", 0);
+  IrBuilder b(module, main_id);
+
+  const BlockId entry = b.createBlock("entry");
+  const BlockId init_head = b.createBlock("init_loop");
+  const BlockId init_body = b.createBlock("init_body");
+  const BlockId sum_pre = b.createBlock("sum_pre");
+  const BlockId sum_head = b.createBlock("sum_loop");
+  const BlockId sum_body = b.createBlock("sum_body");
+  const BlockId done = b.createBlock("done");
+
+  const Reg i = b.func().newReg();
+  const Reg s = b.func().newReg();
+  const Reg buf = b.func().newReg();
+  const Reg count = b.func().newReg();
+  const Reg eight = b.func().newReg();
+
+  b.setInsertPoint(entry);
+  {
+    Instr h;
+    h.op = Opcode::kHalloc;
+    h.dst = buf;
+    h.imm = n * 8;
+    b.append(h);
+  }
+  b.constTo(count, n);
+  b.constTo(eight, 8);
+  b.constTo(i, 0);
+  b.br(init_head);
+
+  b.setInsertPoint(init_head);
+  const Reg c0 = b.cmpLt(i, count);
+  b.condBr(c0, init_body, sum_pre);
+
+  b.setInsertPoint(init_body);
+  const Reg off0 = b.mul(i, eight);
+  const Reg addr0 = b.add(buf, off0);
+  b.store(addr0, 0, i);
+  const Reg one0 = b.iconst(1);
+  const Reg inext = b.add(i, one0);
+  b.movTo(i, inext);
+  b.br(init_head);
+
+  b.setInsertPoint(sum_pre);
+  b.constTo(i, 0);
+  b.constTo(s, 0);
+  b.br(sum_head);
+
+  b.setInsertPoint(sum_head);
+  const Reg c1 = b.cmpLt(i, count);
+  b.condBr(c1, sum_body, done);
+
+  b.setInsertPoint(sum_body);
+  const Reg off1 = b.mul(i, eight);
+  const Reg addr1 = b.add(buf, off1);
+  const Reg v = b.load(addr1, 0);
+  const Reg snext = b.add(s, v);
+  b.movTo(s, snext);
+  const Reg one1 = b.iconst(1);
+  const Reg inext1 = b.add(i, one1);
+  b.movTo(i, inext1);
+  b.br(sum_head);
+
+  b.setInsertPoint(done);
+  b.ret(s);
+
+  module.setMainFunc(main_id);
+  return main_id;
+}
+
+/// fib(n) = n < 2 ? n : fib(n-1) + fib(n-2); main() { return fib(k); }
+inline ir::FuncId buildFib(ir::Module& module, std::int64_t k) {
+  using namespace ir;
+  const FuncId fib_id = module.addFunction("fib", 1);
+  {
+    IrBuilder b(module, fib_id);
+    const BlockId entry = b.createBlock("entry");
+    const BlockId base = b.createBlock("base");
+    const BlockId rec = b.createBlock("rec");
+    b.setInsertPoint(entry);
+    const Reg n = b.param(0);
+    const Reg two = b.iconst(2);
+    const Reg is_small = b.cmpLt(n, two);
+    b.condBr(is_small, base, rec);
+    b.setInsertPoint(base);
+    b.ret(n);
+    b.setInsertPoint(rec);
+    const Reg one = b.iconst(1);
+    const Reg nm1 = b.sub(n, one);
+    const Reg f1 = b.call(fib_id, {nm1});
+    const Reg nm2 = b.sub(nm1, one);
+    const Reg f2 = b.call(fib_id, {nm2});
+    const Reg sum = b.add(f1, f2);
+    b.ret(sum);
+  }
+
+  const FuncId main_id = module.addFunction("main", 0);
+  {
+    IrBuilder b(module, main_id);
+    b.setInsertPoint(b.createBlock("entry"));
+    const Reg kr = b.iconst(k);
+    const Reg r = b.call(fib_id, {kr});
+    b.ret(r);
+  }
+  module.setMainFunc(main_id);
+  return main_id;
+}
+
+/// A loop that already contains an spt_fork at the top of its body,
+/// mimicking paper Figure 1(b): the fork target is the loop header.
+///   s = 0; i = 0;
+///   head: if (i >= n) goto exit
+///   body: spt_fork head_label; s += i; i += 1; goto head
+/// Header block label: "fork_loop".
+inline ir::FuncId buildForkLoop(ir::Module& module, std::int64_t n) {
+  using namespace ir;
+  const FuncId main_id = module.addFunction("main", 0);
+  IrBuilder b(module, main_id);
+  const BlockId entry = b.createBlock("entry");
+  const BlockId head = b.createBlock("fork_loop");
+  const BlockId body = b.createBlock("body");
+  const BlockId exit = b.createBlock("exit");
+
+  const Reg i = b.func().newReg();
+  const Reg s = b.func().newReg();
+  const Reg count = b.func().newReg();
+
+  b.setInsertPoint(entry);
+  b.constTo(i, 0);
+  b.constTo(s, 0);
+  b.constTo(count, n);
+  b.br(head);
+
+  b.setInsertPoint(head);
+  const Reg c = b.cmpLt(i, count);
+  b.condBr(c, body, exit);
+
+  b.setInsertPoint(body);
+  b.sptFork(head);
+  const Reg s2 = b.add(s, i);
+  b.movTo(s, s2);
+  const Reg one = b.iconst(1);
+  const Reg i2 = b.add(i, one);
+  b.movTo(i, i2);
+  b.br(head);
+
+  b.setInsertPoint(exit);
+  b.sptKill();
+  b.ret(s);
+
+  module.setMainFunc(main_id);
+  return main_id;
+}
+
+}  // namespace spt::testing

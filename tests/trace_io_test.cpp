@@ -1,0 +1,108 @@
+// Tests for binary trace serialization: round trips, corruption handling,
+// and simulate-from-file equivalence.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "harness/experiment.h"
+#include "sim/baseline.h"
+#include "test_programs.h"
+#include "trace/trace_io.h"
+
+namespace spt::trace {
+namespace {
+
+TEST(TraceIo, RoundTripPreservesEveryField) {
+  ir::Module m("t");
+  testing::buildForkLoop(m, 20);
+  harness::TracedRun run = harness::traceProgram(m);
+
+  std::stringstream ss;
+  ASSERT_TRUE(writeTrace(ss, run.trace));
+  std::string error;
+  auto back = readTrace(ss, &error);
+  ASSERT_TRUE(back.has_value()) << error;
+  ASSERT_EQ(back->size(), run.trace.size());
+  for (std::size_t i = 0; i < run.trace.size(); ++i) {
+    const Record& a = run.trace[i];
+    const Record& b = (*back)[i];
+    EXPECT_EQ(a.kind, b.kind);
+    EXPECT_EQ(a.op, b.op);
+    EXPECT_EQ(a.taken, b.taken);
+    EXPECT_EQ(a.sid, b.sid);
+    EXPECT_EQ(a.frame, b.frame);
+    EXPECT_EQ(a.callee_frame, b.callee_frame);
+    EXPECT_EQ(a.value, b.value);
+    EXPECT_EQ(a.mem_addr, b.mem_addr);
+    EXPECT_EQ(a.mem_old, b.mem_old);
+  }
+}
+
+TEST(TraceIo, SimulationFromFileMatchesInMemory) {
+  ir::Module m("t");
+  testing::buildArraySum(m, 300);
+  harness::TracedRun run = harness::traceProgram(m);
+
+  std::stringstream ss;
+  ASSERT_TRUE(writeTrace(ss, run.trace));
+  auto loaded = readTrace(ss);
+  ASSERT_TRUE(loaded.has_value());
+
+  const support::MachineConfig config;
+  const auto direct = sim::BaselineMachine(m, run.trace, config).run();
+  const auto from_file = sim::BaselineMachine(m, *loaded, config).run();
+  EXPECT_EQ(direct.cycles, from_file.cycles);
+  EXPECT_EQ(direct.instrs, from_file.instrs);
+  EXPECT_EQ(direct.breakdown.execution, from_file.breakdown.execution);
+}
+
+TEST(TraceIo, RejectsBadMagic) {
+  std::stringstream ss;
+  ss << "NOTATRACExxxxxxxxxxxxxxx";
+  std::string error;
+  EXPECT_FALSE(readTrace(ss, &error).has_value());
+  EXPECT_EQ(error, "bad magic");
+}
+
+TEST(TraceIo, RejectsTruncatedStream) {
+  ir::Module m("t");
+  testing::buildArraySum(m, 10);
+  harness::TracedRun run = harness::traceProgram(m);
+  std::stringstream ss;
+  ASSERT_TRUE(writeTrace(ss, run.trace));
+  const std::string full = ss.str();
+  std::stringstream cut(full.substr(0, full.size() / 2));
+  std::string error;
+  EXPECT_FALSE(readTrace(cut, &error).has_value());
+  EXPECT_EQ(error, "truncated record stream");
+}
+
+TEST(TraceIo, RejectsCorruptKind) {
+  ir::Module m("t");
+  testing::buildArraySum(m, 2);
+  harness::TracedRun run = harness::traceProgram(m);
+  std::stringstream ss;
+  ASSERT_TRUE(writeTrace(ss, run.trace));
+  std::string bytes = ss.str();
+  bytes[8 + 4 + 8] = 0x7f;  // first record's kind byte
+  std::stringstream corrupt(bytes);
+  std::string error;
+  EXPECT_FALSE(readTrace(corrupt, &error).has_value());
+  EXPECT_EQ(error, "corrupt record kind");
+}
+
+TEST(TraceIo, FileHelpers) {
+  ir::Module m("t");
+  testing::buildFib(m, 6);
+  harness::TracedRun run = harness::traceProgram(m);
+  const std::string path = ::testing::TempDir() + "/spt_trace_test.bin";
+  ASSERT_TRUE(writeTraceFile(path, run.trace));
+  std::string error;
+  auto back = readTraceFile(path, &error);
+  ASSERT_TRUE(back.has_value()) << error;
+  EXPECT_EQ(back->size(), run.trace.size());
+  EXPECT_FALSE(readTraceFile(path + ".missing").has_value());
+}
+
+}  // namespace
+}  // namespace spt::trace

@@ -1,0 +1,173 @@
+// Tests for the workload suite: every program builds, verifies, runs
+// deterministically, and has the loop characteristics its SPEC counterpart
+// requires (coverage shape, hot-loop structure).
+#include <gtest/gtest.h>
+
+#include "harness/experiment.h"
+#include "interp/interpreter.h"
+#include "ir/verifier.h"
+#include "profile/profiler.h"
+#include "workloads/workloads.h"
+
+namespace spt::workloads {
+namespace {
+
+class SuiteTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(SuiteTest, BuildsAndVerifies) {
+  Workload w = findWorkload(GetParam());
+  ir::Module m = w.build(1);
+  m.finalize();
+  const auto problems = ir::verifyModule(m);
+  EXPECT_TRUE(problems.empty())
+      << w.name << ": " << (problems.empty() ? "" : problems.front());
+  EXPECT_NE(m.mainFunc(), ir::kInvalidFunc);
+}
+
+TEST_P(SuiteTest, RunsDeterministically) {
+  Workload w = findWorkload(GetParam());
+  ir::Module m1 = w.build(1);
+  ir::Module m2 = w.build(1);
+  const auto r1 = harness::traceProgram(m1);
+  const auto r2 = harness::traceProgram(m2);
+  EXPECT_EQ(r1.result.return_value, r2.result.return_value);
+  EXPECT_EQ(r1.result.memory_hash, r2.result.memory_hash);
+  EXPECT_EQ(r1.result.dynamic_instrs, r2.result.dynamic_instrs);
+  EXPECT_GT(r1.result.dynamic_instrs, 50'000u) << w.name;
+  EXPECT_LT(r1.result.dynamic_instrs, 20'000'000u) << w.name;
+}
+
+TEST_P(SuiteTest, ScaleGrowsWork) {
+  Workload w = findWorkload(GetParam());
+  ir::Module m1 = w.build(1);
+  ir::Module m2 = w.build(2);
+  trace::NullSink sink;
+  m1.finalize();
+  m2.finalize();
+  interp::ProgramContext c1(m1), c2(m2);
+  interp::Memory mem1, mem2;
+  const auto r1 = interp::Interpreter(c1, mem1, sink).runMain();
+  const auto r2 = interp::Interpreter(c2, mem2, sink).runMain();
+  EXPECT_GT(r2.dynamic_instrs, r1.dynamic_instrs * 3 / 2) << w.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWorkloads, SuiteTest,
+    ::testing::Values("bzip2", "crafty", "gap", "gcc", "gzip", "mcf",
+                      "parser", "twolf", "vortex", "vpr",
+                      "micro.parser_free", "micro.svp_stride"),
+    [](const ::testing::TestParamInfo<std::string>& info) {
+      std::string name = info.param;
+      for (char& c : name) {
+        if (c == '.') c = '_';
+      }
+      return name;
+    });
+
+profile::ProfileData profileWorkload(const std::string& name) {
+  Workload w = findWorkload(name);
+  ir::Module m = w.build(1);
+  m.finalize();
+  interp::ProgramContext ctx(m);
+  interp::Memory mem;
+  profile::Profiler profiler(m);
+  interp::Interpreter interp(ctx, mem, profiler);
+  interp.runMain();
+  return profiler.take();
+}
+
+double loopCoverage(const profile::ProfileData& prof) {
+  // Fraction of instructions inside at least one loop. Using the maximum
+  // single-loop coverage as a lower bound plus outer-loop aggregation is
+  // messy; here we just sum top-level loop coverage conservatively via the
+  // largest loops. For the characteristic tests, per-loop stats suffice.
+  std::uint64_t best = 0;
+  for (const auto& [sid, stats] : prof.loops) {
+    (void)sid;
+    best = std::max(best, stats.dyn_instrs);
+  }
+  return prof.total_instrs == 0
+             ? 0.0
+             : static_cast<double>(best) / prof.total_instrs;
+}
+
+TEST(Characteristics, VortexHasNegligibleLoopCoverage) {
+  const auto prof = profileWorkload("vortex");
+  // The biggest loop (the db_init fill) must stay a small fraction.
+  EXPECT_LT(loopCoverage(prof), 0.25);
+}
+
+TEST(Characteristics, GapHasOneSkewedHotLoop) {
+  const auto prof = profileWorkload("gap");
+  double best_cov = 0.0;
+  double best_body = 0.0;
+  for (const auto& [sid, stats] : prof.loops) {
+    (void)sid;
+    const double cov = static_cast<double>(stats.dyn_instrs) /
+                       static_cast<double>(prof.total_instrs);
+    if (cov > best_cov) {
+      best_cov = cov;
+      best_body = stats.avgBodySize();
+    }
+  }
+  EXPECT_GT(best_cov, 0.5);      // one loop dominates
+  EXPECT_GT(best_body, 1000.0);  // above the default 1000 size limit
+  EXPECT_LT(best_body, 2500.0);  // admitted by the gap-specific 2500 limit
+}
+
+TEST(Characteristics, McfIsMemoryHeavy) {
+  Workload w = findWorkload("mcf");
+  ir::Module m = w.build(1);
+  const auto run = harness::traceProgram(m);
+  const sim::MachineResult r =
+      sim::BaselineMachine(m, run.trace, support::MachineConfig{}).run();
+  // A meaningful share of baseline cycles stall on the D-cache.
+  EXPECT_GT(static_cast<double>(r.breakdown.dcache_stall) / r.cycles, 0.15);
+}
+
+TEST(Characteristics, ParserHotLoopIsTheFreeLoop) {
+  const auto prof = profileWorkload("parser");
+  // free_clauses must be executed and carry a memory dependence through
+  // the free-list head.
+  bool saw_free_loop_dep = false;
+  for (const auto& [sid, deps] : prof.mem_deps) {
+    (void)sid;
+    for (const auto& [pair, stat] : deps) {
+      (void)pair;
+      if (stat.count > 1000 && stat.avgTail() > 0.0) {
+        saw_free_loop_dep = true;
+      }
+    }
+  }
+  EXPECT_TRUE(saw_free_loop_dep);
+}
+
+TEST(Characteristics, GzipHashCollisionsAreRare) {
+  const auto prof = profileWorkload("gzip");
+  // The hash_insert head-table dependence must exist but fire rarely.
+  double max_prob = 0.0;
+  for (const auto& [header, deps] : prof.mem_deps) {
+    for (const auto& [pair, stat] : deps) {
+      max_prob = std::max(
+          max_prob, prof.memDepProb(header, pair.first, pair.second));
+      (void)stat;
+    }
+  }
+  EXPECT_GT(max_prob, 0.0);
+  EXPECT_LT(max_prob, 0.2);
+}
+
+TEST(ScaleStability, SpeedupRatioIsStationary) {
+  // EXPERIMENTS.md claims the reported ratios converge far below the
+  // paper's 20B-instruction runs; check speedup at scale 1 vs scale 3 on
+  // a mid-sized benchmark.
+  Workload w = findWorkload("gzip");
+  const auto r1 = harness::runSptExperiment(w.build(1));
+  const auto r3 = harness::runSptExperiment(w.build(3));
+  EXPECT_NEAR(r1.programSpeedup(), r3.programSpeedup(), 0.06);
+  EXPECT_NEAR(r1.spt.threads.fastCommitRatio(),
+              r3.spt.threads.fastCommitRatio(), 0.05);
+}
+
+}  // namespace
+}  // namespace spt::workloads

@@ -1,0 +1,235 @@
+// sptc — the SPT command-line driver.
+//
+//   sptc list
+//       List the built-in workloads.
+//   sptc run <workload-name | program.spt> [options]
+//       Run the full pipeline (profile, cost-driven compile, trace,
+//       simulate baseline vs SPT) and print the plan and results.
+//   sptc compile <workload-name | program.spt> [options]
+//       Print the SPT-transformed IR.
+//   sptc parse <program.spt>
+//       Parse, verify and re-print a textual IR program.
+//
+// Options for run/compile:
+//   --scale N          workload input scale (default 1)
+//   --srb N            speculation result buffer entries (default 1024)
+//   --recovery M       srx_fc | srx | squash (default srx_fc)
+//   --regcheck M       value | scoreboard (default value)
+//   --no-svp           disable software value prediction
+//   --no-unroll        disable loop unrolling preprocessing
+//   --select-all       bypass cost-driven selection
+//   --max-body N       candidate loop body-size limit (default 1000)
+//   --print-ir         also dump the transformed module (run only)
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "harness/suite.h"
+#include "ir/parser.h"
+#include "ir/printer.h"
+#include "ir/verifier.h"
+#include "support/stats.h"
+
+namespace {
+
+using namespace spt;
+
+int usage() {
+  std::cerr << "usage: sptc <list|run|compile|parse> [target] [options]\n"
+               "       see the header of tools/sptc.cpp for details\n";
+  return 2;
+}
+
+std::optional<ir::Module> loadTarget(const std::string& target,
+                                     std::uint64_t scale) {
+  if (target.size() > 4 &&
+      target.compare(target.size() - 4, 4, ".spt") == 0) {
+    std::ifstream in(target);
+    if (!in) {
+      std::cerr << "sptc: cannot open " << target << "\n";
+      return std::nullopt;
+    }
+    std::stringstream ss;
+    ss << in.rdbuf();
+    ir::ParseError error;
+    auto m = ir::parseModule(ss.str(), &error);
+    if (!m) {
+      std::cerr << "sptc: parse error at line " << error.line << ": "
+                << error.message << "\n";
+      return std::nullopt;
+    }
+    m->finalize();
+    const auto problems = ir::verifyModule(*m);
+    if (!problems.empty()) {
+      std::cerr << "sptc: invalid module: " << problems.front() << "\n";
+      return std::nullopt;
+    }
+    if (m->mainFunc() == ir::kInvalidFunc) {
+      std::cerr << "sptc: program has no @main function\n";
+      return std::nullopt;
+    }
+    return m;
+  }
+  for (const auto& entry : harness::defaultSuite()) {
+    if (entry.workload.name == target) return entry.workload.build(scale);
+  }
+  for (const char* micro : {"micro.parser_free", "micro.svp_stride"}) {
+    if (target == micro) {
+      return workloads::findWorkload(target).build(scale);
+    }
+  }
+  std::cerr << "sptc: unknown workload '" << target
+            << "' (try `sptc list`, or pass a .spt file)\n";
+  return std::nullopt;
+}
+
+struct Options {
+  std::uint64_t scale = 1;
+  support::MachineConfig machine;
+  compiler::CompilerOptions copts;
+  bool print_ir = false;
+  bool ok = true;
+};
+
+Options parseOptions(int argc, char** argv, int first) {
+  Options o;
+  const auto need_value = [&](int& i) -> const char* {
+    if (i + 1 >= argc) {
+      std::cerr << "sptc: " << argv[i] << " needs a value\n";
+      o.ok = false;
+      return "0";
+    }
+    return argv[++i];
+  };
+  for (int i = first; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--scale") {
+      o.scale = std::strtoull(need_value(i), nullptr, 10);
+    } else if (arg == "--srb") {
+      o.machine.speculation_result_buffer_entries =
+          static_cast<std::uint32_t>(std::strtoul(need_value(i), nullptr, 10));
+    } else if (arg == "--recovery") {
+      const std::string v = need_value(i);
+      if (v == "srx_fc") {
+        o.machine.recovery =
+            support::RecoveryMechanism::kSelectiveReplayFastCommit;
+      } else if (v == "srx") {
+        o.machine.recovery = support::RecoveryMechanism::kSelectiveReplay;
+      } else if (v == "squash") {
+        o.machine.recovery = support::RecoveryMechanism::kFullSquash;
+      } else {
+        std::cerr << "sptc: unknown recovery '" << v << "'\n";
+        o.ok = false;
+      }
+    } else if (arg == "--regcheck") {
+      const std::string v = need_value(i);
+      if (v == "value") {
+        o.machine.register_check = support::RegisterCheckMode::kValueBased;
+      } else if (v == "scoreboard") {
+        o.machine.register_check = support::RegisterCheckMode::kScoreboard;
+      } else {
+        std::cerr << "sptc: unknown regcheck '" << v << "'\n";
+        o.ok = false;
+      }
+    } else if (arg == "--no-svp") {
+      o.copts.enable_svp = false;
+    } else if (arg == "--regions") {
+      o.copts.enable_region_speculation = true;
+    } else if (arg == "--no-unroll") {
+      o.copts.enable_unrolling = false;
+    } else if (arg == "--select-all") {
+      o.copts.cost_driven_selection = false;
+    } else if (arg == "--max-body") {
+      o.copts.max_avg_body_size =
+          std::strtod(need_value(i), nullptr);
+    } else if (arg == "--print-ir") {
+      o.print_ir = true;
+    } else {
+      std::cerr << "sptc: unknown option '" << arg << "'\n";
+      o.ok = false;
+    }
+  }
+  return o;
+}
+
+int cmdList() {
+  std::cout << "built-in workloads (SPECint2000 analogs):\n";
+  for (const auto& entry : harness::defaultSuite()) {
+    std::cout << "  " << entry.workload.name << " — "
+              << entry.workload.description << "\n";
+  }
+  std::cout << "microkernels:\n";
+  for (const char* micro : {"micro.parser_free", "micro.svp_stride"}) {
+    const auto w = workloads::findWorkload(micro);
+    std::cout << "  " << w.name << " — " << w.description << "\n";
+  }
+  return 0;
+}
+
+int cmdRun(const std::string& target, const Options& options) {
+  auto m = loadTarget(target, options.scale);
+  if (!m) return 1;
+  // gap's paper-specified body-size override when run by name.
+  compiler::CompilerOptions copts = options.copts;
+  if (target == "gap" && copts.max_avg_body_size == 1000.0) {
+    copts.max_avg_body_size = 2500.0;
+  }
+  const auto result =
+      harness::runSptExperiment(std::move(*m), copts, options.machine);
+  result.plan.print(std::cout);
+
+  const auto& threads = result.spt.threads;
+  std::cout << "\nbaseline: " << result.baseline.cycles << " cycles ("
+            << result.baseline.instrs << " instructions, IPC "
+            << support::fixed(result.baseline.ipc(), 2) << ")\n"
+            << "SPT:      " << result.spt.cycles << " cycles\n"
+            << "speedup:  " << support::percent(result.programSpeedup(), 1.0)
+            << "\nthreads:  " << threads.spawned << " spawned, "
+            << support::percent(threads.fastCommitRatio(), 1.0)
+            << " fast-committed, "
+            << support::percent(threads.misspeculationRatio(), 1.0)
+            << " of speculative instructions re-executed\n";
+  if (options.print_ir) {
+    ir::Module compiled = loadTarget(target, options.scale).value();
+    compiler::SptCompiler cc(copts);
+    harness::InterpProfileRunner runner;
+    cc.compile(compiled, runner);
+    std::cout << "\n";
+    ir::printModule(std::cout, compiled);
+  }
+  return 0;
+}
+
+int cmdCompile(const std::string& target, const Options& options) {
+  auto m = loadTarget(target, options.scale);
+  if (!m) return 1;
+  compiler::SptCompiler cc(options.copts);
+  harness::InterpProfileRunner runner;
+  const auto plan = cc.compile(*m, runner);
+  plan.print(std::cerr);
+  ir::printModule(std::cout, *m);
+  return 0;
+}
+
+int cmdParse(const std::string& target) {
+  auto m = loadTarget(target, 1);
+  if (!m) return 1;
+  ir::printModule(std::cout, *m);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  if (cmd == "list") return cmdList();
+  if (argc < 3) return usage();
+  const std::string target = argv[2];
+  const Options options = parseOptions(argc, argv, 3);
+  if (!options.ok) return 2;
+  if (cmd == "run") return cmdRun(target, options);
+  if (cmd == "compile") return cmdCompile(target, options);
+  if (cmd == "parse") return cmdParse(target);
+  return usage();
+}
