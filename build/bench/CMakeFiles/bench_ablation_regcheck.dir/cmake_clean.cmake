@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_regcheck.dir/bench_ablation_regcheck.cpp.o"
+  "CMakeFiles/bench_ablation_regcheck.dir/bench_ablation_regcheck.cpp.o.d"
+  "bench_ablation_regcheck"
+  "bench_ablation_regcheck.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_regcheck.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_region_speculation.dir/bench_ext_region_speculation.cpp.o"
+  "CMakeFiles/bench_ext_region_speculation.dir/bench_ext_region_speculation.cpp.o.d"
+  "bench_ext_region_speculation"
+  "bench_ext_region_speculation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_region_speculation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_svp.dir/bench_fig5_svp.cpp.o"
+  "CMakeFiles/bench_fig5_svp.dir/bench_fig5_svp.cpp.o.d"
+  "bench_fig5_svp"
+  "bench_fig5_svp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_svp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/custom_workload.cpp" "examples/CMakeFiles/custom_workload.dir/custom_workload.cpp.o" "gcc" "examples/CMakeFiles/custom_workload.dir/custom_workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/spt_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/spt/CMakeFiles/spt_compiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/profile/CMakeFiles/spt_profile.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/spt_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/interp/CMakeFiles/spt_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/spt_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/spt_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/spt_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/spt_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/spt_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

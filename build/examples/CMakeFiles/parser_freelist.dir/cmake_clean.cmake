@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parser_freelist.dir/parser_freelist.cpp.o"
+  "CMakeFiles/parser_freelist.dir/parser_freelist.cpp.o.d"
+  "parser_freelist"
+  "parser_freelist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parser_freelist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/svp_stride.dir/svp_stride.cpp.o"
+  "CMakeFiles/svp_stride.dir/svp_stride.cpp.o.d"
+  "svp_stride"
+  "svp_stride.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/svp_stride.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spt_analysis.dir/cfg.cpp.o"
+  "CMakeFiles/spt_analysis.dir/cfg.cpp.o.d"
+  "CMakeFiles/spt_analysis.dir/defuse.cpp.o"
+  "CMakeFiles/spt_analysis.dir/defuse.cpp.o.d"
+  "CMakeFiles/spt_analysis.dir/dominators.cpp.o"
+  "CMakeFiles/spt_analysis.dir/dominators.cpp.o.d"
+  "CMakeFiles/spt_analysis.dir/loops.cpp.o"
+  "CMakeFiles/spt_analysis.dir/loops.cpp.o.d"
+  "CMakeFiles/spt_analysis.dir/modref.cpp.o"
+  "CMakeFiles/spt_analysis.dir/modref.cpp.o.d"
+  "libspt_analysis.a"
+  "libspt_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spt_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

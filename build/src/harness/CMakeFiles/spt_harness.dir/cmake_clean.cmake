@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spt_harness.dir/coverage.cpp.o"
+  "CMakeFiles/spt_harness.dir/coverage.cpp.o.d"
+  "CMakeFiles/spt_harness.dir/experiment.cpp.o"
+  "CMakeFiles/spt_harness.dir/experiment.cpp.o.d"
+  "CMakeFiles/spt_harness.dir/suite.cpp.o"
+  "CMakeFiles/spt_harness.dir/suite.cpp.o.d"
+  "libspt_harness.a"
+  "libspt_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spt_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spt_interp.dir/interpreter.cpp.o"
+  "CMakeFiles/spt_interp.dir/interpreter.cpp.o.d"
+  "CMakeFiles/spt_interp.dir/memory.cpp.o"
+  "CMakeFiles/spt_interp.dir/memory.cpp.o.d"
+  "CMakeFiles/spt_interp.dir/program_context.cpp.o"
+  "CMakeFiles/spt_interp.dir/program_context.cpp.o.d"
+  "libspt_interp.a"
+  "libspt_interp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spt_interp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

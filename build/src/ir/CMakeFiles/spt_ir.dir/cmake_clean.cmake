@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spt_ir.dir/builder.cpp.o"
+  "CMakeFiles/spt_ir.dir/builder.cpp.o.d"
+  "CMakeFiles/spt_ir.dir/instr.cpp.o"
+  "CMakeFiles/spt_ir.dir/instr.cpp.o.d"
+  "CMakeFiles/spt_ir.dir/module.cpp.o"
+  "CMakeFiles/spt_ir.dir/module.cpp.o.d"
+  "CMakeFiles/spt_ir.dir/opcode.cpp.o"
+  "CMakeFiles/spt_ir.dir/opcode.cpp.o.d"
+  "CMakeFiles/spt_ir.dir/parser.cpp.o"
+  "CMakeFiles/spt_ir.dir/parser.cpp.o.d"
+  "CMakeFiles/spt_ir.dir/printer.cpp.o"
+  "CMakeFiles/spt_ir.dir/printer.cpp.o.d"
+  "CMakeFiles/spt_ir.dir/verifier.cpp.o"
+  "CMakeFiles/spt_ir.dir/verifier.cpp.o.d"
+  "libspt_ir.a"
+  "libspt_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spt_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

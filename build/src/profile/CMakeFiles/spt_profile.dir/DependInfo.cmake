@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/profile/profile_data.cpp" "src/profile/CMakeFiles/spt_profile.dir/profile_data.cpp.o" "gcc" "src/profile/CMakeFiles/spt_profile.dir/profile_data.cpp.o.d"
+  "/root/repo/src/profile/profiler.cpp" "src/profile/CMakeFiles/spt_profile.dir/profiler.cpp.o" "gcc" "src/profile/CMakeFiles/spt_profile.dir/profiler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/spt_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/spt_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/spt_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spt_profile.dir/profile_data.cpp.o"
+  "CMakeFiles/spt_profile.dir/profile_data.cpp.o.d"
+  "CMakeFiles/spt_profile.dir/profiler.cpp.o"
+  "CMakeFiles/spt_profile.dir/profiler.cpp.o.d"
+  "libspt_profile.a"
+  "libspt_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spt_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

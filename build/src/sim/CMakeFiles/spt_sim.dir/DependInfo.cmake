@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/arch_state.cpp" "src/sim/CMakeFiles/spt_sim.dir/arch_state.cpp.o" "gcc" "src/sim/CMakeFiles/spt_sim.dir/arch_state.cpp.o.d"
+  "/root/repo/src/sim/baseline.cpp" "src/sim/CMakeFiles/spt_sim.dir/baseline.cpp.o" "gcc" "src/sim/CMakeFiles/spt_sim.dir/baseline.cpp.o.d"
+  "/root/repo/src/sim/branch_predictor.cpp" "src/sim/CMakeFiles/spt_sim.dir/branch_predictor.cpp.o" "gcc" "src/sim/CMakeFiles/spt_sim.dir/branch_predictor.cpp.o.d"
+  "/root/repo/src/sim/cache.cpp" "src/sim/CMakeFiles/spt_sim.dir/cache.cpp.o" "gcc" "src/sim/CMakeFiles/spt_sim.dir/cache.cpp.o.d"
+  "/root/repo/src/sim/loop_tracker.cpp" "src/sim/CMakeFiles/spt_sim.dir/loop_tracker.cpp.o" "gcc" "src/sim/CMakeFiles/spt_sim.dir/loop_tracker.cpp.o.d"
+  "/root/repo/src/sim/pipeline.cpp" "src/sim/CMakeFiles/spt_sim.dir/pipeline.cpp.o" "gcc" "src/sim/CMakeFiles/spt_sim.dir/pipeline.cpp.o.d"
+  "/root/repo/src/sim/spt_machine.cpp" "src/sim/CMakeFiles/spt_sim.dir/spt_machine.cpp.o" "gcc" "src/sim/CMakeFiles/spt_sim.dir/spt_machine.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/spt_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/spt_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/spt_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spt_sim.dir/arch_state.cpp.o"
+  "CMakeFiles/spt_sim.dir/arch_state.cpp.o.d"
+  "CMakeFiles/spt_sim.dir/baseline.cpp.o"
+  "CMakeFiles/spt_sim.dir/baseline.cpp.o.d"
+  "CMakeFiles/spt_sim.dir/branch_predictor.cpp.o"
+  "CMakeFiles/spt_sim.dir/branch_predictor.cpp.o.d"
+  "CMakeFiles/spt_sim.dir/cache.cpp.o"
+  "CMakeFiles/spt_sim.dir/cache.cpp.o.d"
+  "CMakeFiles/spt_sim.dir/loop_tracker.cpp.o"
+  "CMakeFiles/spt_sim.dir/loop_tracker.cpp.o.d"
+  "CMakeFiles/spt_sim.dir/pipeline.cpp.o"
+  "CMakeFiles/spt_sim.dir/pipeline.cpp.o.d"
+  "CMakeFiles/spt_sim.dir/spt_machine.cpp.o"
+  "CMakeFiles/spt_sim.dir/spt_machine.cpp.o.d"
+  "libspt_sim.a"
+  "libspt_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spt_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/spt/cost_model.cpp" "src/spt/CMakeFiles/spt_compiler.dir/cost_model.cpp.o" "gcc" "src/spt/CMakeFiles/spt_compiler.dir/cost_model.cpp.o.d"
+  "/root/repo/src/spt/driver.cpp" "src/spt/CMakeFiles/spt_compiler.dir/driver.cpp.o" "gcc" "src/spt/CMakeFiles/spt_compiler.dir/driver.cpp.o.d"
+  "/root/repo/src/spt/loop_analysis.cpp" "src/spt/CMakeFiles/spt_compiler.dir/loop_analysis.cpp.o" "gcc" "src/spt/CMakeFiles/spt_compiler.dir/loop_analysis.cpp.o.d"
+  "/root/repo/src/spt/loop_shape.cpp" "src/spt/CMakeFiles/spt_compiler.dir/loop_shape.cpp.o" "gcc" "src/spt/CMakeFiles/spt_compiler.dir/loop_shape.cpp.o.d"
+  "/root/repo/src/spt/partition_search.cpp" "src/spt/CMakeFiles/spt_compiler.dir/partition_search.cpp.o" "gcc" "src/spt/CMakeFiles/spt_compiler.dir/partition_search.cpp.o.d"
+  "/root/repo/src/spt/plan.cpp" "src/spt/CMakeFiles/spt_compiler.dir/plan.cpp.o" "gcc" "src/spt/CMakeFiles/spt_compiler.dir/plan.cpp.o.d"
+  "/root/repo/src/spt/region_speculation.cpp" "src/spt/CMakeFiles/spt_compiler.dir/region_speculation.cpp.o" "gcc" "src/spt/CMakeFiles/spt_compiler.dir/region_speculation.cpp.o.d"
+  "/root/repo/src/spt/transform.cpp" "src/spt/CMakeFiles/spt_compiler.dir/transform.cpp.o" "gcc" "src/spt/CMakeFiles/spt_compiler.dir/transform.cpp.o.d"
+  "/root/repo/src/spt/unroll.cpp" "src/spt/CMakeFiles/spt_compiler.dir/unroll.cpp.o" "gcc" "src/spt/CMakeFiles/spt_compiler.dir/unroll.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/spt_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/spt_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/profile/CMakeFiles/spt_profile.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/spt_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/spt_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spt_compiler.dir/cost_model.cpp.o"
+  "CMakeFiles/spt_compiler.dir/cost_model.cpp.o.d"
+  "CMakeFiles/spt_compiler.dir/driver.cpp.o"
+  "CMakeFiles/spt_compiler.dir/driver.cpp.o.d"
+  "CMakeFiles/spt_compiler.dir/loop_analysis.cpp.o"
+  "CMakeFiles/spt_compiler.dir/loop_analysis.cpp.o.d"
+  "CMakeFiles/spt_compiler.dir/loop_shape.cpp.o"
+  "CMakeFiles/spt_compiler.dir/loop_shape.cpp.o.d"
+  "CMakeFiles/spt_compiler.dir/partition_search.cpp.o"
+  "CMakeFiles/spt_compiler.dir/partition_search.cpp.o.d"
+  "CMakeFiles/spt_compiler.dir/plan.cpp.o"
+  "CMakeFiles/spt_compiler.dir/plan.cpp.o.d"
+  "CMakeFiles/spt_compiler.dir/region_speculation.cpp.o"
+  "CMakeFiles/spt_compiler.dir/region_speculation.cpp.o.d"
+  "CMakeFiles/spt_compiler.dir/transform.cpp.o"
+  "CMakeFiles/spt_compiler.dir/transform.cpp.o.d"
+  "CMakeFiles/spt_compiler.dir/unroll.cpp.o"
+  "CMakeFiles/spt_compiler.dir/unroll.cpp.o.d"
+  "libspt_compiler.a"
+  "libspt_compiler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spt_compiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

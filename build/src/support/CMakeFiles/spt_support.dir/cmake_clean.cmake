@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spt_support.dir/machine_config.cpp.o"
+  "CMakeFiles/spt_support.dir/machine_config.cpp.o.d"
+  "CMakeFiles/spt_support.dir/rng.cpp.o"
+  "CMakeFiles/spt_support.dir/rng.cpp.o.d"
+  "CMakeFiles/spt_support.dir/stats.cpp.o"
+  "CMakeFiles/spt_support.dir/stats.cpp.o.d"
+  "CMakeFiles/spt_support.dir/table.cpp.o"
+  "CMakeFiles/spt_support.dir/table.cpp.o.d"
+  "libspt_support.a"
+  "libspt_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spt_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spt_trace.dir/trace.cpp.o"
+  "CMakeFiles/spt_trace.dir/trace.cpp.o.d"
+  "CMakeFiles/spt_trace.dir/trace_io.cpp.o"
+  "CMakeFiles/spt_trace.dir/trace_io.cpp.o.d"
+  "libspt_trace.a"
+  "libspt_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spt_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

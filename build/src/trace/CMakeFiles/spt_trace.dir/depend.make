@@ -1,0 +1,2 @@
+# Empty dependencies file for spt_trace.
+# This may be replaced when dependencies are built.

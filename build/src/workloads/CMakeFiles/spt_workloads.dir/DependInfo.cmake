@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/bzip2_like.cpp" "src/workloads/CMakeFiles/spt_workloads.dir/bzip2_like.cpp.o" "gcc" "src/workloads/CMakeFiles/spt_workloads.dir/bzip2_like.cpp.o.d"
+  "/root/repo/src/workloads/crafty_like.cpp" "src/workloads/CMakeFiles/spt_workloads.dir/crafty_like.cpp.o" "gcc" "src/workloads/CMakeFiles/spt_workloads.dir/crafty_like.cpp.o.d"
+  "/root/repo/src/workloads/gap_like.cpp" "src/workloads/CMakeFiles/spt_workloads.dir/gap_like.cpp.o" "gcc" "src/workloads/CMakeFiles/spt_workloads.dir/gap_like.cpp.o.d"
+  "/root/repo/src/workloads/gcc_like.cpp" "src/workloads/CMakeFiles/spt_workloads.dir/gcc_like.cpp.o" "gcc" "src/workloads/CMakeFiles/spt_workloads.dir/gcc_like.cpp.o.d"
+  "/root/repo/src/workloads/gzip_like.cpp" "src/workloads/CMakeFiles/spt_workloads.dir/gzip_like.cpp.o" "gcc" "src/workloads/CMakeFiles/spt_workloads.dir/gzip_like.cpp.o.d"
+  "/root/repo/src/workloads/kernels.cpp" "src/workloads/CMakeFiles/spt_workloads.dir/kernels.cpp.o" "gcc" "src/workloads/CMakeFiles/spt_workloads.dir/kernels.cpp.o.d"
+  "/root/repo/src/workloads/mcf_like.cpp" "src/workloads/CMakeFiles/spt_workloads.dir/mcf_like.cpp.o" "gcc" "src/workloads/CMakeFiles/spt_workloads.dir/mcf_like.cpp.o.d"
+  "/root/repo/src/workloads/micro.cpp" "src/workloads/CMakeFiles/spt_workloads.dir/micro.cpp.o" "gcc" "src/workloads/CMakeFiles/spt_workloads.dir/micro.cpp.o.d"
+  "/root/repo/src/workloads/parser_like.cpp" "src/workloads/CMakeFiles/spt_workloads.dir/parser_like.cpp.o" "gcc" "src/workloads/CMakeFiles/spt_workloads.dir/parser_like.cpp.o.d"
+  "/root/repo/src/workloads/registry.cpp" "src/workloads/CMakeFiles/spt_workloads.dir/registry.cpp.o" "gcc" "src/workloads/CMakeFiles/spt_workloads.dir/registry.cpp.o.d"
+  "/root/repo/src/workloads/twolf_like.cpp" "src/workloads/CMakeFiles/spt_workloads.dir/twolf_like.cpp.o" "gcc" "src/workloads/CMakeFiles/spt_workloads.dir/twolf_like.cpp.o.d"
+  "/root/repo/src/workloads/vortex_like.cpp" "src/workloads/CMakeFiles/spt_workloads.dir/vortex_like.cpp.o" "gcc" "src/workloads/CMakeFiles/spt_workloads.dir/vortex_like.cpp.o.d"
+  "/root/repo/src/workloads/vpr_like.cpp" "src/workloads/CMakeFiles/spt_workloads.dir/vpr_like.cpp.o" "gcc" "src/workloads/CMakeFiles/spt_workloads.dir/vpr_like.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/spt_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/spt_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

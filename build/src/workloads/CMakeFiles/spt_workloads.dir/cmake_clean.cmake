@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spt_workloads.dir/bzip2_like.cpp.o"
+  "CMakeFiles/spt_workloads.dir/bzip2_like.cpp.o.d"
+  "CMakeFiles/spt_workloads.dir/crafty_like.cpp.o"
+  "CMakeFiles/spt_workloads.dir/crafty_like.cpp.o.d"
+  "CMakeFiles/spt_workloads.dir/gap_like.cpp.o"
+  "CMakeFiles/spt_workloads.dir/gap_like.cpp.o.d"
+  "CMakeFiles/spt_workloads.dir/gcc_like.cpp.o"
+  "CMakeFiles/spt_workloads.dir/gcc_like.cpp.o.d"
+  "CMakeFiles/spt_workloads.dir/gzip_like.cpp.o"
+  "CMakeFiles/spt_workloads.dir/gzip_like.cpp.o.d"
+  "CMakeFiles/spt_workloads.dir/kernels.cpp.o"
+  "CMakeFiles/spt_workloads.dir/kernels.cpp.o.d"
+  "CMakeFiles/spt_workloads.dir/mcf_like.cpp.o"
+  "CMakeFiles/spt_workloads.dir/mcf_like.cpp.o.d"
+  "CMakeFiles/spt_workloads.dir/micro.cpp.o"
+  "CMakeFiles/spt_workloads.dir/micro.cpp.o.d"
+  "CMakeFiles/spt_workloads.dir/parser_like.cpp.o"
+  "CMakeFiles/spt_workloads.dir/parser_like.cpp.o.d"
+  "CMakeFiles/spt_workloads.dir/registry.cpp.o"
+  "CMakeFiles/spt_workloads.dir/registry.cpp.o.d"
+  "CMakeFiles/spt_workloads.dir/twolf_like.cpp.o"
+  "CMakeFiles/spt_workloads.dir/twolf_like.cpp.o.d"
+  "CMakeFiles/spt_workloads.dir/vortex_like.cpp.o"
+  "CMakeFiles/spt_workloads.dir/vortex_like.cpp.o.d"
+  "CMakeFiles/spt_workloads.dir/vpr_like.cpp.o"
+  "CMakeFiles/spt_workloads.dir/vpr_like.cpp.o.d"
+  "libspt_workloads.a"
+  "libspt_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spt_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

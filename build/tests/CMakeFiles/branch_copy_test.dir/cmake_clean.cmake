@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/branch_copy_test.dir/branch_copy_test.cpp.o"
+  "CMakeFiles/branch_copy_test.dir/branch_copy_test.cpp.o.d"
+  "branch_copy_test"
+  "branch_copy_test.pdb"
+  "branch_copy_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/branch_copy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/machine_parts_test.dir/machine_parts_test.cpp.o"
+  "CMakeFiles/machine_parts_test.dir/machine_parts_test.cpp.o.d"
+  "machine_parts_test"
+  "machine_parts_test.pdb"
+  "machine_parts_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/machine_parts_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

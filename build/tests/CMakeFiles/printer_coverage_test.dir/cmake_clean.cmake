@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/printer_coverage_test.dir/printer_coverage_test.cpp.o"
+  "CMakeFiles/printer_coverage_test.dir/printer_coverage_test.cpp.o.d"
+  "printer_coverage_test"
+  "printer_coverage_test.pdb"
+  "printer_coverage_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/printer_coverage_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sptc.dir/sptc.cpp.o"
+  "CMakeFiles/sptc.dir/sptc.cpp.o.d"
+  "sptc"
+  "sptc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sptc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(sptc_list "/root/repo/build/tools/sptc" "list")
+set_tests_properties(sptc_list PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;5;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(sptc_run_micro "/root/repo/build/tools/sptc" "run" "micro.svp_stride")
+set_tests_properties(sptc_run_micro PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;6;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(sptc_run_options "/root/repo/build/tools/sptc" "run" "micro.parser_free" "--srb" "256" "--recovery" "srx" "--regcheck" "scoreboard" "--no-unroll")
+set_tests_properties(sptc_run_options PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;7;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(sptc_compile "/root/repo/build/tools/sptc" "compile" "micro.parser_free")
+set_tests_properties(sptc_compile PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;10;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(sptc_bad_workload "/root/repo/build/tools/sptc" "run" "no_such_thing")
+set_tests_properties(sptc_bad_workload PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;11;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(sptc_usage "/root/repo/build/tools/sptc")
+set_tests_properties(sptc_usage PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;13;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(sptc_run_spt_file "/root/repo/build/tools/sptc" "run" "/root/repo/examples/programs/dot_product.spt")
+set_tests_properties(sptc_run_spt_file PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;15;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(sptc_run_spt_file2 "/root/repo/build/tools/sptc" "run" "/root/repo/examples/programs/histogram.spt")
+set_tests_properties(sptc_run_spt_file2 PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;17;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(sptc_parse_spt_file "/root/repo/build/tools/sptc" "parse" "/root/repo/examples/programs/histogram.spt")
+set_tests_properties(sptc_parse_spt_file PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;19;add_test;/root/repo/tools/CMakeLists.txt;0;")
