@@ -5,8 +5,11 @@
 
 #include "bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace spt;
+  const auto options =
+      bench::parseBenchOptions(argc, argv, "bench_ablation_compiler");
+  const harness::ParallelSweep sweep(options.jobs);
 
   struct Mode {
     std::string name;
@@ -22,6 +25,19 @@ int main() {
        [](compiler::CompilerOptions& o) { o.cost_driven_selection = false; }},
   };
 
+  std::vector<harness::SweepCase> cases;
+  for (const auto& entry : harness::defaultSuite()) {
+    for (const Mode& m : modes) {
+      harness::SweepCase c;
+      c.benchmark = entry.workload.name;
+      c.config = m.name;
+      c.entry = entry;
+      m.tweak(c.entry.copts);
+      cases.push_back(std::move(c));
+    }
+  }
+  const auto rows = harness::runSweep(sweep, cases);
+
   support::Table t("Ablation: compiler knobs (program speedup)");
   std::vector<std::string> header{"benchmark"};
   for (const auto& m : modes) header.push_back(m.name);
@@ -29,16 +45,14 @@ int main() {
 
   std::vector<double> sums(modes.size(), 0.0);
   int n = 0;
-  for (const auto& base_entry : harness::defaultSuite()) {
-    std::vector<std::string> row{base_entry.workload.name};
+  for (std::size_t i = 0; i < rows.size(); i += modes.size()) {
+    std::vector<std::string> cells{rows[i].benchmark};
     for (std::size_t m = 0; m < modes.size(); ++m) {
-      harness::SuiteEntry entry = base_entry;
-      modes[m].tweak(entry.copts);
-      const auto r = harness::runSuiteEntry(entry);
-      row.push_back(bench::pct(r.programSpeedup()));
-      sums[m] += r.programSpeedup();
+      const double speedup = rows[i + m].result.programSpeedup();
+      cells.push_back(bench::pct(speedup));
+      sums[m] += speedup;
     }
-    t.addRow(std::move(row));
+    t.addRow(std::move(cells));
     ++n;
   }
   std::vector<std::string> avg{"Average"};
@@ -54,5 +68,6 @@ int main() {
          "the paper's cost model is calibrated for hardware where "
          "misspeculation and thread overheads bite harder. See "
          "EXPERIMENTS.md for the discussion.\n";
+  bench::emitSweepJson(options, sweep, rows);
   return 0;
 }

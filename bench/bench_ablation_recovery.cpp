@@ -6,9 +6,12 @@
 
 #include "bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace spt;
   using support::RecoveryMechanism;
+  const auto options =
+      bench::parseBenchOptions(argc, argv, "bench_ablation_recovery");
+  const harness::ParallelSweep sweep(options.jobs);
 
   const std::vector<std::pair<RecoveryMechanism, std::string>> modes = {
       {RecoveryMechanism::kSelectiveReplayFastCommit, "SRX+FC (default)"},
@@ -16,22 +19,33 @@ int main() {
       {RecoveryMechanism::kFullSquash, "full squash"},
   };
 
+  std::vector<harness::SweepCase> cases;
+  for (const auto& entry : harness::defaultSuite()) {
+    for (const auto& [mechanism, name] : modes) {
+      harness::SweepCase c;
+      c.benchmark = entry.workload.name;
+      c.config = name;
+      c.entry = entry;
+      c.machine.recovery = mechanism;
+      cases.push_back(std::move(c));
+    }
+  }
+  const auto rows = harness::runSweep(sweep, cases);
+
   support::Table t("Ablation: recovery mechanism (program speedup)");
   t.setHeader({"benchmark", modes[0].second, modes[1].second,
                modes[2].second});
 
   std::vector<double> sums(modes.size(), 0.0);
   int n = 0;
-  for (const auto& entry : harness::defaultSuite()) {
-    std::vector<std::string> row{entry.workload.name};
+  for (std::size_t i = 0; i < rows.size(); i += modes.size()) {
+    std::vector<std::string> cells{rows[i].benchmark};
     for (std::size_t m = 0; m < modes.size(); ++m) {
-      support::MachineConfig config;
-      config.recovery = modes[m].first;
-      const auto r = harness::runSuiteEntry(entry, config);
-      row.push_back(bench::pct(r.programSpeedup()));
-      sums[m] += r.programSpeedup();
+      const double speedup = rows[i + m].result.programSpeedup();
+      cells.push_back(bench::pct(speedup));
+      sums[m] += speedup;
     }
-    t.addRow(std::move(row));
+    t.addRow(std::move(cells));
     ++n;
   }
   t.addRow({"Average", bench::pct(sums[0] / n), bench::pct(sums[1] / n),
@@ -46,5 +60,6 @@ int main() {
          "walk is often shorter, so SRX-only edges ahead; fast commit wins "
          "once buffers run deep (see the deep-buffer unit test and the SRB "
          "ablation).\n";
+  bench::emitSweepJson(options, sweep, rows);
   return 0;
 }

@@ -5,9 +5,30 @@
 
 #include "bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace spt;
   using support::RegisterCheckMode;
+  const auto options =
+      bench::parseBenchOptions(argc, argv, "bench_ablation_regcheck");
+  const harness::ParallelSweep sweep(options.jobs);
+
+  const std::vector<std::pair<RegisterCheckMode, std::string>> modes = {
+      {RegisterCheckMode::kValueBased, "value-based"},
+      {RegisterCheckMode::kScoreboard, "scoreboard"},
+  };
+
+  std::vector<harness::SweepCase> cases;
+  for (const auto& entry : harness::defaultSuite()) {
+    for (const auto& [mode, name] : modes) {
+      harness::SweepCase c;
+      c.benchmark = entry.workload.name;
+      c.config = name;
+      c.entry = entry;
+      c.machine.register_check = mode;
+      cases.push_back(std::move(c));
+    }
+  }
+  const auto rows = harness::runSweep(sweep, cases);
 
   support::Table t("Ablation: register dependence checking");
   t.setHeader({"benchmark", "value-based speedup", "scoreboard speedup",
@@ -15,16 +36,10 @@ int main() {
 
   double sum_v = 0.0, sum_s = 0.0;
   int n = 0;
-  for (const auto& entry : harness::defaultSuite()) {
-    support::MachineConfig value_config;
-    value_config.register_check = RegisterCheckMode::kValueBased;
-    const auto rv = harness::runSuiteEntry(entry, value_config);
-
-    support::MachineConfig sb_config;
-    sb_config.register_check = RegisterCheckMode::kScoreboard;
-    const auto rs = harness::runSuiteEntry(entry, sb_config);
-
-    t.addRow({entry.workload.name, bench::pct(rv.programSpeedup()),
+  for (std::size_t i = 0; i < rows.size(); i += modes.size()) {
+    const auto& rv = rows[i].result;
+    const auto& rs = rows[i + 1].result;
+    t.addRow({rows[i].benchmark, bench::pct(rv.programSpeedup()),
               bench::pct(rs.programSpeedup()),
               bench::pct(rv.spt.threads.fastCommitRatio()),
               bench::pct(rs.spt.threads.fastCommitRatio())});
@@ -38,5 +53,6 @@ int main() {
   std::cout << "expectation: value-based >= scoreboard (the default in "
                "Table 1); the difference concentrates where registers are "
                "rewritten with unchanged values\n";
+  bench::emitSweepJson(options, sweep, rows);
   return 0;
 }

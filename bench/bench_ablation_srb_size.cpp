@@ -1,37 +1,54 @@
 // Ablation A: speculation result buffer size (Table 1 default: 1024).
 // A small SRB throttles speculative run-ahead; gap (whose hot iterations
 // are thousands of instructions) is the most sensitive.
+#include <algorithm>
 #include <iostream>
 
 #include "bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace spt;
+  const auto options =
+      bench::parseBenchOptions(argc, argv, "bench_ablation_srb_size");
+  const harness::ParallelSweep sweep(options.jobs);
   const std::vector<std::uint32_t> sizes = {64, 256, 1024, 4096};
   const std::vector<std::string> names = {"parser", "gap", "mcf", "gzip"};
+
+  std::vector<harness::SweepCase> cases;
+  for (const auto& entry : harness::defaultSuite()) {
+    if (std::find(names.begin(), names.end(), entry.workload.name) ==
+        names.end()) {
+      continue;
+    }
+    for (const auto s : sizes) {
+      harness::SweepCase c;
+      c.benchmark = entry.workload.name;
+      c.config = "srb=" + std::to_string(s);
+      c.entry = entry;
+      c.machine.speculation_result_buffer_entries = s;
+      cases.push_back(std::move(c));
+    }
+  }
+  const auto rows = harness::runSweep(sweep, cases);
 
   support::Table t("Ablation: speculation result buffer size");
   std::vector<std::string> header{"benchmark"};
   for (const auto s : sizes) header.push_back("SRB=" + std::to_string(s));
   t.setHeader(header);
 
-  for (const auto& entry : harness::defaultSuite()) {
-    if (std::find(names.begin(), names.end(), entry.workload.name) ==
-        names.end()) {
-      continue;
+  // Rows land in submission order: sizes.size() consecutive rows per
+  // benchmark.
+  for (std::size_t i = 0; i < rows.size(); i += sizes.size()) {
+    std::vector<std::string> cells{rows[i].benchmark};
+    for (std::size_t k = 0; k < sizes.size(); ++k) {
+      cells.push_back(bench::pct(rows[i + k].result.programSpeedup()));
     }
-    std::vector<std::string> row{entry.workload.name};
-    for (const auto s : sizes) {
-      support::MachineConfig config;
-      config.speculation_result_buffer_entries = s;
-      const auto r = harness::runSuiteEntry(entry, config);
-      row.push_back(bench::pct(r.programSpeedup()));
-    }
-    t.addRow(std::move(row));
+    t.addRow(std::move(cells));
   }
   t.print(std::cout);
   std::cout << "expectation: speedup grows with SRB size until the "
                "run-ahead window saturates; gap needs the deepest buffer "
                "(its iterations are thousands of instructions)\n";
+  bench::emitSweepJson(options, sweep, rows);
   return 0;
 }

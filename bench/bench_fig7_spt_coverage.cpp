@@ -6,8 +6,34 @@
 #include "bench_util.h"
 #include "harness/coverage.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace spt;
+  const auto options =
+      bench::parseBenchOptions(argc, argv, "bench_fig7_spt_coverage");
+  const harness::ParallelSweep sweep(options.jobs);
+
+  // Each task computes both the coverage ceiling and the compiler's
+  // selection for one benchmark (the expensive halves of one column).
+  const auto suite = harness::defaultSuite();
+  auto rows = sweep.run(suite.size(), [&](std::size_t i) {
+    const auto& entry = suite[i];
+    const auto limit =
+        static_cast<std::int64_t>(entry.copts.max_avg_body_size);
+    ir::Module m = entry.workload.build(1);
+    const auto coverage = harness::measureLoopCoverage(m);
+
+    harness::SweepRow row;
+    row.benchmark = entry.workload.name;
+    row.config = "default";
+    row.result = harness::runSuiteEntry(entry);
+    row.extra = {
+        {"size_limit", static_cast<double>(limit)},
+        {"max_loop_coverage", coverage.coverageUpTo(limit)},
+        {"spt_loop_coverage", row.result.plan.selectedCoverage()},
+        {"spt_loops", static_cast<double>(row.result.plan.selectedCount())},
+    };
+    return row;
+  });
 
   support::Table t("Figure 7: SPT loop number and coverage");
   t.setHeader({"benchmark", "size limit", "max loop coverage",
@@ -17,24 +43,17 @@ int main() {
   double sum_loops = 0.0;
   int n = 0;
 
-  for (const auto& entry : harness::defaultSuite()) {
-    // Maximum loop coverage under the benchmark's size limit (gap: 2500).
-    const auto limit =
-        static_cast<std::int64_t>(entry.copts.max_avg_body_size);
-    ir::Module m = entry.workload.build(1);
-    const auto coverage = harness::measureLoopCoverage(m);
-    const double max_cov = coverage.coverageUpTo(limit);
-
-    // The SPT compiler's selection.
-    const auto r = harness::runSuiteEntry(entry);
-    const double spt_cov = r.plan.selectedCoverage();
-    const std::size_t spt_loops = r.plan.selectedCount();
-
-    t.addRow({entry.workload.name, std::to_string(limit),
-              bench::pct(max_cov), bench::pct(spt_cov),
-              std::to_string(spt_loops)});
+  for (const auto& row : rows) {
+    const double spt_cov = row.extra.at("spt_loop_coverage");
+    const double spt_loops = row.extra.at("spt_loops");
+    t.addRow({row.benchmark,
+              std::to_string(
+                  static_cast<std::int64_t>(row.extra.at("size_limit"))),
+              bench::pct(row.extra.at("max_loop_coverage")),
+              bench::pct(spt_cov),
+              std::to_string(static_cast<std::size_t>(spt_loops))});
     sum_cov += spt_cov;
-    sum_loops += static_cast<double>(spt_loops);
+    sum_loops += spt_loops;
     ++n;
   }
   t.addRow({"Average", "-", "-", bench::pct(sum_cov / n),
@@ -43,5 +62,6 @@ int main() {
   bench::printPaperNote(
       "on average only ~32 SPT loops are generated per benchmark, covering "
       "~53% of total execution cycles");
+  bench::emitSweepJson(options, sweep, rows);
   return 0;
 }

@@ -5,19 +5,30 @@
 
 #include "bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace spt;
+  const auto options =
+      bench::parseBenchOptions(argc, argv, "bench_fig8_loop_perf");
+  const harness::ParallelSweep sweep(options.jobs);
+
+  std::vector<harness::SweepCase> cases;
+  for (auto& entry : harness::defaultSuite()) {
+    harness::SweepCase c;
+    c.benchmark = entry.workload.name;
+    c.entry = std::move(entry);
+    cases.push_back(std::move(c));
+  }
+  auto rows = harness::runSweep(sweep, cases);
 
   support::Table t("Figure 8: SPT loop performance");
   t.setHeader({"benchmark", "avg SPT loop speedup", "fast commit ratio",
                "misspeculation ratio", "threads"});
 
   double sum_speedup = 0.0, sum_fc = 0.0, sum_mis = 0.0;
-  int n_speedup = 0, n = 0;
+  int n_speedup = 0;
 
-  for (const auto& entry : harness::defaultSuite()) {
-    const auto r = harness::runSuiteEntry(entry);
-
+  for (auto& row : rows) {
+    const auto& r = row.result;
     // Aggregate over the transformed (SPT) loops: total baseline cycles of
     // those loops vs their SPT cycles.
     std::uint64_t base_cycles = 0, spt_cycles = 0;
@@ -33,9 +44,10 @@ int main() {
     const double loop_speedup =
         has_loops ? sim::speedupOf(base_cycles, spt_cycles) : 0.0;
     const auto& threads = r.spt.threads;
+    row.extra = {{"loop_speedup", loop_speedup},
+                 {"has_spt_loops", has_loops ? 1.0 : 0.0}};
 
-    t.addRow({entry.workload.name,
-              has_loops ? bench::pct(loop_speedup) : "-",
+    t.addRow({row.benchmark, has_loops ? bench::pct(loop_speedup) : "-",
               has_loops ? bench::pct(threads.fastCommitRatio()) : "-",
               has_loops ? bench::pct(threads.misspeculationRatio(), 2) : "-",
               std::to_string(threads.spawned)});
@@ -45,7 +57,6 @@ int main() {
       sum_mis += threads.misspeculationRatio();
       ++n_speedup;
     }
-    ++n;
   }
   t.addRow({"Average (of benchmarks with SPT loops)",
             bench::pct(sum_speedup / n_speedup),
@@ -56,5 +67,6 @@ int main() {
       "average SPT loop speedup ~35%; 64% of speculative threads "
       "fast-commit; only 1.2% of speculatively executed instructions "
       "require re-execution");
+  bench::emitSweepJson(options, sweep, rows);
   return 0;
 }

@@ -7,8 +7,20 @@
 
 #include "bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace spt;
+  const auto options =
+      bench::parseBenchOptions(argc, argv, "bench_fig9_program_speedup");
+  const harness::ParallelSweep sweep(options.jobs);
+
+  std::vector<harness::SweepCase> cases;
+  for (auto& entry : harness::defaultSuite()) {
+    harness::SweepCase c;
+    c.benchmark = entry.workload.name;
+    c.entry = std::move(entry);
+    cases.push_back(std::move(c));
+  }
+  auto rows = harness::runSweep(sweep, cases);
 
   support::Table t("Figure 9: program speedup and its breakdown");
   t.setHeader({"benchmark", "speedup", "from execution", "from pipe stalls",
@@ -17,14 +29,15 @@ int main() {
   double sum_speedup = 0.0, sum_exec = 0.0, sum_pipe = 0.0, sum_dc = 0.0;
   int n = 0;
 
-  for (const auto& entry : harness::defaultSuite()) {
-    const auto r = harness::runSuiteEntry(entry);
+  for (auto& row : rows) {
+    const auto& r = row.result;
     const double spt_total = static_cast<double>(r.spt.cycles);
     // Additive decomposition: speedup = sum of per-category cycle
     // reductions over the SPT cycle count.
     const auto part = [&](std::uint64_t base_c, std::uint64_t spt_c) {
-      return (static_cast<double>(base_c) - static_cast<double>(spt_c)) /
-             spt_total;
+      return support::safeRatio(
+          static_cast<double>(base_c) - static_cast<double>(spt_c),
+          spt_total);
     };
     const double from_exec =
         part(r.baseline.breakdown.execution, r.spt.breakdown.execution);
@@ -33,10 +46,12 @@ int main() {
     const double from_dc = part(r.baseline.breakdown.dcache_stall,
                                 r.spt.breakdown.dcache_stall);
     const double speedup = r.programSpeedup();
+    row.extra = {{"from_execution", from_exec},
+                 {"from_pipeline_stalls", from_pipe},
+                 {"from_dcache_stalls", from_dc}};
 
-    t.addRow({entry.workload.name, bench::pct(speedup),
-              bench::pct(from_exec), bench::pct(from_pipe),
-              bench::pct(from_dc)});
+    t.addRow({row.benchmark, bench::pct(speedup), bench::pct(from_exec),
+              bench::pct(from_pipe), bench::pct(from_dc)});
     sum_speedup += speedup;
     sum_exec += from_exec;
     sum_pipe += from_pipe;
@@ -49,5 +64,6 @@ int main() {
   bench::printPaperNote(
       "average 15.6% program speedup = 8.4% execution + 1.7% pipeline "
       "stalls + 5.5% D-cache stalls; gcc 14.3%; vortex ~0");
+  bench::emitSweepJson(options, sweep, rows);
   return 0;
 }

@@ -1,10 +1,19 @@
 // Shared helpers for the figure/table reproduction benches.
+//
+// Every bench accepts:
+//   --jobs N     parallel experiment workers (default: SPT_JOBS env or
+//                hardware concurrency; results are identical at any N)
+//   --json PATH  where to write the machine-readable results document
+//                (default: <bench-name>.json in the working directory)
+//   --no-json    skip the JSON document
 #pragma once
 
+#include <cstdlib>
 #include <iostream>
 #include <string>
 #include <vector>
 
+#include "harness/parallel_sweep.h"
 #include "harness/suite.h"
 #include "support/stats.h"
 #include "support/table.h"
@@ -18,6 +27,48 @@ inline std::string pct(double fraction, int decimals = 1) {
 /// Prints the paper-reported reference next to our measurement.
 inline void printPaperNote(const std::string& note) {
   std::cout << "paper: " << note << "\n\n";
+}
+
+struct BenchOptions {
+  std::size_t jobs = 0;  // 0 = ParallelSweep default
+  std::string json_path;
+  bool write_json = true;
+};
+
+/// Parses the common bench flags; exits(2) on an unknown flag so every
+/// bench keeps a single-line main signature.
+inline BenchOptions parseBenchOptions(int argc, char** argv,
+                                      const std::string& bench_name) {
+  BenchOptions o;
+  o.json_path = bench_name + ".json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--jobs" && i + 1 < argc) {
+      o.jobs = static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
+    } else if (arg == "--json" && i + 1 < argc) {
+      o.json_path = argv[++i];
+    } else if (arg == "--no-json") {
+      o.write_json = false;
+    } else {
+      std::cerr << bench_name
+                << ": usage: [--jobs N] [--json PATH] [--no-json]\n";
+      std::exit(2);
+    }
+  }
+  return o;
+}
+
+/// Writes the sweep JSON (unless --no-json) and reports where it went.
+inline void emitSweepJson(const BenchOptions& options,
+                          const harness::ParallelSweep& sweep,
+                          const std::vector<harness::SweepRow>& rows) {
+  if (!options.write_json) return;
+  if (harness::writeSweepJson(options.json_path, rows)) {
+    std::cout << "results: " << options.json_path << " (" << rows.size()
+              << " rows, " << sweep.jobs() << " jobs)\n";
+  } else {
+    std::cerr << "warning: could not write " << options.json_path << "\n";
+  }
 }
 
 }  // namespace spt::bench

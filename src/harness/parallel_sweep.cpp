@@ -1,0 +1,74 @@
+#include "harness/parallel_sweep.h"
+
+#include <fstream>
+
+#include "support/json.h"
+
+namespace spt::harness {
+
+std::vector<SweepRow> runSweep(const ParallelSweep& sweep,
+                               const std::vector<SweepCase>& cases) {
+  return sweep.run(cases.size(), [&](std::size_t i) {
+    const SweepCase& c = cases[i];
+    SweepRow row;
+    row.benchmark = c.benchmark;
+    row.config = c.config;
+    row.result = runSuiteEntry(c.entry, c.machine, c.scale);
+    return row;
+  });
+}
+
+bool writeSweepJson(const std::string& path,
+                    const std::vector<SweepRow>& rows) {
+  std::ofstream out(path);
+  if (!out) return false;
+  support::JsonWriter w(out);
+  w.beginObject();
+  w.key("rows").beginArray();
+  for (const SweepRow& r : rows) {
+    const sim::MachineResult& base = r.result.baseline;
+    const sim::MachineResult& spt = r.result.spt;
+    w.beginObject();
+    w.member("benchmark", r.benchmark);
+    w.member("config", r.config);
+    w.member("baseline_cycles", base.cycles);
+    w.member("spt_cycles", spt.cycles);
+    w.member("baseline_instrs", base.instrs);
+    w.member("spt_instrs", spt.instrs);
+    w.member("speedup", r.result.programSpeedup());
+    w.key("baseline_breakdown").beginObject();
+    w.member("execution", base.breakdown.execution);
+    w.member("pipeline_stall", base.breakdown.pipeline_stall);
+    w.member("dcache_stall", base.breakdown.dcache_stall);
+    w.endObject();
+    w.key("spt_breakdown").beginObject();
+    w.member("execution", spt.breakdown.execution);
+    w.member("pipeline_stall", spt.breakdown.pipeline_stall);
+    w.member("dcache_stall", spt.breakdown.dcache_stall);
+    w.endObject();
+    w.key("threads").beginObject();
+    w.member("spawned", spt.threads.spawned);
+    w.member("fast_commits", spt.threads.fast_commits);
+    w.member("replays", spt.threads.replays);
+    w.member("squashes", spt.threads.squashes);
+    w.member("killed", spt.threads.killed);
+    w.member("spec_instrs", spt.threads.spec_instrs);
+    w.member("misspec_instrs", spt.threads.misspec_instrs);
+    w.member("committed_instrs", spt.threads.committed_instrs);
+    w.member("fast_commit_ratio", spt.threads.fastCommitRatio());
+    w.member("misspeculation_ratio", spt.threads.misspeculationRatio());
+    w.endObject();
+    if (!r.extra.empty()) {
+      w.key("extra").beginObject();
+      for (const auto& [k, v] : r.extra) w.member(k, v);
+      w.endObject();
+    }
+    w.endObject();
+  }
+  w.endArray();
+  w.endObject();
+  out << "\n";
+  return static_cast<bool>(out);
+}
+
+}  // namespace spt::harness

@@ -1,0 +1,122 @@
+// Parallel experiment engine (the evaluation loop behind every bench).
+//
+// The paper's evaluation (Section 5) is a cross-product of workloads ×
+// machine configurations × compiler options; each cell is one
+// runSptExperiment call, which is fully self-contained (it takes the
+// ir::Module by value and owns its traces and simulators, and no layer
+// below it has mutable global state). ParallelSweep fans those cells
+// across a support::ThreadPool with three guarantees:
+//
+//  * **ordered aggregation** — results land in submission order
+//    regardless of completion order (slot-per-task, no reordering);
+//  * **deterministic seeding** — tasks that want randomness receive an
+//    Rng seeded by support::deriveSeed(base, task_index), a pure function
+//    of the submission index, so the numbers are bit-for-bit identical at
+//    any --jobs value;
+//  * **error transparency** — a task that throws re-throws from run(), in
+//    submission order, after every other task has finished.
+#pragma once
+
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "harness/suite.h"
+#include "support/rng.h"
+#include "support/thread_pool.h"
+
+namespace spt::harness {
+
+class ParallelSweep {
+ public:
+  /// `jobs` == 0 selects support::ThreadPool::defaultWorkerCount()
+  /// (the SPT_JOBS environment variable, else hardware concurrency).
+  explicit ParallelSweep(std::size_t jobs = 0)
+      : jobs_(jobs == 0 ? support::ThreadPool::defaultWorkerCount() : jobs) {}
+
+  std::size_t jobs() const { return jobs_; }
+
+  /// Runs fn(0..n-1) across the pool; out[i] is fn(i)'s result. jobs()==1
+  /// runs inline on the calling thread (no pool, same results).
+  template <typename Fn>
+  auto run(std::size_t n, Fn&& fn) const
+      -> std::vector<std::invoke_result_t<Fn&, std::size_t>> {
+    using T = std::invoke_result_t<Fn&, std::size_t>;
+    std::vector<std::optional<T>> slots(n);
+    std::vector<std::exception_ptr> errors(n);
+    if (jobs_ <= 1 || n <= 1) {
+      for (std::size_t i = 0; i < n; ++i) slots[i].emplace(fn(i));
+    } else {
+      support::ThreadPool pool(std::min(jobs_, n));
+      for (std::size_t i = 0; i < n; ++i) {
+        pool.submit([&, i] {
+          try {
+            slots[i].emplace(fn(i));
+          } catch (...) {
+            errors[i] = std::current_exception();
+          }
+        });
+      }
+      pool.wait();
+      for (std::exception_ptr& e : errors) {
+        if (e) std::rethrow_exception(e);
+      }
+    }
+    std::vector<T> out;
+    out.reserve(n);
+    for (std::optional<T>& s : slots) out.push_back(std::move(*s));
+    return out;
+  }
+
+  /// run() variant for randomized tasks: fn(i, rng) receives an Rng seeded
+  /// by deriveSeed(base_seed, i) — deterministic at any worker count.
+  template <typename Fn>
+  auto runSeeded(std::size_t n, std::uint64_t base_seed, Fn&& fn) const {
+    return run(n, [&](std::size_t i) {
+      support::Rng rng(support::deriveSeed(base_seed, i));
+      return fn(i, rng);
+    });
+  }
+
+ private:
+  std::size_t jobs_;
+};
+
+/// One cell of an evaluation cross-product: a suite entry under a machine
+/// configuration, tagged for tables and JSON output.
+struct SweepCase {
+  std::string benchmark;          // workload name (table row)
+  std::string config = "default"; // configuration tag (table column)
+  SuiteEntry entry;
+  support::MachineConfig machine;
+  std::uint64_t scale = 1;
+};
+
+/// A finished cell: the case tags plus the full experiment result and any
+/// bench-specific extra metrics (coverage fractions, ratios, ...).
+struct SweepRow {
+  std::string benchmark;
+  std::string config;
+  ExperimentResult result;
+  std::map<std::string, double> extra;
+};
+
+/// Runs every case through runSptExperiment on `sweep`'s pool; rows come
+/// back in `cases` order.
+std::vector<SweepRow> runSweep(const ParallelSweep& sweep,
+                               const std::vector<SweepCase>& cases);
+
+/// Writes rows as a machine-readable JSON document:
+/// {"rows":[{benchmark, config, baseline_cycles, spt_cycles, speedup,
+///           breakdown, thread stats, extra...}, ...]}.
+/// Returns false on I/O failure.
+bool writeSweepJson(const std::string& path,
+                    const std::vector<SweepRow>& rows);
+
+}  // namespace spt::harness

@@ -7,6 +7,7 @@
 
 #include "sim/cache.h"
 #include "sim/pipeline.h"
+#include "support/stats.h"
 
 namespace spt::sim {
 
@@ -32,14 +33,15 @@ struct ThreadStats {
   std::uint64_t misspec_instrs = 0;  // re-executed during replay
   std::uint64_t committed_instrs = 0;
 
+  // Zero-denominator policy: a run with no speculative activity reports
+  // 0.0 for every ratio (support::safeRatio), never NaN.
   double fastCommitRatio() const {
-    return spawned == 0 ? 0.0
-                        : static_cast<double>(fast_commits) / spawned;
+    return support::safeRatio(static_cast<double>(fast_commits),
+                              static_cast<double>(spawned));
   }
   double misspeculationRatio() const {
-    return spec_instrs == 0
-               ? 0.0
-               : static_cast<double>(misspec_instrs) / spec_instrs;
+    return support::safeRatio(static_cast<double>(misspec_instrs),
+                              static_cast<double>(spec_instrs));
   }
 
   void accumulate(const ThreadStats& other);
@@ -58,12 +60,15 @@ struct MachineResult {
   double branch_mispredict_ratio = 0.0;
 
   double ipc() const {
-    return cycles == 0 ? 0.0
-                       : static_cast<double>(instrs) / cycles;
+    return support::safeRatio(static_cast<double>(instrs),
+                              static_cast<double>(cycles));
   }
 };
 
 /// Speedup of `spt` over `baseline` as a fraction (0.156 == 15.6%).
+/// Zero-denominator policy: spt_cycles == 0 (an empty or unsimulated run)
+/// reports 0.0 — "no measured speedup" — consistently with
+/// support::safeRatio rather than +Inf or NaN.
 inline double speedupOf(std::uint64_t baseline_cycles,
                         std::uint64_t spt_cycles) {
   if (spt_cycles == 0) return 0.0;

@@ -106,6 +106,14 @@ CycleBreakdown SptMachine::specProfileSinceFork() const {
   return delta;
 }
 
+std::int64_t SptMachine::specPeekReg(trace::FrameId frame,
+                                     ir::Reg reg) const {
+  const auto it = spec_.rf.find(Pipeline::regKey(frame, reg));
+  if (it != spec_.rf.end()) return it->second;
+  if (frame == spec_.fork_frame) return spec_.fork_rf[reg.index];
+  return 0;
+}
+
 std::int64_t SptMachine::specReadReg(trace::FrameId frame, ir::Reg reg) {
   const std::uint64_t key = Pipeline::regKey(frame, reg);
   const auto it = spec_.rf.find(key);
@@ -287,16 +295,32 @@ void SptMachine::stepSpec() {
   SrbEntry entry;
   entry.record_index = spec_.pos;
 
-  // Buffer-capacity stalls for stores/loads.
-  if (instr.op == ir::Opcode::kStore &&
-      spec_.ssb.size() >= config_.speculative_store_buffer_entries) {
-    spec_.stalled = true;
-    return;
+  // Buffer-capacity stalls for stores/loads. Both buffers are keyed by
+  // address, so only an access that would create a *new* entry can exceed
+  // capacity: a store overwriting an SSB entry and a load that hits the
+  // SSB (forwarded, never reaches the LAB) or re-reads a LAB address are
+  // always admitted. The stall triggers exactly when the buffer already
+  // holds the configured number of distinct addresses and one more would
+  // be needed. Addresses are computed with specPeekReg (no live-in read is
+  // recorded): a stalled instruction never executes speculatively, so it
+  // must not leave a dangling SRB reference behind.
+  if (instr.op == ir::Opcode::kStore) {
+    const std::uint64_t addr = static_cast<std::uint64_t>(
+        specPeekReg(r.frame, instr.a) + instr.imm);
+    if (!spec_.ssb.contains(addr) &&
+        spec_.ssb.size() >= config_.speculative_store_buffer_entries) {
+      spec_.stalled = true;
+      return;
+    }
   }
-  if (instr.op == ir::Opcode::kLoad &&
-      spec_.lab.size() >= config_.load_address_buffer_entries) {
-    spec_.stalled = true;
-    return;
+  if (instr.op == ir::Opcode::kLoad) {
+    const std::uint64_t addr = static_cast<std::uint64_t>(
+        specPeekReg(r.frame, instr.a) + instr.imm);
+    if (!spec_.ssb.contains(addr) && !spec_.lab.contains(addr) &&
+        spec_.lab.size() >= config_.load_address_buffer_entries) {
+      spec_.stalled = true;
+      return;
+    }
   }
 
   std::uint64_t mem_addr_override = 0;

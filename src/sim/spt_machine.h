@@ -95,6 +95,11 @@ class SptMachine {
   void killSpec();
 
   std::int64_t specReadReg(trace::FrameId frame, ir::Reg reg);
+  /// Reads like specReadReg but records nothing: used to pre-compute a
+  /// memory address for the SSB/LAB capacity check before committing to
+  /// execute the instruction (a stalled instruction must leave no live-in
+  /// read behind — it never gets an SRB entry to attach the read to).
+  std::int64_t specPeekReg(trace::FrameId frame, ir::Reg reg) const;
   void specWriteReg(trace::FrameId frame, ir::Reg reg, std::int64_t value);
 
   ThreadStats& loopThreadStats();

@@ -1,0 +1,149 @@
+#include "support/json.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace spt::support {
+
+std::string jsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::newline() {
+  if (indent_ <= 0) return;
+  os_ << '\n';
+  for (std::size_t i = 0; i < scopes_.size() * indent_; ++i) os_ << ' ';
+}
+
+void JsonWriter::beforeValue() {
+  if (after_key_) {
+    after_key_ = false;
+    return;
+  }
+  if (!scopes_.empty()) {
+    if (!first_in_scope_) os_ << ',';
+    newline();
+  }
+  first_in_scope_ = false;
+}
+
+JsonWriter& JsonWriter::beginObject() {
+  beforeValue();
+  os_ << '{';
+  scopes_.push_back(Scope::kObject);
+  first_in_scope_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::endObject() {
+  const bool empty = first_in_scope_;
+  scopes_.pop_back();
+  if (!empty) newline();
+  os_ << '}';
+  first_in_scope_ = false;
+  return *this;
+}
+
+JsonWriter& JsonWriter::beginArray() {
+  beforeValue();
+  os_ << '[';
+  scopes_.push_back(Scope::kArray);
+  first_in_scope_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::endArray() {
+  const bool empty = first_in_scope_;
+  scopes_.pop_back();
+  if (!empty) newline();
+  os_ << ']';
+  first_in_scope_ = false;
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(std::string_view name) {
+  if (!first_in_scope_) os_ << ',';
+  newline();
+  first_in_scope_ = false;
+  writeEscaped(name);
+  os_ << (indent_ > 0 ? ": " : ":");
+  after_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view v) {
+  beforeValue();
+  writeEscaped(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double v) {
+  beforeValue();
+  if (!std::isfinite(v)) {
+    os_ << "null";
+    return *this;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  os_ << buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t v) {
+  beforeValue();
+  os_ << v;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t v) {
+  beforeValue();
+  os_ << v;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+  beforeValue();
+  os_ << (v ? "true" : "false");
+  return *this;
+}
+
+JsonWriter& JsonWriter::null() {
+  beforeValue();
+  os_ << "null";
+  return *this;
+}
+
+void JsonWriter::writeEscaped(std::string_view s) {
+  os_ << '"' << jsonEscape(s) << '"';
+}
+
+}  // namespace spt::support

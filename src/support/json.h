@@ -1,0 +1,65 @@
+// Minimal streaming JSON writer for machine-readable bench output.
+//
+// The benches and `sptc sweep` emit one JSON document next to each ASCII
+// table so downstream plotting needs no table scraping. The writer is a
+// push API (begin/end object/array, key, value) that handles commas,
+// indentation, string escaping, and NaN/Inf sanitization (JSON has no
+// non-finite numbers; they are emitted as null).
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace spt::support {
+
+class JsonWriter {
+ public:
+  /// Writes to `os`; `indent` spaces per nesting level (0 = compact).
+  explicit JsonWriter(std::ostream& os, int indent = 2)
+      : os_(os), indent_(indent) {}
+
+  JsonWriter& beginObject();
+  JsonWriter& endObject();
+  JsonWriter& beginArray();
+  JsonWriter& endArray();
+
+  /// Object member key; must be followed by a value or begin*().
+  JsonWriter& key(std::string_view name);
+
+  JsonWriter& value(std::string_view v);
+  JsonWriter& value(const char* v) { return value(std::string_view(v)); }
+  JsonWriter& value(double v);
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
+  JsonWriter& value(bool v);
+  JsonWriter& null();
+
+  /// key() + value() in one call.
+  template <typename T>
+  JsonWriter& member(std::string_view name, const T& v) {
+    key(name);
+    return value(v);
+  }
+
+ private:
+  enum class Scope { kObject, kArray };
+
+  void beforeValue();
+  void newline();
+  void writeEscaped(std::string_view s);
+
+  std::ostream& os_;
+  int indent_;
+  std::vector<Scope> scopes_;
+  bool first_in_scope_ = true;
+  bool after_key_ = false;
+};
+
+/// JSON string escaping (quotes, backslashes, control characters).
+std::string jsonEscape(std::string_view s);
+
+}  // namespace spt::support

@@ -19,6 +19,13 @@ std::uint64_t rotl(std::uint64_t x, int k) {
 
 }  // namespace
 
+std::uint64_t deriveSeed(std::uint64_t base, std::uint64_t task_index) {
+  // One splitmix64 step keyed by the index decorrelates neighboring tasks;
+  // the xor fold keeps distinct bases distinct for every index.
+  std::uint64_t x = base ^ (task_index * 0xbf58476d1ce4e5b9ULL);
+  return splitmix64(x);
+}
+
 void Rng::reseed(std::uint64_t seed) {
   std::uint64_t s = seed;
   for (auto& word : state_) word = splitmix64(s);

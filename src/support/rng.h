@@ -9,6 +9,12 @@
 
 namespace spt::support {
 
+/// Derives a per-task seed from a base seed and a task index (splitmix64
+/// finalizer over their combination). Parallel sweeps hand task i the seed
+/// deriveSeed(base, i) so results are bit-identical at any worker count:
+/// the seed depends only on the submission index, never on scheduling.
+std::uint64_t deriveSeed(std::uint64_t base, std::uint64_t task_index);
+
 /// xoshiro256** 1.0 by Blackman & Vigna (public domain reference
 /// implementation, re-expressed). Not cryptographic; fast and high quality
 /// for simulation purposes.

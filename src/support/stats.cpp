@@ -42,8 +42,7 @@ std::uint64_t Histogram::cumulativeWeightUpTo(std::int64_t key) const {
 }
 
 std::string percent(double numerator, double denominator, int decimals) {
-  const double v =
-      denominator == 0.0 ? 0.0 : 100.0 * numerator / denominator;
+  const double v = 100.0 * safeRatio(numerator, denominator);
   char buf[48];
   std::snprintf(buf, sizeof buf, "%.*f%%", decimals, v);
   return buf;

@@ -9,7 +9,20 @@
 
 namespace spt::support {
 
+/// Division with an explicit zero-denominator policy: returns `fallback`
+/// (default 0.0, never NaN/Inf) when `denominator` is zero. Every ratio in
+/// the repository (percentages, speedups, IPC, commit ratios) routes
+/// through this so that empty runs behave identically everywhere.
+inline double safeRatio(double numerator, double denominator,
+                        double fallback = 0.0) {
+  return denominator == 0.0 ? fallback : numerator / denominator;
+}
+
 /// Streaming mean/variance/min/max accumulator (Welford's algorithm).
+///
+/// Zero-denominator policy: with count() == 0, mean/min/max/variance all
+/// return 0.0 (a NaN-free sentinel, consistent with safeRatio); with
+/// count() == 1, variance() is 0.0 (sample variance is undefined there).
 class RunningStat {
  public:
   void add(double x);
@@ -49,7 +62,9 @@ class Histogram {
   std::uint64_t total_ = 0;
 };
 
-/// Ratio formatted as a percentage string with fixed precision, e.g. "15.6%".
+/// Ratio formatted as a percentage string with fixed precision, e.g.
+/// "15.6%". A zero denominator formats as 0% (safeRatio's sentinel), never
+/// "nan%"/"inf%".
 std::string percent(double numerator, double denominator, int decimals = 1);
 
 /// Plain fixed-precision formatting helper (std::to_string prints 6 digits).

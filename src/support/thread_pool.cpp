@@ -1,0 +1,67 @@
+#include "support/thread_pool.h"
+
+#include <cstdlib>
+
+namespace spt::support {
+
+ThreadPool::ThreadPool(std::size_t workers) {
+  if (workers == 0) workers = defaultWorkerCount();
+  workers_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { workerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  wait();
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+  }
+  work_cv_.notify_one();
+}
+
+void ThreadPool::wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [this] { return queue_.empty() && running_ == 0; });
+}
+
+std::size_t ThreadPool::defaultWorkerCount() {
+  if (const char* env = std::getenv("SPT_JOBS")) {
+    const long n = std::strtol(env, nullptr, 10);
+    if (n > 0) return static_cast<std::size_t>(n);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+void ThreadPool::workerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and nothing left to run
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++running_;
+    }
+    task();
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      --running_;
+      if (queue_.empty() && running_ == 0) idle_cv_.notify_all();
+    }
+  }
+}
+
+}  // namespace spt::support

@@ -1,0 +1,57 @@
+// Fixed-size worker pool for the parallel experiment engine.
+//
+// Semantics are deliberately minimal: tasks are opaque void() callables,
+// submission never blocks, and the destructor drains the queue and joins
+// every worker (std::jthread-style join-on-destruction, but portable to
+// libstdc++ builds without <stop_token>). Result ordering, seeding, and
+// error propagation are the caller's concern — harness::ParallelSweep
+// layers all three on top.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace spt::support {
+
+class ThreadPool {
+ public:
+  /// Spawns `workers` threads; 0 selects defaultWorkerCount().
+  explicit ThreadPool(std::size_t workers = 0);
+
+  /// Drains outstanding tasks, then joins every worker.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t workerCount() const { return workers_.size(); }
+
+  /// Enqueues a task. Never blocks; tasks run in FIFO dequeue order but
+  /// complete in any order.
+  void submit(std::function<void()> task);
+
+  /// Blocks until every task submitted so far has finished.
+  void wait();
+
+  /// `SPT_JOBS` environment override if set and positive, otherwise
+  /// std::thread::hardware_concurrency(), never less than 1.
+  static std::size_t defaultWorkerCount();
+
+ private:
+  void workerLoop();
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;   // workers: queue non-empty or stop
+  std::condition_variable idle_cv_;   // waiters: queue empty and none running
+  std::deque<std::function<void()>> queue_;
+  std::size_t running_ = 0;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace spt::support

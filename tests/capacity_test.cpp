@@ -1,0 +1,219 @@
+// Regression tests for SSB/LAB capacity accounting in the SPT machine.
+//
+// Both buffers are keyed by address (the SSB is an unordered_map), so the
+// stall conditions must count *distinct addresses*, not accesses:
+//  * a store overwriting an existing SSB entry must never stall, even at
+//    a full buffer;
+//  * a load forwarded from the SSB never touches the LAB and must never
+//    stall on LAB capacity;
+//  * a re-load of an address already in the LAB does not consume a slot;
+//  * the stall triggers at exactly the configured entry count — a config
+//    with N entries admits N distinct addresses, the (N+1)-th distinct
+//    address freezes the thread (one entry late would be a buffer
+//    overrun; one early would waste a slot).
+//
+// The *_entries = 1 / = 2 configs below pin each of those properties.
+#include <gtest/gtest.h>
+
+#include "interp/interpreter.h"
+#include "ir/builder.h"
+#include "ir/verifier.h"
+#include "sim/spt_machine.h"
+
+namespace spt::sim {
+namespace {
+
+using namespace ir;
+using support::MachineConfig;
+
+struct Traced {
+  Module module{"capacity"};
+  trace::TraceBuffer buf;
+  interp::RunResult run_result;
+};
+
+void traceModule(Traced& t) {
+  t.module.finalize();
+  ASSERT_TRUE(verifyModule(t.module).empty());
+  interp::ProgramContext ctx(t.module);
+  interp::Memory mem;
+  interp::Interpreter interp(ctx, mem, t.buf);
+  t.run_result = interp.runMain();
+}
+
+MachineResult runSpt(Traced& t, const MachineConfig& config) {
+  const trace::LoopIndex index(t.module, t.buf);
+  SptMachine machine(t.module, t.buf, index, config);
+  return machine.run();
+}
+
+enum class MemShape {
+  kStoresSameAddr,     // two stores per iteration, same address
+  kStoresTwoAddrs,     // two stores per iteration, two distinct addresses
+  kLoadsSameAddr,      // two loads per iteration, same (unstored) address
+  kLoadsTwoAddrs,      // two loads per iteration, two distinct addresses
+  kStoreThenLoadSame,  // store A then load A (always SSB-forwarded)
+};
+
+/// SPT-shaped loop (induction advances pre-fork, like the compiler emits)
+/// whose body performs the given per-iteration memory accesses. Every
+/// speculative thread therefore emulates exactly that access pattern.
+void buildMemLoop(Module& m, MemShape shape, std::int64_t n) {
+  const FuncId f = m.addFunction("main", 0);
+  IrBuilder b(m, f);
+  const BlockId entry = b.createBlock("entry");
+  const BlockId head = b.createBlock("mem_loop");
+  const BlockId body = b.createBlock("body");
+  const BlockId exit = b.createBlock("exit");
+
+  const Reg i = b.func().newReg();
+  const Reg s = b.func().newReg();
+
+  b.setInsertPoint(entry);
+  const Reg buf = b.halloc(64);
+  const Reg zero = b.iconst(0);
+  b.store(buf, 0, zero);  // loads below read initialized memory
+  b.store(buf, 8, zero);
+  b.constTo(i, 0);
+  b.constTo(s, 0);
+  const Reg count = b.iconst(n);
+  b.br(head);
+
+  b.setInsertPoint(head);
+  const Reg c = b.cmpLt(i, count);
+  b.condBr(c, body, exit);
+
+  b.setInsertPoint(body);
+  const Reg i_cur = b.mov(i);
+  const Reg one = b.iconst(1);
+  b.movTo(i, b.add(i, one));
+  b.sptFork(head);
+  switch (shape) {
+    case MemShape::kStoresSameAddr:
+      b.store(buf, 0, i_cur);
+      b.store(buf, 0, b.add(i_cur, one));
+      break;
+    case MemShape::kStoresTwoAddrs:
+      b.store(buf, 0, i_cur);
+      b.store(buf, 8, b.add(i_cur, one));
+      break;
+    case MemShape::kLoadsSameAddr:
+      b.movTo(s, b.add(s, b.load(buf, 0)));
+      b.movTo(s, b.add(s, b.load(buf, 0)));
+      break;
+    case MemShape::kLoadsTwoAddrs:
+      b.movTo(s, b.add(s, b.load(buf, 0)));
+      b.movTo(s, b.add(s, b.load(buf, 8)));
+      break;
+    case MemShape::kStoreThenLoadSame:
+      b.store(buf, 0, i_cur);
+      b.movTo(s, b.add(s, b.load(buf, 0)));
+      break;
+  }
+  b.movTo(s, b.add(s, i_cur));
+  b.br(head);
+
+  b.setInsertPoint(exit);
+  b.sptKill();
+  b.ret(s);
+  m.setMainFunc(f);
+}
+
+MachineResult runShape(MemShape shape, std::uint32_t ssb_entries,
+                       std::uint32_t lab_entries) {
+  Traced t;
+  buildMemLoop(t.module, shape, 40);
+  traceModule(t);
+  MachineConfig config;
+  config.speculative_store_buffer_entries = ssb_entries;
+  config.load_address_buffer_entries = lab_entries;
+  return runSpt(t, config);
+}
+
+void expectSameTiming(const MachineResult& a, const MachineResult& b) {
+  EXPECT_EQ(a.cycles, b.cycles);
+  EXPECT_EQ(a.threads.spec_instrs, b.threads.spec_instrs);
+  EXPECT_EQ(a.threads.fast_commits, b.threads.fast_commits);
+  EXPECT_EQ(a.threads.committed_instrs, b.threads.committed_instrs);
+}
+
+TEST(SsbCapacity, SameAddressOverwritesNeverCountTwice) {
+  // Both stores hit one distinct address: a single-entry SSB must behave
+  // exactly like an effectively unbounded one.
+  const MachineResult one = runShape(MemShape::kStoresSameAddr, 1, 256);
+  const MachineResult big = runShape(MemShape::kStoresSameAddr, 256, 256);
+  EXPECT_GT(one.threads.spawned, 0u);
+  EXPECT_GT(one.threads.spec_instrs, 0u);
+  expectSameTiming(one, big);
+}
+
+TEST(SsbCapacity, StallsAtExactlyConfiguredEntries) {
+  // Two distinct store addresses per iteration: a 2-entry SSB fits them
+  // (no stall — anything smaller than exact capacity accounting would
+  // freeze the thread early), a 1-entry SSB freezes the thread at the
+  // second address (anything later would overrun the buffer).
+  const MachineResult one = runShape(MemShape::kStoresTwoAddrs, 1, 256);
+  const MachineResult two = runShape(MemShape::kStoresTwoAddrs, 2, 256);
+  const MachineResult big = runShape(MemShape::kStoresTwoAddrs, 256, 256);
+  expectSameTiming(two, big);
+  EXPECT_GT(one.threads.spawned, 0u);
+  EXPECT_GT(one.threads.spec_instrs, 0u);  // first store was admitted
+  EXPECT_LT(one.threads.spec_instrs, two.threads.spec_instrs);
+}
+
+TEST(LabCapacity, SameAddressReloadsNeverCountTwice) {
+  const MachineResult one = runShape(MemShape::kLoadsSameAddr, 256, 1);
+  const MachineResult big = runShape(MemShape::kLoadsSameAddr, 256, 256);
+  EXPECT_GT(one.threads.spawned, 0u);
+  EXPECT_GT(one.threads.spec_instrs, 0u);
+  expectSameTiming(one, big);
+}
+
+TEST(LabCapacity, StallsAtExactlyConfiguredEntries) {
+  const MachineResult one = runShape(MemShape::kLoadsTwoAddrs, 256, 1);
+  const MachineResult two = runShape(MemShape::kLoadsTwoAddrs, 256, 2);
+  const MachineResult big = runShape(MemShape::kLoadsTwoAddrs, 256, 256);
+  expectSameTiming(two, big);
+  EXPECT_GT(one.threads.spec_instrs, 0u);
+  EXPECT_LT(one.threads.spec_instrs, two.threads.spec_instrs);
+}
+
+TEST(LabCapacity, SsbForwardedLoadsBypassTheLab) {
+  // The load always forwards from the same-iteration store, so it must
+  // never claim a LAB slot: even a 1-entry LAB changes nothing.
+  const MachineResult one = runShape(MemShape::kStoreThenLoadSame, 256, 1);
+  const MachineResult big = runShape(MemShape::kStoreThenLoadSame, 256, 256);
+  EXPECT_GT(one.threads.spec_instrs, 0u);
+  expectSameTiming(one, big);
+}
+
+TEST(Capacity, TightBuffersPreserveDeterminism) {
+  for (const MemShape shape :
+       {MemShape::kStoresTwoAddrs, MemShape::kLoadsTwoAddrs}) {
+    for (const std::uint32_t entries : {1u, 2u}) {
+      const MachineResult a = runShape(shape, entries, entries);
+      const MachineResult b = runShape(shape, entries, entries);
+      EXPECT_EQ(a.cycles, b.cycles);
+      EXPECT_EQ(a.threads.spec_instrs, b.threads.spec_instrs);
+    }
+  }
+}
+
+TEST(ResultStats, ZeroDenominatorsReportZero) {
+  // An empty or speculation-free run must report 0.0 for every ratio —
+  // never NaN or Inf (support::safeRatio policy).
+  const ThreadStats none;
+  EXPECT_DOUBLE_EQ(none.fastCommitRatio(), 0.0);
+  EXPECT_DOUBLE_EQ(none.misspeculationRatio(), 0.0);
+
+  const MachineResult empty;
+  EXPECT_DOUBLE_EQ(empty.ipc(), 0.0);
+
+  EXPECT_DOUBLE_EQ(speedupOf(1000, 0), 0.0);  // unsimulated SPT run
+  EXPECT_DOUBLE_EQ(speedupOf(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(speedupOf(1200, 1000), 0.2);
+  EXPECT_DOUBLE_EQ(speedupOf(500, 1000), -0.5);  // slowdowns stay negative
+}
+
+}  // namespace
+}  // namespace spt::sim

@@ -1,100 +1,122 @@
-// Parameterized machine-configuration sweep: every combination of SRB
-// size, recovery mechanism, and register-check mode must preserve
-// sequential semantics and basic accounting invariants on a workload that
-// exercises forking, violation, replay, and kill paths.
+// Machine-configuration sweep, fanned across the parallel experiment
+// engine: every combination of SRB size, recovery mechanism, and
+// register-check mode must preserve sequential semantics and basic
+// accounting invariants on a workload that exercises forking, violation,
+// replay, and kill paths — and the whole cross-product must produce
+// bit-identical results at any worker count.
 #include <gtest/gtest.h>
 
-#include <tuple>
-
-#include "harness/suite.h"
+#include "harness/parallel_sweep.h"
 #include "workloads/workloads.h"
 
 namespace spt {
 namespace {
 
-using Param = std::tuple<std::uint32_t, support::RecoveryMechanism,
-                         support::RegisterCheckMode>;
-
-class ConfigSweep : public ::testing::TestWithParam<Param> {};
-
-TEST_P(ConfigSweep, InvariantsHoldOnParserFree) {
-  const auto [srb, recovery, regcheck] = GetParam();
-  support::MachineConfig config;
-  config.speculation_result_buffer_entries = srb;
-  config.recovery = recovery;
-  config.register_check = regcheck;
-
-  auto workload = workloads::findWorkload("micro.parser_free");
-  const auto result =
-      harness::runSptExperiment(workload.build(1), {}, config);
-
-  // Semantics (also asserted inside the harness).
-  EXPECT_EQ(result.baseline_run.return_value, result.spt_run.return_value);
-  EXPECT_EQ(result.baseline_run.memory_hash, result.spt_run.memory_hash);
-
-  // Accounting.
-  const auto& threads = result.spt.threads;
-  EXPECT_GT(threads.spawned, 0u);
-  EXPECT_LE(threads.fast_commits + threads.replays + threads.squashes +
-                threads.killed,
-            threads.spawned);
-  EXPECT_EQ(result.baseline.breakdown.total(), result.baseline.cycles);
-  EXPECT_EQ(result.spt.breakdown.total(), result.spt.cycles);
-  // Speculation can lose on hostile configs, but within overhead bounds.
-  EXPECT_LT(result.spt.cycles, result.baseline.cycles * 3 / 2);
-  // Determinism.
-  const auto again =
-      harness::runSptExperiment(workload.build(1), {}, config);
-  EXPECT_EQ(result.spt.cycles, again.spt.cycles);
-}
-
-INSTANTIATE_TEST_SUITE_P(
-    Machines, ConfigSweep,
-    ::testing::Combine(
-        ::testing::Values(16u, 256u, 1024u),
-        ::testing::Values(
-            support::RecoveryMechanism::kSelectiveReplayFastCommit,
-            support::RecoveryMechanism::kSelectiveReplay,
-            support::RecoveryMechanism::kFullSquash),
-        ::testing::Values(support::RegisterCheckMode::kValueBased,
-                          support::RegisterCheckMode::kScoreboard)),
-    [](const ::testing::TestParamInfo<Param>& info) {
-      // No structured bindings here: the preprocessor would split the
-      // bracketed list on its commas inside the macro argument.
-      std::string name = "srb" + std::to_string(std::get<0>(info.param));
-      const auto recovery = std::get<1>(info.param);
-      name += recovery == support::RecoveryMechanism::kFullSquash ? "_squash"
-              : recovery == support::RecoveryMechanism::kSelectiveReplay
-                  ? "_srx"
-                  : "_srxfc";
-      name += std::get<2>(info.param) ==
-                      support::RegisterCheckMode::kValueBased
-                  ? "_value"
-                  : "_scoreboard";
-      return name;
-    });
-
-/// Whole-suite integration: every SPECint analog compiles and simulates
-/// under the default configuration with semantics preserved (the harness
-/// asserts), and SPT never loses.
-class SuiteIntegration : public ::testing::TestWithParam<std::string> {};
-
-TEST_P(SuiteIntegration, DefaultConfigNeverLoses) {
-  for (const auto& entry : harness::defaultSuite()) {
-    if (entry.workload.name != GetParam()) continue;
-    const auto result = harness::runSuiteEntry(entry);
-    EXPECT_GE(result.programSpeedup(), -0.01) << entry.workload.name;
-    EXPECT_EQ(result.baseline_run.return_value,
-              result.spt_run.return_value);
-    return;
+std::vector<support::MachineConfig> allConfigs() {
+  std::vector<support::MachineConfig> configs;
+  for (const std::uint32_t srb : {16u, 256u, 1024u}) {
+    for (const auto recovery :
+         {support::RecoveryMechanism::kSelectiveReplayFastCommit,
+          support::RecoveryMechanism::kSelectiveReplay,
+          support::RecoveryMechanism::kFullSquash}) {
+      for (const auto regcheck : {support::RegisterCheckMode::kValueBased,
+                                  support::RegisterCheckMode::kScoreboard}) {
+        support::MachineConfig config;
+        config.speculation_result_buffer_entries = srb;
+        config.recovery = recovery;
+        config.register_check = regcheck;
+        configs.push_back(config);
+      }
+    }
   }
-  FAIL() << "workload not found";
+  return configs;
 }
 
-INSTANTIATE_TEST_SUITE_P(AllBenchmarks, SuiteIntegration,
-                         ::testing::Values("bzip2", "crafty", "gap", "gcc",
-                                           "gzip", "mcf", "parser", "twolf",
-                                           "vortex", "vpr"));
+std::string configName(const support::MachineConfig& config) {
+  std::string name =
+      "srb" + std::to_string(config.speculation_result_buffer_entries);
+  name += config.recovery == support::RecoveryMechanism::kFullSquash
+              ? "_squash"
+          : config.recovery == support::RecoveryMechanism::kSelectiveReplay
+              ? "_srx"
+              : "_srxfc";
+  name += config.register_check == support::RegisterCheckMode::kValueBased
+              ? "_value"
+              : "_scoreboard";
+  return name;
+}
+
+TEST(ConfigSweep, InvariantsHoldOnParserFreeAcrossAllConfigs) {
+  const auto configs = allConfigs();
+  const auto run_all = [&](std::size_t jobs) {
+    return harness::ParallelSweep(jobs).run(
+        configs.size(), [&](std::size_t i) {
+          auto workload = workloads::findWorkload("micro.parser_free");
+          return harness::runSptExperiment(workload.build(1), {}, configs[i]);
+        });
+  };
+
+  const auto results = run_all(4);
+  ASSERT_EQ(results.size(), configs.size());
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto& result = results[i];
+    const std::string name = configName(configs[i]);
+
+    // Semantics (also asserted inside the harness).
+    EXPECT_EQ(result.baseline_run.return_value, result.spt_run.return_value)
+        << name;
+    EXPECT_EQ(result.baseline_run.memory_hash, result.spt_run.memory_hash)
+        << name;
+
+    // Accounting.
+    const auto& threads = result.spt.threads;
+    EXPECT_GT(threads.spawned, 0u) << name;
+    EXPECT_LE(threads.fast_commits + threads.replays + threads.squashes +
+                  threads.killed,
+              threads.spawned)
+        << name;
+    EXPECT_EQ(result.baseline.breakdown.total(), result.baseline.cycles)
+        << name;
+    EXPECT_EQ(result.spt.breakdown.total(), result.spt.cycles) << name;
+    // Speculation can lose on hostile configs, but within overhead bounds.
+    EXPECT_LT(result.spt.cycles, result.baseline.cycles * 3 / 2) << name;
+  }
+
+  // Determinism: the serial engine must reproduce the parallel fan-out
+  // cycle-for-cycle (and rerunning is what the seed's per-config rerun
+  // checked, so this subsumes it).
+  const auto serial = run_all(1);
+  ASSERT_EQ(serial.size(), results.size());
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    EXPECT_EQ(results[i].spt.cycles, serial[i].spt.cycles)
+        << configName(configs[i]);
+    EXPECT_EQ(results[i].baseline.cycles, serial[i].baseline.cycles)
+        << configName(configs[i]);
+  }
+}
+
+/// Whole-suite integration through runSweep: every SPECint analog compiles
+/// and simulates under the default configuration with semantics preserved
+/// (the harness asserts), and SPT never loses.
+TEST(SuiteIntegration, DefaultConfigNeverLosesOnAnyBenchmark) {
+  std::vector<harness::SweepCase> cases;
+  for (const auto& entry : harness::defaultSuite()) {
+    harness::SweepCase c;
+    c.benchmark = entry.workload.name;
+    c.entry = entry;
+    cases.push_back(std::move(c));
+  }
+  ASSERT_EQ(cases.size(), 10u);
+
+  const auto rows = harness::runSweep(harness::ParallelSweep(), cases);
+  ASSERT_EQ(rows.size(), cases.size());
+  for (const auto& row : rows) {
+    EXPECT_GE(row.result.programSpeedup(), -0.01) << row.benchmark;
+    EXPECT_EQ(row.result.baseline_run.return_value,
+              row.result.spt_run.return_value)
+        << row.benchmark;
+  }
+}
 
 }  // namespace
 }  // namespace spt

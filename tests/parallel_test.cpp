@@ -1,0 +1,184 @@
+// Tests for the parallel experiment engine: support::ThreadPool,
+// harness::ParallelSweep (ordered aggregation, deterministic seeding,
+// error transparency), support::deriveSeed, and the JSON writer that
+// serializes sweep results.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+#include "harness/parallel_sweep.h"
+#include "support/json.h"
+#include "support/rng.h"
+#include "support/thread_pool.h"
+
+namespace spt {
+namespace {
+
+TEST(ThreadPool, RunsEverySubmittedTask) {
+  std::atomic<int> count{0};
+  support::ThreadPool pool(4);
+  EXPECT_EQ(pool.workerCount(), 4u);
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&count] { count.fetch_add(1, std::memory_order_relaxed); });
+  }
+  pool.wait();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, WaitIsReusable) {
+  std::atomic<int> count{0};
+  support::ThreadPool pool(2);
+  pool.submit([&count] { ++count; });
+  pool.wait();
+  EXPECT_EQ(count.load(), 1);
+  for (int i = 0; i < 10; ++i) pool.submit([&count] { ++count; });
+  pool.wait();
+  EXPECT_EQ(count.load(), 11);
+}
+
+TEST(ThreadPool, DestructorDrainsOutstandingTasks) {
+  std::atomic<int> count{0};
+  {
+    support::ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i) {
+      pool.submit([&count] { count.fetch_add(1, std::memory_order_relaxed); });
+    }
+    // No wait(): the destructor must finish the queue before joining.
+  }
+  EXPECT_EQ(count.load(), 50);
+}
+
+TEST(ThreadPool, WaitOnEmptyPoolReturnsImmediately) {
+  support::ThreadPool pool(1);
+  pool.wait();  // must not deadlock
+}
+
+TEST(ThreadPool, DefaultWorkerCountIsPositive) {
+  EXPECT_GE(support::ThreadPool::defaultWorkerCount(), 1u);
+}
+
+TEST(ParallelSweep, ResultsLandInSubmissionOrder) {
+  const harness::ParallelSweep sweep(4);
+  EXPECT_EQ(sweep.jobs(), 4u);
+  const auto out =
+      sweep.run(64, [](std::size_t i) { return i * i; });
+  ASSERT_EQ(out.size(), 64u);
+  for (std::size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i], i * i);
+}
+
+TEST(ParallelSweep, SerialAndParallelAgree) {
+  const auto square = [](std::size_t i) { return 3 * i + 7; };
+  const auto serial = harness::ParallelSweep(1).run(33, square);
+  const auto parallel = harness::ParallelSweep(8).run(33, square);
+  EXPECT_EQ(serial, parallel);
+}
+
+TEST(ParallelSweep, SeededRunsAreIdenticalAtAnyWorkerCount) {
+  const auto draw = [](std::size_t, support::Rng& rng) { return rng.next(); };
+  const auto serial = harness::ParallelSweep(1).runSeeded(40, 123, draw);
+  const auto wide = harness::ParallelSweep(8).runSeeded(40, 123, draw);
+  EXPECT_EQ(serial, wide);
+  // A different base seed yields a different stream.
+  const auto other = harness::ParallelSweep(8).runSeeded(40, 124, draw);
+  EXPECT_NE(serial, other);
+}
+
+TEST(ParallelSweep, TaskExceptionsPropagate) {
+  const harness::ParallelSweep sweep(4);
+  EXPECT_THROW(sweep.run(16,
+                         [](std::size_t i) {
+                           if (i == 5) throw std::runtime_error("task 5");
+                           return i;
+                         }),
+               std::runtime_error);
+}
+
+TEST(ParallelSweep, ZeroTasksYieldEmptyResults) {
+  const harness::ParallelSweep sweep(4);
+  const auto out = sweep.run(0, [](std::size_t i) { return i; });
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(DeriveSeed, DeterministicAndIndexSensitive) {
+  EXPECT_EQ(support::deriveSeed(42, 7), support::deriveSeed(42, 7));
+  std::set<std::uint64_t> seeds;
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    seeds.insert(support::deriveSeed(42, i));
+  }
+  EXPECT_EQ(seeds.size(), 1000u);  // no collisions across task indices
+  EXPECT_NE(support::deriveSeed(1, 0), support::deriveSeed(2, 0));
+}
+
+TEST(JsonWriter, CompactDocument) {
+  std::ostringstream os;
+  support::JsonWriter w(os, /*indent=*/0);
+  w.beginObject()
+      .member("name", "spt")
+      .member("count", 3)
+      .key("rows")
+      .beginArray()
+      .value(1.5)
+      .value(true)
+      .null()
+      .endArray()
+      .endObject();
+  EXPECT_EQ(os.str(),
+            "{\"name\":\"spt\",\"count\":3,\"rows\":[1.5,true,null]}");
+}
+
+TEST(JsonWriter, NonFiniteNumbersBecomeNull) {
+  std::ostringstream os;
+  support::JsonWriter w(os, 0);
+  w.beginArray()
+      .value(std::numeric_limits<double>::quiet_NaN())
+      .value(std::numeric_limits<double>::infinity())
+      .endArray();
+  EXPECT_EQ(os.str(), "[null,null]");
+}
+
+TEST(JsonWriter, EscapesStrings) {
+  EXPECT_EQ(support::jsonEscape("a\"b\\c\n"), "a\\\"b\\\\c\\n");
+  std::ostringstream os;
+  support::JsonWriter w(os, 0);
+  w.beginObject().member("k\"ey", "v\tal").endObject();
+  EXPECT_EQ(os.str(), "{\"k\\\"ey\":\"v\\tal\"}");
+}
+
+TEST(JsonWriter, IndentedOutputIsStable) {
+  std::ostringstream os;
+  support::JsonWriter w(os, 2);
+  w.beginObject().key("rows").beginArray().value(1).endArray().endObject();
+  EXPECT_EQ(os.str(), "{\n  \"rows\": [\n    1\n  ]\n}");
+}
+
+TEST(RunSweep, ParallelMatchesSerialOnRealExperiments) {
+  // Two real suite entries through the full experiment pipeline: rows must
+  // be bit-identical between one worker and many.
+  std::vector<harness::SweepCase> cases;
+  for (const auto& entry : harness::defaultSuite()) {
+    if (cases.size() == 2) break;
+    harness::SweepCase c;
+    c.benchmark = entry.workload.name;
+    c.entry = entry;
+    cases.push_back(std::move(c));
+  }
+  ASSERT_EQ(cases.size(), 2u);
+  const auto serial = harness::runSweep(harness::ParallelSweep(1), cases);
+  const auto wide = harness::runSweep(harness::ParallelSweep(4), cases);
+  ASSERT_EQ(serial.size(), wide.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].benchmark, wide[i].benchmark);
+    EXPECT_EQ(serial[i].result.baseline.cycles, wide[i].result.baseline.cycles);
+    EXPECT_EQ(serial[i].result.spt.cycles, wide[i].result.spt.cycles);
+    EXPECT_EQ(serial[i].result.spt.threads.spawned,
+              wide[i].result.spt.threads.spawned);
+    EXPECT_EQ(serial[i].result.spt.threads.fast_commits,
+              wide[i].result.spt.threads.fast_commits);
+  }
+}
+
+}  // namespace
+}  // namespace spt

@@ -93,6 +93,19 @@ TEST(RunningStat, Empty) {
   EXPECT_EQ(s.variance(), 0.0);
 }
 
+TEST(RunningStat, SingleValue) {
+  RunningStat s;
+  s.add(3.5);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(s.min(), 3.5);
+  EXPECT_DOUBLE_EQ(s.max(), 3.5);
+  EXPECT_DOUBLE_EQ(s.sum(), 3.5);
+  // Sample variance is undefined for one observation; the policy is 0.0,
+  // never NaN or a division by count-1 == 0.
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
 TEST(RunningStat, KnownValues) {
   RunningStat s;
   for (const double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
@@ -120,8 +133,22 @@ TEST(Histogram, CumulativeWeights) {
 
 TEST(Stats, PercentFormatting) {
   EXPECT_EQ(percent(156, 1000), "15.6%");
-  EXPECT_EQ(percent(1, 0), "0.0%");
   EXPECT_EQ(percent(1, 3, 2), "33.33%");
+}
+
+TEST(Stats, PercentZeroDenominator) {
+  // Zero-denominator policy: 0.0%, never "nan%" or "inf%".
+  EXPECT_EQ(percent(1, 0), "0.0%");
+  EXPECT_EQ(percent(0, 0), "0.0%");
+  EXPECT_EQ(percent(-5, 0, 2), "0.00%");
+}
+
+TEST(Stats, SafeRatio) {
+  EXPECT_DOUBLE_EQ(safeRatio(6.0, 3.0), 2.0);
+  EXPECT_DOUBLE_EQ(safeRatio(1.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(safeRatio(0.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(safeRatio(1.0, 0.0, -1.0), -1.0);  // explicit fallback
+  EXPECT_DOUBLE_EQ(safeRatio(-4.0, 2.0, 99.0), -2.0);
 }
 
 TEST(Table, PrintAligned) {

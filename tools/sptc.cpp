@@ -9,8 +9,19 @@
 //       Print the SPT-transformed IR.
 //   sptc parse <program.spt>
 //       Parse, verify and re-print a textual IR program.
+//   sptc sweep [options]
+//       Run the whole SPECint-analog suite under the given machine and
+//       compiler options, fanning the independent experiments across
+//       worker threads (harness::ParallelSweep), and print the per-
+//       benchmark speedup table. Results are identical at any --jobs
+//       value.
 //
-// Options for run/compile:
+// Options for sweep:
+//   --jobs N           parallel experiment workers (default: SPT_JOBS env
+//                      or hardware concurrency)
+//   --json PATH        also write machine-readable results JSON
+//
+// Options for run/compile/sweep:
 //   --scale N          workload input scale (default 1)
 //   --srb N            speculation result buffer entries (default 1024)
 //   --recovery M       srx_fc | srx | squash (default srx_fc)
@@ -24,19 +35,22 @@
 #include <iostream>
 #include <sstream>
 
+#include "harness/parallel_sweep.h"
 #include "harness/suite.h"
 #include "ir/parser.h"
 #include "ir/printer.h"
 #include "ir/verifier.h"
 #include "support/stats.h"
+#include "support/table.h"
 
 namespace {
 
 using namespace spt;
 
 int usage() {
-  std::cerr << "usage: sptc <list|run|compile|parse> [target] [options]\n"
-               "       see the header of tools/sptc.cpp for details\n";
+  std::cerr
+      << "usage: sptc <list|run|compile|parse|sweep> [target] [options]\n"
+         "       see the header of tools/sptc.cpp for details\n";
   return 2;
 }
 
@@ -88,6 +102,8 @@ struct Options {
   support::MachineConfig machine;
   compiler::CompilerOptions copts;
   bool print_ir = false;
+  std::size_t jobs = 0;   // sweep: 0 = ParallelSweep default
+  std::string json_path;  // sweep: empty = no JSON output
   bool ok = true;
 };
 
@@ -144,6 +160,11 @@ Options parseOptions(int argc, char** argv, int first) {
           std::strtod(need_value(i), nullptr);
     } else if (arg == "--print-ir") {
       o.print_ir = true;
+    } else if (arg == "--jobs") {
+      o.jobs = static_cast<std::size_t>(
+          std::strtoull(need_value(i), nullptr, 10));
+    } else if (arg == "--json") {
+      o.json_path = need_value(i);
     } else {
       std::cerr << "sptc: unknown option '" << arg << "'\n";
       o.ok = false;
@@ -218,12 +239,68 @@ int cmdParse(const std::string& target) {
   return 0;
 }
 
+int cmdSweep(const Options& options) {
+  const harness::ParallelSweep sweep(options.jobs);
+  std::vector<harness::SweepCase> cases;
+  for (auto& entry : harness::defaultSuite()) {
+    harness::SweepCase c;
+    c.benchmark = entry.workload.name;
+    c.entry = std::move(entry);
+    // Suite-level per-benchmark overrides (gap's 2500 body-size limit)
+    // survive; every other knob comes from the command line.
+    const double per_benchmark_limit = c.entry.copts.max_avg_body_size;
+    c.entry.copts = options.copts;
+    if (per_benchmark_limit > c.entry.copts.max_avg_body_size) {
+      c.entry.copts.max_avg_body_size = per_benchmark_limit;
+    }
+    c.machine = options.machine;
+    c.scale = options.scale;
+    cases.push_back(std::move(c));
+  }
+
+  const auto rows = harness::runSweep(sweep, cases);
+
+  support::Table t("suite sweep (" + std::to_string(sweep.jobs()) +
+                   " jobs)");
+  t.setHeader({"benchmark", "baseline cycles", "SPT cycles", "speedup",
+               "threads", "fast commits"});
+  double sum_speedup = 0.0;
+  for (const auto& row : rows) {
+    t.addRow({row.benchmark, std::to_string(row.result.baseline.cycles),
+              std::to_string(row.result.spt.cycles),
+              support::percent(row.result.programSpeedup(), 1.0),
+              std::to_string(row.result.spt.threads.spawned),
+              support::percent(row.result.spt.threads.fastCommitRatio(),
+                               1.0)});
+    sum_speedup += row.result.programSpeedup();
+  }
+  t.addRow({"Average", "-", "-",
+            support::percent(sum_speedup / static_cast<double>(rows.size()),
+                             1.0),
+            "-", "-"});
+  t.print(std::cout);
+
+  if (!options.json_path.empty()) {
+    if (!harness::writeSweepJson(options.json_path, rows)) {
+      std::cerr << "sptc: could not write " << options.json_path << "\n";
+      return 1;
+    }
+    std::cout << "results: " << options.json_path << "\n";
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string cmd = argv[1];
   if (cmd == "list") return cmdList();
+  if (cmd == "sweep") {
+    const Options options = parseOptions(argc, argv, 2);
+    if (!options.ok) return 2;
+    return cmdSweep(options);
+  }
   if (argc < 3) return usage();
   const std::string target = argv[2];
   const Options options = parseOptions(argc, argv, 3);
