@@ -1,0 +1,59 @@
+// Host-throughput benchmark for the trace-driven co-simulation itself.
+//
+// Reports simulated instructions per host second (simulated MIPS) for the
+// baseline and SPT machines on pre-built traces of every suite workload.
+// This is the binding constraint on how many configurations/ablations the
+// figure benches can afford, so its trajectory is tracked from PR 2 onward
+// in BENCH_sim_throughput.json (see docs/PERF.md).
+//
+// Flags (bench_util contract plus timing knobs):
+//   --jobs N     parallel *setup* workers (compile/trace); the timed
+//                measurement itself is always serial
+//   --json PATH  results document (default: BENCH_sim_throughput.json)
+//   --no-json    skip the JSON document
+//   --reps N     timed repetitions per machine, fastest wins (default 3)
+//   --scale N    workload input scale (default 1)
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "harness/perf.h"
+
+int main(int argc, char** argv) {
+  spt::harness::PerfOptions options;
+  std::string json_path = "BENCH_sim_throughput.json";
+  bool write_json = true;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--jobs" && i + 1 < argc) {
+      options.setup_jobs =
+          static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
+    } else if (arg == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (arg == "--no-json") {
+      write_json = false;
+    } else if (arg == "--reps" && i + 1 < argc) {
+      options.repetitions =
+          std::max(1, static_cast<int>(std::strtol(argv[++i], nullptr, 10)));
+    } else if (arg == "--scale" && i + 1 < argc) {
+      options.scale = std::strtoull(argv[++i], nullptr, 10);
+    } else {
+      std::cerr << "bench_sim_throughput: usage: [--jobs N] [--json PATH] "
+                   "[--no-json] [--reps N] [--scale N]\n";
+      return 2;
+    }
+  }
+
+  const auto rows = spt::harness::runSimThroughput(options);
+  spt::harness::printSimThroughputTable(std::cout, rows);
+  if (write_json) {
+    if (spt::harness::writeSimThroughputJson(json_path, rows)) {
+      std::cout << "results: " << json_path << " (" << rows.size()
+                << " rows)\n";
+    } else {
+      std::cerr << "warning: could not write " << json_path << "\n";
+      return 1;
+    }
+  }
+  return 0;
+}

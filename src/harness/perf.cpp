@@ -1,0 +1,166 @@
+#include "harness/perf.h"
+
+#include <chrono>
+#include <fstream>
+
+#include "harness/experiment.h"
+#include "support/json.h"
+#include "support/stats.h"
+#include "support/table.h"
+#include "workloads/workloads.h"
+
+namespace spt::harness {
+namespace {
+
+/// Everything a timed run needs, built once per workload up front.
+struct PreparedWorkload {
+  std::string name;
+  ir::Module baseline_module{"empty"};
+  ir::Module spt_module{"empty"};
+  trace::TraceBuffer baseline_trace;
+  trace::TraceBuffer spt_trace;
+};
+
+PreparedWorkload prepare(const std::string& name, const PerfOptions& options) {
+  PreparedWorkload p;
+  p.name = name;
+  ir::Module module = workloads::findWorkload(name).build(options.scale);
+
+  p.baseline_module = module;
+  p.baseline_module.finalize();
+
+  compiler::SptCompiler cc(options.copts);
+  InterpProfileRunner runner;
+  cc.compile(module, runner);
+  p.spt_module = std::move(module);
+
+  p.baseline_trace = traceProgram(p.baseline_module).trace;
+  p.spt_trace = traceProgram(p.spt_module).trace;
+  return p;
+}
+
+double seconds(std::chrono::steady_clock::duration d) {
+  return std::chrono::duration<double>(d).count();
+}
+
+/// Times `run()` `repetitions` times and returns the fastest wall time.
+template <typename Fn>
+double fastestRun(int repetitions, Fn&& run) {
+  double best = 0.0;
+  for (int rep = 0; rep < repetitions; ++rep) {
+    const auto start = std::chrono::steady_clock::now();
+    run();
+    const double t = seconds(std::chrono::steady_clock::now() - start);
+    if (rep == 0 || t < best) best = t;
+  }
+  return best;
+}
+
+double mips(std::uint64_t instrs, double host_seconds) {
+  if (host_seconds <= 0.0) return 0.0;
+  return static_cast<double>(instrs) / host_seconds / 1e6;
+}
+
+}  // namespace
+
+std::vector<PerfRow> runSimThroughput(const PerfOptions& options) {
+  std::vector<std::string> names = options.workloads;
+  if (names.empty()) {
+    names.push_back("micro.parser_free");
+    for (const auto& entry : defaultSuite()) {
+      names.push_back(entry.workload.name);
+    }
+  }
+
+  // Setup (compile + interpret + trace) fans out; timing must not, so the
+  // measurement loop below is strictly serial on the calling thread.
+  const ParallelSweep sweep(options.setup_jobs);
+  std::vector<PreparedWorkload> prepared = sweep.run(
+      names.size(),
+      [&](std::size_t i) { return prepare(names[i], options); });
+
+  std::vector<PerfRow> rows;
+  rows.reserve(prepared.size());
+  for (PreparedWorkload& p : prepared) {
+    PerfRow row;
+    row.workload = p.name;
+    row.trace_records = p.spt_trace.size();
+
+    sim::MachineResult base_result;
+    row.host_baseline_seconds = fastestRun(options.repetitions, [&] {
+      sim::BaselineMachine machine(p.baseline_module, p.baseline_trace,
+                                   options.machine);
+      base_result = machine.run();
+    });
+    const trace::LoopIndex index(p.spt_module, p.spt_trace);
+    sim::MachineResult spt_result;
+    row.host_spt_seconds = fastestRun(options.repetitions, [&] {
+      sim::SptMachine machine(p.spt_module, p.spt_trace, index,
+                              options.machine);
+      spt_result = machine.run();
+    });
+
+    row.baseline_cycles = base_result.cycles;
+    row.spt_cycles = spt_result.cycles;
+    row.baseline_sim_instrs = base_result.instrs;
+    row.spt_sim_instrs = spt_result.instrs;
+    row.host_baseline_mips =
+        mips(row.baseline_sim_instrs, row.host_baseline_seconds);
+    row.host_spt_mips = mips(row.spt_sim_instrs, row.host_spt_seconds);
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+void printSimThroughputTable(std::ostream& os,
+                             const std::vector<PerfRow>& rows) {
+  support::Table t("simulator host throughput (simulated MIPS)");
+  t.setHeader({"workload", "trace records", "baseline MIPS", "SPT MIPS",
+               "baseline ms", "SPT ms"});
+  double base_mips_sum = 0.0;
+  double spt_mips_sum = 0.0;
+  for (const PerfRow& r : rows) {
+    t.addRow({r.workload, std::to_string(r.trace_records),
+              support::fixed(r.host_baseline_mips, 2),
+              support::fixed(r.host_spt_mips, 2),
+              support::fixed(r.host_baseline_seconds * 1e3, 2),
+              support::fixed(r.host_spt_seconds * 1e3, 2)});
+    base_mips_sum += r.host_baseline_mips;
+    spt_mips_sum += r.host_spt_mips;
+  }
+  if (!rows.empty()) {
+    const double n = static_cast<double>(rows.size());
+    t.addRow({"Average", "-", support::fixed(base_mips_sum / n, 2),
+              support::fixed(spt_mips_sum / n, 2), "-", "-"});
+  }
+  t.print(os);
+}
+
+bool writeSimThroughputJson(const std::string& path,
+                            const std::vector<PerfRow>& rows) {
+  std::ofstream out(path);
+  if (!out) return false;
+  support::JsonWriter w(out);
+  w.beginObject();
+  w.key("rows").beginArray();
+  for (const PerfRow& r : rows) {
+    w.beginObject();
+    w.member("workload", r.workload);
+    w.member("trace_records", r.trace_records);
+    w.member("baseline_cycles", r.baseline_cycles);
+    w.member("spt_cycles", r.spt_cycles);
+    w.member("baseline_sim_instrs", r.baseline_sim_instrs);
+    w.member("spt_sim_instrs", r.spt_sim_instrs);
+    w.member("host_baseline_seconds", r.host_baseline_seconds);
+    w.member("host_spt_seconds", r.host_spt_seconds);
+    w.member("host_baseline_mips", r.host_baseline_mips);
+    w.member("host_spt_mips", r.host_spt_mips);
+    w.endObject();
+  }
+  w.endArray();
+  w.endObject();
+  out << "\n";
+  return static_cast<bool>(out);
+}
+
+}  // namespace spt::harness

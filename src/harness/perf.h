@@ -1,0 +1,70 @@
+// Host-throughput measurement of the trace-driven co-simulation.
+//
+// Every figure the suite reproduces is bottlenecked by how many trace
+// records per host second SptMachine/BaselineMachine can replay, so the
+// simulator's own speed is tracked as a first-class metric: simulated
+// instructions per host second (simulated MIPS), per workload, measured on
+// pre-built traces so compile/interpret time never pollutes the number.
+//
+// The measurement phase is strictly serial (parallel timing runs would
+// contend for cores and memory bandwidth); only the setup phase — compile,
+// trace, index — fans out across a ParallelSweep. Simulation *results*
+// (cycles, instruction counts, record counts) are deterministic and are
+// diffed by CI; host-time metrics are prefixed `host_` in the JSON so
+// determinism checks can filter them (`grep -v '"host_'`).
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "harness/parallel_sweep.h"
+#include "spt/options.h"
+#include "support/machine_config.h"
+
+namespace spt::harness {
+
+struct PerfOptions {
+  /// Workloads to measure; empty selects the default set (the ten
+  /// SPECint2000 analogs plus the parser-free microkernel).
+  std::vector<std::string> workloads;
+  std::uint64_t scale = 1;
+  /// Timed repetitions per machine; the fastest run is reported (minimum
+  /// rejects scheduler noise, which is strictly additive).
+  int repetitions = 3;
+  std::size_t setup_jobs = 0;  // 0 = ParallelSweep default
+  support::MachineConfig machine;
+  compiler::CompilerOptions copts;
+};
+
+struct PerfRow {
+  std::string workload;
+  // Deterministic simulation results (covered by CI determinism diffs).
+  std::uint64_t trace_records = 0;     // SPT trace length in records
+  std::uint64_t baseline_cycles = 0;
+  std::uint64_t spt_cycles = 0;
+  std::uint64_t baseline_sim_instrs = 0;  // instructions issued in one run
+  std::uint64_t spt_sim_instrs = 0;       // both pipelines
+  // Host-dependent metrics (excluded from determinism diffs).
+  double host_baseline_seconds = 0.0;  // fastest single run
+  double host_spt_seconds = 0.0;
+  double host_baseline_mips = 0.0;     // sim instrs / host second / 1e6
+  double host_spt_mips = 0.0;
+};
+
+/// Builds, compiles and traces each workload (parallel), then times
+/// BaselineMachine and SptMachine runs over the pre-built traces (serial).
+std::vector<PerfRow> runSimThroughput(const PerfOptions& options);
+
+/// Renders the ASCII table the `sptc perf` subcommand and the
+/// bench_sim_throughput binary print.
+void printSimThroughputTable(std::ostream& os,
+                             const std::vector<PerfRow>& rows);
+
+/// Writes {"rows":[...]} with one object per PerfRow; `host_` members carry
+/// host-time metrics. Returns false on I/O failure.
+bool writeSimThroughputJson(const std::string& path,
+                            const std::vector<PerfRow>& rows);
+
+}  // namespace spt::harness

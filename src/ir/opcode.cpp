@@ -36,70 +36,4 @@ const char* opcodeName(Opcode op) {
   return "???";
 }
 
-bool isBranch(Opcode op) {
-  return op == Opcode::kBr || op == Opcode::kCondBr;
-}
-
-bool isTerminator(Opcode op) { return isBranch(op) || op == Opcode::kRet; }
-
-bool isMemory(Opcode op) {
-  return op == Opcode::kLoad || op == Opcode::kStore;
-}
-
-bool producesValue(Opcode op) {
-  switch (op) {
-    case Opcode::kStore:
-    case Opcode::kBr:
-    case Opcode::kCondBr:
-    case Opcode::kRet:
-    case Opcode::kSptFork:
-    case Opcode::kSptKill:
-    case Opcode::kNop:
-      return false;
-    case Opcode::kCall:  // dst is optional but allowed
-    default:
-      return true;
-  }
-}
-
-std::uint32_t baseLatency(Opcode op) {
-  switch (op) {
-    case Opcode::kMul:
-      return 3;
-    case Opcode::kDiv:
-    case Opcode::kRem:
-      return 20;
-    case Opcode::kLoad:
-      return 1;  // plus cache latency, added by the memory model
-    default:
-      return 1;
-  }
-}
-
-bool isPureComputation(Opcode op) {
-  switch (op) {
-    case Opcode::kConst:
-    case Opcode::kMov:
-    case Opcode::kAdd:
-    case Opcode::kSub:
-    case Opcode::kMul:
-    case Opcode::kDiv:
-    case Opcode::kRem:
-    case Opcode::kAnd:
-    case Opcode::kOr:
-    case Opcode::kXor:
-    case Opcode::kShl:
-    case Opcode::kShr:
-    case Opcode::kCmpEq:
-    case Opcode::kCmpNe:
-    case Opcode::kCmpLt:
-    case Opcode::kCmpLe:
-    case Opcode::kCmpGt:
-    case Opcode::kCmpGe:
-      return true;
-    default:
-      return false;
-  }
-}
-
 }  // namespace spt::ir

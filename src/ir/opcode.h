@@ -44,24 +44,83 @@ enum class Opcode : std::uint8_t {
 /// Stable mnemonic for printing and diagnostics.
 const char* opcodeName(Opcode op);
 
+// The classification predicates below run per trace record in the
+// simulator and interpreter hot paths, so they are defined inline.
+
 /// True for kBr/kCondBr (control transfers that end a block).
-bool isBranch(Opcode op);
+inline constexpr bool isBranch(Opcode op) {
+  return op == Opcode::kBr || op == Opcode::kCondBr;
+}
 
 /// True for kBr/kCondBr/kRet (all block terminators).
-bool isTerminator(Opcode op);
+inline constexpr bool isTerminator(Opcode op) {
+  return isBranch(op) || op == Opcode::kRet;
+}
 
 /// True for kLoad/kStore.
-bool isMemory(Opcode op);
+inline constexpr bool isMemory(Opcode op) {
+  return op == Opcode::kLoad || op == Opcode::kStore;
+}
 
 /// True if the opcode writes a destination register (when dst is set).
-bool producesValue(Opcode op);
+inline constexpr bool producesValue(Opcode op) {
+  switch (op) {
+    case Opcode::kStore:
+    case Opcode::kBr:
+    case Opcode::kCondBr:
+    case Opcode::kRet:
+    case Opcode::kSptFork:
+    case Opcode::kSptKill:
+    case Opcode::kNop:
+      return false;
+    case Opcode::kCall:  // dst is optional but allowed
+    default:
+      return true;
+  }
+}
 
 /// Fixed execution latency in cycles for non-memory opcodes; memory latency
 /// comes from the cache model. Mirrors Itanium2-like integer latencies.
-std::uint32_t baseLatency(Opcode op);
+inline constexpr std::uint32_t baseLatency(Opcode op) {
+  switch (op) {
+    case Opcode::kMul:
+      return 3;
+    case Opcode::kDiv:
+    case Opcode::kRem:
+      return 20;
+    case Opcode::kLoad:
+      return 1;  // plus cache latency, added by the memory model
+    default:
+      return 1;
+  }
+}
 
 /// True for pure register-to-register computations that the speculative
 /// value emulator can re-evaluate (everything except memory/control/calls).
-bool isPureComputation(Opcode op);
+inline constexpr bool isPureComputation(Opcode op) {
+  switch (op) {
+    case Opcode::kConst:
+    case Opcode::kMov:
+    case Opcode::kAdd:
+    case Opcode::kSub:
+    case Opcode::kMul:
+    case Opcode::kDiv:
+    case Opcode::kRem:
+    case Opcode::kAnd:
+    case Opcode::kOr:
+    case Opcode::kXor:
+    case Opcode::kShl:
+    case Opcode::kShr:
+    case Opcode::kCmpEq:
+    case Opcode::kCmpNe:
+    case Opcode::kCmpLt:
+    case Opcode::kCmpLe:
+    case Opcode::kCmpGt:
+    case Opcode::kCmpGe:
+      return true;
+    default:
+      return false;
+  }
+}
 
 }  // namespace spt::ir

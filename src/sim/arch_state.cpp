@@ -7,6 +7,11 @@ namespace spt::sim {
 ArchState::ArchState(const ir::Module& module) : module_(module) {}
 
 ApplyInfo ArchState::apply(const trace::Record& record) {
+  return apply(record, module_.instrAt(record.sid));
+}
+
+ApplyInfo ArchState::apply(const trace::Record& record,
+                           const ir::Instr& instr) {
   SPT_CHECK(record.kind == trace::RecordKind::kInstr);
   ApplyInfo info;
 
@@ -24,7 +29,6 @@ ApplyInfo ArchState::apply(const trace::Record& record) {
   SPT_CHECK_MSG(!frames_.empty() && frames_.back().id == record.frame,
                 "trace record frame does not match the reconstructed stack");
   Frame& top = frames_.back();
-  const ir::Instr& instr = module_.instrAt(record.sid);
 
   switch (instr.op) {
     case ir::Opcode::kCall: {
@@ -74,8 +78,8 @@ ApplyInfo ArchState::apply(const trace::Record& record) {
 
 std::int64_t ArchState::memValue(std::uint64_t addr,
                                  std::int64_t fallback) const {
-  const auto it = memory_.find(addr);
-  return it == memory_.end() ? fallback : it->second;
+  const std::int64_t* value = memory_.find(addr);
+  return value == nullptr ? fallback : *value;
 }
 
 }  // namespace spt::sim

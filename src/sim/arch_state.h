@@ -8,10 +8,10 @@
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 #include "ir/module.h"
+#include "sim/flat_map.h"
 #include "trace/record.h"
 
 namespace spt::sim {
@@ -35,6 +35,10 @@ class ArchState {
 
   /// Applies one kInstr record (markers must not be passed).
   ApplyInfo apply(const trace::Record& record);
+
+  /// Same, with the record's static instruction already looked up (the
+  /// machines keep a predecode table, saving the instrAt per record).
+  ApplyInfo apply(const trace::Record& record, const ir::Instr& instr);
 
   const ir::Instr& instrOf(const trace::Record& record) const {
     return module_.instrAt(record.sid);
@@ -63,7 +67,7 @@ class ArchState {
 
   const ir::Module& module_;
   std::vector<Frame> frames_;
-  std::unordered_map<std::uint64_t, std::int64_t> memory_;
+  FlatMap64<std::int64_t> memory_;
   std::uint64_t halloc_count_ = 0;
   bool started_ = false;
 };

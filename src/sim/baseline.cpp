@@ -22,6 +22,7 @@ ExecInstr makeExecInstr(const ir::Module& module, const trace::Record& record,
   addSrc(instr.a);
   addSrc(instr.b);
   for (const ir::Reg arg : instr.args) addSrc(arg);
+  e.src_count = static_cast<std::uint32_t>(n);
 
   if (instr.dst.valid() && ir::producesValue(instr.op) &&
       instr.op != ir::Opcode::kCall) {
@@ -46,7 +47,7 @@ ExecInstr makeExecInstr(const ir::Module& module, const trace::Record& record,
 BaselineMachine::BaselineMachine(const ir::Module& module,
                                  const trace::TraceBuffer& trace,
                                  const support::MachineConfig& config)
-    : module_(module), trace_(trace), config_(config) {}
+    : module_(module), trace_(trace), config_(config), decode_(module) {}
 
 MachineResult BaselineMachine::run() {
   MemorySystem memory(config_);
@@ -60,17 +61,17 @@ MachineResult BaselineMachine::run() {
       loops.onMarker(r, pipe.cycle());
       continue;
     }
-    const ExecInstr e = makeExecInstr(module_, r);
+    const DecodedInstr& d = decode_[r.sid];
+    const ExecInstr e = makeExecInstr(d, r);
     const std::uint64_t done = pipe.execute(e);
-    const ApplyInfo info = arch.apply(r);
-    const ir::Instr& instr = module_.instrAt(r.sid);
-    if (instr.op == ir::Opcode::kCall) {
+    const ApplyInfo info = arch.apply(r, *d.instr);
+    if (d.op == ir::Opcode::kCall) {
       // Parameters materialize in the callee when the call issues.
       for (std::uint32_t p = 0; p < info.callee_params; ++p) {
         pipe.setRegReady(Pipeline::regKey(info.callee_frame, ir::Reg{p}),
                          done, false);
       }
-    } else if (instr.op == ir::Opcode::kRet && info.caller_dst.valid()) {
+    } else if (d.op == ir::Opcode::kRet && info.caller_dst.valid()) {
       pipe.setRegReady(Pipeline::regKey(info.caller_frame, info.caller_dst),
                        done, false);
     }

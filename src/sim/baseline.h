@@ -5,6 +5,7 @@
 #pragma once
 
 #include "ir/module.h"
+#include "sim/decode.h"
 #include "sim/result.h"
 #include "support/machine_config.h"
 #include "trace/trace.h"
@@ -29,6 +30,7 @@ class BaselineMachine {
   const ir::Module& module_;
   const trace::TraceBuffer& trace_;
   const support::MachineConfig& config_;
+  DecodeTable decode_;
 };
 
 }  // namespace spt::sim

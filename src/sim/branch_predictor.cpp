@@ -13,22 +13,4 @@ BranchPredictor::BranchPredictor(std::uint32_t entries)
   history_mask_ = entries - 1;
 }
 
-bool BranchPredictor::predictAndUpdate(bool actual_taken) {
-  const std::uint32_t index = history_ & history_mask_;
-  std::uint8_t& counter = pht_[index];
-  const bool predicted_taken = counter >= 2;
-
-  ++predictions_;
-  const bool correct = predicted_taken == actual_taken;
-  if (!correct) ++mispredictions_;
-
-  if (actual_taken) {
-    if (counter < 3) ++counter;
-  } else {
-    if (counter > 0) --counter;
-  }
-  history_ = ((history_ << 1) | (actual_taken ? 1u : 0u)) & history_mask_;
-  return correct;
-}
-
 }  // namespace spt::sim

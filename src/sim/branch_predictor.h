@@ -13,8 +13,25 @@ class BranchPredictor {
   explicit BranchPredictor(std::uint32_t entries);
 
   /// Predicts, updates the tables with the actual outcome, and reports
-  /// whether the prediction was correct.
-  bool predictAndUpdate(bool actual_taken);
+  /// whether the prediction was correct. Inline: runs once per dynamic
+  /// conditional branch inside the pipeline hot path.
+  bool predictAndUpdate(bool actual_taken) {
+    const std::uint32_t index = history_ & history_mask_;
+    std::uint8_t& counter = pht_[index];
+    const bool predicted_taken = counter >= 2;
+
+    ++predictions_;
+    const bool correct = predicted_taken == actual_taken;
+    if (!correct) ++mispredictions_;
+
+    if (actual_taken) {
+      if (counter < 3) ++counter;
+    } else {
+      if (counter > 0) --counter;
+    }
+    history_ = ((history_ << 1) | (actual_taken ? 1u : 0u)) & history_mask_;
+    return correct;
+  }
 
   std::uint64_t predictions() const { return predictions_; }
   std::uint64_t mispredictions() const { return mispredictions_; }

@@ -13,34 +13,8 @@ Cache::Cache(const support::CacheConfig& config) : config_(config) {
   SPT_CHECK_MSG(num_sets_ > 0 && std::has_single_bit(num_sets_),
                 "cache geometry must give a power-of-two set count");
   block_shift_ = std::countr_zero(config.block_bytes);
+  set_shift_ = std::countr_zero(num_sets_);
   lines_.resize(static_cast<std::size_t>(num_sets_) * config.associativity);
-}
-
-bool Cache::access(std::uint64_t addr, std::uint64_t timestamp) {
-  const std::uint64_t block = addr >> block_shift_;
-  const std::uint32_t set = static_cast<std::uint32_t>(block & (num_sets_ - 1));
-  const std::uint64_t tag = block >> std::countr_zero(num_sets_);
-  Line* base = &lines_[static_cast<std::size_t>(set) * config_.associativity];
-
-  Line* victim = base;
-  for (std::uint32_t w = 0; w < config_.associativity; ++w) {
-    Line& line = base[w];
-    if (line.valid && line.tag == tag) {
-      line.last_used = timestamp;
-      ++stats_.hits;
-      return true;
-    }
-    if (!line.valid) {
-      victim = &line;
-    } else if (victim->valid && line.last_used < victim->last_used) {
-      victim = &line;
-    }
-  }
-  ++stats_.misses;
-  victim->valid = true;
-  victim->tag = tag;
-  victim->last_used = timestamp;
-  return false;
 }
 
 bool Cache::probe(std::uint64_t addr) const {
@@ -61,27 +35,5 @@ MemorySystem::MemorySystem(const support::MachineConfig& config)
       l1d_(config.l1d),
       l2_(config.l2),
       l3_(config.l3) {}
-
-std::uint32_t MemorySystem::accessData(std::uint64_t addr,
-                                       std::uint64_t timestamp) {
-  std::uint32_t latency = config_.l1d.latency_cycles;
-  if (l1d_.access(addr, timestamp)) return latency;
-  latency += config_.l2.latency_cycles;
-  if (l2_.access(addr, timestamp)) return latency;
-  latency += config_.l3.latency_cycles;
-  if (l3_.access(addr, timestamp)) return latency;
-  return latency + config_.memory_latency_cycles;
-}
-
-std::uint32_t MemorySystem::accessInstr(std::uint64_t addr,
-                                        std::uint64_t timestamp) {
-  std::uint32_t latency = config_.l1i.latency_cycles;
-  if (l1i_.access(addr, timestamp)) return latency;
-  latency += config_.l2.latency_cycles;
-  if (l2_.access(addr, timestamp)) return latency;
-  latency += config_.l3.latency_cycles;
-  if (l3_.access(addr, timestamp)) return latency;
-  return latency + config_.memory_latency_cycles;
-}
 
 }  // namespace spt::sim

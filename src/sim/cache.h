@@ -26,13 +26,44 @@ struct CacheStats {
 /// One set-associative cache level with LRU replacement. Timestamps drive
 /// the LRU ordering so that interleaved accesses from the two pipelines age
 /// lines consistently.
+///
+/// `access` is defined inline: it runs a handful of times per trace record
+/// in both machines, and the call overhead plus the un-inlined hit scan were
+/// measurable in the host-throughput benchmark.
 class Cache {
  public:
   explicit Cache(const support::CacheConfig& config);
 
   /// Returns true on hit; on miss the line is (re)filled. `timestamp` is
   /// the access cycle.
-  bool access(std::uint64_t addr, std::uint64_t timestamp);
+  bool access(std::uint64_t addr, std::uint64_t timestamp) {
+    const std::uint64_t block = addr >> block_shift_;
+    const std::uint32_t set =
+        static_cast<std::uint32_t>(block & (num_sets_ - 1));
+    const std::uint64_t tag = block >> set_shift_;
+    Line* base =
+        &lines_[static_cast<std::size_t>(set) * config_.associativity];
+
+    Line* victim = base;
+    for (std::uint32_t w = 0; w < config_.associativity; ++w) {
+      Line& line = base[w];
+      if (line.valid && line.tag == tag) {
+        line.last_used = timestamp;
+        ++stats_.hits;
+        return true;
+      }
+      if (!line.valid) {
+        victim = &line;
+      } else if (victim->valid && line.last_used < victim->last_used) {
+        victim = &line;
+      }
+    }
+    ++stats_.misses;
+    victim->valid = true;
+    victim->tag = tag;
+    victim->last_used = timestamp;
+    return false;
+  }
 
   /// Hit check without state change (used by tests).
   bool probe(std::uint64_t addr) const;
@@ -50,21 +81,40 @@ class Cache {
   support::CacheConfig config_;
   std::uint32_t num_sets_;
   std::uint64_t block_shift_;
+  std::uint64_t set_shift_;  // countr_zero(num_sets_), precomputed
   std::vector<Line> lines_;  // num_sets_ * associativity
   CacheStats stats_;
 };
 
 /// The shared three-level hierarchy plus memory. Returns total access
-/// latency in cycles for instruction fetches and data accesses.
+/// latency in cycles for instruction fetches and data accesses. Inline for
+/// the same reason as Cache::access — the L1-hit path is the per-record
+/// common case.
 class MemorySystem {
  public:
   explicit MemorySystem(const support::MachineConfig& config);
 
   /// Data access (load or store fill); returns the latency in cycles.
-  std::uint32_t accessData(std::uint64_t addr, std::uint64_t timestamp);
+  std::uint32_t accessData(std::uint64_t addr, std::uint64_t timestamp) {
+    std::uint32_t latency = config_.l1d.latency_cycles;
+    if (l1d_.access(addr, timestamp)) return latency;
+    latency += config_.l2.latency_cycles;
+    if (l2_.access(addr, timestamp)) return latency;
+    latency += config_.l3.latency_cycles;
+    if (l3_.access(addr, timestamp)) return latency;
+    return latency + config_.memory_latency_cycles;
+  }
 
   /// Instruction fetch; returns the latency in cycles.
-  std::uint32_t accessInstr(std::uint64_t addr, std::uint64_t timestamp);
+  std::uint32_t accessInstr(std::uint64_t addr, std::uint64_t timestamp) {
+    std::uint32_t latency = config_.l1i.latency_cycles;
+    if (l1i_.access(addr, timestamp)) return latency;
+    latency += config_.l2.latency_cycles;
+    if (l2_.access(addr, timestamp)) return latency;
+    latency += config_.l3.latency_cycles;
+    if (l3_.access(addr, timestamp)) return latency;
+    return latency + config_.memory_latency_cycles;
+  }
 
   const Cache& l1d() const { return l1d_; }
   const Cache& l1i() const { return l1i_; }

@@ -1,0 +1,41 @@
+#include "sim/decode.h"
+
+#include "support/check.h"
+
+namespace spt::sim {
+
+DecodeTable::DecodeTable(const ir::Module& module) {
+  SPT_CHECK_MSG(module.finalized(),
+                "DecodeTable requires a finalized module (StaticIds)");
+  entries_.resize(module.staticInstrCount());
+  for (std::uint32_t f = 0; f < module.functionCount(); ++f) {
+    for (const ir::BasicBlock& block : module.function(f).blocks) {
+      for (const ir::Instr& instr : block.instrs) {
+        SPT_CHECK(instr.static_id < entries_.size());
+        DecodedInstr& d = entries_[instr.static_id];
+        d.instr = &instr;
+        d.op = instr.op;
+        d.base_latency = ir::baseLatency(instr.op);
+
+        const auto addSrc = [&d](ir::Reg r) {
+          if (r.valid() && d.src_count < 4) d.src_regs[d.src_count++] = r.index;
+        };
+        addSrc(instr.a);
+        addSrc(instr.b);
+        for (const ir::Reg arg : instr.args) addSrc(arg);
+
+        if (instr.dst.valid() && ir::producesValue(instr.op) &&
+            instr.op != ir::Opcode::kCall) {
+          // A call's destination becomes ready when the callee returns; the
+          // machines set it explicitly on kRet (same rule as makeExecInstr).
+          d.dst_reg = instr.dst.index;
+        }
+        d.is_load = instr.op == ir::Opcode::kLoad;
+        d.is_store = instr.op == ir::Opcode::kStore;
+        d.is_cond_branch = instr.op == ir::Opcode::kCondBr;
+      }
+    }
+  }
+}
+
+}  // namespace spt::sim

@@ -1,0 +1,83 @@
+// Predecoded static instruction table.
+//
+// Both machines touch every trace record with `module_.instrAt(r.sid)`
+// (a location lookup plus three indirections) and `makeExecInstr` (opcode
+// classification and source-register collection). All of that is a pure
+// function of the StaticId, so DecodeTable computes it exactly once per
+// static instruction at machine construction; the per-record work shrinks
+// to one vector index plus stamping the frame id into the prepared
+// register-key templates.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ir/module.h"
+#include "sim/pipeline.h"
+#include "trace/record.h"
+
+namespace spt::sim {
+
+/// The per-StaticId skeleton of an ExecInstr: everything except the
+/// frame-qualified register keys, the memory address, and the branch
+/// direction, which come from the dynamic record.
+struct DecodedInstr {
+  /// The full static instruction, for emulation-only fields (imm, callee,
+  /// args, targets). Points into the module the table was built from.
+  const ir::Instr* instr = nullptr;
+  ir::Opcode op = ir::Opcode::kNop;
+  std::uint32_t base_latency = 1;
+  std::uint32_t src_count = 0;
+  std::uint32_t src_regs[4] = {0, 0, 0, 0};
+  std::uint32_t dst_reg = ir::Reg::kInvalidIndex;  // invalid = no timed dst
+  bool is_load = false;
+  bool is_store = false;
+  bool is_cond_branch = false;
+};
+
+/// StaticId -> DecodedInstr for every instruction of a finalized module.
+class DecodeTable {
+ public:
+  explicit DecodeTable(const ir::Module& module);
+
+  const DecodedInstr& operator[](ir::StaticId sid) const {
+    return entries_[sid];
+  }
+
+ private:
+  std::vector<DecodedInstr> entries_;
+};
+
+/// Instantiates the skeleton for one dynamic record. Produces exactly the
+/// ExecInstr that makeExecInstr(module, record, override) builds — asserted
+/// by the golden digest tests.
+inline ExecInstr makeExecInstr(const DecodedInstr& d, const trace::Record& r,
+                               std::uint64_t mem_addr_override = 0) {
+  ExecInstr e;
+  e.sid = r.sid;
+  e.op = d.op;
+  e.base_latency = d.base_latency;
+  // regKey(frame, reg) == (frame << 32) + reg.index + 1; hoist the frame
+  // part out of the per-source additions.
+  const std::uint64_t frame_base =
+      (static_cast<std::uint64_t>(r.frame) << 32) + 1;
+  for (std::uint32_t i = 0; i < d.src_count; ++i) {
+    e.srcs[i] = frame_base + d.src_regs[i];
+  }
+  e.src_count = d.src_count;
+  if (d.dst_reg != ir::Reg::kInvalidIndex) e.dst = frame_base + d.dst_reg;
+  if (d.is_load) {
+    e.is_load = true;
+    e.mem_addr = mem_addr_override != 0 ? mem_addr_override : r.mem_addr;
+  } else if (d.is_store) {
+    e.is_store = true;
+    e.mem_addr = mem_addr_override != 0 ? mem_addr_override : r.mem_addr;
+  }
+  if (d.is_cond_branch) {
+    e.is_cond_branch = true;
+    e.taken = r.taken;
+  }
+  return e;
+}
+
+}  // namespace spt::sim

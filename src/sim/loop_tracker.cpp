@@ -4,6 +4,15 @@
 
 namespace spt::sim {
 
+void LoopCycleTracker::closeEpisode(const Open& top, std::uint64_t cycle) {
+  if (top.sid >= by_sid_.size()) by_sid_.resize(top.sid + 1);
+  LoopCycleStats& s = by_sid_[top.sid];
+  if (s.episodes == 0) touched_.push_back(top.sid);
+  s.cycles += cycle - top.begin_cycle;
+  ++s.episodes;
+  s.iterations += top.iterations;
+}
+
 void LoopCycleTracker::onMarker(const trace::Record& record,
                                 std::uint64_t cycle) {
   switch (record.kind) {
@@ -21,10 +30,7 @@ void LoopCycleTracker::onMarker(const trace::Record& record,
                     "unbalanced loop exit marker");
       const Open top = open_.back();
       open_.pop_back();
-      LoopCycleStats& s = stats_[trace::loopNameOf(module_, top.sid)];
-      s.cycles += cycle - top.begin_cycle;
-      ++s.episodes;
-      s.iterations += top.iterations;
+      closeEpisode(top, cycle);
       return;
     }
     case trace::RecordKind::kInstr:
@@ -36,11 +42,22 @@ void LoopCycleTracker::finish(std::uint64_t cycle) {
   while (!open_.empty()) {
     const Open top = open_.back();
     open_.pop_back();
-    LoopCycleStats& s = stats_[trace::loopNameOf(module_, top.sid)];
-    s.cycles += cycle - top.begin_cycle;
-    ++s.episodes;
-    s.iterations += top.iterations;
+    closeEpisode(top, cycle);
   }
+}
+
+const std::map<std::string, LoopCycleStats>& LoopCycleTracker::stats() const {
+  stats_.clear();
+  for (const ir::StaticId sid : touched_) {
+    // Distinct sids with the same name merge by accumulation, exactly as
+    // the previous name-keyed incremental map did.
+    LoopCycleStats& dst = stats_[trace::loopNameOf(module_, sid)];
+    const LoopCycleStats& src = by_sid_[sid];
+    dst.cycles += src.cycles;
+    dst.episodes += src.episodes;
+    dst.iterations += src.iterations;
+  }
+  return stats_;
 }
 
 }  // namespace spt::sim

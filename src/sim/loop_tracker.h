@@ -5,6 +5,11 @@
 // an outer loop's cycles include its inner loops — consistently in both the
 // baseline and the SPT run, which is what the Figure 8 loop-level speedups
 // compare.
+//
+// Episodes are accumulated by header StaticId (a vector index); the
+// human-readable loop names the rest of the system keys on are only
+// materialized in stats(), so the per-episode marker path does no string
+// construction or map lookups.
 #pragma once
 
 #include <map>
@@ -28,9 +33,8 @@ class LoopCycleTracker {
   /// Closes still-open episodes (trace ended inside a loop).
   void finish(std::uint64_t cycle);
 
-  const std::map<std::string, LoopCycleStats>& stats() const {
-    return stats_;
-  }
+  /// Name-keyed view of the accumulated stats (rebuilt on each call).
+  const std::map<std::string, LoopCycleStats>& stats() const;
 
  private:
   struct Open {
@@ -39,9 +43,13 @@ class LoopCycleTracker {
     std::uint64_t iterations;
   };
 
+  void closeEpisode(const Open& top, std::uint64_t cycle);
+
   const ir::Module& module_;
   std::vector<Open> open_;
-  std::map<std::string, LoopCycleStats> stats_;
+  std::vector<LoopCycleStats> by_sid_;
+  std::vector<ir::StaticId> touched_;  // sids with at least one episode
+  mutable std::map<std::string, LoopCycleStats> stats_;
 };
 
 }  // namespace spt::sim

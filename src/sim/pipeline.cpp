@@ -4,117 +4,10 @@
 
 namespace spt::sim {
 
-void CycleBreakdown::add(StallKind kind, std::uint64_t cycles) {
-  switch (kind) {
-    case StallKind::kExecution:
-      execution += cycles;
-      break;
-    case StallKind::kPipeline:
-      pipeline_stall += cycles;
-      break;
-    case StallKind::kDCache:
-      dcache_stall += cycles;
-      break;
-  }
-}
-
 Pipeline::Pipeline(const support::MachineConfig& config, MemorySystem& memory)
     : config_(config),
       memory_(memory),
       predictor_(config.branch_predictor_entries) {}
-
-void Pipeline::bumpCycleTo(std::uint64_t cycle, StallKind kind) {
-  if (cycle <= cycle_) return;
-  std::uint64_t gap = cycle - cycle_;
-  if (cycle_had_issue_) {
-    // The partially-filled current cycle counts as execution, the rest of
-    // the gap as the given stall kind.
-    breakdown_.add(StallKind::kExecution, 1);
-    cycle_had_issue_ = false;
-    --gap;
-  }
-  breakdown_.add(kind, gap);
-  cycle_ = cycle;
-  slots_ = 0;
-  replay_slots_ = 0;
-}
-
-Pipeline::RegState Pipeline::sourceState(const ExecInstr& instr) const {
-  RegState latest;
-  for (const std::uint64_t src : instr.srcs) {
-    if (src == 0) continue;
-    const auto it = scoreboard_.find(src);
-    if (it == scoreboard_.end()) continue;
-    if (it->second.ready > latest.ready) latest = it->second;
-  }
-  return latest;
-}
-
-void Pipeline::maybePurgeScoreboard() {
-  if (scoreboard_.size() < 1u << 16) return;
-  // Entries whose value is already available behave exactly like absent
-  // entries, so dropping them is lossless.
-  for (auto it = scoreboard_.begin(); it != scoreboard_.end();) {
-    if (it->second.ready <= cycle_) {
-      it = scoreboard_.erase(it);
-    } else {
-      ++it;
-    }
-  }
-}
-
-std::uint64_t Pipeline::execute(const ExecInstr& instr) {
-  // Instruction fetch. Instructions occupy 16 synthetic bytes each; an
-  // L1I miss stalls the front end for the extra fill latency.
-  const std::uint64_t iaddr = static_cast<std::uint64_t>(instr.sid) * 16;
-  const std::uint32_t ifetch = memory_.accessInstr(iaddr, cycle_);
-  if (ifetch > config_.l1i.latency_cycles) {
-    bumpCycleTo(cycle_ + (ifetch - config_.l1i.latency_cycles),
-                StallKind::kPipeline);
-  }
-
-  // Operand readiness.
-  const RegState latest = sourceState(instr);
-  if (latest.ready > cycle_) {
-    bumpCycleTo(latest.ready,
-                latest.from_load ? StallKind::kDCache : StallKind::kPipeline);
-  }
-
-  // Issue.
-  const std::uint64_t issue_cycle = cycle_;
-  cycle_had_issue_ = true;
-  ++instrs_issued_;
-  ++slots_;
-  if (slots_ >= config_.issue_width) {
-    breakdown_.add(StallKind::kExecution, 1);
-    ++cycle_;
-    slots_ = 0;
-    replay_slots_ = 0;
-    cycle_had_issue_ = false;
-  }
-
-  // Result latency.
-  std::uint64_t done = issue_cycle + instr.base_latency;
-  if (instr.is_load || instr.is_store) {
-    const std::uint32_t dlat = memory_.accessData(instr.mem_addr, issue_cycle);
-    if (instr.is_load) done = issue_cycle + dlat;
-    // Stores retire through the store buffer without stalling the pipe.
-  }
-  if (instr.dst != 0) {
-    scoreboard_[instr.dst] = RegState{done, instr.is_load};
-    maybePurgeScoreboard();
-  }
-
-  // Branch resolution.
-  if (instr.is_cond_branch) {
-    const bool correct = predictor_.predictAndUpdate(instr.taken);
-    if (!correct) {
-      bumpCycleTo(issue_cycle + 1 + config_.branch_mispredict_penalty,
-                  StallKind::kPipeline);
-    }
-  }
-  return done;
-}
 
 void Pipeline::commitFromBuffer() {
   ++replay_slots_;
@@ -152,7 +45,7 @@ void Pipeline::advanceToWithProfile(std::uint64_t cycle,
 void Pipeline::setRegReady(std::uint64_t key, std::uint64_t cycle,
                            bool from_load) {
   SPT_CHECK(key != 0);
-  scoreboard_[key] = RegState{cycle, from_load};
+  scoreboardWrite(key, RegState{cycle, from_load});
 }
 
 void Pipeline::finish() {

@@ -6,15 +6,25 @@
 // mispredictions. Every cycle the pipeline clock advances is attributed to
 // one of three categories — execution, pipeline stall, or D-cache stall —
 // which is exactly the breakdown paper Figure 9 reports.
+//
+// Memory growth: the register scoreboard is a flat open-addressing map
+// keyed by frame-qualified register keys, so a long trace touches an
+// unbounded number of distinct keys. An entry whose value is already
+// available (ready <= current cycle) is indistinguishable from an absent
+// one, and the truly in-flight set is bounded by issue width × the longest
+// latency, so whenever the live set reaches a fixed threshold the
+// scoreboard drops the already-available entries in place — lossless by
+// construction, keeping the table small enough to stay cache-resident
+// instead of growing with trace length.
 #pragma once
 
 #include <cstdint>
 #include <string>
-#include <unordered_map>
 
 #include "ir/instr.h"
 #include "sim/branch_predictor.h"
 #include "sim/cache.h"
+#include "sim/flat_map.h"
 #include "trace/record.h"
 
 namespace spt::sim {
@@ -33,7 +43,19 @@ struct CycleBreakdown {
   std::uint64_t total() const {
     return execution + pipeline_stall + dcache_stall;
   }
-  void add(StallKind kind, std::uint64_t cycles);
+  void add(StallKind kind, std::uint64_t cycles) {
+    switch (kind) {
+      case StallKind::kExecution:
+        execution += cycles;
+        break;
+      case StallKind::kPipeline:
+        pipeline_stall += cycles;
+        break;
+      case StallKind::kDCache:
+        dcache_stall += cycles;
+        break;
+    }
+  }
 };
 
 /// One dynamic instruction prepared for timing simulation.
@@ -41,8 +63,10 @@ struct ExecInstr {
   ir::StaticId sid = ir::kInvalidStaticId;
   ir::Opcode op = ir::Opcode::kNop;
   std::uint32_t base_latency = 1;
-  /// Frame-qualified source register keys (see Pipeline::regKey); 0 = none.
+  /// Frame-qualified source register keys (see Pipeline::regKey); the first
+  /// `src_count` entries are set, the rest are 0.
   std::uint64_t srcs[4] = {0, 0, 0, 0};
+  std::uint32_t src_count = 0;
   std::uint64_t dst = 0;
   bool is_load = false;
   bool is_store = false;
@@ -61,7 +85,61 @@ class Pipeline {
   }
 
   /// Issues one instruction; returns the cycle its result is available.
-  std::uint64_t execute(const ExecInstr& instr);
+  /// Inline: this is the per-record core of both machines, and keeping it
+  /// (and the cache model it calls) visible to the caller's translation
+  /// unit is worth measurable host throughput (docs/PERF.md).
+  std::uint64_t execute(const ExecInstr& instr) {
+    // Instruction fetch. Instructions occupy 16 synthetic bytes each; an
+    // L1I miss stalls the front end for the extra fill latency.
+    const std::uint64_t iaddr = static_cast<std::uint64_t>(instr.sid) * 16;
+    const std::uint32_t ifetch = memory_.accessInstr(iaddr, cycle_);
+    if (ifetch > config_.l1i.latency_cycles) {
+      bumpCycleTo(cycle_ + (ifetch - config_.l1i.latency_cycles),
+                  StallKind::kPipeline);
+    }
+
+    // Operand readiness.
+    const RegState latest = sourceState(instr);
+    if (latest.ready > cycle_) {
+      bumpCycleTo(latest.ready,
+                  latest.from_load ? StallKind::kDCache : StallKind::kPipeline);
+    }
+
+    // Issue.
+    const std::uint64_t issue_cycle = cycle_;
+    cycle_had_issue_ = true;
+    ++instrs_issued_;
+    ++slots_;
+    if (slots_ >= config_.issue_width) {
+      breakdown_.add(StallKind::kExecution, 1);
+      ++cycle_;
+      slots_ = 0;
+      replay_slots_ = 0;
+      cycle_had_issue_ = false;
+    }
+
+    // Result latency.
+    std::uint64_t done = issue_cycle + instr.base_latency;
+    if (instr.is_load || instr.is_store) {
+      const std::uint32_t dlat =
+          memory_.accessData(instr.mem_addr, issue_cycle);
+      if (instr.is_load) done = issue_cycle + dlat;
+      // Stores retire through the store buffer without stalling the pipe.
+    }
+    if (instr.dst != 0) {
+      scoreboardWrite(instr.dst, RegState{done, instr.is_load});
+    }
+
+    // Branch resolution.
+    if (instr.is_cond_branch) {
+      const bool correct = predictor_.predictAndUpdate(instr.taken);
+      if (!correct) {
+        bumpCycleTo(issue_cycle + 1 + config_.branch_mispredict_penalty,
+                    StallKind::kPipeline);
+      }
+    }
+    return done;
+  }
 
   /// Consumes one replay-commit slot (replay width entries retire per
   /// cycle during SRB replay, paper Section 3.1).
@@ -96,9 +174,41 @@ class Pipeline {
     bool from_load = false;
   };
 
-  void bumpCycleTo(std::uint64_t cycle, StallKind kind);
-  RegState sourceState(const ExecInstr& instr) const;
-  void maybePurgeScoreboard();
+  void bumpCycleTo(std::uint64_t cycle, StallKind kind) {
+    if (cycle <= cycle_) return;
+    std::uint64_t gap = cycle - cycle_;
+    if (cycle_had_issue_) {
+      // The partially-filled current cycle counts as execution, the rest of
+      // the gap as the given stall kind.
+      breakdown_.add(StallKind::kExecution, 1);
+      cycle_had_issue_ = false;
+      --gap;
+    }
+    breakdown_.add(kind, gap);
+    cycle_ = cycle;
+    slots_ = 0;
+    replay_slots_ = 0;
+  }
+
+  RegState sourceState(const ExecInstr& instr) const {
+    RegState latest;
+    for (std::uint32_t i = 0; i < instr.src_count; ++i) {
+      const RegState* state = scoreboard_.find(instr.srcs[i]);
+      if (state != nullptr && state->ready > latest.ready) latest = *state;
+    }
+    return latest;
+  }
+
+  void scoreboardWrite(std::uint64_t key, RegState state) {
+    if (scoreboard_.size() >= 4096) {
+      // Entries whose value is already available behave exactly like absent
+      // entries, so dropping them is lossless; the genuinely in-flight set
+      // is tiny (see the header's memory-growth note).
+      scoreboard_.purge(
+          [cycle = cycle_](const RegState& s) { return s.ready > cycle; });
+    }
+    scoreboard_[key] = state;
+  }
 
   const support::MachineConfig& config_;
   MemorySystem& memory_;
@@ -110,7 +220,7 @@ class Pipeline {
   bool cycle_had_issue_ = false;
   std::uint64_t instrs_issued_ = 0;
   CycleBreakdown breakdown_;
-  std::unordered_map<std::uint64_t, RegState> scoreboard_;
+  FlatMap64<RegState> scoreboard_;
 };
 
 }  // namespace spt::sim

@@ -86,11 +86,48 @@ SptMachine::SptMachine(const ir::Module& module,
       trace_(trace),
       loop_index_(loop_index),
       config_(config),
+      decode_(module),
       memory_(std::make_unique<MemorySystem>(config)),
       main_pipe_(std::make_unique<Pipeline>(config, *memory_)),
       spec_pipe_(std::make_unique<Pipeline>(config, *memory_)),
       arch_(module),
-      loop_tracker_(module) {}
+      loop_tracker_(module) {
+  // The SSB/LAB hold at most the configured number of distinct addresses
+  // (capacity stalls enforce it), so size them once and never rehash.
+  spec_.ssb.reserveFor(config.speculative_store_buffer_entries);
+  spec_.lab.reserveFor(config.load_address_buffer_entries);
+}
+
+void SptMachine::SpecThread::reset() {
+  active = false;
+  wrong_path = false;
+  stalled = false;
+  start_pos = 0;
+  pos = 0;
+  fork_frame = 0;
+  rf.reset();
+  ssb.clear();
+  lab.clear();
+  lab_pool_used = 0;
+  for (const std::uint32_t reg : livein_touched) livein_reads[reg].clear();
+  livein_touched.clear();
+  srb.clear();
+  call_stack.clear();
+  halloc_at_fork = 0;
+  breakdown_at_fork = CycleBreakdown{};
+  loop_name.clear();
+}
+
+std::vector<std::size_t>& SptMachine::SpecThread::labList(
+    std::uint64_t addr) {
+  std::uint32_t& slot = lab[addr];
+  if (slot == 0) {
+    if (lab_pool_used == lab_pool.size()) lab_pool.emplace_back();
+    lab_pool[lab_pool_used].clear();
+    slot = static_cast<std::uint32_t>(++lab_pool_used);
+  }
+  return lab_pool[slot - 1];
+}
 
 ThreadStats& SptMachine::loopThreadStats() {
   return result_.loop_threads[spec_.loop_name];
@@ -108,19 +145,20 @@ CycleBreakdown SptMachine::specProfileSinceFork() const {
 
 std::int64_t SptMachine::specPeekReg(trace::FrameId frame,
                                      ir::Reg reg) const {
-  const auto it = spec_.rf.find(Pipeline::regKey(frame, reg));
-  if (it != spec_.rf.end()) return it->second;
+  const std::int64_t* v = spec_.rf.find(frame, reg.index);
+  if (v != nullptr) return *v;
   if (frame == spec_.fork_frame) return spec_.fork_rf[reg.index];
   return 0;
 }
 
 std::int64_t SptMachine::specReadReg(trace::FrameId frame, ir::Reg reg) {
-  const std::uint64_t key = Pipeline::regKey(frame, reg);
-  const auto it = spec_.rf.find(key);
-  if (it != spec_.rf.end()) return it->second;
+  const std::int64_t* v = spec_.rf.find(frame, reg.index);
+  if (v != nullptr) return *v;
   if (frame == spec_.fork_frame) {
     // Live-in read from the fork-time register context.
-    spec_.livein_reads[reg.index].push_back(spec_.srb.size());
+    std::vector<std::size_t>& reads = spec_.livein_reads[reg.index];
+    if (reads.empty()) spec_.livein_touched.push_back(reg.index);
+    reads.push_back(spec_.srb.size());
     return spec_.fork_rf[reg.index];
   }
   // Registers of frames created during speculation are zero-initialized,
@@ -130,7 +168,7 @@ std::int64_t SptMachine::specReadReg(trace::FrameId frame, ir::Reg reg) {
 
 void SptMachine::specWriteReg(trace::FrameId frame, ir::Reg reg,
                               std::int64_t value) {
-  spec_.rf[Pipeline::regKey(frame, reg)] = value;
+  spec_.rf.at(frame, reg.index) = value;
 }
 
 bool SptMachine::specCanStep() const {
@@ -188,16 +226,21 @@ void SptMachine::stepMain() {
 }
 
 void SptMachine::executeFork(const trace::Record& r) {
+  const DecodedInstr& d = decode_[r.sid];
   // The fork instruction itself plus the register-context copy (Table 1:
   // 1 cycle minimum — the copy is assumed banked/bulk, not port-limited;
   // our virtual-register IR would otherwise overcharge it).
-  main_pipe_->execute(makeExecInstr(module_, r));
+  main_pipe_->execute(makeExecInstr(d, r));
   main_pipe_->advanceTo(main_pipe_->cycle() + config_.rf_copy_overhead,
                         StallKind::kPipeline);
-  arch_.apply(r);
+  arch_.apply(r, *d.instr);
 
   if (spec_.active) {
+    // The fork is dropped because the speculative core is busy; attribute
+    // it to the loop whose thread is occupying the core so per-loop and
+    // whole-program fork counts stay consistent.
     ++result_.threads.forks_ignored;
+    ++loopThreadStats().forks_ignored;
     return;
   }
 
@@ -210,12 +253,11 @@ void SptMachine::executeFork(const trace::Record& r) {
   const ir::StaticId header_sid =
       func.blocks[fork.target0].instrs.front().static_id;
 
-  spec_ = SpecThread{};
+  spec_.reset();
   spec_.active = true;
   spec_.loop_name = trace::loopNameOf(module_, header_sid);
   spec_.halloc_at_fork = arch_.hallocCount();
   spec_.breakdown_at_fork = spec_pipe_->breakdown();
-  main_written_.clear();
 
   ThreadStats& ts = loopThreadStats();
   ++result_.threads.spawned;
@@ -237,29 +279,34 @@ void SptMachine::executeFork(const trace::Record& r) {
                                                               : start + 1;
   spec_.fork_frame = arch_.curFrame();
   spec_.fork_rf = arch_.topRegs();
+  if (spec_.livein_reads.size() < spec_.fork_rf.size()) {
+    spec_.livein_reads.resize(spec_.fork_rf.size());
+  }
+  main_written_.assign(spec_.fork_rf.size(), 0);
   spec_pipe_->advanceTo(main_pipe_->cycle(), StallKind::kPipeline);
 }
 
 void SptMachine::executeMainInstr(const trace::Record& r) {
-  const ir::Instr& instr = module_.instrAt(r.sid);
+  const DecodedInstr& d = decode_[r.sid];
+  const ir::Instr& instr = *d.instr;
 
-  if (instr.op == ir::Opcode::kSptKill) {
-    main_pipe_->execute(makeExecInstr(module_, r));
-    arch_.apply(r);
+  if (d.op == ir::Opcode::kSptKill) {
+    main_pipe_->execute(makeExecInstr(d, r));
+    arch_.apply(r, instr);
     if (spec_.active) killSpec();
     return;
   }
 
-  const ExecInstr e = makeExecInstr(module_, r);
+  const ExecInstr e = makeExecInstr(d, r);
   const std::uint64_t done = main_pipe_->execute(e);
-  const ApplyInfo info = arch_.apply(r);
+  const ApplyInfo info = arch_.apply(r, instr);
 
-  if (instr.op == ir::Opcode::kCall) {
+  if (d.op == ir::Opcode::kCall) {
     for (std::uint32_t p = 0; p < info.callee_params; ++p) {
       main_pipe_->setRegReady(Pipeline::regKey(info.callee_frame, ir::Reg{p}),
                               done, false);
     }
-  } else if (instr.op == ir::Opcode::kRet && info.caller_dst.valid()) {
+  } else if (d.op == ir::Opcode::kRet && info.caller_dst.valid()) {
     main_pipe_->setRegReady(
         Pipeline::regKey(info.caller_frame, info.caller_dst), done, false);
   }
@@ -268,10 +315,10 @@ void SptMachine::executeMainInstr(const trace::Record& r) {
 
   // Memory dependence checking: every main store is checked against the
   // speculative load address buffer (paper Section 3.2).
-  if (instr.op == ir::Opcode::kStore) {
-    const auto it = spec_.lab.find(r.mem_addr);
-    if (it != spec_.lab.end()) {
-      for (const std::size_t idx : it->second) {
+  if (d.is_store) {
+    const std::uint32_t* slot = spec_.lab.find(r.mem_addr);
+    if (slot != nullptr) {
+      for (const std::size_t idx : spec_.lab_pool[*slot - 1]) {
         spec_.srb[idx].violated = true;
       }
     }
@@ -280,7 +327,7 @@ void SptMachine::executeMainInstr(const trace::Record& r) {
   // Register tracking for the scoreboard checking mode.
   if (r.frame == spec_.fork_frame && instr.dst.valid() &&
       ir::producesValue(instr.op)) {
-    main_written_.insert(instr.dst.index);
+    main_written_[instr.dst.index] = 1;
   }
 }
 
@@ -291,7 +338,8 @@ void SptMachine::stepSpec() {
     return;
   }
 
-  const ir::Instr& instr = module_.instrAt(r.sid);
+  const DecodedInstr& d = decode_[r.sid];
+  const ir::Instr& instr = *d.instr;
   SrbEntry entry;
   entry.record_index = spec_.pos;
 
@@ -304,7 +352,7 @@ void SptMachine::stepSpec() {
   // be needed. Addresses are computed with specPeekReg (no live-in read is
   // recorded): a stalled instruction never executes speculatively, so it
   // must not leave a dangling SRB reference behind.
-  if (instr.op == ir::Opcode::kStore) {
+  if (d.is_store) {
     const std::uint64_t addr = static_cast<std::uint64_t>(
         specPeekReg(r.frame, instr.a) + instr.imm);
     if (!spec_.ssb.contains(addr) &&
@@ -313,7 +361,7 @@ void SptMachine::stepSpec() {
       return;
     }
   }
-  if (instr.op == ir::Opcode::kLoad) {
+  if (d.is_load) {
     const std::uint64_t addr = static_cast<std::uint64_t>(
         specPeekReg(r.frame, instr.a) + instr.imm);
     if (!spec_.ssb.contains(addr) && !spec_.lab.contains(addr) &&
@@ -342,12 +390,12 @@ void SptMachine::stepSpec() {
           static_cast<std::uint64_t>(base + instr.imm);
       entry.emu_addr = addr;
       mem_addr_override = addr;
-      const auto hit = spec_.ssb.find(addr);
-      if (hit != spec_.ssb.end()) {
-        entry.emu_value = hit->second.first;
+      const SsbEntry* hit = spec_.ssb.find(addr);
+      if (hit != nullptr) {
+        entry.emu_value = hit->value;
         ssb_forwarded = true;  // forwarded from the SSB: no cache access
       } else {
-        spec_.lab[addr].push_back(spec_.srb.size());
+        spec_.labList(addr).push_back(spec_.srb.size());
         entry.emu_value = addr == r.mem_addr
                               ? arch_.memValue(addr, r.value)
                               : arch_.memValue(addr, 0);
@@ -363,7 +411,7 @@ void SptMachine::stepSpec() {
       entry.emu_addr = addr;
       entry.emu_value = value;
       mem_addr_override = addr;
-      spec_.ssb[addr] = {value, spec_.srb.size()};
+      spec_.ssb[addr] = SsbEntry{value, spec_.srb.size()};
       break;
     }
     case ir::Opcode::kBr:
@@ -433,7 +481,7 @@ void SptMachine::stepSpec() {
     }
   }
 
-  ExecInstr e = makeExecInstr(module_, r, mem_addr_override);
+  ExecInstr e = makeExecInstr(d, r, mem_addr_override);
   // Speculative stores stay in the SSB; they only reach the shared cache
   // at commit time. Loads satisfied by the SSB are forwarded without a
   // cache access.
@@ -449,17 +497,18 @@ void SptMachine::arrival() {
   SPT_CHECK(arch_.curFrame() == spec_.fork_frame);
   ThreadStats& ts = loopThreadStats();
 
-  // Register dependence check (paper Section 3.2).
+  // Register dependence check (paper Section 3.2). Flag setting is
+  // idempotent, so the iteration order over live-in registers is free.
   const std::vector<std::int64_t>& now = arch_.topRegs();
-  for (const auto& [reg, indices] : spec_.livein_reads) {
+  for (const std::uint32_t reg : spec_.livein_touched) {
     bool violated;
     if (config_.register_check == support::RegisterCheckMode::kValueBased) {
       violated = now[reg] != spec_.fork_rf[reg];
     } else {
-      violated = main_written_.contains(reg);
+      violated = main_written_[reg] != 0;
     }
     if (violated) {
-      for (const std::size_t idx : indices) {
+      for (const std::size_t idx : spec_.livein_reads[reg]) {
         spec_.srb[idx].input_violated = true;
       }
     }
@@ -472,7 +521,6 @@ void SptMachine::arrival() {
       break;
     }
   }
-
   result_.threads.spec_instrs += spec_.srb.size();
   ts.spec_instrs += spec_.srb.size();
 
@@ -524,9 +572,10 @@ void SptMachine::fastCommit() {
       loop_tracker_.onMarker(r, main_pipe_->cycle());
       continue;
     }
-    const ApplyInfo info = arch_.apply(r);
-    const ir::Instr& instr = module_.instrAt(r.sid);
-    if (instr.op == ir::Opcode::kStore) {
+    const DecodedInstr& d = decode_[r.sid];
+    const ir::Instr& instr = *d.instr;
+    const ApplyInfo info = arch_.apply(r, instr);
+    if (d.is_store) {
       // Outstanding speculative stores write back at commit.
       memory_->accessData(r.mem_addr, main_pipe_->cycle());
     }
@@ -556,8 +605,8 @@ void SptMachine::replayCommit() {
   ++ts.replays;
   syncToFreezePoint();
 
-  std::unordered_set<std::uint64_t> dirty_regs;
-  std::unordered_set<std::uint64_t> dirty_addrs;
+  replay_dirty_regs_.reset();
+  replay_dirty_addrs_.clear();
   const bool value_based =
       config_.register_check == support::RegisterCheckMode::kValueBased;
 
@@ -574,13 +623,14 @@ void SptMachine::replayCommit() {
     }
     SrbEntry& e = spec_.srb[srb_i++];
     SPT_CHECK(e.record_index == rec_i);
-    const ir::Instr& instr = module_.instrAt(r.sid);
+    const DecodedInstr& d = decode_[r.sid];
+    const ir::Instr& instr = *d.instr;
 
     bool dirty = e.violated || e.input_violated;
     if (!dirty) {
       const auto srcDirty = [&](ir::Reg reg) {
         return reg.valid() &&
-               dirty_regs.contains(Pipeline::regKey(r.frame, reg));
+               replay_dirty_regs_.find(r.frame, reg.index) != nullptr;
       };
       dirty = srcDirty(instr.a) || srcDirty(instr.b);
       if (!dirty) {
@@ -591,49 +641,47 @@ void SptMachine::replayCommit() {
           }
         }
       }
-      if (!dirty && instr.op == ir::Opcode::kLoad) {
-        dirty = dirty_addrs.contains(e.emu_addr) ||
-                dirty_addrs.contains(r.mem_addr);
+      if (!dirty && d.is_load) {
+        dirty = replay_dirty_addrs_.contains(e.emu_addr) ||
+                replay_dirty_addrs_.contains(r.mem_addr);
       }
     }
 
-    const ApplyInfo info = arch_.apply(r);
+    const ApplyInfo info = arch_.apply(r, instr);
 
     if (dirty) {
       // Selective re-execution on the main pipeline (normal width).
-      const std::uint64_t done =
-          main_pipe_->execute(makeExecInstr(module_, r));
+      const std::uint64_t done = main_pipe_->execute(makeExecInstr(d, r));
       ++result_.threads.misspec_instrs;
       ++ts.misspec_instrs;
 
       const bool value_changed =
           e.emu_value != r.value ||
-          (instr.op == ir::Opcode::kStore && e.emu_addr != r.mem_addr) ||
+          (d.is_store && e.emu_addr != r.mem_addr) ||
           e.branch_mismatch;
       if (!value_based || value_changed) {
         if (instr.dst.valid() && ir::producesValue(instr.op)) {
-          dirty_regs.insert(Pipeline::regKey(r.frame, instr.dst));
+          replay_dirty_regs_.at(r.frame, instr.dst.index) = 1;
         }
-        if (instr.op == ir::Opcode::kStore) {
-          dirty_addrs.insert(e.emu_addr);
-          dirty_addrs.insert(r.mem_addr);
+        if (d.is_store) {
+          replay_dirty_addrs_[e.emu_addr] = 1;
+          replay_dirty_addrs_[r.mem_addr] = 1;
         }
-        if (instr.op == ir::Opcode::kCall) {
+        if (d.op == ir::Opcode::kCall) {
           for (std::uint32_t p = 0; p < info.callee_params; ++p) {
-            dirty_regs.insert(Pipeline::regKey(info.callee_frame, ir::Reg{p}));
+            replay_dirty_regs_.at(info.callee_frame, p) = 1;
           }
         }
-        if (instr.op == ir::Opcode::kRet && info.caller_dst.valid()) {
-          dirty_regs.insert(
-              Pipeline::regKey(info.caller_frame, info.caller_dst));
+        if (d.op == ir::Opcode::kRet && info.caller_dst.valid()) {
+          replay_dirty_regs_.at(info.caller_frame, info.caller_dst.index) = 1;
         }
       }
-      if (instr.op == ir::Opcode::kCall) {
+      if (d.op == ir::Opcode::kCall) {
         for (std::uint32_t p = 0; p < info.callee_params; ++p) {
           main_pipe_->setRegReady(
               Pipeline::regKey(info.callee_frame, ir::Reg{p}), done, false);
         }
-      } else if (instr.op == ir::Opcode::kRet && info.caller_dst.valid()) {
+      } else if (d.op == ir::Opcode::kRet && info.caller_dst.valid()) {
         main_pipe_->setRegReady(
             Pipeline::regKey(info.caller_frame, info.caller_dst), done,
             false);
@@ -650,7 +698,7 @@ void SptMachine::replayCommit() {
         main_pipe_->setRegReady(Pipeline::regKey(r.frame, instr.dst),
                                 main_pipe_->cycle(), false);
       }
-      if (instr.op == ir::Opcode::kStore) {
+      if (d.is_store) {
         memory_->accessData(r.mem_addr, main_pipe_->cycle());
       }
       ++result_.threads.committed_instrs;

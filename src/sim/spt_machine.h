@@ -25,13 +25,14 @@
 #pragma once
 
 #include <memory>
-#include <unordered_map>
-#include <unordered_set>
+#include <string>
 #include <vector>
 
 #include "ir/module.h"
 #include "sim/arch_state.h"
 #include "sim/baseline.h"
+#include "sim/decode.h"
+#include "sim/flat_map.h"
 #include "sim/loop_tracker.h"
 #include "sim/result.h"
 #include "support/machine_config.h"
@@ -62,6 +63,14 @@ class SptMachine {
     ir::Reg dst;
   };
 
+  struct SsbEntry {
+    std::int64_t value = 0;
+    std::size_t srb_index = 0;  // producing store's SRB entry
+  };
+
+  /// Per-thread speculative state. The containers are persistent across
+  /// threads (reset() is O(1) epoch bumps plus clearing the touched lists)
+  /// so per-fork setup does not rehash or free anything.
   struct SpecThread {
     bool active = false;
     bool wrong_path = false;
@@ -70,16 +79,24 @@ class SptMachine {
     std::size_t pos = 0;
     trace::FrameId fork_frame = 0;
     std::vector<std::int64_t> fork_rf;
-    std::unordered_map<std::uint64_t, std::int64_t> rf;  // emulated overlay
-    std::unordered_map<std::uint64_t, std::pair<std::int64_t, std::size_t>>
-        ssb;  // addr -> (value, producing SRB index)
-    std::unordered_map<std::uint64_t, std::vector<std::size_t>> lab;
-    std::unordered_map<std::uint32_t, std::vector<std::size_t>> livein_reads;
+    FrameRegMap<std::int64_t> rf;  // emulated overlay
+    EpochMap64<SsbEntry> ssb;      // addr -> latest speculative store
+    // LAB: addr -> SRB indices of the speculative loads from it. The lists
+    // live in a recycled pool; the map stores pool slot + 1 (0 = fresh key).
+    EpochMap64<std::uint32_t> lab;
+    std::vector<std::vector<std::size_t>> lab_pool;
+    std::size_t lab_pool_used = 0;
+    // Live-in reads from the fork-time context, dense by register index.
+    std::vector<std::vector<std::size_t>> livein_reads;
+    std::vector<std::uint32_t> livein_touched;
     std::vector<SrbEntry> srb;
     std::vector<CallCtx> call_stack;
     std::uint64_t halloc_at_fork = 0;
     CycleBreakdown breakdown_at_fork;
     std::string loop_name;
+
+    void reset();
+    std::vector<std::size_t>& labList(std::uint64_t addr);
   };
 
   void stepMain();
@@ -109,6 +126,7 @@ class SptMachine {
   const trace::TraceBuffer& trace_;
   const trace::LoopIndex& loop_index_;
   const support::MachineConfig& config_;
+  DecodeTable decode_;
 
   std::unique_ptr<MemorySystem> memory_;
   std::unique_ptr<Pipeline> main_pipe_;
@@ -118,7 +136,10 @@ class SptMachine {
 
   std::size_t pos_ = 0;  // main thread's next record
   SpecThread spec_;
-  std::unordered_set<std::uint32_t> main_written_;  // fork-frame regs
+  std::vector<char> main_written_;  // fork-frame regs, dense by index
+  // Replay scratch (persistent; epoch-reset at each replayCommit).
+  FrameRegMap<char> replay_dirty_regs_;
+  EpochMap64<char> replay_dirty_addrs_;
   MachineResult result_;
 };
 

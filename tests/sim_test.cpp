@@ -106,7 +106,10 @@ ExecInstr simpleOp(StaticId sid, std::uint64_t dst, std::uint64_t src = 0,
   e.op = Opcode::kAdd;
   e.base_latency = latency;
   e.dst = dst;
-  if (src != 0) e.srcs[0] = src;
+  if (src != 0) {
+    e.srcs[0] = src;
+    e.src_count = 1;
+  }
   return e;
 }
 
@@ -586,6 +589,57 @@ TEST(SptMachine, WrongPathForkIsKilledByKillInstr) {
   const MachineResult r = runSpt(t, MachineConfig{});
   EXPECT_GE(r.threads.wrong_path, 1u);
   EXPECT_GE(r.threads.killed, 1u);
+}
+
+TEST(SptMachine, IgnoredForksAttributedToActiveLoopStats) {
+  // Two forks per iteration: the first spawns a speculative thread, the
+  // second always finds the speculative core busy and must be ignored.
+  // Regression: ignored forks used to bump the whole-program counter but
+  // not the active loop's ThreadStats, so the per-loop view disagreed
+  // with the global one.
+  Module m("t");
+  const FuncId f = m.addFunction("main", 0);
+  IrBuilder b(m, f);
+  const BlockId entry = b.createBlock("entry");
+  const BlockId head = b.createBlock("twin_fork_loop");
+  const BlockId body = b.createBlock("body");
+  const BlockId ex = b.createBlock("exit");
+  const Reg i = b.func().newReg();
+  const Reg nr = b.func().newReg();
+  b.setInsertPoint(entry);
+  b.constTo(i, 0);
+  b.constTo(nr, 50);
+  b.br(head);
+  b.setInsertPoint(head);
+  const Reg c = b.cmpLt(i, nr);
+  b.condBr(c, body, ex);
+  b.setInsertPoint(body);
+  const Reg one = b.iconst(1);
+  b.movTo(i, b.add(i, one));
+  b.sptFork(head);
+  b.sptFork(head);
+  b.br(head);
+  b.setInsertPoint(ex);
+  b.sptKill();
+  b.ret(i);
+  m.setMainFunc(f);
+
+  Traced t;
+  t.module = std::move(m);
+  traceModule(t);
+  const MachineResult r = runSpt(t, MachineConfig{});
+  EXPECT_GT(r.threads.forks_ignored, 0u);
+  ASSERT_TRUE(r.loop_threads.contains("main.twin_fork_loop"));
+  EXPECT_EQ(r.loop_threads.at("main.twin_fork_loop").forks_ignored,
+            r.threads.forks_ignored);
+  // Every per-thread counter must aggregate to the whole-program stats.
+  ThreadStats agg;
+  for (const auto& [name, ts] : r.loop_threads) agg.accumulate(ts);
+  EXPECT_EQ(agg.forks_ignored, r.threads.forks_ignored);
+  EXPECT_EQ(agg.spawned, r.threads.spawned);
+  EXPECT_EQ(agg.fast_commits, r.threads.fast_commits);
+  EXPECT_EQ(agg.replays, r.threads.replays);
+  EXPECT_EQ(agg.killed, r.threads.killed);
 }
 
 TEST(SptMachine, SemanticsUnaffectedByConfig) {

@@ -15,11 +15,20 @@
 //       worker threads (harness::ParallelSweep), and print the per-
 //       benchmark speedup table. Results are identical at any --jobs
 //       value.
+//   sptc perf [options]
+//       Measure the simulator's own host throughput (simulated MIPS per
+//       workload, docs/PERF.md) and write BENCH_sim_throughput.json.
 //
-// Options for sweep:
+// Options for sweep/perf:
 //   --jobs N           parallel experiment workers (default: SPT_JOBS env
-//                      or hardware concurrency)
+//                      or hardware concurrency); perf parallelizes only
+//                      the setup phase, the timed runs are serial
 //   --json PATH        also write machine-readable results JSON
+//                      (perf default: BENCH_sim_throughput.json)
+//
+// Options for perf:
+//   --reps N           timed repetitions per machine, fastest wins
+//                      (default 3)
 //
 // Options for run/compile/sweep:
 //   --scale N          workload input scale (default 1)
@@ -36,6 +45,7 @@
 #include <sstream>
 
 #include "harness/parallel_sweep.h"
+#include "harness/perf.h"
 #include "harness/suite.h"
 #include "ir/parser.h"
 #include "ir/printer.h"
@@ -49,7 +59,8 @@ using namespace spt;
 
 int usage() {
   std::cerr
-      << "usage: sptc <list|run|compile|parse|sweep> [target] [options]\n"
+      << "usage: sptc <list|run|compile|parse|sweep|perf> [target] "
+         "[options]\n"
          "       see the header of tools/sptc.cpp for details\n";
   return 2;
 }
@@ -102,8 +113,9 @@ struct Options {
   support::MachineConfig machine;
   compiler::CompilerOptions copts;
   bool print_ir = false;
-  std::size_t jobs = 0;   // sweep: 0 = ParallelSweep default
+  std::size_t jobs = 0;   // sweep/perf: 0 = ParallelSweep default
   std::string json_path;  // sweep: empty = no JSON output
+  int reps = 3;           // perf: timed repetitions per machine
   bool ok = true;
 };
 
@@ -165,6 +177,9 @@ Options parseOptions(int argc, char** argv, int first) {
           std::strtoull(need_value(i), nullptr, 10));
     } else if (arg == "--json") {
       o.json_path = need_value(i);
+    } else if (arg == "--reps") {
+      o.reps = std::max(
+          1, static_cast<int>(std::strtol(need_value(i), nullptr, 10)));
     } else {
       std::cerr << "sptc: unknown option '" << arg << "'\n";
       o.ok = false;
@@ -290,6 +305,26 @@ int cmdSweep(const Options& options) {
   return 0;
 }
 
+int cmdPerf(const Options& options) {
+  harness::PerfOptions perf;
+  perf.scale = options.scale;
+  perf.repetitions = options.reps;
+  perf.setup_jobs = options.jobs;
+  perf.machine = options.machine;
+  perf.copts = options.copts;
+  const auto rows = harness::runSimThroughput(perf);
+  harness::printSimThroughputTable(std::cout, rows);
+  const std::string path = options.json_path.empty()
+                               ? "BENCH_sim_throughput.json"
+                               : options.json_path;
+  if (!harness::writeSimThroughputJson(path, rows)) {
+    std::cerr << "sptc: could not write " << path << "\n";
+    return 1;
+  }
+  std::cout << "results: " << path << " (" << rows.size() << " rows)\n";
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -300,6 +335,11 @@ int main(int argc, char** argv) {
     const Options options = parseOptions(argc, argv, 2);
     if (!options.ok) return 2;
     return cmdSweep(options);
+  }
+  if (cmd == "perf") {
+    const Options options = parseOptions(argc, argv, 2);
+    if (!options.ok) return 2;
+    return cmdPerf(options);
   }
   if (argc < 3) return usage();
   const std::string target = argv[2];
