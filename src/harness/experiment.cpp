@@ -16,13 +16,16 @@ profile::ProfileData InterpProfileRunner::run(
   return profiler.take();
 }
 
-TracedRun traceProgram(ir::Module& module, std::vector<std::int64_t> args) {
+TracedRun traceProgram(ir::Module& module, std::vector<std::int64_t> args,
+                       std::uint64_t max_records) {
   if (!module.finalized()) module.finalize();
   TracedRun out;
   interp::ProgramContext ctx(module);
   interp::Memory memory;
   interp::Interpreter interp(ctx, memory, out.trace);
-  out.result = interp.runMain(args);
+  interp::RunLimits limits;
+  if (max_records != 0) limits.max_instrs = max_records;
+  out.result = interp.runMain(args, limits);
   return out;
 }
 
@@ -42,8 +45,8 @@ ExperimentResult runSptExperiment(ir::Module module,
   result.plan = cc.compile(module, runner);
 
   // Sequential semantics must be preserved by the transformation.
-  TracedRun base_run = traceProgram(baseline, args);
-  TracedRun spt_run = traceProgram(module, args);
+  TracedRun base_run = traceProgram(baseline, args, mconfig.max_trace_records);
+  TracedRun spt_run = traceProgram(module, args, mconfig.max_trace_records);
   result.baseline_run = base_run.result;
   result.spt_run = spt_run.result;
   SPT_CHECK_MSG(

@@ -38,9 +38,11 @@ struct TracedRun {
 };
 
 /// Interprets `module`'s main function, collecting the full trace.
-/// Finalizes the module first if needed.
+/// Finalizes the module first if needed. A non-zero `max_records` caps the
+/// interpreted instruction count (support::SptBudgetExceeded past it).
 TracedRun traceProgram(ir::Module& module,
-                       std::vector<std::int64_t> args = {});
+                       std::vector<std::int64_t> args = {},
+                       std::uint64_t max_records = 0);
 
 struct ExperimentResult {
   compiler::SptPlan plan;

@@ -1,0 +1,126 @@
+#include "harness/fault_campaign.h"
+
+#include <fstream>
+#include <memory>
+#include <utility>
+
+#include "harness/suite.h"
+#include "sim/oracle.h"
+#include "sim/spt_machine.h"
+#include "support/json.h"
+#include "support/rng.h"
+
+namespace spt::harness {
+namespace {
+
+/// A workload compiled and traced once, shared (immutably) by every fault
+/// seed's cell. The module lives behind a unique_ptr because LoopIndex
+/// keeps a reference to it and Prepared objects are moved into place.
+struct Prepared {
+  std::string name;
+  std::unique_ptr<ir::Module> module;
+  trace::TraceBuffer trace;
+  std::unique_ptr<trace::LoopIndex> index;
+  std::uint64_t sequential_digest = 0;
+};
+
+}  // namespace
+
+FaultCampaignResult runFaultCampaign(const FaultCampaignOptions& opts) {
+  const std::vector<SuiteEntry> suite = defaultSuite();
+  const ParallelSweep sweep(opts.jobs);
+
+  // Phase 1: compile + trace each workload once, in parallel.
+  std::vector<Prepared> prepared =
+      sweep.run(suite.size(), [&](std::size_t i) {
+        const SuiteEntry& entry = suite[i];
+        Prepared p;
+        p.name = entry.workload.name;
+        p.module =
+            std::make_unique<ir::Module>(entry.workload.build(opts.scale));
+        compiler::SptCompiler cc(entry.copts);
+        InterpProfileRunner runner;
+        cc.compile(*p.module, runner);
+        TracedRun run = traceProgram(*p.module, {},
+                                     opts.machine.max_trace_records);
+        p.trace = std::move(run.trace);
+        p.index = std::make_unique<trace::LoopIndex>(*p.module, p.trace);
+        p.sequential_digest =
+            sim::Oracle::sequentialDigest(*p.module, p.trace);
+        return p;
+      });
+
+  // Phase 2: the workloads × seeds grid over the shared traces. Cell c's
+  // fault seed depends only on c, so the grid is bit-reproducible at any
+  // worker count.
+  const std::size_t n_cells = prepared.size() * opts.seeds;
+  FaultCampaignResult result;
+  result.cells = sweep.run(n_cells, [&](std::size_t c) {
+    const Prepared& p = prepared[c / opts.seeds];
+    FaultCampaignCell cell;
+    cell.benchmark = p.name;
+    cell.fault_seed = support::deriveSeed(opts.base_seed, c);
+    cell.sequential_digest = p.sequential_digest;
+
+    support::MachineConfig mc = opts.machine;
+    // The campaign's claims need the digest even if the caller asked for
+    // no oracle; deep mode is honored as requested.
+    mc.oracle = opts.oracle == support::OracleMode::kOff
+                    ? support::OracleMode::kDigest
+                    : opts.oracle;
+    mc.fault_plan.enabled = true;
+    mc.fault_plan.seed = cell.fault_seed;
+    mc.fault_plan.period = opts.period;
+
+    sim::SptMachine machine(*p.module, p.trace, *p.index, mc);
+    const sim::MachineResult r = machine.run();
+    cell.faults = r.faults;
+    cell.arch_digest = r.arch_digest;
+    cell.oracle_checks = r.oracle_checks;
+    cell.digest_match = r.arch_digest == p.sequential_digest;
+    return cell;
+  });
+
+  for (const FaultCampaignCell& c : result.cells) {
+    result.totals.accumulate(c.faults);
+  }
+  return result;
+}
+
+bool writeFaultCampaignJson(const std::string& path,
+                            const FaultCampaignResult& result) {
+  std::ofstream out(path);
+  if (!out) return false;
+  support::JsonWriter w(out);
+  w.beginObject();
+  w.key("totals").beginObject();
+  w.member("injected", result.totals.injected);
+  w.member("detected_by_net", result.totals.detected_by_net);
+  w.member("detected_by_oracle", result.totals.detected_by_oracle);
+  w.member("benign", result.totals.benign);
+  w.member("escaped", result.totals.escaped);
+  w.endObject();
+  w.member("all_detected_or_benign", result.allDetectedOrBenign());
+  w.member("all_digests_match", result.allDigestsMatch());
+  w.key("cells").beginArray();
+  for (const FaultCampaignCell& c : result.cells) {
+    w.beginObject();
+    w.member("benchmark", c.benchmark);
+    w.member("fault_seed", c.fault_seed);
+    w.member("injected", c.faults.injected);
+    w.member("detected_by_net", c.faults.detected_by_net);
+    w.member("detected_by_oracle", c.faults.detected_by_oracle);
+    w.member("benign", c.faults.benign);
+    w.member("escaped", c.faults.escaped);
+    w.member("oracle_checks", c.oracle_checks);
+    w.member("arch_digest", c.arch_digest);
+    w.member("digest_match", c.digest_match);
+    w.endObject();
+  }
+  w.endArray();
+  w.endObject();
+  out << "\n";
+  return static_cast<bool>(out);
+}
+
+}  // namespace spt::harness

@@ -1,0 +1,78 @@
+// Fault-injection campaign driver (the robustness evaluation).
+//
+// Sweeps the ten-workload suite under seeded fault injection with the
+// architectural oracle armed, and aggregates the classification of every
+// injected fault. The campaign's claims, asserted by tests and CI:
+//
+//  * every injected fault is detected (by the dependence-checking net or
+//    by the commit-time validation walk) or provably benign — the
+//    `escaped` counter stays zero;
+//  * whatever was injected, the SPT machine's committed architectural
+//    state equals the sequential replay of the same trace (the oracle
+//    stream digest matches sim::Oracle::sequentialDigest);
+//  * the whole campaign is bit-reproducible for a fixed base seed at any
+//    --jobs value: cell c's fault seed is support::deriveSeed(base, c), a
+//    pure function of the cell index.
+//
+// Each workload is compiled and traced once (phase 1, parallel); the
+// workloads × seeds grid then shares those immutable traces (phase 2), so
+// a 10×64 campaign costs ten compilations, not 640.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "harness/parallel_sweep.h"
+#include "sim/result.h"
+#include "support/machine_config.h"
+
+namespace spt::harness {
+
+struct FaultCampaignOptions {
+  std::uint64_t seeds = 8;       // fault seeds per workload
+  std::uint64_t base_seed = 0x5eed;
+  std::size_t jobs = 0;          // 0 = ThreadPool default
+  std::uint64_t scale = 1;
+  std::uint32_t period = 32;     // injector firing period (1/period per site)
+  support::OracleMode oracle = support::OracleMode::kDigest;
+  support::MachineConfig machine;
+};
+
+/// One (workload, fault seed) cell.
+struct FaultCampaignCell {
+  std::string benchmark;
+  std::uint64_t fault_seed = 0;
+  sim::FaultStats faults;
+  std::uint64_t arch_digest = 0;        // machine's oracle stream digest
+  std::uint64_t sequential_digest = 0;  // ground truth for the same trace
+  std::uint64_t oracle_checks = 0;
+  bool digest_match = false;
+};
+
+struct FaultCampaignResult {
+  std::vector<FaultCampaignCell> cells;  // workload-major, seed-minor
+  sim::FaultStats totals;
+
+  bool allDetectedOrBenign() const {
+    return totals.escaped == 0 &&
+           totals.detectedOrBenign() == totals.injected;
+  }
+  bool allDigestsMatch() const {
+    for (const FaultCampaignCell& c : cells) {
+      if (!c.digest_match) return false;
+    }
+    return true;
+  }
+};
+
+/// Runs the campaign over harness::defaultSuite().
+FaultCampaignResult runFaultCampaign(const FaultCampaignOptions& opts = {});
+
+/// {"totals":{...}, "all_detected_or_benign":b, "all_digests_match":b,
+///  "cells":[{benchmark, fault_seed, injected, ..., digest_match}, ...]}.
+/// Returns false on I/O failure.
+bool writeFaultCampaignJson(const std::string& path,
+                            const FaultCampaignResult& result);
+
+}  // namespace spt::harness

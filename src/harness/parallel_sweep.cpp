@@ -1,10 +1,26 @@
 #include "harness/parallel_sweep.h"
 
 #include <fstream>
+#include <mutex>
+#include <sstream>
 
+#include "support/check.h"
+#include "support/error.h"
 #include "support/json.h"
 
 namespace spt::harness {
+
+std::string toString(CellStatus status) {
+  switch (status) {
+    case CellStatus::kOk:
+      return "ok";
+    case CellStatus::kBudgetExceeded:
+      return "budget_exceeded";
+    case CellStatus::kInternalError:
+      return "internal_error";
+  }
+  return "unknown";
+}
 
 std::vector<SweepRow> runSweep(const ParallelSweep& sweep,
                                const std::vector<SweepCase>& cases) {
@@ -14,6 +30,180 @@ std::vector<SweepRow> runSweep(const ParallelSweep& sweep,
     row.benchmark = c.benchmark;
     row.config = c.config;
     row.result = runSuiteEntry(c.entry, c.machine, c.scale);
+    return row;
+  });
+}
+
+namespace {
+
+// Checkpoint side-file format: one tab-separated line per finished cell,
+// `spt-sweep-v1 <status> <benchmark> <config> <20 metrics> <diagnostic>`.
+// Append-only; on resume the last line per (benchmark, config) wins. Only
+// the metrics writeSweepJson emits are stored, so a resumed ok row carries
+// the summary numbers but not the full plan/run payloads.
+constexpr const char* kCheckpointTag = "spt-sweep-v1";
+constexpr std::size_t kCheckpointMetrics = 20;
+
+std::string sanitizeField(std::string s) {
+  for (char& c : s) {
+    if (c == '\t' || c == '\n' || c == '\r') c = ' ';
+  }
+  return s;
+}
+
+std::string cellKey(const std::string& benchmark, const std::string& config) {
+  return sanitizeField(benchmark) + '\t' + sanitizeField(config);
+}
+
+bool statusFromString(const std::string& s, CellStatus& out) {
+  if (s == "ok") {
+    out = CellStatus::kOk;
+  } else if (s == "budget_exceeded") {
+    out = CellStatus::kBudgetExceeded;
+  } else if (s == "internal_error") {
+    out = CellStatus::kInternalError;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+std::string checkpointLine(const SweepRow& r) {
+  const sim::MachineResult& base = r.result.baseline;
+  const sim::MachineResult& spt = r.result.spt;
+  std::ostringstream os;
+  os << kCheckpointTag << '\t' << toString(r.status) << '\t'
+     << sanitizeField(r.benchmark) << '\t' << sanitizeField(r.config);
+  const std::uint64_t metrics[kCheckpointMetrics] = {
+      base.cycles,
+      spt.cycles,
+      base.instrs,
+      spt.instrs,
+      base.breakdown.execution,
+      base.breakdown.pipeline_stall,
+      base.breakdown.dcache_stall,
+      spt.breakdown.execution,
+      spt.breakdown.pipeline_stall,
+      spt.breakdown.dcache_stall,
+      spt.threads.spawned,
+      spt.threads.fast_commits,
+      spt.threads.replays,
+      spt.threads.squashes,
+      spt.threads.killed,
+      spt.threads.spec_instrs,
+      spt.threads.misspec_instrs,
+      spt.threads.committed_instrs,
+      spt.threads.forks_ignored,
+      spt.threads.wrong_path,
+  };
+  for (const std::uint64_t m : metrics) os << '\t' << m;
+  os << '\t' << sanitizeField(r.diagnostic);
+  return os.str();
+}
+
+bool parseCheckpointLine(const std::string& line, SweepRow& out) {
+  std::istringstream is(line);
+  std::string field;
+  const auto next = [&](std::string& dst) {
+    return static_cast<bool>(std::getline(is, dst, '\t'));
+  };
+  if (!next(field) || field != kCheckpointTag) return false;
+  if (!next(field) || !statusFromString(field, out.status)) return false;
+  if (!next(out.benchmark) || !next(out.config)) return false;
+  std::uint64_t metrics[kCheckpointMetrics] = {};
+  for (std::uint64_t& m : metrics) {
+    if (!next(field)) return false;
+    try {
+      m = std::stoull(field);
+    } catch (...) {
+      return false;
+    }
+  }
+  // The diagnostic is the (possibly empty) remainder of the line.
+  std::getline(is, out.diagnostic);
+  sim::MachineResult& base = out.result.baseline;
+  sim::MachineResult& spt = out.result.spt;
+  base.cycles = metrics[0];
+  spt.cycles = metrics[1];
+  base.instrs = metrics[2];
+  spt.instrs = metrics[3];
+  base.breakdown.execution = metrics[4];
+  base.breakdown.pipeline_stall = metrics[5];
+  base.breakdown.dcache_stall = metrics[6];
+  spt.breakdown.execution = metrics[7];
+  spt.breakdown.pipeline_stall = metrics[8];
+  spt.breakdown.dcache_stall = metrics[9];
+  spt.threads.spawned = metrics[10];
+  spt.threads.fast_commits = metrics[11];
+  spt.threads.replays = metrics[12];
+  spt.threads.squashes = metrics[13];
+  spt.threads.killed = metrics[14];
+  spt.threads.spec_instrs = metrics[15];
+  spt.threads.misspec_instrs = metrics[16];
+  spt.threads.committed_instrs = metrics[17];
+  spt.threads.forks_ignored = metrics[18];
+  spt.threads.wrong_path = metrics[19];
+  return true;
+}
+
+}  // namespace
+
+std::vector<SweepRow> runSweep(const ParallelSweep& sweep,
+                               const std::vector<SweepCase>& cases,
+                               const SweepOptions& opts) {
+  std::map<std::string, SweepRow> resumed;
+  if (opts.resume && !opts.checkpoint_path.empty()) {
+    std::ifstream in(opts.checkpoint_path);
+    std::string line;
+    while (std::getline(in, line)) {
+      SweepRow row;
+      if (parseCheckpointLine(line, row)) {
+        resumed[cellKey(row.benchmark, row.config)] = std::move(row);
+      }
+    }
+  }
+
+  // Quarantine runs the whole sweep with SPT_CHECK in throwing mode so a
+  // poisoned cell surfaces as SptInternalError on its own worker instead
+  // of aborting the process. The flag is process-global, so it brackets
+  // the sweep, not each cell.
+  std::optional<support::ScopedCheckThrowMode> throw_mode;
+  if (opts.quarantine) throw_mode.emplace(true);
+
+  std::ofstream checkpoint;
+  std::mutex checkpoint_mu;
+  if (!opts.checkpoint_path.empty()) {
+    checkpoint.open(opts.checkpoint_path, opts.resume
+                                              ? std::ios::out | std::ios::app
+                                              : std::ios::out | std::ios::trunc);
+  }
+
+  return sweep.run(cases.size(), [&](std::size_t i) {
+    const SweepCase& c = cases[i];
+    if (opts.resume) {
+      const auto it = resumed.find(cellKey(c.benchmark, c.config));
+      if (it != resumed.end() && it->second.ok()) return it->second;
+    }
+    SweepRow row;
+    row.benchmark = c.benchmark;
+    row.config = c.config;
+    if (opts.quarantine) {
+      try {
+        row.result = runSuiteEntry(c.entry, c.machine, c.scale);
+      } catch (const support::SptBudgetExceeded& e) {
+        row.status = CellStatus::kBudgetExceeded;
+        row.diagnostic = e.what();
+      } catch (const std::exception& e) {
+        row.status = CellStatus::kInternalError;
+        row.diagnostic = e.what();
+      }
+    } else {
+      row.result = runSuiteEntry(c.entry, c.machine, c.scale);
+    }
+    if (checkpoint.is_open()) {
+      const std::lock_guard<std::mutex> lock(checkpoint_mu);
+      checkpoint << checkpointLine(row) << '\n' << std::flush;
+    }
     return row;
   });
 }
@@ -31,6 +221,8 @@ bool writeSweepJson(const std::string& path,
     w.beginObject();
     w.member("benchmark", r.benchmark);
     w.member("config", r.config);
+    w.member("status", toString(r.status));
+    if (!r.diagnostic.empty()) w.member("diagnostic", r.diagnostic);
     w.member("baseline_cycles", base.cycles);
     w.member("spt_cycles", spt.cycles);
     w.member("baseline_instrs", base.instrs);
@@ -58,6 +250,15 @@ bool writeSweepJson(const std::string& path,
     w.member("fast_commit_ratio", spt.threads.fastCommitRatio());
     w.member("misspeculation_ratio", spt.threads.misspeculationRatio());
     w.endObject();
+    if (spt.faults.injected != 0) {
+      w.key("faults").beginObject();
+      w.member("injected", spt.faults.injected);
+      w.member("detected_by_net", spt.faults.detected_by_net);
+      w.member("detected_by_oracle", spt.faults.detected_by_oracle);
+      w.member("benign", spt.faults.benign);
+      w.member("escaped", spt.faults.escaped);
+      w.endObject();
+    }
     if (!r.extra.empty()) {
       w.key("extra").beginObject();
       for (const auto& [k, v] : r.extra) w.member(k, v);

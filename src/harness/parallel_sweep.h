@@ -51,7 +51,16 @@ class ParallelSweep {
     std::vector<std::optional<T>> slots(n);
     std::vector<std::exception_ptr> errors(n);
     if (jobs_ <= 1 || n <= 1) {
-      for (std::size_t i = 0; i < n; ++i) slots[i].emplace(fn(i));
+      // The inline path honors the same error contract as the pool path:
+      // every task runs to completion and the first (submission-order)
+      // exception is rethrown afterwards — not mid-sweep.
+      for (std::size_t i = 0; i < n; ++i) {
+        try {
+          slots[i].emplace(fn(i));
+        } catch (...) {
+          errors[i] = std::current_exception();
+        }
+      }
     } else {
       support::ThreadPool pool(std::min(jobs_, n));
       for (std::size_t i = 0; i < n; ++i) {
@@ -64,9 +73,9 @@ class ParallelSweep {
         });
       }
       pool.wait();
-      for (std::exception_ptr& e : errors) {
-        if (e) std::rethrow_exception(e);
-      }
+    }
+    for (std::exception_ptr& e : errors) {
+      if (e) std::rethrow_exception(e);
     }
     std::vector<T> out;
     out.reserve(n);
@@ -98,19 +107,58 @@ struct SweepCase {
   std::uint64_t scale = 1;
 };
 
+/// Outcome of one sweep cell under the hardened (quarantining) runner. A
+/// cell that blows its simulated-record/cycle budget or trips an internal
+/// invariant is reported, not fatal: the rest of the sweep still runs.
+enum class CellStatus {
+  kOk,
+  kBudgetExceeded,  // support::SptBudgetExceeded (per-cell budgets)
+  kInternalError,   // support::SptInternalError / any other exception
+};
+
+std::string toString(CellStatus status);
+
 /// A finished cell: the case tags plus the full experiment result and any
-/// bench-specific extra metrics (coverage fractions, ratios, ...).
+/// bench-specific extra metrics (coverage fractions, ratios, ...). When
+/// `status` is not kOk, `result` is default-constructed and `diagnostic`
+/// holds the failure message (file/line/context for internal errors).
 struct SweepRow {
   std::string benchmark;
   std::string config;
+  CellStatus status = CellStatus::kOk;
+  std::string diagnostic;
   ExperimentResult result;
   std::map<std::string, double> extra;
+
+  bool ok() const { return status == CellStatus::kOk; }
+};
+
+/// Hardening knobs for runSweep (all off by default — the plain overload
+/// keeps the historical throw-on-first-error behavior).
+struct SweepOptions {
+  /// Quarantine poisoned cells: run the whole sweep with SPT_CHECK in
+  /// throwing mode, catch per-cell failures, and report them as non-ok
+  /// rows instead of propagating.
+  bool quarantine = false;
+  /// When non-empty, every finished cell is appended (and flushed) to this
+  /// side file as it completes, so a killed sweep loses at most the cells
+  /// in flight.
+  std::string checkpoint_path;
+  /// Reuse ok rows found in `checkpoint_path` instead of re-running their
+  /// cells; failed (non-ok) and missing cells re-run. Keyed by
+  /// (benchmark, config); the last checkpoint line per key wins.
+  bool resume = false;
 };
 
 /// Runs every case through runSptExperiment on `sweep`'s pool; rows come
 /// back in `cases` order.
 std::vector<SweepRow> runSweep(const ParallelSweep& sweep,
                                const std::vector<SweepCase>& cases);
+
+/// Hardened variant: per-cell quarantine and checkpoint/resume per `opts`.
+std::vector<SweepRow> runSweep(const ParallelSweep& sweep,
+                               const std::vector<SweepCase>& cases,
+                               const SweepOptions& opts);
 
 /// Writes rows as a machine-readable JSON document:
 /// {"rows":[{benchmark, config, baseline_cycles, spt_cycles, speedup,

@@ -1,6 +1,7 @@
 #include "interp/interpreter.h"
 
 #include "support/check.h"
+#include "support/error.h"
 
 namespace spt::interp {
 namespace {
@@ -150,8 +151,10 @@ RunResult Interpreter::run(ir::FuncId entry,
     SPT_CHECK_MSG(f.index < bb.instrs.size(), "fell off the end of a block");
     const ir::Instr& in = bb.instrs[f.index];
 
-    SPT_CHECK_MSG(count < limits.max_instrs,
-                  "dynamic instruction limit exceeded");
+    if (count >= limits.max_instrs) {
+      throw support::SptBudgetExceeded("interpreted instructions", count,
+                                       limits.max_instrs);
+    }
     ++count;
 
     trace::Record rec;

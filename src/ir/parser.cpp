@@ -88,6 +88,27 @@ class Line {
   void advanceTo(std::size_t p) { pos_ = p; }
   const std::string& text() const { return s_; }
 
+  /// 1-based column of the next content (for diagnostics).
+  std::size_t column() {
+    skipSpace();
+    return pos_ + 1;
+  }
+
+  /// The next token, for "got '...'" diagnostics: an identifier-like run,
+  /// or a single punctuation character; empty at end of content.
+  std::string peekToken() {
+    skipSpace();
+    if (pos_ >= s_.size() || s_[pos_] == ';') return "";
+    std::size_t end = pos_;
+    while (end < s_.size() &&
+           (std::isalnum(static_cast<unsigned char>(s_[end])) != 0 ||
+            s_[end] == '_' || s_[end] == '.' || s_[end] == '-')) {
+      ++end;
+    }
+    if (end == pos_) end = pos_ + 1;  // punctuation: one char
+    return s_.substr(pos_, end - pos_);
+  }
+
  private:
   const std::string& s_;
   std::size_t pos_ = 0;
@@ -103,9 +124,27 @@ struct Parser {
       : lines(ls), module(std::move(name)) {}
 
   bool fail(std::size_t line_no, std::string message) {
+    return failCol(line_no, 0, std::move(message));
+  }
+
+  bool failCol(std::size_t line_no, std::size_t col, std::string message) {
     if (!failed) {
       failed = true;
       error.line = line_no + 1;
+      error.column = col;
+      error.message = std::move(message);
+    }
+    return false;
+  }
+
+  /// fail() with the position and offending token of `line`'s cursor.
+  bool failAt(std::size_t line_no, Line& line, std::string message) {
+    if (!failed) {
+      const std::string tok = line.peekToken();
+      message += tok.empty() ? " (at end of line)" : " (got '" + tok + "')";
+      failed = true;
+      error.line = line_no + 1;
+      error.column = line.column();
       error.message = std::move(message);
     }
     return false;
@@ -116,15 +155,15 @@ struct Parser {
     for (std::size_t i = 0; i < lines.size(); ++i) {
       Line line(lines[i]);
       if (!line.eat("func")) continue;
-      if (!line.eat("@")) return fail(i, "expected @name after func");
+      if (!line.eat("@")) return failAt(i, line, "expected @name after func");
       const auto name = line.ident();
-      if (!name) return fail(i, "expected function name");
-      if (!line.eat("(params=")) return fail(i, "expected (params=");
+      if (!name) return failAt(i, line, "expected function name");
+      if (!line.eat("(params=")) return failAt(i, line, "expected (params=");
       const auto params = line.integer();
-      if (!params || *params < 0) return fail(i, "bad param count");
-      if (!line.eat(", regs=")) return fail(i, "expected , regs=");
+      if (!params || *params < 0) return failAt(i, line, "bad param count");
+      if (!line.eat(", regs=")) return failAt(i, line, "expected , regs=");
       const auto regs = line.integer();
-      if (!regs || *regs < *params) return fail(i, "bad reg count");
+      if (!regs || *regs < *params) return failAt(i, line, "bad reg count");
       if (module.findFunction(*name) != kInvalidFunc) {
         return fail(i, "duplicate function @" + *name);
       }
@@ -141,13 +180,13 @@ struct Parser {
   std::optional<Reg> expectReg(Line& line, std::size_t line_no,
                                const char* what) {
     const auto r = line.reg();
-    if (!r) fail(line_no, std::string("expected register for ") + what);
+    if (!r) failAt(line_no, line, std::string("expected register for ") + what);
     return r;
   }
 
   std::optional<BlockId> expectBlock(Line& line, std::size_t line_no) {
     const auto b = line.blockRef();
-    if (!b) fail(line_no, "expected block reference (B<n>)");
+    if (!b) failAt(line_no, line, "expected block reference (B<n>)");
     return b;
   }
 
@@ -167,8 +206,9 @@ struct Parser {
       }
     }
 
+    const std::size_t op_col = line.column();
     const auto op_name = line.ident();
-    if (!op_name) return fail(line_no, "expected opcode");
+    if (!op_name) return failAt(line_no, line, "expected opcode");
     const std::string& op = *op_name;
 
     static const std::unordered_map<std::string, Opcode> kBinary = {
@@ -183,12 +223,12 @@ struct Parser {
     };
 
     if (const auto it = kBinary.find(op); it != kBinary.end()) {
-      if (!dst) return fail(line_no, op + " needs a destination");
+      if (!dst) return failCol(line_no, op_col, op + " needs a destination");
       instr.op = it->second;
       instr.dst = *dst;
       const auto a = expectReg(line, line_no, "lhs");
       if (!a) return false;
-      if (!line.eat(",")) return fail(line_no, "expected ,");
+      if (!line.eat(",")) return failAt(line_no, line, "expected ','");
       const auto b = expectReg(line, line_no, "rhs");
       if (!b) return false;
       instr.a = *a;
@@ -196,16 +236,16 @@ struct Parser {
       return true;
     }
     if (op == "const" || op == "halloc") {
-      if (!dst) return fail(line_no, op + " needs a destination");
+      if (!dst) return failCol(line_no, op_col, op + " needs a destination");
       instr.op = op == "const" ? Opcode::kConst : Opcode::kHalloc;
       instr.dst = *dst;
       const auto imm = line.integer();
-      if (!imm) return fail(line_no, "expected immediate");
+      if (!imm) return failAt(line_no, line, "expected immediate");
       instr.imm = *imm;
       return true;
     }
     if (op == "mov") {
-      if (!dst) return fail(line_no, "mov needs a destination");
+      if (!dst) return failCol(line_no, op_col, "mov needs a destination");
       instr.op = Opcode::kMov;
       instr.dst = *dst;
       const auto a = expectReg(line, line_no, "source");
@@ -214,30 +254,30 @@ struct Parser {
       return true;
     }
     if (op == "load") {
-      if (!dst) return fail(line_no, "load needs a destination");
+      if (!dst) return failCol(line_no, op_col, "load needs a destination");
       instr.op = Opcode::kLoad;
       instr.dst = *dst;
-      if (!line.eat("[")) return fail(line_no, "expected [");
+      if (!line.eat("[")) return failAt(line_no, line, "expected '['");
       const auto a = expectReg(line, line_no, "address");
       if (!a) return false;
-      if (!line.eat("+")) return fail(line_no, "expected +");
+      if (!line.eat("+")) return failAt(line_no, line, "expected '+'");
       const auto imm = line.integer();
-      if (!imm) return fail(line_no, "expected offset");
-      if (!line.eat("]")) return fail(line_no, "expected ]");
+      if (!imm) return failAt(line_no, line, "expected offset");
+      if (!line.eat("]")) return failAt(line_no, line, "expected ']'");
       instr.a = *a;
       instr.imm = *imm;
       return true;
     }
     if (op == "store") {
       instr.op = Opcode::kStore;
-      if (!line.eat("[")) return fail(line_no, "expected [");
+      if (!line.eat("[")) return failAt(line_no, line, "expected '['");
       const auto a = expectReg(line, line_no, "address");
       if (!a) return false;
-      if (!line.eat("+")) return fail(line_no, "expected +");
+      if (!line.eat("+")) return failAt(line_no, line, "expected '+'");
       const auto imm = line.integer();
-      if (!imm) return fail(line_no, "expected offset");
-      if (!line.eat("]")) return fail(line_no, "expected ]");
-      if (!line.eat("=")) return fail(line_no, "expected =");
+      if (!imm) return failAt(line_no, line, "expected offset");
+      if (!line.eat("]")) return failAt(line_no, line, "expected ']'");
+      if (!line.eat("=")) return failAt(line_no, line, "expected '='");
       const auto b = expectReg(line, line_no, "value");
       if (!b) return false;
       instr.a = *a;
@@ -256,10 +296,10 @@ struct Parser {
       instr.op = Opcode::kCondBr;
       const auto c = expectReg(line, line_no, "condition");
       if (!c) return false;
-      if (!line.eat(",")) return fail(line_no, "expected ,");
+      if (!line.eat(",")) return failAt(line_no, line, "expected ','");
       const auto t0 = expectBlock(line, line_no);
       if (!t0) return false;
-      if (!line.eat(",")) return fail(line_no, "expected ,");
+      if (!line.eat(",")) return failAt(line_no, line, "expected ','");
       const auto t1 = expectBlock(line, line_no);
       if (!t1) return false;
       instr.a = *c;
@@ -270,21 +310,22 @@ struct Parser {
     if (op == "call") {
       instr.op = Opcode::kCall;
       if (dst) instr.dst = *dst;
-      if (!line.eat("@")) return fail(line_no, "expected @callee");
+      if (!line.eat("@")) return failAt(line_no, line, "expected @callee");
+      const std::size_t callee_col = line.column();
       const auto callee = line.ident();
-      if (!callee) return fail(line_no, "expected callee name");
+      if (!callee) return failAt(line_no, line, "expected callee name");
       instr.callee = module.findFunction(*callee);
       if (instr.callee == kInvalidFunc) {
-        return fail(line_no, "unknown callee @" + *callee);
+        return failCol(line_no, callee_col, "unknown callee @" + *callee);
       }
-      if (!line.eat("(")) return fail(line_no, "expected (");
+      if (!line.eat("(")) return failAt(line_no, line, "expected '('");
       if (!line.eat(")")) {
         for (;;) {
           const auto arg = expectReg(line, line_no, "argument");
           if (!arg) return false;
           instr.args.push_back(*arg);
           if (line.eat(")")) break;
-          if (!line.eat(",")) return fail(line_no, "expected , or )");
+          if (!line.eat(",")) return failAt(line_no, line, "expected ',' or ')'");
         }
       }
       return true;
@@ -307,7 +348,7 @@ struct Parser {
       return true;
     }
     (void)func;
-    return fail(line_no, "unknown opcode '" + op + "'");
+    return failCol(line_no, op_col, "unknown opcode '" + op + "'");
   }
 
   /// Pass 2: fills function bodies.

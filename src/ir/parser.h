@@ -26,7 +26,10 @@
 namespace spt::ir {
 
 struct ParseError {
-  std::size_t line = 0;  // 1-based
+  std::size_t line = 0;    // 1-based
+  std::size_t column = 0;  // 1-based; 0 when the error has no column
+  /// Human-readable diagnostic; includes the offending token when there
+  /// is one (e.g. "unknown opcode 'fused_mul'").
   std::string message;
 };
 

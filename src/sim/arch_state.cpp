@@ -15,6 +15,19 @@ ApplyInfo ArchState::apply(const trace::Record& record,
   SPT_CHECK(record.kind == trace::RecordKind::kInstr);
   ApplyInfo info;
 
+  if (digest_enabled_) {
+    const auto fold = [this](std::uint64_t v) {
+      for (int i = 0; i < 8; ++i) {
+        digest_ = (digest_ ^ static_cast<unsigned char>(v >> (8 * i))) *
+                  1099511628211ull;
+      }
+    };
+    fold(record.sid);
+    fold(record.frame);
+    fold(static_cast<std::uint64_t>(record.value));
+    fold(record.mem_addr);
+  }
+
   if (!started_) {
     // Lazily create the entry frame from the first record.
     const auto& loc = module_.locate(record.sid);
@@ -80,6 +93,59 @@ std::int64_t ArchState::memValue(std::uint64_t addr,
                                  std::int64_t fallback) const {
   const std::int64_t* value = memory_.find(addr);
   return value == nullptr ? fallback : *value;
+}
+
+bool ArchState::deepEquals(const ArchState& other, std::string* diff) const {
+  const auto report = [&](const std::string& what) {
+    if (diff != nullptr) *diff = what;
+    return false;
+  };
+
+  if (halloc_count_ != other.halloc_count_) {
+    return report("halloc count: " + std::to_string(halloc_count_) +
+                  " vs " + std::to_string(other.halloc_count_));
+  }
+  if (frames_.size() != other.frames_.size()) {
+    return report("frame stack depth: " + std::to_string(frames_.size()) +
+                  " vs " + std::to_string(other.frames_.size()));
+  }
+  for (std::size_t f = 0; f < frames_.size(); ++f) {
+    const Frame& a = frames_[f];
+    const Frame& b = other.frames_[f];
+    if (a.id != b.id || a.func != b.func) {
+      return report("frame " + std::to_string(f) + ": id/func mismatch");
+    }
+    const std::size_t regs = std::max(a.regs.size(), b.regs.size());
+    for (std::size_t r = 0; r < regs; ++r) {
+      const std::int64_t av = r < a.regs.size() ? a.regs[r] : 0;
+      const std::int64_t bv = r < b.regs.size() ? b.regs[r] : 0;
+      if (av != bv) {
+        return report("frame " + std::to_string(f) + " r" +
+                      std::to_string(r) + ": " + std::to_string(av) +
+                      " vs " + std::to_string(bv));
+      }
+    }
+  }
+  if (memory_.size() != other.memory_.size()) {
+    return report("memory image size: " + std::to_string(memory_.size()) +
+                  " vs " + std::to_string(other.memory_.size()));
+  }
+  // Equal sizes plus one-way key/value agreement imply identical maps.
+  bool equal = true;
+  std::string first_diff;
+  memory_.forEach([&](std::uint64_t addr, const std::int64_t& value) {
+    if (!equal) return;
+    const std::int64_t* theirs = other.memory_.find(addr);
+    if (theirs == nullptr || *theirs != value) {
+      equal = false;
+      first_diff = "memory[0x" + std::to_string(addr) + "]: " +
+                   std::to_string(value) + " vs " +
+                   (theirs == nullptr ? std::string("<absent>")
+                                      : std::to_string(*theirs));
+    }
+  });
+  if (!equal) return report(first_diff);
+  return true;
 }
 
 }  // namespace spt::sim

@@ -57,6 +57,20 @@ class ArchState {
 
   std::uint64_t hallocCount() const { return halloc_count_; }
 
+  /// Opt-in incremental architectural digest: every applied record folds
+  /// its (sid, frame, value, mem_addr) into an FNV chain, so two ArchStates
+  /// that applied the same records in the same order carry equal digests.
+  /// Off by default — the fold would otherwise tax the simulation hot path.
+  void enableDigest() { digest_enabled_ = true; }
+  bool digestEnabled() const { return digest_enabled_; }
+  std::uint64_t streamDigest() const { return digest_; }
+
+  /// Deep state comparison for the oracle's diff mode: frames (id, func,
+  /// every register), the memory image, and the allocator count. On
+  /// divergence returns false and, when `diff` is given, names the first
+  /// divergent register or address.
+  bool deepEquals(const ArchState& other, std::string* diff) const;
+
  private:
   struct Frame {
     trace::FrameId id = 0;
@@ -70,6 +84,8 @@ class ArchState {
   FlatMap64<std::int64_t> memory_;
   std::uint64_t halloc_count_ = 0;
   bool started_ = false;
+  bool digest_enabled_ = false;
+  std::uint64_t digest_ = 14695981039346656037ull;  // FNV-1a offset basis
 };
 
 }  // namespace spt::sim

@@ -3,6 +3,7 @@
 #include "sim/arch_state.h"
 #include "sim/loop_tracker.h"
 #include "support/check.h"
+#include "support/error.h"
 
 namespace spt::sim {
 
@@ -55,7 +56,21 @@ MachineResult BaselineMachine::run() {
   ArchState arch(module_);
   LoopCycleTracker loops(module_);
 
+  const bool budgeted = config_.max_simulated_records != 0 ||
+                        config_.max_simulated_cycles != 0;
   for (std::size_t i = 0; i < trace_.size(); ++i) {
+    if (budgeted && (i & 1023u) == 0) {
+      if (config_.max_simulated_records != 0 &&
+          i > config_.max_simulated_records) {
+        throw support::SptBudgetExceeded("simulated trace records", i,
+                                         config_.max_simulated_records);
+      }
+      if (config_.max_simulated_cycles != 0 &&
+          pipe.cycle() > config_.max_simulated_cycles) {
+        throw support::SptBudgetExceeded("simulated cycles", pipe.cycle(),
+                                         config_.max_simulated_cycles);
+      }
+    }
     const trace::Record& r = trace_[i];
     if (r.kind != trace::RecordKind::kInstr) {
       loops.onMarker(r, pipe.cycle());

@@ -1,0 +1,95 @@
+// Deterministic fault injection into the SPT machine's speculative
+// structures (the adversarial half of the robustness story).
+//
+// The paper's safety argument (Sections 3.3–3.4) is that every violated
+// speculation is *detected* — by the LAB memory-dependence check, the
+// register check at arrival, branch-direction comparison, or fault
+// suppression — and recovered by selective replay or squash. The injector
+// exercises that net: at seeded points it corrupts exactly the structures
+// the net guards —
+//
+//  * SSB value flip   — a speculative store's buffered value is corrupted,
+//                       so later forwarded loads observe a wrong value;
+//  * LAB drop         — a speculative load's address record is dropped,
+//                       disabling memory-dependence checking for it (the
+//                       net's wire is cut: only the commit-time value
+//                       validation can catch a resulting divergence);
+//  * fork RF flip     — a bit of the fork-time register-context copy is
+//                       flipped, corrupting every live-in read of it;
+//  * SRB payload flip — a buffered speculative result is corrupted after
+//                       execution (models SRB array corruption).
+//
+// The sequential trace remains ground truth, so the campaign can classify
+// every injected fault at thread end: detected by the dependence-checking
+// net, detected by the commit-time value validation (SptMachine's arrival
+// walk, which flags any clean-committed entry whose emulated value
+// diverges from the trace), or provably benign (the corruption never
+// reached a committed value, or the thread was discarded). Nothing may
+// escape — MachineResult::faults.escaped must be zero, and the
+// architectural oracle digest must still equal the sequential result.
+//
+// All decisions come from one seeded xoshiro stream, so a campaign is
+// bit-reproducible for a fixed seed at any worker count.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "support/machine_config.h"
+#include "support/rng.h"
+
+namespace spt::sim {
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(const support::FaultPlan& plan)
+      : plan_(plan), rng_(plan.seed) {}
+
+  /// Number of faults injected into the currently active speculative
+  /// thread (reset by threadStart).
+  std::size_t pending() const { return pending_; }
+  void threadStart() { pending_ = 0; }
+
+  /// Maybe flips one bit of one register in the fork-time context copy.
+  bool maybeFlipForkReg(std::vector<std::int64_t>& fork_rf) {
+    if (!plan_.fork_reg_flip || fork_rf.empty() || !fire()) return false;
+    const std::size_t reg = rng_.nextBelow(fork_rf.size());
+    fork_rf[reg] ^= std::int64_t{1} << rng_.nextBelow(64);
+    ++pending_;
+    return true;
+  }
+
+  /// Maybe flips one bit of a speculative store's SSB value.
+  bool maybeCorruptSsbValue(std::int64_t& value) {
+    if (!plan_.ssb_value_flip || !fire()) return false;
+    value ^= std::int64_t{1} << rng_.nextBelow(64);
+    ++pending_;
+    return true;
+  }
+
+  /// Maybe decides to drop the LAB record a load just registered.
+  bool maybeDropLabRecord() {
+    if (!plan_.lab_drop || !fire()) return false;
+    ++pending_;
+    return true;
+  }
+
+  /// Maybe flips one bit of a buffered SRB result payload.
+  bool maybeCorruptSrbPayload(std::int64_t& emu_value) {
+    if (!plan_.srb_payload_flip || !fire()) return false;
+    emu_value ^= std::int64_t{1} << rng_.nextBelow(64);
+    ++pending_;
+    return true;
+  }
+
+ private:
+  bool fire() {
+    return plan_.period <= 1 || rng_.nextBelow(plan_.period) == 0;
+  }
+
+  support::FaultPlan plan_;
+  support::Rng rng_;
+  std::size_t pending_ = 0;
+};
+
+}  // namespace spt::sim

@@ -96,6 +96,18 @@ class FlatMap64 {
     return slots_[i].value;
   }
 
+  /// Visits every live (key, value) pair. Iteration order is the table's
+  /// slot order — callers that need order-independent results (the oracle's
+  /// state diff) must combine commutatively or look keys up on the other
+  /// side.
+  template <typename Fn>
+  void forEach(Fn fn) const {
+    if (has_zero_) fn(std::uint64_t{0}, zero_value_);
+    for (const Slot& s : slots_) {
+      if (s.key != 0) fn(s.key, s.value);
+    }
+  }
+
   /// Drops every entry whose value fails `keep`, rebuilding the table.
   /// Lossless only if absent and dropped entries are indistinguishable to
   /// the caller (true for scoreboard entries that are already available).

@@ -1,0 +1,58 @@
+#include "sim/oracle.h"
+
+#include "support/error.h"
+
+namespace spt::sim {
+
+Oracle::Oracle(const ir::Module& module, const trace::TraceBuffer& trace,
+               const DecodeTable& decode, support::OracleMode mode)
+    : trace_(trace), decode_(decode), mode_(mode), ref_(module) {
+  ref_.enableDigest();
+}
+
+void Oracle::advanceTo(std::size_t pos) {
+  for (; ref_pos_ < pos; ++ref_pos_) {
+    const trace::Record& r = trace_[ref_pos_];
+    if (r.kind != trace::RecordKind::kInstr) continue;
+    ref_.apply(r, *decode_[r.sid].instr);
+  }
+}
+
+void Oracle::checkAt(std::size_t pos, const ArchState& machine_arch,
+                     const char* boundary) {
+  advanceTo(pos);
+  ++checks_run_;
+  if (machine_arch.streamDigest() != ref_.streamDigest()) {
+    std::string diff = "(digest mode; re-run with the deep oracle to name "
+                       "the first divergent register/address)";
+    if (mode_ == support::OracleMode::kDeep) {
+      machine_arch.deepEquals(ref_, &diff);
+    }
+    throw support::SptInternalError(
+        "architectural oracle divergence at " + std::string(boundary) +
+        " boundary, trace position " + std::to_string(pos) + ": " + diff);
+  }
+  if (mode_ == support::OracleMode::kDeep) {
+    std::string diff;
+    if (!machine_arch.deepEquals(ref_, &diff)) {
+      throw support::SptInternalError(
+          "architectural oracle deep divergence at " +
+          std::string(boundary) + " boundary, trace position " +
+          std::to_string(pos) + ": " + diff);
+    }
+  }
+}
+
+std::uint64_t Oracle::sequentialDigest(const ir::Module& module,
+                                       const trace::TraceBuffer& trace) {
+  ArchState arch(module);
+  arch.enableDigest();
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    const trace::Record& r = trace[i];
+    if (r.kind != trace::RecordKind::kInstr) continue;
+    arch.apply(r);
+  }
+  return arch.streamDigest();
+}
+
+}  // namespace spt::sim

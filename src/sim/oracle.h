@@ -1,0 +1,66 @@
+// Architectural oracle for the SPT machine (co-simulation cross-check).
+//
+// The SPT machine's correctness contract is that, whatever the speculative
+// pipeline did, the *committed* architectural state after every recovery
+// boundary is exactly the sequential execution's state. The oracle enforces
+// that contract at runtime: it owns an independent ArchState that replays
+// the trace strictly sequentially, and at every fast-commit, selective-
+// replay, and full-squash boundary (plus end of run) it advances that
+// reference to the machine's commit position and compares.
+//
+//  * kDigest (cheap): both sides fold each applied record into an
+//    incremental FNV digest (O(1) per record); the boundary check is one
+//    integer compare. This catches any skipped, duplicated, or reordered
+//    architectural commit.
+//  * kDeep: additionally diffs the materialized state — every frame
+//    register, the memory image, the allocator count — and names the first
+//    divergent register or address. O(state) per boundary; for debugging.
+//
+// On divergence the oracle throws support::SptInternalError with the diff,
+// so a quarantined sweep cell reports it instead of silently producing
+// wrong numbers.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+
+#include "ir/module.h"
+#include "sim/arch_state.h"
+#include "sim/decode.h"
+#include "support/machine_config.h"
+#include "trace/trace.h"
+
+namespace spt::sim {
+
+class Oracle {
+ public:
+  Oracle(const ir::Module& module, const trace::TraceBuffer& trace,
+         const DecodeTable& decode, support::OracleMode mode);
+
+  /// Cross-checks `machine_arch` (whose digest must be enabled) against the
+  /// sequential reference advanced to trace position `pos`. Throws
+  /// support::SptInternalError on divergence.
+  void checkAt(std::size_t pos, const ArchState& machine_arch,
+               const char* boundary);
+
+  std::size_t checksRun() const { return checks_run_; }
+  std::uint64_t referenceDigest() const { return ref_.streamDigest(); }
+
+  /// The sequential architectural digest of a whole trace — what any
+  /// correct machine's oracle digest must equal at end of run (used by the
+  /// fault campaign as the baseline architectural result).
+  static std::uint64_t sequentialDigest(const ir::Module& module,
+                                        const trace::TraceBuffer& trace);
+
+ private:
+  void advanceTo(std::size_t pos);
+
+  const trace::TraceBuffer& trace_;
+  const DecodeTable& decode_;
+  support::OracleMode mode_;
+  ArchState ref_;
+  std::size_t ref_pos_ = 0;
+  std::size_t checks_run_ = 0;
+};
+
+}  // namespace spt::sim

@@ -47,6 +47,39 @@ struct ThreadStats {
   void accumulate(const ThreadStats& other);
 };
 
+/// Fault-injection accounting (sim::FaultInjector). Classification is per
+/// injected fault at the granularity of the speculative thread it hit:
+///  * detected_by_net    — the thread ended in replay / squash with the
+///                         dependence-checking net (LAB, register check,
+///                         branch compare, fault suppression) flagging the
+///                         violation, or was discarded wholesale (kill);
+///  * detected_by_oracle — the commit-time value validation had to flag a
+///                         divergent entry the net missed (e.g. a dropped
+///                         LAB record whose load actually conflicted);
+///  * benign             — the corruption never changed a committed value
+///                         (overwritten, never read, or bit-identical);
+///  * escaped            — a divergent value was committed undetected.
+///                         Must always be zero; the campaign asserts it.
+struct FaultStats {
+  std::uint64_t injected = 0;
+  std::uint64_t detected_by_net = 0;
+  std::uint64_t detected_by_oracle = 0;
+  std::uint64_t benign = 0;
+  std::uint64_t escaped = 0;
+
+  std::uint64_t detectedOrBenign() const {
+    return detected_by_net + detected_by_oracle + benign;
+  }
+
+  void accumulate(const FaultStats& other) {
+    injected += other.injected;
+    detected_by_net += other.detected_by_net;
+    detected_by_oracle += other.detected_by_oracle;
+    benign += other.benign;
+    escaped += other.escaped;
+  }
+};
+
 struct MachineResult {
   std::uint64_t cycles = 0;
   std::uint64_t instrs = 0;
@@ -58,6 +91,12 @@ struct MachineResult {
   CacheStats l2;
   CacheStats l3;
   double branch_mispredict_ratio = 0.0;
+
+  // Robustness subsystem outputs; all-zero unless the oracle / injector
+  // were enabled (the golden digests deliberately exclude them).
+  FaultStats faults;
+  std::uint64_t arch_digest = 0;   // oracle stream digest at end of run
+  std::uint64_t oracle_checks = 0; // boundary checks the oracle ran
 
   double ipc() const {
     return support::safeRatio(static_cast<double>(instrs),

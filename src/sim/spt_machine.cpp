@@ -1,6 +1,7 @@
 #include "sim/spt_machine.h"
 
 #include "support/check.h"
+#include "support/error.h"
 
 namespace spt::sim {
 namespace {
@@ -96,6 +97,14 @@ SptMachine::SptMachine(const ir::Module& module,
   // (capacity stalls enforce it), so size them once and never rehash.
   spec_.ssb.reserveFor(config.speculative_store_buffer_entries);
   spec_.lab.reserveFor(config.load_address_buffer_entries);
+  if (config.fault_plan.enabled) {
+    injector_ = std::make_unique<FaultInjector>(config.fault_plan);
+    fault_mode_ = true;
+  }
+  if (config.oracle != support::OracleMode::kOff) {
+    oracle_ = std::make_unique<Oracle>(module, trace, decode_, config.oracle);
+    arch_.enableDigest();
+  }
 }
 
 void SptMachine::SpecThread::reset() {
@@ -179,7 +188,11 @@ bool SptMachine::specCanStep() const {
 }
 
 MachineResult SptMachine::run() {
+  const bool budgeted = config_.max_simulated_records != 0 ||
+                        config_.max_simulated_cycles != 0;
+  std::uint64_t steps = 0;
   while (pos_ < trace_.size()) {
+    if (budgeted && (++steps & 1023u) == 0) checkBudgets();
     if (specCanStep()) {
       stepSpec();
     } else {
@@ -187,6 +200,7 @@ MachineResult SptMachine::run() {
     }
   }
   if (spec_.active) killSpec();
+  if (budgeted) checkBudgets();
 
   main_pipe_->finish();
   loop_tracker_.finish(main_pipe_->cycle());
@@ -199,7 +213,25 @@ MachineResult SptMachine::run() {
   result_.l2 = memory_->l2().stats();
   result_.l3 = memory_->l3().stats();
   result_.branch_mispredict_ratio = main_pipe_->predictor().mispredictRatio();
+  if (oracle_) {
+    oracle_->checkAt(trace_.size(), arch_, "end-of-run");
+    result_.arch_digest = arch_.streamDigest();
+    result_.oracle_checks = oracle_->checksRun();
+  }
   return result_;
+}
+
+void SptMachine::checkBudgets() const {
+  if (config_.max_simulated_cycles != 0 &&
+      main_pipe_->cycle() > config_.max_simulated_cycles) {
+    throw support::SptBudgetExceeded("simulated cycles", main_pipe_->cycle(),
+                                     config_.max_simulated_cycles);
+  }
+  if (config_.max_simulated_records != 0 &&
+      pos_ > config_.max_simulated_records) {
+    throw support::SptBudgetExceeded("simulated trace records", pos_,
+                                     config_.max_simulated_records);
+  }
 }
 
 void SptMachine::stepMain() {
@@ -255,6 +287,7 @@ void SptMachine::executeFork(const trace::Record& r) {
 
   spec_.reset();
   spec_.active = true;
+  if (injector_) injector_->threadStart();
   spec_.loop_name = trace::loopNameOf(module_, header_sid);
   spec_.halloc_at_fork = arch_.hallocCount();
   spec_.breakdown_at_fork = spec_pipe_->breakdown();
@@ -279,6 +312,7 @@ void SptMachine::executeFork(const trace::Record& r) {
                                                               : start + 1;
   spec_.fork_frame = arch_.curFrame();
   spec_.fork_rf = arch_.topRegs();
+  if (injector_) injector_->maybeFlipForkReg(spec_.fork_rf);
   if (spec_.livein_reads.size() < spec_.fork_rf.size()) {
     spec_.livein_reads.resize(spec_.fork_rf.size());
   }
@@ -396,6 +430,12 @@ void SptMachine::stepSpec() {
         ssb_forwarded = true;  // forwarded from the SSB: no cache access
       } else {
         spec_.labList(addr).push_back(spec_.srb.size());
+        // Dropping the record cuts the memory-dependence net's wire for
+        // this load: a conflicting main store can no longer flag it, and
+        // only the commit-time validation walk can catch the divergence.
+        if (injector_ && injector_->maybeDropLabRecord()) {
+          spec_.labList(addr).pop_back();
+        }
         entry.emu_value = addr == r.mem_addr
                               ? arch_.memValue(addr, r.value)
                               : arch_.memValue(addr, 0);
@@ -411,7 +451,11 @@ void SptMachine::stepSpec() {
       entry.emu_addr = addr;
       entry.emu_value = value;
       mem_addr_override = addr;
-      spec_.ssb[addr] = SsbEntry{value, spec_.srb.size()};
+      SsbEntry& slot = (spec_.ssb[addr] = SsbEntry{value, spec_.srb.size()});
+      // Corrupts the buffered copy only: later loads forward the corrupted
+      // value while this store's own SRB payload stays correct, so only the
+      // *consumers* can diverge.
+      if (injector_) injector_->maybeCorruptSsbValue(slot.value);
       break;
     }
     case ir::Opcode::kBr:
@@ -488,6 +532,15 @@ void SptMachine::stepSpec() {
   e.is_store = false;
   if (ssb_forwarded) e.is_load = false;
   spec_pipe_->execute(e);
+  // SRB payload corruption targets entries whose buffered result is
+  // actually consumed at commit (value producers, stores, returns); the
+  // register-file overlay keeps the true value, so downstream speculative
+  // dataflow is unaffected — exactly a buffer-array corruption.
+  if (injector_ && (d.is_store || instr.op == ir::Opcode::kRet ||
+                    (ir::producesValue(instr.op) &&
+                     instr.op != ir::Opcode::kCall))) {
+    injector_->maybeCorruptSrbPayload(entry.emu_value);
+  }
   spec_.srb.push_back(entry);
   ++spec_.pos;
   if (stall_after) spec_.stalled = true;
@@ -514,6 +567,13 @@ void SptMachine::arrival() {
     }
   }
 
+  // Commit-time value validation (fault mode only): any clean entry whose
+  // buffered result diverges from the trace — possible only when injection
+  // cut one of the net's wires — is flagged here, forcing the thread into
+  // the replay/squash path instead of fast-committing a wrong value.
+  const std::size_t oracle_flagged =
+      fault_mode_ ? validateSrbAtArrival() : 0;
+
   bool any_violation = false;
   for (const SrbEntry& e : spec_.srb) {
     if (e.violated || e.input_violated) {
@@ -527,21 +587,152 @@ void SptMachine::arrival() {
   switch (config_.recovery) {
     case support::RecoveryMechanism::kSelectiveReplayFastCommit:
       if (!any_violation) {
-        fastCommit();
+        settleFaults(false, oracle_flagged, false, fastCommit());
       } else {
         replayCommit();
+        settleFaults(true, oracle_flagged, false);
       }
       return;
     case support::RecoveryMechanism::kSelectiveReplay:
       replayCommit();
+      settleFaults(true, oracle_flagged, false);
       return;
     case support::RecoveryMechanism::kFullSquash:
       if (!any_violation) {
-        fastCommit();
+        settleFaults(false, oracle_flagged, false, fastCommit());
       } else {
         fullSquash();
+        settleFaults(true, oracle_flagged, false);
       }
       return;
+  }
+}
+
+bool SptMachine::entryDiverges(const SrbEntry& e,
+                               const trace::Record& r) const {
+  switch (decode_[r.sid].op) {
+    case ir::Opcode::kBr:
+    case ir::Opcode::kCall:
+    case ir::Opcode::kSptFork:
+    case ir::Opcode::kSptKill:
+    case ir::Opcode::kNop:
+      return false;  // no comparable result payload
+    case ir::Opcode::kCondBr:
+      // The record's value field is unused for branches; the emulated
+      // direction against the trace's `taken` bit is the ground truth.
+      return e.branch_mismatch;
+    case ir::Opcode::kStore:
+      return e.emu_value != r.value || e.emu_addr != r.mem_addr;
+    default:
+      return e.emu_value != r.value;
+  }
+}
+
+std::size_t SptMachine::validateSrbAtArrival() {
+  // Mirrors replayCommit's dirty-closure walk (same scratch maps, same
+  // propagation rule) but with no timing or architectural effects: its only
+  // output is `violated` flags on clean entries that diverge from the
+  // trace. Entries inside the closure are left alone — replay re-executes
+  // them anyway, so only clean-yet-divergent entries are the net's misses.
+  replay_dirty_regs_.reset();
+  replay_dirty_addrs_.clear();
+  const bool value_based =
+      config_.register_check == support::RegisterCheckMode::kValueBased;
+  // Local call contexts for ret propagation: every executed ret in the SRB
+  // range has its matching call in range (a ret with an empty speculative
+  // call stack stalls the thread before recording an entry).
+  std::vector<CallCtx> calls;
+  std::size_t flagged = 0;
+
+  for (SrbEntry& e : spec_.srb) {
+    const trace::Record& r = trace_[e.record_index];
+    const DecodedInstr& d = decode_[r.sid];
+    const ir::Instr& instr = *d.instr;
+
+    bool dirty = e.violated || e.input_violated;
+    if (!dirty) {
+      const auto srcDirty = [&](ir::Reg reg) {
+        return reg.valid() &&
+               replay_dirty_regs_.find(r.frame, reg.index) != nullptr;
+      };
+      dirty = srcDirty(instr.a) || srcDirty(instr.b);
+      if (!dirty) {
+        for (const ir::Reg arg : instr.args) {
+          if (srcDirty(arg)) {
+            dirty = true;
+            break;
+          }
+        }
+      }
+      if (!dirty && d.is_load) {
+        dirty = replay_dirty_addrs_.contains(e.emu_addr) ||
+                replay_dirty_addrs_.contains(r.mem_addr);
+      }
+    }
+
+    if (!dirty && entryDiverges(e, r)) {
+      e.violated = true;
+      dirty = true;
+      ++flagged;
+    }
+
+    if (dirty) {
+      const bool value_changed =
+          e.emu_value != r.value ||
+          (d.is_store && e.emu_addr != r.mem_addr) ||
+          e.branch_mismatch;
+      if (!value_based || value_changed) {
+        if (instr.dst.valid() && ir::producesValue(instr.op)) {
+          replay_dirty_regs_.at(r.frame, instr.dst.index) = 1;
+        }
+        if (d.is_store) {
+          replay_dirty_addrs_[e.emu_addr] = 1;
+          replay_dirty_addrs_[r.mem_addr] = 1;
+        }
+        if (d.op == ir::Opcode::kCall) {
+          const std::uint32_t params =
+              module_.function(instr.callee).param_count;
+          for (std::uint32_t p = 0; p < params; ++p) {
+            replay_dirty_regs_.at(r.callee_frame, p) = 1;
+          }
+        }
+        if (d.op == ir::Opcode::kRet && !calls.empty() &&
+            calls.back().dst.valid()) {
+          replay_dirty_regs_.at(calls.back().caller_frame,
+                                calls.back().dst.index) = 1;
+        }
+      }
+      if (e.branch_mismatch) break;  // replay discards everything after it
+    }
+
+    if (d.op == ir::Opcode::kCall) {
+      calls.push_back({r.frame, instr.dst});
+    } else if (d.op == ir::Opcode::kRet && !calls.empty()) {
+      calls.pop_back();
+    }
+  }
+  return flagged;
+}
+
+void SptMachine::settleFaults(bool replayed, std::size_t oracle_flagged,
+                              bool discarded, std::size_t escapes) {
+  if (!injector_) return;
+  const std::size_t n = injector_->pending();
+  injector_->threadStart();
+  if (n == 0) return;
+  result_.faults.injected += n;
+  if (escapes > 0) {
+    // A divergent value fast-committed undetected. Must never happen; the
+    // campaign asserts this stays zero.
+    result_.faults.escaped += n;
+  } else if (discarded || !replayed) {
+    // Discarded wholesale (kill / wrong path), or fast-committed with every
+    // entry validated equal: the corruption never reached committed state.
+    result_.faults.benign += n;
+  } else if (oracle_flagged > 0) {
+    result_.faults.detected_by_oracle += n;
+  } else {
+    result_.faults.detected_by_net += n;
   }
 }
 
@@ -555,7 +746,7 @@ void SptMachine::syncToFreezePoint() {
   main_pipe_->advanceToWithProfile(freeze, specProfileSinceFork());
 }
 
-void SptMachine::fastCommit() {
+std::size_t SptMachine::fastCommit() {
   ThreadStats& ts = loopThreadStats();
   syncToFreezePoint();
   // The bulk commit costs the Table 1 minimum regardless of buffer depth —
@@ -595,8 +786,20 @@ void SptMachine::fastCommit() {
   ++result_.threads.fast_commits;
   ++ts.fast_commits;
 
+  // Honest escape detector (fault mode): the arrival validation walk must
+  // have routed every divergent entry into replay, so nothing that reaches
+  // fast commit may mismatch the trace.
+  std::size_t escapes = 0;
+  if (fault_mode_) {
+    for (const SrbEntry& e : spec_.srb) {
+      if (entryDiverges(e, trace_[e.record_index])) ++escapes;
+    }
+  }
+
   pos_ = spec_.pos;
   spec_.active = false;
+  if (oracle_) oracle_->checkAt(pos_, arch_, "fast-commit");
+  return escapes;
 }
 
 void SptMachine::replayCommit() {
@@ -708,6 +911,7 @@ void SptMachine::replayCommit() {
 
   pos_ = diverged ? resume_pos : spec_.pos;
   spec_.active = false;
+  if (oracle_) oracle_->checkAt(pos_, arch_, "replay");
 }
 
 void SptMachine::fullSquash() {
@@ -720,6 +924,7 @@ void SptMachine::fullSquash() {
                         StallKind::kPipeline);
   pos_ = spec_.start_pos;  // re-execute the whole speculative span normally
   spec_.active = false;
+  if (oracle_) oracle_->checkAt(pos_, arch_, "squash");
 }
 
 void SptMachine::killSpec() {
@@ -731,6 +936,7 @@ void SptMachine::killSpec() {
   result_.threads.misspec_instrs += spec_.srb.size();
   ts.misspec_instrs += spec_.srb.size();
   spec_.active = false;
+  settleFaults(false, 0, /*discarded=*/true);
 }
 
 }  // namespace spt::sim

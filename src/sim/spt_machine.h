@@ -32,8 +32,10 @@
 #include "sim/arch_state.h"
 #include "sim/baseline.h"
 #include "sim/decode.h"
+#include "sim/fault_injector.h"
 #include "sim/flat_map.h"
 #include "sim/loop_tracker.h"
+#include "sim/oracle.h"
 #include "sim/result.h"
 #include "support/machine_config.h"
 #include "trace/trace.h"
@@ -105,8 +107,27 @@ class SptMachine {
   void executeFork(const trace::Record& record);
   void executeMainInstr(const trace::Record& record);
   void arrival();
+  /// Commit-time value validation (fault mode only): replicates the replay
+  /// dirty-closure walk without timing or architectural effects, and flags
+  /// any *clean* SRB entry whose emulated result diverges from the trace.
+  /// Returns the number of entries it had to flag — divergences the
+  /// dependence-checking net alone would have fast-committed.
+  std::size_t validateSrbAtArrival();
+  /// True when `e`'s emulated result observably diverges from the trace's
+  /// ground truth (opcode-aware: branches compare direction, stores also
+  /// compare the address, control records carry no comparable payload).
+  bool entryDiverges(const SrbEntry& e, const trace::Record& r) const;
+  /// Classifies this thread's pending injected faults into result_.faults
+  /// and re-arms the injector. `discarded` marks kill/wrong-path paths
+  /// (nothing speculative committed).
+  void settleFaults(bool replayed, std::size_t oracle_flagged,
+                    bool discarded, std::size_t escapes = 0);
+  void checkBudgets() const;
   void syncToFreezePoint();
-  void fastCommit();
+  /// Returns the number of divergent entries it committed (fault mode
+  /// only; must be zero — the arrival validation walk forces any thread
+  /// with a divergent entry into replay before fast commit is reachable).
+  std::size_t fastCommit();
   void replayCommit();
   void fullSquash();
   void killSpec();
@@ -136,6 +157,10 @@ class SptMachine {
 
   std::size_t pos_ = 0;  // main thread's next record
   SpecThread spec_;
+  // Robustness subsystem (null / false on the default path).
+  std::unique_ptr<FaultInjector> injector_;
+  std::unique_ptr<Oracle> oracle_;
+  bool fault_mode_ = false;
   std::vector<char> main_written_;  // fork-frame regs, dense by index
   // Replay scratch (persistent; epoch-reset at each replayCommit).
   FrameRegMap<char> replay_dirty_regs_;

@@ -1,0 +1,34 @@
+#include "support/check.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+#include "support/error.h"
+
+namespace spt::support {
+namespace {
+
+std::atomic<bool> g_check_throw_mode{false};
+
+}  // namespace
+
+bool checkThrowMode() {
+  return g_check_throw_mode.load(std::memory_order_relaxed);
+}
+
+void setCheckThrowMode(bool enabled) {
+  g_check_throw_mode.store(enabled, std::memory_order_relaxed);
+}
+
+void checkFailed(const char* cond, const char* file, int line,
+                 const char* msg) {
+  if (checkThrowMode()) {
+    throw SptInternalError(cond, file, line, msg != nullptr ? msg : "");
+  }
+  std::fprintf(stderr, "SPT_CHECK failed: %s\n  at %s:%d\n  %s\n", cond, file,
+               line, msg != nullptr ? msg : "");
+  std::abort();
+}
+
+}  // namespace spt::support

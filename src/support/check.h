@@ -3,19 +3,41 @@
 // SPT_CHECK is always on (simulator and compiler correctness both depend on
 // internal invariants; the cost of the checks is negligible next to the
 // interpretation/simulation work). SPT_UNREACHABLE marks impossible paths.
+//
+// By default a failed check prints and aborts. A harness that needs to
+// quarantine a poisoned cell instead of dying (harness::runSweep in
+// quarantine mode, the fault-injection campaign) can arm the opt-in
+// throwing mode, after which a failed check throws support::SptInternalError
+// carrying the condition, file, line, and message. The mode is a
+// process-global atomic: arming it affects every thread, which is exactly
+// what a multi-worker sweep wants.
 #pragma once
-
-#include <cstdio>
-#include <cstdlib>
 
 namespace spt::support {
 
-[[noreturn]] inline void checkFailed(const char* cond, const char* file,
-                                     int line, const char* msg) {
-  std::fprintf(stderr, "SPT_CHECK failed: %s\n  at %s:%d\n  %s\n", cond, file,
-               line, msg != nullptr ? msg : "");
-  std::abort();
-}
+/// Failure sink for SPT_CHECK / SPT_UNREACHABLE. Aborts, or throws
+/// SptInternalError when the throwing mode is armed.
+[[noreturn]] void checkFailed(const char* cond, const char* file, int line,
+                              const char* msg);
+
+/// Queries / sets the process-global throwing mode for failed checks.
+bool checkThrowMode();
+void setCheckThrowMode(bool enabled);
+
+/// RAII arm/disarm for the throwing mode (restores the previous value).
+class ScopedCheckThrowMode {
+ public:
+  explicit ScopedCheckThrowMode(bool enabled)
+      : previous_(checkThrowMode()) {
+    setCheckThrowMode(enabled);
+  }
+  ~ScopedCheckThrowMode() { setCheckThrowMode(previous_); }
+  ScopedCheckThrowMode(const ScopedCheckThrowMode&) = delete;
+  ScopedCheckThrowMode& operator=(const ScopedCheckThrowMode&) = delete;
+
+ private:
+  bool previous_;
+};
 
 }  // namespace spt::support
 

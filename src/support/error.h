@@ -1,0 +1,84 @@
+// Structured error types for the robustness / quarantine machinery.
+//
+// Historically every violated invariant aborted the process (SPT_CHECK in
+// check.h). That is the right default for a single experiment, but a
+// multi-thousand-cell sweep must be able to quarantine one poisoned cell
+// and keep going. These exception types carry enough context (file/line
+// for internal errors, used/limit for budgets) for a harness to record a
+// useful diagnostic in its results instead of dying.
+//
+// SptInternalError is only ever thrown when the opt-in throwing mode is
+// armed (support::ScopedCheckThrowMode, see check.h); the default SPT_CHECK
+// behavior is unchanged. SptBudgetExceeded is always thrown: exceeding an
+// explicitly configured budget is an expected, recoverable outcome, not a
+// broken invariant.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace spt::support {
+
+/// Base class for all SPT-originated errors.
+class SptError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// A violated internal invariant (SPT_CHECK in throwing mode, or an
+/// oracle-detected divergence). Carries the failure site so a quarantined
+/// cell's diagnostic pinpoints the check that fired.
+class SptInternalError : public SptError {
+ public:
+  SptInternalError(std::string condition, const char* file, int line,
+                   std::string context)
+      : SptError("SPT_CHECK failed: " + condition + " at " + file + ":" +
+                 std::to_string(line) +
+                 (context.empty() ? "" : " (" + context + ")")),
+        condition_(std::move(condition)),
+        file_(file),
+        line_(line),
+        context_(std::move(context)) {}
+
+  /// Free-form internal error (no specific check site).
+  explicit SptInternalError(std::string what)
+      : SptError(what), condition_(std::move(what)), file_(""), line_(0) {}
+
+  const std::string& condition() const { return condition_; }
+  const char* file() const { return file_; }
+  int line() const { return line_; }
+  const std::string& context() const { return context_; }
+
+ private:
+  std::string condition_;
+  const char* file_;
+  int line_;
+  std::string context_;
+};
+
+/// A configured simulated-record / cycle / instruction budget was exceeded.
+/// Thrown by the interpreter and the machines when MachineConfig (or
+/// interp::RunLimits) caps are set; harnesses catch it and report the cell
+/// as budget_exceeded instead of hanging on a runaway simulation.
+class SptBudgetExceeded : public SptError {
+ public:
+  SptBudgetExceeded(std::string resource, std::uint64_t used,
+                    std::uint64_t limit)
+      : SptError(resource + " budget exceeded: " + std::to_string(used) +
+                 " > " + std::to_string(limit)),
+        resource_(std::move(resource)),
+        used_(used),
+        limit_(limit) {}
+
+  const std::string& resource() const { return resource_; }
+  std::uint64_t used() const { return used_; }
+  std::uint64_t limit() const { return limit_; }
+
+ private:
+  std::string resource_;
+  std::uint64_t used_;
+  std::uint64_t limit_;
+};
+
+}  // namespace spt::support

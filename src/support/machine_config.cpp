@@ -33,6 +33,18 @@ std::string toString(RegisterCheckMode mode) {
   return "unknown";
 }
 
+std::string toString(OracleMode mode) {
+  switch (mode) {
+    case OracleMode::kOff:
+      return "off";
+    case OracleMode::kDigest:
+      return "digest";
+    case OracleMode::kDeep:
+      return "deep";
+  }
+  return "unknown";
+}
+
 void MachineConfig::print(std::ostream& os) const {
   os << "Processor cores: 2 in-order cores (main + speculative)\n"
      << "Cache hierarchy:\n";

@@ -32,6 +32,41 @@ enum class RegisterCheckMode {
   kValueBased,
 };
 
+/// Architectural-oracle mode (sim::Oracle). The oracle cross-checks the
+/// SPT machine's committed architectural state against an independent
+/// sequential replay of the trace at every fast-commit / replay / squash
+/// boundary. kOff is the default and leaves the simulation path untouched.
+enum class OracleMode {
+  kOff,
+  /// Cheap always-on-capable mode: compare incrementally folded
+  /// architectural digests (O(1) per committed record).
+  kDigest,
+  /// Digest plus a full materialized-state diff at every boundary that
+  /// names the first divergent register / memory address. Expensive;
+  /// meant for debugging a digest mismatch.
+  kDeep,
+};
+
+/// Deterministic fault-injection plan (sim::FaultInjector). When enabled,
+/// the SPT machine corrupts its *speculative* structures at seeded points:
+/// the sequential trace remains the architectural ground truth, so every
+/// injected fault must end as detected misspeculation (replayed /
+/// squashed / discarded) or be provably benign — which is exactly what the
+/// campaign asserts. Disabled by default: the plan adds zero work to the
+/// simulation path.
+struct FaultPlan {
+  bool enabled = false;
+  std::uint64_t seed = 0;
+  /// Average number of injection opportunities between injections (each
+  /// eligible event fires with probability 1/period).
+  std::uint32_t period = 32;
+  // Fault kinds (paper structures: SSB, LAB, fork-time RF copy, SRB).
+  bool ssb_value_flip = true;   // corrupt a speculative store's SSB value
+  bool lab_drop = true;         // drop a speculative load's LAB record
+  bool fork_reg_flip = true;    // flip a bit in the fork-time register copy
+  bool srb_payload_flip = true; // flip a bit in a buffered SRB result
+};
+
 /// One cache level's geometry and latency.
 struct CacheConfig {
   std::uint32_t size_bytes = 0;
@@ -69,11 +104,25 @@ struct MachineConfig {
   RecoveryMechanism recovery = RecoveryMechanism::kSelectiveReplayFastCommit;
   RegisterCheckMode register_check = RegisterCheckMode::kValueBased;
 
+  // ---- Robustness knobs (all off by default; zero cost when off) ----
+
+  /// Per-cell budgets (0 = unlimited). Exceeding one throws
+  /// support::SptBudgetExceeded instead of hanging: max_trace_records
+  /// bounds interpretation (dynamic instructions while tracing),
+  /// max_simulated_records / max_simulated_cycles bound the machines.
+  std::uint64_t max_trace_records = 0;
+  std::uint64_t max_simulated_records = 0;
+  std::uint64_t max_simulated_cycles = 0;
+
+  OracleMode oracle = OracleMode::kOff;
+  FaultPlan fault_plan;
+
   /// Pretty-prints the configuration in the shape of paper Table 1.
   void print(std::ostream& os) const;
 };
 
 std::string toString(RecoveryMechanism mechanism);
 std::string toString(RegisterCheckMode mode);
+std::string toString(OracleMode mode);
 
 }  // namespace spt::support

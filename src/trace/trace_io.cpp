@@ -8,7 +8,9 @@ namespace spt::trace {
 namespace {
 
 constexpr char kMagic[8] = {'S', 'P', 'T', 'T', 'R', 'A', 'C', 'E'};
-constexpr std::uint32_t kVersion = 1;
+// v2 added a whole-stream FNV-1a checksum to the header and per-record
+// kind/opcode range validation with byte-offset diagnostics.
+constexpr std::uint32_t kVersion = 2;
 
 /// On-disk record layout (packed, little-endian on every supported target).
 struct DiskRecord {
@@ -24,6 +26,19 @@ struct DiskRecord {
   std::int64_t mem_old;
 };
 static_assert(sizeof(DiskRecord) == 40);
+
+// magic + version + count + checksum.
+constexpr std::size_t kHeaderBytes =
+    sizeof kMagic + sizeof(std::uint32_t) + 2 * sizeof(std::uint64_t);
+
+constexpr std::uint64_t kFnvOffset = 14695981039346656037ull;
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+std::uint64_t fnv1a(std::uint64_t h, const void* data, std::size_t n) {
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < n; ++i) h = (h ^ p[i]) * kFnvPrime;
+  return h;
+}
 
 DiskRecord toDisk(const Record& r) {
   DiskRecord d{};
@@ -61,6 +76,14 @@ bool writeTrace(std::ostream& os, const TraceBuffer& trace) {
   os.write(reinterpret_cast<const char*>(&version), sizeof version);
   const std::uint64_t count = trace.size();
   os.write(reinterpret_cast<const char*>(&count), sizeof count);
+  // Checksum of the record stream, so a reader can tell truncation and
+  // bit-rot apart from a well-formed short trace.
+  std::uint64_t checksum = kFnvOffset;
+  for (const Record& r : trace.records()) {
+    const DiskRecord d = toDisk(r);
+    checksum = fnv1a(checksum, &d, sizeof d);
+  }
+  os.write(reinterpret_cast<const char*>(&checksum), sizeof checksum);
   for (const Record& r : trace.records()) {
     const DiskRecord d = toDisk(r);
     os.write(reinterpret_cast<const char*>(&d), sizeof d);
@@ -74,31 +97,63 @@ bool writeTraceFile(const std::string& path, const TraceBuffer& trace) {
 }
 
 std::optional<TraceBuffer> readTrace(std::istream& is, std::string* error) {
-  const auto fail = [&](const char* why) -> std::optional<TraceBuffer> {
+  const auto fail = [&](const std::string& why) -> std::optional<TraceBuffer> {
     if (error != nullptr) *error = why;
     return std::nullopt;
   };
   char magic[8];
   is.read(magic, sizeof magic);
   if (!is || std::memcmp(magic, kMagic, sizeof magic) != 0) {
-    return fail("bad magic");
+    return fail("bad magic (not an SPT trace file)");
   }
   std::uint32_t version = 0;
   is.read(reinterpret_cast<char*>(&version), sizeof version);
-  if (!is || version != kVersion) return fail("unsupported version");
+  if (!is || version != kVersion) {
+    return fail("unsupported trace version " + std::to_string(version) +
+                " (expected " + std::to_string(kVersion) + ")");
+  }
   std::uint64_t count = 0;
   is.read(reinterpret_cast<char*>(&count), sizeof count);
-  if (!is) return fail("truncated header");
+  if (!is) return fail("truncated header (missing record count)");
+  std::uint64_t stored_checksum = 0;
+  is.read(reinterpret_cast<char*>(&stored_checksum), sizeof stored_checksum);
+  if (!is) return fail("truncated header (missing checksum)");
 
   TraceBuffer buffer;
+  std::uint64_t checksum = kFnvOffset;
   for (std::uint64_t i = 0; i < count; ++i) {
+    const std::size_t offset = kHeaderBytes + i * sizeof(DiskRecord);
     DiskRecord d;
     is.read(reinterpret_cast<char*>(&d), sizeof d);
-    if (!is) return fail("truncated record stream");
-    if (d.kind > static_cast<std::uint8_t>(RecordKind::kLoopExit)) {
-      return fail("corrupt record kind");
+    if (!is) {
+      return fail("truncated record stream: expected record " +
+                  std::to_string(i) + " of " + std::to_string(count) +
+                  " (a " + std::to_string(sizeof d) +
+                  "-byte kInstr/marker record) at byte offset " +
+                  std::to_string(offset));
     }
+    if (d.kind > static_cast<std::uint8_t>(RecordKind::kLoopExit)) {
+      return fail("corrupt record kind " + std::to_string(d.kind) +
+                  " in record " + std::to_string(i) + " at byte offset " +
+                  std::to_string(offset) +
+                  " (valid kinds: 0=kInstr, 1=kIterBegin, 2=kLoopExit)");
+    }
+    if (d.op > static_cast<std::uint8_t>(ir::Opcode::kNop)) {
+      return fail("corrupt opcode " + std::to_string(d.op) + " in record " +
+                  std::to_string(i) + " at byte offset " +
+                  std::to_string(offset) + " (valid opcodes: 0.." +
+                  std::to_string(
+                      static_cast<std::uint8_t>(ir::Opcode::kNop)) +
+                  ")");
+    }
+    checksum = fnv1a(checksum, &d, sizeof d);
     buffer.onRecord(fromDisk(d));
+  }
+  if (checksum != stored_checksum) {
+    return fail("checksum mismatch over " + std::to_string(count) +
+                " records: stored " + std::to_string(stored_checksum) +
+                ", computed " + std::to_string(checksum) +
+                " (trace bytes corrupted)");
   }
   return buffer;
 }

@@ -2,8 +2,11 @@
 //
 // The paper's simulator consumes execution-trace files (Section 5.1); this
 // gives the same workflow: trace once, simulate many configurations without
-// re-interpreting. The format is a fixed little-endian record stream with a
-// small header (magic, version, record count).
+// re-interpreting. The format (v2) is a fixed little-endian record stream
+// with a small header (magic, version, record count, FNV-1a checksum of the
+// record bytes). Readers validate the checksum and every record's kind and
+// opcode ranges, and report corruption with the byte offset and what was
+// expected there.
 #pragma once
 
 #include <iosfwd>

@@ -1,0 +1,165 @@
+// Tests for the fault-injection campaign and the architectural oracle:
+// every injected fault is detected or provably benign, committed state
+// always equals the sequential replay (digest match), campaigns are
+// bit-reproducible at any worker count, and the oracle in digest mode
+// does not perturb the simulation's timing.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "harness/fault_campaign.h"
+#include "harness/suite.h"
+#include "workloads/workloads.h"
+
+namespace spt::harness {
+namespace {
+
+SuiteEntry entryByName(const std::string& name) {
+  for (const SuiteEntry& e : defaultSuite()) {
+    if (e.workload.name == name) return e;
+  }
+  ADD_FAILURE() << "no suite entry named " << name;
+  return defaultSuite().front();
+}
+
+// The headline robustness claim (ISSUE acceptance): a campaign across the
+// whole suite injects at least 500 faults, every one of them lands in a
+// detected or benign bucket (escaped == 0), and the machine's committed
+// architectural digest equals the sequential replay of the same trace in
+// every cell.
+TEST(FaultCampaign, EveryFaultDetectedOrBenignAndDigestsMatch) {
+  FaultCampaignOptions opts;
+  opts.seeds = 2;
+  opts.jobs = 4;
+  const FaultCampaignResult res = runFaultCampaign(opts);
+
+  ASSERT_EQ(res.cells.size(), defaultSuite().size() * opts.seeds);
+  EXPECT_GE(res.totals.injected, 500u);
+  EXPECT_EQ(res.totals.escaped, 0u);
+  EXPECT_EQ(res.totals.detectedOrBenign(), res.totals.injected);
+  EXPECT_TRUE(res.allDetectedOrBenign());
+  EXPECT_TRUE(res.allDigestsMatch());
+  for (const FaultCampaignCell& cell : res.cells) {
+    EXPECT_EQ(cell.faults.escaped, 0u) << cell.benchmark;
+    EXPECT_TRUE(cell.digest_match) << cell.benchmark;
+    // The oracle checks at least the end-of-run boundary in every cell.
+    EXPECT_GE(cell.oracle_checks, 1u) << cell.benchmark;
+    EXPECT_EQ(cell.arch_digest, cell.sequential_digest) << cell.benchmark;
+  }
+}
+
+// Cell c's fault seed is deriveSeed(base, c) — a pure function of the cell
+// index — so the whole campaign is bit-identical at any --jobs value.
+TEST(FaultCampaign, BitReproducibleAcrossWorkerCounts) {
+  FaultCampaignOptions opts;
+  opts.seeds = 1;
+  opts.jobs = 1;
+  const FaultCampaignResult serial = runFaultCampaign(opts);
+  opts.jobs = 4;
+  const FaultCampaignResult wide = runFaultCampaign(opts);
+
+  ASSERT_EQ(serial.cells.size(), wide.cells.size());
+  for (std::size_t i = 0; i < serial.cells.size(); ++i) {
+    const FaultCampaignCell& a = serial.cells[i];
+    const FaultCampaignCell& b = wide.cells[i];
+    EXPECT_EQ(a.benchmark, b.benchmark);
+    EXPECT_EQ(a.fault_seed, b.fault_seed);
+    EXPECT_EQ(a.faults.injected, b.faults.injected) << a.benchmark;
+    EXPECT_EQ(a.faults.detected_by_net, b.faults.detected_by_net)
+        << a.benchmark;
+    EXPECT_EQ(a.faults.detected_by_oracle, b.faults.detected_by_oracle)
+        << a.benchmark;
+    EXPECT_EQ(a.faults.benign, b.faults.benign) << a.benchmark;
+    EXPECT_EQ(a.arch_digest, b.arch_digest) << a.benchmark;
+    EXPECT_EQ(a.oracle_checks, b.oracle_checks) << a.benchmark;
+  }
+  EXPECT_EQ(serial.totals.injected, wide.totals.injected);
+}
+
+// A single experiment with faults enabled but the oracle OFF: the
+// dependence-checking net plus the commit-time validation walk must still
+// contain every fault, and the experiment's own end-to-end result checks
+// (return value, memory hash vs. the baseline program) must pass.
+TEST(FaultInjection, ContainedWithoutOracle) {
+  const SuiteEntry entry = entryByName("parser");
+  support::MachineConfig mc;
+  mc.fault_plan.enabled = true;
+  mc.fault_plan.seed = 7;
+  mc.fault_plan.period = 16;
+  ASSERT_EQ(mc.oracle, support::OracleMode::kOff);
+
+  const ExperimentResult r = runSuiteEntry(entry, mc);
+  EXPECT_GT(r.spt.faults.injected, 0u);
+  EXPECT_EQ(r.spt.faults.escaped, 0u);
+  EXPECT_EQ(r.spt.faults.detectedOrBenign(), r.spt.faults.injected);
+  // Oracle off: no digest is produced.
+  EXPECT_EQ(r.spt.arch_digest, 0u);
+  EXPECT_EQ(r.spt.oracle_checks, 0u);
+}
+
+// Digest mode is advertised as cheap-always-on: it must not change a
+// single timing or speculation statistic of the default (fault-free) run.
+TEST(Oracle, DigestModeDoesNotPerturbSimulation) {
+  const SuiteEntry entry = entryByName("crafty");
+  const ExperimentResult plain = runSuiteEntry(entry);
+
+  support::MachineConfig mc;
+  mc.oracle = support::OracleMode::kDigest;
+  const ExperimentResult checked = runSuiteEntry(entry, mc);
+
+  EXPECT_EQ(plain.spt.cycles, checked.spt.cycles);
+  EXPECT_EQ(plain.spt.instrs, checked.spt.instrs);
+  EXPECT_EQ(plain.spt.threads.spawned, checked.spt.threads.spawned);
+  EXPECT_EQ(plain.spt.threads.fast_commits, checked.spt.threads.fast_commits);
+  EXPECT_EQ(plain.spt.threads.replays, checked.spt.threads.replays);
+  EXPECT_EQ(plain.baseline.cycles, checked.baseline.cycles);
+  // The oracle itself ran and produced a digest.
+  EXPECT_GT(checked.spt.oracle_checks, 0u);
+  EXPECT_NE(checked.spt.arch_digest, 0u);
+  EXPECT_EQ(plain.spt.oracle_checks, 0u);
+  EXPECT_EQ(plain.spt.arch_digest, 0u);
+}
+
+// Deep mode (full materialized-state diff at every boundary) on a small
+// workload, with faults enabled: an injected fault must never make the
+// deep diff fire — committed state stays sequential-equivalent.
+TEST(Oracle, DeepModeSurvivesFaultInjection) {
+  workloads::Workload w = workloads::findWorkload("micro.parser_free");
+  ir::Module m = w.build(1);
+  support::MachineConfig mc;
+  mc.oracle = support::OracleMode::kDeep;
+  mc.fault_plan.enabled = true;
+  mc.fault_plan.seed = 11;
+  mc.fault_plan.period = 8;
+  const ExperimentResult r = runSptExperiment(std::move(m), {}, mc);
+  EXPECT_GT(r.spt.oracle_checks, 0u);
+  EXPECT_EQ(r.spt.faults.escaped, 0u);
+  EXPECT_EQ(r.spt.faults.detectedOrBenign(), r.spt.faults.injected);
+}
+
+// The JSON writer emits the campaign verdicts and one entry per cell.
+TEST(FaultCampaign, JsonReportRoundTrips) {
+  FaultCampaignOptions opts;
+  opts.seeds = 1;
+  opts.jobs = 4;
+  const FaultCampaignResult res = runFaultCampaign(opts);
+
+  const std::string path = ::testing::TempDir() + "/spt_campaign.json";
+  ASSERT_TRUE(writeFaultCampaignJson(path, res));
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const std::string json = ss.str();
+  EXPECT_NE(json.find("\"all_detected_or_benign\""), std::string::npos);
+  EXPECT_NE(json.find("\"all_digests_match\""), std::string::npos);
+  EXPECT_NE(json.find("\"totals\""), std::string::npos);
+  for (const SuiteEntry& e : defaultSuite()) {
+    EXPECT_NE(json.find("\"" + e.workload.name + "\""), std::string::npos)
+        << e.workload.name;
+  }
+}
+
+}  // namespace
+}  // namespace spt::harness

@@ -125,7 +125,7 @@ TEST(Parser, ReportsErrors) {
       {"module m\nfunc @f(params=0, regs=1)\n  ret\n",
        "instruction outside a block"},
       {"module m\nfunc @f(params=0, regs=2)\nentry:\n  r0 = add r1\n",
-       "expected ,"},
+       "expected ','"},
   };
   for (const auto& c : cases) {
     ParseError error;
@@ -135,6 +135,88 @@ TEST(Parser, ReportsErrors) {
         << "got: " << error.message;
     EXPECT_GT(error.line, 0u);
   }
+}
+
+// Satellite: malformed programs are reported with the 1-based line AND
+// column of the offending token, and the token itself is quoted.
+TEST(Parser, ReportsLineColumnAndToken) {
+  const std::string prefix = "module m\nfunc @f(params=0, regs=2)\nentry:\n";
+
+  {
+    // Unknown opcode: column points at the opcode, message quotes it.
+    ParseError error;
+    auto m = parseModule(prefix + "  r0 = bogus r1\n", &error);
+    ASSERT_FALSE(m.has_value());
+    EXPECT_EQ(error.line, 4u);
+    EXPECT_EQ(error.column, 8u);  // "  r0 = " is 7 chars; 'bogus' starts at 8
+    EXPECT_NE(error.message.find("unknown opcode 'bogus'"), std::string::npos)
+        << error.message;
+  }
+  {
+    // Arity mismatch (binary op with one operand): error at end of line.
+    ParseError error;
+    auto m = parseModule(prefix + "  r0 = add r1\n", &error);
+    ASSERT_FALSE(m.has_value());
+    EXPECT_EQ(error.line, 4u);
+    EXPECT_EQ(error.column, 14u);  // one past the 13-char line
+    EXPECT_NE(error.message.find("expected ','"), std::string::npos)
+        << error.message;
+    EXPECT_NE(error.message.find("(at end of line)"), std::string::npos)
+        << error.message;
+  }
+  {
+    // Wrong token where a separator belongs: token is quoted.
+    ParseError error;
+    auto m = parseModule(prefix + "  r0 = add r1 ^ r0\n", &error);
+    ASSERT_FALSE(m.has_value());
+    EXPECT_EQ(error.line, 4u);
+    EXPECT_EQ(error.column, 15u);
+    EXPECT_NE(error.message.find("(got '^')"), std::string::npos)
+        << error.message;
+  }
+  {
+    // Register expected: offending token named.
+    ParseError error;
+    auto m = parseModule(prefix + "  r0 = add x1, r1\n", &error);
+    ASSERT_FALSE(m.has_value());
+    EXPECT_EQ(error.line, 4u);
+    EXPECT_EQ(error.column, 12u);  // 'x1' starts after "  r0 = add "
+    EXPECT_NE(error.message.find("expected register for lhs"),
+              std::string::npos)
+        << error.message;
+    EXPECT_NE(error.message.find("(got 'x1')"), std::string::npos)
+        << error.message;
+  }
+  {
+    // Missing destination: column points at the opcode that needs one.
+    ParseError error;
+    auto m = parseModule(prefix + "  add r0, r1\n", &error);
+    ASSERT_FALSE(m.has_value());
+    EXPECT_EQ(error.line, 4u);
+    EXPECT_EQ(error.column, 3u);
+    EXPECT_NE(error.message.find("add needs a destination"),
+              std::string::npos)
+        << error.message;
+  }
+}
+
+// Satellite: an unterminated block parses but fails verification with a
+// diagnostic naming the block.
+TEST(Parser, UnterminatedBlockFailsVerification) {
+  const std::string text = R"(module m
+func @main(params=0, regs=2)
+entry:
+  r0 = const 1
+  r1 = add r0, r0
+)";
+  ParseError error;
+  auto m = parseModule(text, &error);
+  ASSERT_TRUE(m.has_value()) << error.message;
+  m->finalize();
+  const auto problems = verifyModule(*m);
+  ASSERT_FALSE(problems.empty());
+  EXPECT_NE(problems.front().find("lacks a terminator"), std::string::npos)
+      << problems.front();
 }
 
 TEST(Parser, RoundTripIsStable) {

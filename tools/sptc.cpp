@@ -18,6 +18,26 @@
 //   sptc perf [options]
 //       Measure the simulator's own host throughput (simulated MIPS per
 //       workload, docs/PERF.md) and write BENCH_sim_throughput.json.
+//   sptc inject [options]
+//       Run the fault-injection campaign (docs/ROBUSTNESS.md): the whole
+//       suite under seeded corruption of the speculative structures with
+//       the architectural oracle armed. Exits nonzero if any fault
+//       escaped or any architectural digest diverged.
+//
+// Options for inject:
+//   --seeds N          fault seeds per workload (default 8)
+//   --seed N           campaign base seed (default 0x5eed)
+//   --period N         injector firing period, ~1/N per eligible site
+//                      (default 32)
+//   --oracle M         digest | deep (default digest)
+//
+// Options for sweep:
+//   --checkpoint PATH  flush each finished cell to PATH as it completes
+//   --resume           reuse ok cells from --checkpoint; re-run the rest
+//   --quarantine       report poisoned cells in the results instead of
+//                      aborting (arms throwing SPT_CHECK)
+//   --max-records N    per-cell simulated-record budget (0 = unlimited)
+//   --max-cycles N     per-cell simulated-cycle budget (0 = unlimited)
 //
 // Options for sweep/perf:
 //   --jobs N           parallel experiment workers (default: SPT_JOBS env
@@ -44,6 +64,7 @@
 #include <iostream>
 #include <sstream>
 
+#include "harness/fault_campaign.h"
 #include "harness/parallel_sweep.h"
 #include "harness/perf.h"
 #include "harness/suite.h"
@@ -59,7 +80,7 @@ using namespace spt;
 
 int usage() {
   std::cerr
-      << "usage: sptc <list|run|compile|parse|sweep|perf> [target] "
+      << "usage: sptc <list|run|compile|parse|sweep|perf|inject> [target] "
          "[options]\n"
          "       see the header of tools/sptc.cpp for details\n";
   return 2;
@@ -79,8 +100,9 @@ std::optional<ir::Module> loadTarget(const std::string& target,
     ir::ParseError error;
     auto m = ir::parseModule(ss.str(), &error);
     if (!m) {
-      std::cerr << "sptc: parse error at line " << error.line << ": "
-                << error.message << "\n";
+      std::cerr << "sptc: parse error at line " << error.line;
+      if (error.column != 0) std::cerr << ", column " << error.column;
+      std::cerr << ": " << error.message << "\n";
       return std::nullopt;
     }
     m->finalize();
@@ -116,6 +138,15 @@ struct Options {
   std::size_t jobs = 0;   // sweep/perf: 0 = ParallelSweep default
   std::string json_path;  // sweep: empty = no JSON output
   int reps = 3;           // perf: timed repetitions per machine
+  // sweep hardening
+  std::string checkpoint_path;
+  bool resume = false;
+  bool quarantine = false;
+  // inject
+  std::uint64_t seeds = 8;
+  std::uint64_t base_seed = 0x5eed;
+  std::uint32_t period = 32;
+  support::OracleMode oracle = support::OracleMode::kDigest;
   bool ok = true;
 };
 
@@ -180,8 +211,40 @@ Options parseOptions(int argc, char** argv, int first) {
     } else if (arg == "--reps") {
       o.reps = std::max(
           1, static_cast<int>(std::strtol(need_value(i), nullptr, 10)));
+    } else if (arg == "--checkpoint") {
+      o.checkpoint_path = need_value(i);
+    } else if (arg == "--resume") {
+      o.resume = true;
+    } else if (arg == "--quarantine") {
+      o.quarantine = true;
+    } else if (arg == "--max-records") {
+      o.machine.max_simulated_records =
+          std::strtoull(need_value(i), nullptr, 10);
+      o.machine.max_trace_records = o.machine.max_simulated_records;
+    } else if (arg == "--max-cycles") {
+      o.machine.max_simulated_cycles =
+          std::strtoull(need_value(i), nullptr, 10);
+    } else if (arg == "--seeds") {
+      o.seeds = std::strtoull(need_value(i), nullptr, 10);
+    } else if (arg == "--seed") {
+      o.base_seed = std::strtoull(need_value(i), nullptr, 10);
+    } else if (arg == "--period") {
+      o.period = static_cast<std::uint32_t>(
+          std::strtoul(need_value(i), nullptr, 10));
+    } else if (arg == "--oracle") {
+      const std::string v = need_value(i);
+      if (v == "digest") {
+        o.oracle = support::OracleMode::kDigest;
+      } else if (v == "deep") {
+        o.oracle = support::OracleMode::kDeep;
+      } else {
+        std::cerr << "sptc: unknown oracle mode '" << v
+                  << "' (expected digest | deep)\n";
+        o.ok = false;
+      }
     } else {
-      std::cerr << "sptc: unknown option '" << arg << "'\n";
+      std::cerr << "sptc: unknown option '" << arg
+                << "' (see `sptc` for usage)\n";
       o.ok = false;
     }
   }
@@ -273,14 +336,27 @@ int cmdSweep(const Options& options) {
     cases.push_back(std::move(c));
   }
 
-  const auto rows = harness::runSweep(sweep, cases);
+  harness::SweepOptions sweep_opts;
+  sweep_opts.quarantine = options.quarantine;
+  sweep_opts.checkpoint_path = options.checkpoint_path;
+  sweep_opts.resume = options.resume;
+  const auto rows = harness::runSweep(sweep, cases, sweep_opts);
 
   support::Table t("suite sweep (" + std::to_string(sweep.jobs()) +
                    " jobs)");
   t.setHeader({"benchmark", "baseline cycles", "SPT cycles", "speedup",
                "threads", "fast commits"});
   double sum_speedup = 0.0;
+  std::size_t ok_rows = 0;
+  std::size_t failed_rows = 0;
   for (const auto& row : rows) {
+    if (!row.ok()) {
+      ++failed_rows;
+      t.addRow({row.benchmark, "-", "-", harness::toString(row.status), "-",
+                "-"});
+      continue;
+    }
+    ++ok_rows;
     t.addRow({row.benchmark, std::to_string(row.result.baseline.cycles),
               std::to_string(row.result.spt.cycles),
               support::percent(row.result.programSpeedup(), 1.0),
@@ -290,10 +366,19 @@ int cmdSweep(const Options& options) {
     sum_speedup += row.result.programSpeedup();
   }
   t.addRow({"Average", "-", "-",
-            support::percent(sum_speedup / static_cast<double>(rows.size()),
-                             1.0),
+            ok_rows == 0 ? "-"
+                         : support::percent(
+                               sum_speedup / static_cast<double>(ok_rows),
+                               1.0),
             "-", "-"});
   t.print(std::cout);
+  for (const auto& row : rows) {
+    if (!row.ok()) {
+      std::cerr << "sptc: cell " << row.benchmark << "/" << row.config
+                << " " << harness::toString(row.status) << ": "
+                << row.diagnostic << "\n";
+    }
+  }
 
   if (!options.json_path.empty()) {
     if (!harness::writeSweepJson(options.json_path, rows)) {
@@ -302,7 +387,66 @@ int cmdSweep(const Options& options) {
     }
     std::cout << "results: " << options.json_path << "\n";
   }
-  return 0;
+  // Quarantined failures are reported, not fatal — but the exit code still
+  // says the sweep was incomplete.
+  return failed_rows == 0 ? 0 : 1;
+}
+
+int cmdInject(const Options& options) {
+  harness::FaultCampaignOptions fc;
+  fc.seeds = options.seeds;
+  fc.base_seed = options.base_seed;
+  fc.jobs = options.jobs;
+  fc.scale = options.scale;
+  fc.period = options.period;
+  fc.oracle = options.oracle;
+  fc.machine = options.machine;
+  const auto result = harness::runFaultCampaign(fc);
+
+  // Per-benchmark aggregation over the seeds (cells are workload-major).
+  support::Table t("fault-injection campaign (" +
+                   std::to_string(options.seeds) + " seeds/workload, " +
+                   "oracle " + support::toString(fc.oracle) + ")");
+  t.setHeader({"benchmark", "injected", "net", "oracle", "benign",
+               "escaped", "digests"});
+  for (std::size_t i = 0; i < result.cells.size();) {
+    const std::string& name = result.cells[i].benchmark;
+    sim::FaultStats agg;
+    bool digests_ok = true;
+    for (; i < result.cells.size() && result.cells[i].benchmark == name;
+         ++i) {
+      agg.accumulate(result.cells[i].faults);
+      digests_ok = digests_ok && result.cells[i].digest_match;
+    }
+    t.addRow({name, std::to_string(agg.injected),
+              std::to_string(agg.detected_by_net),
+              std::to_string(agg.detected_by_oracle),
+              std::to_string(agg.benign), std::to_string(agg.escaped),
+              digests_ok ? "match" : "DIVERGED"});
+  }
+  t.addRow({"Total", std::to_string(result.totals.injected),
+            std::to_string(result.totals.detected_by_net),
+            std::to_string(result.totals.detected_by_oracle),
+            std::to_string(result.totals.benign),
+            std::to_string(result.totals.escaped),
+            result.allDigestsMatch() ? "match" : "DIVERGED"});
+  t.print(std::cout);
+
+  if (!options.json_path.empty()) {
+    if (!harness::writeFaultCampaignJson(options.json_path, result)) {
+      std::cerr << "sptc: could not write " << options.json_path << "\n";
+      return 1;
+    }
+    std::cout << "results: " << options.json_path << "\n";
+  }
+
+  const bool pass =
+      result.allDetectedOrBenign() && result.allDigestsMatch();
+  std::cout << (pass ? "campaign PASS: every injected fault detected or "
+                       "benign; architectural state intact\n"
+                     : "campaign FAIL: escaped faults or architectural "
+                       "divergence (see table)\n");
+  return pass ? 0 : 1;
 }
 
 int cmdPerf(const Options& options) {
@@ -341,12 +485,24 @@ int main(int argc, char** argv) {
     if (!options.ok) return 2;
     return cmdPerf(options);
   }
-  if (argc < 3) return usage();
-  const std::string target = argv[2];
-  const Options options = parseOptions(argc, argv, 3);
-  if (!options.ok) return 2;
-  if (cmd == "run") return cmdRun(target, options);
-  if (cmd == "compile") return cmdCompile(target, options);
-  if (cmd == "parse") return cmdParse(target);
+  if (cmd == "inject") {
+    const Options options = parseOptions(argc, argv, 2);
+    if (!options.ok) return 2;
+    return cmdInject(options);
+  }
+  if (cmd == "run" || cmd == "compile" || cmd == "parse") {
+    if (argc < 3 || argv[2][0] == '-') {
+      std::cerr << "sptc: '" << cmd
+                << "' needs a workload name or .spt file\n";
+      return usage();
+    }
+    const std::string target = argv[2];
+    const Options options = parseOptions(argc, argv, 3);
+    if (!options.ok) return 2;
+    if (cmd == "run") return cmdRun(target, options);
+    if (cmd == "compile") return cmdCompile(target, options);
+    return cmdParse(target);
+  }
+  std::cerr << "sptc: unknown subcommand '" << cmd << "'\n";
   return usage();
 }
