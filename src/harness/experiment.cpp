@@ -32,7 +32,8 @@ TracedRun traceProgram(ir::Module& module, std::vector<std::int64_t> args,
 ExperimentResult runSptExperiment(ir::Module module,
                                   const compiler::CompilerOptions& copts,
                                   const support::MachineConfig& mconfig,
-                                  std::vector<std::int64_t> args) {
+                                  std::vector<std::int64_t> args,
+                                  compiler::CompilationRemarks* remarks) {
   ExperimentResult result;
 
   // Baseline: the unmodified module.
@@ -42,7 +43,7 @@ ExperimentResult runSptExperiment(ir::Module module,
   // SPT: two-pass cost-driven compilation in place.
   compiler::SptCompiler cc(copts);
   InterpProfileRunner runner(args);
-  result.plan = cc.compile(module, runner);
+  result.plan = cc.compile(module, runner, remarks);
 
   // Sequential semantics must be preserved by the transformation.
   TracedRun base_run = traceProgram(baseline, args, mconfig.max_trace_records);

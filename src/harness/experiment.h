@@ -57,10 +57,14 @@ struct ExperimentResult {
 };
 
 /// Runs the whole pipeline on `module` (taken by value: the experiment
-/// compiles a copy and leaves the caller's module untouched).
+/// compiles a copy and leaves the caller's module untouched). With
+/// non-null `remarks`, fills the compiler's structured per-loop decision
+/// log (spt/remarks.h) — the experiment consumes the same plan, so
+/// results are unchanged by construction.
 ExperimentResult runSptExperiment(
     ir::Module module, const compiler::CompilerOptions& copts = {},
     const support::MachineConfig& mconfig = {},
-    std::vector<std::int64_t> args = {});
+    std::vector<std::int64_t> args = {},
+    compiler::CompilationRemarks* remarks = nullptr);
 
 }  // namespace spt::harness

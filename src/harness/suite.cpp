@@ -20,8 +20,10 @@ std::vector<SuiteEntry> defaultSuite() {
 
 ExperimentResult runSuiteEntry(const SuiteEntry& entry,
                                const support::MachineConfig& mconfig,
-                               std::uint64_t scale) {
-  return runSptExperiment(entry.workload.build(scale), entry.copts, mconfig);
+                               std::uint64_t scale,
+                               compiler::CompilationRemarks* remarks) {
+  return runSptExperiment(entry.workload.build(scale), entry.copts, mconfig,
+                          {}, remarks);
 }
 
 }  // namespace spt::harness

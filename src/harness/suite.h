@@ -16,9 +16,11 @@ struct SuiteEntry {
 /// The ten benchmarks in figure order with their default compiler options.
 std::vector<SuiteEntry> defaultSuite();
 
-/// Runs the full pipeline for one entry.
+/// Runs the full pipeline for one entry. With non-null `remarks`, fills
+/// the compiler's structured per-loop decision log (spt/remarks.h).
 ExperimentResult runSuiteEntry(const SuiteEntry& entry,
                                const support::MachineConfig& mconfig = {},
-                               std::uint64_t scale = 1);
+                               std::uint64_t scale = 1,
+                               compiler::CompilationRemarks* remarks = nullptr);
 
 }  // namespace spt::harness

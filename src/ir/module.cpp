@@ -72,6 +72,47 @@ void Module::finalize() {
   finalized_ = true;
 }
 
+std::uint64_t Module::structuralDigest() const {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  const auto byte = [&h](unsigned char b) {
+    h ^= b;
+    h *= 0x100000001b3ull;
+  };
+  const auto word = [&byte](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) byte(static_cast<unsigned char>(v >> (8 * i)));
+  };
+  const auto str = [&](const std::string& s) {
+    word(s.size());
+    for (const char c : s) byte(static_cast<unsigned char>(c));
+  };
+
+  word(funcs_.size());
+  word(main_func_);
+  for (const Function& f : funcs_) {
+    str(f.name);
+    word(f.param_count);
+    word(f.reg_count);
+    word(f.blocks.size());
+    for (const BasicBlock& b : f.blocks) {
+      str(b.label);
+      word(b.instrs.size());
+      for (const Instr& in : b.instrs) {
+        word(static_cast<std::uint64_t>(in.op));
+        word(in.dst.index);
+        word(in.a.index);
+        word(in.b.index);
+        word(static_cast<std::uint64_t>(in.imm));
+        word(in.target0);
+        word(in.target1);
+        word(in.callee);
+        word(in.args.size());
+        for (const Reg r : in.args) word(r.index);
+      }
+    }
+  }
+  return h;
+}
+
 const Module::StaticLocation& Module::locate(StaticId id) const {
   SPT_CHECK(finalized_ && id < locations_.size());
   return locations_[id];

@@ -80,6 +80,13 @@ class Module {
   const StaticLocation& locate(StaticId id) const;
   const Instr& instrAt(StaticId id) const;
 
+  /// Order-sensitive FNV-1a digest of the module's structure: functions,
+  /// blocks, and every instruction field except the finalize-assigned
+  /// static_id, so the digest is stable across finalize() calls. Two
+  /// modules with equal digests produce identical profiles under the same
+  /// runner — the profile cache keys on it.
+  std::uint64_t structuralDigest() const;
+
  private:
   std::string name_;
   std::vector<Function> funcs_;

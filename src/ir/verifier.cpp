@@ -1,7 +1,5 @@
 #include "ir/verifier.h"
 
-#include <sstream>
-
 namespace spt::ir {
 namespace {
 
@@ -10,7 +8,7 @@ class FunctionVerifier {
   FunctionVerifier(const Module& module, const Function& func)
       : module_(module), func_(func) {}
 
-  std::vector<std::string> run() {
+  std::vector<Violation> run() {
     if (func_.blocks.empty()) {
       report("function has no blocks");
       return problems_;
@@ -25,13 +23,26 @@ class FunctionVerifier {
   }
 
  private:
-  void report(const std::string& msg) { problems_.push_back(msg); }
+  void report(std::string msg) {
+    Violation v;
+    v.message = std::move(msg);
+    problems_.push_back(std::move(v));
+  }
 
-  void reportAt(const BasicBlock& block, std::size_t index,
-                const std::string& msg) {
-    std::ostringstream ss;
-    ss << "B" << block.id << "[" << index << "]: " << msg;
-    report(ss.str());
+  void reportBlock(const BasicBlock& block, std::string msg) {
+    Violation v;
+    v.block = block.id;
+    v.message = std::move(msg);
+    problems_.push_back(std::move(v));
+  }
+
+  void reportAt(const BasicBlock& block, std::size_t index, std::string msg) {
+    Violation v;
+    v.block = block.id;
+    v.instr_index = static_cast<std::uint32_t>(index);
+    v.at_instr = true;
+    v.message = std::move(msg);
+    problems_.push_back(std::move(v));
   }
 
   void checkReg(const BasicBlock& block, std::size_t index, Reg r,
@@ -56,11 +67,11 @@ class FunctionVerifier {
 
   void checkBlock(const BasicBlock& block) {
     if (block.instrs.empty()) {
-      report("B" + std::to_string(block.id) + " is empty");
+      reportBlock(block, "is empty");
       return;
     }
     if (!isTerminator(block.instrs.back().op)) {
-      report("B" + std::to_string(block.id) + " lacks a terminator");
+      reportBlock(block, "lacks a terminator");
     }
     for (std::size_t i = 0; i < block.instrs.size(); ++i) {
       const Instr& instr = block.instrs[i];
@@ -151,25 +162,63 @@ class FunctionVerifier {
 
   const Module& module_;
   const Function& func_;
-  std::vector<std::string> problems_;
+  std::vector<Violation> problems_;
 };
 
 }  // namespace
 
-std::vector<std::string> verifyFunction(const Module& module,
-                                        const Function& func) {
+std::string Violation::str() const {
+  std::string out;
+  if (!function.empty()) out += "@" + function + ": ";
+  if (block != kInvalidBlock) {
+    out += "B" + std::to_string(block);
+    out += at_instr ? "[" + std::to_string(instr_index) + "]: " : " ";
+  }
+  out += message;
+  return out;
+}
+
+std::string formatViolations(const std::vector<Violation>& violations) {
+  std::string out;
+  for (const Violation& v : violations) {
+    if (!out.empty()) out += '\n';
+    out += v.str();
+  }
+  return out;
+}
+
+std::vector<Violation> verifyFunctionDetailed(const Module& module,
+                                              const Function& func) {
   return FunctionVerifier(module, func).run();
 }
 
-std::vector<std::string> verifyModule(const Module& module) {
-  std::vector<std::string> all;
+std::vector<Violation> verifyModuleDetailed(const Module& module) {
+  std::vector<Violation> all;
   for (FuncId f = 0; f < module.functionCount(); ++f) {
     const Function& func = module.function(f);
-    for (auto& p : verifyFunction(module, func)) {
-      all.push_back("@" + func.name + ": " + p);
+    for (Violation& v : verifyFunctionDetailed(module, func)) {
+      v.function = func.name;
+      all.push_back(std::move(v));
     }
   }
   return all;
+}
+
+std::vector<std::string> verifyFunction(const Module& module,
+                                        const Function& func) {
+  std::vector<std::string> out;
+  for (const Violation& v : verifyFunctionDetailed(module, func)) {
+    out.push_back(v.str());
+  }
+  return out;
+}
+
+std::vector<std::string> verifyModule(const Module& module) {
+  std::vector<std::string> out;
+  for (const Violation& v : verifyModuleDetailed(module)) {
+    out.push_back(v.str());
+  }
+  return out;
 }
 
 }  // namespace spt::ir

@@ -1,7 +1,11 @@
 // Structural verifier for the SPT mini-IR.
 //
 // The SPT compiler rewrites loops aggressively; the verifier is run after
-// every transformation in tests to catch malformed output early.
+// every transformation in tests — and, opt-in, between compiler passes —
+// to catch malformed output early. It never stops at the first defect:
+// every violation is collected with its function/block/instruction
+// context, so one inter-pass verification reports the complete damage a
+// pass did.
 #pragma once
 
 #include <string>
@@ -11,17 +15,40 @@
 
 namespace spt::ir {
 
+/// One structural defect, located as precisely as the defect allows:
+/// function-level problems leave `block` at kInvalidBlock; block-level
+/// problems leave `at_instr` false.
+struct Violation {
+  std::string function;                // name ("" while inside verifyFunction)
+  BlockId block = kInvalidBlock;
+  std::uint32_t instr_index = 0;
+  bool at_instr = false;
+  std::string message;
+
+  /// "@func B3[2]: message" (omitting the parts that are not set).
+  std::string str() const;
+};
+
+/// Renders violations one per line (for check messages and CLI output).
+std::string formatViolations(const std::vector<Violation>& violations);
+
 /// Verifies structural invariants of a function:
 ///  - every block has exactly one terminator, at the end;
 ///  - branch targets are in range; call callees exist with matching arity;
 ///  - register indices are below reg_count;
 ///  - instructions have the operands their opcode requires;
 ///  - spt_fork targets a block of the same function.
-/// Returns a list of human-readable problems (empty means valid).
+/// Returns every violation found (empty means valid).
+std::vector<Violation> verifyFunctionDetailed(const Module& module,
+                                              const Function& func);
+
+/// Verifies every function; violations carry the function name.
+std::vector<Violation> verifyModuleDetailed(const Module& module);
+
+/// String-only conveniences over the detailed API (one formatted line per
+/// violation, same content as Violation::str()).
 std::vector<std::string> verifyFunction(const Module& module,
                                         const Function& func);
-
-/// Verifies every function; aggregates problems prefixed by function name.
 std::vector<std::string> verifyModule(const Module& module);
 
 }  // namespace spt::ir

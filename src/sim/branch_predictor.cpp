@@ -3,6 +3,7 @@
 #include <bit>
 
 #include "support/check.h"
+#include "support/rng.h"
 
 namespace spt::sim {
 
@@ -11,6 +12,16 @@ BranchPredictor::BranchPredictor(std::uint32_t entries)
   SPT_CHECK_MSG(entries > 0 && std::has_single_bit(entries),
                 "GAg table size must be a power of two");
   history_mask_ = entries - 1;
+}
+
+void BranchPredictor::corruptMeta(support::Rng& rng) {
+  const std::size_t target = rng.nextBelow(pht_.size() + 1);
+  if (target < pht_.size()) {
+    // Flipping bit 0 or 1 keeps the counter inside its 2-bit range.
+    pht_[target] ^= static_cast<std::uint8_t>(1u << rng.nextBelow(2));
+  } else {
+    history_ = (history_ ^ (1u << rng.nextBelow(32))) & history_mask_;
+  }
 }
 
 }  // namespace spt::sim

@@ -6,6 +6,10 @@
 #include <cstdint>
 #include <vector>
 
+namespace spt::support {
+class Rng;
+}
+
 namespace spt::sim {
 
 class BranchPredictor {
@@ -32,6 +36,12 @@ class BranchPredictor {
     history_ = ((history_ << 1) | (actual_taken ? 1u : 0u)) & history_mask_;
     return correct;
   }
+
+  /// Fault injection: corrupts one PHT counter bit or one global-history
+  /// bit. The predictor holds only prediction metadata — a corrupted entry
+  /// can cost (or save) a mispredict penalty but never change a simulated
+  /// value, so the fault is benign by construction.
+  void corruptMeta(support::Rng& rng);
 
   std::uint64_t predictions() const { return predictions_; }
   std::uint64_t mispredictions() const { return mispredictions_; }

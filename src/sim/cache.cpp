@@ -3,6 +3,7 @@
 #include <bit>
 
 #include "support/check.h"
+#include "support/rng.h"
 
 namespace spt::sim {
 
@@ -27,6 +28,38 @@ bool Cache::probe(std::uint64_t addr) const {
     if (base[w].valid && base[w].tag == tag) return true;
   }
   return false;
+}
+
+void Cache::corruptLineMeta(support::Rng& rng) {
+  Line& line = lines_[rng.nextBelow(lines_.size())];
+  switch (rng.nextBelow(3)) {
+    case 0:
+      line.tag ^= std::uint64_t{1} << rng.nextBelow(64);
+      break;
+    case 1:
+      line.last_used ^= std::uint64_t{1} << rng.nextBelow(64);
+      break;
+    default:
+      line.valid = !line.valid;
+      break;
+  }
+}
+
+void MemorySystem::corruptMeta(support::Rng& rng) {
+  switch (rng.nextBelow(4)) {
+    case 0:
+      l1i_.corruptLineMeta(rng);
+      break;
+    case 1:
+      l1d_.corruptLineMeta(rng);
+      break;
+    case 2:
+      l2_.corruptLineMeta(rng);
+      break;
+    default:
+      l3_.corruptLineMeta(rng);
+      break;
+  }
 }
 
 MemorySystem::MemorySystem(const support::MachineConfig& config)

@@ -11,6 +11,10 @@
 
 #include "support/machine_config.h"
 
+namespace spt::support {
+class Rng;
+}
+
 namespace spt::sim {
 
 struct CacheStats {
@@ -68,6 +72,13 @@ class Cache {
   /// Hit check without state change (used by tests).
   bool probe(std::uint64_t addr) const;
 
+  /// Fault injection: corrupts one random line's timing metadata (tag bit,
+  /// LRU stamp bit, or valid flag). A cache line here carries no data —
+  /// only placement state — so the corruption is benign by construction:
+  /// it can turn hits into misses (and vice versa) but never change a
+  /// simulated value.
+  void corruptLineMeta(support::Rng& rng);
+
   const CacheStats& stats() const { return stats_; }
   std::uint32_t numSets() const { return num_sets_; }
 
@@ -120,6 +131,10 @@ class MemorySystem {
   const Cache& l1i() const { return l1i_; }
   const Cache& l2() const { return l2_; }
   const Cache& l3() const { return l3_; }
+
+  /// Fault injection: corrupts the metadata of one random line in one
+  /// random level (see Cache::corruptLineMeta).
+  void corruptMeta(support::Rng& rng);
 
  private:
   support::MachineConfig config_;

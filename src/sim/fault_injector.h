@@ -17,7 +17,18 @@
 //  * fork RF flip     — a bit of the fork-time register-context copy is
 //                       flipped, corrupting every live-in read of it;
 //  * SRB payload flip — a buffered speculative result is corrupted after
-//                       execution (models SRB array corruption).
+//                       execution (models SRB array corruption);
+//  * cache meta flip  — a cache line's tag / LRU stamp / valid bit is
+//                       corrupted;
+//  * BP meta flip     — a branch-predictor PHT counter or history bit is
+//                       corrupted.
+//
+// The last two target *timing metadata*: the simulated caches and
+// predictor hold no architectural data, so those faults can shift cycle
+// counts but never a committed value. They bypass the per-thread
+// detection classification entirely and are counted injected + benign
+// directly — the campaign asserts that benign-by-construction claim holds
+// (escapes stay zero, oracle digests still match).
 //
 // The sequential trace remains ground truth, so the campaign can classify
 // every injected fault at thread end: detected by the dependence-checking
@@ -35,6 +46,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "sim/branch_predictor.h"
+#include "sim/cache.h"
 #include "support/machine_config.h"
 #include "support/rng.h"
 
@@ -82,6 +95,32 @@ class FaultInjector {
     return true;
   }
 
+  // ---- Timing-metadata faults. These do NOT touch pending_: the
+  // structures they corrupt hold no data values, so the faults cannot be
+  // detected (there is nothing to diverge) and must not dilute the
+  // detection-net classification. They are tallied separately and folded
+  // into the result as injected + benign at end of run.
+
+  /// Maybe corrupts one cache line's tag / LRU stamp / valid bit.
+  bool maybeCorruptCacheMeta(MemorySystem& memory) {
+    if (!plan_.cache_meta_flip || !fire()) return false;
+    memory.corruptMeta(rng_);
+    ++metadata_injected_;
+    return true;
+  }
+
+  /// Maybe corrupts one branch-predictor PHT counter or history bit.
+  bool maybeCorruptBpMeta(BranchPredictor& predictor) {
+    if (!plan_.bp_meta_flip || !fire()) return false;
+    predictor.corruptMeta(rng_);
+    ++metadata_injected_;
+    return true;
+  }
+
+  /// Timing-metadata faults injected over the whole run (benign by
+  /// construction; never part of pending()).
+  std::uint64_t metadataInjected() const { return metadata_injected_; }
+
  private:
   bool fire() {
     return plan_.period <= 1 || rng_.nextBelow(plan_.period) == 0;
@@ -90,6 +129,7 @@ class FaultInjector {
   support::FaultPlan plan_;
   support::Rng rng_;
   std::size_t pending_ = 0;
+  std::uint64_t metadata_injected_ = 0;
 };
 
 }  // namespace spt::sim

@@ -213,6 +213,12 @@ MachineResult SptMachine::run() {
   result_.l2 = memory_->l2().stats();
   result_.l3 = memory_->l3().stats();
   result_.branch_mispredict_ratio = main_pipe_->predictor().mispredictRatio();
+  if (injector_) {
+    // Timing-metadata faults never enter the per-thread classification:
+    // fold them in as injected + benign (the claim the campaign asserts).
+    result_.faults.injected += injector_->metadataInjected();
+    result_.faults.benign += injector_->metadataInjected();
+  }
   if (oracle_) {
     oracle_->checkAt(trace_.size(), arch_, "end-of-run");
     result_.arch_digest = arch_.streamDigest();
@@ -312,7 +318,14 @@ void SptMachine::executeFork(const trace::Record& r) {
                                                               : start + 1;
   spec_.fork_frame = arch_.curFrame();
   spec_.fork_rf = arch_.topRegs();
-  if (injector_) injector_->maybeFlipForkReg(spec_.fork_rf);
+  if (injector_) {
+    injector_->maybeFlipForkReg(spec_.fork_rf);
+    // Timing-metadata faults, fired once per fork: the shared hierarchy
+    // and the speculative pipeline's predictor carry no data values, so
+    // these are benign by construction (counted separately; see run()).
+    injector_->maybeCorruptCacheMeta(*memory_);
+    injector_->maybeCorruptBpMeta(spec_pipe_->predictor());
+  }
   if (spec_.livein_reads.size() < spec_.fork_rf.size()) {
     spec_.livein_reads.resize(spec_.fork_rf.size());
   }

@@ -1,0 +1,87 @@
+#include "spt/analysis_manager.h"
+
+#include "support/check.h"
+
+namespace spt::compiler {
+
+AnalysisManager::AnalysisManager(const ir::Module& module)
+    : module_(module), funcs_(module.functionCount()) {}
+
+AnalysisManager::FunctionAnalyses& AnalysisManager::slot(ir::FuncId f) {
+  // Functions are append-only on a Module; grow the table if a pass added
+  // one since construction.
+  if (f >= funcs_.size()) funcs_.resize(module_.functionCount());
+  SPT_CHECK(f < funcs_.size());
+  return funcs_[f];
+}
+
+const analysis::Cfg& AnalysisManager::cfg(ir::FuncId f) {
+  FunctionAnalyses& s = slot(f);
+  if (!s.cfg) {
+    ++misses_;
+    s.cfg = std::make_unique<analysis::Cfg>(module_.function(f));
+  } else {
+    ++hits_;
+  }
+  return *s.cfg;
+}
+
+const analysis::DomTree& AnalysisManager::dominators(ir::FuncId f) {
+  const analysis::Cfg& c = cfg(f);
+  FunctionAnalyses& s = slot(f);
+  if (!s.dom) {
+    ++misses_;
+    s.dom = std::make_unique<analysis::DomTree>(c);
+  } else {
+    ++hits_;
+  }
+  return *s.dom;
+}
+
+const analysis::LoopForest& AnalysisManager::loopForest(ir::FuncId f) {
+  const analysis::Cfg& c = cfg(f);
+  const analysis::DomTree& d = dominators(f);
+  FunctionAnalyses& s = slot(f);
+  if (!s.loops) {
+    ++misses_;
+    s.loops = std::make_unique<analysis::LoopForest>(c, d);
+  } else {
+    ++hits_;
+  }
+  return *s.loops;
+}
+
+const analysis::DefUse& AnalysisManager::defUse(ir::FuncId f) {
+  const analysis::Cfg& c = cfg(f);
+  FunctionAnalyses& s = slot(f);
+  if (!s.defuse) {
+    ++misses_;
+    s.defuse = std::make_unique<analysis::DefUse>(c);
+  } else {
+    ++hits_;
+  }
+  return *s.defuse;
+}
+
+const analysis::ModRefSummary& AnalysisManager::modRef() {
+  if (!modref_) {
+    ++misses_;
+    modref_ = std::make_unique<analysis::ModRefSummary>(module_);
+  } else {
+    ++hits_;
+  }
+  return *modref_;
+}
+
+void AnalysisManager::invalidateFunction(ir::FuncId f) {
+  if (f < funcs_.size()) funcs_[f] = FunctionAnalyses{};
+  modref_.reset();
+}
+
+void AnalysisManager::invalidateAll() {
+  for (FunctionAnalyses& s : funcs_) s = FunctionAnalyses{};
+  funcs_.resize(module_.functionCount());
+  modref_.reset();
+}
+
+}  // namespace spt::compiler

@@ -1,0 +1,72 @@
+// Shared, lazily-computed analysis cache for the SPT pass pipeline.
+//
+// The seed-era driver recomputed Cfg/DomTree/LoopForest/DefUse once per
+// consumer (unrolling, candidate selection, partition search) — three full
+// recomputations per function per compile. The AnalysisManager computes
+// each analysis on first request, hands out references to the cached
+// object, and requires explicit invalidation when a pass mutates the IR
+// (unroll, region split, SPT transform, pristine restart). Because cached
+// analyses are only ever rebuilt from the same function state the seed
+// driver saw, the pipeline's results are bit-identical by construction —
+// the golden-plan tests pin that.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "analysis/cfg.h"
+#include "analysis/defuse.h"
+#include "analysis/dominators.h"
+#include "analysis/loops.h"
+#include "analysis/modref.h"
+
+namespace spt::compiler {
+
+class AnalysisManager {
+ public:
+  explicit AnalysisManager(const ir::Module& module);
+
+  const ir::Module& module() const { return module_; }
+
+  // Per-function analyses. Each getter computes its prerequisites (dom
+  // needs cfg; loops need cfg+dom; defuse needs cfg) through the cache,
+  // so mixed access orders share every intermediate.
+  const analysis::Cfg& cfg(ir::FuncId f);
+  const analysis::DomTree& dominators(ir::FuncId f);
+  const analysis::LoopForest& loopForest(ir::FuncId f);
+  const analysis::DefUse& defUse(ir::FuncId f);
+
+  /// Module-level mod/ref summary (call-graph fixed point).
+  const analysis::ModRefSummary& modRef();
+
+  /// Drops every cached analysis of `f` plus the module-level summary
+  /// (a function mutation can change call side effects).
+  void invalidateFunction(ir::FuncId f);
+
+  /// Drops everything. Called by the PassManager after any mutating pass
+  /// and on the pristine-module restart.
+  void invalidateAll();
+
+  // Cache-effectiveness counters (served-from-cache vs computed).
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+
+ private:
+  struct FunctionAnalyses {
+    std::unique_ptr<analysis::Cfg> cfg;
+    std::unique_ptr<analysis::DomTree> dom;
+    std::unique_ptr<analysis::LoopForest> loops;
+    std::unique_ptr<analysis::DefUse> defuse;
+  };
+
+  FunctionAnalyses& slot(ir::FuncId f);
+
+  const ir::Module& module_;
+  std::vector<FunctionAnalyses> funcs_;
+  std::unique_ptr<analysis::ModRefSummary> modref_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace spt::compiler

@@ -1,51 +1,51 @@
 #include "spt/driver.h"
 
-#include <cmath>
-#include <map>
+#include <algorithm>
 
-#include "analysis/modref.h"
 #include "ir/verifier.h"
-#include "spt/loop_analysis.h"
-#include "spt/loop_shape.h"
-#include "spt/partition_search.h"
-#include "spt/region_speculation.h"
-#include "spt/transform.h"
-#include "spt/unroll.h"
+#include "spt/pass.h"
+#include "spt/profile_cache.h"
 #include "support/check.h"
 
 namespace spt::compiler {
 namespace {
 
-/// Applies the pass-1 candidate filters; returns an empty string when the
-/// loop qualifies, otherwise the rejection reason.
-std::string filterReason(const LoopShape& shape,
-                         const profile::LoopStats* stats,
-                         std::uint64_t total_instrs,
-                         const CompilerOptions& options) {
-  if (stats == nullptr || stats->iterations == 0) return "never executed";
-  const double coverage =
-      total_instrs == 0
-          ? 0.0
-          : static_cast<double>(stats->dyn_instrs) / total_instrs;
-  if (coverage < options.min_coverage) return "coverage too small";
-  if (stats->avgBodySize() < options.min_avg_body_size) {
-    return "body too small";
-  }
-  if (stats->avgBodySize() > options.max_avg_body_size) {
-    return "body too large";
-  }
-  if (stats->avgTripCount() < options.min_avg_trip_count) {
-    return "trip count too small";
-  }
-  if (!shape.transformable) return shape.reject_reason;
-  return "";
+/// One pipeline attempt: finalize + verify the input, then run the
+/// standard pass sequence over a fresh PipelineState.
+SptPlan runPipelineOnce(ir::Module& module, ProfileRunner& runner,
+                        const CompilerOptions& options, ProfileCache& cache,
+                        PassManager& pm,
+                        const std::unordered_set<std::string>& deny_unroll,
+                        std::uint64_t* analysis_hits,
+                        std::uint64_t* analysis_misses) {
+  module.finalize();
+  SPT_CHECK_MSG(ir::verifyModule(module).empty(),
+                "input module fails verification");
+
+  AnalysisManager analyses(module);
+  PipelineState state;
+  state.deny_unroll = &deny_unroll;
+  PassContext ctx{module, runner, options, analyses, cache, state};
+  pm.run(ctx);
+
+  *analysis_hits += analyses.hits();
+  *analysis_misses += analyses.misses();
+  return std::move(state.plan);
 }
 
 }  // namespace
 
-SptPlan SptCompiler::compile(ir::Module& module, ProfileRunner& runner) {
+SptPlan SptCompiler::compile(ir::Module& module, ProfileRunner& runner,
+                             CompilationRemarks* remarks) {
+  ProfileCache cache;
+  PassManager pm(options_.verify_between_passes);
+  buildSptPipeline(pm);
+  std::uint64_t analysis_hits = 0;
+  std::uint64_t analysis_misses = 0;
+
   ir::Module pristine = module;
-  SptPlan plan = compileOnce(module, runner, {});
+  SptPlan plan = runPipelineOnce(module, runner, options_, cache, pm, {},
+                                 &analysis_hits, &analysis_misses);
 
   std::unordered_set<std::string> deny_unroll;
   for (const LoopPlanEntry& entry : plan.loops) {
@@ -53,184 +53,25 @@ SptPlan SptCompiler::compile(ir::Module& module, ProfileRunner& runner) {
       deny_unroll.insert(entry.name);
     }
   }
-  if (deny_unroll.empty()) return plan;
-
-  module = std::move(pristine);
-  return compileOnce(module, runner, deny_unroll);
-}
-
-SptPlan SptCompiler::compileOnce(
-    ir::Module& module, ProfileRunner& runner,
-    const std::unordered_set<std::string>& deny_unroll) {
-  module.finalize();
-  SPT_CHECK_MSG(ir::verifyModule(module).empty(),
-                "input module fails verification");
-  profile::ProfileData prof = runner.run(module, {});
-
-  // ---- Unrolling preprocessing: small hot candidate bodies are unrolled
-  // before everything else (StaticIds change, so re-profile afterwards).
-  std::map<std::string, int> unroll_factors;
-  if (options_.enable_unrolling) {
-    bool changed = false;
-    for (ir::FuncId f = 0; f < module.functionCount(); ++f) {
-      const ir::Function& func = module.function(f);
-      const analysis::Cfg cfg(func);
-      const analysis::DomTree dom(cfg);
-      const analysis::LoopForest forest(cfg, dom);
-      // Recognize all shapes first: unrolling appends blocks.
-      std::vector<LoopShape> shapes;
-      for (analysis::LoopId l = 0; l < forest.loopCount(); ++l) {
-        shapes.push_back(recognizeLoop(module, func, cfg, forest, l));
-      }
-      for (const LoopShape& shape : shapes) {
-        if (!shape.transformable) continue;
-        if (deny_unroll.contains(shape.name)) continue;
-        const profile::LoopStats* stats = prof.loopStats(shape.header_sid);
-        if (stats == nullptr || stats->iterations == 0) continue;
-        const double body = stats->avgBodySize();
-        if (body < options_.min_avg_body_size ||
-            body >= options_.unroll_body_threshold ||
-            stats->avgTripCount() < 2.0 * options_.min_avg_trip_count) {
-          continue;
-        }
-        const auto factor = static_cast<std::uint32_t>(std::min<double>(
-            options_.max_unroll_factor,
-            std::ceil(options_.unroll_body_threshold / std::max(body, 1.0))));
-        if (factor < 2) continue;
-        if (unrollLoop(module, shape, factor)) {
-          unroll_factors[shape.name] = static_cast<int>(factor);
-          changed = true;
-        }
-      }
-    }
-    if (changed) {
-      module.finalize();
-      SPT_CHECK_MSG(ir::verifyModule(module).empty(),
-                    "unrolling produced an invalid module");
-      prof = runner.run(module, {});
-    }
+  std::uint64_t restarts = 0;
+  if (!deny_unroll.empty()) {
+    module = std::move(pristine);
+    plan = runPipelineOnce(module, runner, options_, cache, pm, deny_unroll,
+                           &analysis_hits, &analysis_misses);
+    restarts = 1;
   }
 
-  // ---- Pass 1: shape recognition, filters, dependence analysis, and SVP
-  // value-candidate collection.
-  SptPlan plan;
-  plan.profiled_instrs = prof.total_instrs;
-  const analysis::ModRefSummary modref(module);
-  std::unordered_set<ir::StaticId> value_candidates;
-
-  struct Candidate {
-    ir::FuncId func;
-    analysis::LoopId loop;
-    std::size_t plan_index;
-  };
-  std::vector<Candidate> candidates;
-
-  for (ir::FuncId f = 0; f < module.functionCount(); ++f) {
-    const ir::Function& func = module.function(f);
-    const analysis::Cfg cfg(func);
-    const analysis::DomTree dom(cfg);
-    const analysis::LoopForest forest(cfg, dom);
-    const analysis::DefUse defuse(cfg);
-    for (analysis::LoopId l = 0; l < forest.loopCount(); ++l) {
-      const LoopShape shape = recognizeLoop(module, func, cfg, forest, l);
-      LoopPlanEntry entry;
-      entry.name = shape.name;
-      entry.func = f;
-      entry.header_sid = shape.header_sid;
-      if (const auto it = unroll_factors.find(shape.name);
-          it != unroll_factors.end()) {
-        entry.unroll_factor = it->second;
-      }
-      if (const profile::LoopStats* stats =
-              prof.loopStats(shape.header_sid)) {
-        entry.coverage = prof.total_instrs == 0
-                             ? 0.0
-                             : static_cast<double>(stats->dyn_instrs) /
-                                   prof.total_instrs;
-        entry.avg_body_size = stats->avgBodySize();
-        entry.avg_trip = stats->avgTripCount();
-      }
-      entry.reject_reason =
-          filterReason(shape, prof.loopStats(shape.header_sid),
-                       prof.total_instrs, options_);
-      entry.candidate = entry.reject_reason.empty();
-      if (entry.candidate) {
-        const LoopAnalysis analysis = analyzeLoop(
-            module, func, cfg, defuse, modref, shape, prof, options_);
-        for (const CarriedDep& dep : analysis.deps) {
-          if (dep.kind == DepKind::kRegister) {
-            value_candidates.insert(analysis.stmts[dep.source_stmt].sid);
-          }
-        }
-        candidates.push_back({f, l, plan.loops.size()});
-      }
-      plan.loops.push_back(std::move(entry));
-    }
+  if (remarks != nullptr) {
+    remarks->setFromPlan(plan, module);
+    remarks->restarts = restarts;
+    remarks->deny_unroll.assign(deny_unroll.begin(), deny_unroll.end());
+    std::sort(remarks->deny_unroll.begin(), remarks->deny_unroll.end());
+    remarks->passes = pm.stats();
+    remarks->profile_runs = cache.misses();
+    remarks->profile_cache_hits = cache.hits();
+    remarks->analysis_cache_hits = analysis_hits;
+    remarks->analysis_cache_misses = analysis_misses;
   }
-
-  // ---- SVP value-profiling pass (the paper's instrumented profiling run,
-  // Section 4.4).
-  if (!value_candidates.empty() && options_.enable_svp) {
-    profile::ProfileData with_values = runner.run(module, value_candidates);
-    prof = std::move(with_values);
-  }
-
-  // ---- Partition search per candidate, then pass-2 selection and
-  // transformation.
-  std::vector<std::pair<std::size_t, LoopAnalysis>> to_transform;
-  for (const Candidate& c : candidates) {
-    const ir::Function& func = module.function(c.func);
-    const analysis::Cfg cfg(func);
-    const analysis::DomTree dom(cfg);
-    const analysis::LoopForest forest(cfg, dom);
-    const analysis::DefUse defuse(cfg);
-    const LoopShape shape = recognizeLoop(module, func, cfg, forest, c.loop);
-    SPT_CHECK(shape.transformable);
-    LoopAnalysis analysis = analyzeLoop(module, func, cfg, defuse, modref,
-                                        shape, prof, options_);
-    const SearchResult search = searchOptimalPartition(analysis, options_);
-
-    LoopPlanEntry& entry = plan.loops[c.plan_index];
-    entry.dep_count = analysis.deps.size();
-    entry.actions = search.partition.actions;
-    entry.cost = search.cost;
-    entry.evaluated = search.evaluated;
-
-    const bool good =
-        !options_.cost_driven_selection ||
-        (search.cost.feasible &&
-         search.cost.est_speedup >= options_.min_estimated_speedup);
-    entry.selected = good;
-    if (!good) {
-      entry.reject_reason = !search.cost.feasible
-                                ? "no feasible partition (pre-fork too large)"
-                                : "estimated speedup below threshold";
-      continue;
-    }
-    to_transform.emplace_back(c.plan_index, std::move(analysis));
-  }
-
-  // ---- Region-based speculation (Section 6 extension): applied before
-  // the loop transformations (both mutate disjoint blocks, and the region
-  // pass reads call costs from the current profile's StaticIds).
-  if (options_.enable_region_speculation) {
-    plan.regions = applyRegionSpeculation(module, prof, options_);
-  }
-
-  for (auto& [plan_index, analysis] : to_transform) {
-    LoopPlanEntry& entry = plan.loops[plan_index];
-    Partition partition;
-    partition.actions = entry.actions;
-    const TransformOutcome outcome =
-        transformLoop(module, analysis, partition);
-    entry.transformed = outcome.applied;
-    entry.transform_detail = outcome.detail;
-    if (!outcome.applied) entry.reject_reason = outcome.detail;
-  }
-
-  module.finalize();
-  SPT_CHECK_MSG(ir::verifyModule(module).empty(),
-                "SPT transformation produced an invalid module");
   return plan;
 }
 

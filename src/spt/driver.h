@@ -1,10 +1,13 @@
 // The two-pass SPT compilation driver (paper Section 4.1).
 //
-// Pass 1: profile the sequential program; select loop candidates by shape,
-// body size, trip count and coverage; apply unrolling preprocessing;
-// identify SVP value-profiling candidates and run the value-profiling pass;
-// search each candidate's optimal partition. Pass 2: select all good (and
-// only good) loops by estimated speedup and apply the SPT transformation.
+// The driver owns the outer control the pipeline cannot express as a pass:
+// it keeps a pristine copy of the module, runs the pass pipeline (pass.h)
+// once, and — when unrolling was applied to loops that pass 2 then
+// rejected — restarts compilation from the pristine module with those
+// loops on an unroll deny-list, since preprocessing must not degrade loops
+// that end up untransformed. Profiling runs are memoized across both
+// attempts through a ProfileCache, so the restart's initial profile is a
+// cache hit rather than a second interpreter run.
 #pragma once
 
 #include <unordered_set>
@@ -12,6 +15,7 @@
 #include "profile/profile_data.h"
 #include "spt/options.h"
 #include "spt/plan.h"
+#include "spt/remarks.h"
 
 namespace spt::compiler {
 
@@ -32,18 +36,15 @@ class SptCompiler {
 
   const CompilerOptions& options() const { return options_; }
 
-  /// Runs both passes, transforming `module` in place (the caller keeps a
-  /// pristine copy as the baseline). The module is finalized and verified
-  /// on return. If unrolling was applied to loops that pass 2 then
-  /// rejected, compilation restarts from the pristine module with those
-  /// loops on an unroll deny-list — preprocessing must not degrade loops
-  /// that end up untransformed.
-  SptPlan compile(ir::Module& module, ProfileRunner& runner);
+  /// Runs the full pipeline (including the deny-unroll restart when
+  /// needed), transforming `module` in place (the caller keeps a pristine
+  /// copy as the baseline). The module is finalized and verified on
+  /// return. With non-null `remarks`, fills the structured per-loop
+  /// decision log (remarks.h) for the compile.
+  SptPlan compile(ir::Module& module, ProfileRunner& runner,
+                  CompilationRemarks* remarks = nullptr);
 
  private:
-  SptPlan compileOnce(ir::Module& module, ProfileRunner& runner,
-                      const std::unordered_set<std::string>& deny_unroll);
-
   CompilerOptions options_;
 };
 

@@ -42,6 +42,13 @@ struct CompilerOptions {
   /// candidate is selected (ablation).
   bool cost_driven_selection = true;
 
+  // ---- Pipeline instrumentation.
+  /// Run the IR verifier after every pipeline pass (pass.h), aborting with
+  /// the full violation list on failure. Off by default: the pipeline
+  /// already verifies at the mutation points; this catches a misbehaving
+  /// pass during development.
+  bool verify_between_passes = false;
+
   // ---- Region-based speculation (paper Section 6; an extension, off by
   // default like the paper leaves it to future work).
   bool enable_region_speculation = false;

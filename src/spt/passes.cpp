@@ -1,0 +1,302 @@
+// The concrete SPT pipeline passes (see pass.h for the sequence). Each
+// pass is a faithful decomposition of one phase of the former monolithic
+// SptCompiler::compileOnce; the golden-plan tests pin the plans
+// bit-identical to that monolith.
+#include <cmath>
+
+#include "ir/verifier.h"
+#include "spt/loop_shape.h"
+#include "spt/partition_search.h"
+#include "spt/pass.h"
+#include "spt/region_speculation.h"
+#include "spt/transform.h"
+#include "spt/unroll.h"
+#include "support/check.h"
+
+namespace spt::compiler {
+namespace {
+
+/// Applies the pass-1 candidate filters; returns an empty string when the
+/// loop qualifies, otherwise the rejection reason.
+std::string filterReason(const LoopShape& shape,
+                         const profile::LoopStats* stats,
+                         std::uint64_t total_instrs,
+                         const CompilerOptions& options) {
+  if (stats == nullptr || stats->iterations == 0) return "never executed";
+  const double coverage =
+      total_instrs == 0
+          ? 0.0
+          : static_cast<double>(stats->dyn_instrs) / total_instrs;
+  if (coverage < options.min_coverage) return "coverage too small";
+  if (stats->avgBodySize() < options.min_avg_body_size) {
+    return "body too small";
+  }
+  if (stats->avgBodySize() > options.max_avg_body_size) {
+    return "body too large";
+  }
+  if (stats->avgTripCount() < options.min_avg_trip_count) {
+    return "trip count too small";
+  }
+  if (!shape.transformable) return shape.reject_reason;
+  return "";
+}
+
+/// Takes the initial profile, unrolls small hot candidate bodies before
+/// everything else (StaticIds change, so re-profiles afterwards), honoring
+/// the restart deny-list.
+class UnrollPreprocessPass : public Pass {
+ public:
+  std::string_view name() const override { return "unroll-preprocess"; }
+
+  bool run(PassContext& ctx) override {
+    PipelineState& st = ctx.state;
+    st.profile = ctx.profileRun({});
+    if (!ctx.options.enable_unrolling) return false;
+
+    bool changed = false;
+    for (ir::FuncId f = 0; f < ctx.module.functionCount(); ++f) {
+      const ir::Function& func = ctx.module.function(f);
+      const analysis::Cfg& cfg = ctx.analyses.cfg(f);
+      const analysis::LoopForest& forest = ctx.analyses.loopForest(f);
+      // Recognize all shapes first: unrolling appends blocks.
+      std::vector<LoopShape> shapes;
+      for (analysis::LoopId l = 0; l < forest.loopCount(); ++l) {
+        shapes.push_back(recognizeLoop(ctx.module, func, cfg, forest, l));
+      }
+      bool func_changed = false;
+      for (const LoopShape& shape : shapes) {
+        if (!shape.transformable) continue;
+        if (st.deny_unroll != nullptr &&
+            st.deny_unroll->contains(shape.name)) {
+          continue;
+        }
+        const profile::LoopStats* stats =
+            st.profile.loopStats(shape.header_sid);
+        if (stats == nullptr || stats->iterations == 0) continue;
+        const double body = stats->avgBodySize();
+        if (body < ctx.options.min_avg_body_size ||
+            body >= ctx.options.unroll_body_threshold ||
+            stats->avgTripCount() < 2.0 * ctx.options.min_avg_trip_count) {
+          continue;
+        }
+        const auto factor = static_cast<std::uint32_t>(std::min<double>(
+            ctx.options.max_unroll_factor,
+            std::ceil(ctx.options.unroll_body_threshold /
+                      std::max(body, 1.0))));
+        if (factor < 2) continue;
+        if (unrollLoop(ctx.module, shape, factor)) {
+          st.unroll_factors[shape.name] = static_cast<int>(factor);
+          func_changed = changed = true;
+        }
+      }
+      // The cached cfg/forest referenced above are stale once the function
+      // mutates; drop them before the next function's queries.
+      if (func_changed) ctx.analyses.invalidateFunction(f);
+    }
+    if (changed) {
+      ctx.module.finalize();
+      SPT_CHECK_MSG(ir::verifyModule(ctx.module).empty(),
+                    "unrolling produced an invalid module");
+      st.profile = ctx.profileRun({});
+    }
+    return changed;
+  }
+};
+
+/// Pass 1: shape recognition, profile filters, dependence analysis, and
+/// SVP value-candidate collection.
+class LoopCandidateSelectionPass : public Pass {
+ public:
+  std::string_view name() const override {
+    return "loop-candidate-selection";
+  }
+
+  bool run(PassContext& ctx) override {
+    PipelineState& st = ctx.state;
+    st.plan.profiled_instrs = st.profile.total_instrs;
+
+    for (ir::FuncId f = 0; f < ctx.module.functionCount(); ++f) {
+      const ir::Function& func = ctx.module.function(f);
+      const analysis::Cfg& cfg = ctx.analyses.cfg(f);
+      const analysis::LoopForest& forest = ctx.analyses.loopForest(f);
+      const analysis::DefUse& defuse = ctx.analyses.defUse(f);
+      for (analysis::LoopId l = 0; l < forest.loopCount(); ++l) {
+        const LoopShape shape =
+            recognizeLoop(ctx.module, func, cfg, forest, l);
+        LoopPlanEntry entry;
+        entry.name = shape.name;
+        entry.func = f;
+        entry.header_sid = shape.header_sid;
+        if (const auto it = st.unroll_factors.find(shape.name);
+            it != st.unroll_factors.end()) {
+          entry.unroll_factor = it->second;
+        }
+        if (const profile::LoopStats* stats =
+                st.profile.loopStats(shape.header_sid)) {
+          entry.coverage = st.profile.total_instrs == 0
+                               ? 0.0
+                               : static_cast<double>(stats->dyn_instrs) /
+                                     st.profile.total_instrs;
+          entry.avg_body_size = stats->avgBodySize();
+          entry.avg_trip = stats->avgTripCount();
+        }
+        entry.reject_reason =
+            filterReason(shape, st.profile.loopStats(shape.header_sid),
+                         st.profile.total_instrs, ctx.options);
+        entry.candidate = entry.reject_reason.empty();
+        if (entry.candidate) {
+          const LoopAnalysis analysis =
+              analyzeLoop(ctx.module, func, cfg, defuse,
+                          ctx.analyses.modRef(), shape, st.profile,
+                          ctx.options);
+          for (const CarriedDep& dep : analysis.deps) {
+            if (dep.kind == DepKind::kRegister) {
+              st.value_candidates.insert(analysis.stmts[dep.source_stmt].sid);
+            }
+          }
+          st.candidates.push_back({f, l, st.plan.loops.size()});
+        }
+        st.plan.loops.push_back(std::move(entry));
+      }
+    }
+    return false;
+  }
+};
+
+/// SVP value-profiling pass (the paper's instrumented profiling run,
+/// Section 4.4).
+class ValueProfilingPass : public Pass {
+ public:
+  std::string_view name() const override { return "value-profiling"; }
+
+  bool run(PassContext& ctx) override {
+    PipelineState& st = ctx.state;
+    if (!st.value_candidates.empty() && ctx.options.enable_svp) {
+      st.profile = ctx.profileRun(st.value_candidates);
+    }
+    return false;
+  }
+};
+
+/// Partition search per candidate: re-analyzes each candidate loop against
+/// the (possibly value-augmented) profile and records the optimal
+/// partition and its cost in the plan.
+class PartitionSearchPass : public Pass {
+ public:
+  std::string_view name() const override { return "partition-search"; }
+
+  bool run(PassContext& ctx) override {
+    PipelineState& st = ctx.state;
+    for (const PipelineState::Candidate& c : st.candidates) {
+      const ir::Function& func = ctx.module.function(c.func);
+      const analysis::Cfg& cfg = ctx.analyses.cfg(c.func);
+      const analysis::LoopForest& forest = ctx.analyses.loopForest(c.func);
+      const analysis::DefUse& defuse = ctx.analyses.defUse(c.func);
+      const LoopShape shape =
+          recognizeLoop(ctx.module, func, cfg, forest, c.loop);
+      SPT_CHECK(shape.transformable);
+      LoopAnalysis analysis =
+          analyzeLoop(ctx.module, func, cfg, defuse, ctx.analyses.modRef(),
+                      shape, st.profile, ctx.options);
+      const SearchResult search = searchOptimalPartition(analysis,
+                                                         ctx.options);
+
+      LoopPlanEntry& entry = st.plan.loops[c.plan_index];
+      entry.dep_count = analysis.deps.size();
+      entry.actions = search.partition.actions;
+      entry.cost = search.cost;
+      entry.evaluated = search.evaluated;
+      st.searched.emplace_back(c.plan_index, std::move(analysis));
+    }
+    return false;
+  }
+};
+
+/// Pass-2 selection: keeps all good (and only good) loops by estimated
+/// speedup (or every feasible candidate when cost-driven selection is
+/// disabled for ablation).
+class GoodLoopSelectionPass : public Pass {
+ public:
+  std::string_view name() const override { return "good-loop-selection"; }
+
+  bool run(PassContext& ctx) override {
+    PipelineState& st = ctx.state;
+    for (auto& [plan_index, analysis] : st.searched) {
+      LoopPlanEntry& entry = st.plan.loops[plan_index];
+      const bool good =
+          !ctx.options.cost_driven_selection ||
+          (entry.cost.feasible &&
+           entry.cost.est_speedup >= ctx.options.min_estimated_speedup);
+      entry.selected = good;
+      if (!good) {
+        entry.reject_reason =
+            !entry.cost.feasible
+                ? "no feasible partition (pre-fork too large)"
+                : "estimated speedup below threshold";
+        continue;
+      }
+      st.to_transform.emplace_back(plan_index, std::move(analysis));
+    }
+    st.searched.clear();
+    return false;
+  }
+};
+
+/// Region-based speculation (Section 6 extension): applied before the loop
+/// transformations (both mutate disjoint blocks, and the region pass reads
+/// call costs from the current profile's StaticIds).
+class RegionSpeculationPass : public Pass {
+ public:
+  std::string_view name() const override { return "region-speculation"; }
+
+  bool run(PassContext& ctx) override {
+    PipelineState& st = ctx.state;
+    if (!ctx.options.enable_region_speculation) return false;
+    st.plan.regions =
+        applyRegionSpeculation(ctx.module, st.profile, ctx.options);
+    return !st.plan.regions.empty();
+  }
+};
+
+/// Applies the SPT transformation to every selected loop, then finalizes
+/// and verifies the transformed module.
+class SptTransformPass : public Pass {
+ public:
+  std::string_view name() const override { return "spt-transform"; }
+
+  bool run(PassContext& ctx) override {
+    PipelineState& st = ctx.state;
+    bool mutated = false;
+    for (auto& [plan_index, analysis] : st.to_transform) {
+      LoopPlanEntry& entry = st.plan.loops[plan_index];
+      Partition partition;
+      partition.actions = entry.actions;
+      const TransformOutcome outcome =
+          transformLoop(ctx.module, analysis, partition);
+      entry.transformed = outcome.applied;
+      entry.transform_detail = outcome.detail;
+      if (!outcome.applied) entry.reject_reason = outcome.detail;
+      mutated |= outcome.applied;
+    }
+    st.to_transform.clear();
+
+    ctx.module.finalize();
+    SPT_CHECK_MSG(ir::verifyModule(ctx.module).empty(),
+                  "SPT transformation produced an invalid module");
+    return mutated;
+  }
+};
+
+}  // namespace
+
+void buildSptPipeline(PassManager& pm) {
+  pm.add(std::make_unique<UnrollPreprocessPass>());
+  pm.add(std::make_unique<LoopCandidateSelectionPass>());
+  pm.add(std::make_unique<ValueProfilingPass>());
+  pm.add(std::make_unique<PartitionSearchPass>());
+  pm.add(std::make_unique<GoodLoopSelectionPass>());
+  pm.add(std::make_unique<RegionSpeculationPass>());
+  pm.add(std::make_unique<SptTransformPass>());
+}
+
+}  // namespace spt::compiler

@@ -1,9 +1,36 @@
 #include "spt/plan.h"
 
+#include <bit>
+
 #include "support/stats.h"
 #include "support/table.h"
 
 namespace spt::compiler {
+namespace {
+
+/// Incremental FNV-1a folding helpers for SptPlan::fingerprint().
+class Fnv {
+ public:
+  void add(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) byte(static_cast<unsigned char>(v >> (8 * i)));
+  }
+  void add(double v) { add(std::bit_cast<std::uint64_t>(v)); }
+  void add(bool v) { byte(v ? 1 : 0); }
+  void add(const std::string& s) {
+    add(static_cast<std::uint64_t>(s.size()));
+    for (const char c : s) byte(static_cast<unsigned char>(c));
+  }
+  std::uint64_t hash() const { return hash_; }
+
+ private:
+  void byte(unsigned char b) {
+    hash_ ^= b;
+    hash_ *= 0x100000001b3ull;
+  }
+  std::uint64_t hash_ = 0xcbf29ce484222325ull;
+};
+
+}  // namespace
 
 std::size_t SptPlan::candidateCount() const {
   std::size_t n = 0;
@@ -23,6 +50,48 @@ double SptPlan::selectedCoverage() const {
     if (entry.selected) c += entry.coverage;
   }
   return c;
+}
+
+std::uint64_t SptPlan::fingerprint() const {
+  Fnv fnv;
+  fnv.add(profiled_instrs);
+  fnv.add(static_cast<std::uint64_t>(loops.size()));
+  for (const LoopPlanEntry& e : loops) {
+    fnv.add(e.name);
+    fnv.add(static_cast<std::uint64_t>(e.func));
+    fnv.add(static_cast<std::uint64_t>(e.header_sid));
+    fnv.add(e.coverage);
+    fnv.add(e.avg_body_size);
+    fnv.add(e.avg_trip);
+    fnv.add(e.candidate);
+    fnv.add(e.reject_reason);
+    fnv.add(static_cast<std::uint64_t>(e.unroll_factor));
+    fnv.add(static_cast<std::uint64_t>(e.dep_count));
+    fnv.add(static_cast<std::uint64_t>(e.actions.size()));
+    for (const DepAction a : e.actions) {
+      fnv.add(static_cast<std::uint64_t>(a));
+    }
+    fnv.add(e.cost.misspec_cost);
+    fnv.add(e.cost.prefork_cost);
+    fnv.add(e.cost.iter_cost);
+    fnv.add(e.cost.est_speedup);
+    fnv.add(e.cost.feasible);
+    fnv.add(e.evaluated);
+    fnv.add(e.selected);
+    fnv.add(e.transformed);
+    fnv.add(e.transform_detail);
+  }
+  fnv.add(static_cast<std::uint64_t>(regions.size()));
+  for (const RegionPlanEntry& r : regions) {
+    fnv.add(r.name);
+    fnv.add(static_cast<std::uint64_t>(r.func));
+    fnv.add(static_cast<std::uint64_t>(r.block));
+    fnv.add(r.prefix_cost);
+    fnv.add(r.suffix_cost);
+    fnv.add(r.dependence_penalty);
+    fnv.add(r.applied);
+  }
+  return fnv.hash();
 }
 
 void SptPlan::print(std::ostream& os) const {

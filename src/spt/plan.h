@@ -49,6 +49,12 @@ struct SptPlan {
   /// Fraction of profiled execution covered by the selected loops.
   double selectedCoverage() const;
 
+  /// Order-sensitive FNV-1a digest over every plan field (doubles folded
+  /// bit-exactly). Two plans are equal iff their fingerprints match; the
+  /// golden-plan tests pin the refactored pipeline to the pre-refactor
+  /// compiler with it.
+  std::uint64_t fingerprint() const;
+
   void print(std::ostream& os) const;
 };
 

@@ -1,0 +1,26 @@
+#include "spt/profile_cache.h"
+
+#include <algorithm>
+
+namespace spt::compiler {
+
+profile::ProfileData ProfileCache::run(
+    const ir::Module& module,
+    const std::unordered_set<ir::StaticId>& value_candidates,
+    ProfileRunner& runner) {
+  Key key;
+  key.first = module.structuralDigest();
+  key.second.assign(value_candidates.begin(), value_candidates.end());
+  std::sort(key.second.begin(), key.second.end());
+
+  if (const auto it = entries_.find(key); it != entries_.end()) {
+    ++hits_;
+    return it->second;
+  }
+  ++misses_;
+  profile::ProfileData prof = runner.run(module, value_candidates);
+  entries_.emplace(std::move(key), prof);
+  return prof;
+}
+
+}  // namespace spt::compiler

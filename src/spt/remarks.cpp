@@ -1,0 +1,199 @@
+#include "spt/remarks.h"
+
+#include <cctype>
+
+#include "ir/module.h"
+#include "support/json.h"
+#include "support/stats.h"
+#include "support/table.h"
+
+namespace spt::compiler {
+namespace {
+
+const char* actionName(DepAction a) {
+  switch (a) {
+    case DepAction::kLeave:
+      return "leave";
+    case DepAction::kHoist:
+      return "hoist";
+    case DepAction::kSvp:
+      return "svp";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string reasonSlug(const std::string& reason) {
+  std::string slug;
+  bool pending_sep = false;
+  for (const char c : reason) {
+    if (std::isalnum(static_cast<unsigned char>(c))) {
+      if (pending_sep && !slug.empty()) slug += '-';
+      pending_sep = false;
+      slug += static_cast<char>(
+          std::tolower(static_cast<unsigned char>(c)));
+    } else {
+      pending_sep = true;
+    }
+  }
+  return slug;
+}
+
+std::string loopVerdict(const LoopPlanEntry& entry) {
+  if (entry.transformed) return "transformed";
+  if (entry.selected) return "selected-not-applied";
+  if (entry.candidate) return "rejected-by-cost-model";
+  return "rejected-by-filter";
+}
+
+void CompilationRemarks::setFromPlan(const SptPlan& plan,
+                                     const ir::Module& module) {
+  module_name = module.name();
+  profiled_instrs = plan.profiled_instrs;
+  loops.clear();
+  regions.clear();
+  for (const LoopPlanEntry& e : plan.loops) {
+    LoopRemark r;
+    r.name = e.name;
+    r.function =
+        e.func < module.functionCount() ? module.function(e.func).name : "";
+    r.header_sid = e.header_sid;
+    r.coverage = e.coverage;
+    r.avg_body_size = e.avg_body_size;
+    r.avg_trip = e.avg_trip;
+    r.unroll_factor = e.unroll_factor;
+    r.candidate = e.candidate;
+    r.dep_count = e.dep_count;
+    for (const DepAction a : e.actions) r.actions.push_back(actionName(a));
+    r.cost_feasible = e.cost.feasible;
+    r.misspec_cost = e.cost.misspec_cost;
+    r.prefork_cost = e.cost.prefork_cost;
+    r.iter_cost = e.cost.iter_cost;
+    r.est_speedup = e.cost.est_speedup;
+    r.partitions_evaluated = e.evaluated;
+    r.selected = e.selected;
+    r.transformed = e.transformed;
+    r.verdict = loopVerdict(e);
+    r.reason = e.reject_reason;
+    r.reason_slug = reasonSlug(e.reject_reason);
+    r.transform_detail = e.transform_detail;
+    loops.push_back(std::move(r));
+  }
+  for (const RegionPlanEntry& e : plan.regions) {
+    RegionRemark r;
+    r.name = e.name;
+    r.prefix_cost = e.prefix_cost;
+    r.suffix_cost = e.suffix_cost;
+    r.dependence_penalty = e.dependence_penalty;
+    r.applied = e.applied;
+    regions.push_back(std::move(r));
+  }
+}
+
+void CompilationRemarks::writeJson(std::ostream& os) const {
+  support::JsonWriter w(os);
+  w.beginObject();
+  w.member("module", module_name);
+  w.member("profiled_instrs", profiled_instrs);
+  w.member("restarts", restarts);
+  w.key("deny_unroll").beginArray();
+  for (const std::string& name : deny_unroll) w.value(name);
+  w.endArray();
+
+  w.key("loops").beginArray();
+  for (const LoopRemark& r : loops) {
+    w.beginObject();
+    w.member("name", r.name);
+    w.member("function", r.function);
+    w.member("header_sid", r.header_sid);
+    w.member("coverage", r.coverage);
+    w.member("avg_body_size", r.avg_body_size);
+    w.member("avg_trip", r.avg_trip);
+    w.member("unroll_factor", r.unroll_factor);
+    w.member("candidate", r.candidate);
+    w.member("dep_count", r.dep_count);
+    w.key("actions").beginArray();
+    for (const std::string& a : r.actions) w.value(a);
+    w.endArray();
+    w.key("cost").beginObject();
+    w.member("feasible", r.cost_feasible);
+    w.member("misspec_cost", r.misspec_cost);
+    w.member("prefork_cost", r.prefork_cost);
+    w.member("iter_cost", r.iter_cost);
+    w.member("est_speedup", r.est_speedup);
+    w.endObject();
+    w.member("partitions_evaluated", r.partitions_evaluated);
+    w.member("selected", r.selected);
+    w.member("transformed", r.transformed);
+    w.member("verdict", r.verdict);
+    w.member("reason", r.reason);
+    w.member("reason_slug", r.reason_slug);
+    w.member("transform_detail", r.transform_detail);
+    w.endObject();
+  }
+  w.endArray();
+
+  w.key("regions").beginArray();
+  for (const RegionRemark& r : regions) {
+    w.beginObject();
+    w.member("name", r.name);
+    w.member("prefix_cost", r.prefix_cost);
+    w.member("suffix_cost", r.suffix_cost);
+    w.member("dependence_penalty", r.dependence_penalty);
+    w.member("applied", r.applied);
+    w.endObject();
+  }
+  w.endArray();
+
+  // Wall times are intentionally absent: this document must be
+  // byte-identical across machines and runs.
+  w.key("passes").beginArray();
+  for (const PassRemark& p : passes) {
+    w.beginObject();
+    w.member("name", p.name);
+    w.member("invocations", p.invocations);
+    w.member("mutations", p.mutations);
+    w.endObject();
+  }
+  w.endArray();
+
+  w.key("profile").beginObject();
+  w.member("runs", profile_runs);
+  w.member("cache_hits", profile_cache_hits);
+  w.endObject();
+  w.key("analysis_cache").beginObject();
+  w.member("hits", analysis_cache_hits);
+  w.member("misses", analysis_cache_misses);
+  w.endObject();
+  w.endObject();
+  os << "\n";
+}
+
+void CompilationRemarks::printSummary(std::ostream& os) const {
+  support::Table table("Compilation remarks: " + module_name);
+  table.setHeader({"loop", "function", "coverage", "trip", "verdict",
+                   "reason", "est.speedup"});
+  for (const LoopRemark& r : loops) {
+    table.addRow({r.name, r.function, support::percent(r.coverage, 1.0),
+                  support::fixed(r.avg_trip, 1), r.verdict, r.reason_slug,
+                  support::percent(r.est_speedup, 1.0)});
+  }
+  table.print(os);
+
+  support::Table pt("Pipeline passes");
+  pt.setHeader({"pass", "runs", "mutations", "wall ms"});
+  for (const PassRemark& p : passes) {
+    pt.addRow({p.name, std::to_string(p.invocations),
+               std::to_string(p.mutations), support::fixed(p.wall_ms, 2)});
+  }
+  pt.print(os);
+
+  os << "profile runs: " << profile_runs
+     << "  (cache hits: " << profile_cache_hits << ")\n"
+     << "analysis cache: " << analysis_cache_hits << " hits / "
+     << analysis_cache_misses << " misses\n"
+     << "restarts: " << restarts << "\n";
+}
+
+}  // namespace spt::compiler

@@ -1,0 +1,108 @@
+// Compilation remarks: a structured, machine-readable record of every
+// decision the SPT pipeline made — one remark per profiled loop (accept or
+// reject with a slugged reason, trip/coverage numbers, cost-model partition
+// and estimated speedup, final verdict), one per speculated region, plus
+// pass and cache statistics.
+//
+// writeJson() is deterministic by construction: the compile path is
+// single-threaded, container orders are fixed (plan order; sorted deny
+// list), doubles print via JsonWriter's %.17g round-trip format, and wall
+// times are deliberately excluded (they go to the human summary only). CI
+// diffs remarks JSON across independent jobs to enforce this.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "spt/plan.h"
+
+namespace spt::ir {
+class Module;
+}
+
+namespace spt::compiler {
+
+/// Mechanical slug of a human-readable reason: lowercased alphanumeric
+/// runs joined by '-' ("no feasible partition (pre-fork too large)" ->
+/// "no-feasible-partition-pre-fork-too-large"). Empty reason -> "".
+std::string reasonSlug(const std::string& reason);
+
+/// Final machine-readable verdict of one loop:
+///   "transformed"           — selected and the transformation applied
+///   "selected-not-applied"  — selected but the transform backed out
+///   "rejected-by-cost-model"— candidate, but no partition was good enough
+///   "rejected-by-filter"    — failed the pass-1 shape/profile filters
+std::string loopVerdict(const LoopPlanEntry& entry);
+
+struct LoopRemark {
+  std::string name;
+  std::string function;
+  std::uint64_t header_sid = 0;
+
+  double coverage = 0.0;
+  double avg_body_size = 0.0;
+  double avg_trip = 0.0;
+  int unroll_factor = 1;
+
+  bool candidate = false;
+  std::uint64_t dep_count = 0;
+  std::vector<std::string> actions;  // "leave" | "hoist" | "svp" per dep
+  bool cost_feasible = false;
+  double misspec_cost = 0.0;
+  double prefork_cost = 0.0;
+  double iter_cost = 0.0;
+  double est_speedup = 0.0;
+  std::uint64_t partitions_evaluated = 0;
+
+  bool selected = false;
+  bool transformed = false;
+  std::string verdict;      // loopVerdict()
+  std::string reason;       // human text; "" when transformed
+  std::string reason_slug;  // reasonSlug(reason)
+  std::string transform_detail;
+};
+
+struct RegionRemark {
+  std::string name;  // "func.label" of the split block
+  double prefix_cost = 0.0;
+  double suffix_cost = 0.0;
+  double dependence_penalty = 0.0;
+  bool applied = false;
+};
+
+struct PassRemark {
+  std::string name;
+  std::uint64_t invocations = 0;  // once per pipeline attempt
+  std::uint64_t mutations = 0;    // invocations that changed the IR
+  double wall_ms = 0.0;           // summary only; never serialized
+};
+
+struct CompilationRemarks {
+  std::string module_name;
+  std::uint64_t profiled_instrs = 0;
+  std::uint64_t restarts = 0;
+  std::vector<std::string> deny_unroll;  // sorted
+
+  std::vector<LoopRemark> loops;      // plan order
+  std::vector<RegionRemark> regions;  // plan order
+  std::vector<PassRemark> passes;     // pipeline order
+
+  std::uint64_t profile_runs = 0;        // actual ProfileRunner invocations
+  std::uint64_t profile_cache_hits = 0;
+  std::uint64_t analysis_cache_hits = 0;
+  std::uint64_t analysis_cache_misses = 0;
+
+  /// Replaces loops/regions/profiled_instrs with the plan's contents
+  /// (module resolves function names).
+  void setFromPlan(const SptPlan& plan, const ir::Module& module);
+
+  /// Deterministic JSON document (schema in docs/COMPILER.md).
+  void writeJson(std::ostream& os) const;
+
+  /// Human-readable per-loop decision table plus pass timings.
+  void printSummary(std::ostream& os) const;
+};
+
+}  // namespace spt::compiler

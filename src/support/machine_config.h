@@ -65,6 +65,14 @@ struct FaultPlan {
   bool lab_drop = true;         // drop a speculative load's LAB record
   bool fork_reg_flip = true;    // flip a bit in the fork-time register copy
   bool srb_payload_flip = true; // flip a bit in a buffered SRB result
+  // Timing-metadata kinds. Caches and the branch predictor hold no
+  // architectural data — only tags, LRU stamps, valid bits, and prediction
+  // counters — so corrupting them can change *when* things happen but
+  // never *what* is computed. The campaign asserts they are benign by
+  // construction (they never enter the per-thread detection
+  // classification).
+  bool cache_meta_flip = true;  // corrupt a cache line's tag/LRU/valid
+  bool bp_meta_flip = true;     // corrupt a PHT counter or history bit
 };
 
 /// One cache level's geometry and latency.

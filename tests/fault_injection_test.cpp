@@ -98,6 +98,36 @@ TEST(FaultInjection, ContainedWithoutOracle) {
   EXPECT_EQ(r.spt.oracle_checks, 0u);
 }
 
+// Timing-metadata faults only (cache tag/LRU/valid and branch-predictor
+// state): those structures hold no architectural data, so every injected
+// fault must land in the benign bucket — by construction, not by luck —
+// while the run still produces the sequential result (digest match via the
+// oracle) and may legitimately differ in cycle count.
+TEST(FaultInjection, MetadataFaultsAreBenignByConstruction) {
+  const SuiteEntry entry = entryByName("parser");
+  support::MachineConfig mc;
+  mc.oracle = support::OracleMode::kDigest;
+  mc.fault_plan.enabled = true;
+  mc.fault_plan.seed = 21;
+  mc.fault_plan.period = 4;
+  // Disable every data-corrupting kind; keep only the metadata kinds.
+  mc.fault_plan.ssb_value_flip = false;
+  mc.fault_plan.lab_drop = false;
+  mc.fault_plan.fork_reg_flip = false;
+  mc.fault_plan.srb_payload_flip = false;
+  ASSERT_TRUE(mc.fault_plan.cache_meta_flip);
+  ASSERT_TRUE(mc.fault_plan.bp_meta_flip);
+
+  const ExperimentResult r = runSuiteEntry(entry, mc);
+  EXPECT_GT(r.spt.faults.injected, 0u);
+  EXPECT_EQ(r.spt.faults.benign, r.spt.faults.injected);
+  EXPECT_EQ(r.spt.faults.detected_by_net, 0u);
+  EXPECT_EQ(r.spt.faults.detected_by_oracle, 0u);
+  EXPECT_EQ(r.spt.faults.escaped, 0u);
+  EXPECT_GE(r.spt.oracle_checks, 1u);
+  EXPECT_NE(r.spt.arch_digest, 0u);
+}
+
 // Digest mode is advertised as cheap-always-on: it must not change a
 // single timing or speculation statistic of the default (fault-free) run.
 TEST(Oracle, DigestModeDoesNotPerturbSimulation) {

@@ -1,0 +1,67 @@
+// Golden SptPlan tests: the pass-pipeline compiler must produce plans
+// bit-identical to the pre-refactor two-pass monolith. The fingerprints
+// below were captured from the seed-era SptCompiler::compile on every
+// suite workload (scale 1, per-benchmark suite options); any change to
+// candidate selection, unrolling, SVP, partition search, selection, or
+// transformation bookkeeping shows up as a mismatch here.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "harness/suite.h"
+#include "spt/driver.h"
+
+namespace spt::compiler {
+namespace {
+
+/// Golden fingerprints captured from the pre-refactor compiler.
+const std::map<std::string, std::uint64_t>& goldenFingerprints() {
+  static const std::map<std::string, std::uint64_t> golden = {
+      {"bzip2", 0x82e54c92742672f9ull},  {"crafty", 0x8bd579bf4199a11cull},
+      {"gap", 0x294a40b23f132120ull},    {"gcc", 0x19ff706ea80d090full},
+      {"gzip", 0x3b94a5da9da02581ull},   {"mcf", 0x8b928b6798a8c33aull},
+      {"parser", 0x9450b7bd7dd4d8e0ull}, {"twolf", 0x477430485e7f5101ull},
+      {"vortex", 0x4adbd05932c1dde2ull}, {"vpr", 0x6dd56884d758b874ull},
+  };
+  return golden;
+}
+
+TEST(GoldenPlan, SuitePlansMatchPreRefactorCompiler) {
+  for (const harness::SuiteEntry& entry : harness::defaultSuite()) {
+    ir::Module module = entry.workload.build(1);
+    SptCompiler cc(entry.copts);
+    harness::InterpProfileRunner runner;
+    const SptPlan plan = cc.compile(module, runner);
+    const std::uint64_t fp = plan.fingerprint();
+    const auto it = goldenFingerprints().find(entry.workload.name);
+    if (it == goldenFingerprints().end()) {
+      ADD_FAILURE() << "no golden for " << entry.workload.name
+                    << "; actual fingerprint 0x" << std::hex << fp;
+      continue;
+    }
+    EXPECT_EQ(it->second, fp)
+        << entry.workload.name << ": plan fingerprint 0x" << std::hex << fp
+        << " != golden 0x" << it->second;
+  }
+}
+
+// The fingerprint itself must be deterministic and sensitive: two compiles
+// of the same module agree, and flipping any plan field changes it.
+TEST(GoldenPlan, FingerprintIsDeterministicAndSensitive) {
+  const harness::SuiteEntry entry = harness::defaultSuite().front();
+  ir::Module m1 = entry.workload.build(1);
+  ir::Module m2 = entry.workload.build(1);
+  SptCompiler cc(entry.copts);
+  harness::InterpProfileRunner runner;
+  SptPlan p1 = cc.compile(m1, runner);
+  const SptPlan p2 = cc.compile(m2, runner);
+  EXPECT_EQ(p1.fingerprint(), p2.fingerprint());
+
+  ASSERT_FALSE(p1.loops.empty());
+  const std::uint64_t before = p1.fingerprint();
+  p1.loops.front().coverage += 1e-12;
+  EXPECT_NE(before, p1.fingerprint());
+}
+
+}  // namespace
+}  // namespace spt::compiler

@@ -60,6 +60,14 @@
 //   --select-all       bypass cost-driven selection
 //   --max-body N       candidate loop body-size limit (default 1000)
 //   --print-ir         also dump the transformed module (run only)
+//   --verify-passes    run the IR verifier after every pipeline pass
+//
+// Options for compile:
+//   --remarks FILE     write the compilation remarks — the structured
+//                      per-loop decision log (docs/COMPILER.md) — as
+//                      deterministic JSON to FILE ("-" = stdout), and
+//                      print the remarks summary table. --remarks=FILE
+//                      also accepted.
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -135,6 +143,7 @@ struct Options {
   support::MachineConfig machine;
   compiler::CompilerOptions copts;
   bool print_ir = false;
+  std::string remarks_path;  // compile: empty = no remarks output
   std::size_t jobs = 0;   // sweep/perf: 0 = ParallelSweep default
   std::string json_path;  // sweep: empty = no JSON output
   int reps = 3;           // perf: timed repetitions per machine
@@ -203,6 +212,16 @@ Options parseOptions(int argc, char** argv, int first) {
           std::strtod(need_value(i), nullptr);
     } else if (arg == "--print-ir") {
       o.print_ir = true;
+    } else if (arg == "--verify-passes") {
+      o.copts.verify_between_passes = true;
+    } else if (arg == "--remarks") {
+      o.remarks_path = need_value(i);
+    } else if (arg.rfind("--remarks=", 0) == 0) {
+      o.remarks_path = arg.substr(std::string("--remarks=").size());
+      if (o.remarks_path.empty()) {
+        std::cerr << "sptc: --remarks= needs a file name\n";
+        o.ok = false;
+      }
     } else if (arg == "--jobs") {
       o.jobs = static_cast<std::size_t>(
           std::strtoull(need_value(i), nullptr, 10));
@@ -304,8 +323,24 @@ int cmdCompile(const std::string& target, const Options& options) {
   if (!m) return 1;
   compiler::SptCompiler cc(options.copts);
   harness::InterpProfileRunner runner;
-  const auto plan = cc.compile(*m, runner);
+  compiler::CompilationRemarks remarks;
+  const bool want_remarks = !options.remarks_path.empty();
+  const auto plan = cc.compile(*m, runner, want_remarks ? &remarks : nullptr);
   plan.print(std::cerr);
+  if (want_remarks) {
+    remarks.printSummary(std::cerr);
+    if (options.remarks_path == "-") {
+      remarks.writeJson(std::cout);
+      return 0;
+    }
+    std::ofstream out(options.remarks_path);
+    if (!out) {
+      std::cerr << "sptc: could not write " << options.remarks_path << "\n";
+      return 1;
+    }
+    remarks.writeJson(out);
+    std::cerr << "remarks: " << options.remarks_path << "\n";
+  }
   ir::printModule(std::cout, *m);
   return 0;
 }
