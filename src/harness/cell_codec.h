@@ -1,0 +1,101 @@
+// Binary payload codec for supervised workers.
+//
+// A forked worker reports its finished cell to the parent as one
+// supervisor frame (supervisor.h); the frame payload is this codec's
+// output. The encoding is a flat tagged field list — every JSON-visible
+// field of a SweepRow / FaultCampaignCell crosses the pipe, so an isolated
+// run's output is field-for-field identical to the in-process path's. The
+// codec is deliberately strict: decode fails (rather than zero-fills) on a
+// truncated or wrong-tag payload, and the supervisor reports that as
+// CellStatus::kProtocolError.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+#include "harness/fault_campaign.h"
+#include "harness/parallel_sweep.h"
+
+namespace spt::harness {
+
+/// Little helper pair used by the codecs (exposed for tests).
+class ByteWriter {
+ public:
+  void u8(std::uint8_t v) { out_.push_back(static_cast<char>(v)); }
+  void u32(std::uint32_t v) { raw(&v, sizeof v); }
+  void u64(std::uint64_t v) { raw(&v, sizeof v); }
+  void f64(double v) { raw(&v, sizeof v); }
+  void boolean(bool v) { u8(v ? 1 : 0); }
+  void str(const std::string& s) {
+    u64(s.size());
+    out_.append(s);
+  }
+  const std::string& bytes() const { return out_; }
+  std::string take() { return std::move(out_); }
+
+ private:
+  void raw(const void* data, std::size_t n) {
+    out_.append(static_cast<const char*>(data), n);
+  }
+  std::string out_;
+};
+
+/// Strict reader: every accessor returns false once the payload runs out
+/// (and `ok()` latches false); decoders check ok() + fully-consumed.
+class ByteReader {
+ public:
+  explicit ByteReader(const std::string& bytes) : bytes_(bytes) {}
+
+  bool u8(std::uint8_t* v) { return raw(v, sizeof *v); }
+  bool u32(std::uint32_t* v) { return raw(v, sizeof *v); }
+  bool u64(std::uint64_t* v) { return raw(v, sizeof *v); }
+  bool f64(double* v) { return raw(v, sizeof *v); }
+  bool boolean(bool* v) {
+    std::uint8_t b = 0;
+    if (!u8(&b)) return false;
+    *v = b != 0;
+    return true;
+  }
+  bool str(std::string* s) {
+    std::uint64_t n = 0;
+    if (!u64(&n)) return false;
+    if (n > bytes_.size() - pos_) {
+      ok_ = false;
+      return false;
+    }
+    s->assign(bytes_, pos_, static_cast<std::size_t>(n));
+    pos_ += static_cast<std::size_t>(n);
+    return true;
+  }
+  bool ok() const { return ok_; }
+  bool atEnd() const { return pos_ == bytes_.size(); }
+
+ private:
+  bool raw(void* dst, std::size_t n) {
+    if (!ok_ || n > bytes_.size() - pos_) {
+      ok_ = false;
+      return false;
+    }
+    std::memcpy(dst, bytes_.data() + pos_, n);
+    pos_ += n;
+    return true;
+  }
+  const std::string& bytes_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+/// SweepRow <-> payload (tag 'S'). Covers benchmark, config, status,
+/// diagnostic, both machines' cycles/instrs/breakdown, the SPT machine's
+/// thread and fault stats, digests, and the extra-metric map — everything
+/// writeSweepJson and the checkpoint line consume. Worker diagnostics are
+/// parent-side and never cross the pipe.
+std::string encodeSweepRow(const SweepRow& row);
+bool decodeSweepRow(const std::string& payload, SweepRow* row);
+
+/// FaultCampaignCell <-> payload (tag 'F').
+std::string encodeCampaignCell(const FaultCampaignCell& cell);
+bool decodeCampaignCell(const std::string& payload, FaultCampaignCell* cell);
+
+}  // namespace spt::harness

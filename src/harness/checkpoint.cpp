@@ -1,0 +1,69 @@
+#include "harness/checkpoint.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace spt::harness {
+
+std::string sanitizeCheckpointField(std::string s) {
+  for (char& c : s) {
+    if (c == '\t' || c == '\n' || c == '\r') c = ' ';
+  }
+  return s;
+}
+
+std::string checkpointKey(const std::string& benchmark,
+                          const std::string& config) {
+  return sanitizeCheckpointField(benchmark) + '\t' +
+         sanitizeCheckpointField(config);
+}
+
+std::string formatCheckpointLine(const CheckpointLine& line) {
+  std::ostringstream os;
+  os << kCheckpointTag << '\t' << toString(line.status) << '\t'
+     << sanitizeCheckpointField(line.benchmark) << '\t'
+     << sanitizeCheckpointField(line.config);
+  for (const std::uint64_t m : line.metrics) os << '\t' << m;
+  os << '\t' << sanitizeCheckpointField(line.diagnostic);
+  return os.str();
+}
+
+bool parseCheckpointLine(const std::string& text,
+                         std::size_t expected_metrics, CheckpointLine* out) {
+  std::istringstream is(text);
+  std::string field;
+  const auto next = [&](std::string& dst) {
+    return static_cast<bool>(std::getline(is, dst, '\t'));
+  };
+  if (!next(field) || field != kCheckpointTag) return false;
+  if (!next(field) || !cellStatusFromString(field, out->status)) return false;
+  if (!next(out->benchmark) || !next(out->config)) return false;
+  out->metrics.assign(expected_metrics, 0);
+  for (std::uint64_t& m : out->metrics) {
+    if (!next(field)) return false;
+    try {
+      m = std::stoull(field);
+    } catch (...) {
+      return false;
+    }
+  }
+  // The diagnostic is the (possibly empty) remainder of the line.
+  std::getline(is, out->diagnostic);
+  return true;
+}
+
+std::map<std::string, CheckpointLine> loadCheckpoint(
+    const std::string& path, std::size_t expected_metrics) {
+  std::map<std::string, CheckpointLine> map;
+  std::ifstream in(path);
+  std::string line;
+  while (std::getline(in, line)) {
+    CheckpointLine parsed;
+    if (parseCheckpointLine(line, expected_metrics, &parsed)) {
+      map[checkpointKey(parsed.benchmark, parsed.config)] = std::move(parsed);
+    }
+  }
+  return map;
+}
+
+}  // namespace spt::harness

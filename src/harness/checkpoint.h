@@ -1,0 +1,57 @@
+// The `spt-sweep-v1` checkpoint side-file format, shared by the hardened
+// sweep and the fault campaign.
+//
+// One tab-separated line per finished cell:
+//
+//   spt-sweep-v1 <status> <benchmark> <config> <metric>... <diagnostic>
+//
+// Append-only, flushed per line, last line per (benchmark, config) wins on
+// resume. The metric columns are caller-defined (the sweep stores the 20
+// summary metrics writeSweepJson emits; the campaign stores its fault
+// classification and digest fields) — the tag, key columns, status
+// vocabulary, sanitization, and last-line-wins semantics are identical, so
+// `sptc sweep --resume` and `sptc inject --resume` share one format and
+// one parser.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "harness/cell_status.h"
+
+namespace spt::harness {
+
+inline constexpr const char* kCheckpointTag = "spt-sweep-v1";
+
+struct CheckpointLine {
+  CellStatus status = CellStatus::kOk;
+  std::string benchmark;
+  std::string config;
+  std::vector<std::uint64_t> metrics;
+  std::string diagnostic;
+};
+
+/// Replaces tab/newline bytes (the format's separators) with spaces.
+std::string sanitizeCheckpointField(std::string s);
+
+/// The resume-map key for a cell: sanitized benchmark + '\t' + config.
+std::string checkpointKey(const std::string& benchmark,
+                          const std::string& config);
+
+/// One formatted line (no trailing newline).
+std::string formatCheckpointLine(const CheckpointLine& line);
+
+/// Parses one line; requires exactly `expected_metrics` metric columns.
+/// Returns false on any malformed line (wrong tag, unknown status, bad
+/// metric) — resume skips such lines rather than failing.
+bool parseCheckpointLine(const std::string& text,
+                         std::size_t expected_metrics, CheckpointLine* out);
+
+/// Loads a checkpoint file into a last-line-wins map keyed by
+/// checkpointKey(benchmark, config). A missing file yields an empty map.
+std::map<std::string, CheckpointLine> loadCheckpoint(
+    const std::string& path, std::size_t expected_metrics);
+
+}  // namespace spt::harness

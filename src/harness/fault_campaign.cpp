@@ -2,11 +2,16 @@
 
 #include <fstream>
 #include <memory>
+#include <mutex>
+#include <optional>
 #include <utility>
 
+#include "harness/cell_codec.h"
+#include "harness/checkpoint.h"
 #include "harness/suite.h"
 #include "sim/oracle.h"
 #include "sim/spt_machine.h"
+#include "support/error.h"
 #include "support/json.h"
 #include "support/rng.h"
 
@@ -16,6 +21,8 @@ namespace {
 /// A workload compiled and traced once, shared (immutably) by every fault
 /// seed's cell. The module lives behind a unique_ptr because LoopIndex
 /// keeps a reference to it and Prepared objects are moved into place.
+/// Under isolation, forked workers inherit these via copy-on-write, so a
+/// 10x64 supervised campaign still costs ten compilations.
 struct Prepared {
   std::string name;
   std::unique_ptr<ir::Module> module;
@@ -24,13 +31,107 @@ struct Prepared {
   std::uint64_t sequential_digest = 0;
 };
 
+// Campaign checkpoint metric columns (harness/checkpoint.h line format):
+// injected, detected_by_net, detected_by_oracle, benign, escaped,
+// oracle_checks, arch_digest, sequential_digest, digest_match, diverged,
+// divergence_pos.
+constexpr std::size_t kCampaignCheckpointMetrics = 11;
+
+std::string campaignConfigKey(std::size_t c, std::uint64_t fault_seed) {
+  return "cell:" + std::to_string(c) + "/seed:" + std::to_string(fault_seed);
+}
+
+CheckpointLine toCheckpointLine(const FaultCampaignCell& cell,
+                                std::size_t c) {
+  CheckpointLine line;
+  line.status = cell.status;
+  line.benchmark = cell.benchmark;
+  line.config = campaignConfigKey(c, cell.fault_seed);
+  line.metrics = {
+      cell.faults.injected,
+      cell.faults.detected_by_net,
+      cell.faults.detected_by_oracle,
+      cell.faults.benign,
+      cell.faults.escaped,
+      cell.oracle_checks,
+      cell.arch_digest,
+      cell.sequential_digest,
+      cell.digest_match ? 1ull : 0ull,
+      cell.diverged ? 1ull : 0ull,
+      cell.divergence_pos,
+  };
+  line.diagnostic = cell.diagnostic;
+  return line;
+}
+
+void applyCheckpointLine(const CheckpointLine& l, FaultCampaignCell& cell) {
+  cell.status = l.status;
+  cell.diagnostic = l.diagnostic;
+  cell.faults.injected = l.metrics[0];
+  cell.faults.detected_by_net = l.metrics[1];
+  cell.faults.detected_by_oracle = l.metrics[2];
+  cell.faults.benign = l.metrics[3];
+  cell.faults.escaped = l.metrics[4];
+  cell.oracle_checks = l.metrics[5];
+  cell.arch_digest = l.metrics[6];
+  cell.sequential_digest = l.metrics[7];
+  cell.digest_match = l.metrics[8] != 0;
+  cell.diverged = l.metrics[9] != 0;
+  cell.divergence_pos = l.metrics[10];
+}
+
+/// Runs one (workload, seed) cell, catching every cell-level failure into
+/// the cell's status — an oracle divergence, budget blowout, or internal
+/// error is reported, not fatal, on both execution paths.
+FaultCampaignCell runCampaignCell(const Prepared& p, std::size_t c,
+                                  const FaultCampaignOptions& opts) {
+  FaultCampaignCell cell;
+  cell.benchmark = p.name;
+  cell.fault_seed = support::deriveSeed(opts.base_seed, c);
+  cell.sequential_digest = p.sequential_digest;
+
+  support::MachineConfig mc = opts.machine;
+  // The campaign's claims need the digest even if the caller asked for
+  // no oracle; deep mode is honored as requested.
+  mc.oracle = opts.oracle == support::OracleMode::kOff
+                  ? support::OracleMode::kDigest
+                  : opts.oracle;
+  mc.fault_plan.enabled = true;
+  mc.fault_plan.seed = cell.fault_seed;
+  mc.fault_plan.period = opts.period;
+
+  try {
+    sim::SptMachine machine(*p.module, p.trace, *p.index, mc);
+    const sim::MachineResult r = machine.run();
+    cell.faults = r.faults;
+    cell.arch_digest = r.arch_digest;
+    cell.oracle_checks = r.oracle_checks;
+    cell.digest_match = r.arch_digest == p.sequential_digest;
+  } catch (const support::SptOracleDivergence& e) {
+    cell.status = CellStatus::kInternalError;
+    cell.diagnostic = e.what();
+    cell.diverged = true;
+    cell.divergence_pos = e.tracePos();
+    cell.divergence_boundary = e.boundary();
+    cell.divergence_diff = e.diff();
+  } catch (const support::SptBudgetExceeded& e) {
+    cell.status = CellStatus::kBudgetExceeded;
+    cell.diagnostic = e.what();
+  } catch (const std::exception& e) {
+    cell.status = CellStatus::kInternalError;
+    cell.diagnostic = e.what();
+  }
+  return cell;
+}
+
 }  // namespace
 
 FaultCampaignResult runFaultCampaign(const FaultCampaignOptions& opts) {
   const std::vector<SuiteEntry> suite = defaultSuite();
   const ParallelSweep sweep(opts.jobs);
 
-  // Phase 1: compile + trace each workload once, in parallel.
+  // Phase 1: compile + trace each workload once, in parallel. The pool is
+  // torn down before phase 2, so supervised forks never race pool threads.
   std::vector<Prepared> prepared =
       sweep.run(suite.size(), [&](std::size_t i) {
         const SuiteEntry& entry = suite[i];
@@ -52,37 +153,106 @@ FaultCampaignResult runFaultCampaign(const FaultCampaignOptions& opts) {
 
   // Phase 2: the workloads × seeds grid over the shared traces. Cell c's
   // fault seed depends only on c, so the grid is bit-reproducible at any
-  // worker count.
+  // worker count (and across the isolated / in-process paths).
   const std::size_t n_cells = prepared.size() * opts.seeds;
   FaultCampaignResult result;
-  result.cells = sweep.run(n_cells, [&](std::size_t c) {
-    const Prepared& p = prepared[c / opts.seeds];
+
+  std::map<std::string, CheckpointLine> resumed;
+  if (opts.resume && !opts.checkpoint_path.empty()) {
+    resumed = loadCheckpoint(opts.checkpoint_path, kCampaignCheckpointMetrics);
+  }
+  // Reuses an ok checkpoint line for cell c, if one matches its key.
+  const auto resumedCell =
+      [&](std::size_t c) -> std::optional<FaultCampaignCell> {
+    if (resumed.empty()) return std::nullopt;
     FaultCampaignCell cell;
-    cell.benchmark = p.name;
+    cell.benchmark = prepared[c / opts.seeds].name;
     cell.fault_seed = support::deriveSeed(opts.base_seed, c);
-    cell.sequential_digest = p.sequential_digest;
-
-    support::MachineConfig mc = opts.machine;
-    // The campaign's claims need the digest even if the caller asked for
-    // no oracle; deep mode is honored as requested.
-    mc.oracle = opts.oracle == support::OracleMode::kOff
-                    ? support::OracleMode::kDigest
-                    : opts.oracle;
-    mc.fault_plan.enabled = true;
-    mc.fault_plan.seed = cell.fault_seed;
-    mc.fault_plan.period = opts.period;
-
-    sim::SptMachine machine(*p.module, p.trace, *p.index, mc);
-    const sim::MachineResult r = machine.run();
-    cell.faults = r.faults;
-    cell.arch_digest = r.arch_digest;
-    cell.oracle_checks = r.oracle_checks;
-    cell.digest_match = r.arch_digest == p.sequential_digest;
+    const auto it = resumed.find(checkpointKey(
+        cell.benchmark, campaignConfigKey(c, cell.fault_seed)));
+    if (it == resumed.end() || it->second.status != CellStatus::kOk) {
+      return std::nullopt;
+    }
+    applyCheckpointLine(it->second, cell);
     return cell;
-  });
+  };
 
+  std::ofstream checkpoint;
+  std::mutex checkpoint_mu;
+  if (!opts.checkpoint_path.empty()) {
+    checkpoint.open(opts.checkpoint_path,
+                    opts.resume ? std::ios::out | std::ios::app
+                                : std::ios::out | std::ios::trunc);
+  }
+
+  if (opts.supervisor.isolate && Supervisor::isolationSupported()) {
+    result.cells.resize(n_cells);
+    std::vector<std::size_t> to_run;
+    for (std::size_t c = 0; c < n_cells; ++c) {
+      if (std::optional<FaultCampaignCell> cell = resumedCell(c)) {
+        result.cells[c] = std::move(*cell);
+      } else {
+        to_run.push_back(c);
+      }
+    }
+
+    SupervisorOptions sopts = opts.supervisor;
+    if (sopts.jobs == 0) sopts.jobs = sweep.jobs();
+    const Supervisor supervisor(sopts);
+
+    const auto produce = [&](std::size_t k) {
+      const std::size_t c = to_run[k];
+      return encodeCampaignCell(
+          runCampaignCell(prepared[c / opts.seeds], c, opts));
+    };
+    // Parent-side settle hook: single-threaded, no checkpoint lock needed.
+    const auto on_settled = [&](std::size_t k,
+                                const Supervisor::Outcome& oc) {
+      const std::size_t c = to_run[k];
+      FaultCampaignCell cell;
+      cell.benchmark = prepared[c / opts.seeds].name;
+      cell.fault_seed = support::deriveSeed(opts.base_seed, c);
+      cell.sequential_digest = prepared[c / opts.seeds].sequential_digest;
+      if (oc.status == CellStatus::kOk) {
+        if (!decodeCampaignCell(oc.payload, &cell)) {
+          cell.status = CellStatus::kProtocolError;
+          cell.diagnostic =
+              "worker payload passed frame validation but failed to decode "
+              "as a campaign cell";
+        }
+      } else {
+        cell.status = oc.status;
+        cell.diagnostic = oc.diagnostic;
+      }
+      cell.worker = oc.worker;
+      if (checkpoint.is_open()) {
+        checkpoint << formatCheckpointLine(toCheckpointLine(cell, c)) << '\n'
+                   << std::flush;
+      }
+      result.cells[c] = std::move(cell);
+    };
+
+    supervisor.run(to_run.size(), produce, on_settled);
+  } else {
+    result.cells = sweep.run(n_cells, [&](std::size_t c) {
+      if (std::optional<FaultCampaignCell> cell = resumedCell(c)) {
+        return std::move(*cell);
+      }
+      FaultCampaignCell cell =
+          runCampaignCell(prepared[c / opts.seeds], c, opts);
+      if (checkpoint.is_open()) {
+        const std::lock_guard<std::mutex> lock(checkpoint_mu);
+        checkpoint << formatCheckpointLine(toCheckpointLine(cell, c)) << '\n'
+                   << std::flush;
+      }
+      return cell;
+    });
+  }
+
+  // Totals aggregate ok cells; a failed cell contributes its status (and
+  // fails allCellsOk / allDigestsMatch), not half-counted fault numbers.
   for (const FaultCampaignCell& c : result.cells) {
-    result.totals.accumulate(c.faults);
+    if (c.ok()) result.totals.accumulate(c.faults);
   }
   return result;
 }
@@ -102,11 +272,14 @@ bool writeFaultCampaignJson(const std::string& path,
   w.endObject();
   w.member("all_detected_or_benign", result.allDetectedOrBenign());
   w.member("all_digests_match", result.allDigestsMatch());
+  w.member("all_cells_ok", result.allCellsOk());
   w.key("cells").beginArray();
   for (const FaultCampaignCell& c : result.cells) {
     w.beginObject();
     w.member("benchmark", c.benchmark);
     w.member("fault_seed", c.fault_seed);
+    w.member("status", toString(c.status));
+    if (!c.diagnostic.empty()) w.member("diagnostic", c.diagnostic);
     w.member("injected", c.faults.injected);
     w.member("detected_by_net", c.faults.detected_by_net);
     w.member("detected_by_oracle", c.faults.detected_by_oracle);
@@ -115,6 +288,29 @@ bool writeFaultCampaignJson(const std::string& path,
     w.member("oracle_checks", c.oracle_checks);
     w.member("arch_digest", c.arch_digest);
     w.member("digest_match", c.digest_match);
+    // First-divergence report from the deep oracle, for failed cells.
+    if (c.diverged) {
+      w.key("divergence").beginObject();
+      w.member("pos", c.divergence_pos);
+      w.member("boundary", c.divergence_boundary);
+      w.member("diff", c.divergence_diff);
+      w.endObject();
+    }
+    if (c.worker.attempts > 0) {
+      w.key("worker").beginObject();
+      w.member("attempts", static_cast<std::uint64_t>(c.worker.attempts));
+      w.member("exit_code", c.worker.exit_code);
+      w.member("term_signal", c.worker.term_signal);
+      w.member("timed_out", c.worker.timed_out);
+      w.member("host_user_seconds", c.worker.host_user_seconds);
+      w.member("host_sys_seconds", c.worker.host_sys_seconds);
+      w.member("host_max_rss_kb",
+               static_cast<std::int64_t>(c.worker.host_max_rss_kb));
+      if (!c.worker.partial_reply.empty()) {
+        w.member("partial_reply", c.worker.partial_reply);
+      }
+      w.endObject();
+    }
     w.endObject();
   }
   w.endArray();

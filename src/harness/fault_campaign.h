@@ -37,22 +37,52 @@ struct FaultCampaignOptions {
   std::uint32_t period = 32;     // injector firing period (1/period per site)
   support::OracleMode oracle = support::OracleMode::kDigest;
   support::MachineConfig machine;
+  /// Checkpoint/resume, sharing the sweep's `spt-sweep-v1` side-file
+  /// format (harness/checkpoint.h): every finished cell is appended and
+  /// flushed; on resume the last ok line per cell is reused and failed or
+  /// missing cells re-run. A cell's key is its workload name plus
+  /// "cell:<index>/seed:<fault_seed>", so a resumed file silently ignores
+  /// lines from a different grid shape or base seed.
+  std::string checkpoint_path;
+  bool resume = false;
+  /// Process isolation (supervisor.h): with supervisor.isolate set, phase
+  /// 2 cells run in forked workers (sharing phase 1's traces via
+  /// copy-on-write); crashes/hangs/corrupt replies become non-ok cells.
+  SupervisorOptions supervisor;
 };
 
-/// One (workload, fault seed) cell.
+/// One (workload, fault seed) cell. `status` is kOk when the cell's
+/// machine run completed; a cell that threw (oracle divergence, budget,
+/// internal error) or whose worker process failed under isolation is
+/// reported with the corresponding status and diagnostic while the rest
+/// of the campaign continues.
 struct FaultCampaignCell {
   std::string benchmark;
   std::uint64_t fault_seed = 0;
+  CellStatus status = CellStatus::kOk;
+  std::string diagnostic;
   sim::FaultStats faults;
   std::uint64_t arch_digest = 0;        // machine's oracle stream digest
   std::uint64_t sequential_digest = 0;  // ground truth for the same trace
   std::uint64_t oracle_checks = 0;
   bool digest_match = false;
+  /// First-divergence report from the architectural oracle
+  /// (support::SptOracleDivergence): the trace position of the failed
+  /// boundary check plus the register/memory diff of the first mismatched
+  /// entries. Only meaningful when `diverged` is true.
+  bool diverged = false;
+  std::uint64_t divergence_pos = 0;
+  std::string divergence_boundary;
+  std::string divergence_diff;
+  /// Supervisor containment data; attempts == 0 on the in-process path.
+  WorkerDiagnostics worker;
+
+  bool ok() const { return status == CellStatus::kOk; }
 };
 
 struct FaultCampaignResult {
   std::vector<FaultCampaignCell> cells;  // workload-major, seed-minor
-  sim::FaultStats totals;
+  sim::FaultStats totals;               // ok cells only
 
   bool allDetectedOrBenign() const {
     return totals.escaped == 0 &&
@@ -64,13 +94,21 @@ struct FaultCampaignResult {
     }
     return true;
   }
+  bool allCellsOk() const {
+    for (const FaultCampaignCell& c : cells) {
+      if (!c.ok()) return false;
+    }
+    return true;
+  }
 };
 
 /// Runs the campaign over harness::defaultSuite().
 FaultCampaignResult runFaultCampaign(const FaultCampaignOptions& opts = {});
 
 /// {"totals":{...}, "all_detected_or_benign":b, "all_digests_match":b,
-///  "cells":[{benchmark, fault_seed, injected, ..., digest_match}, ...]}.
+///  "all_cells_ok":b,
+///  "cells":[{benchmark, fault_seed, status, injected, ..., digest_match,
+///            divergence?{pos, boundary, diff}, worker?{...}}, ...]}.
 /// Returns false on I/O failure.
 bool writeFaultCampaignJson(const std::string& path,
                             const FaultCampaignResult& result);

@@ -2,25 +2,14 @@
 
 #include <fstream>
 #include <mutex>
-#include <sstream>
 
+#include "harness/cell_codec.h"
+#include "harness/checkpoint.h"
 #include "support/check.h"
 #include "support/error.h"
 #include "support/json.h"
 
 namespace spt::harness {
-
-std::string toString(CellStatus status) {
-  switch (status) {
-    case CellStatus::kOk:
-      return "ok";
-    case CellStatus::kBudgetExceeded:
-      return "budget_exceeded";
-    case CellStatus::kInternalError:
-      return "internal_error";
-  }
-  return "unknown";
-}
 
 std::vector<SweepRow> runSweep(const ParallelSweep& sweep,
                                const std::vector<SweepCase>& cases) {
@@ -36,45 +25,20 @@ std::vector<SweepRow> runSweep(const ParallelSweep& sweep,
 
 namespace {
 
-// Checkpoint side-file format: one tab-separated line per finished cell,
-// `spt-sweep-v1 <status> <benchmark> <config> <20 metrics> <diagnostic>`.
-// Append-only; on resume the last line per (benchmark, config) wins. Only
-// the metrics writeSweepJson emits are stored, so a resumed ok row carries
-// the summary numbers but not the full plan/run payloads.
-constexpr const char* kCheckpointTag = "spt-sweep-v1";
-constexpr std::size_t kCheckpointMetrics = 20;
+// The sweep stores the 20 summary metrics writeSweepJson emits in its
+// checkpoint lines (harness/checkpoint.h owns the shared line format), so
+// a resumed ok row carries the summary numbers but not the full plan/run
+// payloads.
+constexpr std::size_t kSweepCheckpointMetrics = 20;
 
-std::string sanitizeField(std::string s) {
-  for (char& c : s) {
-    if (c == '\t' || c == '\n' || c == '\r') c = ' ';
-  }
-  return s;
-}
-
-std::string cellKey(const std::string& benchmark, const std::string& config) {
-  return sanitizeField(benchmark) + '\t' + sanitizeField(config);
-}
-
-bool statusFromString(const std::string& s, CellStatus& out) {
-  if (s == "ok") {
-    out = CellStatus::kOk;
-  } else if (s == "budget_exceeded") {
-    out = CellStatus::kBudgetExceeded;
-  } else if (s == "internal_error") {
-    out = CellStatus::kInternalError;
-  } else {
-    return false;
-  }
-  return true;
-}
-
-std::string checkpointLine(const SweepRow& r) {
+CheckpointLine toCheckpointLine(const SweepRow& r) {
   const sim::MachineResult& base = r.result.baseline;
   const sim::MachineResult& spt = r.result.spt;
-  std::ostringstream os;
-  os << kCheckpointTag << '\t' << toString(r.status) << '\t'
-     << sanitizeField(r.benchmark) << '\t' << sanitizeField(r.config);
-  const std::uint64_t metrics[kCheckpointMetrics] = {
+  CheckpointLine line;
+  line.status = r.status;
+  line.benchmark = r.benchmark;
+  line.config = r.config;
+  line.metrics = {
       base.cycles,
       spt.cycles,
       base.instrs,
@@ -96,54 +60,130 @@ std::string checkpointLine(const SweepRow& r) {
       spt.threads.forks_ignored,
       spt.threads.wrong_path,
   };
-  for (const std::uint64_t m : metrics) os << '\t' << m;
-  os << '\t' << sanitizeField(r.diagnostic);
-  return os.str();
+  line.diagnostic = r.diagnostic;
+  return line;
 }
 
-bool parseCheckpointLine(const std::string& line, SweepRow& out) {
-  std::istringstream is(line);
-  std::string field;
-  const auto next = [&](std::string& dst) {
-    return static_cast<bool>(std::getline(is, dst, '\t'));
-  };
-  if (!next(field) || field != kCheckpointTag) return false;
-  if (!next(field) || !statusFromString(field, out.status)) return false;
-  if (!next(out.benchmark) || !next(out.config)) return false;
-  std::uint64_t metrics[kCheckpointMetrics] = {};
-  for (std::uint64_t& m : metrics) {
-    if (!next(field)) return false;
-    try {
-      m = std::stoull(field);
-    } catch (...) {
-      return false;
-    }
-  }
-  // The diagnostic is the (possibly empty) remainder of the line.
-  std::getline(is, out.diagnostic);
+SweepRow fromCheckpointLine(const CheckpointLine& l) {
+  SweepRow out;
+  out.status = l.status;
+  out.benchmark = l.benchmark;
+  out.config = l.config;
+  out.diagnostic = l.diagnostic;
   sim::MachineResult& base = out.result.baseline;
   sim::MachineResult& spt = out.result.spt;
-  base.cycles = metrics[0];
-  spt.cycles = metrics[1];
-  base.instrs = metrics[2];
-  spt.instrs = metrics[3];
-  base.breakdown.execution = metrics[4];
-  base.breakdown.pipeline_stall = metrics[5];
-  base.breakdown.dcache_stall = metrics[6];
-  spt.breakdown.execution = metrics[7];
-  spt.breakdown.pipeline_stall = metrics[8];
-  spt.breakdown.dcache_stall = metrics[9];
-  spt.threads.spawned = metrics[10];
-  spt.threads.fast_commits = metrics[11];
-  spt.threads.replays = metrics[12];
-  spt.threads.squashes = metrics[13];
-  spt.threads.killed = metrics[14];
-  spt.threads.spec_instrs = metrics[15];
-  spt.threads.misspec_instrs = metrics[16];
-  spt.threads.committed_instrs = metrics[17];
-  spt.threads.forks_ignored = metrics[18];
-  spt.threads.wrong_path = metrics[19];
-  return true;
+  base.cycles = l.metrics[0];
+  spt.cycles = l.metrics[1];
+  base.instrs = l.metrics[2];
+  spt.instrs = l.metrics[3];
+  base.breakdown.execution = l.metrics[4];
+  base.breakdown.pipeline_stall = l.metrics[5];
+  base.breakdown.dcache_stall = l.metrics[6];
+  spt.breakdown.execution = l.metrics[7];
+  spt.breakdown.pipeline_stall = l.metrics[8];
+  spt.breakdown.dcache_stall = l.metrics[9];
+  spt.threads.spawned = l.metrics[10];
+  spt.threads.fast_commits = l.metrics[11];
+  spt.threads.replays = l.metrics[12];
+  spt.threads.squashes = l.metrics[13];
+  spt.threads.killed = l.metrics[14];
+  spt.threads.spec_instrs = l.metrics[15];
+  spt.threads.misspec_instrs = l.metrics[16];
+  spt.threads.committed_instrs = l.metrics[17];
+  spt.threads.forks_ignored = l.metrics[18];
+  spt.threads.wrong_path = l.metrics[19];
+  return out;
+}
+
+/// Runs one cell in-cell (either path): quarantine-catches per `catch_all`.
+SweepRow runCell(const SweepCase& c, bool catch_all) {
+  SweepRow row;
+  row.benchmark = c.benchmark;
+  row.config = c.config;
+  if (catch_all) {
+    try {
+      row.result = runSuiteEntry(c.entry, c.machine, c.scale);
+    } catch (const support::SptBudgetExceeded& e) {
+      row.status = CellStatus::kBudgetExceeded;
+      row.diagnostic = e.what();
+    } catch (const std::exception& e) {
+      row.status = CellStatus::kInternalError;
+      row.diagnostic = e.what();
+    }
+  } else {
+    row.result = runSuiteEntry(c.entry, c.machine, c.scale);
+  }
+  return row;
+}
+
+/// The supervised (fork-per-cell) sweep path. `resumed` holds ok rows
+/// reused from the checkpoint; only the remaining cells fork workers.
+std::vector<SweepRow> runSweepSupervised(
+    const ParallelSweep& sweep, const std::vector<SweepCase>& cases,
+    const SweepOptions& opts, std::map<std::string, SweepRow>& resumed) {
+  std::vector<SweepRow> rows(cases.size());
+  std::vector<std::size_t> to_run;
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    const auto it =
+        resumed.find(checkpointKey(cases[i].benchmark, cases[i].config));
+    if (opts.resume && it != resumed.end() && it->second.ok()) {
+      rows[i] = it->second;
+    } else {
+      to_run.push_back(i);
+    }
+  }
+
+  std::ofstream checkpoint;
+  if (!opts.checkpoint_path.empty()) {
+    checkpoint.open(opts.checkpoint_path,
+                    opts.resume ? std::ios::out | std::ios::app
+                                : std::ios::out | std::ios::trunc);
+  }
+
+  SupervisorOptions sopts = opts.supervisor;
+  if (sopts.jobs == 0) sopts.jobs = sweep.jobs();
+  const Supervisor supervisor(sopts);
+
+  // The producer runs in the forked worker. Supervision implies
+  // quarantine semantics: a cell exception becomes a non-ok row in the
+  // payload either way (the alternative — letting it escape — would just
+  // downgrade a structured status into a generic worker error).
+  const auto produce = [&](std::size_t k) {
+    return encodeSweepRow(runCell(cases[to_run[k]], /*catch_all=*/true));
+  };
+
+  // The settle hook runs in the parent, single-threaded, as each cell's
+  // retries resolve — checkpoint appends need no lock here.
+  const auto on_settled = [&](std::size_t k, const Supervisor::Outcome& oc) {
+    const std::size_t i = to_run[k];
+    SweepRow row;
+    if (oc.status == CellStatus::kOk) {
+      if (!decodeSweepRow(oc.payload, &row)) {
+        row.benchmark = cases[i].benchmark;
+        row.config = cases[i].config;
+        row.status = CellStatus::kProtocolError;
+        row.diagnostic =
+            "worker payload passed frame validation but failed to decode "
+            "as a sweep row";
+      }
+    } else {
+      // Transport failure or structured worker error: synthesize the row
+      // from the case tags and the supervisor's diagnostic.
+      row.benchmark = cases[i].benchmark;
+      row.config = cases[i].config;
+      row.status = oc.status;
+      row.diagnostic = oc.diagnostic;
+    }
+    row.worker = oc.worker;
+    if (checkpoint.is_open()) {
+      checkpoint << formatCheckpointLine(toCheckpointLine(row)) << '\n'
+                 << std::flush;
+    }
+    rows[i] = std::move(row);
+  };
+
+  supervisor.run(to_run.size(), produce, on_settled);
+  return rows;
 }
 
 }  // namespace
@@ -153,22 +193,22 @@ std::vector<SweepRow> runSweep(const ParallelSweep& sweep,
                                const SweepOptions& opts) {
   std::map<std::string, SweepRow> resumed;
   if (opts.resume && !opts.checkpoint_path.empty()) {
-    std::ifstream in(opts.checkpoint_path);
-    std::string line;
-    while (std::getline(in, line)) {
-      SweepRow row;
-      if (parseCheckpointLine(line, row)) {
-        resumed[cellKey(row.benchmark, row.config)] = std::move(row);
-      }
+    for (auto& [key, line] :
+         loadCheckpoint(opts.checkpoint_path, kSweepCheckpointMetrics)) {
+      resumed[key] = fromCheckpointLine(line);
     }
   }
 
   // Quarantine runs the whole sweep with SPT_CHECK in throwing mode so a
   // poisoned cell surfaces as SptInternalError on its own worker instead
   // of aborting the process. The flag is process-global, so it brackets
-  // the sweep, not each cell.
+  // the sweep, not each cell; forked workers inherit it.
   std::optional<support::ScopedCheckThrowMode> throw_mode;
   if (opts.quarantine) throw_mode.emplace(true);
+
+  if (opts.supervisor.isolate && Supervisor::isolationSupported()) {
+    return runSweepSupervised(sweep, cases, opts, resumed);
+  }
 
   std::ofstream checkpoint;
   std::mutex checkpoint_mu;
@@ -181,28 +221,14 @@ std::vector<SweepRow> runSweep(const ParallelSweep& sweep,
   return sweep.run(cases.size(), [&](std::size_t i) {
     const SweepCase& c = cases[i];
     if (opts.resume) {
-      const auto it = resumed.find(cellKey(c.benchmark, c.config));
+      const auto it = resumed.find(checkpointKey(c.benchmark, c.config));
       if (it != resumed.end() && it->second.ok()) return it->second;
     }
-    SweepRow row;
-    row.benchmark = c.benchmark;
-    row.config = c.config;
-    if (opts.quarantine) {
-      try {
-        row.result = runSuiteEntry(c.entry, c.machine, c.scale);
-      } catch (const support::SptBudgetExceeded& e) {
-        row.status = CellStatus::kBudgetExceeded;
-        row.diagnostic = e.what();
-      } catch (const std::exception& e) {
-        row.status = CellStatus::kInternalError;
-        row.diagnostic = e.what();
-      }
-    } else {
-      row.result = runSuiteEntry(c.entry, c.machine, c.scale);
-    }
+    SweepRow row = runCell(c, /*catch_all=*/opts.quarantine);
     if (checkpoint.is_open()) {
       const std::lock_guard<std::mutex> lock(checkpoint_mu);
-      checkpoint << checkpointLine(row) << '\n' << std::flush;
+      checkpoint << formatCheckpointLine(toCheckpointLine(row)) << '\n'
+                 << std::flush;
     }
     return row;
   });
@@ -262,6 +288,25 @@ bool writeSweepJson(const std::string& path,
     if (!r.extra.empty()) {
       w.key("extra").beginObject();
       for (const auto& [k, v] : r.extra) w.member(k, v);
+      w.endObject();
+    }
+    // Supervisor containment data, only for cells that went through a
+    // worker — the in-process path's output is byte-identical to before.
+    // host_-prefixed members are host-dependent (CI filters them out of
+    // determinism diffs with `grep -v '"host_'`).
+    if (r.worker.attempts > 0) {
+      w.key("worker").beginObject();
+      w.member("attempts", static_cast<std::uint64_t>(r.worker.attempts));
+      w.member("exit_code", r.worker.exit_code);
+      w.member("term_signal", r.worker.term_signal);
+      w.member("timed_out", r.worker.timed_out);
+      w.member("host_user_seconds", r.worker.host_user_seconds);
+      w.member("host_sys_seconds", r.worker.host_sys_seconds);
+      w.member("host_max_rss_kb",
+               static_cast<std::int64_t>(r.worker.host_max_rss_kb));
+      if (!r.worker.partial_reply.empty()) {
+        w.member("partial_reply", r.worker.partial_reply);
+      }
       w.endObject();
     }
     w.endObject();

@@ -27,7 +27,9 @@
 #include <utility>
 #include <vector>
 
+#include "harness/cell_status.h"
 #include "harness/suite.h"
+#include "harness/supervisor.h"
 #include "support/rng.h"
 #include "support/thread_pool.h"
 
@@ -107,21 +109,13 @@ struct SweepCase {
   std::uint64_t scale = 1;
 };
 
-/// Outcome of one sweep cell under the hardened (quarantining) runner. A
-/// cell that blows its simulated-record/cycle budget or trips an internal
-/// invariant is reported, not fatal: the rest of the sweep still runs.
-enum class CellStatus {
-  kOk,
-  kBudgetExceeded,  // support::SptBudgetExceeded (per-cell budgets)
-  kInternalError,   // support::SptInternalError / any other exception
-};
-
-std::string toString(CellStatus status);
-
 /// A finished cell: the case tags plus the full experiment result and any
 /// bench-specific extra metrics (coverage fractions, ratios, ...). When
 /// `status` is not kOk, `result` is default-constructed and `diagnostic`
-/// holds the failure message (file/line/context for internal errors).
+/// holds the failure message (file/line/context for internal errors, or
+/// the supervisor's containment diagnostic for crashed/timed-out/corrupt
+/// workers). CellStatus and WorkerDiagnostics live in
+/// harness/cell_status.h, shared with the fault campaign and supervisor.
 struct SweepRow {
   std::string benchmark;
   std::string config;
@@ -129,6 +123,9 @@ struct SweepRow {
   std::string diagnostic;
   ExperimentResult result;
   std::map<std::string, double> extra;
+  /// Supervisor containment data; worker.attempts == 0 on the in-process
+  /// path (and for resumed rows), so JSON output is unchanged there.
+  WorkerDiagnostics worker;
 
   bool ok() const { return status == CellStatus::kOk; }
 };
@@ -148,6 +145,13 @@ struct SweepOptions {
   /// cells; failed (non-ok) and missing cells re-run. Keyed by
   /// (benchmark, config); the last checkpoint line per key wins.
   bool resume = false;
+  /// Process isolation (supervisor.h). With supervisor.isolate set, every
+  /// non-resumed cell runs in a forked worker under the watchdog/retry
+  /// policy; crashes and hangs become non-ok rows instead of taking the
+  /// sweep down. Quarantine semantics are implied in the worker (a cell
+  /// exception becomes a non-ok row either way). Checkpoint files written
+  /// by either path resume under the other.
+  SupervisorOptions supervisor;
 };
 
 /// Runs every case through runSptExperiment on `sweep`'s pool; rows come

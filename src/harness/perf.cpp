@@ -2,8 +2,10 @@
 
 #include <chrono>
 #include <fstream>
+#include <map>
 
 #include "harness/experiment.h"
+#include "spt/remarks.h"
 #include "support/json.h"
 #include "support/stats.h"
 #include "support/table.h"
@@ -19,6 +21,7 @@ struct PreparedWorkload {
   ir::Module spt_module{"empty"};
   trace::TraceBuffer baseline_trace;
   trace::TraceBuffer spt_trace;
+  std::vector<compiler::PassRemark> passes;  // this compile's pass timings
 };
 
 PreparedWorkload prepare(const std::string& name, const PerfOptions& options) {
@@ -31,7 +34,9 @@ PreparedWorkload prepare(const std::string& name, const PerfOptions& options) {
 
   compiler::SptCompiler cc(options.copts);
   InterpProfileRunner runner;
-  cc.compile(module, runner);
+  compiler::CompilationRemarks remarks;
+  cc.compile(module, runner, &remarks);
+  p.passes = std::move(remarks.passes);
   p.spt_module = std::move(module);
 
   p.baseline_trace = traceProgram(p.baseline_module).trace;
@@ -63,7 +68,8 @@ double mips(std::uint64_t instrs, double host_seconds) {
 
 }  // namespace
 
-std::vector<PerfRow> runSimThroughput(const PerfOptions& options) {
+std::vector<PerfRow> runSimThroughput(const PerfOptions& options,
+                                      std::vector<PerfPassRow>* passes) {
   std::vector<std::string> names = options.workloads;
   if (names.empty()) {
     names.push_back("micro.parser_free");
@@ -78,6 +84,25 @@ std::vector<PerfRow> runSimThroughput(const PerfOptions& options) {
   std::vector<PreparedWorkload> prepared = sweep.run(
       names.size(),
       [&](std::size_t i) { return prepare(names[i], options); });
+
+  // Aggregate per-pass compile times across workloads, preserving
+  // pipeline order (order of first appearance — identical per workload).
+  // `prepared` is in submission order, so the aggregation is independent
+  // of --jobs.
+  if (passes != nullptr) {
+    passes->clear();
+    std::map<std::string, std::size_t> index;
+    for (const PreparedWorkload& p : prepared) {
+      for (const compiler::PassRemark& pr : p.passes) {
+        const auto [it, fresh] = index.emplace(pr.name, passes->size());
+        if (fresh) passes->push_back({pr.name, 0, 0, 0.0});
+        PerfPassRow& row = (*passes)[it->second];
+        row.invocations += pr.invocations;
+        row.mutations += pr.mutations;
+        row.host_wall_ms += pr.wall_ms;
+      }
+    }
+  }
 
   std::vector<PerfRow> rows;
   rows.reserve(prepared.size());
@@ -136,8 +161,26 @@ void printSimThroughputTable(std::ostream& os,
   t.print(os);
 }
 
+void printPassTimeTable(std::ostream& os,
+                        const std::vector<PerfPassRow>& passes) {
+  support::Table t("compile time by pass (setup phase, all workloads)");
+  t.setHeader({"pass", "invocations", "mutations", "wall ms"});
+  double total_ms = 0.0;
+  for (const PerfPassRow& p : passes) {
+    t.addRow({p.name, std::to_string(p.invocations),
+              std::to_string(p.mutations),
+              support::fixed(p.host_wall_ms, 2)});
+    total_ms += p.host_wall_ms;
+  }
+  if (!passes.empty()) {
+    t.addRow({"Total", "-", "-", support::fixed(total_ms, 2)});
+  }
+  t.print(os);
+}
+
 bool writeSimThroughputJson(const std::string& path,
-                            const std::vector<PerfRow>& rows) {
+                            const std::vector<PerfRow>& rows,
+                            const std::vector<PerfPassRow>* passes) {
   std::ofstream out(path);
   if (!out) return false;
   support::JsonWriter w(out);
@@ -158,6 +201,21 @@ bool writeSimThroughputJson(const std::string& path,
     w.endObject();
   }
   w.endArray();
+  // Keyed host_pass_times so line-based determinism filters drop the
+  // array opener; the per-pass host_wall_ms members are also host_-
+  // prefixed, while name/invocations/mutations stay diffable.
+  if (passes != nullptr) {
+    w.key("host_pass_times").beginArray();
+    for (const PerfPassRow& p : *passes) {
+      w.beginObject();
+      w.member("name", p.name);
+      w.member("invocations", p.invocations);
+      w.member("mutations", p.mutations);
+      w.member("host_wall_ms", p.host_wall_ms);
+      w.endObject();
+    }
+    w.endArray();
+  }
   w.endObject();
   out << "\n";
   return static_cast<bool>(out);

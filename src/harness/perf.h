@@ -53,18 +53,39 @@ struct PerfRow {
   double host_spt_mips = 0.0;
 };
 
+/// Wall time of one compiler pass aggregated across every workload's
+/// compile in the setup phase, from the pass pipeline's instrumentation
+/// (spt/remarks.h). name/invocations/mutations are deterministic;
+/// host_wall_ms is host time (excluded from determinism diffs).
+struct PerfPassRow {
+  std::string name;  // pipeline order of first appearance
+  std::uint64_t invocations = 0;
+  std::uint64_t mutations = 0;
+  double host_wall_ms = 0.0;
+};
+
 /// Builds, compiles and traces each workload (parallel), then times
 /// BaselineMachine and SptMachine runs over the pre-built traces (serial).
-std::vector<PerfRow> runSimThroughput(const PerfOptions& options);
+/// With non-null `passes`, also reports the setup phase's per-pass
+/// compile wall times.
+std::vector<PerfRow> runSimThroughput(const PerfOptions& options,
+                                      std::vector<PerfPassRow>* passes =
+                                          nullptr);
 
 /// Renders the ASCII table the `sptc perf` subcommand and the
 /// bench_sim_throughput binary print.
 void printSimThroughputTable(std::ostream& os,
                              const std::vector<PerfRow>& rows);
 
-/// Writes {"rows":[...]} with one object per PerfRow; `host_` members carry
-/// host-time metrics. Returns false on I/O failure.
+/// Renders the per-pass compile-time table (`sptc perf`).
+void printPassTimeTable(std::ostream& os,
+                        const std::vector<PerfPassRow>& passes);
+
+/// Writes {"rows":[...], "host_pass_times":[...]} ("host_pass_times" only
+/// with non-null `passes`); `host_` members carry host-time metrics.
+/// Returns false on I/O failure.
 bool writeSimThroughputJson(const std::string& path,
-                            const std::vector<PerfRow>& rows);
+                            const std::vector<PerfRow>& rows,
+                            const std::vector<PerfPassRow>* passes = nullptr);
 
 }  // namespace spt::harness

@@ -1,0 +1,534 @@
+#include "harness/supervisor.h"
+
+#include <cstring>
+#include <deque>
+#include <sstream>
+#include <thread>
+
+#include "support/error.h"
+#include "support/rng.h"
+#include "support/thread_pool.h"
+
+#if defined(__unix__) || (defined(__APPLE__) && defined(__MACH__))
+#define SPT_SUPERVISOR_POSIX 1
+#include <fcntl.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/resource.h>
+#include <sys/wait.h>
+#include <unistd.h>
+#else
+#define SPT_SUPERVISOR_POSIX 0
+#endif
+
+namespace spt::harness {
+namespace {
+
+// ---- Frame codec (trace_io v2 FNV approach) -------------------------------
+
+constexpr char kFrameMagic[4] = {'S', 'P', 'T', 'W'};
+constexpr std::uint32_t kFrameVersion = 1;
+// magic + version + kind + length.
+constexpr std::size_t kFrameHeaderBytes = 4 + 4 + 1 + 8;
+// A reply larger than this is corruption, not a result.
+constexpr std::uint64_t kMaxPayloadBytes = 1ull << 28;
+
+constexpr std::uint64_t kFnvOffset = 14695981039346656037ull;
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+std::uint64_t fnv1a(std::uint64_t h, const void* data, std::size_t n) {
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < n; ++i) h = (h ^ p[i]) * kFnvPrime;
+  return h;
+}
+
+void appendRaw(std::string& out, const void* data, std::size_t n) {
+  out.append(static_cast<const char*>(data), n);
+}
+
+std::string hexDump(const std::string& bytes, std::size_t limit) {
+  static const char* digits = "0123456789abcdef";
+  std::string out;
+  const std::size_t n = std::min(bytes.size(), limit);
+  out.reserve(n * 2 + 2);
+  for (std::size_t i = 0; i < n; ++i) {
+    const unsigned char c = static_cast<unsigned char>(bytes[i]);
+    out.push_back(digits[c >> 4]);
+    out.push_back(digits[c & 0xf]);
+  }
+  if (bytes.size() > limit) out += "..";
+  return out;
+}
+
+}  // namespace
+
+std::string encodeSupervisorFrame(std::uint8_t kind,
+                                  const std::string& payload) {
+  std::string out;
+  out.reserve(kFrameHeaderBytes + payload.size() + 8);
+  appendRaw(out, kFrameMagic, sizeof kFrameMagic);
+  const std::uint32_t version = kFrameVersion;
+  appendRaw(out, &version, sizeof version);
+  appendRaw(out, &kind, sizeof kind);
+  const std::uint64_t length = payload.size();
+  appendRaw(out, &length, sizeof length);
+  out += payload;
+  std::uint64_t checksum = kFnvOffset;
+  checksum = fnv1a(checksum, &kind, sizeof kind);
+  checksum = fnv1a(checksum, &length, sizeof length);
+  checksum = fnv1a(checksum, payload.data(), payload.size());
+  appendRaw(out, &checksum, sizeof checksum);
+  return out;
+}
+
+bool decodeSupervisorFrame(const std::string& bytes, std::uint8_t* kind,
+                           std::string* payload, std::string* error) {
+  const auto fail = [&](const std::string& why) {
+    if (error != nullptr) *error = why;
+    return false;
+  };
+  if (bytes.empty()) return fail("empty reply (no frame)");
+  if (bytes.size() < kFrameHeaderBytes + 8) {
+    return fail("short reply: " + std::to_string(bytes.size()) +
+                " bytes, frame header needs " +
+                std::to_string(kFrameHeaderBytes + 8));
+  }
+  if (std::memcmp(bytes.data(), kFrameMagic, sizeof kFrameMagic) != 0) {
+    return fail("bad frame magic (first bytes " + hexDump(bytes, 8) + ")");
+  }
+  std::uint32_t version = 0;
+  std::memcpy(&version, bytes.data() + 4, sizeof version);
+  if (version != kFrameVersion) {
+    return fail("unsupported frame version " + std::to_string(version) +
+                " (expected " + std::to_string(kFrameVersion) + ")");
+  }
+  std::uint8_t k = 0;
+  std::memcpy(&k, bytes.data() + 8, sizeof k);
+  std::uint64_t length = 0;
+  std::memcpy(&length, bytes.data() + 9, sizeof length);
+  if (length > kMaxPayloadBytes) {
+    return fail("frame length " + std::to_string(length) +
+                " exceeds the payload cap");
+  }
+  if (bytes.size() != kFrameHeaderBytes + length + 8) {
+    return fail("frame length mismatch: header says " +
+                std::to_string(length) + " payload bytes, reply carries " +
+                std::to_string(bytes.size() - kFrameHeaderBytes - 8));
+  }
+  std::uint64_t stored = 0;
+  std::memcpy(&stored, bytes.data() + kFrameHeaderBytes + length,
+              sizeof stored);
+  std::uint64_t checksum = kFnvOffset;
+  checksum = fnv1a(checksum, &k, sizeof k);
+  checksum = fnv1a(checksum, &length, sizeof length);
+  checksum = fnv1a(checksum, bytes.data() + kFrameHeaderBytes, length);
+  if (checksum != stored) {
+    return fail("frame checksum mismatch: stored " + std::to_string(stored) +
+                ", computed " + std::to_string(checksum) +
+                " (reply bytes corrupted)");
+  }
+  if (kind != nullptr) *kind = k;
+  if (payload != nullptr) {
+    payload->assign(bytes, kFrameHeaderBytes, length);
+  }
+  return true;
+}
+
+Supervisor::Supervisor(SupervisorOptions options)
+    : options_(std::move(options)) {
+  if (options_.jobs == 0) {
+    options_.jobs = support::ThreadPool::defaultWorkerCount();
+  }
+}
+
+double Supervisor::backoffSeconds(std::size_t cell,
+                                  std::uint32_t attempt) const {
+  if (attempt < 2) return 0.0;
+  support::Rng rng(support::deriveSeed(
+      options_.backoff_seed,
+      static_cast<std::uint64_t>(cell) * 64 + attempt));
+  const double factor = static_cast<double>(1ull << (attempt - 2));
+  return options_.backoff_base_seconds * factor * (1.0 + rng.nextDouble());
+}
+
+#if SPT_SUPERVISOR_POSIX
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+bool writeAll(int fd, const char* data, std::size_t n) {
+  while (n > 0) {
+    const ssize_t w = ::write(fd, data, n);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data += w;
+    n -= static_cast<std::size_t>(w);
+  }
+  return true;
+}
+
+/// Deterministic garbage for ChaosAction::kGarbage: seeded by the cell so
+/// the bytes (and thus the protocol-error diagnostics) are reproducible,
+/// and guaranteed not to start with the frame magic.
+std::string chaosGarbage(std::size_t cell) {
+  support::Rng rng(support::deriveSeed(0xc4a05, cell));
+  std::string bytes(64, '\0');
+  for (char& c : bytes) {
+    c = static_cast<char>(rng.nextBelow(256));
+  }
+  bytes[0] = static_cast<char>(static_cast<unsigned char>(bytes[0]) | 0x80);
+  return bytes;
+}
+
+/// Worker body. Never returns: replies on `fd` and _exit()s. _exit (not
+/// exit) so the forked copy of the parent's atexit handlers, static
+/// destructors, and stdio buffers never run twice.
+[[noreturn]] void runWorker(int fd, std::size_t cell, std::uint32_t attempt,
+                            const SupervisorOptions& options,
+                            const Supervisor::Producer& produce) {
+  if (options.rlimit_as_bytes != 0) {
+    rlimit rl{};
+    rl.rlim_cur = static_cast<rlim_t>(options.rlimit_as_bytes);
+    rl.rlim_max = static_cast<rlim_t>(options.rlimit_as_bytes);
+    ::setrlimit(RLIMIT_AS, &rl);
+  }
+  if (options.rlimit_cpu_seconds != 0) {
+    rlimit rl{};
+    rl.rlim_cur = static_cast<rlim_t>(options.rlimit_cpu_seconds);
+    rl.rlim_max = static_cast<rlim_t>(options.rlimit_cpu_seconds + 1);
+    ::setrlimit(RLIMIT_CPU, &rl);
+  }
+
+  switch (options.chaos.actionFor(cell, attempt)) {
+    case support::ChaosAction::kNone:
+      break;
+    case support::ChaosAction::kCrash:
+      // Sanitizer runtimes install SIGSEGV handlers that turn the crash
+      // into a clean exit; restore the default action so the parent sees
+      // a genuine signal death on every build type.
+      ::signal(SIGSEGV, SIG_DFL);
+      ::raise(SIGSEGV);
+      ::_exit(97);  // unreachable
+    case support::ChaosAction::kAbort:
+      ::signal(SIGABRT, SIG_DFL);
+      std::abort();
+    case support::ChaosAction::kHang:
+      for (;;) ::pause();
+    case support::ChaosAction::kGarbage: {
+      const std::string garbage = chaosGarbage(cell);
+      writeAll(fd, garbage.data(), garbage.size());
+      ::close(fd);
+      ::_exit(0);
+    }
+    case support::ChaosAction::kPartial: {
+      const std::string frame =
+          encodeSupervisorFrame(0, "chaos-partial-payload");
+      writeAll(fd, frame.data(), frame.size() / 2);
+      ::close(fd);
+      ::_exit(0);
+    }
+    case support::ChaosAction::kExit:
+      ::_exit(3);
+  }
+
+  std::string frame;
+  try {
+    frame = encodeSupervisorFrame(0, produce(cell));
+  } catch (const std::exception& e) {
+    // Last-resort structured report (the producer normally catches cell
+    // exceptions itself): kind-1 frames carry the worker's error text.
+    frame = encodeSupervisorFrame(1, e.what());
+  } catch (...) {
+    frame = encodeSupervisorFrame(1, "unknown worker exception");
+  }
+  const bool ok = writeAll(fd, frame.data(), frame.size());
+  ::close(fd);
+  ::_exit(ok ? 0 : 1);
+}
+
+struct RunningWorker {
+  std::size_t cell = 0;
+  std::uint32_t attempt = 1;
+  pid_t pid = -1;
+  int fd = -1;
+  bool has_deadline = false;
+  Clock::time_point deadline;
+  std::string buf;
+};
+
+struct PendingCell {
+  std::size_t cell = 0;
+  std::uint32_t attempt = 1;
+  Clock::time_point not_before;
+};
+
+int signalOf(int wait_status) {
+  return WIFSIGNALED(wait_status) ? WTERMSIG(wait_status) : 0;
+}
+
+}  // namespace
+
+bool Supervisor::isolationSupported() { return true; }
+
+std::vector<Supervisor::Outcome> Supervisor::run(
+    std::size_t n, const Producer& produce,
+    const OnSettled& on_settled) const {
+  std::vector<Outcome> out(n);
+  std::deque<PendingCell> pending;
+  const Clock::time_point start = Clock::now();
+  for (std::size_t i = 0; i < n; ++i) pending.push_back({i, 1, start});
+  std::vector<RunningWorker> running;
+  std::size_t settled = 0;
+
+  const auto settle = [&](std::size_t cell, Outcome outcome) {
+    out[cell] = std::move(outcome);
+    ++settled;
+    if (on_settled) on_settled(cell, out[cell]);
+  };
+
+  // Reaps one worker (blocking wait4; the fd already saw EOF or the
+  // worker was just SIGKILLed) and either settles or schedules a retry.
+  const auto reap = [&](RunningWorker& w, bool timed_out) {
+    int wait_status = 0;
+    rusage ru{};
+    while (::wait4(w.pid, &wait_status, 0, &ru) < 0 && errno == EINTR) {
+    }
+    ::close(w.fd);
+
+    Outcome oc;
+    oc.worker.attempts = w.attempt;
+    oc.worker.timed_out = timed_out;
+    oc.worker.host_user_seconds =
+        static_cast<double>(ru.ru_utime.tv_sec) +
+        static_cast<double>(ru.ru_utime.tv_usec) / 1e6;
+    oc.worker.host_sys_seconds =
+        static_cast<double>(ru.ru_stime.tv_sec) +
+        static_cast<double>(ru.ru_stime.tv_usec) / 1e6;
+    oc.worker.host_max_rss_kb = static_cast<std::int64_t>(ru.ru_maxrss);
+
+    const int sig = signalOf(wait_status);
+    if (timed_out) {
+      oc.status = CellStatus::kTimeout;
+      oc.worker.term_signal = sig;
+      std::ostringstream os;
+      os << "worker exceeded the " << options_.cell_timeout_seconds
+         << "s wall-clock deadline on attempt " << w.attempt
+         << "; killed (SIGKILL)";
+      oc.diagnostic = os.str();
+    } else if (sig != 0) {
+      oc.worker.term_signal = sig;
+      if (sig == SIGXCPU) {
+        oc.status = CellStatus::kTimeout;
+        oc.diagnostic = "worker hit RLIMIT_CPU (" +
+                        std::to_string(options_.rlimit_cpu_seconds) +
+                        "s) and died on SIGXCPU";
+      } else {
+        oc.status = CellStatus::kCrashed;
+        const char* name = ::strsignal(sig);
+        oc.diagnostic = "worker killed by signal " + std::to_string(sig) +
+                        (name != nullptr ? std::string(" (") + name + ")"
+                                         : std::string()) +
+                        " after " + std::to_string(w.buf.size()) +
+                        " reply bytes";
+      }
+      if (!w.buf.empty()) oc.worker.partial_reply = hexDump(w.buf, 64);
+    } else {
+      oc.worker.exit_code = WEXITSTATUS(wait_status);
+      std::uint8_t kind = 0;
+      std::string payload;
+      std::string why;
+      if (decodeSupervisorFrame(w.buf, &kind, &payload, &why)) {
+        if (kind == 0) {
+          oc.status = CellStatus::kOk;
+          oc.payload = std::move(payload);
+        } else {
+          oc.status = CellStatus::kInternalError;
+          oc.diagnostic = "worker error: " + payload;
+        }
+      } else {
+        oc.status = CellStatus::kProtocolError;
+        oc.diagnostic = "worker reply failed frame validation: " + why +
+                        " (exit code " +
+                        std::to_string(oc.worker.exit_code) + ")";
+        oc.worker.partial_reply = hexDump(w.buf, 64);
+      }
+    }
+
+    if (isTransportFailure(oc.status) && w.attempt <= options_.retries) {
+      const double delay = backoffSeconds(w.cell, w.attempt + 1);
+      pending.push_back(
+          {w.cell, w.attempt + 1,
+           Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                              std::chrono::duration<double>(delay))});
+    } else {
+      settle(w.cell, std::move(oc));
+    }
+  };
+
+  const auto spawn = [&](const PendingCell& p) {
+    int fds[2];
+    if (::pipe(fds) < 0) {
+      Outcome oc;
+      oc.status = CellStatus::kCrashed;
+      oc.worker.attempts = p.attempt;
+      oc.diagnostic = std::string("pipe() failed: ") + std::strerror(errno);
+      settle(p.cell, std::move(oc));
+      return;
+    }
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+      ::close(fds[0]);
+      ::close(fds[1]);
+      Outcome oc;
+      oc.status = CellStatus::kCrashed;
+      oc.worker.attempts = p.attempt;
+      oc.diagnostic = std::string("fork() failed: ") + std::strerror(errno);
+      settle(p.cell, std::move(oc));
+      return;
+    }
+    if (pid == 0) {
+      ::close(fds[0]);
+      // Drop inherited read ends of sibling pipes.
+      for (const RunningWorker& other : running) ::close(other.fd);
+      runWorker(fds[1], p.cell, p.attempt, options_, produce);
+    }
+    ::close(fds[1]);
+    const int flags = ::fcntl(fds[0], F_GETFL, 0);
+    ::fcntl(fds[0], F_SETFL, flags | O_NONBLOCK);
+    RunningWorker w;
+    w.cell = p.cell;
+    w.attempt = p.attempt;
+    w.pid = pid;
+    w.fd = fds[0];
+    if (options_.cell_timeout_seconds > 0.0) {
+      w.has_deadline = true;
+      w.deadline =
+          Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                             std::chrono::duration<double>(
+                                 options_.cell_timeout_seconds));
+    }
+    running.push_back(std::move(w));
+  };
+
+  while (settled < n) {
+    Clock::time_point now = Clock::now();
+
+    // Launch every due pending cell into a free worker slot.
+    for (std::size_t i = 0;
+         i < pending.size() && running.size() < options_.jobs;) {
+      if (pending[i].not_before <= now) {
+        const PendingCell p = pending[i];
+        pending.erase(pending.begin() + static_cast<std::ptrdiff_t>(i));
+        spawn(p);
+      } else {
+        ++i;
+      }
+    }
+
+    if (running.empty()) {
+      if (pending.empty()) break;  // everything settled via spawn failures
+      // Only backoff waits remain; sleep to the earliest one.
+      Clock::time_point wake = pending.front().not_before;
+      for (const PendingCell& p : pending) wake = std::min(wake, p.not_before);
+      std::this_thread::sleep_until(wake);
+      continue;
+    }
+
+    // Poll timeout: the nearest watchdog deadline or pending spawn time.
+    long long timeout_ms = -1;
+    const auto consider = [&](Clock::time_point t) {
+      const long long ms =
+          std::chrono::duration_cast<std::chrono::milliseconds>(t - now)
+              .count();
+      const long long clamped = ms < 0 ? 0 : ms + 1;
+      if (timeout_ms < 0 || clamped < timeout_ms) timeout_ms = clamped;
+    };
+    for (const RunningWorker& w : running) {
+      if (w.has_deadline) consider(w.deadline);
+    }
+    for (const PendingCell& p : pending) consider(p.not_before);
+
+    std::vector<pollfd> fds(running.size());
+    for (std::size_t i = 0; i < running.size(); ++i) {
+      fds[i] = pollfd{running[i].fd, POLLIN, 0};
+    }
+    const int rc =
+        ::poll(fds.data(), static_cast<nfds_t>(fds.size()),
+               timeout_ms < 0 ? -1 : static_cast<int>(
+                                         std::min<long long>(timeout_ms,
+                                                             60'000)));
+    if (rc < 0 && errno != EINTR) {
+      // A broken poll loop cannot supervise; fail loudly rather than spin.
+      throw support::SptInternalError(
+          std::string("supervisor poll() failed: ") + std::strerror(errno));
+    }
+
+    // Drain readable pipes; EOF means the worker finished its reply.
+    for (std::size_t i = 0; i < running.size();) {
+      RunningWorker& w = running[i];
+      const short revents = fds[i].revents;
+      bool done = false;
+      if (revents & (POLLIN | POLLHUP | POLLERR)) {
+        char chunk[65536];
+        for (;;) {
+          const ssize_t r = ::read(w.fd, chunk, sizeof chunk);
+          if (r > 0) {
+            w.buf.append(chunk, static_cast<std::size_t>(r));
+            if (w.buf.size() > kMaxPayloadBytes + kFrameHeaderBytes + 8) {
+              ::kill(w.pid, SIGKILL);
+              done = true;  // oversized reply; reap as protocol error
+              break;
+            }
+            continue;
+          }
+          if (r == 0) {
+            done = true;
+            break;
+          }
+          if (errno == EINTR) continue;
+          break;  // EAGAIN: drained for now
+        }
+      }
+      if (done) {
+        RunningWorker finished = std::move(w);
+        running.erase(running.begin() + static_cast<std::ptrdiff_t>(i));
+        fds.erase(fds.begin() + static_cast<std::ptrdiff_t>(i));
+        reap(finished, /*timed_out=*/false);
+      } else {
+        ++i;
+      }
+    }
+
+    // Watchdog: SIGKILL overdue workers and reap them as timeouts.
+    now = Clock::now();
+    for (std::size_t i = 0; i < running.size();) {
+      if (running[i].has_deadline && running[i].deadline <= now) {
+        RunningWorker overdue = std::move(running[i]);
+        running.erase(running.begin() + static_cast<std::ptrdiff_t>(i));
+        ::kill(overdue.pid, SIGKILL);
+        reap(overdue, /*timed_out=*/true);
+      } else {
+        ++i;
+      }
+    }
+  }
+  return out;
+}
+
+#else  // !SPT_SUPERVISOR_POSIX
+
+bool Supervisor::isolationSupported() { return false; }
+
+std::vector<Supervisor::Outcome> Supervisor::run(std::size_t, const Producer&,
+                                                 const OnSettled&) const {
+  throw support::SptInternalError(
+      "process isolation is not supported on this platform (no fork); "
+      "use the in-process path");
+}
+
+#endif  // SPT_SUPERVISOR_POSIX
+
+}  // namespace spt::harness

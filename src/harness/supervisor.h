@@ -1,0 +1,126 @@
+// Process-isolated execution supervisor (fork-per-cell worker layer).
+//
+// PR 3's hardened sweep quarantines cells that *throw*; this layer
+// contains cells that take the whole process down. Each cell runs in a
+// forked worker; the worker serializes its result and writes it to a pipe
+// as one versioned, length-prefixed, FNV-1a-checksummed frame (the
+// trace_io v2 approach), then _exit()s. The parent is a single-threaded
+// event loop — fork() never races other threads — that:
+//
+//  * keeps up to `jobs` workers in flight, placing results by submission
+//    index so ordering guarantees match ParallelSweep;
+//  * runs a watchdog enforcing a per-cell **wall-clock** deadline
+//    (complementary to the simulated record/cycle budgets, which cannot
+//    catch a hang in the host code itself) and SIGKILLs overdue workers;
+//  * optionally applies RLIMIT_AS / RLIMIT_CPU to workers, so a runaway
+//    allocation or CPU spin is bounded by the kernel even if the watchdog
+//    is off;
+//  * reaps every worker with wait4(), recording exit code, terminating
+//    signal, and rusage; a worker that segfaults, aborts, OOMs, hangs, or
+//    replies with bytes that fail frame validation lands in
+//    CellStatus::kCrashed / kTimeout / kProtocolError with diagnostics
+//    (including a hex dump of a corrupt reply's first bytes) while every
+//    other cell keeps running;
+//  * retries transport failures (crash/timeout/protocol) up to `retries`
+//    extra attempts with exponential backoff and deterministic seeded
+//    jitter — a pure function of (backoff_seed, cell, attempt), so test
+//    and CI runs are reproducible;
+//  * honors support::ChaosPlan, the deterministic sabotage hook that makes
+//    designated workers crash/hang/garble on demand so every containment
+//    path above is testable.
+//
+// On platforms without fork() the supervisor reports
+// isolationSupported() == false and callers degrade to the existing
+// in-process path (also selectable with --no-isolate).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "harness/cell_status.h"
+#include "support/chaos.h"
+
+namespace spt::harness {
+
+struct SupervisorOptions {
+  /// Master switch consumed by runSweep / runFaultCampaign: false keeps
+  /// the historical in-process path.
+  bool isolate = false;
+  /// Wall-clock deadline per worker *attempt*, enforced by the parent
+  /// watchdog (SIGKILL past it). 0 = no deadline.
+  double cell_timeout_seconds = 0.0;
+  /// Extra attempts for transport failures (crashed / timeout / protocol
+  /// error). Cell-level outcomes (ok, budget_exceeded, internal_error)
+  /// are deterministic and never retried.
+  std::uint32_t retries = 0;
+  /// Retry backoff: base * 2^(attempt-2) * (1 + jitter), jitter in [0,1)
+  /// drawn from Rng(deriveSeed(backoff_seed, cell * 64 + attempt)).
+  double backoff_base_seconds = 0.25;
+  std::uint64_t backoff_seed = 0xb0ff;
+  /// Worker resource limits (0 = inherit). RLIMIT_AS bounds address space
+  /// (an OOM becomes a contained bad_alloc or crash); RLIMIT_CPU bounds
+  /// CPU seconds (SIGXCPU, reported as kTimeout).
+  std::uint64_t rlimit_as_bytes = 0;
+  std::uint64_t rlimit_cpu_seconds = 0;
+  /// Max workers in flight. 0 = support::ThreadPool::defaultWorkerCount().
+  std::size_t jobs = 0;
+  /// Deterministic sabotage for testing the containment paths.
+  support::ChaosPlan chaos;
+};
+
+class Supervisor {
+ public:
+  /// Transport-level outcome of one cell after retries resolved. kOk means
+  /// a valid frame arrived and `payload` holds the worker's bytes (the
+  /// cell's own status, possibly non-ok, is inside the payload);
+  /// kInternalError means the worker itself reported a structured failure;
+  /// other statuses are containment outcomes with empty payload.
+  struct Outcome {
+    CellStatus status = CellStatus::kOk;
+    std::string diagnostic;  // transport diagnostic; empty when kOk
+    WorkerDiagnostics worker;
+    std::string payload;
+  };
+
+  /// Runs in the *worker* (after fork): produces the cell's serialized
+  /// result. Exceptions escaping the producer are caught in the worker and
+  /// reported as a structured kInternalError outcome.
+  using Producer = std::function<std::string(std::size_t)>;
+
+  /// Runs in the *parent* as each cell settles (after retries), in
+  /// completion order — checkpoint appending hooks in here.
+  using OnSettled = std::function<void(std::size_t, const Outcome&)>;
+
+  explicit Supervisor(SupervisorOptions options);
+
+  /// True when this platform can fork worker processes.
+  static bool isolationSupported();
+
+  /// Runs cells 0..n-1; outcomes land by cell index. Must only be called
+  /// when isolationSupported().
+  std::vector<Outcome> run(std::size_t n, const Producer& produce,
+                           const OnSettled& on_settled = nullptr) const;
+
+  const SupervisorOptions& options() const { return options_; }
+
+  /// The deterministic backoff delay before retry `attempt` (2-based: the
+  /// delay preceding the second attempt is backoffSeconds(cell, 2)).
+  double backoffSeconds(std::size_t cell, std::uint32_t attempt) const;
+
+ private:
+  SupervisorOptions options_;
+};
+
+/// Frame codec, exposed for tests and for the worker side. A frame is:
+///   magic "SPTW" | u32 version=1 | u8 kind (0 payload, 1 worker error)
+///   | u64 length | bytes | u64 FNV-1a(kind, length, bytes)
+std::string encodeSupervisorFrame(std::uint8_t kind,
+                                  const std::string& payload);
+/// Decodes a complete frame; returns false (with a reason) on a short,
+/// corrupt, or version-mismatched reply.
+bool decodeSupervisorFrame(const std::string& bytes, std::uint8_t* kind,
+                           std::string* payload, std::string* error);
+
+}  // namespace spt::harness

@@ -28,17 +28,13 @@ void Oracle::checkAt(std::size_t pos, const ArchState& machine_arch,
     if (mode_ == support::OracleMode::kDeep) {
       machine_arch.deepEquals(ref_, &diff);
     }
-    throw support::SptInternalError(
-        "architectural oracle divergence at " + std::string(boundary) +
-        " boundary, trace position " + std::to_string(pos) + ": " + diff);
+    throw support::SptOracleDivergence(pos, boundary, diff);
   }
   if (mode_ == support::OracleMode::kDeep) {
     std::string diff;
     if (!machine_arch.deepEquals(ref_, &diff)) {
-      throw support::SptInternalError(
-          "architectural oracle deep divergence at " +
-          std::string(boundary) + " boundary, trace position " +
-          std::to_string(pos) + ": " + diff);
+      throw support::SptOracleDivergence(pos, boundary, diff,
+                                         /*deep=*/true);
     }
   }
 }

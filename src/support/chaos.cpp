@@ -1,0 +1,122 @@
+#include "support/chaos.h"
+
+#include <cstdlib>
+#include <sstream>
+
+namespace spt::support {
+
+std::string toString(ChaosAction action) {
+  switch (action) {
+    case ChaosAction::kNone:
+      return "none";
+    case ChaosAction::kCrash:
+      return "crash";
+    case ChaosAction::kAbort:
+      return "abort";
+    case ChaosAction::kHang:
+      return "hang";
+    case ChaosAction::kGarbage:
+      return "garbage";
+    case ChaosAction::kPartial:
+      return "partial";
+    case ChaosAction::kExit:
+      return "exit";
+  }
+  return "none";
+}
+
+namespace {
+
+bool actionFromString(const std::string& s, ChaosAction& out) {
+  if (s == "crash") {
+    out = ChaosAction::kCrash;
+  } else if (s == "abort") {
+    out = ChaosAction::kAbort;
+  } else if (s == "hang") {
+    out = ChaosAction::kHang;
+  } else if (s == "garbage") {
+    out = ChaosAction::kGarbage;
+  } else if (s == "partial") {
+    out = ChaosAction::kPartial;
+  } else if (s == "exit") {
+    out = ChaosAction::kExit;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+bool parseUnsigned(const std::string& s, std::uint64_t& out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  out = std::strtoull(s.c_str(), &end, 10);
+  return end != nullptr && *end == '\0';
+}
+
+}  // namespace
+
+ChaosAction ChaosPlan::actionFor(std::size_t cell,
+                                 std::uint32_t attempt) const {
+  ChaosAction action = ChaosAction::kNone;
+  for (const Directive& d : directives) {
+    if (d.cell == cell && attempt <= d.until_attempt) action = d.action;
+  }
+  return action;
+}
+
+std::optional<ChaosPlan> ChaosPlan::parse(const std::string& spec,
+                                          std::string* error) {
+  const auto fail = [&](const std::string& why) -> std::optional<ChaosPlan> {
+    if (error != nullptr) *error = why;
+    return std::nullopt;
+  };
+  ChaosPlan plan;
+  std::istringstream in(spec);
+  std::string entry;
+  while (std::getline(in, entry, ',')) {
+    if (entry.empty()) continue;
+    const std::size_t colon = entry.find(':');
+    if (colon == std::string::npos) {
+      return fail("chaos entry '" + entry +
+                  "' is not CELL:ACTION[@ATTEMPTS]");
+    }
+    Directive d;
+    std::uint64_t cell = 0;
+    if (!parseUnsigned(entry.substr(0, colon), cell)) {
+      return fail("chaos entry '" + entry + "' has a malformed cell index");
+    }
+    d.cell = static_cast<std::size_t>(cell);
+    std::string action = entry.substr(colon + 1);
+    const std::size_t at = action.find('@');
+    if (at != std::string::npos) {
+      std::uint64_t attempts = 0;
+      if (!parseUnsigned(action.substr(at + 1), attempts) || attempts == 0) {
+        return fail("chaos entry '" + entry +
+                    "' has a malformed @ATTEMPTS suffix");
+      }
+      d.until_attempt = static_cast<std::uint32_t>(attempts);
+      action.resize(at);
+    }
+    if (!actionFromString(action, d.action)) {
+      return fail("chaos entry '" + entry + "' names unknown action '" +
+                  action +
+                  "' (expected crash|abort|hang|garbage|partial|exit)");
+    }
+    plan.directives.push_back(d);
+  }
+  return plan;
+}
+
+std::string ChaosPlan::toSpec() const {
+  std::ostringstream os;
+  bool first = true;
+  for (const Directive& d : directives) {
+    if (!first) os << ',';
+    first = false;
+    os << d.cell << ':' << toString(d.action);
+    if (d.until_attempt != ~std::uint32_t{0}) os << '@' << d.until_attempt;
+  }
+  return os.str();
+}
+
+}  // namespace spt::support

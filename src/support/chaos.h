@@ -1,0 +1,67 @@
+// Deterministic chaos plan for the process-isolation supervisor.
+//
+// Mirrors support::FaultPlan one layer up: where FaultPlan corrupts the
+// *simulated* machine's speculative structures, ChaosPlan makes designated
+// supervisor *worker processes* misbehave on demand — crash, abort, hang,
+// reply with garbage, truncate the reply mid-frame, or exit without
+// replying. Every containment path of harness::Supervisor (watchdog,
+// signal reaping, protocol validation, retry/backoff) is therefore
+// testable and exercised in CI with bit-reproducible outcomes: a
+// directive names a cell index and fires on a deterministic set of
+// attempts, never on a clock or a random draw.
+//
+// The plan is inert unless a directive matches, and chaos only ever runs
+// inside a forked worker — the in-process (--no-isolate) path refuses it.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace spt::support {
+
+/// What a chaos-designated worker does instead of (or after) its real work.
+enum class ChaosAction {
+  kNone,
+  kCrash,    // raise SIGSEGV before producing the cell result
+  kAbort,    // std::abort() (SIGABRT)
+  kHang,     // sleep forever; only the parent watchdog can end the cell
+  kGarbage,  // reply with seeded garbage bytes instead of a frame
+  kPartial,  // reply with a truncated prefix of a valid frame
+  kExit,     // _exit(3) without writing any reply
+};
+
+std::string toString(ChaosAction action);
+
+struct ChaosPlan {
+  /// One sabotage order: cell `cell` performs `action` on every attempt
+  /// `<= until_attempt` (1-based). The default affects all attempts; a
+  /// spec like `4:crash@1` fails only the first attempt, so the retry
+  /// succeeds — which is how the retry counters are tested.
+  struct Directive {
+    std::size_t cell = 0;
+    ChaosAction action = ChaosAction::kNone;
+    std::uint32_t until_attempt = ~std::uint32_t{0};
+  };
+
+  std::vector<Directive> directives;
+
+  bool enabled() const { return !directives.empty(); }
+
+  /// The action cell `cell` performs on (1-based) `attempt`; kNone when no
+  /// directive matches. The last matching directive wins.
+  ChaosAction actionFor(std::size_t cell, std::uint32_t attempt) const;
+
+  /// Parses a comma-separated spec, `CELL:ACTION[@ATTEMPTS]` per entry,
+  /// e.g. "2:crash,5:hang,7:garbage@1" (actions: crash, abort, hang,
+  /// garbage, partial, exit). Returns std::nullopt and fills `error` on a
+  /// malformed spec.
+  static std::optional<ChaosPlan> parse(const std::string& spec,
+                                        std::string* error = nullptr);
+
+  /// The canonical spec string (round-trips through parse()).
+  std::string toSpec() const;
+};
+
+}  // namespace spt::support

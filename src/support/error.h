@@ -57,6 +57,35 @@ class SptInternalError : public SptError {
   std::string context_;
 };
 
+/// An architectural-oracle divergence (sim::Oracle): the machine's
+/// committed state stopped matching the sequential replay of the trace.
+/// Beyond the human-readable message, it carries the structured
+/// first-divergence report — the trace record index, the recovery boundary
+/// the check ran at, and (in deep mode) the first divergent register or
+/// memory address — so a campaign row can serialize the report into its
+/// JSON instead of flattening it into a string.
+class SptOracleDivergence : public SptInternalError {
+ public:
+  SptOracleDivergence(std::uint64_t trace_pos, std::string boundary,
+                      std::string diff, bool deep = false)
+      : SptInternalError(std::string("architectural oracle ") +
+                         (deep ? "deep divergence" : "divergence") +
+                         " at " + boundary + " boundary, trace position " +
+                         std::to_string(trace_pos) + ": " + diff),
+        trace_pos_(trace_pos),
+        boundary_(std::move(boundary)),
+        diff_(std::move(diff)) {}
+
+  std::uint64_t tracePos() const { return trace_pos_; }
+  const std::string& boundary() const { return boundary_; }
+  const std::string& diff() const { return diff_; }
+
+ private:
+  std::uint64_t trace_pos_;
+  std::string boundary_;
+  std::string diff_;
+};
+
 /// A configured simulated-record / cycle / instruction budget was exceeded.
 /// Thrown by the interpreter and the machines when MachineConfig (or
 /// interp::RunLimits) caps are set; harnesses catch it and report the cell

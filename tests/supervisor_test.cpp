@@ -1,0 +1,733 @@
+// Tests for the process-isolation supervisor stack: the chaos plan, the
+// worker frame protocol, the cell payload codec, crash/hang/garbage
+// containment with retry/backoff, supervised sweeps and campaigns, and
+// checkpoint-format compatibility between the supervised and in-process
+// paths.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <csignal>
+#include <fstream>
+#include <sstream>
+
+#include "harness/cell_codec.h"
+#include "harness/checkpoint.h"
+#include "harness/fault_campaign.h"
+#include "harness/parallel_sweep.h"
+#include "harness/suite.h"
+#include "harness/supervisor.h"
+#include "sim/decode.h"
+#include "sim/oracle.h"
+#include "support/chaos.h"
+#include "support/error.h"
+
+namespace spt::harness {
+namespace {
+
+SuiteEntry entryByName(const std::string& name) {
+  for (const SuiteEntry& e : defaultSuite()) {
+    if (e.workload.name == name) return e;
+  }
+  ADD_FAILURE() << "no suite entry named " << name;
+  return defaultSuite().front();
+}
+
+std::string readWholeFile(const std::string& path) {
+  std::ifstream in(path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+std::size_t countLines(const std::string& path) {
+  std::ifstream in(path);
+  std::string line;
+  std::size_t n = 0;
+  while (std::getline(in, line)) ++n;
+  return n;
+}
+
+// ---- ChaosPlan ------------------------------------------------------------
+
+TEST(ChaosPlan, ParsesSpecAndRoundTrips) {
+  std::string error;
+  const auto plan =
+      support::ChaosPlan::parse("2:crash,5:hang@3,7:garbage", &error);
+  ASSERT_TRUE(plan.has_value()) << error;
+  ASSERT_EQ(plan->directives.size(), 3u);
+  EXPECT_TRUE(plan->enabled());
+
+  EXPECT_EQ(plan->actionFor(2, 1), support::ChaosAction::kCrash);
+  EXPECT_EQ(plan->actionFor(2, 99), support::ChaosAction::kCrash);
+  EXPECT_EQ(plan->actionFor(5, 3), support::ChaosAction::kHang);
+  EXPECT_EQ(plan->actionFor(5, 4), support::ChaosAction::kNone);
+  EXPECT_EQ(plan->actionFor(7, 1), support::ChaosAction::kGarbage);
+  EXPECT_EQ(plan->actionFor(0, 1), support::ChaosAction::kNone);
+
+  const auto reparsed = support::ChaosPlan::parse(plan->toSpec(), &error);
+  ASSERT_TRUE(reparsed.has_value()) << error;
+  EXPECT_EQ(reparsed->toSpec(), plan->toSpec());
+}
+
+TEST(ChaosPlan, LastMatchingDirectiveWins) {
+  const auto plan = support::ChaosPlan::parse("1:crash,1:hang");
+  ASSERT_TRUE(plan.has_value());
+  EXPECT_EQ(plan->actionFor(1, 1), support::ChaosAction::kHang);
+}
+
+TEST(ChaosPlan, RejectsMalformedSpecs) {
+  for (const char* bad : {"1", "1:", ":crash", "1:frobnicate", "x:crash",
+                          "1:crash@0", "1:crash@x"}) {
+    std::string error;
+    EXPECT_FALSE(support::ChaosPlan::parse(bad, &error).has_value())
+        << "spec '" << bad << "' should not parse";
+    EXPECT_FALSE(error.empty()) << bad;
+  }
+  // Empty segments (stray/trailing commas) are tolerated, not errors.
+  const auto lenient = support::ChaosPlan::parse("1:crash,,2:hang,");
+  ASSERT_TRUE(lenient.has_value());
+  EXPECT_EQ(lenient->directives.size(), 2u);
+}
+
+// ---- Frame protocol -------------------------------------------------------
+
+TEST(SupervisorFrame, RoundTripsBothKinds) {
+  for (const std::uint8_t kind : {std::uint8_t{0}, std::uint8_t{1}}) {
+    for (const std::string& payload : {std::string(), std::string("hello"),
+                                       std::string(1000, '\x7f')}) {
+      const std::string frame = encodeSupervisorFrame(kind, payload);
+      std::uint8_t got_kind = 0xff;
+      std::string got_payload;
+      std::string error;
+      ASSERT_TRUE(
+          decodeSupervisorFrame(frame, &got_kind, &got_payload, &error))
+          << error;
+      EXPECT_EQ(got_kind, kind);
+      EXPECT_EQ(got_payload, payload);
+    }
+  }
+}
+
+TEST(SupervisorFrame, DetectsCorruption) {
+  const std::string frame = encodeSupervisorFrame(0, "checksummed-payload");
+  std::string error;
+
+  // Empty and short replies.
+  EXPECT_FALSE(decodeSupervisorFrame("", nullptr, nullptr, &error));
+  EXPECT_NE(error.find("empty reply"), std::string::npos) << error;
+  EXPECT_FALSE(decodeSupervisorFrame(frame.substr(0, 10), nullptr, nullptr,
+                                     &error));
+  EXPECT_NE(error.find("short reply"), std::string::npos) << error;
+
+  // Truncated past the header: length mismatch.
+  EXPECT_FALSE(decodeSupervisorFrame(frame.substr(0, frame.size() - 3),
+                                     nullptr, nullptr, &error));
+  EXPECT_NE(error.find("length mismatch"), std::string::npos) << error;
+
+  // Trailing junk is corruption too, not ignored.
+  EXPECT_FALSE(decodeSupervisorFrame(frame + "x", nullptr, nullptr, &error));
+
+  // A flipped payload byte fails the checksum.
+  std::string flipped = frame;
+  flipped[20] = static_cast<char>(flipped[20] ^ 0x40);
+  EXPECT_FALSE(decodeSupervisorFrame(flipped, nullptr, nullptr, &error));
+  EXPECT_NE(error.find("checksum mismatch"), std::string::npos) << error;
+
+  // Bad magic and unsupported version.
+  std::string bad_magic = frame;
+  bad_magic[0] = 'X';
+  EXPECT_FALSE(decodeSupervisorFrame(bad_magic, nullptr, nullptr, &error));
+  EXPECT_NE(error.find("magic"), std::string::npos) << error;
+  std::string bad_version = frame;
+  bad_version[4] = 9;
+  EXPECT_FALSE(decodeSupervisorFrame(bad_version, nullptr, nullptr, &error));
+  EXPECT_NE(error.find("version"), std::string::npos) << error;
+}
+
+// ---- Cell payload codec ---------------------------------------------------
+
+TEST(CellCodec, SweepRowRoundTrips) {
+  SweepRow row;
+  row.benchmark = "bzip2";
+  row.config = "srb=64";
+  row.status = CellStatus::kBudgetExceeded;
+  row.diagnostic = "budget exceeded: simulated cycles 1001/1000";
+  row.result.baseline.cycles = 320728;
+  row.result.baseline.instrs = 123456;
+  row.result.baseline.breakdown.execution = 7;
+  row.result.spt.cycles = 254740;
+  row.result.spt.threads.spawned = 3449;
+  row.result.spt.threads.fast_commits = 2738;
+  row.result.spt.faults.injected = 5;
+  row.result.spt.arch_digest = 0xdeadbeefcafe;
+  row.extra["coverage"] = 0.625;
+  row.extra["ratio"] = -1.5;
+
+  SweepRow got;
+  ASSERT_TRUE(decodeSweepRow(encodeSweepRow(row), &got));
+  EXPECT_EQ(got.benchmark, row.benchmark);
+  EXPECT_EQ(got.config, row.config);
+  EXPECT_EQ(got.status, row.status);
+  EXPECT_EQ(got.diagnostic, row.diagnostic);
+  EXPECT_EQ(got.result.baseline.cycles, row.result.baseline.cycles);
+  EXPECT_EQ(got.result.baseline.breakdown.execution,
+            row.result.baseline.breakdown.execution);
+  EXPECT_EQ(got.result.spt.cycles, row.result.spt.cycles);
+  EXPECT_EQ(got.result.spt.threads.spawned, row.result.spt.threads.spawned);
+  EXPECT_EQ(got.result.spt.threads.fast_commits,
+            row.result.spt.threads.fast_commits);
+  EXPECT_EQ(got.result.spt.faults.injected, row.result.spt.faults.injected);
+  EXPECT_EQ(got.result.spt.arch_digest, row.result.spt.arch_digest);
+  EXPECT_EQ(got.extra, row.extra);
+}
+
+TEST(CellCodec, CampaignCellRoundTrips) {
+  FaultCampaignCell cell;
+  cell.benchmark = "mcf";
+  cell.fault_seed = 0x5eed5eed;
+  cell.status = CellStatus::kInternalError;
+  cell.diagnostic = "architectural oracle divergence at fast_commit";
+  cell.faults.injected = 12;
+  cell.faults.detected_by_net = 10;
+  cell.faults.benign = 2;
+  cell.arch_digest = 111;
+  cell.sequential_digest = 222;
+  cell.oracle_checks = 99;
+  cell.digest_match = false;
+  cell.diverged = true;
+  cell.divergence_pos = 4242;
+  cell.divergence_boundary = "fast_commit";
+  cell.divergence_diff = "reg r3: 7 != 9";
+
+  FaultCampaignCell got;
+  ASSERT_TRUE(decodeCampaignCell(encodeCampaignCell(cell), &got));
+  EXPECT_EQ(got.benchmark, cell.benchmark);
+  EXPECT_EQ(got.fault_seed, cell.fault_seed);
+  EXPECT_EQ(got.status, cell.status);
+  EXPECT_EQ(got.diagnostic, cell.diagnostic);
+  EXPECT_EQ(got.faults.injected, cell.faults.injected);
+  EXPECT_EQ(got.faults.detected_by_net, cell.faults.detected_by_net);
+  EXPECT_EQ(got.faults.benign, cell.faults.benign);
+  EXPECT_EQ(got.arch_digest, cell.arch_digest);
+  EXPECT_EQ(got.sequential_digest, cell.sequential_digest);
+  EXPECT_EQ(got.oracle_checks, cell.oracle_checks);
+  EXPECT_FALSE(got.digest_match);
+  EXPECT_TRUE(got.diverged);
+  EXPECT_EQ(got.divergence_pos, cell.divergence_pos);
+  EXPECT_EQ(got.divergence_boundary, cell.divergence_boundary);
+  EXPECT_EQ(got.divergence_diff, cell.divergence_diff);
+}
+
+TEST(CellCodec, RejectsCorruptPayloads) {
+  SweepRow row;
+  row.benchmark = "gzip";
+  const std::string payload = encodeSweepRow(row);
+
+  SweepRow out;
+  // Truncation at every prefix length must fail, never crash or zero-fill.
+  for (const std::size_t cut : {std::size_t{0}, std::size_t{1},
+                                payload.size() / 2, payload.size() - 1}) {
+    EXPECT_FALSE(decodeSweepRow(payload.substr(0, cut), &out)) << cut;
+  }
+  // Trailing bytes and a wrong tag fail too.
+  EXPECT_FALSE(decodeSweepRow(payload + "z", &out));
+  std::string wrong_tag = payload;
+  wrong_tag[0] = 'F';
+  EXPECT_FALSE(decodeSweepRow(wrong_tag, &out));
+  // A sweep payload is not a campaign payload.
+  FaultCampaignCell cell;
+  EXPECT_FALSE(decodeCampaignCell(payload, &cell));
+}
+
+// ---- Supervisor containment ----------------------------------------------
+
+TEST(Supervisor, ChaosMatrixYieldsExtendedStatuses) {
+  if (!Supervisor::isolationSupported()) {
+    GTEST_SKIP() << "no fork on this platform";
+  }
+  SupervisorOptions opts;
+  opts.isolate = true;
+  opts.jobs = 3;
+  opts.cell_timeout_seconds = 2.0;
+  opts.chaos =
+      *support::ChaosPlan::parse("1:crash,2:hang,3:garbage,4:partial,5:exit");
+  const Supervisor sup(opts);
+
+  const auto outcomes = sup.run(6, [](std::size_t cell) {
+    return "cell-" + std::to_string(cell);
+  });
+  ASSERT_EQ(outcomes.size(), 6u);
+
+  // Healthy cell: valid frame, payload intact.
+  EXPECT_EQ(outcomes[0].status, CellStatus::kOk);
+  EXPECT_EQ(outcomes[0].payload, "cell-0");
+  EXPECT_EQ(outcomes[0].worker.attempts, 1u);
+  EXPECT_EQ(outcomes[0].worker.exit_code, 0);
+
+  // Segfault: signal death with the signal recorded.
+  EXPECT_EQ(outcomes[1].status, CellStatus::kCrashed);
+  EXPECT_EQ(outcomes[1].worker.term_signal, SIGSEGV);
+  EXPECT_NE(outcomes[1].diagnostic.find("signal"), std::string::npos)
+      << outcomes[1].diagnostic;
+
+  // Hang: the watchdog SIGKILLs it at the deadline.
+  EXPECT_EQ(outcomes[2].status, CellStatus::kTimeout);
+  EXPECT_TRUE(outcomes[2].worker.timed_out);
+  EXPECT_EQ(outcomes[2].worker.term_signal, SIGKILL);
+  EXPECT_NE(outcomes[2].diagnostic.find("wall-clock"), std::string::npos)
+      << outcomes[2].diagnostic;
+
+  // Garbage reply: frame validation fails, first bytes are dumped.
+  EXPECT_EQ(outcomes[3].status, CellStatus::kProtocolError);
+  EXPECT_NE(outcomes[3].diagnostic.find("magic"), std::string::npos)
+      << outcomes[3].diagnostic;
+  EXPECT_FALSE(outcomes[3].worker.partial_reply.empty());
+
+  // Truncated frame prefix.
+  EXPECT_EQ(outcomes[4].status, CellStatus::kProtocolError);
+  EXPECT_NE(outcomes[4].diagnostic.find("short reply"), std::string::npos)
+      << outcomes[4].diagnostic;
+
+  // Exit without replying: protocol error carrying the exit code.
+  EXPECT_EQ(outcomes[5].status, CellStatus::kProtocolError);
+  EXPECT_EQ(outcomes[5].worker.exit_code, 3);
+  EXPECT_NE(outcomes[5].diagnostic.find("empty reply"), std::string::npos)
+      << outcomes[5].diagnostic;
+}
+
+TEST(Supervisor, RetriesTransientFailureThenSucceeds) {
+  if (!Supervisor::isolationSupported()) {
+    GTEST_SKIP() << "no fork on this platform";
+  }
+  SupervisorOptions opts;
+  opts.isolate = true;
+  opts.retries = 2;
+  opts.backoff_base_seconds = 0.01;
+  opts.chaos = *support::ChaosPlan::parse("0:crash@1");  // first attempt only
+  const Supervisor sup(opts);
+
+  const auto outcomes =
+      sup.run(1, [](std::size_t) { return std::string("recovered"); });
+  ASSERT_EQ(outcomes.size(), 1u);
+  EXPECT_EQ(outcomes[0].status, CellStatus::kOk);
+  EXPECT_EQ(outcomes[0].payload, "recovered");
+  EXPECT_EQ(outcomes[0].worker.attempts, 2u);
+}
+
+TEST(Supervisor, RetryExhaustionKeepsFinalStatus) {
+  if (!Supervisor::isolationSupported()) {
+    GTEST_SKIP() << "no fork on this platform";
+  }
+  SupervisorOptions opts;
+  opts.isolate = true;
+  opts.retries = 2;
+  opts.backoff_base_seconds = 0.01;
+  opts.chaos = *support::ChaosPlan::parse("0:exit");  // every attempt
+  const Supervisor sup(opts);
+
+  const auto outcomes =
+      sup.run(1, [](std::size_t) { return std::string("never"); });
+  ASSERT_EQ(outcomes.size(), 1u);
+  EXPECT_EQ(outcomes[0].status, CellStatus::kProtocolError);
+  EXPECT_EQ(outcomes[0].worker.attempts, 3u);  // 1 + 2 retries
+}
+
+TEST(Supervisor, WorkerExceptionBecomesStructuredInternalError) {
+  if (!Supervisor::isolationSupported()) {
+    GTEST_SKIP() << "no fork on this platform";
+  }
+  const Supervisor sup(SupervisorOptions{});
+  const auto outcomes = sup.run(2, [](std::size_t cell) -> std::string {
+    if (cell == 1) throw std::runtime_error("boom in worker 1");
+    return "fine";
+  });
+  ASSERT_EQ(outcomes.size(), 2u);
+  EXPECT_EQ(outcomes[0].status, CellStatus::kOk);
+  EXPECT_EQ(outcomes[1].status, CellStatus::kInternalError);
+  EXPECT_NE(outcomes[1].diagnostic.find("boom in worker 1"),
+            std::string::npos)
+      << outcomes[1].diagnostic;
+  // A structured worker error is the cell's own failure, not a transport
+  // failure: it must not be retried.
+  EXPECT_EQ(outcomes[1].worker.attempts, 1u);
+}
+
+TEST(Supervisor, BackoffIsDeterministicAndExponential) {
+  SupervisorOptions opts;
+  opts.backoff_base_seconds = 0.25;
+  const Supervisor a(opts);
+  const Supervisor b(opts);
+  for (std::size_t cell = 0; cell < 4; ++cell) {
+    for (std::uint32_t attempt = 2; attempt <= 5; ++attempt) {
+      const double d = a.backoffSeconds(cell, attempt);
+      EXPECT_EQ(d, b.backoffSeconds(cell, attempt));
+      // base * 2^(attempt-2) * (1 + jitter), jitter in [0, 1).
+      const double floor = 0.25 * static_cast<double>(1u << (attempt - 2));
+      EXPECT_GE(d, floor) << "cell " << cell << " attempt " << attempt;
+      EXPECT_LT(d, 2.0 * floor) << "cell " << cell << " attempt " << attempt;
+    }
+  }
+  // A different seed produces different jitter somewhere.
+  SupervisorOptions other = opts;
+  other.backoff_seed = 0x1234;
+  const Supervisor c(other);
+  bool any_diff = false;
+  for (std::size_t cell = 0; cell < 4 && !any_diff; ++cell) {
+    any_diff = a.backoffSeconds(cell, 2) != c.backoffSeconds(cell, 2);
+  }
+  EXPECT_TRUE(any_diff);
+  // First attempt needs no backoff.
+  EXPECT_EQ(a.backoffSeconds(0, 1), 0.0);
+}
+
+TEST(Supervisor, SettleHookFiresOncePerCellWithRusage) {
+  if (!Supervisor::isolationSupported()) {
+    GTEST_SKIP() << "no fork on this platform";
+  }
+  const Supervisor sup(SupervisorOptions{});
+  std::vector<int> settled(4, 0);
+  const auto outcomes = sup.run(
+      4, [](std::size_t cell) { return std::to_string(cell * cell); },
+      [&](std::size_t cell, const Supervisor::Outcome& oc) {
+        ASSERT_LT(cell, settled.size());
+        settled[cell] += 1;
+        EXPECT_EQ(oc.status, CellStatus::kOk);
+      });
+  for (const int count : settled) EXPECT_EQ(count, 1);
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    EXPECT_EQ(outcomes[i].payload, std::to_string(i * i));
+    // wait4 rusage made it into the diagnostics.
+    EXPECT_GT(outcomes[i].worker.host_max_rss_kb, 0);
+  }
+}
+
+// ---- Supervised sweep end-to-end -----------------------------------------
+
+TEST(SupervisedSweep, ContainsChaosWhileOtherCellsComplete) {
+  if (!Supervisor::isolationSupported()) {
+    GTEST_SKIP() << "no fork on this platform";
+  }
+  std::vector<SweepCase> cases;
+  {
+    SweepCase healthy;
+    healthy.benchmark = "crafty";
+    healthy.entry = entryByName("crafty");
+    cases.push_back(std::move(healthy));
+  }
+  {
+    SweepCase sabotaged;
+    sabotaged.benchmark = "vortex";
+    sabotaged.entry = entryByName("vortex");
+    cases.push_back(std::move(sabotaged));
+  }
+  {
+    SweepCase blowout;
+    blowout.benchmark = "bzip2";
+    blowout.config = "tiny-budget";
+    blowout.entry = entryByName("bzip2");
+    blowout.machine.max_simulated_cycles = 1000;
+    cases.push_back(std::move(blowout));
+  }
+
+  SweepOptions opts;
+  opts.checkpoint_path = ::testing::TempDir() + "/spt_supervised_ck.txt";
+  opts.supervisor.isolate = true;
+  opts.supervisor.cell_timeout_seconds = 240.0;
+  opts.supervisor.chaos = *support::ChaosPlan::parse("1:crash");
+  const auto rows = runSweep(ParallelSweep(3), cases, opts);
+  ASSERT_EQ(rows.size(), 3u);
+
+  // The healthy cell's full result crossed the pipe.
+  EXPECT_EQ(rows[0].status, CellStatus::kOk);
+  EXPECT_GT(rows[0].result.spt.cycles, 0u);
+  EXPECT_GT(rows[0].result.spt.threads.spawned, 0u);
+  EXPECT_EQ(rows[0].worker.attempts, 1u);
+
+  // The sabotaged worker died on SIGSEGV; its row says so.
+  EXPECT_EQ(rows[1].status, CellStatus::kCrashed);
+  EXPECT_EQ(rows[1].worker.term_signal, SIGSEGV);
+  EXPECT_EQ(rows[1].benchmark, "vortex");
+
+  // The in-worker budget blowout came back as a *cell* status through the
+  // payload, not as a transport failure.
+  EXPECT_EQ(rows[2].status, CellStatus::kBudgetExceeded);
+  EXPECT_NE(rows[2].diagnostic.find("budget exceeded"), std::string::npos)
+      << rows[2].diagnostic;
+  EXPECT_EQ(rows[2].worker.attempts, 1u);
+
+  // All three cells were checkpointed, crashes included.
+  const std::string ck = readWholeFile(opts.checkpoint_path);
+  EXPECT_EQ(countLines(opts.checkpoint_path), 3u);
+  EXPECT_NE(ck.find("crashed"), std::string::npos);
+  EXPECT_NE(ck.find("budget_exceeded"), std::string::npos);
+
+  // JSON carries the worker diagnostics for supervised cells.
+  const std::string json_path =
+      ::testing::TempDir() + "/spt_supervised.json";
+  ASSERT_TRUE(writeSweepJson(json_path, rows));
+  const std::string json = readWholeFile(json_path);
+  EXPECT_NE(json.find("\"worker\""), std::string::npos);
+  EXPECT_NE(json.find("\"crashed\""), std::string::npos);
+  EXPECT_NE(json.find("\"term_signal\""), std::string::npos);
+}
+
+// Checkpoint-format compatibility: a supervisor-written checkpoint resumes
+// in-process, re-running exactly the failed cells.
+TEST(SupervisedSweep, SupervisedCheckpointResumesInProcess) {
+  if (!Supervisor::isolationSupported()) {
+    GTEST_SKIP() << "no fork on this platform";
+  }
+  auto counted = std::make_shared<std::atomic<int>>(0);
+  const auto countingEntry = [&](const std::string& name) {
+    SuiteEntry e = entryByName(name);
+    const auto inner = e.workload.build;
+    e.workload.build = [counted, inner](std::uint64_t scale) {
+      counted->fetch_add(1, std::memory_order_relaxed);
+      return inner(scale);
+    };
+    return e;
+  };
+
+  std::vector<SweepCase> cases;
+  {
+    SweepCase a;
+    a.benchmark = "crafty";
+    a.entry = countingEntry("crafty");
+    cases.push_back(std::move(a));
+  }
+  {
+    SweepCase b;
+    b.benchmark = "vortex";
+    b.entry = countingEntry("vortex");
+    cases.push_back(std::move(b));
+  }
+
+  SweepOptions opts;
+  opts.checkpoint_path = ::testing::TempDir() + "/spt_xcompat_ck.txt";
+  opts.supervisor.isolate = true;
+  opts.supervisor.cell_timeout_seconds = 240.0;
+  opts.supervisor.chaos = *support::ChaosPlan::parse("1:crash");
+  const auto first = runSweep(ParallelSweep(2), cases, opts);
+  ASSERT_EQ(first.size(), 2u);
+  EXPECT_TRUE(first[0].ok());
+  EXPECT_EQ(first[1].status, CellStatus::kCrashed);
+  // Forked workers increment their own copy of the counter; the parent's
+  // stays untouched — which is itself evidence the cells ran isolated.
+  EXPECT_EQ(counted->load(), 0);
+
+  // Resume the supervisor's checkpoint on the in-process path: only the
+  // crashed cell re-runs (observable via the build counter this time).
+  opts.resume = true;
+  opts.supervisor = SupervisorOptions{};  // --no-isolate
+  opts.quarantine = true;
+  const auto second = runSweep(ParallelSweep(2), cases, opts);
+  ASSERT_EQ(second.size(), 2u);
+  EXPECT_EQ(counted->load(), 1);
+  EXPECT_TRUE(second[0].ok());
+  EXPECT_TRUE(second[1].ok());  // no chaos in-process; the cell is healthy
+  EXPECT_EQ(second[0].result.baseline.cycles,
+            first[0].result.baseline.cycles);
+  EXPECT_EQ(second[0].result.spt.cycles, first[0].result.spt.cycles);
+}
+
+// And the other direction: an in-process checkpoint resumes under the
+// supervisor, without forking workers for the resumed ok rows.
+TEST(SupervisedSweep, InProcessCheckpointResumesSupervised) {
+  if (!Supervisor::isolationSupported()) {
+    GTEST_SKIP() << "no fork on this platform";
+  }
+  std::vector<SweepCase> cases;
+  {
+    SweepCase a;
+    a.benchmark = "crafty";
+    a.entry = entryByName("crafty");
+    cases.push_back(std::move(a));
+  }
+  {
+    SweepCase failing;
+    failing.benchmark = "bzip2";
+    failing.config = "tiny-budget";
+    failing.entry = entryByName("bzip2");
+    failing.machine.max_simulated_cycles = 1000;
+    cases.push_back(std::move(failing));
+  }
+
+  SweepOptions opts;
+  opts.quarantine = true;
+  opts.checkpoint_path = ::testing::TempDir() + "/spt_xcompat2_ck.txt";
+  const auto first = runSweep(ParallelSweep(2), cases, opts);
+  ASSERT_EQ(first.size(), 2u);
+  EXPECT_TRUE(first[0].ok());
+  EXPECT_EQ(first[1].status, CellStatus::kBudgetExceeded);
+
+  opts.resume = true;
+  opts.supervisor.isolate = true;
+  opts.supervisor.cell_timeout_seconds = 240.0;
+  const auto second = runSweep(ParallelSweep(2), cases, opts);
+  ASSERT_EQ(second.size(), 2u);
+  EXPECT_TRUE(second[0].ok());
+  // Resumed rows never went through a worker.
+  EXPECT_EQ(second[0].worker.attempts, 0u);
+  EXPECT_EQ(second[0].result.spt.cycles, first[0].result.spt.cycles);
+  // The failed cell re-ran in a forked worker and failed the same way.
+  EXPECT_EQ(second[1].status, CellStatus::kBudgetExceeded);
+  EXPECT_EQ(second[1].worker.attempts, 1u);
+}
+
+// ---- Supervised fault campaign -------------------------------------------
+
+TEST(SupervisedCampaign, MatchesInProcessResults) {
+  if (!Supervisor::isolationSupported()) {
+    GTEST_SKIP() << "no fork on this platform";
+  }
+  FaultCampaignOptions base;
+  base.seeds = 1;
+  base.jobs = 4;
+
+  FaultCampaignOptions isolated = base;
+  isolated.supervisor.isolate = true;
+  isolated.supervisor.cell_timeout_seconds = 240.0;
+
+  const FaultCampaignResult in_process = runFaultCampaign(base);
+  const FaultCampaignResult supervised = runFaultCampaign(isolated);
+
+  ASSERT_EQ(in_process.cells.size(), supervised.cells.size());
+  for (std::size_t i = 0; i < in_process.cells.size(); ++i) {
+    const FaultCampaignCell& a = in_process.cells[i];
+    const FaultCampaignCell& b = supervised.cells[i];
+    EXPECT_EQ(a.benchmark, b.benchmark);
+    EXPECT_EQ(a.fault_seed, b.fault_seed);
+    EXPECT_EQ(a.status, b.status);
+    EXPECT_EQ(a.faults.injected, b.faults.injected);
+    EXPECT_EQ(a.faults.detected_by_net, b.faults.detected_by_net);
+    EXPECT_EQ(a.faults.detected_by_oracle, b.faults.detected_by_oracle);
+    EXPECT_EQ(a.faults.benign, b.faults.benign);
+    EXPECT_EQ(a.faults.escaped, b.faults.escaped);
+    EXPECT_EQ(a.arch_digest, b.arch_digest);
+    EXPECT_EQ(a.sequential_digest, b.sequential_digest);
+    EXPECT_EQ(a.digest_match, b.digest_match);
+    EXPECT_GT(b.worker.attempts, 0u);  // really went through a worker
+  }
+  EXPECT_TRUE(supervised.allCellsOk());
+  EXPECT_TRUE(supervised.allDetectedOrBenign());
+  EXPECT_TRUE(supervised.allDigestsMatch());
+}
+
+// `sptc inject --resume` semantics: ok checkpoint lines are reused without
+// re-running their cells (proved by planting a marker value in the file),
+// failed lines re-run, and the format is the sweep's spt-sweep-v1.
+TEST(SupervisedCampaign, CheckpointResumeReusesOkCells) {
+  FaultCampaignOptions opts;
+  opts.seeds = 1;
+  opts.jobs = 4;
+  opts.checkpoint_path = ::testing::TempDir() + "/spt_campaign_ck.txt";
+
+  const FaultCampaignResult first = runFaultCampaign(opts);
+  ASSERT_TRUE(first.allCellsOk());
+  ASSERT_EQ(countLines(opts.checkpoint_path), first.cells.size());
+
+  // Tamper with the checkpoint: append a *later* line for cell 0 with a
+  // marker injected-count (last line wins), and a failed line for cell 1
+  // (must re-run).
+  {
+    CheckpointLine line;
+    const auto parsed =
+        loadCheckpoint(opts.checkpoint_path, /*expected_metrics=*/11);
+    const std::string key0 =
+        checkpointKey(first.cells[0].benchmark,
+                      "cell:0/seed:" +
+                          std::to_string(first.cells[0].fault_seed));
+    ASSERT_TRUE(parsed.count(key0));
+    line = parsed.at(key0);
+    line.metrics[0] = 999999;  // marker injected count
+    std::ofstream append(opts.checkpoint_path, std::ios::app);
+    append << formatCheckpointLine(line) << '\n';
+    line = parsed.at(checkpointKey(
+        first.cells[1].benchmark,
+        "cell:1/seed:" + std::to_string(first.cells[1].fault_seed)));
+    line.status = CellStatus::kInternalError;
+    line.diagnostic = "poisoned for the resume test";
+    append << formatCheckpointLine(line) << '\n';
+  }
+
+  opts.resume = true;
+  const FaultCampaignResult second = runFaultCampaign(opts);
+  ASSERT_EQ(second.cells.size(), first.cells.size());
+  // Cell 0 was reused from the tampered line — it did not re-run.
+  EXPECT_EQ(second.cells[0].faults.injected, 999999u);
+  // Cell 1's failed line forced a re-run; it is healthy again and its
+  // numbers match the first run.
+  EXPECT_TRUE(second.cells[1].ok());
+  EXPECT_EQ(second.cells[1].faults.injected, first.cells[1].faults.injected);
+  EXPECT_EQ(second.cells[1].arch_digest, first.cells[1].arch_digest);
+  // Every other cell was reused verbatim.
+  for (std::size_t i = 2; i < second.cells.size(); ++i) {
+    EXPECT_EQ(second.cells[i].arch_digest, first.cells[i].arch_digest);
+    EXPECT_TRUE(second.cells[i].ok());
+  }
+}
+
+// ---- Oracle first-divergence report --------------------------------------
+
+TEST(OracleDivergence, ThrowsStructuredReport) {
+  SuiteEntry entry = entryByName("crafty");
+  ir::Module module = entry.workload.build(1);
+  const TracedRun run = traceProgram(module);
+  const sim::DecodeTable decode(module);
+
+  // Find a position past at least one instruction record, so a fresh
+  // (empty) machine state must diverge from the advanced reference.
+  std::size_t pos = 0;
+  std::size_t instrs = 0;
+  for (; pos < run.trace.size() && instrs < 3; ++pos) {
+    if (run.trace[pos].kind == trace::RecordKind::kInstr) ++instrs;
+  }
+  ASSERT_GT(instrs, 0u);
+
+  sim::Oracle oracle(module, run.trace, decode,
+                     support::OracleMode::kDigest);
+  sim::ArchState machine(module);
+  machine.enableDigest();
+  try {
+    oracle.checkAt(pos, machine, "fast_commit");
+    FAIL() << "expected SptOracleDivergence";
+  } catch (const support::SptOracleDivergence& e) {
+    EXPECT_EQ(e.tracePos(), pos);
+    EXPECT_EQ(e.boundary(), "fast_commit");
+    EXPECT_FALSE(e.diff().empty());
+    EXPECT_NE(std::string(e.what()).find("architectural oracle divergence"),
+              std::string::npos)
+        << e.what();
+    EXPECT_NE(std::string(e.what()).find("trace position " +
+                                         std::to_string(pos)),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(OracleDivergence, CampaignJsonCarriesDivergenceReport) {
+  FaultCampaignResult result;
+  FaultCampaignCell cell;
+  cell.benchmark = "synthetic";
+  cell.fault_seed = 7;
+  cell.status = CellStatus::kInternalError;
+  cell.diagnostic = "architectural oracle deep divergence at fast_commit";
+  cell.diverged = true;
+  cell.divergence_pos = 1234;
+  cell.divergence_boundary = "fast_commit";
+  cell.divergence_diff = "frame 3 reg r5: 17 != 19";
+  result.cells.push_back(cell);
+
+  const std::string path =
+      ::testing::TempDir() + "/spt_divergence_campaign.json";
+  ASSERT_TRUE(writeFaultCampaignJson(path, result));
+  const std::string json = readWholeFile(path);
+  EXPECT_NE(json.find("\"divergence\""), std::string::npos);
+  EXPECT_NE(json.find("\"pos\": 1234"), std::string::npos);
+  EXPECT_NE(json.find("\"boundary\": \"fast_commit\""), std::string::npos);
+  EXPECT_NE(json.find("frame 3 reg r5: 17 != 19"), std::string::npos);
+  EXPECT_NE(json.find("\"all_cells_ok\": false"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace spt::harness

@@ -31,13 +31,30 @@
 //                      (default 32)
 //   --oracle M         digest | deep (default digest)
 //
-// Options for sweep:
+// Options for sweep/inject:
 //   --checkpoint PATH  flush each finished cell to PATH as it completes
 //   --resume           reuse ok cells from --checkpoint; re-run the rest
 //   --quarantine       report poisoned cells in the results instead of
-//                      aborting (arms throwing SPT_CHECK)
+//                      aborting (arms throwing SPT_CHECK; sweep only)
 //   --max-records N    per-cell simulated-record budget (0 = unlimited)
 //   --max-cycles N     per-cell simulated-cycle budget (0 = unlimited)
+//
+// Process isolation for sweep/inject (docs/ROBUSTNESS.md):
+//   --isolate          run each cell in a forked worker under the
+//                      execution supervisor: a segfault, abort, OOM, hang
+//                      or corrupt reply becomes a non-ok row while the
+//                      rest of the run completes
+//   --no-isolate       force the in-process path (the default)
+//   --cell-timeout S   per-worker wall-clock deadline in seconds
+//                      (fractional ok; SIGKILL past it; 0 = none)
+//   --retries N        extra attempts for crashed / timed-out / corrupt
+//                      workers (exponential backoff, deterministic jitter)
+//   --rlimit-as MB     worker address-space cap in MiB (kernel-enforced)
+//   --rlimit-cpu S     worker CPU-seconds cap (SIGXCPU -> timeout status)
+//   --chaos SPEC       deterministic sabotage for testing the containment
+//                      paths: comma list of CELL:ACTION[@ATTEMPTS] with
+//                      ACTION one of crash | abort | hang | garbage |
+//                      partial | exit (requires --isolate)
 //
 // Options for sweep/perf:
 //   --jobs N           parallel experiment workers (default: SPT_JOBS env
@@ -147,10 +164,12 @@ struct Options {
   std::size_t jobs = 0;   // sweep/perf: 0 = ParallelSweep default
   std::string json_path;  // sweep: empty = no JSON output
   int reps = 3;           // perf: timed repetitions per machine
-  // sweep hardening
+  // sweep/inject hardening
   std::string checkpoint_path;
   bool resume = false;
   bool quarantine = false;
+  // process isolation (sweep/inject)
+  harness::SupervisorOptions supervisor;
   // inject
   std::uint64_t seeds = 8;
   std::uint64_t base_seed = 0x5eed;
@@ -236,6 +255,31 @@ Options parseOptions(int argc, char** argv, int first) {
       o.resume = true;
     } else if (arg == "--quarantine") {
       o.quarantine = true;
+    } else if (arg == "--isolate") {
+      o.supervisor.isolate = true;
+    } else if (arg == "--no-isolate") {
+      o.supervisor.isolate = false;
+    } else if (arg == "--cell-timeout") {
+      o.supervisor.cell_timeout_seconds =
+          std::strtod(need_value(i), nullptr);
+    } else if (arg == "--retries") {
+      o.supervisor.retries = static_cast<std::uint32_t>(
+          std::strtoul(need_value(i), nullptr, 10));
+    } else if (arg == "--rlimit-as") {
+      o.supervisor.rlimit_as_bytes =
+          std::strtoull(need_value(i), nullptr, 10) * 1024ull * 1024ull;
+    } else if (arg == "--rlimit-cpu") {
+      o.supervisor.rlimit_cpu_seconds =
+          std::strtoull(need_value(i), nullptr, 10);
+    } else if (arg == "--chaos") {
+      std::string error;
+      const auto plan = support::ChaosPlan::parse(need_value(i), &error);
+      if (!plan) {
+        std::cerr << "sptc: bad --chaos spec: " << error << "\n";
+        o.ok = false;
+      } else {
+        o.supervisor.chaos = *plan;
+      }
     } else if (arg == "--max-records") {
       o.machine.max_simulated_records =
           std::strtoull(need_value(i), nullptr, 10);
@@ -267,7 +311,22 @@ Options parseOptions(int argc, char** argv, int first) {
       o.ok = false;
     }
   }
+  if (o.supervisor.chaos.enabled() && !o.supervisor.isolate) {
+    std::cerr << "sptc: --chaos requires --isolate (chaos sabotages forked "
+                 "workers)\n";
+    o.ok = false;
+  }
   return o;
+}
+
+/// Degrades --isolate to the in-process path (with a warning) on
+/// platforms without fork.
+void checkIsolationSupport(Options& o) {
+  if (o.supervisor.isolate && !harness::Supervisor::isolationSupported()) {
+    std::cerr << "sptc: process isolation is not supported on this "
+                 "platform; running in-process\n";
+    o.supervisor.isolate = false;
+  }
 }
 
 int cmdList() {
@@ -352,7 +411,8 @@ int cmdParse(const std::string& target) {
   return 0;
 }
 
-int cmdSweep(const Options& options) {
+int cmdSweep(Options options) {
+  checkIsolationSupport(options);
   const harness::ParallelSweep sweep(options.jobs);
   std::vector<harness::SweepCase> cases;
   for (auto& entry : harness::defaultSuite()) {
@@ -375,6 +435,7 @@ int cmdSweep(const Options& options) {
   sweep_opts.quarantine = options.quarantine;
   sweep_opts.checkpoint_path = options.checkpoint_path;
   sweep_opts.resume = options.resume;
+  sweep_opts.supervisor = options.supervisor;
   const auto rows = harness::runSweep(sweep, cases, sweep_opts);
 
   support::Table t("suite sweep (" + std::to_string(sweep.jobs()) +
@@ -427,7 +488,8 @@ int cmdSweep(const Options& options) {
   return failed_rows == 0 ? 0 : 1;
 }
 
-int cmdInject(const Options& options) {
+int cmdInject(Options options) {
+  checkIsolationSupport(options);
   harness::FaultCampaignOptions fc;
   fc.seeds = options.seeds;
   fc.base_seed = options.base_seed;
@@ -436,6 +498,9 @@ int cmdInject(const Options& options) {
   fc.period = options.period;
   fc.oracle = options.oracle;
   fc.machine = options.machine;
+  fc.checkpoint_path = options.checkpoint_path;
+  fc.resume = options.resume;
+  fc.supervisor = options.supervisor;
   const auto result = harness::runFaultCampaign(fc);
 
   // Per-benchmark aggregation over the seeds (cells are workload-major).
@@ -467,6 +532,18 @@ int cmdInject(const Options& options) {
             result.allDigestsMatch() ? "match" : "DIVERGED"});
   t.print(std::cout);
 
+  for (const auto& cell : result.cells) {
+    if (cell.ok()) continue;
+    std::cerr << "sptc: cell " << cell.benchmark << "/seed "
+              << cell.fault_seed << " " << harness::toString(cell.status)
+              << ": " << cell.diagnostic << "\n";
+    if (cell.diverged) {
+      std::cerr << "      first divergence at trace position "
+                << cell.divergence_pos << " (" << cell.divergence_boundary
+                << " boundary): " << cell.divergence_diff << "\n";
+    }
+  }
+
   if (!options.json_path.empty()) {
     if (!harness::writeFaultCampaignJson(options.json_path, result)) {
       std::cerr << "sptc: could not write " << options.json_path << "\n";
@@ -475,12 +552,12 @@ int cmdInject(const Options& options) {
     std::cout << "results: " << options.json_path << "\n";
   }
 
-  const bool pass =
-      result.allDetectedOrBenign() && result.allDigestsMatch();
+  const bool pass = result.allDetectedOrBenign() &&
+                    result.allDigestsMatch() && result.allCellsOk();
   std::cout << (pass ? "campaign PASS: every injected fault detected or "
                        "benign; architectural state intact\n"
-                     : "campaign FAIL: escaped faults or architectural "
-                       "divergence (see table)\n");
+                     : "campaign FAIL: escaped faults, architectural "
+                       "divergence, or failed cells (see table)\n");
   return pass ? 0 : 1;
 }
 
@@ -491,12 +568,14 @@ int cmdPerf(const Options& options) {
   perf.setup_jobs = options.jobs;
   perf.machine = options.machine;
   perf.copts = options.copts;
-  const auto rows = harness::runSimThroughput(perf);
+  std::vector<harness::PerfPassRow> passes;
+  const auto rows = harness::runSimThroughput(perf, &passes);
   harness::printSimThroughputTable(std::cout, rows);
+  harness::printPassTimeTable(std::cout, passes);
   const std::string path = options.json_path.empty()
                                ? "BENCH_sim_throughput.json"
                                : options.json_path;
-  if (!harness::writeSimThroughputJson(path, rows)) {
+  if (!harness::writeSimThroughputJson(path, rows, &passes)) {
     std::cerr << "sptc: could not write " << path << "\n";
     return 1;
   }
