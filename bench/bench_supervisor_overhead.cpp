@@ -1,0 +1,132 @@
+// Per-cell supervision overhead: fork-per-cell vs the warm worker pool.
+//
+// Runs a trivial producer (the cell body is ~free) through the supervisor
+// in both worker models and reports microseconds of supervision overhead
+// per cell — fork + pipe + reap for one-shot workers, request/reply
+// dispatch for pooled ones. This is the cost the pool exists to remove:
+// on small sweep cells the fork and the per-process re-setup dominate
+// wall-clock, and the acceptance bar for the pool is >= 3x lower per-cell
+// overhead on this bench (BENCH_supervisor_overhead.json).
+//
+// Flags:
+//   --cells N    cells per timed run (default 256)
+//   --jobs N     workers in flight / pool size (default 4)
+//   --reps N     timed repetitions, fastest wins (default 3)
+//   --json PATH  results document (default: BENCH_supervisor_overhead.json)
+//   --no-json    skip the JSON document
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "harness/supervisor.h"
+#include "support/json.h"
+#include "support/stats.h"
+#include "support/table.h"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double secondsPerRun(const spt::harness::Supervisor& sup, std::size_t cells,
+                     int reps) {
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    const auto start = Clock::now();
+    const auto outcomes =
+        sup.run(cells, [](std::size_t cell) { return std::to_string(cell); });
+    const std::chrono::duration<double> elapsed = Clock::now() - start;
+    for (const auto& oc : outcomes) {
+      if (oc.status != spt::harness::CellStatus::kOk) {
+        std::cerr << "bench_supervisor_overhead: cell failed: "
+                  << oc.diagnostic << "\n";
+        std::exit(1);
+      }
+    }
+    best = std::min(best, elapsed.count());
+  }
+  return best;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t cells = 256;
+  std::size_t jobs = 4;
+  int reps = 3;
+  std::string json_path = "BENCH_supervisor_overhead.json";
+  bool write_json = true;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--cells" && i + 1 < argc) {
+      cells = static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
+    } else if (arg == "--jobs" && i + 1 < argc) {
+      jobs = static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
+    } else if (arg == "--reps" && i + 1 < argc) {
+      reps = std::max(1, static_cast<int>(std::strtol(argv[++i], nullptr, 10)));
+    } else if (arg == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (arg == "--no-json") {
+      write_json = false;
+    } else {
+      std::cerr << "bench_supervisor_overhead: usage: [--cells N] [--jobs N] "
+                   "[--reps N] [--json PATH] [--no-json]\n";
+      return 2;
+    }
+  }
+  if (!spt::harness::Supervisor::isolationSupported()) {
+    std::cerr << "bench_supervisor_overhead: no fork on this platform\n";
+    return 1;
+  }
+
+  spt::harness::SupervisorOptions opts;
+  opts.isolate = true;
+  opts.jobs = jobs;
+  const spt::harness::Supervisor forked(opts);
+  opts.pool = true;
+  const spt::harness::Supervisor pooled(opts);
+
+  // Warm both paths once (page cache, lazy binding) before timing.
+  secondsPerRun(forked, std::min<std::size_t>(cells, 16), 1);
+  secondsPerRun(pooled, std::min<std::size_t>(cells, 16), 1);
+
+  const double fork_s = secondsPerRun(forked, cells, reps);
+  const double pool_s = secondsPerRun(pooled, cells, reps);
+  const double fork_us = fork_s / static_cast<double>(cells) * 1e6;
+  const double pool_us = pool_s / static_cast<double>(cells) * 1e6;
+  const double speedup = fork_us / pool_us;
+
+  spt::support::Table t("per-cell supervision overhead (" +
+                        std::to_string(cells) + " trivial cells, " +
+                        std::to_string(jobs) + " jobs, best of " +
+                        std::to_string(reps) + ")");
+  t.setHeader({"worker model", "total s", "us/cell", "vs fork"});
+  t.addRow({"fork-per-cell", spt::support::fixed(fork_s, 3),
+            spt::support::fixed(fork_us, 1), "1.0x"});
+  t.addRow({"warm pool", spt::support::fixed(pool_s, 3),
+            spt::support::fixed(pool_us, 1),
+            spt::support::fixed(speedup, 1) + "x"});
+  t.print(std::cout);
+
+  if (write_json) {
+    std::ofstream out(json_path);
+    if (!out) {
+      std::cerr << "warning: could not write " << json_path << "\n";
+      return 1;
+    }
+    spt::support::JsonWriter w(out);
+    w.beginObject();
+    w.member("cells", static_cast<std::uint64_t>(cells));
+    w.member("jobs", static_cast<std::uint64_t>(jobs));
+    w.member("reps", static_cast<std::uint64_t>(reps));
+    w.member("fork_per_cell_us", fork_us);
+    w.member("warm_pool_us", pool_us);
+    w.member("pool_speedup", speedup);
+    w.endObject();
+    out << "\n";
+    std::cout << "results: " << json_path << "\n";
+  }
+  return 0;
+}

@@ -81,10 +81,36 @@ struct WorkerDiagnostics {
   bool timed_out = false;      // killed by the parent watchdog
   double host_user_seconds = 0.0;  // rusage of the final attempt
   double host_sys_seconds = 0.0;
+  /// Peak resident set of the final attempt, always in **kilobytes**: the
+  /// supervisor normalizes macOS's bytes-valued ru_maxrss before storing.
   std::int64_t host_max_rss_kb = 0;
   /// Hex dump (truncated) of an undecodable reply's first bytes, so a
   /// protocol error's post-mortem starts from what actually arrived.
   std::string partial_reply;
+};
+
+/// Sweep-level aggregate of the per-cell worker rusage, emitted as the
+/// `resource` object in supervised sweep/campaign JSON. Cell counts and
+/// attempts are deterministic across worker models; the host_-prefixed
+/// fields are host-dependent and filtered from CI determinism diffs like
+/// their per-cell counterparts.
+struct ResourceReport {
+  std::size_t supervised_cells = 0;  // cells that ran under the supervisor
+  std::uint64_t attempts = 0;        // total worker attempts across them
+  double host_user_seconds = 0.0;    // summed final-attempt user CPU
+  double host_sys_seconds = 0.0;     // summed final-attempt system CPU
+  std::int64_t host_max_rss_kb = 0;  // max over per-cell peak RSS (KB)
+
+  void add(const WorkerDiagnostics& w) {
+    if (w.attempts == 0) return;  // in-process cell: nothing to aggregate
+    ++supervised_cells;
+    attempts += w.attempts;
+    host_user_seconds += w.host_user_seconds;
+    host_sys_seconds += w.host_sys_seconds;
+    if (w.host_max_rss_kb > host_max_rss_kb) {
+      host_max_rss_kb = w.host_max_rss_kb;
+    }
+  }
 };
 
 }  // namespace spt::harness

@@ -12,19 +12,75 @@ std::string sanitizeCheckpointField(std::string s) {
   return s;
 }
 
+std::string escapeCheckpointField(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string unescapeCheckpointField(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] != '\\' || i + 1 == s.size()) {
+      out.push_back(s[i]);
+      continue;
+    }
+    switch (s[++i]) {
+      case '\\':
+        out.push_back('\\');
+        break;
+      case 't':
+        out.push_back('\t');
+        break;
+      case 'n':
+        out.push_back('\n');
+        break;
+      case 'r':
+        out.push_back('\r');
+        break;
+      default:
+        // Unknown escape: keep both bytes (also how pre-escaping rows,
+        // which never contain backslash-letter pairs we emit, stay
+        // readable).
+        out.push_back('\\');
+        out.push_back(s[i]);
+    }
+  }
+  return out;
+}
+
 std::string checkpointKey(const std::string& benchmark,
                           const std::string& config) {
-  return sanitizeCheckpointField(benchmark) + '\t' +
-         sanitizeCheckpointField(config);
+  return escapeCheckpointField(benchmark) + '\t' +
+         escapeCheckpointField(config);
 }
 
 std::string formatCheckpointLine(const CheckpointLine& line) {
   std::ostringstream os;
   os << kCheckpointTag << '\t' << toString(line.status) << '\t'
-     << sanitizeCheckpointField(line.benchmark) << '\t'
-     << sanitizeCheckpointField(line.config);
+     << escapeCheckpointField(line.benchmark) << '\t'
+     << escapeCheckpointField(line.config);
   for (const std::uint64_t m : line.metrics) os << '\t' << m;
-  os << '\t' << sanitizeCheckpointField(line.diagnostic);
+  os << '\t' << escapeCheckpointField(line.diagnostic);
   return os.str();
 }
 
@@ -37,7 +93,10 @@ bool parseCheckpointLine(const std::string& text,
   };
   if (!next(field) || field != kCheckpointTag) return false;
   if (!next(field) || !cellStatusFromString(field, out->status)) return false;
-  if (!next(out->benchmark) || !next(out->config)) return false;
+  if (!next(field)) return false;
+  out->benchmark = unescapeCheckpointField(field);
+  if (!next(field)) return false;
+  out->config = unescapeCheckpointField(field);
   out->metrics.assign(expected_metrics, 0);
   for (std::uint64_t& m : out->metrics) {
     if (!next(field)) return false;
@@ -48,7 +107,8 @@ bool parseCheckpointLine(const std::string& text,
     }
   }
   // The diagnostic is the (possibly empty) remainder of the line.
-  std::getline(is, out->diagnostic);
+  std::getline(is, field);
+  out->diagnostic = unescapeCheckpointField(field);
   return true;
 }
 

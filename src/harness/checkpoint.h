@@ -9,9 +9,17 @@
 // resume. The metric columns are caller-defined (the sweep stores the 20
 // summary metrics writeSweepJson emits; the campaign stores its fault
 // classification and digest fields) — the tag, key columns, status
-// vocabulary, sanitization, and last-line-wins semantics are identical, so
+// vocabulary, escaping, and last-line-wins semantics are identical, so
 // `sptc sweep --resume` and `sptc inject --resume` share one format and
 // one parser.
+//
+// String fields are backslash-escaped on write (`\\`, `\t`, `\n`, `\r`)
+// and unescaped on read: diagnostics routinely carry tabs and newlines
+// (multi-line oracle first-divergence text, worker stderr excerpts), and
+// the old sanitize-to-spaces scheme silently corrupted them — a resumed
+// run then re-keyed such cells differently than the run that wrote them.
+// Rows written before escaping existed contain no `\` + t/n/r/backslash
+// sequences in practice and parse unchanged.
 #pragma once
 
 #include <cstdint>
@@ -33,10 +41,21 @@ struct CheckpointLine {
   std::string diagnostic;
 };
 
-/// Replaces tab/newline bytes (the format's separators) with spaces.
+/// Replaces tab/newline bytes with spaces. Kept for display contexts that
+/// want flat one-line text; the checkpoint format itself now escapes
+/// losslessly instead.
 std::string sanitizeCheckpointField(std::string s);
 
-/// The resume-map key for a cell: sanitized benchmark + '\t' + config.
+/// Lossless escaping of the format's separator bytes: `\` -> `\\`,
+/// tab -> `\t`, newline -> `\n`, CR -> `\r`.
+std::string escapeCheckpointField(const std::string& s);
+
+/// Inverse of escapeCheckpointField. Unknown escape pairs and a trailing
+/// lone backslash pass through verbatim, so pre-escaping rows parse
+/// unchanged.
+std::string unescapeCheckpointField(const std::string& s);
+
+/// The resume-map key for a cell: escaped benchmark + '\t' + config.
 std::string checkpointKey(const std::string& benchmark,
                           const std::string& config);
 

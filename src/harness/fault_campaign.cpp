@@ -314,6 +314,20 @@ bool writeFaultCampaignJson(const std::string& path,
     w.endObject();
   }
   w.endArray();
+  // Campaign-level rusage aggregate, mirroring writeSweepJson: present
+  // only for supervised runs so in-process output is unchanged.
+  ResourceReport resource;
+  for (const FaultCampaignCell& c : result.cells) resource.add(c.worker);
+  if (resource.supervised_cells > 0) {
+    w.key("resource").beginObject();
+    w.member("supervised_cells",
+             static_cast<std::uint64_t>(resource.supervised_cells));
+    w.member("attempts", resource.attempts);
+    w.member("host_user_seconds", resource.host_user_seconds);
+    w.member("host_sys_seconds", resource.host_sys_seconds);
+    w.member("host_max_rss_kb", resource.host_max_rss_kb);
+    w.endObject();
+  }
   w.endObject();
   out << "\n";
   return static_cast<bool>(out);

@@ -116,8 +116,9 @@ SweepRow runCell(const SweepCase& c, bool catch_all) {
   return row;
 }
 
-/// The supervised (fork-per-cell) sweep path. `resumed` holds ok rows
-/// reused from the checkpoint; only the remaining cells fork workers.
+/// The supervised sweep path (fork-per-cell, or the warm worker pool when
+/// SupervisorOptions::pool is set). `resumed` holds ok rows reused from
+/// the checkpoint; only the remaining cells go to workers.
 std::vector<SweepRow> runSweepSupervised(
     const ParallelSweep& sweep, const std::vector<SweepCase>& cases,
     const SweepOptions& opts, std::map<std::string, SweepRow>& resumed) {
@@ -312,6 +313,22 @@ bool writeSweepJson(const std::string& path,
     w.endObject();
   }
   w.endArray();
+  // Sweep-level rusage aggregate; present only when at least one cell ran
+  // under the supervisor, so in-process output stays byte-identical to
+  // before. Cell/attempt counts are deterministic across worker models;
+  // the host_ members are filtered from CI diffs like the per-row ones.
+  ResourceReport resource;
+  for (const SweepRow& r : rows) resource.add(r.worker);
+  if (resource.supervised_cells > 0) {
+    w.key("resource").beginObject();
+    w.member("supervised_cells",
+             static_cast<std::uint64_t>(resource.supervised_cells));
+    w.member("attempts", resource.attempts);
+    w.member("host_user_seconds", resource.host_user_seconds);
+    w.member("host_sys_seconds", resource.host_sys_seconds);
+    w.member("host_max_rss_kb", resource.host_max_rss_kb);
+    w.endObject();
+  }
   w.endObject();
   out << "\n";
   return static_cast<bool>(out);

@@ -1,5 +1,6 @@
 #include "harness/supervisor.h"
 
+#include <algorithm>
 #include <cstring>
 #include <deque>
 #include <sstream>
@@ -27,7 +28,6 @@ namespace {
 // ---- Frame codec (trace_io v2 FNV approach) -------------------------------
 
 constexpr char kFrameMagic[4] = {'S', 'P', 'T', 'W'};
-constexpr std::uint32_t kFrameVersion = 1;
 // magic + version + kind + length.
 constexpr std::size_t kFrameHeaderBytes = 4 + 4 + 1 + 8;
 // A reply larger than this is corruption, not a result.
@@ -60,14 +60,21 @@ std::string hexDump(const std::string& bytes, std::size_t limit) {
   return out;
 }
 
+/// The highest kind a frame of `version` may carry: v1 knows only the two
+/// one-shot reply kinds; v2 adds request and cell-tagged replies.
+std::uint8_t maxKindForVersion(std::uint32_t version) {
+  return version == kSupervisorFrameV1 ? kFrameKindWorkerError
+                                       : kFrameKindPooledError;
+}
+
 }  // namespace
 
 std::string encodeSupervisorFrame(std::uint8_t kind,
-                                  const std::string& payload) {
+                                  const std::string& payload,
+                                  std::uint32_t version) {
   std::string out;
   out.reserve(kFrameHeaderBytes + payload.size() + 8);
   appendRaw(out, kFrameMagic, sizeof kFrameMagic);
-  const std::uint32_t version = kFrameVersion;
   appendRaw(out, &version, sizeof version);
   appendRaw(out, &kind, sizeof kind);
   const std::uint64_t length = payload.size();
@@ -98,12 +105,17 @@ bool decodeSupervisorFrame(const std::string& bytes, std::uint8_t* kind,
   }
   std::uint32_t version = 0;
   std::memcpy(&version, bytes.data() + 4, sizeof version);
-  if (version != kFrameVersion) {
+  if (version != kSupervisorFrameV1 && version != kSupervisorFrameV2) {
     return fail("unsupported frame version " + std::to_string(version) +
-                " (expected " + std::to_string(kFrameVersion) + ")");
+                " (expected " + std::to_string(kSupervisorFrameV1) + " or " +
+                std::to_string(kSupervisorFrameV2) + ")");
   }
   std::uint8_t k = 0;
   std::memcpy(&k, bytes.data() + 8, sizeof k);
+  if (k > maxKindForVersion(version)) {
+    return fail("frame kind " + std::to_string(k) +
+                " is not valid in frame version " + std::to_string(version));
+  }
   std::uint64_t length = 0;
   std::memcpy(&length, bytes.data() + 9, sizeof length);
   if (length > kMaxPayloadBytes) {
@@ -134,6 +146,80 @@ bool decodeSupervisorFrame(const std::string& bytes, std::uint8_t* kind,
   return true;
 }
 
+FrameScan scanSupervisorFrame(const std::string& buf,
+                              std::size_t* frame_bytes, std::string* error) {
+  const auto corrupt = [&](const std::string& why) {
+    if (error != nullptr) *error = why;
+    return FrameScan::kCorrupt;
+  };
+  // Reject a garbage stream on the first bytes that can prove it garbage,
+  // rather than waiting for a length that will never arrive.
+  const std::size_t magic_avail = std::min(buf.size(), sizeof kFrameMagic);
+  if (std::memcmp(buf.data(), kFrameMagic, magic_avail) != 0) {
+    return corrupt("bad frame magic (first bytes " + hexDump(buf, 8) + ")");
+  }
+  if (buf.size() < 8) return FrameScan::kNeedMore;
+  std::uint32_t version = 0;
+  std::memcpy(&version, buf.data() + 4, sizeof version);
+  if (version != kSupervisorFrameV1 && version != kSupervisorFrameV2) {
+    return corrupt("unsupported frame version " + std::to_string(version));
+  }
+  if (buf.size() < kFrameHeaderBytes) return FrameScan::kNeedMore;
+  std::uint64_t length = 0;
+  std::memcpy(&length, buf.data() + 9, sizeof length);
+  if (length > kMaxPayloadBytes) {
+    return corrupt("frame length " + std::to_string(length) +
+                   " exceeds the payload cap");
+  }
+  const std::size_t total =
+      kFrameHeaderBytes + static_cast<std::size_t>(length) + 8;
+  if (buf.size() < total) return FrameScan::kNeedMore;
+  if (frame_bytes != nullptr) *frame_bytes = total;
+  return FrameScan::kFrame;
+}
+
+std::string encodePoolRequest(std::uint64_t cell, std::uint32_t attempt) {
+  std::string out;
+  out.reserve(sizeof cell + sizeof attempt);
+  appendRaw(out, &cell, sizeof cell);
+  appendRaw(out, &attempt, sizeof attempt);
+  return out;
+}
+
+bool decodePoolRequest(const std::string& payload, std::uint64_t* cell,
+                       std::uint32_t* attempt) {
+  if (payload.size() != sizeof(std::uint64_t) + sizeof(std::uint32_t)) {
+    return false;
+  }
+  std::memcpy(cell, payload.data(), sizeof *cell);
+  std::memcpy(attempt, payload.data() + sizeof *cell, sizeof *attempt);
+  return true;
+}
+
+std::string encodePoolReply(const PoolReplyHeader& header,
+                            const std::string& inner) {
+  std::string out;
+  out.reserve(32 + inner.size());
+  appendRaw(out, &header.cell, sizeof header.cell);
+  appendRaw(out, &header.user_seconds, sizeof header.user_seconds);
+  appendRaw(out, &header.sys_seconds, sizeof header.sys_seconds);
+  appendRaw(out, &header.max_rss_kb, sizeof header.max_rss_kb);
+  out += inner;
+  return out;
+}
+
+bool decodePoolReply(const std::string& payload, PoolReplyHeader* header,
+                     std::string* inner) {
+  constexpr std::size_t kPrefix = 8 + 8 + 8 + 8;
+  if (payload.size() < kPrefix) return false;
+  std::memcpy(&header->cell, payload.data(), 8);
+  std::memcpy(&header->user_seconds, payload.data() + 8, 8);
+  std::memcpy(&header->sys_seconds, payload.data() + 16, 8);
+  std::memcpy(&header->max_rss_kb, payload.data() + 24, 8);
+  inner->assign(payload, kPrefix, payload.size() - kPrefix);
+  return true;
+}
+
 Supervisor::Supervisor(SupervisorOptions options)
     : options_(std::move(options)) {
   if (options_.jobs == 0) {
@@ -144,10 +230,16 @@ Supervisor::Supervisor(SupervisorOptions options)
 double Supervisor::backoffSeconds(std::size_t cell,
                                   std::uint32_t attempt) const {
   if (attempt < 2) return 0.0;
+  // Chain deriveSeed so cell and attempt enter the splitmix64 finalizer as
+  // separate words: the old `cell * 64 + attempt` packing collided (e.g.
+  // (cell 0, attempt 66) with (cell 1, attempt 2)), giving those pairs an
+  // identical jitter stream.
   support::Rng rng(support::deriveSeed(
-      options_.backoff_seed,
-      static_cast<std::uint64_t>(cell) * 64 + attempt));
-  const double factor = static_cast<double>(1ull << (attempt - 2));
+      support::deriveSeed(options_.backoff_seed, cell), attempt));
+  // Clamp the exponent: `1ull << (attempt - 2)` is UB once attempt >= 66,
+  // and any delay beyond 2^62 * base is indistinguishable from forever.
+  const std::uint32_t exponent = std::min<std::uint32_t>(attempt - 2, 62);
+  const double factor = static_cast<double>(1ull << exponent);
   return options_.backoff_base_seconds * factor * (1.0 + rng.nextDouble());
 }
 
@@ -170,6 +262,21 @@ bool writeAll(int fd, const char* data, std::size_t n) {
   return true;
 }
 
+/// ru_maxrss is KB on Linux but **bytes** on macOS; WorkerDiagnostics
+/// promises KB, so normalize here.
+std::int64_t maxRssKb(const rusage& ru) {
+#if defined(__APPLE__)
+  return static_cast<std::int64_t>(ru.ru_maxrss) / 1024;
+#else
+  return static_cast<std::int64_t>(ru.ru_maxrss);
+#endif
+}
+
+double timevalSeconds(const timeval& tv) {
+  return static_cast<double>(tv.tv_sec) +
+         static_cast<double>(tv.tv_usec) / 1e6;
+}
+
 /// Deterministic garbage for ChaosAction::kGarbage: seeded by the cell so
 /// the bytes (and thus the protocol-error diagnostics) are reproducible,
 /// and guaranteed not to start with the frame magic.
@@ -183,28 +290,14 @@ std::string chaosGarbage(std::size_t cell) {
   return bytes;
 }
 
-/// Worker body. Never returns: replies on `fd` and _exit()s. _exit (not
-/// exit) so the forked copy of the parent's atexit handlers, static
-/// destructors, and stdio buffers never run twice.
-[[noreturn]] void runWorker(int fd, std::size_t cell, std::uint32_t attempt,
-                            const SupervisorOptions& options,
-                            const Supervisor::Producer& produce) {
-  if (options.rlimit_as_bytes != 0) {
-    rlimit rl{};
-    rl.rlim_cur = static_cast<rlim_t>(options.rlimit_as_bytes);
-    rl.rlim_max = static_cast<rlim_t>(options.rlimit_as_bytes);
-    ::setrlimit(RLIMIT_AS, &rl);
-  }
-  if (options.rlimit_cpu_seconds != 0) {
-    rlimit rl{};
-    rl.rlim_cur = static_cast<rlim_t>(options.rlimit_cpu_seconds);
-    rl.rlim_max = static_cast<rlim_t>(options.rlimit_cpu_seconds + 1);
-    ::setrlimit(RLIMIT_CPU, &rl);
-  }
-
-  switch (options.chaos.actionFor(cell, attempt)) {
-    case support::ChaosAction::kNone:
-      break;
+/// Executes a non-kNone chaos action inside a worker. Never returns except
+/// for kHang's pause loop (which also never returns). `partial_frame` is
+/// the valid reply frame whose first half a kPartial worker emits — the
+/// caller builds it in its own protocol version.
+[[noreturn]] void performChaos(support::ChaosAction action, int fd,
+                               std::size_t cell,
+                               const std::string& partial_frame) {
+  switch (action) {
     case support::ChaosAction::kCrash:
       // Sanitizer runtimes install SIGSEGV handlers that turn the crash
       // into a clean exit; restore the default action so the parent sees
@@ -223,30 +316,169 @@ std::string chaosGarbage(std::size_t cell) {
       ::close(fd);
       ::_exit(0);
     }
-    case support::ChaosAction::kPartial: {
-      const std::string frame =
-          encodeSupervisorFrame(0, "chaos-partial-payload");
-      writeAll(fd, frame.data(), frame.size() / 2);
+    case support::ChaosAction::kPartial:
+      writeAll(fd, partial_frame.data(), partial_frame.size() / 2);
       ::close(fd);
       ::_exit(0);
-    }
     case support::ChaosAction::kExit:
+    case support::ChaosAction::kNone:  // unreachable; callers filter kNone
       ::_exit(3);
+  }
+  ::_exit(3);
+}
+
+/// One-shot worker body. Never returns: replies on `fd` and _exit()s.
+/// _exit (not exit) so the forked copy of the parent's atexit handlers,
+/// static destructors, and stdio buffers never run twice.
+[[noreturn]] void runWorker(int fd, std::size_t cell, std::uint32_t attempt,
+                            const SupervisorOptions& options,
+                            const Supervisor::Producer& produce) {
+  if (options.rlimit_as_bytes != 0) {
+    rlimit rl{};
+    rl.rlim_cur = static_cast<rlim_t>(options.rlimit_as_bytes);
+    rl.rlim_max = static_cast<rlim_t>(options.rlimit_as_bytes);
+    ::setrlimit(RLIMIT_AS, &rl);
+  }
+  if (options.rlimit_cpu_seconds != 0) {
+    rlimit rl{};
+    rl.rlim_cur = static_cast<rlim_t>(options.rlimit_cpu_seconds);
+    rl.rlim_max = static_cast<rlim_t>(options.rlimit_cpu_seconds + 1);
+    ::setrlimit(RLIMIT_CPU, &rl);
+  }
+
+  const support::ChaosAction chaos = options.chaos.actionFor(cell, attempt);
+  if (chaos != support::ChaosAction::kNone) {
+    performChaos(chaos, fd, cell,
+                 encodeSupervisorFrame(kFrameKindPayload,
+                                       "chaos-partial-payload"));
   }
 
   std::string frame;
   try {
-    frame = encodeSupervisorFrame(0, produce(cell));
+    frame = encodeSupervisorFrame(kFrameKindPayload, produce(cell));
   } catch (const std::exception& e) {
     // Last-resort structured report (the producer normally catches cell
     // exceptions itself): kind-1 frames carry the worker's error text.
-    frame = encodeSupervisorFrame(1, e.what());
+    frame = encodeSupervisorFrame(kFrameKindWorkerError, e.what());
   } catch (...) {
-    frame = encodeSupervisorFrame(1, "unknown worker exception");
+    frame = encodeSupervisorFrame(kFrameKindWorkerError,
+                                  "unknown worker exception");
   }
   const bool ok = writeAll(fd, frame.data(), frame.size());
   ::close(fd);
   ::_exit(ok ? 0 : 1);
+}
+
+/// Re-arms the per-cell CPU window of a pooled worker. RLIMIT_CPU counts
+/// cumulative process CPU, so a long-lived worker must move the limit
+/// forward before each cell: budget measured from CPU already spent.
+void armPooledCpuLimit(std::uint64_t limit_seconds) {
+  if (limit_seconds == 0) return;
+  rusage ru{};
+  ::getrusage(RUSAGE_SELF, &ru);
+  // +1 rounds the already-spent seconds up so a worker that burned 0.9s
+  // on earlier cells still gets the full window for this one.
+  const rlim_t used =
+      static_cast<rlim_t>(ru.ru_utime.tv_sec + ru.ru_stime.tv_sec) + 1;
+  rlimit rl{};
+  rl.rlim_cur = used + static_cast<rlim_t>(limit_seconds);
+  rl.rlim_max = used + static_cast<rlim_t>(limit_seconds) + 1;
+  ::setrlimit(RLIMIT_CPU, &rl);
+}
+
+/// Blocks until one complete request frame is buffered, decoded, and
+/// consumed. Returns false on clean shutdown (parent closed the request
+/// pipe). Any malformed bytes on the request pipe are unrecoverable for
+/// the worker; it exits and lets the parent's containment classify it.
+bool readPoolRequest(int fd, std::string& buf, std::uint64_t* cell,
+                     std::uint32_t* attempt) {
+  for (;;) {
+    std::size_t frame_bytes = 0;
+    const FrameScan scan = scanSupervisorFrame(buf, &frame_bytes, nullptr);
+    if (scan == FrameScan::kCorrupt) ::_exit(2);
+    if (scan == FrameScan::kFrame) {
+      std::uint8_t kind = 0;
+      std::string payload;
+      if (!decodeSupervisorFrame(buf.substr(0, frame_bytes), &kind, &payload,
+                                 nullptr)) {
+        ::_exit(2);
+      }
+      buf.erase(0, frame_bytes);
+      if (kind != kFrameKindRequest ||
+          !decodePoolRequest(payload, cell, attempt)) {
+        ::_exit(2);
+      }
+      return true;
+    }
+    char chunk[4096];
+    const ssize_t r = ::read(fd, chunk, sizeof chunk);
+    if (r > 0) {
+      buf.append(chunk, static_cast<std::size_t>(r));
+      continue;
+    }
+    if (r == 0) return false;  // EOF: the run is over
+    if (errno == EINTR) continue;
+    ::_exit(1);
+  }
+}
+
+/// Pooled worker body: loop `recv request -> produce -> reply` until the
+/// parent closes the request pipe. Every reply is a v2 frame tagged with
+/// the cell it answers plus the worker's self-reported per-cell rusage.
+[[noreturn]] void runPoolWorker(int request_fd, int reply_fd,
+                                const SupervisorOptions& options,
+                                const Supervisor::Producer& produce) {
+  if (options.rlimit_as_bytes != 0) {
+    rlimit rl{};
+    rl.rlim_cur = static_cast<rlim_t>(options.rlimit_as_bytes);
+    rl.rlim_max = static_cast<rlim_t>(options.rlimit_as_bytes);
+    ::setrlimit(RLIMIT_AS, &rl);
+  }
+
+  std::string in;
+  std::uint64_t cell = 0;
+  std::uint32_t attempt = 1;
+  while (readPoolRequest(request_fd, in, &cell, &attempt)) {
+    armPooledCpuLimit(options.rlimit_cpu_seconds);
+
+    const support::ChaosAction chaos =
+        options.chaos.actionFor(static_cast<std::size_t>(cell), attempt);
+    if (chaos != support::ChaosAction::kNone) {
+      performChaos(chaos, reply_fd, static_cast<std::size_t>(cell),
+                   encodeSupervisorFrame(
+                       kFrameKindPooledReply,
+                       encodePoolReply({cell, 0.0, 0.0, 0},
+                                       "chaos-partial-payload"),
+                       kSupervisorFrameV2));
+    }
+
+    rusage before{};
+    ::getrusage(RUSAGE_SELF, &before);
+    std::uint8_t kind = kFrameKindPooledReply;
+    std::string inner;
+    try {
+      inner = produce(static_cast<std::size_t>(cell));
+    } catch (const std::exception& e) {
+      kind = kFrameKindPooledError;
+      inner = e.what();
+    } catch (...) {
+      kind = kFrameKindPooledError;
+      inner = "unknown worker exception";
+    }
+    rusage after{};
+    ::getrusage(RUSAGE_SELF, &after);
+    PoolReplyHeader header;
+    header.cell = cell;
+    header.user_seconds =
+        timevalSeconds(after.ru_utime) - timevalSeconds(before.ru_utime);
+    header.sys_seconds =
+        timevalSeconds(after.ru_stime) - timevalSeconds(before.ru_stime);
+    header.max_rss_kb = maxRssKb(after);
+    const std::string frame = encodeSupervisorFrame(
+        kind, encodePoolReply(header, inner), kSupervisorFrameV2);
+    if (!writeAll(reply_fd, frame.data(), frame.size())) ::_exit(1);
+  }
+  ::_exit(0);
 }
 
 struct RunningWorker {
@@ -265,17 +497,70 @@ struct PendingCell {
   Clock::time_point not_before;
 };
 
+/// One long-lived pool member. `busy` workers own an in-flight cell and
+/// are polled; idle workers sit out of the poll set (a dead idle worker
+/// surfaces as a failed request write at the next dispatch).
+struct PoolWorker {
+  pid_t pid = -1;
+  int request_fd = -1;  // parent writes SPTW v2 request frames here
+  int reply_fd = -1;    // parent reads the worker's reply stream here
+  bool busy = false;
+  std::size_t cell = 0;
+  std::uint32_t attempt = 1;
+  bool has_deadline = false;
+  Clock::time_point deadline;
+  std::string buf;  // reply stream accumulator
+};
+
 int signalOf(int wait_status) {
   return WIFSIGNALED(wait_status) ? WTERMSIG(wait_status) : 0;
 }
+
+int reapWorker(pid_t pid, rusage* ru) {
+  int wait_status = 0;
+  while (::wait4(pid, &wait_status, 0, ru) < 0 && errno == EINTR) {
+  }
+  return wait_status;
+}
+
+Clock::time_point deadlineFrom(Clock::time_point now, double seconds) {
+  return now + std::chrono::duration_cast<Clock::duration>(
+                   std::chrono::duration<double>(seconds));
+}
+
+/// Scoped SIG_IGN for SIGPIPE: the pooled parent writes request frames to
+/// pipes whose worker may just have died; the write must fail with EPIPE,
+/// not kill the sweep. Restores the previous disposition on scope exit.
+class ScopedIgnoreSigpipe {
+ public:
+  ScopedIgnoreSigpipe() {
+    struct sigaction ignore {};
+    ignore.sa_handler = SIG_IGN;
+    ::sigaction(SIGPIPE, &ignore, &saved_);
+  }
+  ~ScopedIgnoreSigpipe() { ::sigaction(SIGPIPE, &saved_, nullptr); }
+  ScopedIgnoreSigpipe(const ScopedIgnoreSigpipe&) = delete;
+  ScopedIgnoreSigpipe& operator=(const ScopedIgnoreSigpipe&) = delete;
+
+ private:
+  struct sigaction saved_ {};
+};
 
 }  // namespace
 
 bool Supervisor::isolationSupported() { return true; }
 
 std::vector<Supervisor::Outcome> Supervisor::run(
-    std::size_t n, const Producer& produce,
-    const OnSettled& on_settled) const {
+    std::size_t n, const Producer& produce, const OnSettled& on_settled,
+    PoolStats* stats) const {
+  if (stats != nullptr) *stats = PoolStats{};
+  return options_.pool ? runPooled(n, produce, on_settled, stats)
+                       : runForked(n, produce, on_settled, stats);
+}
+
+std::vector<Supervisor::Outcome> Supervisor::runForked(
+    std::size_t n, const Producer& produce, const OnSettled& on_settled,
+    PoolStats* stats) const {
   std::vector<Outcome> out(n);
   std::deque<PendingCell> pending;
   const Clock::time_point start = Clock::now();
@@ -292,22 +577,16 @@ std::vector<Supervisor::Outcome> Supervisor::run(
   // Reaps one worker (blocking wait4; the fd already saw EOF or the
   // worker was just SIGKILLed) and either settles or schedules a retry.
   const auto reap = [&](RunningWorker& w, bool timed_out) {
-    int wait_status = 0;
     rusage ru{};
-    while (::wait4(w.pid, &wait_status, 0, &ru) < 0 && errno == EINTR) {
-    }
+    const int wait_status = reapWorker(w.pid, &ru);
     ::close(w.fd);
 
     Outcome oc;
     oc.worker.attempts = w.attempt;
     oc.worker.timed_out = timed_out;
-    oc.worker.host_user_seconds =
-        static_cast<double>(ru.ru_utime.tv_sec) +
-        static_cast<double>(ru.ru_utime.tv_usec) / 1e6;
-    oc.worker.host_sys_seconds =
-        static_cast<double>(ru.ru_stime.tv_sec) +
-        static_cast<double>(ru.ru_stime.tv_usec) / 1e6;
-    oc.worker.host_max_rss_kb = static_cast<std::int64_t>(ru.ru_maxrss);
+    oc.worker.host_user_seconds = timevalSeconds(ru.ru_utime);
+    oc.worker.host_sys_seconds = timevalSeconds(ru.ru_stime);
+    oc.worker.host_max_rss_kb = maxRssKb(ru);
 
     const int sig = signalOf(wait_status);
     if (timed_out) {
@@ -341,7 +620,7 @@ std::vector<Supervisor::Outcome> Supervisor::run(
       std::string payload;
       std::string why;
       if (decodeSupervisorFrame(w.buf, &kind, &payload, &why)) {
-        if (kind == 0) {
+        if (kind == kFrameKindPayload) {
           oc.status = CellStatus::kOk;
           oc.payload = std::move(payload);
         } else {
@@ -360,9 +639,7 @@ std::vector<Supervisor::Outcome> Supervisor::run(
     if (isTransportFailure(oc.status) && w.attempt <= options_.retries) {
       const double delay = backoffSeconds(w.cell, w.attempt + 1);
       pending.push_back(
-          {w.cell, w.attempt + 1,
-           Clock::now() + std::chrono::duration_cast<Clock::duration>(
-                              std::chrono::duration<double>(delay))});
+          {w.cell, w.attempt + 1, deadlineFrom(Clock::now(), delay)});
     } else {
       settle(w.cell, std::move(oc));
     }
@@ -395,6 +672,7 @@ std::vector<Supervisor::Outcome> Supervisor::run(
       for (const RunningWorker& other : running) ::close(other.fd);
       runWorker(fds[1], p.cell, p.attempt, options_, produce);
     }
+    if (stats != nullptr) ++stats->workers_spawned;
     ::close(fds[1]);
     const int flags = ::fcntl(fds[0], F_GETFL, 0);
     ::fcntl(fds[0], F_SETFL, flags | O_NONBLOCK);
@@ -405,10 +683,7 @@ std::vector<Supervisor::Outcome> Supervisor::run(
     w.fd = fds[0];
     if (options_.cell_timeout_seconds > 0.0) {
       w.has_deadline = true;
-      w.deadline =
-          Clock::now() + std::chrono::duration_cast<Clock::duration>(
-                             std::chrono::duration<double>(
-                                 options_.cell_timeout_seconds));
+      w.deadline = deadlineFrom(Clock::now(), options_.cell_timeout_seconds);
     }
     running.push_back(std::move(w));
   };
@@ -518,12 +793,411 @@ std::vector<Supervisor::Outcome> Supervisor::run(
   return out;
 }
 
+std::vector<Supervisor::Outcome> Supervisor::runPooled(
+    std::size_t n, const Producer& produce, const OnSettled& on_settled,
+    PoolStats* stats) const {
+  ScopedIgnoreSigpipe sigpipe_guard;
+
+  std::vector<Outcome> out(n);
+  std::deque<PendingCell> pending;
+  const Clock::time_point start = Clock::now();
+  for (std::size_t i = 0; i < n; ++i) pending.push_back({i, 1, start});
+  std::vector<PoolWorker> workers;
+  std::size_t settled = 0;
+
+  const auto settle = [&](std::size_t cell, Outcome outcome) {
+    out[cell] = std::move(outcome);
+    ++settled;
+    if (on_settled) on_settled(cell, out[cell]);
+  };
+
+  // Settles the attempt's outcome or queues the retry — the same policy
+  // as the fork-per-cell path.
+  const auto finishAttempt = [&](std::size_t cell, std::uint32_t attempt,
+                                 Outcome oc) {
+    if (isTransportFailure(oc.status) && attempt <= options_.retries) {
+      const double delay = backoffSeconds(cell, attempt + 1);
+      pending.push_back(
+          {cell, attempt + 1, deadlineFrom(Clock::now(), delay)});
+    } else {
+      settle(cell, std::move(oc));
+    }
+  };
+
+  const auto spawnWorker = [&]() -> bool {
+    int request[2];
+    int reply[2];
+    if (::pipe(request) < 0) return false;
+    if (::pipe(reply) < 0) {
+      ::close(request[0]);
+      ::close(request[1]);
+      return false;
+    }
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+      ::close(request[0]);
+      ::close(request[1]);
+      ::close(reply[0]);
+      ::close(reply[1]);
+      return false;
+    }
+    if (pid == 0) {
+      ::close(request[1]);
+      ::close(reply[0]);
+      // Drop inherited ends of sibling workers' pipes, so each worker's
+      // EOF semantics depend only on the parent and itself.
+      for (const PoolWorker& other : workers) {
+        ::close(other.request_fd);
+        ::close(other.reply_fd);
+      }
+      runPoolWorker(request[0], reply[1], options_, produce);
+    }
+    ::close(request[0]);
+    ::close(reply[1]);
+    const int flags = ::fcntl(reply[0], F_GETFL, 0);
+    ::fcntl(reply[0], F_SETFL, flags | O_NONBLOCK);
+    PoolWorker w;
+    w.pid = pid;
+    w.request_fd = request[1];
+    w.reply_fd = reply[0];
+    workers.push_back(std::move(w));
+    if (stats != nullptr) ++stats->workers_spawned;
+    return true;
+  };
+
+  // Removes worker `wi` from the pool, reaps it, classifies the in-flight
+  // attempt (if any), and respawns a replacement while cells remain.
+  // `corrupt_reason` is non-empty when the parent detected a garbled
+  // reply stream (the worker was killed, or died right after garbling).
+  const auto workerDied = [&](std::size_t wi, bool timed_out,
+                              const std::string& corrupt_reason) {
+    PoolWorker w = std::move(workers[wi]);
+    workers.erase(workers.begin() + static_cast<std::ptrdiff_t>(wi));
+    rusage ru{};
+    const int wait_status = reapWorker(w.pid, &ru);
+    ::close(w.request_fd);
+    ::close(w.reply_fd);
+
+    if (w.busy) {
+      Outcome oc;
+      oc.worker.attempts = w.attempt;
+      oc.worker.timed_out = timed_out;
+      // Whole-life rusage of the dead worker: the per-cell numbers a
+      // healthy pooled reply self-reports are unavailable once it dies.
+      oc.worker.host_user_seconds = timevalSeconds(ru.ru_utime);
+      oc.worker.host_sys_seconds = timevalSeconds(ru.ru_stime);
+      oc.worker.host_max_rss_kb = maxRssKb(ru);
+
+      const int sig = signalOf(wait_status);
+      if (timed_out) {
+        oc.status = CellStatus::kTimeout;
+        oc.worker.term_signal = sig;
+        std::ostringstream os;
+        os << "worker exceeded the " << options_.cell_timeout_seconds
+           << "s wall-clock deadline on attempt " << w.attempt
+           << "; killed (SIGKILL)";
+        oc.diagnostic = os.str();
+      } else if (!corrupt_reason.empty()) {
+        oc.status = CellStatus::kProtocolError;
+        if (sig != 0) {
+          oc.worker.term_signal = sig;
+        } else {
+          oc.worker.exit_code = WEXITSTATUS(wait_status);
+        }
+        oc.diagnostic =
+            "worker reply failed frame validation: " + corrupt_reason +
+            (sig == 0 ? " (exit code " + std::to_string(oc.worker.exit_code) +
+                            ")"
+                      : "");
+        if (!w.buf.empty()) oc.worker.partial_reply = hexDump(w.buf, 64);
+      } else if (sig != 0) {
+        oc.worker.term_signal = sig;
+        if (sig == SIGXCPU) {
+          oc.status = CellStatus::kTimeout;
+          oc.diagnostic = "worker hit RLIMIT_CPU (" +
+                          std::to_string(options_.rlimit_cpu_seconds) +
+                          "s) and died on SIGXCPU";
+        } else {
+          oc.status = CellStatus::kCrashed;
+          const char* name = ::strsignal(sig);
+          oc.diagnostic = "worker killed by signal " + std::to_string(sig) +
+                          (name != nullptr ? std::string(" (") + name + ")"
+                                           : std::string()) +
+                          " after " + std::to_string(w.buf.size()) +
+                          " reply bytes";
+        }
+        if (!w.buf.empty()) oc.worker.partial_reply = hexDump(w.buf, 64);
+      } else {
+        // Exited without completing a reply: decode what arrived for the
+        // specific reason ("empty reply", "short reply", ...).
+        oc.worker.exit_code = WEXITSTATUS(wait_status);
+        std::string why;
+        decodeSupervisorFrame(w.buf, nullptr, nullptr, &why);
+        oc.status = CellStatus::kProtocolError;
+        oc.diagnostic = "worker reply failed frame validation: " + why +
+                        " (exit code " +
+                        std::to_string(oc.worker.exit_code) + ")";
+        if (!w.buf.empty()) oc.worker.partial_reply = hexDump(w.buf, 64);
+      }
+      finishAttempt(w.cell, w.attempt, std::move(oc));
+    }
+
+    // Respawn only the dead worker; the rest of the pool keeps draining.
+    if (settled < n && spawnWorker() && stats != nullptr) {
+      ++stats->workers_respawned;
+    }
+  };
+
+  // Sends the request frame; on a dead request pipe the cell goes back to
+  // the front of the queue (no attempt burned — the worker never saw it)
+  // and the worker is replaced.
+  const auto dispatch = [&](std::size_t wi, const PendingCell& p) -> bool {
+    PoolWorker& w = workers[wi];
+    const std::string frame = encodeSupervisorFrame(
+        kFrameKindRequest,
+        encodePoolRequest(static_cast<std::uint64_t>(p.cell), p.attempt),
+        kSupervisorFrameV2);
+    if (!writeAll(w.request_fd, frame.data(), frame.size())) {
+      pending.push_front(p);
+      ::kill(w.pid, SIGKILL);
+      workerDied(wi, /*timed_out=*/false, "");
+      return false;
+    }
+    w.busy = true;
+    w.cell = p.cell;
+    w.attempt = p.attempt;
+    w.buf.clear();
+    if (options_.cell_timeout_seconds > 0.0) {
+      w.has_deadline = true;
+      w.deadline = deadlineFrom(Clock::now(), options_.cell_timeout_seconds);
+    } else {
+      w.has_deadline = false;
+    }
+    return true;
+  };
+
+  // Consumes completed frames from worker `wi`'s reply stream. Returns
+  // false (after containment) if the worker had to be killed.
+  const auto drainReplies = [&](std::size_t wi) -> bool {
+    PoolWorker& w = workers[wi];
+    for (;;) {
+      std::size_t frame_bytes = 0;
+      std::string why;
+      const FrameScan scan = scanSupervisorFrame(w.buf, &frame_bytes, &why);
+      if (scan == FrameScan::kNeedMore) return true;
+      std::uint8_t kind = 0;
+      std::string payload;
+      if (scan == FrameScan::kCorrupt ||
+          !decodeSupervisorFrame(w.buf.substr(0, frame_bytes), &kind,
+                                 &payload, &why)) {
+        ::kill(w.pid, SIGKILL);
+        workerDied(wi, /*timed_out=*/false, why);
+        return false;
+      }
+      w.buf.erase(0, frame_bytes);
+
+      PoolReplyHeader header;
+      std::string inner;
+      const bool cell_tagged =
+          (kind == kFrameKindPooledReply || kind == kFrameKindPooledError) &&
+          decodePoolReply(payload, &header, &inner);
+      if (!w.busy || !cell_tagged ||
+          header.cell != static_cast<std::uint64_t>(w.cell)) {
+        ::kill(w.pid, SIGKILL);
+        workerDied(wi, /*timed_out=*/false,
+                   !w.busy ? "unsolicited reply from an idle worker"
+                   : !cell_tagged
+                       ? "reply frame is not a cell-tagged pooled reply"
+                       : "reply answers cell " + std::to_string(header.cell) +
+                             " but cell " + std::to_string(w.cell) +
+                             " was dispatched");
+        return false;
+      }
+
+      Outcome oc;
+      oc.worker.attempts = w.attempt;
+      oc.worker.exit_code = 0;  // a completed reply means a healthy worker
+      oc.worker.host_user_seconds = header.user_seconds;
+      oc.worker.host_sys_seconds = header.sys_seconds;
+      oc.worker.host_max_rss_kb = header.max_rss_kb;
+      if (kind == kFrameKindPooledReply) {
+        oc.status = CellStatus::kOk;
+        oc.payload = std::move(inner);
+      } else {
+        oc.status = CellStatus::kInternalError;
+        oc.diagnostic = "worker error: " + inner;
+      }
+      const std::size_t cell = w.cell;
+      const std::uint32_t attempt = w.attempt;
+      w.busy = false;
+      w.has_deadline = false;
+      finishAttempt(cell, attempt, std::move(oc));
+    }
+  };
+
+  const std::size_t pool_size = std::min(options_.jobs, std::max<std::size_t>(n, 1));
+  for (std::size_t i = 0; i < pool_size; ++i) {
+    if (!spawnWorker()) break;
+  }
+
+  while (settled < n) {
+    Clock::time_point now = Clock::now();
+
+    // Dispatch due pending cells to idle workers.
+    for (std::size_t wi = 0; wi < workers.size() && !pending.empty();) {
+      if (workers[wi].busy) {
+        ++wi;
+        continue;
+      }
+      std::size_t pi = pending.size();
+      for (std::size_t i = 0; i < pending.size(); ++i) {
+        if (pending[i].not_before <= now) {
+          pi = i;
+          break;
+        }
+      }
+      if (pi == pending.size()) break;  // nothing due yet
+      const PendingCell p = pending[pi];
+      pending.erase(pending.begin() + static_cast<std::ptrdiff_t>(pi));
+      // A failed dispatch replaced the worker in-place; retry this slot.
+      if (dispatch(wi, p)) ++wi;
+    }
+
+    if (workers.empty()) {
+      // The pool could not be (re)built; fail the remaining cells rather
+      // than spin forever.
+      while (!pending.empty()) {
+        const PendingCell p = pending.front();
+        pending.pop_front();
+        Outcome oc;
+        oc.status = CellStatus::kCrashed;
+        oc.worker.attempts = p.attempt;
+        oc.diagnostic =
+            std::string("worker pool spawn failed: ") + std::strerror(errno);
+        settle(p.cell, std::move(oc));
+      }
+      break;
+    }
+
+    std::vector<std::size_t> busy;
+    for (std::size_t wi = 0; wi < workers.size(); ++wi) {
+      if (workers[wi].busy) busy.push_back(wi);
+    }
+    if (busy.empty()) {
+      if (pending.empty()) {
+        if (settled < n) continue;  // dispatch loop will make progress
+        break;
+      }
+      Clock::time_point wake = pending.front().not_before;
+      for (const PendingCell& p : pending) wake = std::min(wake, p.not_before);
+      std::this_thread::sleep_until(wake);
+      continue;
+    }
+
+    long long timeout_ms = -1;
+    const auto consider = [&](Clock::time_point t) {
+      const long long ms =
+          std::chrono::duration_cast<std::chrono::milliseconds>(t - now)
+              .count();
+      const long long clamped = ms < 0 ? 0 : ms + 1;
+      if (timeout_ms < 0 || clamped < timeout_ms) timeout_ms = clamped;
+    };
+    for (const std::size_t wi : busy) {
+      if (workers[wi].has_deadline) consider(workers[wi].deadline);
+    }
+    for (const PendingCell& p : pending) consider(p.not_before);
+
+    std::vector<pollfd> fds(busy.size());
+    for (std::size_t i = 0; i < busy.size(); ++i) {
+      fds[i] = pollfd{workers[busy[i]].reply_fd, POLLIN, 0};
+    }
+    const int rc =
+        ::poll(fds.data(), static_cast<nfds_t>(fds.size()),
+               timeout_ms < 0 ? -1 : static_cast<int>(
+                                         std::min<long long>(timeout_ms,
+                                                             60'000)));
+    if (rc < 0 && errno != EINTR) {
+      throw support::SptInternalError(
+          std::string("supervisor poll() failed: ") + std::strerror(errno));
+    }
+
+    // Drain readable reply streams. Workers are looked up by pid (not
+    // index) because containment inside the loop mutates the pool.
+    for (std::size_t i = 0; i < busy.size(); ++i) {
+      if (!(fds[i].revents & (POLLIN | POLLHUP | POLLERR))) continue;
+      // Re-find the worker; it may have been removed by a prior iteration.
+      const int fd = fds[i].fd;
+      std::size_t wi = workers.size();
+      for (std::size_t j = 0; j < workers.size(); ++j) {
+        if (workers[j].reply_fd == fd) {
+          wi = j;
+          break;
+        }
+      }
+      if (wi == workers.size()) continue;
+      PoolWorker& w = workers[wi];
+      bool saw_eof = false;
+      char chunk[65536];
+      for (;;) {
+        const ssize_t r = ::read(w.reply_fd, chunk, sizeof chunk);
+        if (r > 0) {
+          w.buf.append(chunk, static_cast<std::size_t>(r));
+          if (w.buf.size() > kMaxPayloadBytes + kFrameHeaderBytes + 8) {
+            ::kill(w.pid, SIGKILL);
+            workerDied(wi, /*timed_out=*/false, "oversized reply");
+            wi = workers.size();
+            break;
+          }
+          continue;
+        }
+        if (r == 0) {
+          saw_eof = true;
+          break;
+        }
+        if (errno == EINTR) continue;
+        break;  // EAGAIN: drained for now
+      }
+      if (wi == workers.size()) continue;  // contained above
+      if (!drainReplies(wi)) continue;     // worker replaced
+      if (saw_eof) {
+        // The worker died (or exited on chaos) — any buffered partial
+        // frame is part of the post-mortem.
+        workerDied(wi, /*timed_out=*/false, "");
+      }
+    }
+
+    // Watchdog: SIGKILL overdue busy workers; their cells reap as
+    // timeouts and the workers are replaced.
+    now = Clock::now();
+    for (std::size_t wi = 0; wi < workers.size();) {
+      PoolWorker& w = workers[wi];
+      if (w.busy && w.has_deadline && w.deadline <= now) {
+        ::kill(w.pid, SIGKILL);
+        workerDied(wi, /*timed_out=*/true, "");
+      } else {
+        ++wi;
+      }
+    }
+  }
+
+  // Shutdown: closing the request pipes is the workers' EOF signal; they
+  // _exit(0) and are reaped here.
+  for (PoolWorker& w : workers) ::close(w.request_fd);
+  for (PoolWorker& w : workers) {
+    reapWorker(w.pid, nullptr);
+    ::close(w.reply_fd);
+  }
+  return out;
+}
+
 #else  // !SPT_SUPERVISOR_POSIX
 
 bool Supervisor::isolationSupported() { return false; }
 
-std::vector<Supervisor::Outcome> Supervisor::run(std::size_t, const Producer&,
-                                                 const OnSettled&) const {
+std::vector<Supervisor::Outcome> Supervisor::run(std::size_t,
+                                                 const Producer&,
+                                                 const OnSettled&,
+                                                 PoolStats*) const {
   throw support::SptInternalError(
       "process isolation is not supported on this platform (no fork); "
       "use the in-process path");

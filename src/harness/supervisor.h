@@ -1,11 +1,25 @@
-// Process-isolated execution supervisor (fork-per-cell worker layer).
+// Process-isolated execution supervisor (fork-per-cell and warm-pool
+// worker layers).
 //
 // PR 3's hardened sweep quarantines cells that *throw*; this layer
-// contains cells that take the whole process down. Each cell runs in a
-// forked worker; the worker serializes its result and writes it to a pipe
-// as one versioned, length-prefixed, FNV-1a-checksummed frame (the
-// trace_io v2 approach), then _exit()s. The parent is a single-threaded
-// event loop — fork() never races other threads — that:
+// contains cells that take the whole process down. Two worker models
+// share one frame protocol and one containment policy:
+//
+//  * **fork-per-cell** (SPTW v1): each cell runs in a freshly forked
+//    worker; the worker serializes its result and writes it to a pipe as
+//    one versioned, length-prefixed, FNV-1a-checksummed frame (the
+//    trace_io v2 approach), then _exit()s.
+//  * **warm pool** (SPTW v2, `SupervisorOptions::pool`): `jobs` workers
+//    are forked once per run and live for the whole sweep. The parent
+//    dispatches cell indices to idle workers as request frames over the
+//    same checksummed pipes; each worker loops `recv request → produce →
+//    reply`, re-arming its per-cell RLIMIT_CPU window before every cell.
+//    This removes the fork + pipeline re-setup cost per cell — the
+//    dominant overhead on small cells (bench_supervisor_overhead) — and
+//    is the substrate for an `sptc serve` daemon.
+//
+// In both models the parent is a single-threaded poll() event loop —
+// fork() never races other threads — that:
 //
 //  * keeps up to `jobs` workers in flight, placing results by submission
 //    index so ordering guarantees match ParallelSweep;
@@ -14,20 +28,23 @@
 //    catch a hang in the host code itself) and SIGKILLs overdue workers;
 //  * optionally applies RLIMIT_AS / RLIMIT_CPU to workers, so a runaway
 //    allocation or CPU spin is bounded by the kernel even if the watchdog
-//    is off;
-//  * reaps every worker with wait4(), recording exit code, terminating
-//    signal, and rusage; a worker that segfaults, aborts, OOMs, hangs, or
-//    replies with bytes that fail frame validation lands in
-//    CellStatus::kCrashed / kTimeout / kProtocolError with diagnostics
+//    is off (pooled workers re-arm RLIMIT_CPU per cell, since the limit
+//    is cumulative over the process);
+//  * reaps every dead worker with wait4(), recording exit code,
+//    terminating signal, and rusage; a worker that segfaults, aborts,
+//    OOMs, hangs, or replies with bytes that fail frame validation lands
+//    in CellStatus::kCrashed / kTimeout / kProtocolError with diagnostics
 //    (including a hex dump of a corrupt reply's first bytes) while every
-//    other cell keeps running;
+//    other cell keeps running — under the pool, only the dead worker is
+//    respawned and the rest of the pool keeps draining the queue;
 //  * retries transport failures (crash/timeout/protocol) up to `retries`
 //    extra attempts with exponential backoff and deterministic seeded
 //    jitter — a pure function of (backoff_seed, cell, attempt), so test
 //    and CI runs are reproducible;
 //  * honors support::ChaosPlan, the deterministic sabotage hook that makes
-//    designated workers crash/hang/garble on demand so every containment
-//    path above is testable.
+//    designated (cell, attempt) pairs crash/hang/garble on demand —
+//    pooled workers consult the plan per dispatched request, so chaos
+//    semantics are identical across both worker models.
 //
 // On platforms without fork() the supervisor reports
 // isolationSupported() == false and callers degrade to the existing
@@ -48,6 +65,12 @@ struct SupervisorOptions {
   /// Master switch consumed by runSweep / runFaultCampaign: false keeps
   /// the historical in-process path.
   bool isolate = false;
+  /// Warm worker pool: fork `jobs` long-lived workers once and dispatch
+  /// cells to them over SPTW v2 request frames instead of forking one
+  /// worker per cell. Containment, retry, chaos, checkpoint, and JSON
+  /// output semantics are identical to fork-per-cell (CI diffs the
+  /// filtered documents byte-for-byte); only host_ timings differ.
+  bool pool = false;
   /// Wall-clock deadline per worker *attempt*, enforced by the parent
   /// watchdog (SIGKILL past it). 0 = no deadline.
   double cell_timeout_seconds = 0.0;
@@ -55,13 +78,16 @@ struct SupervisorOptions {
   /// error). Cell-level outcomes (ok, budget_exceeded, internal_error)
   /// are deterministic and never retried.
   std::uint32_t retries = 0;
-  /// Retry backoff: base * 2^(attempt-2) * (1 + jitter), jitter in [0,1)
-  /// drawn from Rng(deriveSeed(backoff_seed, cell * 64 + attempt)).
+  /// Retry backoff: base * 2^min(attempt-2, 62) * (1 + jitter), jitter in
+  /// [0,1) drawn from Rng(deriveSeed(deriveSeed(backoff_seed, cell),
+  /// attempt)) — cell and attempt are mixed as separate words, so no two
+  /// (cell, attempt) pairs share a jitter stream.
   double backoff_base_seconds = 0.25;
   std::uint64_t backoff_seed = 0xb0ff;
   /// Worker resource limits (0 = inherit). RLIMIT_AS bounds address space
   /// (an OOM becomes a contained bad_alloc or crash); RLIMIT_CPU bounds
-  /// CPU seconds (SIGXCPU, reported as kTimeout).
+  /// CPU seconds per cell (SIGXCPU, reported as kTimeout) — pooled
+  /// workers re-arm it before each cell relative to CPU already spent.
   std::uint64_t rlimit_as_bytes = 0;
   std::uint64_t rlimit_cpu_seconds = 0;
   /// Max workers in flight. 0 = support::ThreadPool::defaultWorkerCount().
@@ -84,9 +110,21 @@ class Supervisor {
     std::string payload;
   };
 
+  /// Worker-process accounting for one run. Under fork-per-cell,
+  /// `workers_spawned` counts every fork (one per attempt);
+  /// `workers_respawned` stays zero. Under the pool, `workers_spawned`
+  /// counts the initial pool fill plus respawns and `workers_respawned`
+  /// counts replacements of dead workers — the pooled chaos tests assert
+  /// exactly one respawn per sabotaged worker.
+  struct PoolStats {
+    std::size_t workers_spawned = 0;
+    std::size_t workers_respawned = 0;
+  };
+
   /// Runs in the *worker* (after fork): produces the cell's serialized
   /// result. Exceptions escaping the producer are caught in the worker and
-  /// reported as a structured kInternalError outcome.
+  /// reported as a structured kInternalError outcome. Under the pool the
+  /// same worker process calls this for many cells in sequence.
   using Producer = std::function<std::string(std::size_t)>;
 
   /// Runs in the *parent* as each cell settles (after retries), in
@@ -99,9 +137,11 @@ class Supervisor {
   static bool isolationSupported();
 
   /// Runs cells 0..n-1; outcomes land by cell index. Must only be called
-  /// when isolationSupported().
+  /// when isolationSupported(). `stats`, when non-null, receives the
+  /// worker-process accounting for this run.
   std::vector<Outcome> run(std::size_t n, const Producer& produce,
-                           const OnSettled& on_settled = nullptr) const;
+                           const OnSettled& on_settled = nullptr,
+                           PoolStats* stats = nullptr) const;
 
   const SupervisorOptions& options() const { return options_; }
 
@@ -111,16 +151,82 @@ class Supervisor {
 
  private:
   SupervisorOptions options_;
+
+#if defined(__unix__) || (defined(__APPLE__) && defined(__MACH__))
+  std::vector<Outcome> runForked(std::size_t n, const Producer& produce,
+                                 const OnSettled& on_settled,
+                                 PoolStats* stats) const;
+  std::vector<Outcome> runPooled(std::size_t n, const Producer& produce,
+                                 const OnSettled& on_settled,
+                                 PoolStats* stats) const;
+#endif
 };
 
-/// Frame codec, exposed for tests and for the worker side. A frame is:
-///   magic "SPTW" | u32 version=1 | u8 kind (0 payload, 1 worker error)
-///   | u64 length | bytes | u64 FNV-1a(kind, length, bytes)
+// ---- SPTW frame protocol (exposed for tests and the worker side) ----------
+//
+// A frame is:
+//   magic "SPTW" | u32 version | u8 kind | u64 length | bytes
+//   | u64 FNV-1a(kind, length, bytes)
+//
+// Version 1 (fork-per-cell, one frame per worker lifetime) carries only
+// reply kinds 0-1. Version 2 (warm pool) adds the request and cell-tagged
+// reply kinds; the decoder accepts both versions and validates the kind
+// against the version, so one-shot v1 workers keep decoding unchanged.
+
+inline constexpr std::uint32_t kSupervisorFrameV1 = 1;
+inline constexpr std::uint32_t kSupervisorFrameV2 = 2;
+
+inline constexpr std::uint8_t kFrameKindPayload = 0;      // worker reply (v1+)
+inline constexpr std::uint8_t kFrameKindWorkerError = 1;  // worker reply (v1+)
+inline constexpr std::uint8_t kFrameKindRequest = 2;      // parent->worker (v2)
+inline constexpr std::uint8_t kFrameKindPooledReply = 3;  // worker reply (v2)
+inline constexpr std::uint8_t kFrameKindPooledError = 4;  // worker reply (v2)
+
+/// Encodes one frame. `kind` must be valid for `version` (v1 carries only
+/// kinds 0-1).
 std::string encodeSupervisorFrame(std::uint8_t kind,
-                                  const std::string& payload);
-/// Decodes a complete frame; returns false (with a reason) on a short,
-/// corrupt, or version-mismatched reply.
+                                  const std::string& payload,
+                                  std::uint32_t version = kSupervisorFrameV1);
+/// Decodes a complete frame of either protocol version; returns false
+/// (with a reason) on a short, corrupt, version-mismatched, or
+/// kind-invalid-for-version reply.
 bool decodeSupervisorFrame(const std::string& bytes, std::uint8_t* kind,
                            std::string* payload, std::string* error);
+
+/// Incremental framing over a pooled worker's byte stream.
+enum class FrameScan {
+  kNeedMore,  // the buffer holds a valid but incomplete frame prefix
+  kFrame,     // buffer[0..*frame_bytes) is one complete frame
+  kCorrupt,   // the buffer can never become a valid frame (bad magic,
+              // unsupported version, or oversized length)
+};
+
+/// Scans the front of `buf` for one complete frame without copying.
+/// Corruption inside the payload (checksum) is only detectable by
+/// decodeSupervisorFrame on the completed slice.
+FrameScan scanSupervisorFrame(const std::string& buf,
+                              std::size_t* frame_bytes, std::string* error);
+
+/// Request-frame payload: which cell a pooled worker should produce, and
+/// the (1-based) attempt number — the worker needs the attempt to consult
+/// the chaos plan exactly as a one-shot worker would.
+std::string encodePoolRequest(std::uint64_t cell, std::uint32_t attempt);
+bool decodePoolRequest(const std::string& payload, std::uint64_t* cell,
+                       std::uint32_t* attempt);
+
+/// Pooled-reply payload prefix: the cell being answered (echoed back so
+/// the parent can detect a desynchronized stream) plus the worker's
+/// self-reported per-cell rusage (getrusage deltas; max RSS normalized to
+/// KB). The producer's bytes follow as `inner`.
+struct PoolReplyHeader {
+  std::uint64_t cell = 0;
+  double user_seconds = 0.0;
+  double sys_seconds = 0.0;
+  std::int64_t max_rss_kb = 0;
+};
+std::string encodePoolReply(const PoolReplyHeader& header,
+                            const std::string& inner);
+bool decodePoolReply(const std::string& payload, PoolReplyHeader* header,
+                     std::string* inner);
 
 }  // namespace spt::harness

@@ -5,9 +5,12 @@
 // paths.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
+#include <cmath>
 #include <csignal>
 #include <fstream>
+#include <set>
 #include <sstream>
 
 #include "harness/cell_codec.h"
@@ -20,6 +23,10 @@
 #include "sim/oracle.h"
 #include "support/chaos.h"
 #include "support/error.h"
+
+#if defined(__unix__) || (defined(__APPLE__) && defined(__MACH__))
+#include <unistd.h>
+#endif
 
 namespace spt::harness {
 namespace {
@@ -142,6 +149,116 @@ TEST(SupervisorFrame, DetectsCorruption) {
   bad_version[4] = 9;
   EXPECT_FALSE(decodeSupervisorFrame(bad_version, nullptr, nullptr, &error));
   EXPECT_NE(error.find("version"), std::string::npos) << error;
+}
+
+TEST(SupervisorFrame, V2RoundTripsPoolKinds) {
+  for (const std::uint8_t kind :
+       {kFrameKindPayload, kFrameKindWorkerError, kFrameKindRequest,
+        kFrameKindPooledReply, kFrameKindPooledError}) {
+    const std::string frame =
+        encodeSupervisorFrame(kind, "pool-payload", kSupervisorFrameV2);
+    std::uint8_t got_kind = 0xff;
+    std::string got_payload;
+    std::string error;
+    ASSERT_TRUE(decodeSupervisorFrame(frame, &got_kind, &got_payload, &error))
+        << "kind " << unsigned{kind} << ": " << error;
+    EXPECT_EQ(got_kind, kind);
+    EXPECT_EQ(got_payload, "pool-payload");
+  }
+}
+
+// v1↔v2 negotiation: the decoder accepts both versions but validates the
+// kind against the version — a one-shot v1 worker can never smuggle a
+// pool frame, and a version bump beyond v2 is rejected outright.
+TEST(SupervisorFrame, ValidatesKindAgainstVersion) {
+  std::string error;
+  // Pool kinds are invalid in a v1 frame.
+  for (const std::uint8_t kind :
+       {kFrameKindRequest, kFrameKindPooledReply, kFrameKindPooledError}) {
+    const std::string frame =
+        encodeSupervisorFrame(kind, "x", kSupervisorFrameV1);
+    EXPECT_FALSE(decodeSupervisorFrame(frame, nullptr, nullptr, &error));
+    EXPECT_NE(error.find("not valid in frame version"), std::string::npos)
+        << error;
+  }
+  // The v1 reply kinds stay decodable in both versions.
+  for (const std::uint32_t version : {kSupervisorFrameV1, kSupervisorFrameV2}) {
+    const std::string frame =
+        encodeSupervisorFrame(kFrameKindPayload, "x", version);
+    EXPECT_TRUE(decodeSupervisorFrame(frame, nullptr, nullptr, &error))
+        << error;
+  }
+  // Version 3 does not exist yet.
+  std::string future =
+      encodeSupervisorFrame(kFrameKindPayload, "x", kSupervisorFrameV2);
+  future[4] = 3;
+  EXPECT_FALSE(decodeSupervisorFrame(future, nullptr, nullptr, &error));
+  EXPECT_NE(error.find("version"), std::string::npos) << error;
+}
+
+TEST(SupervisorFrame, StreamScannerFindsFramesIncrementally) {
+  const std::string a =
+      encodeSupervisorFrame(kFrameKindPooledReply, "first", kSupervisorFrameV2);
+  const std::string b = encodeSupervisorFrame(kFrameKindPooledError, "second",
+                                              kSupervisorFrameV2);
+
+  // Every strict prefix of a frame scans as need-more, never corrupt.
+  for (std::size_t cut = 0; cut < a.size(); ++cut) {
+    std::size_t frame_bytes = 0;
+    EXPECT_EQ(scanSupervisorFrame(a.substr(0, cut), &frame_bytes, nullptr),
+              FrameScan::kNeedMore)
+        << "prefix length " << cut;
+  }
+
+  // Two concatenated frames come out one at a time.
+  std::string stream = a + b;
+  std::size_t frame_bytes = 0;
+  ASSERT_EQ(scanSupervisorFrame(stream, &frame_bytes, nullptr),
+            FrameScan::kFrame);
+  EXPECT_EQ(frame_bytes, a.size());
+  EXPECT_EQ(stream.substr(0, frame_bytes), a);
+  stream.erase(0, frame_bytes);
+  ASSERT_EQ(scanSupervisorFrame(stream, &frame_bytes, nullptr),
+            FrameScan::kFrame);
+  EXPECT_EQ(frame_bytes, b.size());
+
+  // Garbage is rejected from the very first wrong byte.
+  std::string error;
+  EXPECT_EQ(scanSupervisorFrame("Z", nullptr, &error), FrameScan::kCorrupt);
+  EXPECT_NE(error.find("magic"), std::string::npos) << error;
+  std::string bad_version = a;
+  bad_version[4] = 9;
+  EXPECT_EQ(scanSupervisorFrame(bad_version, nullptr, &error),
+            FrameScan::kCorrupt);
+  EXPECT_NE(error.find("version"), std::string::npos) << error;
+}
+
+TEST(SupervisorFrame, PoolPayloadsRoundTrip) {
+  std::uint64_t cell = 0;
+  std::uint32_t attempt = 0;
+  ASSERT_TRUE(decodePoolRequest(encodePoolRequest(123456789012ull, 7),
+                                &cell, &attempt));
+  EXPECT_EQ(cell, 123456789012ull);
+  EXPECT_EQ(attempt, 7u);
+  EXPECT_FALSE(decodePoolRequest("short", &cell, &attempt));
+  EXPECT_FALSE(decodePoolRequest(encodePoolRequest(1, 1) + "x", &cell,
+                                 &attempt));
+
+  PoolReplyHeader header;
+  header.cell = 42;
+  header.user_seconds = 1.25;
+  header.sys_seconds = 0.5;
+  header.max_rss_kb = 123456;
+  PoolReplyHeader got;
+  std::string inner;
+  ASSERT_TRUE(
+      decodePoolReply(encodePoolReply(header, "inner-bytes"), &got, &inner));
+  EXPECT_EQ(got.cell, 42u);
+  EXPECT_EQ(got.user_seconds, 1.25);
+  EXPECT_EQ(got.sys_seconds, 0.5);
+  EXPECT_EQ(got.max_rss_kb, 123456);
+  EXPECT_EQ(inner, "inner-bytes");
+  EXPECT_FALSE(decodePoolReply("too-short", &got, &inner));
 }
 
 // ---- Cell payload codec ---------------------------------------------------
@@ -380,6 +497,35 @@ TEST(Supervisor, BackoffIsDeterministicAndExponential) {
   EXPECT_EQ(a.backoffSeconds(0, 1), 0.0);
 }
 
+// Regression for the old `cell * 64 + attempt` jitter seed: (cell 0,
+// attempt 66) and (cell 1, attempt 2) packed to the same seed and shared
+// a jitter stream, and `1ull << (attempt - 2)` was UB from attempt 66 on.
+TEST(Supervisor, BackoffSeedDoesNotCollideAcrossCells) {
+  const Supervisor sup(SupervisorOptions{});
+  // The old packing's collision pairs must now differ (modulo the scaled
+  // floor): compare the jitter fraction, which is seed-determined.
+  const auto jitter = [&](std::size_t cell, std::uint32_t attempt) {
+    const double floor =
+        0.25 * static_cast<double>(1ull << std::min<std::uint32_t>(
+                                       attempt - 2, 62));
+    return sup.backoffSeconds(cell, attempt) / floor - 1.0;
+  };
+  EXPECT_NE(jitter(0, 66), jitter(1, 2));
+  EXPECT_NE(jitter(0, 130), jitter(2, 2));
+  EXPECT_NE(jitter(1, 66), jitter(2, 2));
+
+  // Huge attempt numbers are finite (clamped exponent), monotone-capped,
+  // and UBSan-clean.
+  const double capped = sup.backoffSeconds(0, 64);
+  for (const std::uint32_t attempt : {66u, 80u, 1000u, ~0u}) {
+    const double d = sup.backoffSeconds(0, attempt);
+    EXPECT_TRUE(std::isfinite(d)) << attempt;
+    EXPECT_GT(d, 0.0) << attempt;
+    // Past the clamp, only the jitter varies: within 2x of the cap value.
+    EXPECT_LT(d, 2.0 * capped) << attempt;
+  }
+}
+
 TEST(Supervisor, SettleHookFiresOncePerCellWithRusage) {
   if (!Supervisor::isolationSupported()) {
     GTEST_SKIP() << "no fork on this platform";
@@ -398,6 +544,209 @@ TEST(Supervisor, SettleHookFiresOncePerCellWithRusage) {
     EXPECT_EQ(outcomes[i].payload, std::to_string(i * i));
     // wait4 rusage made it into the diagnostics.
     EXPECT_GT(outcomes[i].worker.host_max_rss_kb, 0);
+  }
+}
+
+// ---- Warm worker pool -----------------------------------------------------
+
+TEST(SupervisorPool, WorkersAreReusedAcrossCells) {
+  if (!Supervisor::isolationSupported()) {
+    GTEST_SKIP() << "no fork on this platform";
+  }
+  SupervisorOptions opts;
+  opts.isolate = true;
+  opts.pool = true;
+  opts.jobs = 3;
+  const Supervisor sup(opts);
+
+  Supervisor::PoolStats stats;
+  const auto outcomes = sup.run(
+      12, [](std::size_t) { return std::to_string(::getpid()); }, nullptr,
+      &stats);
+  ASSERT_EQ(outcomes.size(), 12u);
+
+  std::set<std::string> pids;
+  for (const auto& oc : outcomes) {
+    ASSERT_EQ(oc.status, CellStatus::kOk) << oc.diagnostic;
+    EXPECT_EQ(oc.worker.exit_code, 0);
+    pids.insert(oc.payload);
+  }
+  // 12 cells ran on at most 3 long-lived processes: the pool reused
+  // workers instead of forking per cell.
+  EXPECT_LE(pids.size(), 3u);
+  EXPECT_EQ(stats.workers_spawned, 3u);
+  EXPECT_EQ(stats.workers_respawned, 0u);
+}
+
+TEST(SupervisorPool, PoolIsCappedAtCellCount) {
+  if (!Supervisor::isolationSupported()) {
+    GTEST_SKIP() << "no fork on this platform";
+  }
+  SupervisorOptions opts;
+  opts.isolate = true;
+  opts.pool = true;
+  opts.jobs = 8;
+  const Supervisor sup(opts);
+  Supervisor::PoolStats stats;
+  const auto outcomes =
+      sup.run(2, [](std::size_t c) { return std::to_string(c); }, nullptr,
+              &stats);
+  ASSERT_EQ(outcomes.size(), 2u);
+  EXPECT_EQ(stats.workers_spawned, 2u);  // no idle workers for a 2-cell run
+}
+
+// Each chaos action against a pooled worker must kill and respawn exactly
+// one worker while the rest of the pool keeps draining the queue.
+TEST(SupervisorPool, ChaosKillsAndRespawnsExactlyOneWorker) {
+  if (!Supervisor::isolationSupported()) {
+    GTEST_SKIP() << "no fork on this platform";
+  }
+  for (const char* action : {"crash", "abort", "garbage", "partial", "exit"}) {
+    SupervisorOptions opts;
+    opts.isolate = true;
+    opts.pool = true;
+    opts.jobs = 2;
+    opts.chaos = *support::ChaosPlan::parse(std::string("1:") + action);
+    const Supervisor sup(opts);
+
+    Supervisor::PoolStats stats;
+    const auto outcomes = sup.run(
+        6, [](std::size_t c) { return "cell-" + std::to_string(c); }, nullptr,
+        &stats);
+    ASSERT_EQ(outcomes.size(), 6u) << action;
+    for (std::size_t i = 0; i < 6; ++i) {
+      if (i == 1) {
+        EXPECT_TRUE(isTransportFailure(outcomes[i].status))
+            << action << ": " << toString(outcomes[i].status);
+      } else {
+        EXPECT_EQ(outcomes[i].status, CellStatus::kOk)
+            << action << " cell " << i << ": " << outcomes[i].diagnostic;
+        EXPECT_EQ(outcomes[i].payload, "cell-" + std::to_string(i));
+      }
+    }
+    // Initial fill of 2, plus exactly the one replacement for the worker
+    // the sabotaged cell took down.
+    EXPECT_EQ(stats.workers_respawned, 1u) << action;
+    EXPECT_EQ(stats.workers_spawned, 3u) << action;
+  }
+}
+
+// The full chaos matrix under the pool produces the same containment
+// statuses and diagnostics fields as fork-per-cell workers.
+TEST(SupervisorPool, ChaosMatrixMatchesForkedStatuses) {
+  if (!Supervisor::isolationSupported()) {
+    GTEST_SKIP() << "no fork on this platform";
+  }
+  SupervisorOptions opts;
+  opts.isolate = true;
+  opts.pool = true;
+  opts.jobs = 3;
+  opts.cell_timeout_seconds = 2.0;
+  opts.chaos =
+      *support::ChaosPlan::parse("1:crash,2:hang,3:garbage,4:partial,5:exit");
+  const Supervisor sup(opts);
+
+  const auto outcomes = sup.run(6, [](std::size_t cell) {
+    return "cell-" + std::to_string(cell);
+  });
+  ASSERT_EQ(outcomes.size(), 6u);
+
+  EXPECT_EQ(outcomes[0].status, CellStatus::kOk);
+  EXPECT_EQ(outcomes[0].payload, "cell-0");
+  EXPECT_EQ(outcomes[0].worker.attempts, 1u);
+  EXPECT_EQ(outcomes[0].worker.exit_code, 0);
+
+  EXPECT_EQ(outcomes[1].status, CellStatus::kCrashed);
+  EXPECT_EQ(outcomes[1].worker.term_signal, SIGSEGV);
+
+  EXPECT_EQ(outcomes[2].status, CellStatus::kTimeout);
+  EXPECT_TRUE(outcomes[2].worker.timed_out);
+  EXPECT_EQ(outcomes[2].worker.term_signal, SIGKILL);
+  EXPECT_NE(outcomes[2].diagnostic.find("wall-clock"), std::string::npos)
+      << outcomes[2].diagnostic;
+
+  EXPECT_EQ(outcomes[3].status, CellStatus::kProtocolError);
+  EXPECT_NE(outcomes[3].diagnostic.find("magic"), std::string::npos)
+      << outcomes[3].diagnostic;
+  EXPECT_FALSE(outcomes[3].worker.partial_reply.empty());
+
+  EXPECT_EQ(outcomes[4].status, CellStatus::kProtocolError);
+  EXPECT_FALSE(outcomes[4].worker.partial_reply.empty());
+
+  EXPECT_EQ(outcomes[5].status, CellStatus::kProtocolError);
+  EXPECT_EQ(outcomes[5].worker.exit_code, 3);
+  EXPECT_NE(outcomes[5].diagnostic.find("empty reply"), std::string::npos)
+      << outcomes[5].diagnostic;
+}
+
+// Chaos targets (cell, attempt) on pooled workers exactly as on one-shot
+// workers: a first-attempt-only crash retries onto a healthy worker.
+TEST(SupervisorPool, RetriesTransientFailureOnRespawnedWorker) {
+  if (!Supervisor::isolationSupported()) {
+    GTEST_SKIP() << "no fork on this platform";
+  }
+  SupervisorOptions opts;
+  opts.isolate = true;
+  opts.pool = true;
+  opts.jobs = 2;
+  opts.retries = 2;
+  opts.backoff_base_seconds = 0.01;
+  opts.chaos = *support::ChaosPlan::parse("0:crash@1");
+  const Supervisor sup(opts);
+
+  Supervisor::PoolStats stats;
+  const auto outcomes = sup.run(
+      2, [](std::size_t) { return std::string("recovered"); }, nullptr,
+      &stats);
+  ASSERT_EQ(outcomes.size(), 2u);
+  EXPECT_EQ(outcomes[0].status, CellStatus::kOk);
+  EXPECT_EQ(outcomes[0].payload, "recovered");
+  EXPECT_EQ(outcomes[0].worker.attempts, 2u);
+  EXPECT_EQ(outcomes[1].status, CellStatus::kOk);
+  EXPECT_GE(stats.workers_respawned, 1u);
+}
+
+TEST(SupervisorPool, WorkerExceptionBecomesStructuredInternalError) {
+  if (!Supervisor::isolationSupported()) {
+    GTEST_SKIP() << "no fork on this platform";
+  }
+  SupervisorOptions opts;
+  opts.pool = true;
+  const Supervisor sup(opts);
+  Supervisor::PoolStats stats;
+  const auto outcomes = sup.run(
+      3,
+      [](std::size_t cell) -> std::string {
+        if (cell == 1) throw std::runtime_error("boom in pooled worker");
+        return "fine";
+      },
+      nullptr, &stats);
+  ASSERT_EQ(outcomes.size(), 3u);
+  EXPECT_EQ(outcomes[0].status, CellStatus::kOk);
+  EXPECT_EQ(outcomes[1].status, CellStatus::kInternalError);
+  EXPECT_NE(outcomes[1].diagnostic.find("boom in pooled worker"),
+            std::string::npos)
+      << outcomes[1].diagnostic;
+  EXPECT_EQ(outcomes[1].worker.attempts, 1u);  // cell failure: no retry
+  EXPECT_EQ(outcomes[2].status, CellStatus::kOk);
+  // A structured error crosses the pipe as a frame; the worker survives.
+  EXPECT_EQ(stats.workers_respawned, 0u);
+}
+
+TEST(SupervisorPool, PooledRepliesCarrySelfReportedRusage) {
+  if (!Supervisor::isolationSupported()) {
+    GTEST_SKIP() << "no fork on this platform";
+  }
+  SupervisorOptions opts;
+  opts.pool = true;
+  const Supervisor sup(opts);
+  const auto outcomes =
+      sup.run(2, [](std::size_t c) { return std::to_string(c); });
+  for (const auto& oc : outcomes) {
+    ASSERT_EQ(oc.status, CellStatus::kOk);
+    EXPECT_GT(oc.worker.host_max_rss_kb, 0);
+    EXPECT_GE(oc.worker.host_user_seconds, 0.0);
+    EXPECT_GE(oc.worker.host_sys_seconds, 0.0);
   }
 }
 
@@ -665,6 +1014,250 @@ TEST(SupervisedCampaign, CheckpointResumeReusesOkCells) {
     EXPECT_EQ(second.cells[i].arch_digest, first.cells[i].arch_digest);
     EXPECT_TRUE(second.cells[i].ok());
   }
+}
+
+// Strips the host-dependent members — exactly what CI's determinism diff
+// greps away — so pooled and forked JSON can be compared byte-for-byte.
+std::string filterHostDependentLines(const std::string& json) {
+  std::istringstream is(json);
+  std::ostringstream os;
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.find("\"host_") != std::string::npos) continue;
+    if (line.find("\"diagnostic\"") != std::string::npos) continue;
+    if (line.find("\"partial_reply\"") != std::string::npos) continue;
+    os << line << '\n';
+  }
+  return os.str();
+}
+
+TEST(SupervisorPool, PooledSweepJsonMatchesForkedByteForByte) {
+  if (!Supervisor::isolationSupported()) {
+    GTEST_SKIP() << "no fork on this platform";
+  }
+  std::vector<SweepCase> cases;
+  for (const char* name : {"crafty", "vortex"}) {
+    SweepCase c;
+    c.benchmark = name;
+    c.entry = entryByName(name);
+    cases.push_back(std::move(c));
+  }
+
+  SweepOptions opts;
+  opts.supervisor.isolate = true;
+  opts.supervisor.cell_timeout_seconds = 240.0;
+  opts.supervisor.chaos = *support::ChaosPlan::parse("1:crash");
+  const auto forked = runSweep(ParallelSweep(2), cases, opts);
+
+  opts.supervisor.pool = true;
+  const auto pooled = runSweep(ParallelSweep(2), cases, opts);
+
+  ASSERT_EQ(forked.size(), pooled.size());
+  for (std::size_t i = 0; i < forked.size(); ++i) {
+    EXPECT_EQ(forked[i].status, pooled[i].status) << i;
+    EXPECT_EQ(forked[i].result.baseline.cycles,
+              pooled[i].result.baseline.cycles);
+    EXPECT_EQ(forked[i].result.spt.cycles, pooled[i].result.spt.cycles);
+    EXPECT_EQ(forked[i].worker.attempts, pooled[i].worker.attempts);
+    EXPECT_EQ(forked[i].worker.term_signal, pooled[i].worker.term_signal);
+  }
+
+  const std::string fork_path = ::testing::TempDir() + "/spt_fork_sweep.json";
+  const std::string pool_path = ::testing::TempDir() + "/spt_pool_sweep.json";
+  ASSERT_TRUE(writeSweepJson(fork_path, forked));
+  ASSERT_TRUE(writeSweepJson(pool_path, pooled));
+  EXPECT_EQ(filterHostDependentLines(readWholeFile(fork_path)),
+            filterHostDependentLines(readWholeFile(pool_path)));
+}
+
+TEST(SupervisorPool, PooledCampaignMatchesForked) {
+  if (!Supervisor::isolationSupported()) {
+    GTEST_SKIP() << "no fork on this platform";
+  }
+  FaultCampaignOptions forked_opts;
+  forked_opts.seeds = 1;
+  forked_opts.jobs = 4;
+  forked_opts.supervisor.isolate = true;
+  forked_opts.supervisor.cell_timeout_seconds = 240.0;
+
+  FaultCampaignOptions pooled_opts = forked_opts;
+  pooled_opts.supervisor.pool = true;
+
+  const FaultCampaignResult forked = runFaultCampaign(forked_opts);
+  const FaultCampaignResult pooled = runFaultCampaign(pooled_opts);
+
+  ASSERT_EQ(forked.cells.size(), pooled.cells.size());
+  for (std::size_t i = 0; i < forked.cells.size(); ++i) {
+    const FaultCampaignCell& a = forked.cells[i];
+    const FaultCampaignCell& b = pooled.cells[i];
+    EXPECT_EQ(a.benchmark, b.benchmark);
+    EXPECT_EQ(a.fault_seed, b.fault_seed);
+    EXPECT_EQ(a.status, b.status);
+    EXPECT_EQ(a.faults.injected, b.faults.injected);
+    EXPECT_EQ(a.faults.detected_by_net, b.faults.detected_by_net);
+    EXPECT_EQ(a.faults.detected_by_oracle, b.faults.detected_by_oracle);
+    EXPECT_EQ(a.faults.benign, b.faults.benign);
+    EXPECT_EQ(a.faults.escaped, b.faults.escaped);
+    EXPECT_EQ(a.arch_digest, b.arch_digest);
+    EXPECT_EQ(a.sequential_digest, b.sequential_digest);
+    EXPECT_EQ(a.digest_match, b.digest_match);
+    EXPECT_GT(b.worker.attempts, 0u);
+  }
+
+  const std::string fork_path =
+      ::testing::TempDir() + "/spt_fork_campaign.json";
+  const std::string pool_path =
+      ::testing::TempDir() + "/spt_pool_campaign.json";
+  ASSERT_TRUE(writeFaultCampaignJson(fork_path, forked));
+  ASSERT_TRUE(writeFaultCampaignJson(pool_path, pooled));
+  EXPECT_EQ(filterHostDependentLines(readWholeFile(fork_path)),
+            filterHostDependentLines(readWholeFile(pool_path)));
+}
+
+// ---- Checkpoint field escaping -------------------------------------------
+
+TEST(Checkpoint, EscapeRoundTripsHostileFields) {
+  const std::vector<std::string> hostile = {
+      "",
+      "plain",
+      "tab\there",
+      "newline\nhere",
+      "cr\rhere",
+      "back\\slash",
+      "\\t literal backslash-t",
+      "all\tof\nthem\r\\together\n\t\\",
+      "trailing backslash \\",
+      std::string(1, '\0') + "embedded nul",
+  };
+  for (const std::string& s : hostile) {
+    const std::string escaped = escapeCheckpointField(s);
+    // Escaped text never carries a raw separator byte.
+    EXPECT_EQ(escaped.find('\t'), std::string::npos) << s;
+    EXPECT_EQ(escaped.find('\n'), std::string::npos) << s;
+    EXPECT_EQ(escaped.find('\r'), std::string::npos) << s;
+    EXPECT_EQ(unescapeCheckpointField(escaped), s) << s;
+  }
+}
+
+TEST(Checkpoint, HostileDiagnosticsSurviveFormatParseRoundTrip) {
+  const std::vector<std::string> hostile = {
+      "multi-line oracle divergence:\n  frame 3 reg r5: 17 != 19\n  "
+      "frame 4 reg r6: 1 != 2",
+      "worker stderr:\tassert failed\r\nbacktrace:\n#0 main",
+      "backslash soup \\t \\n \\\\ \\",
+  };
+  for (const std::string& diag : hostile) {
+    CheckpointLine line;
+    line.status = CellStatus::kInternalError;
+    line.benchmark = "bench\twith\ttabs";
+    line.config = "config\nwith\nnewlines";
+    line.metrics = {1, 2, 3};
+    line.diagnostic = diag;
+
+    const std::string text = formatCheckpointLine(line);
+    // The formatted row is exactly one line of the file.
+    EXPECT_EQ(text.find('\n'), std::string::npos);
+    EXPECT_EQ(text.find('\r'), std::string::npos);
+
+    CheckpointLine parsed;
+    ASSERT_TRUE(parseCheckpointLine(text, 3, &parsed)) << diag;
+    EXPECT_EQ(parsed.status, line.status);
+    EXPECT_EQ(parsed.benchmark, line.benchmark);
+    EXPECT_EQ(parsed.config, line.config);
+    EXPECT_EQ(parsed.metrics, line.metrics);
+    EXPECT_EQ(parsed.diagnostic, diag);
+  }
+}
+
+TEST(Checkpoint, HostileFieldsSurviveARealFileViaLoadCheckpoint) {
+  const std::string path = ::testing::TempDir() + "/spt_hostile_ck.txt";
+  CheckpointLine line;
+  line.status = CellStatus::kCrashed;
+  line.benchmark = "gzip";
+  line.config = "srb=64";
+  line.metrics = {7};
+  line.diagnostic =
+      "worker killed by signal 6 (Aborted)\nstderr:\tassertion `x != "
+      "nullptr' failed\r\n(core dumped)";
+  {
+    std::ofstream out(path, std::ios::trunc);
+    out << formatCheckpointLine(line) << '\n';
+    // A second, hostile-keyed row exercises last-line-wins keying too.
+    CheckpointLine keyed = line;
+    keyed.benchmark = "bench\nnewline";
+    out << formatCheckpointLine(keyed) << '\n';
+  }
+  const auto map = loadCheckpoint(path, 1);
+  ASSERT_EQ(map.size(), 2u);
+  const auto it = map.find(checkpointKey("gzip", "srb=64"));
+  ASSERT_NE(it, map.end());
+  EXPECT_EQ(it->second.diagnostic, line.diagnostic);
+  ASSERT_NE(map.find(checkpointKey("bench\nnewline", "srb=64")), map.end());
+}
+
+TEST(Checkpoint, PreEscapingRowsStillParse) {
+  // A row written by the old sanitize-to-spaces code: no backslashes, no
+  // control bytes. The new parser must read it unchanged.
+  const std::string old_row =
+      "spt-sweep-v1\tok\tbzip2\tdefault\t42\tdiag with spaces only";
+  CheckpointLine parsed;
+  ASSERT_TRUE(parseCheckpointLine(old_row, 1, &parsed));
+  EXPECT_EQ(parsed.benchmark, "bzip2");
+  EXPECT_EQ(parsed.config, "default");
+  EXPECT_EQ(parsed.metrics, std::vector<std::uint64_t>{42});
+  EXPECT_EQ(parsed.diagnostic, "diag with spaces only");
+}
+
+// ---- Per-sweep resource report -------------------------------------------
+
+TEST(ResourceReport, AggregatesOnlySupervisedCells) {
+  ResourceReport report;
+  WorkerDiagnostics in_process;  // attempts == 0: never supervised
+  report.add(in_process);
+  EXPECT_EQ(report.supervised_cells, 0u);
+
+  WorkerDiagnostics a;
+  a.attempts = 2;
+  a.host_user_seconds = 1.5;
+  a.host_sys_seconds = 0.25;
+  a.host_max_rss_kb = 10000;
+  WorkerDiagnostics b;
+  b.attempts = 1;
+  b.host_user_seconds = 0.5;
+  b.host_sys_seconds = 0.75;
+  b.host_max_rss_kb = 42000;
+  report.add(a);
+  report.add(b);
+  EXPECT_EQ(report.supervised_cells, 2u);
+  EXPECT_EQ(report.attempts, 3u);
+  EXPECT_DOUBLE_EQ(report.host_user_seconds, 2.0);
+  EXPECT_DOUBLE_EQ(report.host_sys_seconds, 1.0);
+  EXPECT_EQ(report.host_max_rss_kb, 42000);
+}
+
+TEST(ResourceReport, SweepJsonCarriesItOnlyWhenSupervised) {
+  std::vector<SweepRow> rows(2);
+  rows[0].benchmark = "gzip";
+  rows[1].benchmark = "mcf";
+
+  // In-process rows: no resource object, output unchanged.
+  const std::string plain = ::testing::TempDir() + "/spt_resource_off.json";
+  ASSERT_TRUE(writeSweepJson(plain, rows));
+  EXPECT_EQ(readWholeFile(plain).find("\"resource\""), std::string::npos);
+
+  rows[0].worker.attempts = 1;
+  rows[0].worker.host_user_seconds = 0.5;
+  rows[0].worker.host_max_rss_kb = 31000;
+  rows[1].worker.attempts = 3;
+  rows[1].worker.host_max_rss_kb = 52000;
+  const std::string supervised =
+      ::testing::TempDir() + "/spt_resource_on.json";
+  ASSERT_TRUE(writeSweepJson(supervised, rows));
+  const std::string json = readWholeFile(supervised);
+  EXPECT_NE(json.find("\"resource\""), std::string::npos);
+  EXPECT_NE(json.find("\"supervised_cells\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\"attempts\": 4"), std::string::npos);
+  EXPECT_NE(json.find("\"host_max_rss_kb\": 52000"), std::string::npos);
 }
 
 // ---- Oracle first-divergence report --------------------------------------

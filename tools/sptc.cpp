@@ -45,6 +45,12 @@
 //                      or corrupt reply becomes a non-ok row while the
 //                      rest of the run completes
 //   --no-isolate       force the in-process path (the default)
+//   --pool             run supervised cells on a warm pool of `--jobs`
+//                      long-lived workers instead of forking one worker
+//                      per cell (implies --isolate); containment, chaos,
+//                      retries and JSON output are identical, only the
+//                      per-cell fork overhead disappears
+//   --no-pool          force fork-per-cell workers (the default)
 //   --cell-timeout S   per-worker wall-clock deadline in seconds
 //                      (fractional ok; SIGKILL past it; 0 = none)
 //   --retries N        extra attempts for crashed / timed-out / corrupt
@@ -259,6 +265,11 @@ Options parseOptions(int argc, char** argv, int first) {
       o.supervisor.isolate = true;
     } else if (arg == "--no-isolate") {
       o.supervisor.isolate = false;
+    } else if (arg == "--pool") {
+      o.supervisor.pool = true;
+      o.supervisor.isolate = true;  // pooled workers are supervised workers
+    } else if (arg == "--no-pool") {
+      o.supervisor.pool = false;
     } else if (arg == "--cell-timeout") {
       o.supervisor.cell_timeout_seconds =
           std::strtod(need_value(i), nullptr);
