@@ -1,6 +1,7 @@
 #include "harness/supervisor.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <cstring>
 #include <deque>
 #include <sstream>
@@ -372,6 +373,10 @@ std::string chaosGarbage(std::size_t cell) {
 /// Re-arms the per-cell CPU window of a pooled worker. RLIMIT_CPU counts
 /// cumulative process CPU, so a long-lived worker must move the limit
 /// forward before each cell: budget measured from CPU already spent.
+/// Only the soft limit moves — an unprivileged process cannot raise its
+/// own hard limit, so touching rlim_max would make every re-arm after the
+/// first fail with EPERM and freeze the CPU window on the first cell's
+/// budget (SIGXCPU on healthy cells, misreported as timeouts).
 void armPooledCpuLimit(std::uint64_t limit_seconds) {
   if (limit_seconds == 0) return;
   rusage ru{};
@@ -381,9 +386,19 @@ void armPooledCpuLimit(std::uint64_t limit_seconds) {
   const rlim_t used =
       static_cast<rlim_t>(ru.ru_utime.tv_sec + ru.ru_stime.tv_sec) + 1;
   rlimit rl{};
-  rl.rlim_cur = used + static_cast<rlim_t>(limit_seconds);
-  rl.rlim_max = used + static_cast<rlim_t>(limit_seconds) + 1;
-  ::setrlimit(RLIMIT_CPU, &rl);
+  if (::getrlimit(RLIMIT_CPU, &rl) != 0) return;
+  rlim_t want = used + static_cast<rlim_t>(limit_seconds);
+  if (rl.rlim_max != RLIM_INFINITY && want > rl.rlim_max) {
+    want = rl.rlim_max;  // the inherited hard cap wins
+  }
+  rl.rlim_cur = want;
+  if (::setrlimit(RLIMIT_CPU, &rl) != 0) {
+    // Enforcement degrades to the previous window; the parent's wall-clock
+    // watchdog still bounds the cell, so warn rather than die.
+    std::fprintf(stderr,
+                 "sptc worker %d: re-arming RLIMIT_CPU failed: %s\n",
+                 static_cast<int>(::getpid()), std::strerror(errno));
+  }
 }
 
 /// Blocks until one complete request frame is buffered, decoded, and
@@ -824,17 +839,27 @@ std::vector<Supervisor::Outcome> Supervisor::runPooled(
     }
   };
 
+  // errno from the most recent failed pipe()/fork() in spawnWorker,
+  // captured at the failure site: by the time the pool settles cells as
+  // unspawnable, intervening close()/kill()/wait4() calls have clobbered
+  // the global errno.
+  int last_spawn_errno = 0;
   const auto spawnWorker = [&]() -> bool {
     int request[2];
     int reply[2];
-    if (::pipe(request) < 0) return false;
+    if (::pipe(request) < 0) {
+      last_spawn_errno = errno;
+      return false;
+    }
     if (::pipe(reply) < 0) {
+      last_spawn_errno = errno;
       ::close(request[0]);
       ::close(request[1]);
       return false;
     }
     const pid_t pid = ::fork();
     if (pid < 0) {
+      last_spawn_errno = errno;
       ::close(request[0]);
       ::close(request[1]);
       ::close(reply[0]);
@@ -1072,8 +1097,8 @@ std::vector<Supervisor::Outcome> Supervisor::runPooled(
         Outcome oc;
         oc.status = CellStatus::kCrashed;
         oc.worker.attempts = p.attempt;
-        oc.diagnostic =
-            std::string("worker pool spawn failed: ") + std::strerror(errno);
+        oc.diagnostic = std::string("worker pool spawn failed: ") +
+                        std::strerror(last_spawn_errno);
         settle(p.cell, std::move(oc));
       }
       break;
@@ -1108,8 +1133,10 @@ std::vector<Supervisor::Outcome> Supervisor::runPooled(
     for (const PendingCell& p : pending) consider(p.not_before);
 
     std::vector<pollfd> fds(busy.size());
+    std::vector<pid_t> busy_pids(busy.size());
     for (std::size_t i = 0; i < busy.size(); ++i) {
       fds[i] = pollfd{workers[busy[i]].reply_fd, POLLIN, 0};
+      busy_pids[i] = workers[busy[i]].pid;
     }
     const int rc =
         ::poll(fds.data(), static_cast<nfds_t>(fds.size()),
@@ -1126,10 +1153,13 @@ std::vector<Supervisor::Outcome> Supervisor::runPooled(
     for (std::size_t i = 0; i < busy.size(); ++i) {
       if (!(fds[i].revents & (POLLIN | POLLHUP | POLLERR))) continue;
       // Re-find the worker; it may have been removed by a prior iteration.
-      const int fd = fds[i].fd;
+      // Match by pid, not reply_fd: a respawn inside this pass can reuse a
+      // just-closed fd number, and matching the fd would hand a stale
+      // pollfd entry to the wrong (fresh, idle) worker.
+      const pid_t pid = busy_pids[i];
       std::size_t wi = workers.size();
       for (std::size_t j = 0; j < workers.size(); ++j) {
-        if (workers[j].reply_fd == fd) {
+        if (workers[j].pid == pid) {
           wi = j;
           break;
         }

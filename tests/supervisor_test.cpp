@@ -25,6 +25,7 @@
 #include "support/error.h"
 
 #if defined(__unix__) || (defined(__APPLE__) && defined(__MACH__))
+#include <sys/resource.h>
 #include <unistd.h>
 #endif
 
@@ -593,6 +594,68 @@ TEST(SupervisorPool, PoolIsCappedAtCellCount) {
               &stats);
   ASSERT_EQ(outcomes.size(), 2u);
   EXPECT_EQ(stats.workers_spawned, 2u);  // no idle workers for a 2-cell run
+}
+
+// Regression: RLIMIT_CPU counts cumulative process CPU, so a pooled
+// worker re-arms its soft limit before every cell. The re-arm must leave
+// the hard limit alone — an unprivileged process cannot raise rlim_max,
+// so setting it would freeze the CPU window at the first cell's budget
+// and SIGXCPU-kill a healthy worker once total CPU crossed it (reported
+// as a spurious kTimeout).
+TEST(SupervisorPool, CpuLimitReArmsAcrossCells) {
+  if (!Supervisor::isolationSupported()) {
+    GTEST_SKIP() << "no fork on this platform";
+  }
+  SupervisorOptions opts;
+  opts.isolate = true;
+  opts.pool = true;
+  opts.jobs = 1;                // one long-lived worker accumulates CPU
+  opts.rlimit_cpu_seconds = 1;  // per-cell budget, above one cell's burn
+  const Supervisor sup(opts);
+
+  // 8 cells x ~0.7s CPU: cumulative ~5.6s, far past any window frozen at
+  // the first re-arm (2s soft / 3s hard) even on kernels that deliver
+  // RLIMIT_CPU signals a couple of seconds late, while each cell stays
+  // well inside its own re-armed window.
+  constexpr std::size_t kCells = 8;
+  Supervisor::PoolStats stats;
+  const auto outcomes = sup.run(
+      kCells,
+      [](std::size_t cell) {
+        if (cell == 0) {
+          // Drop root inside the long-lived worker (best-effort; a no-op
+          // when the test already runs unprivileged). Root may raise its
+          // own hard limit, which would mask the frozen-window failure
+          // mode this test exists to catch.
+          (void)!::setuid(65534);
+        }
+        rusage ru{};
+        ::getrusage(RUSAGE_SELF, &ru);
+        const double start = ru.ru_utime.tv_sec + ru.ru_utime.tv_usec / 1e6 +
+                             ru.ru_stime.tv_sec + ru.ru_stime.tv_usec / 1e6;
+        volatile std::uint64_t sink = 0;
+        for (;;) {
+          for (int i = 0; i < 1'000'000; ++i) {
+            sink += static_cast<std::uint64_t>(i);
+          }
+          ::getrusage(RUSAGE_SELF, &ru);
+          const double now = ru.ru_utime.tv_sec + ru.ru_utime.tv_usec / 1e6 +
+                             ru.ru_stime.tv_sec + ru.ru_stime.tv_usec / 1e6;
+          if (now - start >= 0.7) break;
+        }
+        return std::to_string(cell);
+      },
+      nullptr, &stats);
+
+  ASSERT_EQ(outcomes.size(), kCells);
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    EXPECT_EQ(outcomes[i].status, CellStatus::kOk)
+        << "cell " << i << ": " << outcomes[i].diagnostic;
+    EXPECT_EQ(outcomes[i].payload, std::to_string(i));
+  }
+  // No SIGXCPU deaths: the single worker survived the whole run.
+  EXPECT_EQ(stats.workers_spawned, 1u);
+  EXPECT_EQ(stats.workers_respawned, 0u);
 }
 
 // Each chaos action against a pooled worker must kill and respawn exactly
