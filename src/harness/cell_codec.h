@@ -21,6 +21,7 @@
 
 #include "harness/fault_campaign.h"
 #include "harness/parallel_sweep.h"
+#include "harness/perf.h"
 
 namespace spt::harness {
 
@@ -102,5 +103,11 @@ bool decodeSweepRow(const std::string& payload, SweepRow* row);
 /// FaultCampaignCell <-> payload (tag 'F').
 std::string encodeCampaignCell(const FaultCampaignCell& cell);
 bool decodeCampaignCell(const std::string& payload, FaultCampaignCell* cell);
+
+/// PerfRow <-> payload (tag 'P'), for `sptc perf --isolate` workers:
+/// every JSON-visible field of the throughput row crosses the pipe,
+/// deterministic counters and host_ timings alike.
+std::string encodePerfRow(const PerfRow& row);
+bool decodePerfRow(const std::string& payload, PerfRow* row);
 
 }  // namespace spt::harness

@@ -5,6 +5,35 @@
 
 namespace spt::harness {
 
+namespace {
+
+std::uint64_t foldWord(std::uint64_t h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h = (h ^ ((v >> (i * 8)) & 0xff)) * 1099511628211ull;
+  }
+  return h;
+}
+
+std::string hex64(std::uint64_t v) {
+  static const char* digits = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = digits[v & 0xf];
+    v >>= 4;
+  }
+  return out;
+}
+
+std::uint64_t instrCountOf(trace::TraceView view) {
+  std::uint64_t n = 0;
+  for (std::size_t i = 0; i < view.size(); ++i) {
+    n += view[i].kind == trace::RecordKind::kInstr ? 1 : 0;
+  }
+  return n;
+}
+
+}  // namespace
+
 profile::ProfileData InterpProfileRunner::run(
     const ir::Module& module,
     const std::unordered_set<ir::StaticId>& value_candidates) {
@@ -61,6 +90,71 @@ ExperimentResult runSptExperiment(ir::Module module,
   result.baseline = base_machine.run();
   const trace::LoopIndex index(module, spt_run.trace);
   sim::SptMachine spt_machine(module, spt_run.trace, index, mconfig);
+  result.spt = spt_machine.run();
+  return result;
+}
+
+ExperimentResult runSptExperiment(ir::Module module, TraceCache& cache,
+                                  const std::string& key_prefix,
+                                  const compiler::CompilerOptions& copts,
+                                  const support::MachineConfig& mconfig,
+                                  std::vector<std::int64_t> args,
+                                  compiler::CompilationRemarks* remarks) {
+  ExperimentResult result;
+
+  ir::Module baseline = module;
+  baseline.finalize();
+
+  compiler::SptCompiler cc(copts);
+  InterpProfileRunner runner(args);
+  result.plan = cc.compile(module, runner, remarks);
+  if (!module.finalized()) module.finalize();
+
+  // Everything beyond the program identity that shapes the trace: run
+  // arguments and the trace budget. The SPT key also folds the plan
+  // fingerprint — the transformed program *is* the plan, so two option
+  // sets that compile to the same plan legitimately share a trace.
+  std::uint64_t salt = 1469598103934665603ull;
+  for (const std::int64_t a : args) {
+    salt = foldWord(salt, static_cast<std::uint64_t>(a));
+  }
+  salt = foldWord(salt, mconfig.max_trace_records);
+
+  const auto entryFor = [&](const std::string& tag,
+                            ir::Module& m) -> const TraceCache::Entry& {
+    return cache.get(
+        key_prefix + tag + "-" + hex64(salt),
+        [&](trace::TraceFileMeta* meta) {
+          TracedRun run = traceProgram(m, args, mconfig.max_trace_records);
+          meta->word0 = static_cast<std::uint64_t>(run.result.return_value);
+          meta->word1 = run.result.memory_hash;
+          return std::move(run.trace);
+        });
+  };
+  const TraceCache::Entry& base_entry = entryFor(".base", baseline);
+  const TraceCache::Entry& spt_entry =
+      entryFor(".spt-" + hex64(result.plan.fingerprint()), module);
+
+  result.baseline_run.return_value =
+      static_cast<std::int64_t>(base_entry.meta.word0);
+  result.baseline_run.memory_hash = base_entry.meta.word1;
+  result.baseline_run.dynamic_instrs = instrCountOf(base_entry.view);
+  result.spt_run.return_value =
+      static_cast<std::int64_t>(spt_entry.meta.word0);
+  result.spt_run.memory_hash = spt_entry.meta.word1;
+  result.spt_run.dynamic_instrs = instrCountOf(spt_entry.view);
+  SPT_CHECK_MSG(
+      result.baseline_run.return_value == result.spt_run.return_value,
+      "SPT transformation changed the program result");
+  SPT_CHECK_MSG(result.baseline_run.memory_hash == result.spt_run.memory_hash,
+                "SPT transformation changed the memory image");
+
+  // Simulate straight off the mapped files; the machines only need the
+  // views to stay valid until they are destroyed below.
+  sim::BaselineMachine base_machine(baseline, base_entry.view, mconfig);
+  result.baseline = base_machine.run();
+  const trace::LoopIndex index(module, spt_entry.view);
+  sim::SptMachine spt_machine(module, spt_entry.view, index, mconfig);
   result.spt = spt_machine.run();
   return result;
 }

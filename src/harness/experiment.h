@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "harness/trace_cache.h"
 #include "interp/interpreter.h"
 #include "profile/profiler.h"
 #include "sim/baseline.h"
@@ -63,6 +64,24 @@ struct ExperimentResult {
 /// results are unchanged by construction.
 ExperimentResult runSptExperiment(
     ir::Module module, const compiler::CompilerOptions& copts = {},
+    const support::MachineConfig& mconfig = {},
+    std::vector<std::int64_t> args = {},
+    compiler::CompilationRemarks* remarks = nullptr);
+
+/// Shared-trace variant: identical results, but the baseline and SPT
+/// traces come from `cache` as mmap-backed v3 files instead of being
+/// re-interpreted per call. `key_prefix` must identify the program and
+/// its scale (e.g. "gzip.x2"); the cache key additionally folds in the
+/// run arguments, the trace budget, and — for the SPT trace — the
+/// compilation plan's fingerprint, so distinct compiler options never
+/// collide. On a cache hit the interpreter never runs: the traced run's
+/// return value and memory hash are recovered from the v3 meta words
+/// (baseline_run/spt_run.dynamic_instrs is recomputed from the trace).
+/// `cache` must outlive nothing here — machines are torn down before
+/// return — but the usual rule applies to callers holding views.
+ExperimentResult runSptExperiment(
+    ir::Module module, TraceCache& cache, const std::string& key_prefix,
+    const compiler::CompilerOptions& copts = {},
     const support::MachineConfig& mconfig = {},
     std::vector<std::int64_t> args = {},
     compiler::CompilationRemarks* remarks = nullptr);

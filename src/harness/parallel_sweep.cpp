@@ -96,13 +96,14 @@ SweepRow fromCheckpointLine(const CheckpointLine& l) {
 }
 
 /// Runs one cell in-cell (either path): quarantine-catches per `catch_all`.
-SweepRow runCell(const SweepCase& c, bool catch_all) {
+SweepRow runCell(const SweepCase& c, bool catch_all, TraceCache* cache) {
   SweepRow row;
   row.benchmark = c.benchmark;
   row.config = c.config;
   if (catch_all) {
     try {
-      row.result = runSuiteEntry(c.entry, c.machine, c.scale);
+      row.result = runSuiteEntry(c.entry, c.machine, c.scale,
+                                 /*remarks=*/nullptr, cache);
     } catch (const support::SptBudgetExceeded& e) {
       row.status = CellStatus::kBudgetExceeded;
       row.diagnostic = e.what();
@@ -111,7 +112,8 @@ SweepRow runCell(const SweepCase& c, bool catch_all) {
       row.diagnostic = e.what();
     }
   } else {
-    row.result = runSuiteEntry(c.entry, c.machine, c.scale);
+    row.result = runSuiteEntry(c.entry, c.machine, c.scale,
+                               /*remarks=*/nullptr, cache);
   }
   return row;
 }
@@ -121,7 +123,8 @@ SweepRow runCell(const SweepCase& c, bool catch_all) {
 /// the checkpoint; only the remaining cells go to workers.
 std::vector<SweepRow> runSweepSupervised(
     const ParallelSweep& sweep, const std::vector<SweepCase>& cases,
-    const SweepOptions& opts, std::map<std::string, SweepRow>& resumed) {
+    const SweepOptions& opts, std::map<std::string, SweepRow>& resumed,
+    TraceCache* cache) {
   std::vector<SweepRow> rows(cases.size());
   std::vector<std::size_t> to_run;
   for (std::size_t i = 0; i < cases.size(); ++i) {
@@ -148,9 +151,14 @@ std::vector<SweepRow> runSweepSupervised(
   // The producer runs in the forked worker. Supervision implies
   // quarantine semantics: a cell exception becomes a non-ok row in the
   // payload either way (the alternative — letting it escape — would just
-  // downgrade a structured status into a generic worker error).
+  // downgrade a structured status into a generic worker error). With a
+  // trace cache, workers rendezvous on the cache *files*: whichever
+  // worker first needs a workload's trace writes it, every other worker
+  // (pooled or fork-per-cell) mmaps the same file, so the page cache
+  // holds one physical copy per workload across the whole worker fleet.
   const auto produce = [&](std::size_t k) {
-    return encodeSweepRow(runCell(cases[to_run[k]], /*catch_all=*/true));
+    return encodeSweepRow(
+        runCell(cases[to_run[k]], /*catch_all=*/true, cache));
   };
 
   // The settle hook runs in the parent, single-threaded, as each cell's
@@ -207,8 +215,15 @@ std::vector<SweepRow> runSweep(const ParallelSweep& sweep,
   std::optional<support::ScopedCheckThrowMode> throw_mode;
   if (opts.quarantine) throw_mode.emplace(true);
 
+  // The cache lives for the whole sweep (in the supervised case: in the
+  // parent, from which workers inherit the directory; each process maps
+  // the shared files on demand).
+  std::optional<TraceCache> cache;
+  if (!opts.trace_cache_dir.empty()) cache.emplace(opts.trace_cache_dir);
+  TraceCache* cache_ptr = cache ? &*cache : nullptr;
+
   if (opts.supervisor.isolate && Supervisor::isolationSupported()) {
-    return runSweepSupervised(sweep, cases, opts, resumed);
+    return runSweepSupervised(sweep, cases, opts, resumed, cache_ptr);
   }
 
   std::ofstream checkpoint;
@@ -225,7 +240,7 @@ std::vector<SweepRow> runSweep(const ParallelSweep& sweep,
       const auto it = resumed.find(checkpointKey(c.benchmark, c.config));
       if (it != resumed.end() && it->second.ok()) return it->second;
     }
-    SweepRow row = runCell(c, /*catch_all=*/opts.quarantine);
+    SweepRow row = runCell(c, /*catch_all=*/opts.quarantine, cache_ptr);
     if (checkpoint.is_open()) {
       const std::lock_guard<std::mutex> lock(checkpoint_mu);
       checkpoint << formatCheckpointLine(toCheckpointLine(row)) << '\n'

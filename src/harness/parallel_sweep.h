@@ -152,6 +152,13 @@ struct SweepOptions {
   /// exception becomes a non-ok row either way). Checkpoint files written
   /// by either path resume under the other.
   SupervisorOptions supervisor;
+  /// When non-empty, cells share one mmap-backed v3 trace per
+  /// (workload, scale, plan) through a TraceCache rooted here
+  /// (harness/trace_cache.h): the first cell to need a trace interprets
+  /// and writes it, every other cell — including supervised workers in
+  /// other processes — maps the same file. Results are identical with or
+  /// without the cache.
+  std::string trace_cache_dir;
 };
 
 /// Runs every case through runSptExperiment on `sweep`'s pool; rows come

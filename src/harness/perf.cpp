@@ -4,8 +4,10 @@
 #include <fstream>
 #include <map>
 
+#include "harness/cell_codec.h"
 #include "harness/experiment.h"
 #include "spt/remarks.h"
+#include "support/check.h"
 #include "support/json.h"
 #include "support/stats.h"
 #include "support/table.h"
@@ -66,6 +68,75 @@ double mips(std::uint64_t instrs, double host_seconds) {
   return static_cast<double>(instrs) / host_seconds / 1e6;
 }
 
+/// The timed phase for one prepared workload (strictly serial — callers
+/// must not overlap measurements).
+PerfRow measure(PreparedWorkload& p, const PerfOptions& options) {
+  PerfRow row;
+  row.workload = p.name;
+  row.trace_records = p.spt_trace.size();
+
+  sim::MachineResult base_result;
+  row.host_baseline_seconds = fastestRun(options.repetitions, [&] {
+    sim::BaselineMachine machine(p.baseline_module, p.baseline_trace,
+                                 options.machine);
+    base_result = machine.run();
+  });
+  const trace::LoopIndex index(p.spt_module, p.spt_trace);
+  sim::MachineResult spt_result;
+  row.host_spt_seconds = fastestRun(options.repetitions, [&] {
+    sim::SptMachine machine(p.spt_module, p.spt_trace, index,
+                            options.machine);
+    spt_result = machine.run();
+  });
+
+  row.baseline_cycles = base_result.cycles;
+  row.spt_cycles = spt_result.cycles;
+  row.baseline_sim_instrs = base_result.instrs;
+  row.spt_sim_instrs = spt_result.instrs;
+  row.baseline_dispatch_fast = base_result.hotpath.dispatch_fast;
+  row.baseline_dispatch_fallback = base_result.hotpath.dispatch_fallback;
+  row.spt_dispatch_fast = spt_result.hotpath.dispatch_fast;
+  row.spt_dispatch_fallback = spt_result.hotpath.dispatch_fallback;
+  row.spt_arena_frame_allocs = spt_result.hotpath.arena_frame_allocs;
+  row.spt_arena_frame_reuses = spt_result.hotpath.arena_frame_reuses;
+  row.spt_records_per_alloc = spt_result.hotpath.recordsPerAlloc();
+  row.host_baseline_mips =
+      mips(row.baseline_sim_instrs, row.host_baseline_seconds);
+  row.host_spt_mips = mips(row.spt_sim_instrs, row.host_spt_seconds);
+  return row;
+}
+
+/// `sptc perf --isolate`: one forked worker per workload, strictly one at
+/// a time (timing must never contend), each doing its own setup + timed
+/// measurement in a fresh address space. A worker that crashes, hangs, or
+/// garbles its reply surfaces as an SptInternalError naming the workload
+/// instead of killing the bench process.
+std::vector<PerfRow> runIsolated(const std::vector<std::string>& names,
+                                 const PerfOptions& options) {
+  SupervisorOptions sopts = options.supervisor;
+  sopts.jobs = 1;
+  const Supervisor supervisor(sopts);
+  const auto produce = [&](std::size_t k) {
+    PreparedWorkload p = prepare(names[k], options);
+    return encodePerfRow(measure(p, options));
+  };
+  const std::vector<Supervisor::Outcome> outcomes =
+      supervisor.run(names.size(), produce);
+  std::vector<PerfRow> rows(names.size());
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    const Supervisor::Outcome& oc = outcomes[i];
+    SPT_CHECK_MSG(oc.status == CellStatus::kOk,
+                  ("perf worker for " + names[i] + " failed (" +
+                   std::string(toString(oc.status)) + "): " + oc.diagnostic)
+                      .c_str());
+    SPT_CHECK_MSG(decodePerfRow(oc.payload, &rows[i]),
+                  ("perf worker for " + names[i] +
+                   " replied with an undecodable row")
+                      .c_str());
+  }
+  return rows;
+}
+
 }  // namespace
 
 std::vector<PerfRow> runSimThroughput(const PerfOptions& options,
@@ -76,6 +147,13 @@ std::vector<PerfRow> runSimThroughput(const PerfOptions& options,
     for (const auto& entry : defaultSuite()) {
       names.push_back(entry.workload.name);
     }
+  }
+
+  if (options.supervisor.isolate && Supervisor::isolationSupported()) {
+    // Each measurement runs in its own worker; the compiles happen there
+    // too, so pass-time aggregation has nothing to report.
+    if (passes != nullptr) passes->clear();
+    return runIsolated(names, options);
   }
 
   // Setup (compile + interpret + trace) fans out; timing must not, so the
@@ -107,32 +185,7 @@ std::vector<PerfRow> runSimThroughput(const PerfOptions& options,
   std::vector<PerfRow> rows;
   rows.reserve(prepared.size());
   for (PreparedWorkload& p : prepared) {
-    PerfRow row;
-    row.workload = p.name;
-    row.trace_records = p.spt_trace.size();
-
-    sim::MachineResult base_result;
-    row.host_baseline_seconds = fastestRun(options.repetitions, [&] {
-      sim::BaselineMachine machine(p.baseline_module, p.baseline_trace,
-                                   options.machine);
-      base_result = machine.run();
-    });
-    const trace::LoopIndex index(p.spt_module, p.spt_trace);
-    sim::MachineResult spt_result;
-    row.host_spt_seconds = fastestRun(options.repetitions, [&] {
-      sim::SptMachine machine(p.spt_module, p.spt_trace, index,
-                              options.machine);
-      spt_result = machine.run();
-    });
-
-    row.baseline_cycles = base_result.cycles;
-    row.spt_cycles = spt_result.cycles;
-    row.baseline_sim_instrs = base_result.instrs;
-    row.spt_sim_instrs = spt_result.instrs;
-    row.host_baseline_mips =
-        mips(row.baseline_sim_instrs, row.host_baseline_seconds);
-    row.host_spt_mips = mips(row.spt_sim_instrs, row.host_spt_seconds);
-    rows.push_back(std::move(row));
+    rows.push_back(measure(p, options));
   }
   return rows;
 }
@@ -194,6 +247,15 @@ bool writeSimThroughputJson(const std::string& path,
     w.member("spt_cycles", r.spt_cycles);
     w.member("baseline_sim_instrs", r.baseline_sim_instrs);
     w.member("spt_sim_instrs", r.spt_sim_instrs);
+    // Hot-path health: specialized vs generic dispatch, and frame-arena
+    // recycling (deterministic — covered by CI determinism diffs).
+    w.member("baseline_dispatch_fast", r.baseline_dispatch_fast);
+    w.member("baseline_dispatch_fallback", r.baseline_dispatch_fallback);
+    w.member("spt_dispatch_fast", r.spt_dispatch_fast);
+    w.member("spt_dispatch_fallback", r.spt_dispatch_fallback);
+    w.member("spt_arena_frame_allocs", r.spt_arena_frame_allocs);
+    w.member("spt_arena_frame_reuses", r.spt_arena_frame_reuses);
+    w.member("spt_records_per_alloc", r.spt_records_per_alloc);
     w.member("host_baseline_seconds", r.host_baseline_seconds);
     w.member("host_spt_seconds", r.host_spt_seconds);
     w.member("host_baseline_mips", r.host_baseline_mips);

@@ -36,6 +36,16 @@ struct PerfOptions {
   std::size_t setup_jobs = 0;  // 0 = ParallelSweep default
   support::MachineConfig machine;
   compiler::CompilerOptions copts;
+  /// With supervisor.isolate set (`sptc perf --isolate`), each workload's
+  /// setup + timed measurement runs in its own forked worker under the
+  /// execution supervisor, one at a time — a fresh address space per
+  /// measurement (no allocator or cache pollution from earlier
+  /// workloads), and a crashed or hung measurement becomes a reported
+  /// failure instead of taking the bench down. Deterministic row fields
+  /// are identical to the in-process path; host timings differ by the
+  /// fork. Pass-time aggregation is unavailable in this mode (the
+  /// compiles happen in throwaway workers).
+  SupervisorOptions supervisor;
 };
 
 struct PerfRow {
@@ -46,6 +56,18 @@ struct PerfRow {
   std::uint64_t spt_cycles = 0;
   std::uint64_t baseline_sim_instrs = 0;  // instructions issued in one run
   std::uint64_t spt_sim_instrs = 0;       // both pipelines
+  // Hot-path health counters (sim/result.h HotPathStats; deterministic).
+  // dispatch_fallback counts instructions that took the generic execute
+  // path instead of a class-specialized handler; records_per_alloc is
+  // trace records retired per arena frame allocation (higher = the frame
+  // arena is recycling instead of allocating).
+  std::uint64_t baseline_dispatch_fast = 0;
+  std::uint64_t baseline_dispatch_fallback = 0;
+  std::uint64_t spt_dispatch_fast = 0;
+  std::uint64_t spt_dispatch_fallback = 0;
+  std::uint64_t spt_arena_frame_allocs = 0;
+  std::uint64_t spt_arena_frame_reuses = 0;
+  double spt_records_per_alloc = 0.0;
   // Host-dependent metrics (excluded from determinism diffs).
   double host_baseline_seconds = 0.0;  // fastest single run
   double host_spt_seconds = 0.0;

@@ -21,7 +21,14 @@ std::vector<SuiteEntry> defaultSuite() {
 ExperimentResult runSuiteEntry(const SuiteEntry& entry,
                                const support::MachineConfig& mconfig,
                                std::uint64_t scale,
-                               compiler::CompilationRemarks* remarks) {
+                               compiler::CompilationRemarks* remarks,
+                               TraceCache* trace_cache) {
+  if (trace_cache != nullptr) {
+    return runSptExperiment(entry.workload.build(scale), *trace_cache,
+                            entry.workload.name + ".x" +
+                                std::to_string(scale),
+                            entry.copts, mconfig, {}, remarks);
+  }
   return runSptExperiment(entry.workload.build(scale), entry.copts, mconfig,
                           {}, remarks);
 }

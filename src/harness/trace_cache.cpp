@@ -1,0 +1,123 @@
+#include "harness/trace_cache.h"
+
+#include <cstdio>
+#include <filesystem>
+
+#include "support/check.h"
+
+#if defined(__unix__) || (defined(__APPLE__) && defined(__MACH__))
+#include <unistd.h>
+#endif
+
+namespace spt::harness {
+
+namespace {
+
+std::string processTag() {
+#if defined(__unix__) || (defined(__APPLE__) && defined(__MACH__))
+  return std::to_string(static_cast<long>(::getpid()));
+#else
+  return "self";
+#endif
+}
+
+}  // namespace
+
+TraceCache::TraceCache(std::string dir) : dir_(std::move(dir)) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir_, ec);
+  SPT_CHECK_MSG(!ec, ("trace cache: cannot create directory " + dir_ +
+                      ": " + ec.message())
+                         .c_str());
+}
+
+const TraceCache::Entry& TraceCache::get(const std::string& key,
+                                         const Producer& produce) {
+  Slot* slot = nullptr;
+  bool fresh = false;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    std::unique_ptr<Slot>& s = slots_[key];
+    if (!s) {
+      s = std::make_unique<Slot>();
+      fresh = true;
+    }
+    slot = s.get();
+  }
+  // call_once serializes producers for one key and makes every later get()
+  // wait for (and then share) the populated entry; a producer exception
+  // leaves the flag unset so the next get() retries.
+  std::call_once(slot->once, [&] { populate(*slot, key, produce); });
+  if (!fresh) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    ++memory_hits_;
+  }
+  return slot->entry;
+}
+
+void TraceCache::populate(Slot& slot, const std::string& key,
+                          const Producer& produce) {
+  // Keys come from workload names and hex fingerprints; normalize anything
+  // that would escape the cache directory or upset a filesystem.
+  std::string file = key;
+  for (char& c : file) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '.' || c == '-' ||
+                    c == '_';
+    if (!ok) c = '_';
+  }
+  const std::string path = dir_ + "/" + file + ".spt3";
+
+  // Another process (a sibling pooled worker, or an earlier run over the
+  // same cache directory) may already have written this trace; v3
+  // validation at open decides whether the file is trustworthy.
+  std::string error;
+  if (auto mapped = trace::MappedTrace::open(path, &error)) {
+    slot.entry = {mapped->view(), mapped->meta(), path};
+    slot.map = std::move(mapped);
+    const std::lock_guard<std::mutex> lock(mu_);
+    ++file_reuses_;
+    return;
+  }
+
+  trace::TraceFileMeta meta;
+  trace::TraceBuffer buffer = produce(&meta);
+
+  // Write-then-rename keeps concurrent cross-process producers benign:
+  // readers never observe a partial file, and because the trace is a
+  // deterministic function of the key, whichever rename lands last
+  // installs the same bytes.
+  const std::string tmp = path + ".tmp." + processTag();
+  SPT_CHECK_MSG(trace::writeTraceV3File(tmp, buffer.view(), meta),
+                ("trace cache: cannot write " + tmp).c_str());
+  SPT_CHECK_MSG(std::rename(tmp.c_str(), path.c_str()) == 0,
+                ("trace cache: cannot rename " + tmp + " to " + path)
+                    .c_str());
+
+  auto mapped = trace::MappedTrace::open(path, &error);
+  SPT_CHECK_MSG(mapped.has_value(),
+                ("trace cache: just-written " + path +
+                 " failed validation: " + error)
+                    .c_str());
+  slot.entry = {mapped->view(), mapped->meta(), path};
+  slot.map = std::move(mapped);
+  const std::lock_guard<std::mutex> lock(mu_);
+  ++produced_;
+}
+
+std::uint64_t TraceCache::memoryHits() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return memory_hits_;
+}
+
+std::uint64_t TraceCache::fileReuses() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return file_reuses_;
+}
+
+std::uint64_t TraceCache::produced() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return produced_;
+}
+
+}  // namespace spt::harness

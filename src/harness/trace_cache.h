@@ -1,0 +1,89 @@
+// Shared mmap-backed trace store for sweeps (trace format v3).
+//
+// A suite sweep re-runs the same workload under many machine configs, and
+// a supervised sweep re-runs it across many worker processes; before this
+// cache every cell re-interpreted the program just to rebuild a trace that
+// is a pure function of (workload, scale, compiler plan). TraceCache
+// makes the trace a file: the first producer interprets once and writes a
+// v3 container (trace_io.h), every later consumer — same process, another
+// pool thread, or another forked worker — mmaps that file and simulates
+// over a zero-copy TraceView. Because v3 mappings are read-only and
+// MAP_SHARED, the page cache keeps **one** physical copy of each
+// workload's trace no matter how many supervised workers are replaying it.
+//
+// The traced run's return value and memory hash ride in the v3 header's
+// meta words, so cached experiments re-assert baseline-vs-SPT execution
+// equivalence without re-interpreting.
+//
+// Concurrency: get() is thread-safe; production is serialized per key
+// (std::call_once). Across *processes* the file itself is the lock-free
+// rendezvous — writers produce into a pid-suffixed temp file and rename(2)
+// it into place, so concurrent producers race benignly (the trace is
+// deterministic, both files are byte-identical, last rename wins) and
+// readers only ever see complete, checksummed files. A file that fails
+// validation (truncated leftover, version skew) is silently re-produced.
+//
+// Lifetime: entries (and the mappings behind their views) live until the
+// cache is destroyed; every machine/LoopIndex built over an entry's view
+// must be gone by then (docs/PERF.md "Trace v3").
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "trace/trace.h"
+#include "trace/trace_io.h"
+
+namespace spt::harness {
+
+class TraceCache {
+ public:
+  struct Entry {
+    trace::TraceView view;
+    trace::TraceFileMeta meta;  // word0 = return value, word1 = memory hash
+    std::string path;           // the backing v3 file
+  };
+
+  /// Fills `meta` and returns the freshly produced trace on a miss.
+  using Producer =
+      std::function<trace::TraceBuffer(trace::TraceFileMeta* meta)>;
+
+  /// `dir` is created if missing; trace files land there as <key>.spt3.
+  explicit TraceCache(std::string dir);
+
+  /// Returns the entry for `key`, producing and writing the v3 file on
+  /// first use in this process (or adopting a valid file another process
+  /// already wrote). The reference is stable for the cache's lifetime.
+  const Entry& get(const std::string& key, const Producer& produce);
+
+  const std::string& dir() const { return dir_; }
+
+  /// Observability for tests: how many get() calls found an in-memory
+  /// entry, adopted an existing file, or had to run the producer.
+  std::uint64_t memoryHits() const;
+  std::uint64_t fileReuses() const;
+  std::uint64_t produced() const;
+
+ private:
+  struct Slot {
+    std::once_flag once;
+    std::optional<trace::MappedTrace> map;
+    Entry entry;
+  };
+
+  void populate(Slot& slot, const std::string& key, const Producer& produce);
+
+  std::string dir_;
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Slot>> slots_;
+  std::uint64_t memory_hits_ = 0;
+  std::uint64_t file_reuses_ = 0;
+  std::uint64_t produced_ = 0;
+};
+
+}  // namespace spt::harness

@@ -10,63 +10,82 @@ ApplyInfo ArchState::apply(const trace::Record& record) {
   return apply(record, module_.instrAt(record.sid));
 }
 
+void ArchState::foldDigest(const trace::Record& r) {
+  const auto fold = [this](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      digest_ = (digest_ ^ static_cast<unsigned char>(v >> (8 * i))) *
+                1099511628211ull;
+    }
+  };
+  fold(r.sid);
+  fold(r.frame);
+  fold(static_cast<std::uint64_t>(r.value));
+  fold(r.mem_addr);
+}
+
+ArchState::Frame& ArchState::frameSlowPath(const trace::Record& record) {
+  if (!started_) {
+    // Lazily create the entry frame from the first record.
+    const auto& loc = module_.locate(record.sid);
+    frames_.emplace_back();
+    ++arena_allocs_;
+    Frame& frame = frames_.front();
+    frame.id = record.frame;
+    frame.func = loc.func;
+    frame.regs.assign(module_.function(loc.func).reg_count, 0);
+    frame.ret_dst = ir::Reg{};
+    depth_ = 1;
+    started_ = true;
+  }
+  SPT_CHECK_MSG(depth_ > 0 && frames_[depth_ - 1].id == record.frame,
+                "trace record frame does not match the reconstructed stack");
+  return frames_[depth_ - 1];
+}
+
 ApplyInfo ArchState::apply(const trace::Record& record,
                            const ir::Instr& instr) {
   SPT_CHECK(record.kind == trace::RecordKind::kInstr);
   ApplyInfo info;
 
-  if (digest_enabled_) {
-    const auto fold = [this](std::uint64_t v) {
-      for (int i = 0; i < 8; ++i) {
-        digest_ = (digest_ ^ static_cast<unsigned char>(v >> (8 * i))) *
-                  1099511628211ull;
-      }
-    };
-    fold(record.sid);
-    fold(record.frame);
-    fold(static_cast<std::uint64_t>(record.value));
-    fold(record.mem_addr);
-  }
-
-  if (!started_) {
-    // Lazily create the entry frame from the first record.
-    const auto& loc = module_.locate(record.sid);
-    Frame frame;
-    frame.id = record.frame;
-    frame.func = loc.func;
-    frame.regs.assign(module_.function(loc.func).reg_count, 0);
-    frames_.push_back(std::move(frame));
-    started_ = true;
-  }
-
-  SPT_CHECK_MSG(!frames_.empty() && frames_.back().id == record.frame,
-                "trace record frame does not match the reconstructed stack");
-  Frame& top = frames_.back();
+  // Digest fold, lazy entry-frame creation, and the frame check. The
+  // returned reference is re-derived inside the kCall case because growing
+  // the arena may relocate it.
+  hotFrame(record);
 
   switch (instr.op) {
     case ir::Opcode::kCall: {
       const ir::Function& callee = module_.function(instr.callee);
-      Frame next;
+      if (depth_ == frames_.size()) {
+        frames_.emplace_back();
+        ++arena_allocs_;
+      } else {
+        ++arena_reuses_;
+      }
+      Frame& next = frames_[depth_];
+      const Frame& caller = frames_[depth_ - 1];
       next.id = record.callee_frame;
       next.func = instr.callee;
+      // assign() reuses the recycled slot's capacity: allocation-free once
+      // the arena has seen this depth with enough registers.
       next.regs.assign(callee.reg_count, 0);
       for (std::size_t i = 0; i < instr.args.size(); ++i) {
-        next.regs[i] = top.regs[instr.args[i].index];
+        next.regs[i] = caller.regs[instr.args[i].index];
       }
       next.ret_dst = instr.dst;
       info.callee_frame = next.id;
       info.callee_func = instr.callee;
       info.callee_params = callee.param_count;
-      frames_.push_back(std::move(next));
+      ++depth_;
       return info;
     }
     case ir::Opcode::kRet: {
-      const ir::Reg dst = top.ret_dst;
-      frames_.pop_back();
-      if (!frames_.empty()) {
-        info.caller_frame = frames_.back().id;
+      const ir::Reg dst = frames_[depth_ - 1].ret_dst;
+      --depth_;
+      if (depth_ > 0) {
+        Frame& caller = frames_[depth_ - 1];
+        info.caller_frame = caller.id;
         info.caller_dst = dst;
-        if (dst.valid()) frames_.back().regs[dst.index] = record.value;
+        if (dst.valid()) caller.regs[dst.index] = record.value;
       }
       return info;
     }
@@ -75,15 +94,15 @@ ApplyInfo ArchState::apply(const trace::Record& record,
       return info;
     case ir::Opcode::kLoad:
       memory_[record.mem_addr] = record.value;
-      top.regs[instr.dst.index] = record.value;
+      frames_[depth_ - 1].regs[instr.dst.index] = record.value;
       return info;
     case ir::Opcode::kHalloc:
       ++halloc_count_;
-      top.regs[instr.dst.index] = record.value;
+      frames_[depth_ - 1].regs[instr.dst.index] = record.value;
       return info;
     default:
       if (instr.dst.valid() && ir::producesValue(instr.op)) {
-        top.regs[instr.dst.index] = record.value;
+        frames_[depth_ - 1].regs[instr.dst.index] = record.value;
       }
       return info;
   }
@@ -105,11 +124,11 @@ bool ArchState::deepEquals(const ArchState& other, std::string* diff) const {
     return report("halloc count: " + std::to_string(halloc_count_) +
                   " vs " + std::to_string(other.halloc_count_));
   }
-  if (frames_.size() != other.frames_.size()) {
-    return report("frame stack depth: " + std::to_string(frames_.size()) +
-                  " vs " + std::to_string(other.frames_.size()));
+  if (depth_ != other.depth_) {
+    return report("frame stack depth: " + std::to_string(depth_) + " vs " +
+                  std::to_string(other.depth_));
   }
-  for (std::size_t f = 0; f < frames_.size(); ++f) {
+  for (std::size_t f = 0; f < depth_; ++f) {
     const Frame& a = frames_[f];
     const Frame& b = other.frames_[f];
     if (a.id != b.id || a.func != b.func) {

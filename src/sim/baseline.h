@@ -21,14 +21,16 @@ ExecInstr makeExecInstr(const ir::Module& module, const trace::Record& record,
 
 class BaselineMachine {
  public:
-  BaselineMachine(const ir::Module& module, const trace::TraceBuffer& trace,
+  /// The trace's backing store (TraceBuffer or trace_io::MappedTrace) must
+  /// outlive the machine.
+  BaselineMachine(const ir::Module& module, trace::TraceView trace,
                   const support::MachineConfig& config);
 
   MachineResult run();
 
  private:
   const ir::Module& module_;
-  const trace::TraceBuffer& trace_;
+  trace::TraceView trace_;
   const support::MachineConfig& config_;
   DecodeTable decode_;
 };

@@ -31,6 +31,9 @@ bool Cache::probe(std::uint64_t addr) const {
 }
 
 void Cache::corruptLineMeta(support::Rng& rng) {
+  // The corrupted line may be the memo'd one, whose resident-block
+  // guarantee the corruption breaks — drop the memo.
+  memo_line_ = nullptr;
   Line& line = lines_[rng.nextBelow(lines_.size())];
   switch (rng.nextBelow(3)) {
     case 0:

@@ -40,8 +40,23 @@ class Cache {
 
   /// Returns true on hit; on miss the line is (re)filled. `timestamp` is
   /// the access cycle.
+  ///
+  /// Same-block memo: `memo_line_` always points at the line holding the
+  /// most recently accessed block (a hit leaves it resident, a miss fills
+  /// it), and nothing else mutates placement state between two accesses
+  /// except corruptLineMeta (which drops the memo). So a repeat access to
+  /// the same block is a guaranteed hit and can skip the set scan; the memo
+  /// path performs exactly the state updates of a full-path hit (LRU stamp
+  /// plus hit count), keeping every downstream stat and eviction decision
+  /// bit-identical. Sequential instruction fetch makes this the L1I common
+  /// case (several 16-byte instructions per 64-byte line).
   bool access(std::uint64_t addr, std::uint64_t timestamp) {
     const std::uint64_t block = addr >> block_shift_;
+    if (memo_line_ != nullptr && block == memo_block_) {
+      memo_line_->last_used = timestamp;
+      ++stats_.hits;
+      return true;
+    }
     const std::uint32_t set =
         static_cast<std::uint32_t>(block & (num_sets_ - 1));
     const std::uint64_t tag = block >> set_shift_;
@@ -54,6 +69,8 @@ class Cache {
       if (line.valid && line.tag == tag) {
         line.last_used = timestamp;
         ++stats_.hits;
+        memo_block_ = block;
+        memo_line_ = &line;
         return true;
       }
       if (!line.valid) {
@@ -66,6 +83,8 @@ class Cache {
     victim->valid = true;
     victim->tag = tag;
     victim->last_used = timestamp;
+    memo_block_ = block;
+    memo_line_ = victim;
     return false;
   }
 
@@ -93,8 +112,12 @@ class Cache {
   std::uint32_t num_sets_;
   std::uint64_t block_shift_;
   std::uint64_t set_shift_;  // countr_zero(num_sets_), precomputed
-  std::vector<Line> lines_;  // num_sets_ * associativity
+  std::vector<Line> lines_;  // num_sets_ * associativity; never resized
   CacheStats stats_;
+  // Same-block memo (see access); line pointers stay valid because lines_
+  // never resizes after construction. corruptLineMeta invalidates it.
+  std::uint64_t memo_block_ = 0;
+  Line* memo_line_ = nullptr;
 };
 
 /// The shared three-level hierarchy plus memory. Returns total access

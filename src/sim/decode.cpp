@@ -33,6 +33,53 @@ DecodeTable::DecodeTable(const ir::Module& module) {
         d.is_load = instr.op == ir::Opcode::kLoad;
         d.is_store = instr.op == ir::Opcode::kStore;
         d.is_cond_branch = instr.op == ir::Opcode::kCondBr;
+
+        // Dispatch classification. A class other than kGeneric is a promise
+        // to the threaded-dispatch handlers (e.g. kValue/kLoad/kHalloc imply
+        // a live dst), so anything that breaks a handler's precondition
+        // falls back to kGeneric/kJump rather than asserting.
+        DispatchClass klass = DispatchClass::kGeneric;
+        switch (instr.op) {
+          case ir::Opcode::kLoad:
+            klass = d.dst_reg != ir::Reg::kInvalidIndex ? DispatchClass::kLoad
+                                                        : DispatchClass::kGeneric;
+            break;
+          case ir::Opcode::kStore:
+            klass = DispatchClass::kStore;
+            break;
+          case ir::Opcode::kCondBr:
+            klass = DispatchClass::kCondBr;
+            break;
+          case ir::Opcode::kBr:
+          case ir::Opcode::kNop:
+            klass = DispatchClass::kJump;
+            break;
+          case ir::Opcode::kCall:
+            klass = DispatchClass::kCall;
+            d.callee_params = module.function(instr.callee).param_count;
+            break;
+          case ir::Opcode::kRet:
+            klass = DispatchClass::kRet;
+            break;
+          case ir::Opcode::kSptFork:
+            klass = DispatchClass::kFork;
+            break;
+          case ir::Opcode::kSptKill:
+            klass = DispatchClass::kKill;
+            break;
+          case ir::Opcode::kHalloc:
+            klass = d.dst_reg != ir::Reg::kInvalidIndex
+                        ? DispatchClass::kHalloc
+                        : DispatchClass::kJump;
+            break;
+          default:
+            // Pure producers: kValue when the destination is live, kJump
+            // when it is dead (timing-wise just an issue slot).
+            klass = d.dst_reg != ir::Reg::kInvalidIndex ? DispatchClass::kValue
+                                                        : DispatchClass::kJump;
+            break;
+        }
+        d.klass = static_cast<std::uint8_t>(klass);
       }
     }
   }

@@ -4,7 +4,7 @@
 
 namespace spt::sim {
 
-Oracle::Oracle(const ir::Module& module, const trace::TraceBuffer& trace,
+Oracle::Oracle(const ir::Module& module, trace::TraceView trace,
                const DecodeTable& decode, support::OracleMode mode)
     : trace_(trace), decode_(decode), mode_(mode), ref_(module) {
   ref_.enableDigest();
@@ -40,7 +40,7 @@ void Oracle::checkAt(std::size_t pos, const ArchState& machine_arch,
 }
 
 std::uint64_t Oracle::sequentialDigest(const ir::Module& module,
-                                       const trace::TraceBuffer& trace) {
+                                       trace::TraceView trace) {
   ArchState arch(module);
   arch.enableDigest();
   for (std::size_t i = 0; i < trace.size(); ++i) {

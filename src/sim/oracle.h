@@ -34,7 +34,8 @@ namespace spt::sim {
 
 class Oracle {
  public:
-  Oracle(const ir::Module& module, const trace::TraceBuffer& trace,
+  /// The trace's backing store must outlive the oracle.
+  Oracle(const ir::Module& module, trace::TraceView trace,
          const DecodeTable& decode, support::OracleMode mode);
 
   /// Cross-checks `machine_arch` (whose digest must be enabled) against the
@@ -50,12 +51,12 @@ class Oracle {
   /// correct machine's oracle digest must equal at end of run (used by the
   /// fault campaign as the baseline architectural result).
   static std::uint64_t sequentialDigest(const ir::Module& module,
-                                        const trace::TraceBuffer& trace);
+                                        trace::TraceView trace);
 
  private:
   void advanceTo(std::size_t pos);
 
-  const trace::TraceBuffer& trace_;
+  trace::TraceView trace_;
   const DecodeTable& decode_;
   support::OracleMode mode_;
   ArchState ref_;

@@ -7,15 +7,14 @@
 // one of three categories — execution, pipeline stall, or D-cache stall —
 // which is exactly the breakdown paper Figure 9 reports.
 //
-// Memory growth: the register scoreboard is a flat open-addressing map
-// keyed by frame-qualified register keys, so a long trace touches an
-// unbounded number of distinct keys. An entry whose value is already
-// available (ready <= current cycle) is indistinguishable from an absent
-// one, and the truly in-flight set is bounded by issue width × the longest
-// latency, so whenever the live set reaches a fixed threshold the
-// scoreboard drops the already-available entries in place — lossless by
-// construction, keeping the table small enough to stay cache-resident
-// instead of growing with trace length.
+// The register scoreboard is a flat open-addressing table keyed by
+// frame-qualified register ids. Keys accumulate with trace length, but an
+// entry whose value is already available behaves exactly like an absent
+// one, so the table is purged in place at a size threshold — lossless by
+// construction, and it keeps the scoreboard cache-resident. (A dense
+// per-frame-array variant was measured and lost to this layout: the
+// operand-readiness probe almost always hits the first slot, while the
+// per-frame arrays cost an extra indirection per source.)
 #pragma once
 
 #include <cstdint>
@@ -83,12 +82,33 @@ class Pipeline {
   static std::uint64_t regKey(trace::FrameId frame, ir::Reg reg) {
     return ((static_cast<std::uint64_t>(frame) << 32) | reg.index) + 1;
   }
+  /// Kind selectors for executeKnown: which memory/branch flags the caller
+  /// has already resolved at compile time. kExecDynamic reads the flags from
+  /// the ExecInstr at runtime (the classic execute() behavior); the others
+  /// fold the corresponding branches away entirely — the threaded-dispatch
+  /// handlers (docs/PERF.md) call the variant matching their dispatch class.
+  enum : int {
+    kExecPlain = 0,   // no memory access, not a conditional branch
+    kExecLoad = 1,    // is_load
+    kExecStore = 2,   // is_store
+    kExecBranch = 3,  // is_cond_branch
+    kExecDynamic = 4,
+  };
 
   /// Issues one instruction; returns the cycle its result is available.
   /// Inline: this is the per-record core of both machines, and keeping it
   /// (and the cache model it calls) visible to the caller's translation
-  /// unit is worth measurable host throughput (docs/PERF.md).
-  std::uint64_t execute(const ExecInstr& instr) {
+  /// unit is worth measurable host throughput (docs/PERF.md). One body
+  /// serves the dynamic path and all specialized instantiations, so the
+  /// timing semantics cannot diverge between them.
+  template <int Kind = kExecDynamic>
+  std::uint64_t executeKnown(const ExecInstr& instr) {
+    constexpr bool kDyn = Kind == kExecDynamic;
+    const bool is_load = kDyn ? instr.is_load : Kind == kExecLoad;
+    const bool is_store = kDyn ? instr.is_store : Kind == kExecStore;
+    const bool is_cond_branch =
+        kDyn ? instr.is_cond_branch : Kind == kExecBranch;
+
     // Instruction fetch. Instructions occupy 16 synthetic bytes each; an
     // L1I miss stalls the front end for the extra fill latency.
     const std::uint64_t iaddr = static_cast<std::uint64_t>(instr.sid) * 16;
@@ -120,18 +140,18 @@ class Pipeline {
 
     // Result latency.
     std::uint64_t done = issue_cycle + instr.base_latency;
-    if (instr.is_load || instr.is_store) {
+    if (is_load || is_store) {
       const std::uint32_t dlat =
           memory_.accessData(instr.mem_addr, issue_cycle);
-      if (instr.is_load) done = issue_cycle + dlat;
+      if (is_load) done = issue_cycle + dlat;
       // Stores retire through the store buffer without stalling the pipe.
     }
     if (instr.dst != 0) {
-      scoreboardWrite(instr.dst, RegState{done, instr.is_load});
+      scoreboardWrite(instr.dst, RegState{done, is_load});
     }
 
     // Branch resolution.
-    if (instr.is_cond_branch) {
+    if (is_cond_branch) {
       const bool correct = predictor_.predictAndUpdate(instr.taken);
       if (!correct) {
         bumpCycleTo(issue_cycle + 1 + config_.branch_mispredict_penalty,
@@ -139,6 +159,10 @@ class Pipeline {
       }
     }
     return done;
+  }
+
+  std::uint64_t execute(const ExecInstr& instr) {
+    return executeKnown<kExecDynamic>(instr);
   }
 
   /// Consumes one replay-commit slot (replay width entries retire per

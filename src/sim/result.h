@@ -80,6 +80,23 @@ struct FaultStats {
   }
 };
 
+/// Host-side telemetry of the threaded-dispatch and arena machinery
+/// (docs/PERF.md). Purely observational: the counters describe how the
+/// simulator executed, never what it simulated, so they are deterministic
+/// for a given trace but deliberately excluded from the golden digests.
+struct HotPathStats {
+  std::uint64_t dispatch_fast = 0;      // records through specialized handlers
+  std::uint64_t dispatch_fallback = 0;  // records through the generic path
+  std::uint64_t arena_frame_allocs = 0;  // frames newly allocated
+  std::uint64_t arena_frame_reuses = 0;  // frames recycled from the arena
+
+  double recordsPerAlloc() const {
+    return support::safeRatio(
+        static_cast<double>(dispatch_fast + dispatch_fallback),
+        static_cast<double>(arena_frame_allocs));
+  }
+};
+
 struct MachineResult {
   std::uint64_t cycles = 0;
   std::uint64_t instrs = 0;
@@ -91,6 +108,7 @@ struct MachineResult {
   CacheStats l2;
   CacheStats l3;
   double branch_mispredict_ratio = 0.0;
+  HotPathStats hotpath;  // host-side telemetry, excluded from digests
 
   // Robustness subsystem outputs; all-zero unless the oracle / injector
   // were enabled (the golden digests deliberately exclude them).

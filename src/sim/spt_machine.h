@@ -26,6 +26,7 @@
 
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "ir/module.h"
@@ -44,7 +45,9 @@ namespace spt::sim {
 
 class SptMachine {
  public:
-  SptMachine(const ir::Module& module, const trace::TraceBuffer& trace,
+  /// The trace's backing store (TraceBuffer or trace_io::MappedTrace) must
+  /// outlive the machine; `loop_index` must be built over the same records.
+  SptMachine(const ir::Module& module, trace::TraceView trace,
              const trace::LoopIndex& loop_index,
              const support::MachineConfig& config);
 
@@ -95,7 +98,10 @@ class SptMachine {
     std::vector<CallCtx> call_stack;
     std::uint64_t halloc_at_fork = 0;
     CycleBreakdown breakdown_at_fork;
-    std::string loop_name;
+    // Per-loop stats of the loop this thread speculates for; points into
+    // result_.loop_threads (std::map nodes are stable). Set at fork from
+    // the fork-site cache.
+    ThreadStats* loop_stats = nullptr;
 
     void reset();
     std::vector<std::size_t>& labList(std::uint64_t addr);
@@ -106,6 +112,10 @@ class SptMachine {
   bool specCanStep() const;
   void executeFork(const trace::Record& record);
   void executeMainInstr(const trace::Record& record);
+  /// Generic-path main instruction (calls, returns, kills, hallocs, and
+  /// anything classified kGeneric); the class-specialized handlers live in
+  /// executeMainInstr's dispatch switch.
+  void executeMainFallback(const DecodedInstr& d, const trace::Record& record);
   void arrival();
   /// Commit-time value validation (fault mode only): replicates the replay
   /// dirty-closure walk without timing or architectural effects, and flags
@@ -144,10 +154,21 @@ class SptMachine {
   CycleBreakdown specProfileSinceFork() const;
 
   const ir::Module& module_;
-  const trace::TraceBuffer& trace_;
+  trace::TraceView trace_;
   const trace::LoopIndex& loop_index_;
   const support::MachineConfig& config_;
   DecodeTable decode_;
+
+  /// Fork-site cache: everything executeFork derives from the static fork
+  /// instruction (target-loop header, display name, per-loop stats slot),
+  /// computed once per site instead of per dynamic fork (the name alone
+  /// cost a string build plus a string-keyed map lookup per fork).
+  struct ForkSite {
+    std::string loop_name;
+    ThreadStats* stats = nullptr;  // &result_.loop_threads[loop_name]
+  };
+  std::unordered_map<ir::StaticId, ForkSite> fork_sites_;
+  ForkSite& forkSiteOf(const trace::Record& record);
 
   std::unique_ptr<MemorySystem> memory_;
   std::unique_ptr<Pipeline> main_pipe_;
@@ -165,6 +186,10 @@ class SptMachine {
   // Replay scratch (persistent; epoch-reset at each replayCommit).
   FrameRegMap<char> replay_dirty_regs_;
   EpochMap64<char> replay_dirty_addrs_;
+  // Instructions issued through the generic execute path (forks, calls,
+  // returns, speculative emulation, replay re-execution) as opposed to the
+  // class-specialized handlers; reported in MachineResult::hotpath.
+  std::uint64_t dispatch_fallbacks_ = 0;
   MachineResult result_;
 };
 

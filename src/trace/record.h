@@ -6,9 +6,19 @@
 // on two pipelines. Records carry enough information (result values, memory
 // addresses, overwritten memory values, branch outcomes) for the simulator
 // to emulate speculative execution exactly.
+//
+// Layout contract: Record is the on-disk v3 record. The field order below
+// packs to exactly 40 bytes with no padding holes, little-endian on every
+// supported target, and matches trace_io's v2 DiskRecord byte for byte —
+// so a v3 trace file is mmap-able as a raw Record array (zero-copy), the
+// v2 and v3 stream checksums agree, and `sptc trace convert` is lossless
+// both ways. The static_asserts below pin the contract; do not reorder
+// fields without bumping the trace format version.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
+#include <type_traits>
 
 #include "ir/instr.h"
 
@@ -30,6 +40,10 @@ struct Record {
   /// kCondBr: true if target0 (the "taken" side) was followed.
   bool taken = false;
 
+  /// Reserved; always zero (keeps the struct hole-free and the v3 byte
+  /// stream canonical — readers reject a nonzero pad).
+  std::uint8_t pad = 0;
+
   /// kInstr: static id of the instruction.
   /// kIterBegin/kLoopExit: static id of the first instruction of the loop
   /// header block (the loop's stable identity within a module).
@@ -38,6 +52,9 @@ struct Record {
   /// Frame the instruction executed in (for markers: the frame the loop
   /// runs in).
   FrameId frame = 0;
+
+  /// kCall: the callee's new frame id.
+  FrameId callee_frame = 0;
 
   /// kInstr with a destination: the architectural result value.
   /// kIterBegin: the 0-based iteration index within this loop episode.
@@ -49,9 +66,20 @@ struct Record {
   /// kStore: the value overwritten in memory (enables reconstruction of the
   /// fork-time memory image during speculative emulation).
   std::int64_t mem_old = 0;
-
-  /// kCall: the callee's new frame id.
-  FrameId callee_frame = 0;
 };
+
+// The zero-copy contract (see header comment).
+static_assert(sizeof(Record) == 40, "Record must be the 40-byte v3 layout");
+static_assert(std::is_trivially_copyable_v<Record>);
+static_assert(offsetof(Record, kind) == 0);
+static_assert(offsetof(Record, op) == 1);
+static_assert(offsetof(Record, taken) == 2);
+static_assert(offsetof(Record, pad) == 3);
+static_assert(offsetof(Record, sid) == 4);
+static_assert(offsetof(Record, frame) == 8);
+static_assert(offsetof(Record, callee_frame) == 12);
+static_assert(offsetof(Record, value) == 16);
+static_assert(offsetof(Record, mem_addr) == 24);
+static_assert(offsetof(Record, mem_old) == 32);
 
 }  // namespace spt::trace

@@ -4,13 +4,15 @@
 
 namespace spt::trace {
 
-std::size_t TraceBuffer::instrCount() const {
+std::size_t TraceView::instrCount() const {
   std::size_t n = 0;
-  for (const auto& r : records_) {
+  for (const Record& r : *this) {
     if (r.kind == RecordKind::kInstr) ++n;
   }
   return n;
 }
+
+std::size_t TraceBuffer::instrCount() const { return view().instrCount(); }
 
 namespace {
 
@@ -28,7 +30,7 @@ struct LoopKeyHash {
 
 }  // namespace
 
-LoopIndex::LoopIndex(const ir::Module& module, const TraceBuffer& trace)
+LoopIndex::LoopIndex(const ir::Module& module, TraceView trace)
     : module_(module) {
   struct OpenEpisode {
     std::size_t episode_index;

@@ -37,6 +37,33 @@ class TeeSink final : public TraceSink {
   std::vector<TraceSink*> sinks_;
 };
 
+/// Non-owning view over a contiguous run of records — the single currency
+/// the machines, LoopIndex, and the oracle consume. Both an in-memory
+/// TraceBuffer and an mmap-ed v3 file (trace_io::MappedTrace) produce one,
+/// so simulation is zero-copy over whichever backing store holds the
+/// records. Lifetime: the backing store must outlive every view (and every
+/// machine/index holding one); views are cheap value types (pointer+size).
+class TraceView {
+ public:
+  TraceView() = default;
+  TraceView(const Record* data, std::size_t size)
+      : data_(data), size_(size) {}
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  const Record& operator[](std::size_t i) const { return data_[i]; }
+  const Record* data() const { return data_; }
+  const Record* begin() const { return data_; }
+  const Record* end() const { return data_ + size_; }
+
+  /// Number of kInstr records.
+  std::size_t instrCount() const;
+
+ private:
+  const Record* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
 /// Stores the full trace in memory; the simulator requires random access
 /// (fork resolution looks ahead to the speculative start-point).
 class TraceBuffer final : public TraceSink {
@@ -46,6 +73,10 @@ class TraceBuffer final : public TraceSink {
   std::size_t size() const { return records_.size(); }
   const Record& operator[](std::size_t i) const { return records_[i]; }
   const std::vector<Record>& records() const { return records_; }
+
+  TraceView view() const { return {records_.data(), records_.size()}; }
+  /// Implicit so every TraceView consumer keeps accepting a TraceBuffer.
+  operator TraceView() const { return view(); }  // NOLINT
 
   /// Number of kInstr records.
   std::size_t instrCount() const;
@@ -78,7 +109,7 @@ struct LoopEpisode {
 ///    instruction in the forking frame.
 class LoopIndex {
  public:
-  LoopIndex(const ir::Module& module, const TraceBuffer& trace);
+  LoopIndex(const ir::Module& module, TraceView trace);
 
   static constexpr std::size_t kNoStart = static_cast<std::size_t>(-1);
 

@@ -4,32 +4,33 @@
 #include <fstream>
 #include <ostream>
 
+#if defined(__unix__) || defined(__APPLE__)
+#define SPT_TRACE_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
+
 namespace spt::trace {
 namespace {
 
 constexpr char kMagic[8] = {'S', 'P', 'T', 'T', 'R', 'A', 'C', 'E'};
 // v2 added a whole-stream FNV-1a checksum to the header and per-record
-// kind/opcode range validation with byte-offset diagnostics.
-constexpr std::uint32_t kVersion = 2;
+// kind/opcode range validation with byte-offset diagnostics. v3 keeps the
+// identical 40-byte record encoding behind an 8-aligned header so the
+// record array can be mapped in place (see trace_io.h).
+constexpr std::uint32_t kVersionV2 = 2;
+constexpr std::uint32_t kVersionV3 = 3;
 
-/// On-disk record layout (packed, little-endian on every supported target).
-struct DiskRecord {
-  std::uint8_t kind;
-  std::uint8_t op;
-  std::uint8_t taken;
-  std::uint8_t pad = 0;
-  std::uint32_t sid;
-  std::uint32_t frame;
-  std::uint32_t callee_frame;
-  std::int64_t value;
-  std::uint64_t mem_addr;
-  std::int64_t mem_old;
-};
-static_assert(sizeof(DiskRecord) == 40);
-
-// magic + version + count + checksum.
-constexpr std::size_t kHeaderBytes =
+// v2: magic + version + count + checksum.
+constexpr std::size_t kHeaderBytesV2 =
     sizeof kMagic + sizeof(std::uint32_t) + 2 * sizeof(std::uint64_t);
+// v3: magic + version + flags + count + checksum + meta0 + meta1.
+constexpr std::size_t kHeaderBytesV3 =
+    sizeof kMagic + 2 * sizeof(std::uint32_t) + 4 * sizeof(std::uint64_t);
+static_assert(kHeaderBytesV3 == 48 && kHeaderBytesV3 % alignof(Record) == 0,
+              "v3 records must start 8-aligned for in-place mapping");
 
 constexpr std::uint64_t kFnvOffset = 14695981039346656037ull;
 constexpr std::uint64_t kFnvPrime = 1099511628211ull;
@@ -40,60 +41,136 @@ std::uint64_t fnv1a(std::uint64_t h, const void* data, std::size_t n) {
   return h;
 }
 
-DiskRecord toDisk(const Record& r) {
-  DiskRecord d{};
-  d.kind = static_cast<std::uint8_t>(r.kind);
-  d.op = static_cast<std::uint8_t>(r.op);
-  d.taken = r.taken ? 1 : 0;
-  d.sid = r.sid;
-  d.frame = r.frame;
-  d.callee_frame = r.callee_frame;
-  d.value = r.value;
-  d.mem_addr = r.mem_addr;
-  d.mem_old = r.mem_old;
-  return d;
+/// Record-range validation shared by every reader. `raw` is one 40-byte
+/// record image; `offset` is its absolute position in the file. On failure
+/// fills `error` with the byte-offset diagnostic and returns false.
+bool validateRecordBytes(const unsigned char* raw, std::uint64_t index,
+                         std::size_t offset, std::string* error) {
+  const auto fail = [&](const std::string& why) {
+    if (error != nullptr) *error = why;
+    return false;
+  };
+  const unsigned char kind = raw[offsetof(Record, kind)];
+  if (kind > static_cast<std::uint8_t>(RecordKind::kLoopExit)) {
+    return fail("corrupt record kind " + std::to_string(kind) +
+                " in record " + std::to_string(index) + " at byte offset " +
+                std::to_string(offset) +
+                " (valid kinds: 0=kInstr, 1=kIterBegin, 2=kLoopExit)");
+  }
+  const unsigned char op = raw[offsetof(Record, op)];
+  if (op > static_cast<std::uint8_t>(ir::Opcode::kNop)) {
+    return fail("corrupt opcode " + std::to_string(op) + " in record " +
+                std::to_string(index) + " at byte offset " +
+                std::to_string(offset) + " (valid opcodes: 0.." +
+                std::to_string(static_cast<std::uint8_t>(ir::Opcode::kNop)) +
+                ")");
+  }
+  const unsigned char taken = raw[offsetof(Record, taken)];
+  if (taken > 1) {
+    return fail("corrupt taken flag " + std::to_string(taken) +
+                " in record " + std::to_string(index) + " at byte offset " +
+                std::to_string(offset + offsetof(Record, taken)) +
+                " (must be 0 or 1)");
+  }
+  const unsigned char pad = raw[offsetof(Record, pad)];
+  if (pad != 0) {
+    return fail("corrupt pad byte " + std::to_string(pad) + " in record " +
+                std::to_string(index) + " at byte offset " +
+                std::to_string(offset + offsetof(Record, pad)) +
+                " (reserved, must be 0)");
+  }
+  return true;
 }
 
-Record fromDisk(const DiskRecord& d) {
-  Record r;
-  r.kind = static_cast<RecordKind>(d.kind);
-  r.op = static_cast<ir::Opcode>(d.op);
-  r.taken = d.taken != 0;
-  r.sid = d.sid;
-  r.frame = d.frame;
-  r.callee_frame = d.callee_frame;
-  r.value = d.value;
-  r.mem_addr = d.mem_addr;
-  r.mem_old = d.mem_old;
-  return r;
+std::uint64_t streamChecksum(TraceView trace) {
+  // Record *is* the canonical disk encoding (record.h), so the checksum is
+  // over the structs' own bytes — identical for v2 and v3 containers.
+  return fnv1a(kFnvOffset, trace.data(), trace.size() * sizeof(Record));
+}
+
+/// Reads the `count` 40-byte records following a v2/v3 header from a
+/// stream, validating each. `base` is the first record's file offset.
+std::optional<TraceBuffer> readRecordStream(std::istream& is,
+                                            std::uint64_t count,
+                                            std::size_t base,
+                                            std::uint64_t stored_checksum,
+                                            std::string* error) {
+  const auto fail = [&](const std::string& why) -> std::optional<TraceBuffer> {
+    if (error != nullptr) *error = why;
+    return std::nullopt;
+  };
+  TraceBuffer buffer;
+  std::uint64_t checksum = kFnvOffset;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const std::size_t offset = base + i * sizeof(Record);
+    unsigned char raw[sizeof(Record)];
+    is.read(reinterpret_cast<char*>(raw), sizeof raw);
+    if (!is) {
+      return fail("truncated record stream: expected record " +
+                  std::to_string(i) + " of " + std::to_string(count) +
+                  " (a " + std::to_string(sizeof(Record)) +
+                  "-byte kInstr/marker record) at byte offset " +
+                  std::to_string(offset));
+    }
+    if (!validateRecordBytes(raw, i, offset, error)) return std::nullopt;
+    checksum = fnv1a(checksum, raw, sizeof raw);
+    Record r;
+    std::memcpy(&r, raw, sizeof r);
+    buffer.onRecord(r);
+  }
+  if (checksum != stored_checksum) {
+    return fail("checksum mismatch over " + std::to_string(count) +
+                " records: stored " + std::to_string(stored_checksum) +
+                ", computed " + std::to_string(checksum) +
+                " (trace bytes corrupted)");
+  }
+  return buffer;
 }
 
 }  // namespace
 
-bool writeTrace(std::ostream& os, const TraceBuffer& trace) {
+bool writeTrace(std::ostream& os, TraceView trace) {
   os.write(kMagic, sizeof kMagic);
-  const std::uint32_t version = kVersion;
+  const std::uint32_t version = kVersionV2;
   os.write(reinterpret_cast<const char*>(&version), sizeof version);
   const std::uint64_t count = trace.size();
   os.write(reinterpret_cast<const char*>(&count), sizeof count);
   // Checksum of the record stream, so a reader can tell truncation and
   // bit-rot apart from a well-formed short trace.
-  std::uint64_t checksum = kFnvOffset;
-  for (const Record& r : trace.records()) {
-    const DiskRecord d = toDisk(r);
-    checksum = fnv1a(checksum, &d, sizeof d);
-  }
+  const std::uint64_t checksum = streamChecksum(trace);
   os.write(reinterpret_cast<const char*>(&checksum), sizeof checksum);
-  for (const Record& r : trace.records()) {
-    const DiskRecord d = toDisk(r);
-    os.write(reinterpret_cast<const char*>(&d), sizeof d);
-  }
+  os.write(reinterpret_cast<const char*>(trace.data()),
+           static_cast<std::streamsize>(count * sizeof(Record)));
   return static_cast<bool>(os);
 }
 
-bool writeTraceFile(const std::string& path, const TraceBuffer& trace) {
+bool writeTraceFile(const std::string& path, TraceView trace) {
   std::ofstream out(path, std::ios::binary);
   return out && writeTrace(out, trace);
+}
+
+bool writeTraceV3(std::ostream& os, TraceView trace,
+                  const TraceFileMeta& meta) {
+  os.write(kMagic, sizeof kMagic);
+  const std::uint32_t version = kVersionV3;
+  os.write(reinterpret_cast<const char*>(&version), sizeof version);
+  const std::uint32_t flags = 0;
+  os.write(reinterpret_cast<const char*>(&flags), sizeof flags);
+  const std::uint64_t count = trace.size();
+  os.write(reinterpret_cast<const char*>(&count), sizeof count);
+  const std::uint64_t checksum = streamChecksum(trace);
+  os.write(reinterpret_cast<const char*>(&checksum), sizeof checksum);
+  os.write(reinterpret_cast<const char*>(&meta.word0), sizeof meta.word0);
+  os.write(reinterpret_cast<const char*>(&meta.word1), sizeof meta.word1);
+  os.write(reinterpret_cast<const char*>(trace.data()),
+           static_cast<std::streamsize>(count * sizeof(Record)));
+  return static_cast<bool>(os);
+}
+
+bool writeTraceV3File(const std::string& path, TraceView trace,
+                      const TraceFileMeta& meta) {
+  std::ofstream out(path, std::ios::binary);
+  return out && writeTraceV3(out, trace, meta);
 }
 
 std::optional<TraceBuffer> readTrace(std::istream& is, std::string* error) {
@@ -108,9 +185,19 @@ std::optional<TraceBuffer> readTrace(std::istream& is, std::string* error) {
   }
   std::uint32_t version = 0;
   is.read(reinterpret_cast<char*>(&version), sizeof version);
-  if (!is || version != kVersion) {
+  if (!is || (version != kVersionV2 && version != kVersionV3)) {
     return fail("unsupported trace version " + std::to_string(version) +
-                " (expected " + std::to_string(kVersion) + ")");
+                " (expected " + std::to_string(kVersionV2) + " or " +
+                std::to_string(kVersionV3) + ")");
+  }
+  if (version == kVersionV3) {
+    std::uint32_t flags = 0;
+    is.read(reinterpret_cast<char*>(&flags), sizeof flags);
+    if (!is) return fail("truncated v3 header (missing flags)");
+    if (flags != 0) {
+      return fail("unsupported v3 flags " + std::to_string(flags) +
+                  " at byte offset 12 (reserved, must be 0)");
+    }
   }
   std::uint64_t count = 0;
   is.read(reinterpret_cast<char*>(&count), sizeof count);
@@ -118,44 +205,15 @@ std::optional<TraceBuffer> readTrace(std::istream& is, std::string* error) {
   std::uint64_t stored_checksum = 0;
   is.read(reinterpret_cast<char*>(&stored_checksum), sizeof stored_checksum);
   if (!is) return fail("truncated header (missing checksum)");
-
-  TraceBuffer buffer;
-  std::uint64_t checksum = kFnvOffset;
-  for (std::uint64_t i = 0; i < count; ++i) {
-    const std::size_t offset = kHeaderBytes + i * sizeof(DiskRecord);
-    DiskRecord d;
-    is.read(reinterpret_cast<char*>(&d), sizeof d);
-    if (!is) {
-      return fail("truncated record stream: expected record " +
-                  std::to_string(i) + " of " + std::to_string(count) +
-                  " (a " + std::to_string(sizeof d) +
-                  "-byte kInstr/marker record) at byte offset " +
-                  std::to_string(offset));
-    }
-    if (d.kind > static_cast<std::uint8_t>(RecordKind::kLoopExit)) {
-      return fail("corrupt record kind " + std::to_string(d.kind) +
-                  " in record " + std::to_string(i) + " at byte offset " +
-                  std::to_string(offset) +
-                  " (valid kinds: 0=kInstr, 1=kIterBegin, 2=kLoopExit)");
-    }
-    if (d.op > static_cast<std::uint8_t>(ir::Opcode::kNop)) {
-      return fail("corrupt opcode " + std::to_string(d.op) + " in record " +
-                  std::to_string(i) + " at byte offset " +
-                  std::to_string(offset) + " (valid opcodes: 0.." +
-                  std::to_string(
-                      static_cast<std::uint8_t>(ir::Opcode::kNop)) +
-                  ")");
-    }
-    checksum = fnv1a(checksum, &d, sizeof d);
-    buffer.onRecord(fromDisk(d));
+  if (version == kVersionV3) {
+    TraceFileMeta meta;
+    is.read(reinterpret_cast<char*>(&meta.word0), sizeof meta.word0);
+    is.read(reinterpret_cast<char*>(&meta.word1), sizeof meta.word1);
+    if (!is) return fail("truncated v3 header (missing meta words)");
   }
-  if (checksum != stored_checksum) {
-    return fail("checksum mismatch over " + std::to_string(count) +
-                " records: stored " + std::to_string(stored_checksum) +
-                ", computed " + std::to_string(checksum) +
-                " (trace bytes corrupted)");
-  }
-  return buffer;
+  const std::size_t base =
+      version == kVersionV2 ? kHeaderBytesV2 : kHeaderBytesV3;
+  return readRecordStream(is, count, base, stored_checksum, error);
 }
 
 std::optional<TraceBuffer> readTraceFile(const std::string& path,
@@ -166,6 +224,178 @@ std::optional<TraceBuffer> readTraceFile(const std::string& path,
     return std::nullopt;
   }
   return readTrace(in, error);
+}
+
+int traceFileVersion(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return 0;
+  char magic[sizeof kMagic] = {};
+  in.read(magic, sizeof magic);
+  if (!in || std::memcmp(magic, kMagic, sizeof magic) != 0) return 0;
+  std::uint32_t version = 0;
+  in.read(reinterpret_cast<char*>(&version), sizeof version);
+  if (!in || (version != kVersionV2 && version != kVersionV3)) return 0;
+  return static_cast<int>(version);
+}
+
+MappedTrace::MappedTrace(MappedTrace&& other) noexcept {
+  *this = std::move(other);
+}
+
+MappedTrace& MappedTrace::operator=(MappedTrace&& other) noexcept {
+  if (this == &other) return *this;
+  release();
+  records_ = other.records_;
+  count_ = other.count_;
+  meta_ = other.meta_;
+  map_base_ = other.map_base_;
+  map_len_ = other.map_len_;
+  heap_copy_ = other.heap_copy_;
+  other.records_ = nullptr;
+  other.count_ = 0;
+  other.map_base_ = nullptr;
+  other.map_len_ = 0;
+  other.heap_copy_ = nullptr;
+  return *this;
+}
+
+MappedTrace::~MappedTrace() { release(); }
+
+void MappedTrace::release() {
+#if SPT_TRACE_HAVE_MMAP
+  if (map_base_ != nullptr) ::munmap(map_base_, map_len_);
+#endif
+  map_base_ = nullptr;
+  map_len_ = 0;
+  delete[] heap_copy_;
+  heap_copy_ = nullptr;
+  records_ = nullptr;
+  count_ = 0;
+}
+
+std::optional<MappedTrace> MappedTrace::open(const std::string& path,
+                                             std::string* error) {
+  const auto fail = [&](const std::string& why) -> std::optional<MappedTrace> {
+    if (error != nullptr) *error = path + ": " + why;
+    return std::nullopt;
+  };
+
+  MappedTrace mapped;
+  const char* bytes = nullptr;
+  std::size_t file_len = 0;
+
+#if SPT_TRACE_HAVE_MMAP
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return fail("cannot open");
+  struct stat st{};
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    return fail("cannot stat");
+  }
+  file_len = static_cast<std::size_t>(st.st_size);
+  if (file_len > 0) {
+    // Read-only shared mapping: every process mapping this file shares one
+    // page-cache copy (the COW-free property pooled sweep workers rely on).
+    void* base = ::mmap(nullptr, file_len, PROT_READ, MAP_SHARED, fd, 0);
+    if (base == MAP_FAILED) {
+      ::close(fd);
+      return fail("mmap failed");
+    }
+    mapped.map_base_ = base;
+    mapped.map_len_ = file_len;
+    bytes = static_cast<const char*>(base);
+  }
+  ::close(fd);  // the mapping keeps the file referenced
+#else
+  // No mmap on this target: fall back to an owned heap copy with the same
+  // validation and view semantics.
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) return fail("cannot open");
+  file_len = static_cast<std::size_t>(in.tellg());
+  in.seekg(0);
+  mapped.heap_copy_ = new char[file_len == 0 ? 1 : file_len];
+  if (!in.read(mapped.heap_copy_, static_cast<std::streamsize>(file_len))) {
+    return fail("short read");
+  }
+  bytes = mapped.heap_copy_;
+#endif
+
+  if (file_len < kHeaderBytesV3) {
+    // A well-formed v2 stream can be this short too; say which we saw.
+    if (file_len >= sizeof kMagic + sizeof(std::uint32_t) &&
+        std::memcmp(bytes, kMagic, sizeof kMagic) == 0) {
+      std::uint32_t version = 0;
+      std::memcpy(&version, bytes + sizeof kMagic, sizeof version);
+      if (version == kVersionV2) {
+        return fail("v2 record stream (convert with `sptc trace convert` "
+                    "to mmap it)");
+      }
+    }
+    return fail("truncated header: file is " + std::to_string(file_len) +
+                " bytes, the v3 header is " + std::to_string(kHeaderBytesV3) +
+                " bytes");
+  }
+  if (std::memcmp(bytes, kMagic, sizeof kMagic) != 0) {
+    return fail("bad magic (not an SPT trace file)");
+  }
+  std::uint32_t version = 0;
+  std::memcpy(&version, bytes + 8, sizeof version);
+  if (version == kVersionV2) {
+    return fail("v2 record stream (convert with `sptc trace convert` to "
+                "mmap it)");
+  }
+  if (version != kVersionV3) {
+    return fail("unsupported trace version " + std::to_string(version) +
+                " (expected " + std::to_string(kVersionV3) + ")");
+  }
+  std::uint32_t flags = 0;
+  std::memcpy(&flags, bytes + 12, sizeof flags);
+  if (flags != 0) {
+    return fail("unsupported v3 flags " + std::to_string(flags) +
+                " at byte offset 12 (reserved, must be 0)");
+  }
+  std::uint64_t count = 0;
+  std::memcpy(&count, bytes + 16, sizeof count);
+  std::uint64_t stored_checksum = 0;
+  std::memcpy(&stored_checksum, bytes + 24, sizeof stored_checksum);
+  std::memcpy(&mapped.meta_.word0, bytes + 32, sizeof(std::uint64_t));
+  std::memcpy(&mapped.meta_.word1, bytes + 40, sizeof(std::uint64_t));
+
+  const std::uint64_t want = kHeaderBytesV3 + count * sizeof(Record);
+  if (file_len != want) {
+    return fail("record stream size mismatch: header declares " +
+                std::to_string(count) + " records (" + std::to_string(want) +
+                " bytes total), file is " + std::to_string(file_len) +
+                " bytes" +
+                (file_len < want ? " (truncated at byte offset " +
+                                       std::to_string(file_len) + ")"
+                                 : " (trailing garbage)"));
+  }
+
+  const unsigned char* payload =
+      reinterpret_cast<const unsigned char*>(bytes) + kHeaderBytesV3;
+  std::string record_error;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    if (!validateRecordBytes(payload + i * sizeof(Record), i,
+                             kHeaderBytesV3 + i * sizeof(Record),
+                             &record_error)) {
+      return fail(record_error);
+    }
+  }
+  const std::uint64_t checksum =
+      fnv1a(kFnvOffset, payload, count * sizeof(Record));
+  if (checksum != stored_checksum) {
+    return fail("checksum mismatch over " + std::to_string(count) +
+                " records: stored " + std::to_string(stored_checksum) +
+                ", computed " + std::to_string(checksum) +
+                " (trace bytes corrupted)");
+  }
+
+  // Validated: the payload region is a canonical Record array; hand out the
+  // zero-copy view.
+  mapped.records_ = reinterpret_cast<const Record*>(payload);
+  mapped.count_ = static_cast<std::size_t>(count);
+  return mapped;
 }
 
 }  // namespace spt::trace

@@ -1,0 +1,122 @@
+#!/usr/bin/env python3
+"""Compare two BENCH_sim_throughput.json documents and fail on regression.
+
+Usage:
+    bench_compare.py OLD.json NEW.json [--max-regression 0.20]
+                     [--allow-sim-changes]
+
+The document schema is harness::writeSimThroughputJson's: {"rows": [...]}
+with one row per workload. The comparison is host-field-aware:
+
+  * host_-prefixed fields (seconds, MIPS) are *measurements* — noisy and
+    machine-dependent — so they are compared per workload with a relative
+    tolerance: the run fails only if NEW's MIPS drops more than
+    --max-regression (default 20%) below OLD's on the same field, and the
+    suite-average MIPS is held to the same bound. Improvements of any size
+    pass silently.
+  * every other field (trace_records, cycles, instruction and dispatch/
+    arena counters) is *simulation output* — deterministic by contract —
+    and must match exactly, unless --allow-sim-changes is given (for PRs
+    that intentionally change traces or timing models).
+
+Exit status: 0 = no regression, 1 = regression or sim mismatch,
+2 = usage/format error.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_rows(path):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"bench_compare: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+    rows = doc.get("rows")
+    if not isinstance(rows, list) or not rows:
+        print(f"bench_compare: {path} has no rows", file=sys.stderr)
+        sys.exit(2)
+    return {r["workload"]: r for r in rows}
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("old")
+    ap.add_argument("new")
+    ap.add_argument("--max-regression", type=float, default=0.20,
+                    help="max tolerated relative MIPS drop (default 0.20)")
+    ap.add_argument("--allow-sim-changes", action="store_true",
+                    help="skip the exact-match check on deterministic "
+                         "simulation fields")
+    args = ap.parse_args()
+
+    old_rows = load_rows(args.old)
+    new_rows = load_rows(args.new)
+    floor = 1.0 - args.max_regression
+
+    failures = []
+    mips_fields = ("host_baseline_mips", "host_spt_mips")
+
+    shared = [w for w in old_rows if w in new_rows]
+    if not shared:
+        print("bench_compare: no common workloads", file=sys.stderr)
+        sys.exit(2)
+    for w in old_rows:
+        if w not in new_rows:
+            failures.append(f"{w}: present in {args.old} but missing from "
+                            f"{args.new}")
+
+    # Per-workload and suite-average MIPS floors.
+    for field in mips_fields:
+        old_sum = new_sum = 0.0
+        for w in shared:
+            old_v = float(old_rows[w].get(field, 0.0))
+            new_v = float(new_rows[w].get(field, 0.0))
+            old_sum += old_v
+            new_sum += new_v
+            if old_v > 0.0 and new_v < old_v * floor:
+                failures.append(
+                    f"{w}: {field} regressed {old_v:.2f} -> {new_v:.2f} "
+                    f"({new_v / old_v - 1.0:+.1%}, floor {floor:.0%})")
+        if old_sum > 0.0:
+            ratio = new_sum / old_sum
+            tag = f"suite-average {field}"
+            print(f"{tag}: {old_sum / len(shared):.2f} -> "
+                  f"{new_sum / len(shared):.2f} ({ratio - 1.0:+.1%})")
+            if ratio < floor:
+                failures.append(
+                    f"{tag} regressed {ratio - 1.0:+.1%} "
+                    f"(floor {floor:.0%})")
+
+    # Deterministic simulation fields must not drift silently.
+    if not args.allow_sim_changes:
+        for w in shared:
+            for k, old_v in old_rows[w].items():
+                if k.startswith("host_") or k == "workload":
+                    continue
+                if k not in new_rows[w]:
+                    # New schema fields may appear; only disappearance or
+                    # value drift of known fields is an error.
+                    failures.append(f"{w}: sim field {k} missing from "
+                                    f"{args.new}")
+                elif new_rows[w][k] != old_v:
+                    failures.append(
+                        f"{w}: sim field {k} changed {old_v} -> "
+                        f"{new_rows[w][k]} (pass --allow-sim-changes if "
+                        f"intentional)")
+
+    if failures:
+        print(f"bench_compare: FAIL ({len(failures)} problem(s))",
+              file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print("bench_compare: PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

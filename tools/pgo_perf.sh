@@ -1,0 +1,34 @@
+#!/bin/sh
+# Two-phase profile-guided Release build of the throughput bench.
+#
+#   tools/pgo_perf.sh [BUILD_DIR] [bench args...]
+#
+# Phase 1 configures BUILD_DIR (default: build-pgo) with -DSPT_PGO=generate,
+# builds bench_sim_throughput, and runs one training rep so every hot path
+# writes its .gcda profile into the build tree. Phase 2 reconfigures the
+# same directory with -DSPT_PGO=use — the flag change triggers a full
+# recompile that reads those profiles — and, if bench args were given,
+# execs the optimized bench with them.
+#
+# The committed BENCH_sim_throughput.json is recorded from this recipe and
+# CI's throughput gate rebuilds with it, so local measurements compare like
+# against like. See docs/PERF.md "Measuring".
+set -e
+
+ROOT=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+BUILD=${1:-build-pgo}
+[ "$#" -gt 0 ] && shift
+
+cmake -B "$BUILD" -S "$ROOT" -DCMAKE_BUILD_TYPE=Release -DSPT_PGO=generate
+cmake --build "$BUILD" -j --target bench_sim_throughput
+
+echo "pgo_perf: training run (instrumented, 1 rep)..." >&2
+"$BUILD"/bench/bench_sim_throughput --reps 1 --no-json > /dev/null
+
+cmake -B "$BUILD" -S "$ROOT" -DSPT_PGO=use
+cmake --build "$BUILD" -j --target bench_sim_throughput
+
+if [ "$#" -gt 0 ]; then
+  exec "$BUILD"/bench/bench_sim_throughput "$@"
+fi
+echo "pgo_perf: optimized bench at $BUILD/bench/bench_sim_throughput" >&2

@@ -23,6 +23,13 @@
 //       suite under seeded corruption of the speculative structures with
 //       the architectural oracle armed. Exits nonzero if any fault
 //       escaped or any architectural digest diverged.
+//   sptc trace convert <in> <out> [--to v2|v3]
+//       Convert a trace file between the v2 interchange stream and the v3
+//       mmap container (docs/PERF.md "Trace format v3"). Lossless in both
+//       directions: the record bytes and stream checksum are identical in
+//       either container (v3's application meta words are preserved on
+//       v3 -> v3 and zero when converting up from v2). Without --to, the
+//       output format is the opposite of the input's.
 //
 // Options for inject:
 //   --seeds N          fault seeds per workload (default 8)
@@ -62,6 +69,12 @@
 //                      ACTION one of crash | abort | hang | garbage |
 //                      partial | exit (requires --isolate)
 //
+// Options for sweep:
+//   --trace-cache DIR  share one mmap-backed v3 trace per workload across
+//                      all cells (and across supervised worker processes)
+//                      through a trace cache rooted at DIR; results are
+//                      identical with or without the cache
+//
 // Options for sweep/perf:
 //   --jobs N           parallel experiment workers (default: SPT_JOBS env
 //                      or hardware concurrency); perf parallelizes only
@@ -72,6 +85,12 @@
 // Options for perf:
 //   --reps N           timed repetitions per machine, fastest wins
 //                      (default 3)
+//   --isolate          run each workload's setup + timed measurement in
+//                      its own forked worker (serially — measurements
+//                      never overlap): fresh address space per workload,
+//                      and supervisor containment for crashes and hangs.
+//                      --cell-timeout / --retries / --rlimit-* apply; the
+//                      per-pass compile-time table is unavailable
 //
 // Options for run/compile/sweep:
 //   --scale N          workload input scale (default 1)
@@ -104,6 +123,7 @@
 #include "ir/verifier.h"
 #include "support/stats.h"
 #include "support/table.h"
+#include "trace/trace_io.h"
 
 namespace {
 
@@ -111,8 +131,8 @@ using namespace spt;
 
 int usage() {
   std::cerr
-      << "usage: sptc <list|run|compile|parse|sweep|perf|inject> [target] "
-         "[options]\n"
+      << "usage: sptc <list|run|compile|parse|sweep|perf|inject|trace> "
+         "[target] [options]\n"
          "       see the header of tools/sptc.cpp for details\n";
   return 2;
 }
@@ -174,6 +194,7 @@ struct Options {
   std::string checkpoint_path;
   bool resume = false;
   bool quarantine = false;
+  std::string trace_cache_dir;  // sweep: empty = no shared trace cache
   // process isolation (sweep/inject)
   harness::SupervisorOptions supervisor;
   // inject
@@ -255,6 +276,8 @@ Options parseOptions(int argc, char** argv, int first) {
     } else if (arg == "--reps") {
       o.reps = std::max(
           1, static_cast<int>(std::strtol(need_value(i), nullptr, 10)));
+    } else if (arg == "--trace-cache") {
+      o.trace_cache_dir = need_value(i);
     } else if (arg == "--checkpoint") {
       o.checkpoint_path = need_value(i);
     } else if (arg == "--resume") {
@@ -447,6 +470,7 @@ int cmdSweep(Options options) {
   sweep_opts.checkpoint_path = options.checkpoint_path;
   sweep_opts.resume = options.resume;
   sweep_opts.supervisor = options.supervisor;
+  sweep_opts.trace_cache_dir = options.trace_cache_dir;
   const auto rows = harness::runSweep(sweep, cases, sweep_opts);
 
   support::Table t("suite sweep (" + std::to_string(sweep.jobs()) +
@@ -572,17 +596,20 @@ int cmdInject(Options options) {
   return pass ? 0 : 1;
 }
 
-int cmdPerf(const Options& options) {
+int cmdPerf(Options options) {
+  checkIsolationSupport(options);
   harness::PerfOptions perf;
   perf.scale = options.scale;
   perf.repetitions = options.reps;
   perf.setup_jobs = options.jobs;
   perf.machine = options.machine;
   perf.copts = options.copts;
+  perf.supervisor = options.supervisor;
   std::vector<harness::PerfPassRow> passes;
   const auto rows = harness::runSimThroughput(perf, &passes);
   harness::printSimThroughputTable(std::cout, rows);
-  harness::printPassTimeTable(std::cout, passes);
+  // Empty under --isolate (the compiles happen in throwaway workers).
+  if (!passes.empty()) harness::printPassTimeTable(std::cout, passes);
   const std::string path = options.json_path.empty()
                                ? "BENCH_sim_throughput.json"
                                : options.json_path;
@@ -591,6 +618,69 @@ int cmdPerf(const Options& options) {
     return 1;
   }
   std::cout << "results: " << path << " (" << rows.size() << " rows)\n";
+  return 0;
+}
+
+int cmdTraceConvert(int argc, char** argv) {
+  // sptc trace convert <in> <out> [--to v2|v3]
+  if (argc < 5 || argv[3][0] == '-' || argv[4][0] == '-') {
+    std::cerr << "usage: sptc trace convert <in> <out> [--to v2|v3]\n";
+    return 2;
+  }
+  const std::string in_path = argv[3];
+  const std::string out_path = argv[4];
+  std::string to;
+  for (int i = 5; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--to" && i + 1 < argc) {
+      to = argv[++i];
+    } else {
+      std::cerr << "sptc: unknown trace convert option '" << arg << "'\n";
+      return 2;
+    }
+  }
+  const int in_version = trace::traceFileVersion(in_path);
+  if (in_version == 0) {
+    std::cerr << "sptc: " << in_path
+              << " is not a trace file (bad magic or unreadable)\n";
+    return 1;
+  }
+  if (to.empty()) to = in_version == 3 ? "v2" : "v3";
+  if (to != "v2" && to != "v3") {
+    std::cerr << "sptc: --to expects v2 or v3, got '" << to << "'\n";
+    return 2;
+  }
+
+  // Full validation on the way in: checksum, per-record ranges, canonical
+  // bytes — a corrupt trace is rejected here, never silently re-encoded.
+  std::string error;
+  const auto buffer = trace::readTraceFile(in_path, &error);
+  if (!buffer) {
+    std::cerr << "sptc: cannot read " << in_path << ": " << error << "\n";
+    return 1;
+  }
+
+  bool ok;
+  if (to == "v2") {
+    ok = trace::writeTraceFile(out_path, buffer->view());
+  } else {
+    // Preserve the application meta words across v3 -> v3 rewrites; a v2
+    // input has none, so they stay zero.
+    trace::TraceFileMeta meta;
+    if (in_version == 3) {
+      if (const auto mapped = trace::MappedTrace::open(in_path)) {
+        meta = mapped->meta();
+      }
+    }
+    ok = trace::writeTraceV3File(out_path, buffer->view(), meta);
+  }
+  if (!ok) {
+    std::cerr << "sptc: cannot write " << out_path << "\n";
+    return 1;
+  }
+  std::cout << "converted " << in_path << " (v" << in_version << ") -> "
+            << out_path << " (" << to << "), " << buffer->size()
+            << " records\n";
   return 0;
 }
 
@@ -614,6 +704,13 @@ int main(int argc, char** argv) {
     const Options options = parseOptions(argc, argv, 2);
     if (!options.ok) return 2;
     return cmdInject(options);
+  }
+  if (cmd == "trace") {
+    if (argc < 3 || std::string(argv[2]) != "convert") {
+      std::cerr << "sptc: 'trace' supports: convert <in> <out> [--to v2|v3]\n";
+      return usage();
+    }
+    return cmdTraceConvert(argc, argv);
   }
   if (cmd == "run" || cmd == "compile" || cmd == "parse") {
     if (argc < 3 || argv[2][0] == '-') {
