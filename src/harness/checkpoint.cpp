@@ -106,18 +106,46 @@ bool parseCheckpointLine(const std::string& text,
       return false;
     }
   }
-  // The diagnostic is the (possibly empty) remainder of the line.
+  // The diagnostic is the (possibly empty) final field. Escaping
+  // guarantees a real diagnostic contains no raw tab, so a remainder with
+  // more columns is a line written with a different metric count — a
+  // campaign line read under the sweep's expectation, or vice versa, now
+  // that the sweep service appends both shapes to one file. Reject it
+  // rather than gluing foreign metric columns into the diagnostic.
   std::getline(is, field);
+  if (field.find('\t') != std::string::npos) return false;
   out->diagnostic = unescapeCheckpointField(field);
   return true;
 }
 
 std::map<std::string, CheckpointLine> loadCheckpoint(
-    const std::string& path, std::size_t expected_metrics) {
+    const std::string& path, std::size_t expected_metrics,
+    std::string* warning) {
   std::map<std::string, CheckpointLine> map;
-  std::ifstream in(path);
-  std::string line;
-  while (std::getline(in, line)) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return map;
+  std::ostringstream contents;
+  contents << in.rdbuf();
+  const std::string text = contents.str();
+  // Only '\n'-terminated records are trusted: the writer emits
+  // line + '\n' in one flush, so an unterminated tail is a torn write.
+  // A torn metric column can still parse as a (smaller) valid integer,
+  // so the fragment must be dropped even when parseCheckpointLine would
+  // accept it.
+  std::size_t complete = text.size();
+  while (complete > 0 && text[complete - 1] != '\n') --complete;
+  if (complete != text.size() && warning != nullptr) {
+    *warning = "checkpoint " + path + ": dropped torn trailing record (" +
+               std::to_string(text.size() - complete) +
+               " bytes without a terminating newline); the cell will be "
+               "re-run";
+  }
+  std::size_t pos = 0;
+  while (pos < complete) {
+    std::size_t eol = text.find('\n', pos);
+    if (eol == std::string::npos || eol >= complete) eol = complete;
+    std::string line = text.substr(pos, eol - pos);
+    pos = eol + 1;
     CheckpointLine parsed;
     if (parseCheckpointLine(line, expected_metrics, &parsed)) {
       map[checkpointKey(parsed.benchmark, parsed.config)] = std::move(parsed);

@@ -70,7 +70,17 @@ bool parseCheckpointLine(const std::string& text,
 
 /// Loads a checkpoint file into a last-line-wins map keyed by
 /// checkpointKey(benchmark, config). A missing file yields an empty map.
+///
+/// Torn-tail tolerance: the writer appends each record as one line ending
+/// in '\n' and flushes it, so a record missing its terminating newline can
+/// only be the torn tail of a write killed mid-flush (power loss, SIGKILL
+/// between write and newline). Such a trailing fragment is dropped — even
+/// when its prefix happens to parse, a truncated metric column would
+/// otherwise resume with a silently corrupted value — and reported via
+/// `warning` (one human-readable sentence; untouched when the file is
+/// clean). Interior malformed lines are skipped as before.
 std::map<std::string, CheckpointLine> loadCheckpoint(
-    const std::string& path, std::size_t expected_metrics);
+    const std::string& path, std::size_t expected_metrics,
+    std::string* warning = nullptr);
 
 }  // namespace spt::harness

@@ -1,5 +1,6 @@
 #include "harness/fault_campaign.h"
 
+#include <cstdio>
 #include <fstream>
 #include <memory>
 #include <mutex>
@@ -31,22 +32,20 @@ struct Prepared {
   std::uint64_t sequential_digest = 0;
 };
 
-// Campaign checkpoint metric columns (harness/checkpoint.h line format):
-// injected, detected_by_net, detected_by_oracle, benign, escaped,
-// oracle_checks, arch_digest, sequential_digest, digest_match, diverged,
-// divergence_pos.
-constexpr std::size_t kCampaignCheckpointMetrics = 11;
+}  // namespace
 
-std::string campaignConfigKey(std::size_t c, std::uint64_t fault_seed) {
-  return "cell:" + std::to_string(c) + "/seed:" + std::to_string(fault_seed);
+std::string campaignCellConfigKey(std::size_t cell_index,
+                                  std::uint64_t fault_seed) {
+  return "cell:" + std::to_string(cell_index) +
+         "/seed:" + std::to_string(fault_seed);
 }
 
-CheckpointLine toCheckpointLine(const FaultCampaignCell& cell,
-                                std::size_t c) {
+CheckpointLine campaignCheckpointLine(const FaultCampaignCell& cell,
+                                      std::size_t c) {
   CheckpointLine line;
   line.status = cell.status;
   line.benchmark = cell.benchmark;
-  line.config = campaignConfigKey(c, cell.fault_seed);
+  line.config = campaignCellConfigKey(c, cell.fault_seed);
   line.metrics = {
       cell.faults.injected,
       cell.faults.detected_by_net,
@@ -63,6 +62,8 @@ CheckpointLine toCheckpointLine(const FaultCampaignCell& cell,
   line.diagnostic = cell.diagnostic;
   return line;
 }
+
+namespace {
 
 void applyCheckpointLine(const CheckpointLine& l, FaultCampaignCell& cell) {
   cell.status = l.status;
@@ -159,7 +160,12 @@ FaultCampaignResult runFaultCampaign(const FaultCampaignOptions& opts) {
 
   std::map<std::string, CheckpointLine> resumed;
   if (opts.resume && !opts.checkpoint_path.empty()) {
-    resumed = loadCheckpoint(opts.checkpoint_path, kCampaignCheckpointMetrics);
+    std::string torn_warning;
+    resumed = loadCheckpoint(opts.checkpoint_path, kCampaignCheckpointMetrics,
+                             &torn_warning);
+    if (!torn_warning.empty()) {
+      std::fprintf(stderr, "warning: %s\n", torn_warning.c_str());
+    }
   }
   // Reuses an ok checkpoint line for cell c, if one matches its key.
   const auto resumedCell =
@@ -169,7 +175,7 @@ FaultCampaignResult runFaultCampaign(const FaultCampaignOptions& opts) {
     cell.benchmark = prepared[c / opts.seeds].name;
     cell.fault_seed = support::deriveSeed(opts.base_seed, c);
     const auto it = resumed.find(checkpointKey(
-        cell.benchmark, campaignConfigKey(c, cell.fault_seed)));
+        cell.benchmark, campaignCellConfigKey(c, cell.fault_seed)));
     if (it == resumed.end() || it->second.status != CellStatus::kOk) {
       return std::nullopt;
     }
@@ -209,24 +215,17 @@ FaultCampaignResult runFaultCampaign(const FaultCampaignOptions& opts) {
     const auto on_settled = [&](std::size_t k,
                                 const Supervisor::Outcome& oc) {
       const std::size_t c = to_run[k];
-      FaultCampaignCell cell;
-      cell.benchmark = prepared[c / opts.seeds].name;
-      cell.fault_seed = support::deriveSeed(opts.base_seed, c);
-      cell.sequential_digest = prepared[c / opts.seeds].sequential_digest;
-      if (oc.status == CellStatus::kOk) {
-        if (!decodeCampaignCell(oc.payload, &cell)) {
-          cell.status = CellStatus::kProtocolError;
-          cell.diagnostic =
-              "worker payload passed frame validation but failed to decode "
-              "as a campaign cell";
-        }
-      } else {
-        cell.status = oc.status;
-        cell.diagnostic = oc.diagnostic;
+      FaultCampaignCell cell = campaignCellFromOutcome(
+          prepared[c / opts.seeds].name,
+          support::deriveSeed(opts.base_seed, c), oc);
+      // A failed cell never carried the worker's digest; fill the ground
+      // truth from phase 1 so its checkpoint line matches the historical
+      // format (an ok cell's payload already carries it).
+      if (!cell.ok() && cell.sequential_digest == 0) {
+        cell.sequential_digest = prepared[c / opts.seeds].sequential_digest;
       }
-      cell.worker = oc.worker;
       if (checkpoint.is_open()) {
-        checkpoint << formatCheckpointLine(toCheckpointLine(cell, c)) << '\n'
+        checkpoint << formatCheckpointLine(campaignCheckpointLine(cell, c)) << '\n'
                    << std::flush;
       }
       result.cells[c] = std::move(cell);
@@ -242,7 +241,7 @@ FaultCampaignResult runFaultCampaign(const FaultCampaignOptions& opts) {
           runCampaignCell(prepared[c / opts.seeds], c, opts);
       if (checkpoint.is_open()) {
         const std::lock_guard<std::mutex> lock(checkpoint_mu);
-        checkpoint << formatCheckpointLine(toCheckpointLine(cell, c)) << '\n'
+        checkpoint << formatCheckpointLine(campaignCheckpointLine(cell, c)) << '\n'
                    << std::flush;
       }
       return cell;
@@ -255,6 +254,65 @@ FaultCampaignResult runFaultCampaign(const FaultCampaignOptions& opts) {
     if (c.ok()) result.totals.accumulate(c.faults);
   }
   return result;
+}
+
+FaultCampaignCell runFaultCampaignCellStandalone(
+    const std::string& benchmark, std::size_t cell_index,
+    const FaultCampaignOptions& opts) {
+  FaultCampaignCell cell;
+  cell.benchmark = benchmark;
+  cell.fault_seed = support::deriveSeed(opts.base_seed, cell_index);
+  try {
+    for (const SuiteEntry& entry : defaultSuite()) {
+      if (entry.workload.name != benchmark) continue;
+      // The same prepare steps as runFaultCampaign's phase 1, scoped to
+      // one workload. Compilation and tracing are deterministic, so the
+      // cell's JSON-visible fields equal the batch campaign's.
+      Prepared p;
+      p.name = entry.workload.name;
+      p.module =
+          std::make_unique<ir::Module>(entry.workload.build(opts.scale));
+      compiler::SptCompiler cc(entry.copts);
+      InterpProfileRunner runner;
+      cc.compile(*p.module, runner);
+      TracedRun run =
+          traceProgram(*p.module, {}, opts.machine.max_trace_records);
+      p.trace = std::move(run.trace);
+      p.index = std::make_unique<trace::LoopIndex>(*p.module, p.trace);
+      p.sequential_digest = sim::Oracle::sequentialDigest(*p.module, p.trace);
+      return runCampaignCell(p, cell_index, opts);
+    }
+    cell.status = CellStatus::kInternalError;
+    cell.diagnostic = "unknown workload '" + benchmark + "'";
+  } catch (const support::SptBudgetExceeded& e) {
+    cell.status = CellStatus::kBudgetExceeded;
+    cell.diagnostic = e.what();
+  } catch (const std::exception& e) {
+    cell.status = CellStatus::kInternalError;
+    cell.diagnostic = e.what();
+  }
+  return cell;
+}
+
+FaultCampaignCell campaignCellFromOutcome(const std::string& benchmark,
+                                          std::uint64_t fault_seed,
+                                          const Supervisor::Outcome& oc) {
+  FaultCampaignCell cell;
+  cell.benchmark = benchmark;
+  cell.fault_seed = fault_seed;
+  if (oc.status == CellStatus::kOk) {
+    if (!decodeCampaignCell(oc.payload, &cell)) {
+      cell.status = CellStatus::kProtocolError;
+      cell.diagnostic =
+          "worker payload passed frame validation but failed to decode "
+          "as a campaign cell";
+    }
+  } else {
+    cell.status = oc.status;
+    cell.diagnostic = oc.diagnostic;
+  }
+  cell.worker = oc.worker;
+  return cell;
 }
 
 bool writeFaultCampaignJson(const std::string& path,

@@ -105,6 +105,44 @@ struct FaultCampaignResult {
 /// Runs the campaign over harness::defaultSuite().
 FaultCampaignResult runFaultCampaign(const FaultCampaignOptions& opts = {});
 
+/// Campaign checkpoint metric columns (harness/checkpoint.h line format):
+/// injected, detected_by_net, detected_by_oracle, benign, escaped,
+/// oracle_checks, arch_digest, sequential_digest, digest_match, diverged,
+/// divergence_pos.
+inline constexpr std::size_t kCampaignCheckpointMetrics = 11;
+
+/// The campaign cell's checkpoint config key,
+/// "cell:<index>/seed:<fault_seed>".
+std::string campaignCellConfigKey(std::size_t cell_index,
+                                  std::uint64_t fault_seed);
+
+/// The checkpoint line for one finished campaign cell, exposed so the
+/// sweep service appends to the same side files `sptc inject` writes.
+CheckpointLine campaignCheckpointLine(const FaultCampaignCell& cell,
+                                      std::size_t cell_index);
+
+/// Worker-side body of one campaign cell that owns its whole pipeline:
+/// compiles and traces `benchmark` (a defaultSuite() workload name) in the
+/// calling process, then runs the seeded fault cell exactly as
+/// runFaultCampaign's phase 2 would. The sweep service's pooled workers
+/// use this — they are forked before any request exists, so they cannot
+/// share a parent's prepared traces; re-deriving them is deterministic,
+/// and every JSON-visible field matches the batch campaign's. `cell_index`
+/// positions the cell in the grid (fault_seed =
+/// deriveSeed(opts.base_seed, cell_index)). An unknown benchmark or a
+/// failed compile/trace becomes a kInternalError cell, not a throw.
+FaultCampaignCell runFaultCampaignCellStandalone(
+    const std::string& benchmark, std::size_t cell_index,
+    const FaultCampaignOptions& opts);
+
+/// Parent-side settle of one supervised campaign cell: decodes a kOk
+/// outcome's payload (or synthesizes a failed cell from the tags and the
+/// transport diagnostic) and attaches the worker diagnostics. Mirrors
+/// sweepRowFromOutcome for the campaign path.
+FaultCampaignCell campaignCellFromOutcome(const std::string& benchmark,
+                                          std::uint64_t fault_seed,
+                                          const Supervisor::Outcome& outcome);
+
 /// {"totals":{...}, "all_detected_or_benign":b, "all_digests_match":b,
 ///  "all_cells_ok":b,
 ///  "cells":[{benchmark, fault_seed, status, injected, ..., digest_match,

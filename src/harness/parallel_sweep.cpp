@@ -1,5 +1,6 @@
 #include "harness/parallel_sweep.h"
 
+#include <cstdio>
 #include <fstream>
 #include <mutex>
 
@@ -23,15 +24,11 @@ std::vector<SweepRow> runSweep(const ParallelSweep& sweep,
   });
 }
 
-namespace {
-
 // The sweep stores the 20 summary metrics writeSweepJson emits in its
 // checkpoint lines (harness/checkpoint.h owns the shared line format), so
 // a resumed ok row carries the summary numbers but not the full plan/run
 // payloads.
-constexpr std::size_t kSweepCheckpointMetrics = 20;
-
-CheckpointLine toCheckpointLine(const SweepRow& r) {
+CheckpointLine sweepCheckpointLine(const SweepRow& r) {
   const sim::MachineResult& base = r.result.baseline;
   const sim::MachineResult& spt = r.result.spt;
   CheckpointLine line;
@@ -63,6 +60,38 @@ CheckpointLine toCheckpointLine(const SweepRow& r) {
   line.diagnostic = r.diagnostic;
   return line;
 }
+
+std::vector<SweepCase> buildSuiteSweepCases(
+    const support::MachineConfig& machine,
+    const compiler::CompilerOptions& copts, std::uint64_t scale,
+    const std::vector<std::string>& benchmarks) {
+  std::vector<SweepCase> cases;
+  for (auto& entry : defaultSuite()) {
+    if (!benchmarks.empty()) {
+      bool wanted = false;
+      for (const std::string& b : benchmarks) {
+        if (b == entry.workload.name) wanted = true;
+      }
+      if (!wanted) continue;
+    }
+    SweepCase c;
+    c.benchmark = entry.workload.name;
+    c.entry = std::move(entry);
+    // Suite-level per-benchmark overrides (gap's 2500 body-size limit)
+    // survive; every other knob comes from the caller.
+    const double per_benchmark_limit = c.entry.copts.max_avg_body_size;
+    c.entry.copts = copts;
+    if (per_benchmark_limit > c.entry.copts.max_avg_body_size) {
+      c.entry.copts.max_avg_body_size = per_benchmark_limit;
+    }
+    c.machine = machine;
+    c.scale = scale;
+    cases.push_back(std::move(c));
+  }
+  return cases;
+}
+
+namespace {
 
 SweepRow fromCheckpointLine(const CheckpointLine& l) {
   SweepRow out;
@@ -157,35 +186,17 @@ std::vector<SweepRow> runSweepSupervised(
   // (pooled or fork-per-cell) mmaps the same file, so the page cache
   // holds one physical copy per workload across the whole worker fleet.
   const auto produce = [&](std::size_t k) {
-    return encodeSweepRow(
-        runCell(cases[to_run[k]], /*catch_all=*/true, cache));
+    return produceSweepCellPayload(cases[to_run[k]], cache);
   };
 
   // The settle hook runs in the parent, single-threaded, as each cell's
   // retries resolve — checkpoint appends need no lock here.
   const auto on_settled = [&](std::size_t k, const Supervisor::Outcome& oc) {
     const std::size_t i = to_run[k];
-    SweepRow row;
-    if (oc.status == CellStatus::kOk) {
-      if (!decodeSweepRow(oc.payload, &row)) {
-        row.benchmark = cases[i].benchmark;
-        row.config = cases[i].config;
-        row.status = CellStatus::kProtocolError;
-        row.diagnostic =
-            "worker payload passed frame validation but failed to decode "
-            "as a sweep row";
-      }
-    } else {
-      // Transport failure or structured worker error: synthesize the row
-      // from the case tags and the supervisor's diagnostic.
-      row.benchmark = cases[i].benchmark;
-      row.config = cases[i].config;
-      row.status = oc.status;
-      row.diagnostic = oc.diagnostic;
-    }
-    row.worker = oc.worker;
+    SweepRow row =
+        sweepRowFromOutcome(cases[i].benchmark, cases[i].config, oc);
     if (checkpoint.is_open()) {
-      checkpoint << formatCheckpointLine(toCheckpointLine(row)) << '\n'
+      checkpoint << formatCheckpointLine(sweepCheckpointLine(row)) << '\n'
                  << std::flush;
     }
     rows[i] = std::move(row);
@@ -197,14 +208,47 @@ std::vector<SweepRow> runSweepSupervised(
 
 }  // namespace
 
+std::string produceSweepCellPayload(const SweepCase& c, TraceCache* cache) {
+  return encodeSweepRow(runCell(c, /*catch_all=*/true, cache));
+}
+
+SweepRow sweepRowFromOutcome(const std::string& benchmark,
+                             const std::string& config,
+                             const Supervisor::Outcome& oc) {
+  SweepRow row;
+  if (oc.status == CellStatus::kOk) {
+    if (!decodeSweepRow(oc.payload, &row)) {
+      row.benchmark = benchmark;
+      row.config = config;
+      row.status = CellStatus::kProtocolError;
+      row.diagnostic =
+          "worker payload passed frame validation but failed to decode "
+          "as a sweep row";
+    }
+  } else {
+    // Transport failure or structured worker error: synthesize the row
+    // from the case tags and the supervisor's diagnostic.
+    row.benchmark = benchmark;
+    row.config = config;
+    row.status = oc.status;
+    row.diagnostic = oc.diagnostic;
+  }
+  row.worker = oc.worker;
+  return row;
+}
+
 std::vector<SweepRow> runSweep(const ParallelSweep& sweep,
                                const std::vector<SweepCase>& cases,
                                const SweepOptions& opts) {
   std::map<std::string, SweepRow> resumed;
   if (opts.resume && !opts.checkpoint_path.empty()) {
-    for (auto& [key, line] :
-         loadCheckpoint(opts.checkpoint_path, kSweepCheckpointMetrics)) {
+    std::string torn_warning;
+    for (auto& [key, line] : loadCheckpoint(
+             opts.checkpoint_path, kSweepCheckpointMetrics, &torn_warning)) {
       resumed[key] = fromCheckpointLine(line);
+    }
+    if (!torn_warning.empty()) {
+      std::fprintf(stderr, "warning: %s\n", torn_warning.c_str());
     }
   }
 
@@ -243,7 +287,7 @@ std::vector<SweepRow> runSweep(const ParallelSweep& sweep,
     SweepRow row = runCell(c, /*catch_all=*/opts.quarantine, cache_ptr);
     if (checkpoint.is_open()) {
       const std::lock_guard<std::mutex> lock(checkpoint_mu);
-      checkpoint << formatCheckpointLine(toCheckpointLine(row)) << '\n'
+      checkpoint << formatCheckpointLine(sweepCheckpointLine(row)) << '\n'
                  << std::flush;
     }
     return row;

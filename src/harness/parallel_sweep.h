@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "harness/cell_status.h"
+#include "harness/checkpoint.h"
 #include "harness/suite.h"
 #include "harness/supervisor.h"
 #include "support/rng.h"
@@ -160,6 +161,42 @@ struct SweepOptions {
   /// without the cache.
   std::string trace_cache_dir;
 };
+
+/// Builds the standard suite sweep grid under one machine/compiler
+/// configuration: one case per defaultSuite() entry (in figure order),
+/// keeping suite-level per-benchmark overrides — gap's raised body-size
+/// limit survives unless the caller's own limit is higher. A non-empty
+/// `benchmarks` list filters the grid by workload name (unknown names are
+/// silently absent — callers that must reject them validate against
+/// defaultSuite() first). `sptc sweep`, the sweep service, and its
+/// pooled workers all build cases through this one function, which is
+/// what makes their grids — and therefore their JSON — identical.
+std::vector<SweepCase> buildSuiteSweepCases(
+    const support::MachineConfig& machine,
+    const compiler::CompilerOptions& copts, std::uint64_t scale,
+    const std::vector<std::string>& benchmarks = {});
+
+/// Worker-side body of one supervised sweep cell: runs the case with
+/// quarantine semantics and returns the encoded reply payload
+/// (cell_codec). Shared by the pooled/forked sweep workers and the sweep
+/// service's spec-mode workers.
+std::string produceSweepCellPayload(const SweepCase& c,
+                                    TraceCache* cache = nullptr);
+
+/// Parent-side settle of one supervised sweep cell: decodes a kOk
+/// outcome's payload (or synthesizes a row from the case tags and the
+/// transport diagnostic) and attaches the worker diagnostics. Shared by
+/// runSweep's supervised path and the sweep service.
+SweepRow sweepRowFromOutcome(const std::string& benchmark,
+                             const std::string& config,
+                             const Supervisor::Outcome& outcome);
+
+/// The checkpoint line for one finished sweep row (the 20 summary
+/// metrics; harness/checkpoint.h line format, kSweepCheckpointMetrics
+/// columns), exposed so the sweep service can append to the same
+/// checkpoint files the one-shot sweep writes.
+inline constexpr std::size_t kSweepCheckpointMetrics = 20;
+CheckpointLine sweepCheckpointLine(const SweepRow& row);
 
 /// Runs every case through runSptExperiment on `sweep`'s pool; rows come
 /// back in `cases` order.

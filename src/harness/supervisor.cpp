@@ -62,10 +62,21 @@ std::string hexDump(const std::string& bytes, std::size_t limit) {
 }
 
 /// The highest kind a frame of `version` may carry: v1 knows only the two
-/// one-shot reply kinds; v2 adds request and cell-tagged replies.
+/// one-shot reply kinds; v2 adds request and cell-tagged replies; v3 adds
+/// the spec request.
 std::uint8_t maxKindForVersion(std::uint32_t version) {
-  return version == kSupervisorFrameV1 ? kFrameKindWorkerError
-                                       : kFrameKindPooledError;
+  switch (version) {
+    case kSupervisorFrameV1:
+      return kFrameKindWorkerError;
+    case kSupervisorFrameV2:
+      return kFrameKindPooledError;
+    default:
+      return kFrameKindSpecRequest;
+  }
+}
+
+bool supportedFrameVersion(std::uint32_t version) {
+  return version >= kSupervisorFrameV1 && version <= kSupervisorFrameV3;
 }
 
 }  // namespace
@@ -106,10 +117,10 @@ bool decodeSupervisorFrame(const std::string& bytes, std::uint8_t* kind,
   }
   std::uint32_t version = 0;
   std::memcpy(&version, bytes.data() + 4, sizeof version);
-  if (version != kSupervisorFrameV1 && version != kSupervisorFrameV2) {
+  if (!supportedFrameVersion(version)) {
     return fail("unsupported frame version " + std::to_string(version) +
-                " (expected " + std::to_string(kSupervisorFrameV1) + " or " +
-                std::to_string(kSupervisorFrameV2) + ")");
+                " (expected " + std::to_string(kSupervisorFrameV1) + " to " +
+                std::to_string(kSupervisorFrameV3) + ")");
   }
   std::uint8_t k = 0;
   std::memcpy(&k, bytes.data() + 8, sizeof k);
@@ -162,7 +173,7 @@ FrameScan scanSupervisorFrame(const std::string& buf,
   if (buf.size() < 8) return FrameScan::kNeedMore;
   std::uint32_t version = 0;
   std::memcpy(&version, buf.data() + 4, sizeof version);
-  if (version != kSupervisorFrameV1 && version != kSupervisorFrameV2) {
+  if (!supportedFrameVersion(version)) {
     return corrupt("unsupported frame version " + std::to_string(version));
   }
   if (buf.size() < kFrameHeaderBytes) return FrameScan::kNeedMore;
@@ -218,6 +229,36 @@ bool decodePoolReply(const std::string& payload, PoolReplyHeader* header,
   std::memcpy(&header->sys_seconds, payload.data() + 16, 8);
   std::memcpy(&header->max_rss_kb, payload.data() + 24, 8);
   inner->assign(payload, kPrefix, payload.size() - kPrefix);
+  return true;
+}
+
+std::string encodePoolSpecRequest(std::uint64_t id, std::uint32_t attempt,
+                                  support::ChaosAction chaos,
+                                  const std::string& spec) {
+  std::string out;
+  const std::uint8_t action = static_cast<std::uint8_t>(chaos);
+  out.reserve(sizeof id + sizeof attempt + sizeof action + spec.size());
+  appendRaw(out, &id, sizeof id);
+  appendRaw(out, &attempt, sizeof attempt);
+  appendRaw(out, &action, sizeof action);
+  out += spec;
+  return out;
+}
+
+bool decodePoolSpecRequest(const std::string& payload, std::uint64_t* id,
+                           std::uint32_t* attempt,
+                           support::ChaosAction* chaos, std::string* spec) {
+  constexpr std::size_t kPrefix = 8 + 4 + 1;
+  if (payload.size() < kPrefix) return false;
+  std::memcpy(id, payload.data(), 8);
+  std::memcpy(attempt, payload.data() + 8, 4);
+  std::uint8_t action = 0;
+  std::memcpy(&action, payload.data() + 12, 1);
+  if (action > static_cast<std::uint8_t>(support::ChaosAction::kExit)) {
+    return false;
+  }
+  *chaos = static_cast<support::ChaosAction>(action);
+  spec->assign(payload, kPrefix, payload.size() - kPrefix);
   return true;
 }
 
@@ -401,12 +442,21 @@ void armPooledCpuLimit(std::uint64_t limit_seconds) {
   }
 }
 
+/// One decoded request off a pooled worker's request pipe: either an
+/// index-mode cell (SPTW v2) or a spec-mode job (SPTW v3).
+struct PoolWorkerRequest {
+  std::uint64_t id = 0;  // cell index (v2) or opaque token (v3)
+  std::uint32_t attempt = 1;
+  bool has_spec = false;
+  support::ChaosAction chaos = support::ChaosAction::kNone;  // v3 only
+  std::string spec;                                          // v3 only
+};
+
 /// Blocks until one complete request frame is buffered, decoded, and
 /// consumed. Returns false on clean shutdown (parent closed the request
 /// pipe). Any malformed bytes on the request pipe are unrecoverable for
 /// the worker; it exits and lets the parent's containment classify it.
-bool readPoolRequest(int fd, std::string& buf, std::uint64_t* cell,
-                     std::uint32_t* attempt) {
+bool readPoolRequest(int fd, std::string& buf, PoolWorkerRequest* req) {
   for (;;) {
     std::size_t frame_bytes = 0;
     const FrameScan scan = scanSupervisorFrame(buf, &frame_bytes, nullptr);
@@ -419,8 +469,18 @@ bool readPoolRequest(int fd, std::string& buf, std::uint64_t* cell,
         ::_exit(2);
       }
       buf.erase(0, frame_bytes);
-      if (kind != kFrameKindRequest ||
-          !decodePoolRequest(payload, cell, attempt)) {
+      if (kind == kFrameKindRequest) {
+        req->has_spec = false;
+        req->chaos = support::ChaosAction::kNone;
+        req->spec.clear();
+        if (!decodePoolRequest(payload, &req->id, &req->attempt)) ::_exit(2);
+      } else if (kind == kFrameKindSpecRequest) {
+        req->has_spec = true;
+        if (!decodePoolSpecRequest(payload, &req->id, &req->attempt,
+                                   &req->chaos, &req->spec)) {
+          ::_exit(2);
+        }
+      } else {
         ::_exit(2);
       }
       return true;
@@ -439,10 +499,13 @@ bool readPoolRequest(int fd, std::string& buf, std::uint64_t* cell,
 
 /// Pooled worker body: loop `recv request -> produce -> reply` until the
 /// parent closes the request pipe. Every reply is a v2 frame tagged with
-/// the cell it answers plus the worker's self-reported per-cell rusage.
+/// the id it answers plus the worker's self-reported per-cell rusage —
+/// spec-mode requests are answered with the same reply kinds, so the
+/// parent-side reply handling is identical across modes.
 [[noreturn]] void runPoolWorker(int request_fd, int reply_fd,
                                 const SupervisorOptions& options,
-                                const Supervisor::Producer& produce) {
+                                const Supervisor::Producer& produce,
+                                const WorkerPool::SpecProducer& produce_spec) {
   if (options.rlimit_as_bytes != 0) {
     rlimit rl{};
     rl.rlim_cur = static_cast<rlim_t>(options.rlimit_as_bytes);
@@ -451,18 +514,22 @@ bool readPoolRequest(int fd, std::string& buf, std::uint64_t* cell,
   }
 
   std::string in;
-  std::uint64_t cell = 0;
-  std::uint32_t attempt = 1;
-  while (readPoolRequest(request_fd, in, &cell, &attempt)) {
+  PoolWorkerRequest req;
+  while (readPoolRequest(request_fd, in, &req)) {
     armPooledCpuLimit(options.rlimit_cpu_seconds);
 
+    // Index-mode chaos is resolved here from the plan (the worker knows
+    // the cell index); spec-mode chaos arrives pre-resolved in the frame.
     const support::ChaosAction chaos =
-        options.chaos.actionFor(static_cast<std::size_t>(cell), attempt);
+        req.has_spec
+            ? req.chaos
+            : options.chaos.actionFor(static_cast<std::size_t>(req.id),
+                                      req.attempt);
     if (chaos != support::ChaosAction::kNone) {
-      performChaos(chaos, reply_fd, static_cast<std::size_t>(cell),
+      performChaos(chaos, reply_fd, static_cast<std::size_t>(req.id),
                    encodeSupervisorFrame(
                        kFrameKindPooledReply,
-                       encodePoolReply({cell, 0.0, 0.0, 0},
+                       encodePoolReply({req.id, 0.0, 0.0, 0},
                                        "chaos-partial-payload"),
                        kSupervisorFrameV2));
     }
@@ -472,7 +539,12 @@ bool readPoolRequest(int fd, std::string& buf, std::uint64_t* cell,
     std::uint8_t kind = kFrameKindPooledReply;
     std::string inner;
     try {
-      inner = produce(static_cast<std::size_t>(cell));
+      if (req.has_spec) {
+        if (!produce_spec) ::_exit(2);  // spec job sent to an index-only pool
+        inner = produce_spec(req.spec);
+      } else {
+        inner = produce(static_cast<std::size_t>(req.id));
+      }
     } catch (const std::exception& e) {
       kind = kFrameKindPooledError;
       inner = e.what();
@@ -483,7 +555,7 @@ bool readPoolRequest(int fd, std::string& buf, std::uint64_t* cell,
     rusage after{};
     ::getrusage(RUSAGE_SELF, &after);
     PoolReplyHeader header;
-    header.cell = cell;
+    header.cell = req.id;
     header.user_seconds =
         timevalSeconds(after.ru_utime) - timevalSeconds(before.ru_utime);
     header.sys_seconds =
@@ -512,15 +584,15 @@ struct PendingCell {
   Clock::time_point not_before;
 };
 
-/// One long-lived pool member. `busy` workers own an in-flight cell and
+/// One long-lived pool member. `busy` workers own an in-flight job and
 /// are polled; idle workers sit out of the poll set (a dead idle worker
 /// surfaces as a failed request write at the next dispatch).
 struct PoolWorker {
   pid_t pid = -1;
-  int request_fd = -1;  // parent writes SPTW v2 request frames here
+  int request_fd = -1;  // parent writes SPTW v2/v3 request frames here
   int reply_fd = -1;    // parent reads the worker's reply stream here
   bool busy = false;
-  std::size_t cell = 0;
+  std::uint64_t id = 0;  // cell index (index mode) or opaque token (spec)
   std::uint32_t attempt = 1;
   bool has_deadline = false;
   Clock::time_point deadline;
@@ -542,6 +614,13 @@ Clock::time_point deadlineFrom(Clock::time_point now, double seconds) {
   return now + std::chrono::duration_cast<Clock::duration>(
                    std::chrono::duration<double>(seconds));
 }
+
+/// Diagnostic for cells cancelled by SupervisorOptions::stop. Settled as
+/// kInternalError (never retried, re-run by --resume) with attempts == 0,
+/// so no worker block appears in JSON for a cell that never ran one.
+constexpr const char* kInterruptedDiagnostic =
+    "interrupted by signal before dispatch; finished cells are "
+    "checkpointed, re-run with --resume";
 
 /// Scoped SIG_IGN for SIGPIPE: the pooled parent writes request frames to
 /// pipes whose worker may just have died; the write must fail with EPIPE,
@@ -582,6 +661,10 @@ std::vector<Supervisor::Outcome> Supervisor::runForked(
   for (std::size_t i = 0; i < n; ++i) pending.push_back({i, 1, start});
   std::vector<RunningWorker> running;
   std::size_t settled = 0;
+  bool interrupted = false;
+  const auto stopRequested = [&] {
+    return options_.stop != nullptr && *options_.stop != 0;
+  };
 
   const auto settle = [&](std::size_t cell, Outcome outcome) {
     out[cell] = std::move(outcome);
@@ -651,7 +734,8 @@ std::vector<Supervisor::Outcome> Supervisor::runForked(
       }
     }
 
-    if (isTransportFailure(oc.status) && w.attempt <= options_.retries) {
+    if (!interrupted && isTransportFailure(oc.status) &&
+        w.attempt <= options_.retries) {
       const double delay = backoffSeconds(w.cell, w.attempt + 1);
       pending.push_back(
           {w.cell, w.attempt + 1, deadlineFrom(Clock::now(), delay)});
@@ -704,6 +788,20 @@ std::vector<Supervisor::Outcome> Supervisor::runForked(
   };
 
   while (settled < n) {
+    if (!interrupted && stopRequested()) {
+      // Graceful interrupt: cancel every undispatched cell (settled as
+      // kInternalError, re-run on --resume) and let the in-flight workers
+      // drain normally so their checkpoint lines are complete.
+      interrupted = true;
+      while (!pending.empty()) {
+        const PendingCell p = pending.front();
+        pending.pop_front();
+        Outcome oc;
+        oc.status = CellStatus::kInternalError;
+        oc.diagnostic = kInterruptedDiagnostic;
+        settle(p.cell, std::move(oc));
+      }
+    }
     Clock::time_point now = Clock::now();
 
     // Launch every due pending cell into a free worker slot.
@@ -808,43 +906,36 @@ std::vector<Supervisor::Outcome> Supervisor::runForked(
   return out;
 }
 
-std::vector<Supervisor::Outcome> Supervisor::runPooled(
-    std::size_t n, const Producer& produce, const OnSettled& on_settled,
-    PoolStats* stats) const {
-  ScopedIgnoreSigpipe sigpipe_guard;
+// ---- WorkerPool: parent-side pool management -----------------------------
+//
+// The containment machinery the original batch-only runPooled loop owned
+// — spawn/respawn, dispatch writes, reply-stream framing, death
+// classification, watchdog — now lives here so the sweep service can
+// drive the same pool from its own event loop. runPooled (below) is a
+// thin retry/aggregation layer on top, which keeps the two paths
+// byte-identical by construction.
 
-  std::vector<Outcome> out(n);
-  std::deque<PendingCell> pending;
-  const Clock::time_point start = Clock::now();
-  for (std::size_t i = 0; i < n; ++i) pending.push_back({i, 1, start});
+struct WorkerPool::Impl {
+  SupervisorOptions options;
+  Supervisor::Producer produce;
+  WorkerPool::SpecProducer produce_spec;
+  std::function<bool()> respawn_policy;
+  std::function<void()> child_setup;
   std::vector<PoolWorker> workers;
-  std::size_t settled = 0;
-
-  const auto settle = [&](std::size_t cell, Outcome outcome) {
-    out[cell] = std::move(outcome);
-    ++settled;
-    if (on_settled) on_settled(cell, out[cell]);
-  };
-
-  // Settles the attempt's outcome or queues the retry — the same policy
-  // as the fork-per-cell path.
-  const auto finishAttempt = [&](std::size_t cell, std::uint32_t attempt,
-                                 Outcome oc) {
-    if (isTransportFailure(oc.status) && attempt <= options_.retries) {
-      const double delay = backoffSeconds(cell, attempt + 1);
-      pending.push_back(
-          {cell, attempt + 1, deadlineFrom(Clock::now(), delay)});
-    } else {
-      settle(cell, std::move(oc));
-    }
-  };
-
+  std::size_t spawned = 0;
+  std::size_t respawned = 0;
   // errno from the most recent failed pipe()/fork() in spawnWorker,
-  // captured at the failure site: by the time the pool settles cells as
+  // captured at the failure site: by the time the caller settles cells as
   // unspawnable, intervening close()/kill()/wait4() calls have clobbered
   // the global errno.
   int last_spawn_errno = 0;
-  const auto spawnWorker = [&]() -> bool {
+  bool shut_down = false;
+
+  bool wantRespawn() const {
+    return !shut_down && (!respawn_policy || respawn_policy());
+  }
+
+  bool spawnWorker() {
     int request[2];
     int reply[2];
     if (::pipe(request) < 0) {
@@ -872,10 +963,14 @@ std::vector<Supervisor::Outcome> Supervisor::runPooled(
       // Drop inherited ends of sibling workers' pipes, so each worker's
       // EOF semantics depend only on the parent and itself.
       for (const PoolWorker& other : workers) {
-        ::close(other.request_fd);
-        ::close(other.reply_fd);
+        if (other.request_fd >= 0) ::close(other.request_fd);
+        if (other.reply_fd >= 0) ::close(other.reply_fd);
       }
-      runPoolWorker(request[0], reply[1], options_, produce);
+      // Caller-owned fds (a service's listening socket and client
+      // connections) are closed here, so a worker never holds a client's
+      // connection open past the parent's close().
+      if (child_setup) child_setup();
+      runPoolWorker(request[0], reply[1], options, produce, produce_spec);
     }
     ::close(request[0]);
     ::close(reply[1]);
@@ -886,25 +981,27 @@ std::vector<Supervisor::Outcome> Supervisor::runPooled(
     w.request_fd = request[1];
     w.reply_fd = reply[0];
     workers.push_back(std::move(w));
-    if (stats != nullptr) ++stats->workers_spawned;
+    ++spawned;
     return true;
-  };
+  }
 
   // Removes worker `wi` from the pool, reaps it, classifies the in-flight
-  // attempt (if any), and respawns a replacement while cells remain.
-  // `corrupt_reason` is non-empty when the parent detected a garbled
-  // reply stream (the worker was killed, or died right after garbling).
-  const auto workerDied = [&](std::size_t wi, bool timed_out,
-                              const std::string& corrupt_reason) {
+  // attempt (if any) into `out`, and respawns a replacement while the
+  // respawn policy allows. `corrupt_reason` is non-empty when the parent
+  // detected a garbled reply stream (the worker was killed, or died right
+  // after garbling).
+  void workerDied(std::size_t wi, bool timed_out,
+                  const std::string& corrupt_reason,
+                  std::vector<WorkerPool::Settled>& out) {
     PoolWorker w = std::move(workers[wi]);
     workers.erase(workers.begin() + static_cast<std::ptrdiff_t>(wi));
     rusage ru{};
     const int wait_status = reapWorker(w.pid, &ru);
-    ::close(w.request_fd);
+    if (w.request_fd >= 0) ::close(w.request_fd);
     ::close(w.reply_fd);
 
     if (w.busy) {
-      Outcome oc;
+      Supervisor::Outcome oc;
       oc.worker.attempts = w.attempt;
       oc.worker.timed_out = timed_out;
       // Whole-life rusage of the dead worker: the per-cell numbers a
@@ -918,7 +1015,7 @@ std::vector<Supervisor::Outcome> Supervisor::runPooled(
         oc.status = CellStatus::kTimeout;
         oc.worker.term_signal = sig;
         std::ostringstream os;
-        os << "worker exceeded the " << options_.cell_timeout_seconds
+        os << "worker exceeded the " << options.cell_timeout_seconds
            << "s wall-clock deadline on attempt " << w.attempt
            << "; killed (SIGKILL)";
         oc.diagnostic = os.str();
@@ -940,7 +1037,7 @@ std::vector<Supervisor::Outcome> Supervisor::runPooled(
         if (sig == SIGXCPU) {
           oc.status = CellStatus::kTimeout;
           oc.diagnostic = "worker hit RLIMIT_CPU (" +
-                          std::to_string(options_.rlimit_cpu_seconds) +
+                          std::to_string(options.rlimit_cpu_seconds) +
                           "s) and died on SIGXCPU";
         } else {
           oc.status = CellStatus::kCrashed;
@@ -964,46 +1061,16 @@ std::vector<Supervisor::Outcome> Supervisor::runPooled(
                         std::to_string(oc.worker.exit_code) + ")";
         if (!w.buf.empty()) oc.worker.partial_reply = hexDump(w.buf, 64);
       }
-      finishAttempt(w.cell, w.attempt, std::move(oc));
+      out.push_back({w.id, w.attempt, std::move(oc)});
     }
 
     // Respawn only the dead worker; the rest of the pool keeps draining.
-    if (settled < n && spawnWorker() && stats != nullptr) {
-      ++stats->workers_respawned;
-    }
-  };
-
-  // Sends the request frame; on a dead request pipe the cell goes back to
-  // the front of the queue (no attempt burned — the worker never saw it)
-  // and the worker is replaced.
-  const auto dispatch = [&](std::size_t wi, const PendingCell& p) -> bool {
-    PoolWorker& w = workers[wi];
-    const std::string frame = encodeSupervisorFrame(
-        kFrameKindRequest,
-        encodePoolRequest(static_cast<std::uint64_t>(p.cell), p.attempt),
-        kSupervisorFrameV2);
-    if (!writeAll(w.request_fd, frame.data(), frame.size())) {
-      pending.push_front(p);
-      ::kill(w.pid, SIGKILL);
-      workerDied(wi, /*timed_out=*/false, "");
-      return false;
-    }
-    w.busy = true;
-    w.cell = p.cell;
-    w.attempt = p.attempt;
-    w.buf.clear();
-    if (options_.cell_timeout_seconds > 0.0) {
-      w.has_deadline = true;
-      w.deadline = deadlineFrom(Clock::now(), options_.cell_timeout_seconds);
-    } else {
-      w.has_deadline = false;
-    }
-    return true;
-  };
+    if (wantRespawn() && spawnWorker()) ++respawned;
+  }
 
   // Consumes completed frames from worker `wi`'s reply stream. Returns
   // false (after containment) if the worker had to be killed.
-  const auto drainReplies = [&](std::size_t wi) -> bool {
+  bool drainReplies(std::size_t wi, std::vector<WorkerPool::Settled>& out) {
     PoolWorker& w = workers[wi];
     for (;;) {
       std::size_t frame_bytes = 0;
@@ -1016,7 +1083,7 @@ std::vector<Supervisor::Outcome> Supervisor::runPooled(
           !decodeSupervisorFrame(w.buf.substr(0, frame_bytes), &kind,
                                  &payload, &why)) {
         ::kill(w.pid, SIGKILL);
-        workerDied(wi, /*timed_out=*/false, why);
+        workerDied(wi, /*timed_out=*/false, why, out);
         return false;
       }
       w.buf.erase(0, frame_bytes);
@@ -1026,20 +1093,20 @@ std::vector<Supervisor::Outcome> Supervisor::runPooled(
       const bool cell_tagged =
           (kind == kFrameKindPooledReply || kind == kFrameKindPooledError) &&
           decodePoolReply(payload, &header, &inner);
-      if (!w.busy || !cell_tagged ||
-          header.cell != static_cast<std::uint64_t>(w.cell)) {
+      if (!w.busy || !cell_tagged || header.cell != w.id) {
         ::kill(w.pid, SIGKILL);
         workerDied(wi, /*timed_out=*/false,
                    !w.busy ? "unsolicited reply from an idle worker"
                    : !cell_tagged
                        ? "reply frame is not a cell-tagged pooled reply"
                        : "reply answers cell " + std::to_string(header.cell) +
-                             " but cell " + std::to_string(w.cell) +
-                             " was dispatched");
+                             " but cell " + std::to_string(w.id) +
+                             " was dispatched",
+                   out);
         return false;
       }
 
-      Outcome oc;
+      Supervisor::Outcome oc;
       oc.worker.attempts = w.attempt;
       oc.worker.exit_code = 0;  // a completed reply means a healthy worker
       oc.worker.host_user_seconds = header.user_seconds;
@@ -1052,28 +1119,263 @@ std::vector<Supervisor::Outcome> Supervisor::runPooled(
         oc.status = CellStatus::kInternalError;
         oc.diagnostic = "worker error: " + inner;
       }
-      const std::size_t cell = w.cell;
+      const std::uint64_t id = w.id;
       const std::uint32_t attempt = w.attempt;
       w.busy = false;
       w.has_deadline = false;
-      finishAttempt(cell, attempt, std::move(oc));
+      out.push_back({id, attempt, std::move(oc)});
+    }
+  }
+};
+
+WorkerPool::WorkerPool(SupervisorOptions options, Supervisor::Producer produce,
+                       SpecProducer produce_spec)
+    : impl_(std::make_unique<Impl>()) {
+  impl_->options = std::move(options);
+  impl_->produce = std::move(produce);
+  impl_->produce_spec = std::move(produce_spec);
+}
+
+WorkerPool::~WorkerPool() { shutdown(); }
+
+void WorkerPool::setRespawnPolicy(std::function<bool()> policy) {
+  impl_->respawn_policy = std::move(policy);
+}
+
+void WorkerPool::setChildSetup(std::function<void()> setup) {
+  impl_->child_setup = std::move(setup);
+}
+
+bool WorkerPool::ensure(std::size_t workers) {
+  while (impl_->workers.size() < workers) {
+    if (!impl_->spawnWorker()) return false;
+  }
+  return true;
+}
+
+std::size_t WorkerPool::workerCount() const { return impl_->workers.size(); }
+
+std::size_t WorkerPool::idleWorkers() const {
+  std::size_t idle = 0;
+  for (const PoolWorker& w : impl_->workers) {
+    if (!w.busy) ++idle;
+  }
+  return idle;
+}
+
+std::size_t WorkerPool::busyWorkers() const {
+  return impl_->workers.size() - idleWorkers();
+}
+
+std::size_t WorkerPool::workersSpawned() const { return impl_->spawned; }
+
+std::size_t WorkerPool::workersRespawned() const { return impl_->respawned; }
+
+int WorkerPool::lastSpawnErrno() const { return impl_->last_spawn_errno; }
+
+bool WorkerPool::dispatch(const Job& job) {
+  for (;;) {
+    std::size_t wi = impl_->workers.size();
+    for (std::size_t j = 0; j < impl_->workers.size(); ++j) {
+      if (!impl_->workers[j].busy) {
+        wi = j;
+        break;
+      }
+    }
+    if (wi == impl_->workers.size()) return false;  // no idle worker
+    PoolWorker& w = impl_->workers[wi];
+    const std::string frame =
+        job.has_spec
+            ? encodeSupervisorFrame(
+                  kFrameKindSpecRequest,
+                  encodePoolSpecRequest(job.id, job.attempt, job.chaos,
+                                        job.spec),
+                  kSupervisorFrameV3)
+            : encodeSupervisorFrame(kFrameKindRequest,
+                                    encodePoolRequest(job.id, job.attempt),
+                                    kSupervisorFrameV2);
+    if (!writeAll(w.request_fd, frame.data(), frame.size())) {
+      // Dead request pipe: the worker never saw the job (no attempt
+      // burned). Replace it and try the next idle worker — possibly the
+      // replacement itself.
+      ::kill(w.pid, SIGKILL);
+      std::vector<Settled> none;  // an idle worker settles nothing
+      impl_->workerDied(wi, /*timed_out=*/false, "", none);
+      continue;
+    }
+    w.busy = true;
+    w.id = job.id;
+    w.attempt = job.attempt;
+    w.buf.clear();
+    if (impl_->options.cell_timeout_seconds > 0.0) {
+      w.has_deadline = true;
+      w.deadline =
+          deadlineFrom(Clock::now(), impl_->options.cell_timeout_seconds);
+    } else {
+      w.has_deadline = false;
+    }
+    return true;
+  }
+}
+
+std::vector<int> WorkerPool::busyReplyFds() const {
+  std::vector<int> fds;
+  for (const PoolWorker& w : impl_->workers) {
+    if (w.busy) fds.push_back(w.reply_fd);
+  }
+  return fds;
+}
+
+bool WorkerPool::nextDeadline(std::chrono::steady_clock::time_point* out) const {
+  bool any = false;
+  for (const PoolWorker& w : impl_->workers) {
+    if (!w.busy || !w.has_deadline) continue;
+    if (!any || w.deadline < *out) *out = w.deadline;
+    any = true;
+  }
+  return any;
+}
+
+void WorkerPool::service(std::vector<Settled>& settled) {
+  // Snapshot the busy workers by pid: containment inside the loop mutates
+  // the pool (and a respawn can reuse a just-closed fd number, so fds are
+  // not stable identifiers either).
+  std::vector<pid_t> busy_pids;
+  for (const PoolWorker& w : impl_->workers) {
+    if (w.busy) busy_pids.push_back(w.pid);
+  }
+  for (const pid_t pid : busy_pids) {
+    std::size_t wi = impl_->workers.size();
+    for (std::size_t j = 0; j < impl_->workers.size(); ++j) {
+      if (impl_->workers[j].pid == pid) {
+        wi = j;
+        break;
+      }
+    }
+    if (wi == impl_->workers.size()) continue;  // removed by a prior pass
+    PoolWorker& w = impl_->workers[wi];
+    bool saw_eof = false;
+    char chunk[65536];
+    for (;;) {
+      const ssize_t r = ::read(w.reply_fd, chunk, sizeof chunk);
+      if (r > 0) {
+        w.buf.append(chunk, static_cast<std::size_t>(r));
+        if (w.buf.size() > kMaxPayloadBytes + kFrameHeaderBytes + 8) {
+          ::kill(w.pid, SIGKILL);
+          impl_->workerDied(wi, /*timed_out=*/false, "oversized reply",
+                            settled);
+          wi = impl_->workers.size();
+          break;
+        }
+        continue;
+      }
+      if (r == 0) {
+        saw_eof = true;
+        break;
+      }
+      if (errno == EINTR) continue;
+      break;  // EAGAIN: drained for now
+    }
+    if (wi == impl_->workers.size()) continue;  // contained above
+    if (!impl_->drainReplies(wi, settled)) continue;  // worker replaced
+    if (saw_eof) {
+      // The worker died (or exited on chaos) — any buffered partial
+      // frame is part of the post-mortem.
+      impl_->workerDied(wi, /*timed_out=*/false, "", settled);
+    }
+  }
+
+  // Watchdog: SIGKILL overdue busy workers; their cells settle as
+  // timeouts and the workers are replaced.
+  const Clock::time_point now = Clock::now();
+  for (std::size_t wi = 0; wi < impl_->workers.size();) {
+    PoolWorker& w = impl_->workers[wi];
+    if (w.busy && w.has_deadline && w.deadline <= now) {
+      ::kill(w.pid, SIGKILL);
+      impl_->workerDied(wi, /*timed_out=*/true, "", settled);
+    } else {
+      ++wi;
+    }
+  }
+}
+
+void WorkerPool::shutdown() {
+  if (impl_ == nullptr || impl_->shut_down) return;
+  impl_->shut_down = true;
+  // Closing the request pipes is the idle workers' EOF signal; they
+  // _exit(0) and are reaped below. A still-busy worker (drain abandoned)
+  // is killed so reaping cannot block on it.
+  for (PoolWorker& w : impl_->workers) {
+    if (w.busy) ::kill(w.pid, SIGKILL);
+    if (w.request_fd >= 0) {
+      ::close(w.request_fd);
+      w.request_fd = -1;
+    }
+  }
+  for (PoolWorker& w : impl_->workers) {
+    reapWorker(w.pid, nullptr);
+    ::close(w.reply_fd);
+  }
+  impl_->workers.clear();
+}
+
+std::vector<Supervisor::Outcome> Supervisor::runPooled(
+    std::size_t n, const Producer& produce, const OnSettled& on_settled,
+    PoolStats* stats) const {
+  ScopedIgnoreSigpipe sigpipe_guard;
+
+  std::vector<Outcome> out(n);
+  std::deque<PendingCell> pending;
+  const Clock::time_point start = Clock::now();
+  for (std::size_t i = 0; i < n; ++i) pending.push_back({i, 1, start});
+  std::size_t settled = 0;
+  bool interrupted = false;
+  const auto stopRequested = [&] {
+    return options_.stop != nullptr && *options_.stop != 0;
+  };
+
+  const auto settle = [&](std::size_t cell, Outcome outcome) {
+    out[cell] = std::move(outcome);
+    ++settled;
+    if (on_settled) on_settled(cell, out[cell]);
+  };
+
+  // Settles the attempt's outcome or queues the retry — the same policy
+  // as the fork-per-cell path.
+  const auto finishAttempt = [&](std::size_t cell, std::uint32_t attempt,
+                                 Outcome oc) {
+    if (!interrupted && isTransportFailure(oc.status) &&
+        attempt <= options_.retries) {
+      const double delay = backoffSeconds(cell, attempt + 1);
+      pending.push_back(
+          {cell, attempt + 1, deadlineFrom(Clock::now(), delay)});
+    } else {
+      settle(cell, std::move(oc));
     }
   };
 
-  const std::size_t pool_size = std::min(options_.jobs, std::max<std::size_t>(n, 1));
-  for (std::size_t i = 0; i < pool_size; ++i) {
-    if (!spawnWorker()) break;
-  }
+  WorkerPool pool(options_, produce);
+  pool.setRespawnPolicy([&] { return settled < n && !interrupted; });
+  pool.ensure(std::min(options_.jobs, std::max<std::size_t>(n, 1)));
 
+  std::vector<WorkerPool::Settled> batch;
   while (settled < n) {
+    if (!interrupted && stopRequested()) {
+      // Graceful interrupt: cancel the queue, drain the in-flight cells.
+      interrupted = true;
+      while (!pending.empty()) {
+        const PendingCell p = pending.front();
+        pending.pop_front();
+        Outcome oc;
+        oc.status = CellStatus::kInternalError;
+        oc.diagnostic = kInterruptedDiagnostic;
+        settle(p.cell, std::move(oc));
+      }
+    }
     Clock::time_point now = Clock::now();
 
     // Dispatch due pending cells to idle workers.
-    for (std::size_t wi = 0; wi < workers.size() && !pending.empty();) {
-      if (workers[wi].busy) {
-        ++wi;
-        continue;
-      }
+    while (!pending.empty() && pool.idleWorkers() > 0) {
       std::size_t pi = pending.size();
       for (std::size_t i = 0; i < pending.size(); ++i) {
         if (pending[i].not_before <= now) {
@@ -1084,11 +1386,18 @@ std::vector<Supervisor::Outcome> Supervisor::runPooled(
       if (pi == pending.size()) break;  // nothing due yet
       const PendingCell p = pending[pi];
       pending.erase(pending.begin() + static_cast<std::ptrdiff_t>(pi));
-      // A failed dispatch replaced the worker in-place; retry this slot.
-      if (dispatch(wi, p)) ++wi;
+      WorkerPool::Job job;
+      job.id = static_cast<std::uint64_t>(p.cell);
+      job.attempt = p.attempt;
+      if (!pool.dispatch(job)) {
+        // No idle worker survived the write; the cell was never sent and
+        // goes back to the front of the queue.
+        pending.push_front(p);
+        break;
+      }
     }
 
-    if (workers.empty()) {
+    if (pool.workerCount() == 0) {
       // The pool could not be (re)built; fail the remaining cells rather
       // than spin forever.
       while (!pending.empty()) {
@@ -1098,17 +1407,13 @@ std::vector<Supervisor::Outcome> Supervisor::runPooled(
         oc.status = CellStatus::kCrashed;
         oc.worker.attempts = p.attempt;
         oc.diagnostic = std::string("worker pool spawn failed: ") +
-                        std::strerror(last_spawn_errno);
+                        std::strerror(pool.lastSpawnErrno());
         settle(p.cell, std::move(oc));
       }
       break;
     }
 
-    std::vector<std::size_t> busy;
-    for (std::size_t wi = 0; wi < workers.size(); ++wi) {
-      if (workers[wi].busy) busy.push_back(wi);
-    }
-    if (busy.empty()) {
+    if (pool.busyWorkers() == 0) {
       if (pending.empty()) {
         if (settled < n) continue;  // dispatch loop will make progress
         break;
@@ -1127,16 +1432,14 @@ std::vector<Supervisor::Outcome> Supervisor::runPooled(
       const long long clamped = ms < 0 ? 0 : ms + 1;
       if (timeout_ms < 0 || clamped < timeout_ms) timeout_ms = clamped;
     };
-    for (const std::size_t wi : busy) {
-      if (workers[wi].has_deadline) consider(workers[wi].deadline);
-    }
+    Clock::time_point pool_deadline;
+    if (pool.nextDeadline(&pool_deadline)) consider(pool_deadline);
     for (const PendingCell& p : pending) consider(p.not_before);
 
-    std::vector<pollfd> fds(busy.size());
-    std::vector<pid_t> busy_pids(busy.size());
-    for (std::size_t i = 0; i < busy.size(); ++i) {
-      fds[i] = pollfd{workers[busy[i]].reply_fd, POLLIN, 0};
-      busy_pids[i] = workers[busy[i]].pid;
+    const std::vector<int> reply_fds = pool.busyReplyFds();
+    std::vector<pollfd> fds(reply_fds.size());
+    for (std::size_t i = 0; i < reply_fds.size(); ++i) {
+      fds[i] = pollfd{reply_fds[i], POLLIN, 0};
     }
     const int rc =
         ::poll(fds.data(), static_cast<nfds_t>(fds.size()),
@@ -1148,74 +1451,18 @@ std::vector<Supervisor::Outcome> Supervisor::runPooled(
           std::string("supervisor poll() failed: ") + std::strerror(errno));
     }
 
-    // Drain readable reply streams. Workers are looked up by pid (not
-    // index) because containment inside the loop mutates the pool.
-    for (std::size_t i = 0; i < busy.size(); ++i) {
-      if (!(fds[i].revents & (POLLIN | POLLHUP | POLLERR))) continue;
-      // Re-find the worker; it may have been removed by a prior iteration.
-      // Match by pid, not reply_fd: a respawn inside this pass can reuse a
-      // just-closed fd number, and matching the fd would hand a stale
-      // pollfd entry to the wrong (fresh, idle) worker.
-      const pid_t pid = busy_pids[i];
-      std::size_t wi = workers.size();
-      for (std::size_t j = 0; j < workers.size(); ++j) {
-        if (workers[j].pid == pid) {
-          wi = j;
-          break;
-        }
-      }
-      if (wi == workers.size()) continue;
-      PoolWorker& w = workers[wi];
-      bool saw_eof = false;
-      char chunk[65536];
-      for (;;) {
-        const ssize_t r = ::read(w.reply_fd, chunk, sizeof chunk);
-        if (r > 0) {
-          w.buf.append(chunk, static_cast<std::size_t>(r));
-          if (w.buf.size() > kMaxPayloadBytes + kFrameHeaderBytes + 8) {
-            ::kill(w.pid, SIGKILL);
-            workerDied(wi, /*timed_out=*/false, "oversized reply");
-            wi = workers.size();
-            break;
-          }
-          continue;
-        }
-        if (r == 0) {
-          saw_eof = true;
-          break;
-        }
-        if (errno == EINTR) continue;
-        break;  // EAGAIN: drained for now
-      }
-      if (wi == workers.size()) continue;  // contained above
-      if (!drainReplies(wi)) continue;     // worker replaced
-      if (saw_eof) {
-        // The worker died (or exited on chaos) — any buffered partial
-        // frame is part of the post-mortem.
-        workerDied(wi, /*timed_out=*/false, "");
-      }
-    }
-
-    // Watchdog: SIGKILL overdue busy workers; their cells reap as
-    // timeouts and the workers are replaced.
-    now = Clock::now();
-    for (std::size_t wi = 0; wi < workers.size();) {
-      PoolWorker& w = workers[wi];
-      if (w.busy && w.has_deadline && w.deadline <= now) {
-        ::kill(w.pid, SIGKILL);
-        workerDied(wi, /*timed_out=*/true, "");
-      } else {
-        ++wi;
-      }
+    batch.clear();
+    pool.service(batch);
+    for (WorkerPool::Settled& s : batch) {
+      finishAttempt(static_cast<std::size_t>(s.id), s.attempt,
+                    std::move(s.outcome));
     }
   }
 
-  // Shutdown: closing the request pipes is the workers' EOF signal; they
-  // _exit(0) and are reaped here.
-  for (PoolWorker& w : workers) ::close(w.request_fd);
-  for (PoolWorker& w : workers) {
-    reapWorker(w.pid, nullptr);
-    ::close(w.reply_fd);
+  pool.shutdown();
+  if (stats != nullptr) {
+    stats->workers_spawned = pool.workersSpawned();
+    stats->workers_respawned = pool.workersRespawned();
   }
   return out;
 }
@@ -1232,6 +1479,33 @@ std::vector<Supervisor::Outcome> Supervisor::run(std::size_t,
       "process isolation is not supported on this platform (no fork); "
       "use the in-process path");
 }
+
+struct WorkerPool::Impl {};
+
+WorkerPool::WorkerPool(SupervisorOptions, Supervisor::Producer,
+                       SpecProducer) {
+  throw support::SptInternalError(
+      "the warm worker pool is not supported on this platform (no fork)");
+}
+
+WorkerPool::~WorkerPool() = default;
+
+void WorkerPool::setRespawnPolicy(std::function<bool()>) {}
+void WorkerPool::setChildSetup(std::function<void()>) {}
+bool WorkerPool::ensure(std::size_t) { return false; }
+std::size_t WorkerPool::workerCount() const { return 0; }
+std::size_t WorkerPool::idleWorkers() const { return 0; }
+std::size_t WorkerPool::busyWorkers() const { return 0; }
+std::size_t WorkerPool::workersSpawned() const { return 0; }
+std::size_t WorkerPool::workersRespawned() const { return 0; }
+int WorkerPool::lastSpawnErrno() const { return 0; }
+bool WorkerPool::dispatch(const Job&) { return false; }
+std::vector<int> WorkerPool::busyReplyFds() const { return {}; }
+bool WorkerPool::nextDeadline(std::chrono::steady_clock::time_point*) const {
+  return false;
+}
+void WorkerPool::service(std::vector<Settled>&) {}
+void WorkerPool::shutdown() {}
 
 #endif  // SPT_SUPERVISOR_POSIX
 

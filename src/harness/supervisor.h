@@ -51,8 +51,11 @@
 // in-process path (also selectable with --no-isolate).
 #pragma once
 
+#include <chrono>
+#include <csignal>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -94,6 +97,13 @@ struct SupervisorOptions {
   std::size_t jobs = 0;
   /// Deterministic sabotage for testing the containment paths.
   support::ChaosPlan chaos;
+  /// Cooperative graceful-interrupt flag, set from a SIGINT/SIGTERM
+  /// handler. When non-null and nonzero the supervisor stops dispatching:
+  /// in-flight workers finish (and checkpoint) normally, every
+  /// undispatched cell settles as kInternalError with an "interrupted"
+  /// diagnostic, and run() returns — so an operator ^C never tears a
+  /// checkpoint line and `--resume` re-runs exactly the unfinished cells.
+  const volatile std::sig_atomic_t* stop = nullptr;
 };
 
 class Supervisor {
@@ -162,6 +172,109 @@ class Supervisor {
 #endif
 };
 
+/// Parent-side handle on the warm worker pool, factored out of the
+/// original batch-only runPooled loop so a long-lived event loop — the
+/// `sptc serve` sweep service — can drive dispatch itself. The pool owns
+/// worker processes, pipes, watchdog deadlines, death classification, and
+/// respawn; it deliberately does NOT own retry policy or result
+/// aggregation, which stay with the caller (Supervisor::runPooled is
+/// reimplemented on top, so the batch path and the service share one
+/// containment implementation and the byte-determinism tests cover both).
+///
+/// Two dispatch modes share the worker body:
+///  * **index mode** (SPTW v2 request frames): `Job::id` is a cell index
+///    fed to the pool's index producer — the pre-existing batch
+///    discipline, where every worker can already see the whole grid.
+///  * **spec mode** (SPTW v3 spec-request frames, `Job::has_spec`): the
+///    work itself crosses the pipe as opaque spec bytes handed to the
+///    spec producer; `id` is an opaque token echoed back on the reply.
+///    This is what a service needs — its workers are forked before any
+///    client request exists, so cells cannot be indices into parent
+///    state. The chaos action is resolved by the *caller* per job and
+///    carried in the frame (the worker cannot consult a plan keyed by
+///    request-local cell indices it never sees).
+///
+/// Only meaningful where Supervisor::isolationSupported(); construction
+/// throws elsewhere. Callers should hold a ScopedIgnoreSigpipe (or ignore
+/// SIGPIPE themselves) around dispatch, as runPooled does.
+class WorkerPool {
+ public:
+  struct Job {
+    std::uint64_t id = 0;
+    std::uint32_t attempt = 1;
+    bool has_spec = false;
+    std::string spec;
+    /// Spec mode only: sabotage the worker performs for this job.
+    support::ChaosAction chaos = support::ChaosAction::kNone;
+  };
+
+  /// One finished attempt — a reply, a death, or a watchdog timeout —
+  /// with the same transport classification runPooled applies. Whether to
+  /// retry is the caller's decision.
+  struct Settled {
+    std::uint64_t id = 0;
+    std::uint32_t attempt = 1;
+    Supervisor::Outcome outcome;
+  };
+
+  /// Runs in a pooled worker on a v3 spec request: spec bytes in,
+  /// serialized result out.
+  using SpecProducer = std::function<std::string(const std::string&)>;
+
+  WorkerPool(SupervisorOptions options, Supervisor::Producer produce,
+             SpecProducer produce_spec = nullptr);
+  ~WorkerPool();
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  /// Consulted when a worker dies: a replacement is forked only while the
+  /// policy returns true (default: always). Batch callers turn it off
+  /// once every cell settled; a draining service turns it off on SIGTERM.
+  void setRespawnPolicy(std::function<bool()> policy);
+
+  /// Runs in a freshly forked worker child (after the pool closed sibling
+  /// pipe ends, before the request loop): a service closes its listening
+  /// and client sockets here so workers never hold them open.
+  void setChildSetup(std::function<void()> setup);
+
+  /// Tops the pool up to `workers` processes; false if a spawn failed
+  /// (the pool keeps whatever it managed to fork).
+  bool ensure(std::size_t workers);
+
+  std::size_t workerCount() const;
+  std::size_t idleWorkers() const;
+  std::size_t busyWorkers() const;
+  std::size_t workersSpawned() const;
+  std::size_t workersRespawned() const;
+  /// errno of the most recent failed pipe()/fork() inside a spawn.
+  int lastSpawnErrno() const;
+
+  /// Writes the job's request frame to an idle worker. A dead request
+  /// pipe replaces that worker and tries the next idle one; false means
+  /// no idle worker could take the job (none existed, or every candidate
+  /// died and respawn is off/failing) — the job was not sent and no
+  /// attempt was burned.
+  bool dispatch(const Job& job);
+
+  /// Reply fds of busy workers, for the caller's poll set. Idle workers
+  /// have no fd here — a dead idle worker surfaces at the next dispatch.
+  std::vector<int> busyReplyFds() const;
+  /// Nearest watchdog deadline among busy workers; false when none.
+  bool nextDeadline(std::chrono::steady_clock::time_point* out) const;
+
+  /// Drains every busy worker's reply stream (non-blocking) and runs the
+  /// watchdog; each finished attempt is appended to `settled`.
+  void service(std::vector<Settled>& settled);
+
+  /// EOFs the request pipes (idle workers _exit(0) on their own) and
+  /// reaps every worker. Idempotent; the destructor calls it.
+  void shutdown();
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
 // ---- SPTW frame protocol (exposed for tests and the worker side) ----------
 //
 // A frame is:
@@ -170,17 +283,22 @@ class Supervisor {
 //
 // Version 1 (fork-per-cell, one frame per worker lifetime) carries only
 // reply kinds 0-1. Version 2 (warm pool) adds the request and cell-tagged
-// reply kinds; the decoder accepts both versions and validates the kind
-// against the version, so one-shot v1 workers keep decoding unchanged.
+// reply kinds. Version 3 (external dispatch / sweep service) adds the
+// spec-request kind, whose payload carries the work itself instead of a
+// cell index. The decoder accepts all versions and validates the kind
+// against the version, so one-shot v1 workers keep decoding unchanged and
+// a v1/v2 frame can never smuggle a spec request.
 
 inline constexpr std::uint32_t kSupervisorFrameV1 = 1;
 inline constexpr std::uint32_t kSupervisorFrameV2 = 2;
+inline constexpr std::uint32_t kSupervisorFrameV3 = 3;
 
 inline constexpr std::uint8_t kFrameKindPayload = 0;      // worker reply (v1+)
 inline constexpr std::uint8_t kFrameKindWorkerError = 1;  // worker reply (v1+)
 inline constexpr std::uint8_t kFrameKindRequest = 2;      // parent->worker (v2)
 inline constexpr std::uint8_t kFrameKindPooledReply = 3;  // worker reply (v2)
 inline constexpr std::uint8_t kFrameKindPooledError = 4;  // worker reply (v2)
+inline constexpr std::uint8_t kFrameKindSpecRequest = 5;  // parent->worker (v3)
 
 /// Encodes one frame. `kind` must be valid for `version` (v1 carries only
 /// kinds 0-1).
@@ -228,5 +346,18 @@ std::string encodePoolReply(const PoolReplyHeader& header,
                             const std::string& inner);
 bool decodePoolReply(const std::string& payload, PoolReplyHeader* header,
                      std::string* inner);
+
+/// Spec-request payload (SPTW v3, WorkerPool spec mode): an opaque token
+/// echoed back in the reply's PoolReplyHeader.cell, the (1-based) attempt,
+/// the chaos action the worker must perform (resolved by the dispatcher —
+/// a service worker never sees the request-local cell index a ChaosPlan is
+/// keyed by), and the spec bytes the worker's SpecProducer consumes.
+/// decodePoolSpecRequest rejects an out-of-range action byte.
+std::string encodePoolSpecRequest(std::uint64_t id, std::uint32_t attempt,
+                                  support::ChaosAction chaos,
+                                  const std::string& spec);
+bool decodePoolSpecRequest(const std::string& payload, std::uint64_t* id,
+                           std::uint32_t* attempt,
+                           support::ChaosAction* chaos, std::string* spec);
 
 }  // namespace spt::harness

@@ -1,0 +1,1514 @@
+#include "harness/sweep_service.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <deque>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <thread>
+#include <utility>
+
+#include "harness/cell_codec.h"
+#include "harness/checkpoint.h"
+#include "harness/suite.h"
+#include "harness/trace_cache.h"
+#include "support/json.h"
+#include "support/rng.h"
+#include "support/thread_pool.h"
+#include "support/wire.h"
+
+#if defined(__unix__) || (defined(__APPLE__) && defined(__MACH__))
+#define SPT_SERVICE_POSIX 1
+#include <errno.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#endif
+
+namespace spt::harness {
+
+namespace wire = support::wire;
+
+// ---- ServiceRequest codec -------------------------------------------------
+
+namespace {
+
+void encodeCache(ByteWriter& w, const support::CacheConfig& c) {
+  w.u32(c.size_bytes);
+  w.u32(c.associativity);
+  w.u32(c.block_bytes);
+  w.u32(c.latency_cycles);
+}
+
+bool decodeCache(ByteReader& r, support::CacheConfig* c) {
+  return r.u32(&c->size_bytes) && r.u32(&c->associativity) &&
+         r.u32(&c->block_bytes) && r.u32(&c->latency_cycles);
+}
+
+void encodeMachine(ByteWriter& w, const support::MachineConfig& m) {
+  encodeCache(w, m.l1i);
+  encodeCache(w, m.l1d);
+  encodeCache(w, m.l2);
+  encodeCache(w, m.l3);
+  w.u32(m.memory_latency_cycles);
+  w.u32(m.fetch_width);
+  w.u32(m.issue_width);
+  w.u32(m.replay_fetch_width);
+  w.u32(m.replay_issue_width);
+  w.u32(m.rf_ports);
+  w.u32(m.branch_predictor_entries);
+  w.u32(m.branch_mispredict_penalty);
+  w.u32(m.rf_copy_overhead);
+  w.u32(m.fast_commit_overhead);
+  w.u32(m.speculation_result_buffer_entries);
+  w.u32(m.speculative_store_buffer_entries);
+  w.u32(m.load_address_buffer_entries);
+  w.u8(static_cast<std::uint8_t>(m.recovery));
+  w.u8(static_cast<std::uint8_t>(m.register_check));
+  w.u64(m.max_trace_records);
+  w.u64(m.max_simulated_records);
+  w.u64(m.max_simulated_cycles);
+  w.u8(static_cast<std::uint8_t>(m.oracle));
+  w.boolean(m.fault_plan.enabled);
+  w.u64(m.fault_plan.seed);
+  w.u32(m.fault_plan.period);
+  w.boolean(m.fault_plan.ssb_value_flip);
+  w.boolean(m.fault_plan.lab_drop);
+  w.boolean(m.fault_plan.fork_reg_flip);
+  w.boolean(m.fault_plan.srb_payload_flip);
+  w.boolean(m.fault_plan.cache_meta_flip);
+  w.boolean(m.fault_plan.bp_meta_flip);
+}
+
+bool decodeMachine(ByteReader& r, support::MachineConfig* m) {
+  std::uint8_t recovery = 0, register_check = 0, oracle = 0;
+  if (!(decodeCache(r, &m->l1i) && decodeCache(r, &m->l1d) &&
+        decodeCache(r, &m->l2) && decodeCache(r, &m->l3) &&
+        r.u32(&m->memory_latency_cycles) && r.u32(&m->fetch_width) &&
+        r.u32(&m->issue_width) && r.u32(&m->replay_fetch_width) &&
+        r.u32(&m->replay_issue_width) && r.u32(&m->rf_ports) &&
+        r.u32(&m->branch_predictor_entries) &&
+        r.u32(&m->branch_mispredict_penalty) && r.u32(&m->rf_copy_overhead) &&
+        r.u32(&m->fast_commit_overhead) &&
+        r.u32(&m->speculation_result_buffer_entries) &&
+        r.u32(&m->speculative_store_buffer_entries) &&
+        r.u32(&m->load_address_buffer_entries) && r.u8(&recovery) &&
+        r.u8(&register_check) && r.u64(&m->max_trace_records) &&
+        r.u64(&m->max_simulated_records) && r.u64(&m->max_simulated_cycles) &&
+        r.u8(&oracle))) {
+    return false;
+  }
+  if (recovery > 2 || register_check > 1 || oracle > 2) return false;
+  m->recovery = static_cast<support::RecoveryMechanism>(recovery);
+  m->register_check = static_cast<support::RegisterCheckMode>(register_check);
+  m->oracle = static_cast<support::OracleMode>(oracle);
+  support::FaultPlan& fp = m->fault_plan;
+  return r.boolean(&fp.enabled) && r.u64(&fp.seed) && r.u32(&fp.period) &&
+         r.boolean(&fp.ssb_value_flip) && r.boolean(&fp.lab_drop) &&
+         r.boolean(&fp.fork_reg_flip) && r.boolean(&fp.srb_payload_flip) &&
+         r.boolean(&fp.cache_meta_flip) && r.boolean(&fp.bp_meta_flip);
+}
+
+void encodeCompilerOptions(ByteWriter& w, const compiler::CompilerOptions& o) {
+  w.f64(o.min_avg_body_size);
+  w.f64(o.max_avg_body_size);
+  w.f64(o.min_avg_trip_count);
+  w.f64(o.min_coverage);
+  w.f64(o.max_prefork_fraction);
+  w.u32(o.max_search_candidates);
+  w.boolean(o.enable_svp);
+  w.f64(o.svp_min_predictability);
+  w.boolean(o.enable_unrolling);
+  w.f64(o.unroll_body_threshold);
+  w.u32(o.max_unroll_factor);
+  w.f64(o.min_estimated_speedup);
+  w.boolean(o.cost_driven_selection);
+  w.boolean(o.verify_between_passes);
+  w.boolean(o.enable_region_speculation);
+  w.f64(o.region_min_cost);
+  w.f64(o.region_penalty_weight);
+  w.f64(o.region_min_benefit);
+  w.f64(o.fork_overhead);
+  w.f64(o.commit_overhead);
+  w.f64(o.replay_width);
+}
+
+bool decodeCompilerOptions(ByteReader& r, compiler::CompilerOptions* o) {
+  return r.f64(&o->min_avg_body_size) && r.f64(&o->max_avg_body_size) &&
+         r.f64(&o->min_avg_trip_count) && r.f64(&o->min_coverage) &&
+         r.f64(&o->max_prefork_fraction) && r.u32(&o->max_search_candidates) &&
+         r.boolean(&o->enable_svp) && r.f64(&o->svp_min_predictability) &&
+         r.boolean(&o->enable_unrolling) && r.f64(&o->unroll_body_threshold) &&
+         r.u32(&o->max_unroll_factor) && r.f64(&o->min_estimated_speedup) &&
+         r.boolean(&o->cost_driven_selection) &&
+         r.boolean(&o->verify_between_passes) &&
+         r.boolean(&o->enable_region_speculation) &&
+         r.f64(&o->region_min_cost) && r.f64(&o->region_penalty_weight) &&
+         r.f64(&o->region_min_benefit) && r.f64(&o->fork_overhead) &&
+         r.f64(&o->commit_overhead) && r.f64(&o->replay_width);
+}
+
+}  // namespace
+
+std::string encodeServiceRequest(const ServiceRequest& req) {
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(req.kind));
+  w.u64(req.scale);
+  encodeMachine(w, req.machine);
+  encodeCompilerOptions(w, req.copts);
+  w.u64(req.benchmarks.size());
+  for (const std::string& b : req.benchmarks) w.str(b);
+  w.u64(req.seeds);
+  w.u64(req.base_seed);
+  w.u32(req.period);
+  w.u8(static_cast<std::uint8_t>(req.oracle));
+  w.u64(req.echo_cells);
+  w.str(req.echo_payload);
+  w.f64(req.deadline_seconds);
+  w.str(req.chaos.toSpec());
+  return w.take();
+}
+
+bool decodeServiceRequest(const std::string& payload, ServiceRequest* req) {
+  ByteReader r(payload);
+  ServiceRequest out;
+  std::uint8_t kind = 0, oracle = 0;
+  if (!(r.u8(&kind) && r.u64(&out.scale))) return false;
+  if (kind > 2) return false;
+  out.kind = static_cast<ServiceRequest::Kind>(kind);
+  if (!decodeMachine(r, &out.machine)) return false;
+  if (!decodeCompilerOptions(r, &out.copts)) return false;
+  std::uint64_t nbench = 0;
+  if (!r.u64(&nbench) || nbench > 4096) return false;
+  out.benchmarks.resize(static_cast<std::size_t>(nbench));
+  for (std::string& b : out.benchmarks) {
+    if (!r.str(&b)) return false;
+  }
+  std::string chaos_spec;
+  if (!(r.u64(&out.seeds) && r.u64(&out.base_seed) && r.u32(&out.period) &&
+        r.u8(&oracle) && r.u64(&out.echo_cells) && r.str(&out.echo_payload) &&
+        r.f64(&out.deadline_seconds) && r.str(&chaos_spec))) {
+    return false;
+  }
+  if (oracle > 2 || !r.ok() || !r.atEnd()) return false;
+  out.oracle = static_cast<support::OracleMode>(oracle);
+  if (!chaos_spec.empty()) {
+    std::optional<support::ChaosPlan> plan = support::ChaosPlan::parse(chaos_spec);
+    if (!plan) return false;
+    out.chaos = *plan;
+  }
+  *req = std::move(out);
+  return true;
+}
+
+// ---- Internal frame payloads ----------------------------------------------
+
+namespace {
+
+std::string encodeServiceFrame(std::uint8_t kind, const std::string& payload) {
+  return wire::encodeFrame(kServiceFrameMagic, kServiceFrameV1, kind, payload);
+}
+
+std::string encodeProgressPayload(std::uint64_t done, std::uint64_t total) {
+  ByteWriter w;
+  w.u64(done);
+  w.u64(total);
+  return w.take();
+}
+
+bool decodeProgressPayload(const std::string& payload, std::uint64_t* done,
+                           std::uint64_t* total) {
+  ByteReader r(payload);
+  return r.u64(done) && r.u64(total) && r.atEnd();
+}
+
+std::string encodeBusyPayload(double retry_after, const std::string& reason) {
+  ByteWriter w;
+  w.f64(retry_after);
+  w.str(reason);
+  return w.take();
+}
+
+bool decodeBusyPayload(const std::string& payload, double* retry_after,
+                       std::string* reason) {
+  ByteReader r(payload);
+  return r.f64(retry_after) && r.str(reason) && r.atEnd();
+}
+
+std::string encodeTextPayload(const std::string& text) {
+  ByteWriter w;
+  w.str(text);
+  return w.take();
+}
+
+bool decodeTextPayload(const std::string& payload, std::string* text) {
+  ByteReader r(payload);
+  return r.str(text) && r.atEnd();
+}
+
+std::string encodeDonePayload(std::uint64_t total) {
+  ByteWriter w;
+  w.u64(total);
+  return w.take();
+}
+
+bool decodeDonePayload(const std::string& payload, std::uint64_t* total) {
+  ByteReader r(payload);
+  return r.u64(total) && r.atEnd();
+}
+
+/// One finished cell crossing the socket: position, result-kind tag ('W'
+/// sweep row / 'C' campaign cell / 'E' echo bytes), the inner cell-codec
+/// payload, and the parent-side worker diagnostics (which never ride
+/// inside the inner payload — same split as the JSON writers).
+struct ResultFramePayload {
+  std::uint64_t cell = 0;
+  std::uint64_t total = 0;
+  std::uint8_t tag = 'E';
+  std::string inner;
+  WorkerDiagnostics worker;
+};
+
+std::string encodeResultPayload(const ResultFramePayload& p) {
+  ByteWriter w;
+  w.u64(p.cell);
+  w.u64(p.total);
+  w.u8(p.tag);
+  w.str(p.inner);
+  w.u32(p.worker.attempts);
+  w.u32(static_cast<std::uint32_t>(p.worker.exit_code));
+  w.u32(static_cast<std::uint32_t>(p.worker.term_signal));
+  w.boolean(p.worker.timed_out);
+  w.f64(p.worker.host_user_seconds);
+  w.f64(p.worker.host_sys_seconds);
+  w.u64(static_cast<std::uint64_t>(p.worker.host_max_rss_kb));
+  w.str(p.worker.partial_reply);
+  return w.take();
+}
+
+bool decodeResultPayload(const std::string& payload, ResultFramePayload* p) {
+  ByteReader r(payload);
+  std::uint32_t exit_code = 0, term_signal = 0;
+  std::uint64_t rss = 0;
+  if (!(r.u64(&p->cell) && r.u64(&p->total) && r.u8(&p->tag) &&
+        r.str(&p->inner) && r.u32(&p->worker.attempts) && r.u32(&exit_code) &&
+        r.u32(&term_signal) && r.boolean(&p->worker.timed_out) &&
+        r.f64(&p->worker.host_user_seconds) &&
+        r.f64(&p->worker.host_sys_seconds) && r.u64(&rss) &&
+        r.str(&p->worker.partial_reply) && r.atEnd())) {
+    return false;
+  }
+  p->worker.exit_code = static_cast<std::int32_t>(exit_code);
+  p->worker.term_signal = static_cast<std::int32_t>(term_signal);
+  p->worker.host_max_rss_kb =
+      static_cast<std::int64_t>(rss);
+  return true;
+}
+
+// ---- Worker-side spec ------------------------------------------------------
+
+/// The spec bytes a pooled worker receives per cell: the (normalized)
+/// request, the grid-local cell index, and the shared trace-cache root.
+std::string encodeWorkerSpec(const std::string& request_bytes,
+                             std::uint64_t cell,
+                             const std::string& trace_cache_dir) {
+  ByteWriter w;
+  w.str(request_bytes);
+  w.u64(cell);
+  w.str(trace_cache_dir);
+  return w.take();
+}
+
+bool decodeWorkerSpec(const std::string& spec, ServiceRequest* req,
+                      std::uint64_t* cell, std::string* trace_cache_dir) {
+  ByteReader r(spec);
+  std::string request_bytes;
+  if (!(r.str(&request_bytes) && r.u64(cell) && r.str(trace_cache_dir) &&
+        r.atEnd())) {
+    return false;
+  }
+  return decodeServiceRequest(request_bytes, req);
+}
+
+/// The service's suite-order benchmark resolution: the campaign grid is
+/// names × seeds in this order on the parent and in every worker.
+std::vector<std::string> resolveSuiteNames(
+    const std::vector<std::string>& filter) {
+  std::vector<std::string> names;
+  for (const SuiteEntry& entry : defaultSuite()) {
+    if (!filter.empty()) {
+      bool wanted = false;
+      for (const std::string& b : filter) {
+        if (b == entry.workload.name) wanted = true;
+      }
+      if (!wanted) continue;
+    }
+    names.push_back(entry.workload.name);
+  }
+  return names;
+}
+
+FaultCampaignOptions campaignOptionsFromRequest(const ServiceRequest& req) {
+  FaultCampaignOptions fopts;
+  fopts.seeds = req.seeds;
+  fopts.base_seed = req.base_seed;
+  fopts.scale = req.scale;
+  fopts.period = req.period;
+  fopts.oracle = req.oracle;
+  fopts.machine = req.machine;
+  return fopts;
+}
+
+/// Runs in a pooled service worker: spec bytes in, cell-codec payload out.
+/// Throwing reports a structured kInternalError to the parent, exactly as
+/// the batch producers do.
+std::string serviceSpecProduce(const std::string& spec) {
+  ServiceRequest req;
+  std::uint64_t cell = 0;
+  std::string cache_dir;
+  if (!decodeWorkerSpec(spec, &req, &cell, &cache_dir)) {
+    throw std::runtime_error("service worker received an undecodable spec");
+  }
+  switch (req.kind) {
+    case ServiceRequest::Kind::kEcho:
+      return req.echo_payload + ":" + std::to_string(cell);
+    case ServiceRequest::Kind::kSweep: {
+      std::vector<SweepCase> cases =
+          buildSuiteSweepCases(req.machine, req.copts, req.scale,
+                               req.benchmarks);
+      if (cell >= cases.size()) {
+        throw std::runtime_error("sweep cell index out of range");
+      }
+      // One cache handle per worker process, rebuilt only if a later
+      // request names a different root.
+      static std::unique_ptr<TraceCache> cache;
+      TraceCache* cache_ptr = nullptr;
+      if (!cache_dir.empty()) {
+        if (!cache || cache->dir() != cache_dir) {
+          cache = std::make_unique<TraceCache>(cache_dir);
+        }
+        cache_ptr = cache.get();
+      }
+      return produceSweepCellPayload(cases[cell], cache_ptr);
+    }
+    case ServiceRequest::Kind::kCampaign: {
+      std::vector<std::string> names = resolveSuiteNames(req.benchmarks);
+      if (req.seeds == 0 || cell / req.seeds >= names.size()) {
+        throw std::runtime_error("campaign cell index out of range");
+      }
+      const std::string& benchmark = names[cell / req.seeds];
+      return encodeCampaignCell(runFaultCampaignCellStandalone(
+          benchmark, static_cast<std::size_t>(cell),
+          campaignOptionsFromRequest(req)));
+    }
+  }
+  throw std::runtime_error("service worker received an unknown request kind");
+}
+
+#if defined(SPT_SERVICE_POSIX)
+
+/// Scoped SIG_IGN for SIGPIPE, mirroring the supervisor's: both the
+/// service (writing to clients that may vanish) and the submit client
+/// (writing to a service that may have exited) need EPIPE, not death.
+class ScopedIgnoreSigpipe {
+ public:
+  ScopedIgnoreSigpipe() {
+    struct sigaction ignore {};
+    ignore.sa_handler = SIG_IGN;
+    sigemptyset(&ignore.sa_mask);
+    ok_ = sigaction(SIGPIPE, &ignore, &saved_) == 0;
+  }
+  ~ScopedIgnoreSigpipe() {
+    if (ok_) sigaction(SIGPIPE, &saved_, nullptr);
+  }
+
+ private:
+  struct sigaction saved_ {};
+  bool ok_ = false;
+};
+
+#endif  // SPT_SERVICE_POSIX
+
+}  // namespace
+
+// ---- The service ----------------------------------------------------------
+
+#if defined(SPT_SERVICE_POSIX)
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+constexpr std::size_t kMaxClientOutbufBytes = 256ull << 20;
+constexpr const char* kDrainDiagnostic =
+    "interrupted: service draining on signal before dispatch; finished "
+    "cells are checkpointed, resubmit for the rest";
+constexpr const char* kDeadlineDiagnostic =
+    "request deadline exceeded before dispatch; cell never ran";
+
+}  // namespace
+
+struct SweepService::Impl {
+  explicit Impl(SweepServiceOptions opts) : options(std::move(opts)) {}
+
+  SweepServiceOptions options;
+
+  struct PendingCell {
+    std::uint64_t cell = 0;
+    std::uint32_t attempt = 1;
+    Clock::time_point not_before{};
+  };
+
+  struct Client {
+    int fd = -1;
+    std::uint64_t id = 0;
+    std::string inbuf;
+    std::string outbuf;
+    std::size_t out_pos = 0;
+    bool admitted = false;
+    bool done_sent = false;
+    bool close_after_flush = false;
+    ServiceRequest request;
+    std::string request_bytes;  // normalized, pre-encoded for worker specs
+    std::uint8_t tag = 'E';
+    std::uint64_t total = 0;
+    std::uint64_t done = 0;
+    std::uint64_t dispatched = 0;  // fairness counter (dispatch events)
+    std::size_t running = 0;
+    std::deque<PendingCell> ready;
+    std::vector<PendingCell> waiting;  // retry backoff, not yet due
+    bool has_deadline = false;
+    Clock::time_point deadline{};
+    // Campaign metadata for parent-side settles.
+    std::vector<std::string> campaign_names;
+    // Sweep metadata: benchmark/config per cell.
+    std::vector<std::pair<std::string, std::string>> sweep_keys;
+  };
+
+  std::unique_ptr<WorkerPool> pool;
+  std::unique_ptr<Supervisor> backoff;  // retry-delay policy only
+  int listen_fd = -1;
+  std::size_t jobs = 1;
+  std::uint64_t next_client_id = 1;
+  std::uint64_t next_job_id = 1;
+  std::uint64_t last_rr = 0;  // round-robin cursor (client id)
+  std::map<std::uint64_t, Client> clients;
+  std::map<std::uint64_t, std::pair<std::uint64_t, std::uint64_t>>
+      jobs_in_flight;  // job id -> (client id, cell)
+  std::size_t queued_cells = 0;
+  bool draining = false;
+  bool drain_flush_armed = false;
+  Clock::time_point drain_flush_deadline{};
+  std::ofstream checkpoint;
+  // Status counters.
+  std::uint64_t requests_admitted = 0;
+  std::uint64_t requests_refused = 0;
+  std::uint64_t cells_settled = 0;
+  std::uint64_t clients_connected = 0;
+  std::uint64_t clients_disconnected = 0;
+  ResourceReport resources;
+
+  void note(const std::string& msg) {
+    if (options.log) options.log(msg);
+  }
+
+  void queueFrame(Client& c, std::uint8_t kind, const std::string& payload) {
+    if (c.fd < 0) return;
+    c.outbuf.append(encodeServiceFrame(kind, payload));
+  }
+
+  void disconnectClient(Client& c) {
+    if (c.fd >= 0) {
+      ::close(c.fd);
+      c.fd = -1;
+      ++clients_disconnected;
+    }
+    // Only this client's queued cells are cancelled; its in-flight cells
+    // finish on their workers and are dropped at settle time.
+    queued_cells -= c.ready.size() + c.waiting.size();
+    c.ready.clear();
+    c.waiting.clear();
+    c.inbuf.clear();
+    c.outbuf.clear();
+    c.out_pos = 0;
+  }
+
+  void reapClients() {
+    for (auto it = clients.begin(); it != clients.end();) {
+      if (it->second.fd < 0 && it->second.running == 0) {
+        it = clients.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+
+  void flushClient(Client& c) {
+    while (c.fd >= 0 && c.out_pos < c.outbuf.size()) {
+      const ssize_t n = ::write(c.fd, c.outbuf.data() + c.out_pos,
+                                c.outbuf.size() - c.out_pos);
+      if (n > 0) {
+        c.out_pos += static_cast<std::size_t>(n);
+        continue;
+      }
+      if (n < 0 && errno == EINTR) continue;
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+      disconnectClient(c);
+      return;
+    }
+    if (c.out_pos >= c.outbuf.size()) {
+      c.outbuf.clear();
+      c.out_pos = 0;
+      if (c.done_sent || c.close_after_flush) disconnectClient(c);
+    } else if (c.outbuf.size() - c.out_pos > kMaxClientOutbufBytes) {
+      // A reader this slow is indistinguishable from a stuck one; cutting
+      // it off bounds service memory and cannot affect other clients.
+      note("service: client " + std::to_string(c.id) +
+           " write buffer exceeded cap; disconnecting");
+      disconnectClient(c);
+    }
+  }
+
+  void refuse(Client& c, std::uint8_t kind, const std::string& payload) {
+    ++requests_refused;
+    queueFrame(c, kind, payload);
+    c.close_after_flush = true;
+    flushClient(c);
+  }
+
+  /// Admission: validates, normalizes, and either queues every cell of
+  /// the request or answers busy/error and closes.
+  void admit(Client& c, ServiceRequest req) {
+    if (draining) {
+      refuse(c, kServiceFrameError,
+             encodeTextPayload("service is draining; resubmit later"));
+      return;
+    }
+    if (req.chaos.enabled() && !options.allow_chaos) {
+      refuse(c, kServiceFrameError,
+             encodeTextPayload("request carries a chaos plan but the "
+                               "service was not started with --allow-chaos"));
+      return;
+    }
+    // Validate the benchmark filter against the suite (buildSuiteSweepCases
+    // silently drops unknown names; the service must not).
+    std::vector<std::string> suite_names = resolveSuiteNames({});
+    for (const std::string& b : req.benchmarks) {
+      if (std::find(suite_names.begin(), suite_names.end(), b) ==
+          suite_names.end()) {
+        refuse(c, kServiceFrameError,
+               encodeTextPayload("unknown benchmark '" + b + "'"));
+        return;
+      }
+    }
+    std::uint64_t total = 0;
+    switch (req.kind) {
+      case ServiceRequest::Kind::kSweep: {
+        std::vector<SweepCase> cases =
+            buildSuiteSweepCases(req.machine, req.copts, req.scale,
+                                 req.benchmarks);
+        total = cases.size();
+        c.sweep_keys.clear();
+        c.sweep_keys.reserve(cases.size());
+        for (const SweepCase& sc : cases) {
+          c.sweep_keys.emplace_back(sc.benchmark, sc.config);
+        }
+        c.tag = 'W';
+        break;
+      }
+      case ServiceRequest::Kind::kCampaign: {
+        c.campaign_names = resolveSuiteNames(req.benchmarks);
+        total = c.campaign_names.size() * req.seeds;
+        c.tag = 'C';
+        break;
+      }
+      case ServiceRequest::Kind::kEcho:
+        total = req.echo_cells;
+        c.tag = 'E';
+        break;
+    }
+    if (total == 0) {
+      refuse(c, kServiceFrameError,
+             encodeTextPayload("request resolves to zero cells"));
+      return;
+    }
+    if (queued_cells + total > options.max_queue) {
+      // Backpressure with an explicit hint: roughly the time for the
+      // backlog ahead of this request to drain one pool pass.
+      const double per_cell =
+          options.supervisor.cell_timeout_seconds > 0
+              ? options.supervisor.cell_timeout_seconds
+              : 0.25;
+      const double retry_after = std::min(
+          60.0, std::max(0.25, per_cell *
+                                   static_cast<double>(queued_cells + 1) /
+                                   static_cast<double>(jobs)));
+      refuse(c, kServiceFrameBusy,
+             encodeBusyPayload(
+                 retry_after,
+                 "admission queue full (" + std::to_string(queued_cells) +
+                     " queued, max " + std::to_string(options.max_queue) +
+                     ")"));
+      return;
+    }
+    // Normalize the benchmark filter to suite order so every worker
+    // rebuilds the exact grid the parent admitted.
+    req.benchmarks = resolveSuiteNames(req.benchmarks);
+    c.request = std::move(req);
+    c.request_bytes = encodeServiceRequest(c.request);
+    c.total = total;
+    c.admitted = true;
+    if (c.request.deadline_seconds > 0) {
+      c.has_deadline = true;
+      c.deadline = Clock::now() +
+                   std::chrono::duration_cast<Clock::duration>(
+                       std::chrono::duration<double>(
+                           c.request.deadline_seconds));
+    }
+    for (std::uint64_t i = 0; i < total; ++i) {
+      c.ready.push_back(PendingCell{i, 1, Clock::time_point{}});
+    }
+    queued_cells += total;
+    ++requests_admitted;
+    note("service: client " + std::to_string(c.id) + " admitted (" +
+         std::to_string(total) + " cells)");
+  }
+
+  std::string statusJson() const {
+    std::ostringstream out;
+    support::JsonWriter w(out, 0);
+    w.beginObject();
+    w.key("service").beginObject();
+    w.member("draining", draining);
+    w.member("max_queue", static_cast<std::uint64_t>(options.max_queue));
+    w.member("jobs", static_cast<std::uint64_t>(jobs));
+    w.endObject();
+    w.key("workers").beginObject();
+    w.member("count", static_cast<std::uint64_t>(pool->workerCount()));
+    w.member("idle", static_cast<std::uint64_t>(pool->idleWorkers()));
+    w.member("busy", static_cast<std::uint64_t>(pool->busyWorkers()));
+    w.member("spawned", static_cast<std::uint64_t>(pool->workersSpawned()));
+    w.member("respawned",
+             static_cast<std::uint64_t>(pool->workersRespawned()));
+    w.endObject();
+    w.key("queue").beginObject();
+    w.member("queued", static_cast<std::uint64_t>(queued_cells));
+    w.member("running", static_cast<std::uint64_t>(jobs_in_flight.size()));
+    w.endObject();
+    w.key("counters").beginObject();
+    w.member("requests_admitted", requests_admitted);
+    w.member("requests_refused", requests_refused);
+    w.member("cells_settled", cells_settled);
+    w.member("clients_connected", clients_connected);
+    w.member("clients_disconnected", clients_disconnected);
+    w.endObject();
+    w.key("clients").beginArray();
+    for (const auto& [id, c] : clients) {
+      if (!c.admitted) continue;
+      w.beginObject();
+      w.member("id", id);
+      w.member("kind", static_cast<std::uint64_t>(c.request.kind));
+      w.member("total", c.total);
+      w.member("done", c.done);
+      w.member("queued",
+               static_cast<std::uint64_t>(c.ready.size() + c.waiting.size()));
+      w.member("running", static_cast<std::uint64_t>(c.running));
+      w.member("dispatched", c.dispatched);
+      w.endObject();
+    }
+    w.endArray();
+    w.key("resource").beginObject();
+    w.member("supervised_cells",
+             static_cast<std::uint64_t>(resources.supervised_cells));
+    w.member("attempts", resources.attempts);
+    w.member("host_user_seconds", resources.host_user_seconds);
+    w.member("host_sys_seconds", resources.host_sys_seconds);
+    w.member("host_max_rss_kb", resources.host_max_rss_kb);
+    w.endObject();
+    w.endObject();
+    return out.str();
+  }
+
+  /// Handles one decoded frame from a client. Returns false when the
+  /// connection can no longer be trusted.
+  bool handleFrame(Client& c, std::uint8_t kind, const std::string& payload) {
+    switch (kind) {
+      case kServiceFrameRequest: {
+        if (c.admitted || c.close_after_flush) return false;
+        ServiceRequest req;
+        if (!decodeServiceRequest(payload, &req)) {
+          refuse(c, kServiceFrameError,
+                 encodeTextPayload("undecodable request payload"));
+          return true;
+        }
+        admit(c, std::move(req));
+        return true;
+      }
+      case kServiceFrameStatusRequest:
+        queueFrame(c, kServiceFrameStatus, encodeTextPayload(statusJson()));
+        c.close_after_flush = true;
+        flushClient(c);
+        return true;
+      default:
+        return false;  // clients only send requests
+    }
+  }
+
+  void readClient(Client& c) {
+    for (;;) {
+      const int n = wire::readSomeFd(c.fd, &c.inbuf, 1 << 20);
+      if (n == -1) break;  // EAGAIN: drained the socket for now
+      if (n == 0 || n == -2) {
+        disconnectClient(c);
+        return;
+      }
+    }
+    while (c.fd >= 0) {
+      std::size_t frame_bytes = 0;
+      std::string error;
+      const wire::FrameScan scan =
+          wire::scanFrame(kServiceFrameMagic, c.inbuf, &frame_bytes, &error);
+      if (scan == wire::FrameScan::kNeedMore) break;
+      if (scan == wire::FrameScan::kCorrupt) {
+        note("service: client " + std::to_string(c.id) +
+             " sent corrupt bytes (" + error + "); disconnecting");
+        disconnectClient(c);
+        return;
+      }
+      std::string frame = c.inbuf.substr(0, frame_bytes);
+      c.inbuf.erase(0, frame_bytes);
+      std::uint32_t version = 0;
+      std::uint8_t kind = 0;
+      std::string payload;
+      if (!wire::decodeFrame(kServiceFrameMagic, frame, kServiceFrameV1,
+                             kServiceFrameV1, kServiceFrameMaxKind, &version,
+                             &kind, &payload, &error)) {
+        note("service: client " + std::to_string(c.id) +
+             " sent an invalid frame (" + error + "); disconnecting");
+        disconnectClient(c);
+        return;
+      }
+      if (!handleFrame(c, kind, payload)) {
+        disconnectClient(c);
+        return;
+      }
+    }
+  }
+
+  /// Converts a settled outcome into the client-facing result frame (and
+  /// the checkpoint line), using the same decode helpers as the batch
+  /// paths — which is what keeps serve output field-identical to them.
+  void settleCell(Client& c, std::uint64_t cell,
+                  const Supervisor::Outcome& oc) {
+    ++cells_settled;
+    resources.add(oc.worker);
+    ResultFramePayload p;
+    p.cell = cell;
+    p.total = c.total;
+    p.tag = c.tag;
+    p.worker = oc.worker;
+    switch (c.request.kind) {
+      case ServiceRequest::Kind::kSweep: {
+        const auto& key = c.sweep_keys[static_cast<std::size_t>(cell)];
+        SweepRow row = sweepRowFromOutcome(key.first, key.second, oc);
+        p.inner = encodeSweepRow(row);
+        if (checkpoint.is_open()) {
+          checkpoint << formatCheckpointLine(sweepCheckpointLine(row)) << '\n'
+                     << std::flush;
+        }
+        break;
+      }
+      case ServiceRequest::Kind::kCampaign: {
+        const std::string& benchmark =
+            c.campaign_names[static_cast<std::size_t>(cell / c.request.seeds)];
+        FaultCampaignCell fc = campaignCellFromOutcome(
+            benchmark, support::deriveSeed(c.request.base_seed, cell), oc);
+        p.inner = encodeCampaignCell(fc);
+        if (checkpoint.is_open()) {
+          checkpoint << formatCheckpointLine(campaignCheckpointLine(
+                            fc, static_cast<std::size_t>(cell)))
+                     << '\n'
+                     << std::flush;
+        }
+        break;
+      }
+      case ServiceRequest::Kind::kEcho:
+        p.inner = oc.status == CellStatus::kOk
+                      ? oc.payload
+                      : "error:" + toString(oc.status);
+        break;
+    }
+    ++c.done;
+    queueFrame(c, kServiceFrameResult, encodeResultPayload(p));
+    queueFrame(c, kServiceFrameProgress,
+               encodeProgressPayload(c.done, c.total));
+    if (c.done == c.total) {
+      queueFrame(c, kServiceFrameDone, encodeDonePayload(c.total));
+      c.done_sent = true;
+    }
+    flushClient(c);
+  }
+
+  /// Settles every still-queued cell of `c` with a synthetic outcome
+  /// (deadline expiry or drain) — in-flight cells are left to finish.
+  void settleQueuedAs(Client& c, CellStatus status, const char* diagnostic) {
+    std::deque<PendingCell> cells = std::move(c.ready);
+    for (const PendingCell& pc : c.waiting) cells.push_back(pc);
+    c.ready.clear();
+    c.waiting.clear();
+    queued_cells -= cells.size();
+    Supervisor::Outcome oc;
+    oc.status = status;
+    oc.diagnostic = diagnostic;
+    std::sort(cells.begin(), cells.end(),
+              [](const PendingCell& a, const PendingCell& b) {
+                return a.cell < b.cell;
+              });
+    for (const PendingCell& pc : cells) {
+      if (c.fd < 0) break;
+      settleCell(c, pc.cell, oc);
+    }
+  }
+
+  void moveDueRetries(Client& c, Clock::time_point now) {
+    for (auto it = c.waiting.begin(); it != c.waiting.end();) {
+      if (it->not_before <= now) {
+        // Retries re-enter at the front: the cell already waited its
+        // backoff and should not queue behind the whole remaining grid.
+        c.ready.push_front(*it);
+        it = c.waiting.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+
+  bool dispatchCell(std::uint64_t client_id, Client& c) {
+    PendingCell pc = c.ready.front();
+    WorkerPool::Job job;
+    job.id = next_job_id++;
+    job.attempt = pc.attempt;
+    job.has_spec = true;
+    job.spec = encodeWorkerSpec(c.request_bytes, pc.cell,
+                                options.trace_cache_dir);
+    if (options.allow_chaos) {
+      job.chaos = c.request.chaos.actionFor(
+          static_cast<std::size_t>(pc.cell), pc.attempt);
+    }
+    if (!pool->dispatch(job)) return false;
+    c.ready.pop_front();
+    --queued_cells;
+    ++c.running;
+    ++c.dispatched;
+    jobs_in_flight[job.id] = {client_id, pc.cell};
+    return true;
+  }
+
+  /// One fair scheduling sweep: repeatedly rotate over clients, taking at
+  /// most one ready cell per client per rotation, while idle workers last.
+  void schedule() {
+    const Clock::time_point now = Clock::now();
+    bool progress = true;
+    while (progress && pool->idleWorkers() > 0 && !clients.empty()) {
+      progress = false;
+      auto it = clients.upper_bound(last_rr);
+      for (std::size_t n = 0; n < clients.size() && pool->idleWorkers() > 0;
+           ++n) {
+        if (it == clients.end()) it = clients.begin();
+        const std::uint64_t id = it->first;
+        Client& c = it->second;
+        ++it;
+        if (c.fd < 0 || !c.admitted || c.done_sent) continue;
+        moveDueRetries(c, now);
+        if (c.ready.empty()) continue;
+        if (dispatchCell(id, c)) {
+          last_rr = id;
+          progress = true;
+        } else {
+          return;  // no idle worker could take the job
+        }
+      }
+    }
+  }
+
+  void handleSettled(std::vector<WorkerPool::Settled>& settled) {
+    for (WorkerPool::Settled& s : settled) {
+      auto jit = jobs_in_flight.find(s.id);
+      if (jit == jobs_in_flight.end()) continue;
+      const auto [client_id, cell] = jit->second;
+      jobs_in_flight.erase(jit);
+      auto cit = clients.find(client_id);
+      if (cit == clients.end()) continue;
+      Client& c = cit->second;
+      --c.running;
+      if (c.fd < 0) continue;  // disconnected mid-flight: result dropped
+      if (!draining && isTransportFailure(s.outcome.status) &&
+          s.attempt <= options.supervisor.retries) {
+        const double delay = backoff->backoffSeconds(
+            static_cast<std::size_t>(cell), s.attempt + 1);
+        c.waiting.push_back(PendingCell{
+            cell, s.attempt + 1,
+            Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                               std::chrono::duration<double>(delay))});
+        ++queued_cells;
+        continue;
+      }
+      settleCell(c, cell, s.outcome);
+    }
+    settled.clear();
+  }
+
+  void checkDeadlines() {
+    const Clock::time_point now = Clock::now();
+    for (auto& [id, c] : clients) {
+      if (c.fd < 0 || !c.admitted || c.done_sent || !c.has_deadline) continue;
+      if (now < c.deadline) continue;
+      if (c.ready.empty() && c.waiting.empty()) continue;
+      note("service: client " + std::to_string(id) +
+           " deadline expired; failing its queued cells");
+      settleQueuedAs(c, CellStatus::kTimeout, kDeadlineDiagnostic);
+    }
+  }
+
+  void beginDrain() {
+    draining = true;
+    note("service: draining (stop requested)");
+    if (listen_fd >= 0) {
+      ::close(listen_fd);
+      listen_fd = -1;
+    }
+    pool->setRespawnPolicy([] { return false; });
+    for (auto& [id, c] : clients) {
+      if (c.fd < 0 || !c.admitted || c.done_sent) {
+        if (c.fd >= 0 && !c.admitted) {
+          refuse(c, kServiceFrameError,
+                 encodeTextPayload("service is draining; resubmit later"));
+        }
+        continue;
+      }
+      settleQueuedAs(c, CellStatus::kInternalError, kDrainDiagnostic);
+    }
+    if (checkpoint.is_open()) checkpoint.flush();
+  }
+
+  int run() {
+    if (!SweepService::supported()) {
+      note("service: sockets/fork unsupported on this platform");
+      return 1;
+    }
+    ScopedIgnoreSigpipe sigpipe_guard;
+    std::string error;
+    listen_fd = wire::listenUnix(options.socket_path, 64, &error);
+    if (listen_fd < 0) {
+      note("service: cannot listen on " + options.socket_path + ": " + error);
+      return 1;
+    }
+    wire::setNonBlocking(listen_fd, true);
+    if (!options.checkpoint_path.empty()) {
+      checkpoint.open(options.checkpoint_path,
+                      std::ios::out | std::ios::app);
+      if (!checkpoint.is_open()) {
+        note("service: cannot open checkpoint " + options.checkpoint_path);
+        ::close(listen_fd);
+        return 1;
+      }
+    }
+    SupervisorOptions sup = options.supervisor;
+    sup.isolate = true;
+    sup.pool = true;
+    sup.chaos = support::ChaosPlan{};  // chaos arrives per request
+    jobs = sup.jobs == 0 ? support::ThreadPool::defaultWorkerCount()
+                         : sup.jobs;
+    backoff = std::make_unique<Supervisor>(sup);
+    pool = std::make_unique<WorkerPool>(
+        sup, [](std::size_t) { return std::string(); }, serviceSpecProduce);
+    pool->setChildSetup([this] {
+      // Workers must never hold the service's sockets open: a forked
+      // worker outliving the service would otherwise keep clients (and
+      // the listening socket) half-alive.
+      if (listen_fd >= 0) ::close(listen_fd);
+      for (auto& [id, c] : clients) {
+        if (c.fd >= 0) ::close(c.fd);
+      }
+    });
+    if (!pool->ensure(jobs) && pool->workerCount() == 0) {
+      note("service: could not fork any pooled worker");
+      ::close(listen_fd);
+      return 1;
+    }
+    note("service: listening on " + options.socket_path + " (" +
+         std::to_string(pool->workerCount()) + " workers)");
+
+    std::vector<WorkerPool::Settled> settled;
+    for (;;) {
+      if (!draining && options.stop && *options.stop) beginDrain();
+
+      pool->service(settled);
+      handleSettled(settled);
+      checkDeadlines();
+      if (!draining) schedule();
+
+      if (draining) {
+        const bool work_done = jobs_in_flight.empty();
+        bool flushed = true;
+        for (auto& [id, c] : clients) {
+          if (c.fd >= 0 && c.out_pos < c.outbuf.size()) flushed = false;
+        }
+        if (work_done && flushed) break;
+        if (work_done && !drain_flush_armed) {
+          drain_flush_armed = true;
+          drain_flush_deadline = Clock::now() + std::chrono::seconds(10);
+        }
+        if (drain_flush_armed && Clock::now() >= drain_flush_deadline) {
+          note("service: drain flush grace expired; closing slow clients");
+          for (auto& [id, c] : clients) {
+            if (c.fd >= 0) disconnectClient(c);
+          }
+          break;
+        }
+      }
+      reapClients();
+
+      // Poll set: listener, clients, busy workers' reply pipes.
+      std::vector<pollfd> fds;
+      std::vector<std::uint64_t> owner;  // client id per pollfd; 0 = other
+      if (listen_fd >= 0) {
+        fds.push_back(pollfd{listen_fd, POLLIN, 0});
+        owner.push_back(0);
+      }
+      for (auto& [id, c] : clients) {
+        if (c.fd < 0) continue;
+        short events = POLLIN;
+        if (c.out_pos < c.outbuf.size()) events |= POLLOUT;
+        fds.push_back(pollfd{c.fd, events, 0});
+        owner.push_back(id);
+      }
+      for (int fd : pool->busyReplyFds()) {
+        fds.push_back(pollfd{fd, POLLIN, 0});
+        owner.push_back(0);
+      }
+
+      int timeout_ms = 200;
+      const Clock::time_point now = Clock::now();
+      auto consider = [&](Clock::time_point t) {
+        const auto ms =
+            std::chrono::duration_cast<std::chrono::milliseconds>(t - now)
+                .count();
+        timeout_ms = std::max(
+            0, std::min(timeout_ms, static_cast<int>(std::max<long long>(
+                                        0, static_cast<long long>(ms)))));
+      };
+      Clock::time_point pool_deadline;
+      if (pool->nextDeadline(&pool_deadline)) consider(pool_deadline);
+      for (auto& [id, c] : clients) {
+        if (c.has_deadline && c.admitted && !c.done_sent) consider(c.deadline);
+        for (const PendingCell& pc : c.waiting) consider(pc.not_before);
+      }
+      if (drain_flush_armed) consider(drain_flush_deadline);
+
+      const int rc = ::poll(fds.empty() ? nullptr : fds.data(),
+                            static_cast<nfds_t>(fds.size()), timeout_ms);
+      if (rc < 0 && errno != EINTR && errno != EAGAIN) {
+        note("service: poll failed: " + std::string(std::strerror(errno)));
+        break;
+      }
+      if (rc <= 0) continue;
+
+      for (std::size_t i = 0; i < fds.size(); ++i) {
+        if (fds[i].revents == 0) continue;
+        if (listen_fd >= 0 && fds[i].fd == listen_fd) {
+          for (;;) {
+            const int cfd = ::accept(listen_fd, nullptr, nullptr);
+            if (cfd < 0) break;
+            wire::setNonBlocking(cfd, true);
+            Client c;
+            c.fd = cfd;
+            c.id = next_client_id++;
+            ++clients_connected;
+            clients.emplace(c.id, std::move(c));
+          }
+          continue;
+        }
+        if (owner[i] == 0) continue;  // worker pipe: handled by service()
+        auto cit = clients.find(owner[i]);
+        if (cit == clients.end() || cit->second.fd != fds[i].fd) continue;
+        Client& c = cit->second;
+        if (fds[i].revents & (POLLERR | POLLHUP | POLLNVAL)) {
+          // Half-closed peers may still have unread frames; try reading
+          // first so a request + immediate shutdown(WR) still admits.
+          if (fds[i].revents & POLLIN) readClient(c);
+          if (c.fd >= 0 && c.outbuf.empty()) disconnectClient(c);
+          if (c.fd >= 0) flushClient(c);
+          continue;
+        }
+        if (fds[i].revents & POLLIN) readClient(c);
+        if (c.fd >= 0 && (fds[i].revents & POLLOUT)) flushClient(c);
+      }
+    }
+
+    for (auto& [id, c] : clients) {
+      if (c.fd >= 0) disconnectClient(c);
+    }
+    pool->shutdown();
+    if (checkpoint.is_open()) {
+      checkpoint.flush();
+      checkpoint.close();
+    }
+    if (listen_fd >= 0) ::close(listen_fd);
+    ::unlink(options.socket_path.c_str());
+    note("service: drained cleanly");
+    return 0;
+  }
+};
+
+SweepService::SweepService(SweepServiceOptions options)
+    : impl_(std::make_unique<Impl>(std::move(options))) {}
+
+SweepService::~SweepService() = default;
+
+bool SweepService::supported() {
+  return wire::socketsSupported() && Supervisor::isolationSupported();
+}
+
+int SweepService::run() { return impl_->run(); }
+
+#else  // !SPT_SERVICE_POSIX
+
+struct SweepService::Impl {
+  explicit Impl(SweepServiceOptions opts) : options(std::move(opts)) {}
+  SweepServiceOptions options;
+};
+
+SweepService::SweepService(SweepServiceOptions options)
+    : impl_(std::make_unique<Impl>(std::move(options))) {}
+
+SweepService::~SweepService() = default;
+
+bool SweepService::supported() { return false; }
+
+int SweepService::run() {
+  if (impl_->options.log) {
+    impl_->options.log("service: sockets/fork unsupported on this platform");
+  }
+  return 1;
+}
+
+#endif  // SPT_SERVICE_POSIX
+
+// ---- The client -----------------------------------------------------------
+
+#if defined(SPT_SERVICE_POSIX)
+
+namespace {
+
+/// Reads frames from a connected service socket until `handle` says stop.
+/// `handle` returns true to keep reading. Fills `transport_error` on EOF /
+/// read error / corrupt stream / timeout.
+bool readServiceFrames(
+    int fd, double timeout_seconds, const support::ClientChaosPlan& chaos,
+    std::string* transport_error,
+    const std::function<bool(std::uint8_t, const std::string&)>& handle) {
+  std::string inbuf;
+  const Clock::time_point deadline =
+      timeout_seconds > 0
+          ? Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                               std::chrono::duration<double>(timeout_seconds))
+          : Clock::time_point::max();
+  for (;;) {
+    if (chaos.action == support::ClientChaosAction::kSlowReader) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(chaos.delay_ms));
+    }
+    int timeout_ms = -1;
+    if (timeout_seconds > 0) {
+      const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+          deadline - Clock::now());
+      if (left.count() <= 0) {
+        *transport_error = "timed out waiting for the service";
+        return false;
+      }
+      timeout_ms = static_cast<int>(
+          std::min<long long>(left.count(), 1000ll * 3600));
+    }
+    pollfd pfd{fd, POLLIN, 0};
+    const int rc = ::poll(&pfd, 1, timeout_ms);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      *transport_error = std::string("poll failed: ") + std::strerror(errno);
+      return false;
+    }
+    if (rc == 0) continue;  // re-check the deadline
+    const int n = wire::readSomeFd(fd, &inbuf, 1 << 20);
+    if (n == 0) {
+      *transport_error = "connection closed by the service";
+      return false;
+    }
+    if (n == -2) {
+      *transport_error = "read failed";
+      return false;
+    }
+    if (n == -1) continue;
+    for (;;) {
+      std::size_t frame_bytes = 0;
+      std::string error;
+      const wire::FrameScan scan =
+          wire::scanFrame(kServiceFrameMagic, inbuf, &frame_bytes, &error);
+      if (scan == wire::FrameScan::kNeedMore) break;
+      if (scan == wire::FrameScan::kCorrupt) {
+        *transport_error = "corrupt frame from the service: " + error;
+        return false;
+      }
+      std::string frame = inbuf.substr(0, frame_bytes);
+      inbuf.erase(0, frame_bytes);
+      std::uint32_t version = 0;
+      std::uint8_t kind = 0;
+      std::string payload;
+      if (!wire::decodeFrame(kServiceFrameMagic, frame, kServiceFrameV1,
+                             kServiceFrameV1, kServiceFrameMaxKind, &version,
+                             &kind, &payload, &error)) {
+        *transport_error = "invalid frame from the service: " + error;
+        return false;
+      }
+      if (!handle(kind, payload)) return true;
+    }
+  }
+}
+
+}  // namespace
+
+SubmitOutcome submitToService(const std::string& socket_path,
+                              const ServiceRequest& request,
+                              const SubmitOptions& options) {
+  SubmitOutcome outcome;
+  ScopedIgnoreSigpipe sigpipe_guard;
+  std::string error;
+  const int fd = wire::connectUnix(socket_path, &error);
+  if (fd < 0) {
+    outcome.error = error;
+    return outcome;
+  }
+  const std::string frame = encodeServiceFrame(
+      kServiceFrameRequest, encodeServiceRequest(request));
+  if (!wire::writeAllFd(fd, frame.data(), frame.size())) {
+    outcome.error = "failed to send the request";
+    ::close(fd);
+    return outcome;
+  }
+
+  // Client-side sabotage (CI soak / resilience tests): a saboteur with
+  // after_results == 0 acts immediately after sending the request.
+  std::uint64_t results_seen = 0;
+  auto chaosDue = [&] {
+    return (options.chaos.action == support::ClientChaosAction::kDisconnect ||
+            options.chaos.action == support::ClientChaosAction::kGarbage) &&
+           results_seen >= options.chaos.after_results;
+  };
+  auto actChaos = [&] {
+    if (options.chaos.action == support::ClientChaosAction::kGarbage) {
+      const std::string junk(512, '\xa5');
+      wire::writeAllFd(fd, junk.data(), junk.size());
+    }
+    ::close(fd);
+    outcome.error = "client chaos: " + options.chaos.toSpec();
+  };
+  if (chaosDue()) {
+    actChaos();
+    return outcome;
+  }
+
+  std::vector<std::optional<SweepRow>> rows;
+  std::vector<std::optional<FaultCampaignCell>> cells;
+  std::vector<std::optional<std::string>> echoes;
+  bool finished = false;
+  bool protocol_error = false;
+  std::string perror;
+  bool chaos_fired = false;
+
+  const bool read_ok = readServiceFrames(
+      fd, options.timeout_seconds, options.chaos, &error,
+      [&](std::uint8_t kind, const std::string& payload) -> bool {
+        switch (kind) {
+          case kServiceFrameProgress: {
+            std::uint64_t done = 0, total = 0;
+            if (decodeProgressPayload(payload, &done, &total) &&
+                options.on_progress) {
+              options.on_progress(done, total);
+            }
+            return true;
+          }
+          case kServiceFrameBusy: {
+            outcome.busy = true;
+            std::string reason;
+            decodeBusyPayload(payload, &outcome.retry_after_seconds, &reason);
+            outcome.error = reason;
+            return false;
+          }
+          case kServiceFrameError: {
+            std::string text;
+            decodeTextPayload(payload, &text);
+            outcome.error = text.empty() ? "service error" : text;
+            return false;
+          }
+          case kServiceFrameResult: {
+            ResultFramePayload p;
+            if (!decodeResultPayload(payload, &p)) {
+              protocol_error = true;
+              perror = "undecodable result payload";
+              return false;
+            }
+            const auto idx = static_cast<std::size_t>(p.cell);
+            const auto total = static_cast<std::size_t>(p.total);
+            if (idx >= total || total > (1u << 22)) {
+              protocol_error = true;
+              perror = "result cell index out of range";
+              return false;
+            }
+            if (p.tag == 'W') {
+              if (rows.size() < total) rows.resize(total);
+              SweepRow row;
+              if (!decodeSweepRow(p.inner, &row)) {
+                protocol_error = true;
+                perror = "undecodable sweep row";
+                return false;
+              }
+              row.worker = p.worker;
+              rows[idx] = std::move(row);
+            } else if (p.tag == 'C') {
+              if (cells.size() < total) cells.resize(total);
+              FaultCampaignCell cell;
+              if (!decodeCampaignCell(p.inner, &cell)) {
+                protocol_error = true;
+                perror = "undecodable campaign cell";
+                return false;
+              }
+              cell.worker = p.worker;
+              cells[idx] = std::move(cell);
+            } else if (p.tag == 'E') {
+              if (echoes.size() < total) echoes.resize(total);
+              echoes[idx] = p.inner;
+            } else {
+              protocol_error = true;
+              perror = "unknown result tag";
+              return false;
+            }
+            ++results_seen;
+            if (chaosDue()) {
+              chaos_fired = true;
+              return false;
+            }
+            return true;
+          }
+          case kServiceFrameDone: {
+            std::uint64_t total = 0;
+            if (!decodeDonePayload(payload, &total) ||
+                total != results_seen) {
+              protocol_error = true;
+              perror = "done frame total does not match delivered results";
+              return false;
+            }
+            finished = true;
+            return false;
+          }
+          default:
+            return true;  // progress/status noise is ignorable
+        }
+      });
+
+  if (chaos_fired) {
+    actChaos();
+    return outcome;
+  }
+  ::close(fd);
+  if (outcome.busy || !outcome.error.empty()) return outcome;
+  if (protocol_error) {
+    outcome.error = perror;
+    return outcome;
+  }
+  if (!read_ok) {
+    outcome.error = error;
+    return outcome;
+  }
+  if (!finished) {
+    outcome.error = "service stream ended without a done frame";
+    return outcome;
+  }
+  for (const auto& r : rows) {
+    if (!r) {
+      outcome.error = "done frame arrived with missing sweep rows";
+      return outcome;
+    }
+  }
+  for (const auto& c : cells) {
+    if (!c) {
+      outcome.error = "done frame arrived with missing campaign cells";
+      return outcome;
+    }
+  }
+  for (const auto& e : echoes) {
+    if (!e) {
+      outcome.error = "done frame arrived with missing echo cells";
+      return outcome;
+    }
+  }
+  outcome.rows.reserve(rows.size());
+  for (auto& r : rows) outcome.rows.push_back(std::move(*r));
+  outcome.campaign.cells.reserve(cells.size());
+  for (auto& c : cells) outcome.campaign.cells.push_back(std::move(*c));
+  for (const FaultCampaignCell& c : outcome.campaign.cells) {
+    if (c.ok()) outcome.campaign.totals.accumulate(c.faults);
+  }
+  outcome.echoes.reserve(echoes.size());
+  for (auto& e : echoes) outcome.echoes.push_back(std::move(*e));
+  outcome.ok = true;
+  return outcome;
+}
+
+std::optional<std::string> queryServiceStatus(const std::string& socket_path,
+                                              std::string* error) {
+  std::string local_error;
+  std::string* err = error ? error : &local_error;
+  ScopedIgnoreSigpipe sigpipe_guard;
+  const int fd = wire::connectUnix(socket_path, err);
+  if (fd < 0) return std::nullopt;
+  const std::string frame =
+      encodeServiceFrame(kServiceFrameStatusRequest, std::string());
+  if (!wire::writeAllFd(fd, frame.data(), frame.size())) {
+    *err = "failed to send the status request";
+    ::close(fd);
+    return std::nullopt;
+  }
+  std::optional<std::string> status;
+  const bool read_ok = readServiceFrames(
+      fd, 30.0, support::ClientChaosPlan{}, err,
+      [&](std::uint8_t kind, const std::string& payload) -> bool {
+        if (kind != kServiceFrameStatus) return true;
+        std::string text;
+        if (decodeTextPayload(payload, &text)) status = std::move(text);
+        return false;
+      });
+  ::close(fd);
+  if (!status && read_ok) *err = "service closed without a status frame";
+  return status;
+}
+
+#else  // !SPT_SERVICE_POSIX
+
+SubmitOutcome submitToService(const std::string&, const ServiceRequest&,
+                              const SubmitOptions&) {
+  SubmitOutcome outcome;
+  outcome.error = "sockets are unsupported on this platform";
+  return outcome;
+}
+
+std::optional<std::string> queryServiceStatus(const std::string&,
+                                              std::string* error) {
+  if (error) *error = "sockets are unsupported on this platform";
+  return std::nullopt;
+}
+
+#endif  // SPT_SERVICE_POSIX
+
+}  // namespace spt::harness

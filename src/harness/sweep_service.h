@@ -1,0 +1,199 @@
+// The resident sweep service behind `sptc serve` (docs/ROBUSTNESS.md
+// "Sweep service").
+//
+// A single SweepService process listens on a Unix-domain socket and
+// multiplexes a stream of sweep / campaign requests from many concurrent
+// clients over one warm worker pool (harness::WorkerPool in spec-dispatch
+// mode). The wire protocol, "SPTS" v1, reuses the SPTW frame discipline —
+// length-prefixed, versioned, FNV-1a-checksummed frames (support/wire.h)
+// — with a request/progress/result/done/error/status vocabulary:
+//
+//   client -> service   kRequest        one sweep/campaign/echo request
+//                       kStatusRequest  service introspection
+//   service -> client   kProgress       {done, total} after each cell
+//                       kBusy           admission refused; retry_after hint
+//                       kResult         one finished cell (full row bytes)
+//                       kDone           request complete
+//                       kError          request rejected (bad spec, ...)
+//                       kStatus         JSON status document
+//
+// Scheduling and robustness properties (exercised by sweep_service_test
+// and the CI soak):
+//
+//  * **fair round-robin**: one cell per ready client per scheduling pass,
+//    so a 640-cell campaign cannot starve a 10-cell sweep that arrived
+//    later;
+//  * **bounded admission**: a request whose cells would push the total
+//    queued work over `max_queue` is refused with a kBusy frame carrying
+//    a retry_after hint — the service never buffers unboundedly;
+//  * **per-request deadlines** layered on the per-cell watchdog: when a
+//    request's deadline passes, its still-queued cells settle as timeout
+//    rows immediately; cells already on workers run on under the cell
+//    watchdog and still deliver;
+//  * **graceful degradation**: a dying pooled worker fails only its
+//    in-flight cell (the pool respawns a replacement); a disconnecting
+//    client cancels only its own queued cells; client-side sabotage
+//    (support::ClientChaosPlan: disconnect / garbage / slow-reader) never
+//    affects other clients' results — which CI proves by diffing the
+//    surviving clients' JSON against a non-serve baseline;
+//  * **drain on SIGTERM/SIGINT** (`SweepServiceOptions::stop`): stop
+//    accepting, fail still-queued cells as interrupted, let in-flight
+//    cells finish and deliver, flush the checkpoint, reap every worker,
+//    unlink the socket, exit 0.
+//
+// Byte-determinism contract: a sweep/campaign submitted through the
+// service produces rows/cells field-for-field identical to
+// `sptc sweep --pool` / `sptc inject --pool` for the same grid (the
+// filtered JSON documents are byte-identical; only host_ fields and
+// worker diagnostics differ), because workers on both paths run the same
+// cell bodies (produceSweepCellPayload / runFaultCampaignCellStandalone)
+// and parents settle through the same decode helpers.
+#pragma once
+
+#include <csignal>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "harness/fault_campaign.h"
+#include "harness/parallel_sweep.h"
+#include "support/chaos.h"
+
+namespace spt::harness {
+
+// ---- SPTS v1 frames -------------------------------------------------------
+
+inline constexpr char kServiceFrameMagic[4] = {'S', 'P', 'T', 'S'};
+inline constexpr std::uint32_t kServiceFrameV1 = 1;
+
+inline constexpr std::uint8_t kServiceFrameRequest = 0;
+inline constexpr std::uint8_t kServiceFrameProgress = 1;
+inline constexpr std::uint8_t kServiceFrameBusy = 2;
+inline constexpr std::uint8_t kServiceFrameResult = 3;
+inline constexpr std::uint8_t kServiceFrameDone = 4;
+inline constexpr std::uint8_t kServiceFrameError = 5;
+inline constexpr std::uint8_t kServiceFrameStatusRequest = 6;
+inline constexpr std::uint8_t kServiceFrameStatus = 7;
+inline constexpr std::uint8_t kServiceFrameMaxKind = kServiceFrameStatus;
+
+/// One client request. The grid is described, not enumerated: the service
+/// and its workers rebuild the cases through buildSuiteSweepCases /
+/// defaultSuite(), which is what keeps a submitted grid identical to the
+/// one-shot CLI's.
+struct ServiceRequest {
+  enum class Kind : std::uint8_t {
+    kSweep = 0,     // suite sweep rows under machine/copts/scale
+    kCampaign = 1,  // fault campaign over the (filtered) suite
+    kEcho = 2,      // echo_cells trivial cells (bench / protocol tests)
+  };
+  Kind kind = Kind::kSweep;
+  std::uint64_t scale = 1;
+  support::MachineConfig machine;
+  compiler::CompilerOptions copts;
+  /// Workload-name filter; empty = the whole suite. Unknown names are
+  /// rejected with a kError frame.
+  std::vector<std::string> benchmarks;
+  // Campaign knobs (kCampaign only).
+  std::uint64_t seeds = 8;
+  std::uint64_t base_seed = 0x5eed;
+  std::uint32_t period = 32;
+  support::OracleMode oracle = support::OracleMode::kDigest;
+  // Echo knobs (kEcho only).
+  std::uint64_t echo_cells = 0;
+  std::string echo_payload;
+  /// Whole-request wall-clock deadline in seconds (0 = none), measured
+  /// from admission.
+  double deadline_seconds = 0.0;
+  /// Worker sabotage for this request's cells, keyed by request-local
+  /// cell index. Refused unless the service runs with `allow_chaos`.
+  support::ChaosPlan chaos;
+};
+
+std::string encodeServiceRequest(const ServiceRequest& req);
+bool decodeServiceRequest(const std::string& payload, ServiceRequest* req);
+
+// ---- The service ----------------------------------------------------------
+
+struct SweepServiceOptions {
+  std::string socket_path;
+  /// Worker-pool knobs: jobs, cell timeout, retries, rlimits. `isolate` /
+  /// `pool` are implied. The embedded chaos plan is ignored — chaos
+  /// arrives per request.
+  SupervisorOptions supervisor;
+  /// Admission bound: maximum queued-but-undispatched cells across all
+  /// clients. A request that would exceed it gets a kBusy reply.
+  std::size_t max_queue = 1024;
+  /// Accept request-embedded chaos plans (tests / CI soak only).
+  bool allow_chaos = false;
+  /// When non-empty, every finished cell is appended (and flushed) to
+  /// this checkpoint file, sweep and campaign lines alike — the same
+  /// `spt-sweep-v1` format the one-shot runs write.
+  std::string checkpoint_path;
+  /// Shared mmap trace cache for sweep cells (sweep --trace-cache).
+  std::string trace_cache_dir;
+  /// Graceful-drain flag, set from a SIGTERM/SIGINT handler.
+  const volatile std::sig_atomic_t* stop = nullptr;
+  /// Progress note sink (stderr in sptc; capturable in tests). Null = quiet.
+  std::function<void(const std::string&)> log;
+};
+
+class SweepService {
+ public:
+  explicit SweepService(SweepServiceOptions options);
+  ~SweepService();
+  SweepService(const SweepService&) = delete;
+  SweepService& operator=(const SweepService&) = delete;
+
+  /// True when this platform can run the service (fork + AF_UNIX).
+  static bool supported();
+
+  /// Binds the socket, fills the worker pool, and serves until `*stop` is
+  /// set (drain) or the socket cannot be created. Returns a process exit
+  /// code: 0 after a clean drain, 1 on a startup failure.
+  int run();
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+// ---- The client -----------------------------------------------------------
+
+struct SubmitOptions {
+  /// Client-side sabotage (tests / CI soak): disconnect or garbage after
+  /// N results, or stall before every read.
+  support::ClientChaosPlan chaos;
+  /// Overall client-side wait bound in seconds (0 = wait forever).
+  double timeout_seconds = 0.0;
+  /// Called after every result frame (done, total).
+  std::function<void(std::uint64_t, std::uint64_t)> on_progress;
+};
+
+struct SubmitOutcome {
+  /// True when the request ran to kDone and every cell arrived.
+  bool ok = false;
+  /// Admission refused; `retry_after_seconds` holds the service's hint.
+  bool busy = false;
+  double retry_after_seconds = 0.0;
+  std::string error;  // transport/protocol/service error when !ok && !busy
+  /// kSweep: rows in grid order, exactly as runSweep would return them.
+  std::vector<SweepRow> rows;
+  /// kCampaign: cells + totals, exactly as runFaultCampaign would.
+  FaultCampaignResult campaign;
+  /// kEcho: the echoed payloads.
+  std::vector<std::string> echoes;
+};
+
+/// Submits one request over the socket and blocks until done/failed.
+SubmitOutcome submitToService(const std::string& socket_path,
+                              const ServiceRequest& request,
+                              const SubmitOptions& options = {});
+
+/// Fetches the service's status JSON (queue depths, per-client fairness
+/// counters, worker health, aggregated resource report).
+std::optional<std::string> queryServiceStatus(const std::string& socket_path,
+                                              std::string* error = nullptr);
+
+}  // namespace spt::harness

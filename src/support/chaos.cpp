@@ -119,4 +119,65 @@ std::string ChaosPlan::toSpec() const {
   return os.str();
 }
 
+std::string toString(ClientChaosAction action) {
+  switch (action) {
+    case ClientChaosAction::kNone:
+      return "none";
+    case ClientChaosAction::kDisconnect:
+      return "disconnect";
+    case ClientChaosAction::kGarbage:
+      return "garbage";
+    case ClientChaosAction::kSlowReader:
+      return "slow-reader";
+  }
+  return "none";
+}
+
+std::optional<ClientChaosPlan> ClientChaosPlan::parse(const std::string& spec,
+                                                      std::string* error) {
+  const auto fail =
+      [&](const std::string& why) -> std::optional<ClientChaosPlan> {
+    if (error != nullptr) *error = why;
+    return std::nullopt;
+  };
+  ClientChaosPlan plan;
+  std::string action = spec;
+  std::uint64_t suffix = 0;
+  bool have_suffix = false;
+  const std::size_t at = action.find('@');
+  if (at != std::string::npos) {
+    if (!parseUnsigned(action.substr(at + 1), suffix)) {
+      return fail("client chaos spec '" + spec +
+                  "' has a malformed @ suffix");
+    }
+    have_suffix = true;
+    action.resize(at);
+  }
+  if (action == "disconnect") {
+    plan.action = ClientChaosAction::kDisconnect;
+    if (have_suffix) plan.after_results = suffix;
+  } else if (action == "garbage") {
+    plan.action = ClientChaosAction::kGarbage;
+    if (have_suffix) plan.after_results = suffix;
+  } else if (action == "slow-reader") {
+    plan.action = ClientChaosAction::kSlowReader;
+    if (have_suffix) plan.delay_ms = suffix;
+  } else {
+    return fail("client chaos spec '" + spec + "' names unknown action '" +
+                action + "' (expected disconnect|garbage|slow-reader)");
+  }
+  return plan;
+}
+
+std::string ClientChaosPlan::toSpec() const {
+  if (action == ClientChaosAction::kNone) return "";
+  std::string s = toString(action);
+  if (action == ClientChaosAction::kSlowReader) {
+    s += '@' + std::to_string(delay_ms);
+  } else if (after_results != 0) {
+    s += '@' + std::to_string(after_results);
+  }
+  return s;
+}
+
 }  // namespace spt::support

@@ -72,4 +72,39 @@ struct ChaosPlan {
   std::string toSpec() const;
 };
 
+/// Client-side sabotage for the sweep service (docs/ROBUSTNESS.md "Sweep
+/// service"). Where ChaosPlan makes *workers* misbehave, ClientChaosPlan
+/// makes a `sptc submit` client misbehave against the service — the
+/// service-resilience tests and the CI soak drive sabotaged clients
+/// alongside healthy ones and assert the healthy clients' results are
+/// byte-identical to a non-serve run.
+enum class ClientChaosAction {
+  kNone,
+  kDisconnect,  // close the socket after N result frames
+  kGarbage,     // write garbage bytes instead of a frame, then close
+  kSlowReader,  // stall before every read, forcing server-side buffering
+};
+
+std::string toString(ClientChaosAction action);
+
+struct ClientChaosPlan {
+  ClientChaosAction action = ClientChaosAction::kNone;
+  /// For disconnect/garbage: result frames to consume before acting
+  /// (0 = immediately after the request is sent).
+  std::uint64_t after_results = 0;
+  /// For slow-reader: stall per read, in milliseconds.
+  std::uint64_t delay_ms = 20;
+
+  bool enabled() const { return action != ClientChaosAction::kNone; }
+
+  /// Parses `ACTION[@AFTER]` with ACTION one of disconnect | garbage |
+  /// slow-reader (AFTER = result frames before acting; for slow-reader
+  /// the suffix sets the per-read delay in ms instead).
+  static std::optional<ClientChaosPlan> parse(const std::string& spec,
+                                              std::string* error = nullptr);
+
+  /// The canonical spec string (round-trips through parse()).
+  std::string toSpec() const;
+};
+
 }  // namespace spt::support

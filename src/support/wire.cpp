@@ -1,0 +1,267 @@
+#include "support/wire.h"
+
+#include <algorithm>
+#include <cstring>
+
+#if defined(__unix__) || (defined(__APPLE__) && defined(__MACH__))
+#define SPT_WIRE_POSIX 1
+#include <errno.h>
+#include <fcntl.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+#endif
+
+namespace spt::support::wire {
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 14695981039346656037ull;
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+std::uint64_t fnv1a(std::uint64_t h, const void* data, std::size_t n) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < n; ++i) h = (h ^ p[i]) * kFnvPrime;
+  return h;
+}
+
+void appendRaw(std::string& out, const void* data, std::size_t n) {
+  out.append(static_cast<const char*>(data), n);
+}
+
+std::uint64_t frameChecksum(std::uint8_t kind, std::uint64_t length,
+                            const char* payload) {
+  std::uint64_t checksum = kFnvOffset;
+  checksum = fnv1a(checksum, &kind, sizeof kind);
+  checksum = fnv1a(checksum, &length, sizeof length);
+  checksum = fnv1a(checksum, payload, static_cast<std::size_t>(length));
+  return checksum;
+}
+
+}  // namespace
+
+std::string encodeFrame(const char magic[4], std::uint32_t version,
+                        std::uint8_t kind, const std::string& payload) {
+  std::string out;
+  out.reserve(kFrameHeaderBytes + payload.size() + kFrameTrailerBytes);
+  appendRaw(out, magic, 4);
+  appendRaw(out, &version, sizeof version);
+  appendRaw(out, &kind, sizeof kind);
+  const std::uint64_t length = payload.size();
+  appendRaw(out, &length, sizeof length);
+  out.append(payload);
+  const std::uint64_t checksum =
+      frameChecksum(kind, length, payload.data());
+  appendRaw(out, &checksum, sizeof checksum);
+  return out;
+}
+
+FrameScan scanFrame(const char magic[4], const std::string& buf,
+                    std::size_t* frame_bytes, std::string* error) {
+  const std::size_t magic_avail = std::min<std::size_t>(buf.size(), 4);
+  if (std::memcmp(buf.data(), magic, magic_avail) != 0) {
+    if (error) *error = "bad frame magic";
+    return FrameScan::kCorrupt;
+  }
+  if (buf.size() < kFrameHeaderBytes) return FrameScan::kNeedMore;
+  std::uint64_t length = 0;
+  std::memcpy(&length, buf.data() + 4 + 4 + 1, sizeof length);
+  if (length > kMaxFramePayloadBytes) {
+    if (error) *error = "frame length " + std::to_string(length) +
+                        " exceeds the payload cap";
+    return FrameScan::kCorrupt;
+  }
+  const std::size_t total = kFrameHeaderBytes +
+                            static_cast<std::size_t>(length) +
+                            kFrameTrailerBytes;
+  if (buf.size() < total) return FrameScan::kNeedMore;
+  if (frame_bytes) *frame_bytes = total;
+  return FrameScan::kFrame;
+}
+
+bool decodeFrame(const char magic[4], const std::string& frame,
+                 std::uint32_t min_version, std::uint32_t max_version,
+                 std::uint8_t max_kind, std::uint32_t* version,
+                 std::uint8_t* kind, std::string* payload,
+                 std::string* error) {
+  if (frame.size() < kFrameHeaderBytes + kFrameTrailerBytes) {
+    if (error) *error = "frame too short";
+    return false;
+  }
+  if (std::memcmp(frame.data(), magic, 4) != 0) {
+    if (error) *error = "bad frame magic";
+    return false;
+  }
+  std::uint32_t v = 0;
+  std::memcpy(&v, frame.data() + 4, sizeof v);
+  if (v < min_version || v > max_version) {
+    if (error) {
+      *error = "unsupported frame version " + std::to_string(v) +
+               " (expected " + std::to_string(min_version) + " to " +
+               std::to_string(max_version) + ")";
+    }
+    return false;
+  }
+  const std::uint8_t k = static_cast<std::uint8_t>(frame[4 + 4]);
+  if (k > max_kind) {
+    if (error) {
+      *error = "frame kind " + std::to_string(k) +
+               " is not valid for version " + std::to_string(v);
+    }
+    return false;
+  }
+  std::uint64_t length = 0;
+  std::memcpy(&length, frame.data() + 4 + 4 + 1, sizeof length);
+  if (length > kMaxFramePayloadBytes) {
+    if (error) *error = "frame length exceeds the payload cap";
+    return false;
+  }
+  if (frame.size() != kFrameHeaderBytes + length + kFrameTrailerBytes) {
+    if (error) {
+      *error = "frame length field " + std::to_string(length) +
+               " does not match the buffered bytes";
+    }
+    return false;
+  }
+  std::uint64_t stored = 0;
+  std::memcpy(&stored, frame.data() + kFrameHeaderBytes + length,
+              sizeof stored);
+  const std::uint64_t checksum =
+      frameChecksum(k, length, frame.data() + kFrameHeaderBytes);
+  if (stored != checksum) {
+    if (error) *error = "frame checksum mismatch";
+    return false;
+  }
+  if (version) *version = v;
+  if (kind) *kind = k;
+  if (payload) payload->assign(frame, kFrameHeaderBytes,
+                               static_cast<std::size_t>(length));
+  return true;
+}
+
+#if SPT_WIRE_POSIX
+
+bool socketsSupported() { return true; }
+
+int listenUnix(const std::string& path, int backlog, std::string* error) {
+  sockaddr_un addr;
+  std::memset(&addr, 0, sizeof addr);
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof addr.sun_path) {
+    if (error) *error = "socket path too long: " + path;
+    return -1;
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    if (error) *error = std::string("socket: ") + std::strerror(errno);
+    return -1;
+  }
+  // A stale socket file from a killed service would fail the bind; a
+  // *live* service would too, but its file is indistinguishable here, so
+  // the caller is expected to own the path.
+  ::unlink(path.c_str());
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) !=
+      0) {
+    if (error) {
+      *error = "bind " + path + ": " + std::strerror(errno);
+    }
+    ::close(fd);
+    return -1;
+  }
+  if (::listen(fd, backlog) != 0) {
+    if (error) {
+      *error = "listen " + path + ": " + std::strerror(errno);
+    }
+    ::close(fd);
+    ::unlink(path.c_str());
+    return -1;
+  }
+  return fd;
+}
+
+int connectUnix(const std::string& path, std::string* error) {
+  sockaddr_un addr;
+  std::memset(&addr, 0, sizeof addr);
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof addr.sun_path) {
+    if (error) *error = "socket path too long: " + path;
+    return -1;
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    if (error) *error = std::string("socket: ") + std::strerror(errno);
+    return -1;
+  }
+  int rc;
+  do {
+    rc = ::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                   sizeof addr);
+  } while (rc != 0 && errno == EINTR);
+  if (rc != 0) {
+    if (error) {
+      *error = "connect " + path + ": " + std::strerror(errno) +
+               (errno == ENOENT || errno == ECONNREFUSED
+                    ? " (is the service running?)"
+                    : "");
+    }
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+bool setNonBlocking(int fd, bool enable) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return false;
+  const int want = enable ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+  return ::fcntl(fd, F_SETFL, want) == 0;
+}
+
+bool writeAllFd(int fd, const char* data, std::size_t n) {
+  std::size_t off = 0;
+  while (off < n) {
+    const ssize_t w = ::write(fd, data + off, n - off);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<std::size_t>(w);
+  }
+  return true;
+}
+
+int readSomeFd(int fd, std::string* buf, std::size_t max_bytes) {
+  char chunk[65536];
+  const std::size_t want = std::min(max_bytes, sizeof chunk);
+  ssize_t n;
+  do {
+    n = ::read(fd, chunk, want);
+  } while (n < 0 && errno == EINTR);
+  if (n > 0) {
+    buf->append(chunk, static_cast<std::size_t>(n));
+    return static_cast<int>(n);
+  }
+  if (n == 0) return 0;
+  if (errno == EAGAIN || errno == EWOULDBLOCK) return -1;
+  return -2;
+}
+
+#else  // !SPT_WIRE_POSIX
+
+bool socketsSupported() { return false; }
+int listenUnix(const std::string&, int, std::string* error) {
+  if (error) *error = "unix sockets are not supported on this platform";
+  return -1;
+}
+int connectUnix(const std::string&, std::string* error) {
+  if (error) *error = "unix sockets are not supported on this platform";
+  return -1;
+}
+bool setNonBlocking(int, bool) { return false; }
+bool writeAllFd(int, const char*, std::size_t) { return false; }
+int readSomeFd(int, std::string*, std::size_t) { return -2; }
+
+#endif  // SPT_WIRE_POSIX
+
+}  // namespace spt::support::wire

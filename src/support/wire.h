@@ -1,0 +1,79 @@
+// Byte-stream plumbing shared by socket protocols.
+//
+// The supervisor's SPTW pipes and the sweep service's SPTS socket both
+// speak the same frame discipline — magic | u32 version | u8 kind |
+// u64 length | payload | u64 FNV-1a(kind, length, payload) — so the
+// framing lives here once, parameterized by the 4-byte magic and the
+// version/kind window a given protocol accepts. (supervisor.h keeps its
+// own SPTW entry points for compatibility; the sweep service builds its
+// SPTS v1 frames on these.)
+//
+// The Unix-domain socket helpers are the minimal nonblocking set a
+// single-threaded poll() event loop needs: listen/connect/accept with
+// errno turned into diagnostics, and EINTR-tolerant read/write wrappers
+// that never raise SIGPIPE surprises past the caller (callers still
+// ignore SIGPIPE; writes report EPIPE as a clean false).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace spt::support::wire {
+
+/// Frame layout constants (identical to the SPTW constants in
+/// supervisor.cpp): 4 magic + 4 version + 1 kind + 8 length.
+inline constexpr std::size_t kFrameHeaderBytes = 4 + 4 + 1 + 8;
+inline constexpr std::size_t kFrameTrailerBytes = 8;
+inline constexpr std::uint64_t kMaxFramePayloadBytes = 1ull << 28;
+
+/// Encodes one frame under the given 4-byte magic.
+std::string encodeFrame(const char magic[4], std::uint32_t version,
+                        std::uint8_t kind, const std::string& payload);
+
+/// Incremental scan state for a byte stream of frames.
+enum class FrameScan {
+  kNeedMore,  // valid but incomplete frame prefix
+  kFrame,     // buf[0..*frame_bytes) is one complete frame
+  kCorrupt,   // can never become a valid frame (magic/length)
+};
+
+/// Scans the front of `buf` for one complete frame without copying.
+FrameScan scanFrame(const char magic[4], const std::string& buf,
+                    std::size_t* frame_bytes, std::string* error);
+
+/// Decodes one complete frame (as delimited by scanFrame): validates
+/// magic, version in [min_version, max_version], checksum, and that
+/// `kind <= max_kind`. Returns false with a reason otherwise.
+bool decodeFrame(const char magic[4], const std::string& frame,
+                 std::uint32_t min_version, std::uint32_t max_version,
+                 std::uint8_t max_kind, std::uint32_t* version,
+                 std::uint8_t* kind, std::string* payload,
+                 std::string* error);
+
+// ---- Unix-domain sockets (POSIX only) -------------------------------------
+
+/// True when this platform has AF_UNIX sockets (same platforms where
+/// Supervisor::isolationSupported()).
+bool socketsSupported();
+
+/// Binds and listens on `path` (an existing stale socket file is
+/// unlinked first). Returns the listening fd, or -1 with `error` set.
+int listenUnix(const std::string& path, int backlog, std::string* error);
+
+/// Connects to a listening Unix socket. Returns the fd, or -1 with
+/// `error` set (ENOENT / ECONNREFUSED read as "service not running").
+int connectUnix(const std::string& path, std::string* error);
+
+/// O_NONBLOCK on/off; false on fcntl failure.
+bool setNonBlocking(int fd, bool enable);
+
+/// Writes all `n` bytes to a blocking fd, retrying on EINTR. Requires
+/// SIGPIPE ignored; a peer hangup surfaces as false, not a signal.
+bool writeAllFd(int fd, const char* data, std::size_t n);
+
+/// Reads up to `max_bytes` from `fd`, appending to `*buf`, retrying on
+/// EINTR. Returns bytes read (> 0), 0 on EOF, -1 on EAGAIN/EWOULDBLOCK
+/// (nonblocking fd, no data), -2 on any other error.
+int readSomeFd(int fd, std::string* buf, std::size_t max_bytes);
+
+}  // namespace spt::support::wire

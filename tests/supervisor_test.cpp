@@ -9,6 +9,7 @@
 #include <atomic>
 #include <cmath>
 #include <csignal>
+#include <cstring>
 #include <fstream>
 #include <set>
 #include <sstream>
@@ -26,6 +27,7 @@
 
 #if defined(__unix__) || (defined(__APPLE__) && defined(__MACH__))
 #include <sys/resource.h>
+#include <sys/time.h>
 #include <unistd.h>
 #endif
 
@@ -168,9 +170,10 @@ TEST(SupervisorFrame, V2RoundTripsPoolKinds) {
   }
 }
 
-// v1↔v2 negotiation: the decoder accepts both versions but validates the
-// kind against the version — a one-shot v1 worker can never smuggle a
-// pool frame, and a version bump beyond v2 is rejected outright.
+// Version negotiation: the decoder accepts v1-v3 but validates the kind
+// against the version — a one-shot v1 worker can never smuggle a pool
+// frame, a v2 frame can never smuggle a spec request, and a version bump
+// beyond v3 is rejected outright.
 TEST(SupervisorFrame, ValidatesKindAgainstVersion) {
   std::string error;
   // Pool kinds are invalid in a v1 frame.
@@ -182,19 +185,65 @@ TEST(SupervisorFrame, ValidatesKindAgainstVersion) {
     EXPECT_NE(error.find("not valid in frame version"), std::string::npos)
         << error;
   }
-  // The v1 reply kinds stay decodable in both versions.
+  // The spec-request kind is invalid below v3.
   for (const std::uint32_t version : {kSupervisorFrameV1, kSupervisorFrameV2}) {
+    std::string frame =
+        encodeSupervisorFrame(kFrameKindSpecRequest, "x", kSupervisorFrameV3);
+    std::memcpy(frame.data() + 4, &version, sizeof version);
+    EXPECT_FALSE(decodeSupervisorFrame(frame, nullptr, nullptr, &error));
+    EXPECT_NE(error.find("not valid in frame version"), std::string::npos)
+        << error;
+  }
+  // The v1 reply kinds stay decodable in every version.
+  for (const std::uint32_t version :
+       {kSupervisorFrameV1, kSupervisorFrameV2, kSupervisorFrameV3}) {
     const std::string frame =
         encodeSupervisorFrame(kFrameKindPayload, "x", version);
     EXPECT_TRUE(decodeSupervisorFrame(frame, nullptr, nullptr, &error))
         << error;
   }
-  // Version 3 does not exist yet.
+  // Version 4 does not exist yet.
   std::string future =
       encodeSupervisorFrame(kFrameKindPayload, "x", kSupervisorFrameV2);
-  future[4] = 3;
+  future[4] = 4;
   EXPECT_FALSE(decodeSupervisorFrame(future, nullptr, nullptr, &error));
   EXPECT_NE(error.find("version"), std::string::npos) << error;
+}
+
+// v3 spec requests round-trip: token, attempt, chaos action, and opaque
+// spec bytes — and an out-of-range action byte is rejected.
+TEST(SupervisorFrame, SpecRequestRoundTrips) {
+  const std::string spec("machine\0config\x7f bytes", 21);
+  const std::string payload = encodePoolSpecRequest(
+      0xfeedface12345678ull, 3, support::ChaosAction::kGarbage, spec);
+  std::uint64_t id = 0;
+  std::uint32_t attempt = 0;
+  support::ChaosAction chaos = support::ChaosAction::kNone;
+  std::string got_spec;
+  ASSERT_TRUE(decodePoolSpecRequest(payload, &id, &attempt, &chaos, &got_spec));
+  EXPECT_EQ(id, 0xfeedface12345678ull);
+  EXPECT_EQ(attempt, 3u);
+  EXPECT_EQ(chaos, support::ChaosAction::kGarbage);
+  EXPECT_EQ(got_spec, spec);
+
+  // Survives the frame layer under the v3 version tag.
+  const std::string frame =
+      encodeSupervisorFrame(kFrameKindSpecRequest, payload, kSupervisorFrameV3);
+  std::uint8_t kind = 0;
+  std::string decoded;
+  std::string error;
+  ASSERT_TRUE(decodeSupervisorFrame(frame, &kind, &decoded, &error)) << error;
+  EXPECT_EQ(kind, kFrameKindSpecRequest);
+  EXPECT_EQ(decoded, payload);
+
+  // A corrupt action byte fails the decode instead of casting blind.
+  std::string bad = payload;
+  bad[12] = 0x7f;
+  EXPECT_FALSE(decodePoolSpecRequest(bad, &id, &attempt, &chaos, &got_spec));
+
+  // Truncated prefix fails.
+  EXPECT_FALSE(decodePoolSpecRequest(payload.substr(0, 12), &id, &attempt,
+                                     &chaos, &got_spec));
 }
 
 TEST(SupervisorFrame, StreamScannerFindsFramesIncrementally) {
@@ -1384,6 +1433,235 @@ TEST(OracleDivergence, CampaignJsonCarriesDivergenceReport) {
   EXPECT_NE(json.find("frame 3 reg r5: 17 != 19"), std::string::npos);
   EXPECT_NE(json.find("\"all_cells_ok\": false"), std::string::npos);
 }
+
+
+// ---- Checkpoint torn-tail property ----------------------------------------
+
+// Satellite property test for the torn-tail loader: truncating a
+// checkpoint file at EVERY byte offset must either resume cleanly or drop
+// only the torn trailing record — never crash, never resume a corrupted
+// row. The expected map at each offset is exactly the set of records
+// whose terminating newline survived the cut.
+TEST(Checkpoint, TruncationAtEveryByteOffsetLosesAtMostTheTornTail) {
+  const std::size_t kMetrics = 3;
+  std::vector<CheckpointLine> lines;
+  {
+    CheckpointLine a;
+    a.status = CellStatus::kOk;
+    a.benchmark = "mcf";
+    a.config = "default";
+    a.metrics = {101, 202, 303};
+    lines.push_back(a);
+  }
+  {
+    CheckpointLine b;
+    b.status = CellStatus::kCrashed;
+    b.benchmark = "gzip";
+    b.config = "cell:1/seed:42";
+    b.metrics = {7, 0, 999999};
+    b.diagnostic = "hostile\tdiag\nwith separators";
+    lines.push_back(b);
+  }
+  {
+    CheckpointLine c;
+    c.status = CellStatus::kOk;
+    c.benchmark = "mcf";
+    c.config = "default";  // same key as the first line: last-wins
+    c.metrics = {111, 222, 333};
+    lines.push_back(c);
+  }
+
+  std::string full;
+  std::vector<std::size_t> ends;  // byte offset just past each record
+  for (const CheckpointLine& l : lines) {
+    full += formatCheckpointLine(l) + '\n';
+    ends.push_back(full.size());
+  }
+
+  const std::string path =
+      ::testing::TempDir() + "/spt_truncation_property_ck.txt";
+  for (std::size_t cut = 0; cut <= full.size(); ++cut) {
+    {
+      std::ofstream out(path, std::ios::binary | std::ios::trunc);
+      out.write(full.data(), static_cast<std::streamsize>(cut));
+    }
+    // Expected: exactly the records whose '\n' survived, last-line-wins.
+    std::map<std::string, CheckpointLine> want;
+    std::size_t complete = 0;
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+      if (ends[i] <= cut) {
+        want[checkpointKey(lines[i].benchmark, lines[i].config)] = lines[i];
+        complete = ends[i];
+      }
+    }
+    std::string warning;
+    const auto got = loadCheckpoint(path, kMetrics, &warning);
+    ASSERT_EQ(got.size(), want.size()) << "cut at byte " << cut;
+    for (const auto& [key, wl] : want) {
+      const auto it = got.find(key);
+      ASSERT_NE(it, got.end()) << "cut at byte " << cut << ", key " << key;
+      EXPECT_EQ(it->second.status, wl.status) << "cut at byte " << cut;
+      EXPECT_EQ(it->second.metrics, wl.metrics) << "cut at byte " << cut;
+      EXPECT_EQ(it->second.diagnostic, wl.diagnostic)
+          << "cut at byte " << cut;
+    }
+    // The loader reports a torn tail iff the cut left one.
+    if (cut == complete) {
+      EXPECT_TRUE(warning.empty()) << "cut at byte " << cut << ": " << warning;
+    } else {
+      EXPECT_FALSE(warning.empty()) << "cut at byte " << cut;
+    }
+  }
+}
+
+// A line written with a different metric count never parses under this
+// loader's expectation — the sweep service appends sweep (20-metric) and
+// campaign (11-metric) records to one file, and each resume path must
+// keep only its own shape instead of gluing foreign columns into the
+// diagnostic.
+TEST(Checkpoint, MixedMetricShapesDoNotCrossParse) {
+  CheckpointLine sweep_like;
+  sweep_like.benchmark = "mcf";
+  sweep_like.config = "default";
+  sweep_like.metrics = {1, 2, 3, 4, 5};
+  sweep_like.diagnostic = "fine";
+  const std::string text = formatCheckpointLine(sweep_like);
+  CheckpointLine out;
+  EXPECT_TRUE(parseCheckpointLine(text, 5, &out));
+  EXPECT_FALSE(parseCheckpointLine(text, 3, &out));  // extra columns
+  EXPECT_FALSE(parseCheckpointLine(text, 6, &out));  // missing columns
+}
+
+#if defined(__unix__) || (defined(__APPLE__) && defined(__MACH__))
+
+// ---- Parent-side signal robustness ----------------------------------------
+
+// An EINTR storm (a 2 ms ITIMER_REAL with a no-op handler and no
+// SA_RESTART) aimed at the parent while a pooled run is in flight: every
+// blocking poll/read/write/wait in the supervisor loop gets interrupted
+// over and over, and the run must still complete with every cell intact.
+namespace {
+extern "C" void noopAlarmHandler(int) {}
+}  // namespace
+
+TEST(SupervisorPool, SurvivesParentEintrStorm) {
+  if (!Supervisor::isolationSupported()) {
+    GTEST_SKIP() << "no fork on this platform";
+  }
+  struct sigaction storm;
+  std::memset(&storm, 0, sizeof(storm));
+  storm.sa_handler = noopAlarmHandler;
+  sigemptyset(&storm.sa_mask);
+  storm.sa_flags = 0;  // deliberately NOT SA_RESTART
+  struct sigaction saved;
+  ASSERT_EQ(::sigaction(SIGALRM, &storm, &saved), 0);
+  itimerval tick{};
+  tick.it_interval.tv_usec = 2000;
+  tick.it_value.tv_usec = 2000;
+  ASSERT_EQ(::setitimer(ITIMER_REAL, &tick, nullptr), 0);
+
+  SupervisorOptions opts;
+  opts.isolate = true;
+  opts.pool = true;
+  opts.jobs = 2;
+  opts.cell_timeout_seconds = 60.0;
+  const Supervisor sup(opts);
+  const auto outcomes = sup.run(12, [](std::size_t cell) {
+    // Enough work per cell that frames routinely straddle an interrupt.
+    std::string payload;
+    for (int i = 0; i < 2000; ++i) {
+      payload += std::to_string(cell * 31 + static_cast<std::size_t>(i));
+    }
+    return payload;
+  });
+
+  itimerval off{};
+  ASSERT_EQ(::setitimer(ITIMER_REAL, &off, nullptr), 0);
+  ASSERT_EQ(::sigaction(SIGALRM, &saved, nullptr), 0);
+
+  ASSERT_EQ(outcomes.size(), 12u);
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    EXPECT_EQ(outcomes[i].status, CellStatus::kOk)
+        << "cell " << i << ": " << outcomes[i].diagnostic;
+    EXPECT_FALSE(outcomes[i].payload.empty());
+  }
+}
+
+// SIGPIPE regression: workers that exit without ever reading (or after a
+// truncated reply) leave the parent writing request frames into pipes
+// with no reader. With SIGPIPE at its default disposition that write
+// kills the whole process; the supervisor must instead settle each
+// sabotaged cell as a contained protocol_error. Exercised on both worker
+// models, with the default disposition explicitly restored around the
+// runs so a latent regression cannot hide behind gtest's own handlers.
+TEST(Supervisor, WritesToDeadWorkersDoNotRaiseSigpipe) {
+  if (!Supervisor::isolationSupported()) {
+    GTEST_SKIP() << "no fork on this platform";
+  }
+  struct sigaction dfl;
+  std::memset(&dfl, 0, sizeof(dfl));
+  dfl.sa_handler = SIG_DFL;
+  sigemptyset(&dfl.sa_mask);
+  struct sigaction saved;
+  ASSERT_EQ(::sigaction(SIGPIPE, &dfl, &saved), 0);
+
+  for (const bool pooled : {false, true}) {
+    SupervisorOptions opts;
+    opts.isolate = true;
+    opts.pool = pooled;
+    opts.jobs = 2;
+    opts.cell_timeout_seconds = 30.0;
+    // Every cell's worker exits instantly without writing a reply; the
+    // parent races its request/ack traffic against the deaths.
+    opts.chaos = *support::ChaosPlan::parse(
+        "0:exit,1:exit,2:exit,3:exit,4:exit,5:exit,6:exit,7:exit");
+    const Supervisor sup(opts);
+    const auto outcomes = sup.run(8, [](std::size_t cell) {
+      return "cell-" + std::to_string(cell);
+    });
+    ASSERT_EQ(outcomes.size(), 8u) << (pooled ? "pooled" : "forked");
+    for (std::size_t i = 0; i < outcomes.size(); ++i) {
+      EXPECT_EQ(outcomes[i].status, CellStatus::kProtocolError)
+          << (pooled ? "pooled" : "forked") << " cell " << i << ": "
+          << outcomes[i].diagnostic;
+    }
+  }
+
+  ASSERT_EQ(::sigaction(SIGPIPE, &saved, nullptr), 0);
+}
+
+// A worker that dies mid-frame (truncated reply, then the pipe closes)
+// settles as protocol_error without disturbing its neighbours — the
+// parent's scanner treats the EOF'd partial frame as corrupt input, not
+// as a reason to die or to poison the shared poll loop.
+TEST(SupervisorPool, MidFramePipeCloseIsContainedPerCell) {
+  if (!Supervisor::isolationSupported()) {
+    GTEST_SKIP() << "no fork on this platform";
+  }
+  SupervisorOptions opts;
+  opts.isolate = true;
+  opts.pool = true;
+  opts.jobs = 2;
+  opts.cell_timeout_seconds = 60.0;
+  opts.chaos = *support::ChaosPlan::parse("2:partial,5:partial");
+  const Supervisor sup(opts);
+  const auto outcomes = sup.run(8, [](std::size_t cell) {
+    return std::string(4096, static_cast<char>('a' + cell % 26));
+  });
+  ASSERT_EQ(outcomes.size(), 8u);
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    if (i == 2 || i == 5) {
+      EXPECT_EQ(outcomes[i].status, CellStatus::kProtocolError)
+          << "cell " << i << ": " << outcomes[i].diagnostic;
+    } else {
+      EXPECT_EQ(outcomes[i].status, CellStatus::kOk) << "cell " << i;
+      EXPECT_EQ(outcomes[i].payload.size(), 4096u);
+    }
+  }
+}
+
+#endif  // POSIX
+
 
 }  // namespace
 }  // namespace spt::harness

@@ -30,6 +30,36 @@
 //       either container (v3's application meta words are preserved on
 //       v3 -> v3 and zero when converting up from v2). Without --to, the
 //       output format is the opposite of the input's.
+//   sptc serve --socket PATH [options]
+//       Run the resident sweep service (docs/ROBUSTNESS.md "Sweep
+//       service"): listen on a Unix-domain socket and multiplex sweep /
+//       campaign requests from many concurrent `sptc submit` clients over
+//       one warm worker pool with fair round-robin scheduling, bounded
+//       admission, per-request deadlines and graceful SIGTERM drain.
+//       --jobs / --cell-timeout / --retries / --rlimit-* size the pool;
+//       --checkpoint appends every finished cell service-wide.
+//   sptc submit <sweep|inject|status> --socket PATH [options]
+//       Submit one request to a running service and print/emit the same
+//       table and JSON the one-shot command would (byte-identical filtered
+//       JSON — proven in CI). `status` prints the service's status JSON.
+//       Exit: 0 done, 1 failed cells or transport error, 3 service busy
+//       (backpressure; retry later).
+//
+// Options for serve:
+//   --socket PATH      Unix-domain socket path to listen on (required)
+//   --max-queue N      max queued-but-undispatched cells across clients
+//                      before requests are refused with a busy/retry-after
+//                      reply (default 1024)
+//   --allow-chaos      accept request-embedded worker chaos plans (tests)
+//
+// Options for submit:
+//   --socket PATH      service socket to connect to (required)
+//   --benchmarks LIST  comma-separated workload-name filter (also accepted
+//                      by sweep/inject for one-shot runs)
+//   --deadline S       whole-request deadline in seconds; queued cells
+//                      past it settle as timeout rows (0 = none)
+//   --client-chaos SPEC  sabotage THIS client for resilience testing:
+//                      disconnect[@N] | garbage[@N] | slow-reader[@MS]
 //
 // Options for inject:
 //   --seeds N          fault seeds per workload (default 8)
@@ -110,6 +140,8 @@
 //                      deterministic JSON to FILE ("-" = stdout), and
 //                      print the remarks summary table. --remarks=FILE
 //                      also accepted.
+#include <algorithm>
+#include <csignal>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -118,6 +150,7 @@
 #include "harness/parallel_sweep.h"
 #include "harness/perf.h"
 #include "harness/suite.h"
+#include "harness/sweep_service.h"
 #include "ir/parser.h"
 #include "ir/printer.h"
 #include "ir/verifier.h"
@@ -129,9 +162,41 @@ namespace {
 
 using namespace spt;
 
+/// Graceful-interrupt flag (docs/ROBUSTNESS.md): SIGINT/SIGTERM ask the
+/// supervisor (or the sweep service) to stop dispatching; in-flight cells
+/// finish and checkpoint, then the command exits with kInterruptedExit.
+volatile std::sig_atomic_t g_interrupted = 0;
+
+/// Distinct exit code for a cleanly interrupted run (EX_TEMPFAIL): the
+/// checkpoint is intact and `--resume` re-runs exactly the missing cells.
+constexpr int kInterruptedExit = 75;
+
+extern "C" void onInterruptSignal(int) { g_interrupted = 1; }
+
+/// Installs SIGINT/SIGTERM handlers that set the stop flag. Deliberately
+/// without SA_RESTART so a signal wakes the supervisor's poll() instead
+/// of silently restarting it. Only used for supervised (--isolate/--pool)
+/// runs and the service — the in-process path keeps default signal
+/// behavior (die now; per-line checkpoint flushes already make --resume
+/// safe, and the loader drops a torn trailing line).
+void installInterruptHandlers() {
+#if defined(__unix__) || (defined(__APPLE__) && defined(__MACH__))
+  struct sigaction sa {};
+  sa.sa_handler = onInterruptSignal;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = 0;  // no SA_RESTART: blocked syscalls must return EINTR
+  sigaction(SIGINT, &sa, nullptr);
+  sigaction(SIGTERM, &sa, nullptr);
+#else
+  std::signal(SIGINT, onInterruptSignal);
+  std::signal(SIGTERM, onInterruptSignal);
+#endif
+}
+
 int usage() {
   std::cerr
-      << "usage: sptc <list|run|compile|parse|sweep|perf|inject|trace> "
+      << "usage: sptc "
+         "<list|run|compile|parse|sweep|perf|inject|trace|serve|submit> "
          "[target] [options]\n"
          "       see the header of tools/sptc.cpp for details\n";
   return 2;
@@ -202,10 +267,20 @@ struct Options {
   std::uint64_t base_seed = 0x5eed;
   std::uint32_t period = 32;
   support::OracleMode oracle = support::OracleMode::kDigest;
+  // serve / submit
+  std::string socket_path;
+  std::size_t max_queue = 1024;
+  bool allow_chaos = false;
+  std::vector<std::string> benchmarks;  // also filters sweep/inject grids
+  double deadline_seconds = 0.0;
+  support::ClientChaosPlan client_chaos;
   bool ok = true;
 };
 
-Options parseOptions(int argc, char** argv, int first) {
+/// `chaos_needs_isolate` is relaxed for serve/submit, where a --chaos plan
+/// rides the request to the service's own supervised workers.
+Options parseOptions(int argc, char** argv, int first,
+                     bool chaos_needs_isolate = true) {
   Options o;
   const auto need_value = [&](int& i) -> const char* {
     if (i + 1 >= argc) {
@@ -339,18 +414,61 @@ Options parseOptions(int argc, char** argv, int first) {
                   << "' (expected digest | deep)\n";
         o.ok = false;
       }
+    } else if (arg == "--socket") {
+      o.socket_path = need_value(i);
+    } else if (arg == "--max-queue") {
+      o.max_queue = static_cast<std::size_t>(
+          std::strtoull(need_value(i), nullptr, 10));
+    } else if (arg == "--allow-chaos") {
+      o.allow_chaos = true;
+    } else if (arg == "--benchmarks") {
+      std::stringstream ss(need_value(i));
+      std::string name;
+      while (std::getline(ss, name, ',')) {
+        if (!name.empty()) o.benchmarks.push_back(name);
+      }
+    } else if (arg == "--deadline") {
+      o.deadline_seconds = std::strtod(need_value(i), nullptr);
+    } else if (arg == "--client-chaos") {
+      std::string error;
+      const auto plan = support::ClientChaosPlan::parse(need_value(i), &error);
+      if (!plan) {
+        std::cerr << "sptc: bad --client-chaos spec: " << error << "\n";
+        o.ok = false;
+      } else {
+        o.client_chaos = *plan;
+      }
     } else {
       std::cerr << "sptc: unknown option '" << arg
                 << "' (see `sptc` for usage)\n";
       o.ok = false;
     }
   }
-  if (o.supervisor.chaos.enabled() && !o.supervisor.isolate) {
+  if (chaos_needs_isolate && o.supervisor.chaos.enabled() &&
+      !o.supervisor.isolate) {
     std::cerr << "sptc: --chaos requires --isolate (chaos sabotages forked "
                  "workers)\n";
     o.ok = false;
   }
   return o;
+}
+
+/// Validates a --benchmarks filter against the suite (the grid builders
+/// silently drop unknown names; the CLI must not).
+bool validateBenchmarks(const std::vector<std::string>& benchmarks) {
+  if (benchmarks.empty()) return true;
+  std::vector<std::string> names;
+  for (const auto& entry : harness::defaultSuite()) {
+    names.push_back(entry.workload.name);
+  }
+  for (const std::string& b : benchmarks) {
+    if (std::find(names.begin(), names.end(), b) == names.end()) {
+      std::cerr << "sptc: unknown benchmark '" << b
+                << "' in --benchmarks (try `sptc list`)\n";
+      return false;
+    }
+  }
+  return true;
 }
 
 /// Degrades --isolate to the in-process path (with a warning) on
@@ -445,36 +563,12 @@ int cmdParse(const std::string& target) {
   return 0;
 }
 
-int cmdSweep(Options options) {
-  checkIsolationSupport(options);
-  const harness::ParallelSweep sweep(options.jobs);
-  std::vector<harness::SweepCase> cases;
-  for (auto& entry : harness::defaultSuite()) {
-    harness::SweepCase c;
-    c.benchmark = entry.workload.name;
-    c.entry = std::move(entry);
-    // Suite-level per-benchmark overrides (gap's 2500 body-size limit)
-    // survive; every other knob comes from the command line.
-    const double per_benchmark_limit = c.entry.copts.max_avg_body_size;
-    c.entry.copts = options.copts;
-    if (per_benchmark_limit > c.entry.copts.max_avg_body_size) {
-      c.entry.copts.max_avg_body_size = per_benchmark_limit;
-    }
-    c.machine = options.machine;
-    c.scale = options.scale;
-    cases.push_back(std::move(c));
-  }
-
-  harness::SweepOptions sweep_opts;
-  sweep_opts.quarantine = options.quarantine;
-  sweep_opts.checkpoint_path = options.checkpoint_path;
-  sweep_opts.resume = options.resume;
-  sweep_opts.supervisor = options.supervisor;
-  sweep_opts.trace_cache_dir = options.trace_cache_dir;
-  const auto rows = harness::runSweep(sweep, cases, sweep_opts);
-
-  support::Table t("suite sweep (" + std::to_string(sweep.jobs()) +
-                   " jobs)");
+/// Prints the sweep table + per-cell diagnostics and writes the JSON
+/// document. Shared by `sptc sweep` and `sptc submit sweep`, so the
+/// service path emits exactly the one-shot path's output.
+int finishSweep(const std::vector<harness::SweepRow>& rows,
+                const Options& options, const std::string& title) {
+  support::Table t(title);
   t.setHeader({"benchmark", "baseline cycles", "SPT cycles", "speedup",
                "threads", "fast commits"});
   double sum_speedup = 0.0;
@@ -523,25 +617,44 @@ int cmdSweep(Options options) {
   return failed_rows == 0 ? 0 : 1;
 }
 
-int cmdInject(Options options) {
+int cmdSweep(Options options) {
   checkIsolationSupport(options);
-  harness::FaultCampaignOptions fc;
-  fc.seeds = options.seeds;
-  fc.base_seed = options.base_seed;
-  fc.jobs = options.jobs;
-  fc.scale = options.scale;
-  fc.period = options.period;
-  fc.oracle = options.oracle;
-  fc.machine = options.machine;
-  fc.checkpoint_path = options.checkpoint_path;
-  fc.resume = options.resume;
-  fc.supervisor = options.supervisor;
-  const auto result = harness::runFaultCampaign(fc);
+  if (!validateBenchmarks(options.benchmarks)) return 2;
+  if (options.supervisor.isolate) {
+    installInterruptHandlers();
+    options.supervisor.stop = &g_interrupted;
+  }
+  const harness::ParallelSweep sweep(options.jobs);
+  const std::vector<harness::SweepCase> cases = harness::buildSuiteSweepCases(
+      options.machine, options.copts, options.scale, options.benchmarks);
 
+  harness::SweepOptions sweep_opts;
+  sweep_opts.quarantine = options.quarantine;
+  sweep_opts.checkpoint_path = options.checkpoint_path;
+  sweep_opts.resume = options.resume;
+  sweep_opts.supervisor = options.supervisor;
+  sweep_opts.trace_cache_dir = options.trace_cache_dir;
+  const auto rows = harness::runSweep(sweep, cases, sweep_opts);
+
+  const int rc = finishSweep(
+      rows, options,
+      "suite sweep (" + std::to_string(sweep.jobs()) + " jobs)");
+  if (g_interrupted) {
+    std::cerr << "sptc: sweep interrupted; finished cells are checkpointed, "
+                 "re-run with --resume\n";
+    return kInterruptedExit;
+  }
+  return rc;
+}
+
+/// Prints the campaign table + diagnostics + PASS/FAIL line and writes the
+/// JSON document. Shared by `sptc inject` and `sptc submit inject`.
+int finishCampaign(const harness::FaultCampaignResult& result,
+                   const Options& options) {
   // Per-benchmark aggregation over the seeds (cells are workload-major).
   support::Table t("fault-injection campaign (" +
                    std::to_string(options.seeds) + " seeds/workload, " +
-                   "oracle " + support::toString(fc.oracle) + ")");
+                   "oracle " + support::toString(options.oracle) + ")");
   t.setHeader({"benchmark", "injected", "net", "oracle", "benign",
                "escaped", "digests"});
   for (std::size_t i = 0; i < result.cells.size();) {
@@ -594,6 +707,114 @@ int cmdInject(Options options) {
                      : "campaign FAIL: escaped faults, architectural "
                        "divergence, or failed cells (see table)\n");
   return pass ? 0 : 1;
+}
+
+int cmdInject(Options options) {
+  checkIsolationSupport(options);
+  if (options.supervisor.isolate) {
+    installInterruptHandlers();
+    options.supervisor.stop = &g_interrupted;
+  }
+  harness::FaultCampaignOptions fc;
+  fc.seeds = options.seeds;
+  fc.base_seed = options.base_seed;
+  fc.jobs = options.jobs;
+  fc.scale = options.scale;
+  fc.period = options.period;
+  fc.oracle = options.oracle;
+  fc.machine = options.machine;
+  fc.checkpoint_path = options.checkpoint_path;
+  fc.resume = options.resume;
+  fc.supervisor = options.supervisor;
+  const auto result = harness::runFaultCampaign(fc);
+
+  const int rc = finishCampaign(result, options);
+  if (g_interrupted) {
+    std::cerr << "sptc: campaign interrupted; finished cells are "
+                 "checkpointed, re-run with --resume\n";
+    return kInterruptedExit;
+  }
+  return rc;
+}
+
+int cmdServe(const Options& options) {
+  if (options.socket_path.empty()) {
+    std::cerr << "sptc: serve needs --socket PATH\n";
+    return 2;
+  }
+  if (!harness::SweepService::supported()) {
+    std::cerr << "sptc: the sweep service needs fork + AF_UNIX sockets, "
+                 "which this platform lacks\n";
+    return 1;
+  }
+  installInterruptHandlers();
+  harness::SweepServiceOptions so;
+  so.socket_path = options.socket_path;
+  so.supervisor = options.supervisor;
+  so.supervisor.jobs = options.jobs;  // --jobs sizes the worker pool
+  so.max_queue = options.max_queue;
+  so.allow_chaos = options.allow_chaos;
+  so.checkpoint_path = options.checkpoint_path;
+  so.trace_cache_dir = options.trace_cache_dir;
+  so.stop = &g_interrupted;
+  so.log = [](const std::string& m) { std::cerr << m << "\n"; };
+  harness::SweepService service(std::move(so));
+  return service.run();
+}
+
+int cmdSubmit(const std::string& mode, const Options& options) {
+  if (options.socket_path.empty()) {
+    std::cerr << "sptc: submit needs --socket PATH\n";
+    return 2;
+  }
+  if (mode == "status") {
+    std::string error;
+    const auto status =
+        harness::queryServiceStatus(options.socket_path, &error);
+    if (!status) {
+      std::cerr << "sptc: status query failed: " << error << "\n";
+      return 1;
+    }
+    std::cout << *status << "\n";
+    return 0;
+  }
+  if (mode != "sweep" && mode != "inject") {
+    std::cerr << "sptc: submit supports sweep | inject | status\n";
+    return 2;
+  }
+  if (!validateBenchmarks(options.benchmarks)) return 2;
+
+  harness::ServiceRequest req;
+  req.kind = mode == "sweep" ? harness::ServiceRequest::Kind::kSweep
+                             : harness::ServiceRequest::Kind::kCampaign;
+  req.scale = options.scale;
+  req.machine = options.machine;
+  req.copts = options.copts;
+  req.benchmarks = options.benchmarks;
+  req.seeds = options.seeds;
+  req.base_seed = options.base_seed;
+  req.period = options.period;
+  req.oracle = options.oracle;
+  req.deadline_seconds = options.deadline_seconds;
+  req.chaos = options.supervisor.chaos;
+
+  harness::SubmitOptions sopts;
+  sopts.chaos = options.client_chaos;
+  const auto outcome =
+      harness::submitToService(options.socket_path, req, sopts);
+  if (outcome.busy) {
+    std::cerr << "sptc: service busy (" << outcome.error << "); retry after "
+              << support::fixed(outcome.retry_after_seconds, 2) << "s\n";
+    return 3;
+  }
+  if (!outcome.ok) {
+    std::cerr << "sptc: submit failed: " << outcome.error << "\n";
+    return 1;
+  }
+  if (mode == "sweep") {
+    return finishSweep(outcome.rows, options, "suite sweep (served)");
+  }
+  return finishCampaign(outcome.campaign, options);
 }
 
 int cmdPerf(Options options) {
@@ -704,6 +925,23 @@ int main(int argc, char** argv) {
     const Options options = parseOptions(argc, argv, 2);
     if (!options.ok) return 2;
     return cmdInject(options);
+  }
+  if (cmd == "serve") {
+    const Options options =
+        parseOptions(argc, argv, 2, /*chaos_needs_isolate=*/false);
+    if (!options.ok) return 2;
+    return cmdServe(options);
+  }
+  if (cmd == "submit") {
+    if (argc < 3 || argv[2][0] == '-') {
+      std::cerr << "sptc: submit needs a mode: sweep | inject | status\n";
+      return usage();
+    }
+    const std::string mode = argv[2];
+    const Options options =
+        parseOptions(argc, argv, 3, /*chaos_needs_isolate=*/false);
+    if (!options.ok) return 2;
+    return cmdSubmit(mode, options);
   }
   if (cmd == "trace") {
     if (argc < 3 || std::string(argv[2]) != "convert") {
