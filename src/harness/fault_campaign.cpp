@@ -140,7 +140,11 @@ FaultCampaignResult runFaultCampaign(const FaultCampaignOptions& opts) {
         p.name = entry.workload.name;
         p.module =
             std::make_unique<ir::Module>(entry.workload.build(opts.scale));
-        compiler::SptCompiler cc(entry.copts);
+        // The compiler follows the machine's chain depth so chained
+        // campaigns exercise slice-equipped forks too.
+        compiler::CompilerOptions copts = entry.copts;
+        copts.spec_threads = opts.machine.spec_threads;
+        compiler::SptCompiler cc(copts);
         InterpProfileRunner runner;
         cc.compile(*p.module, runner);
         TracedRun run = traceProgram(*p.module, {},
@@ -272,7 +276,9 @@ FaultCampaignCell runFaultCampaignCellStandalone(
       p.name = entry.workload.name;
       p.module =
           std::make_unique<ir::Module>(entry.workload.build(opts.scale));
-      compiler::SptCompiler cc(entry.copts);
+      compiler::CompilerOptions copts = entry.copts;
+      copts.spec_threads = opts.machine.spec_threads;
+      compiler::SptCompiler cc(copts);
       InterpProfileRunner runner;
       cc.compile(*p.module, runner);
       TracedRun run =

@@ -64,7 +64,8 @@ CheckpointLine sweepCheckpointLine(const SweepRow& r) {
 std::vector<SweepCase> buildSuiteSweepCases(
     const support::MachineConfig& machine,
     const compiler::CompilerOptions& copts, std::uint64_t scale,
-    const std::vector<std::string>& benchmarks) {
+    const std::vector<std::string>& benchmarks,
+    const std::vector<std::uint32_t>& spec_threads) {
   std::vector<SweepCase> cases;
   for (auto& entry : defaultSuite()) {
     if (!benchmarks.empty()) {
@@ -86,7 +87,24 @@ std::vector<SweepCase> buildSuiteSweepCases(
     }
     c.machine = machine;
     c.scale = scale;
-    cases.push_back(std::move(c));
+    if (spec_threads.empty()) {
+      cases.push_back(std::move(c));
+      continue;
+    }
+    // Thread-count grid axis: one case per N, tagged "default" for N == 1
+    // (so single-threaded grids stay byte-identical to the historical
+    // sweep, checkpoints included) and "n<N>" otherwise. Both the machine
+    // and the compiler see N — the simulator sizes its chain and the
+    // precomputation-slice pass only arms itself at N >= 2.
+    for (const std::uint32_t n : spec_threads) {
+      SPT_CHECK_MSG(n >= 1 && n <= support::kMaxSpecThreads,
+                    "spec_threads out of range");
+      SweepCase g = c;
+      g.config = n == 1 ? "default" : "n" + std::to_string(n);
+      g.machine.spec_threads = n;
+      g.entry.copts.spec_threads = n;
+      cases.push_back(std::move(g));
+    }
   }
   return cases;
 }

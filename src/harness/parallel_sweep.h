@@ -171,10 +171,18 @@ struct SweepOptions {
 /// defaultSuite() first). `sptc sweep`, the sweep service, and its
 /// pooled workers all build cases through this one function, which is
 /// what makes their grids — and therefore their JSON — identical.
+///
+/// A non-empty `spec_threads` list adds a thread-count grid axis: each
+/// benchmark expands to one case per N (in list order), with the machine's
+/// chain depth and the compiler's slice pass both set to N. N == 1 keeps
+/// the "default" config tag so plain grids — and their checkpoint rows —
+/// stay byte-identical to the single-threaded sweep; other values are
+/// tagged "n<N>".
 std::vector<SweepCase> buildSuiteSweepCases(
     const support::MachineConfig& machine,
     const compiler::CompilerOptions& copts, std::uint64_t scale,
-    const std::vector<std::string>& benchmarks = {});
+    const std::vector<std::string>& benchmarks = {},
+    const std::vector<std::uint32_t>& spec_threads = {});
 
 /// Worker-side body of one supervised sweep cell: runs the case with
 /// quarantine semantics and returns the encoded reply payload

@@ -82,6 +82,7 @@ void encodeMachine(ByteWriter& w, const support::MachineConfig& m) {
   w.boolean(m.fault_plan.srb_payload_flip);
   w.boolean(m.fault_plan.cache_meta_flip);
   w.boolean(m.fault_plan.bp_meta_flip);
+  w.u32(m.spec_threads);
 }
 
 bool decodeMachine(ByteReader& r, support::MachineConfig* m) {
@@ -110,7 +111,9 @@ bool decodeMachine(ByteReader& r, support::MachineConfig* m) {
   return r.boolean(&fp.enabled) && r.u64(&fp.seed) && r.u32(&fp.period) &&
          r.boolean(&fp.ssb_value_flip) && r.boolean(&fp.lab_drop) &&
          r.boolean(&fp.fork_reg_flip) && r.boolean(&fp.srb_payload_flip) &&
-         r.boolean(&fp.cache_meta_flip) && r.boolean(&fp.bp_meta_flip);
+         r.boolean(&fp.cache_meta_flip) && r.boolean(&fp.bp_meta_flip) &&
+         r.u32(&m->spec_threads) && m->spec_threads >= 1 &&
+         m->spec_threads <= support::kMaxSpecThreads;
 }
 
 void encodeCompilerOptions(ByteWriter& w, const compiler::CompilerOptions& o) {
@@ -135,6 +138,8 @@ void encodeCompilerOptions(ByteWriter& w, const compiler::CompilerOptions& o) {
   w.f64(o.fork_overhead);
   w.f64(o.commit_overhead);
   w.f64(o.replay_width);
+  w.u32(o.spec_threads);
+  w.u32(o.slice_max_instrs);
 }
 
 bool decodeCompilerOptions(ByteReader& r, compiler::CompilerOptions* o) {
@@ -149,7 +154,8 @@ bool decodeCompilerOptions(ByteReader& r, compiler::CompilerOptions* o) {
          r.boolean(&o->enable_region_speculation) &&
          r.f64(&o->region_min_cost) && r.f64(&o->region_penalty_weight) &&
          r.f64(&o->region_min_benefit) && r.f64(&o->fork_overhead) &&
-         r.f64(&o->commit_overhead) && r.f64(&o->replay_width);
+         r.f64(&o->commit_overhead) && r.f64(&o->replay_width) &&
+         r.u32(&o->spec_threads) && r.u32(&o->slice_max_instrs);
 }
 
 }  // namespace
@@ -170,6 +176,8 @@ std::string encodeServiceRequest(const ServiceRequest& req) {
   w.str(req.echo_payload);
   w.f64(req.deadline_seconds);
   w.str(req.chaos.toSpec());
+  w.u64(req.spec_threads.size());
+  for (const std::uint32_t n : req.spec_threads) w.u32(n);
   return w.take();
 }
 
@@ -193,6 +201,12 @@ bool decodeServiceRequest(const std::string& payload, ServiceRequest* req) {
         r.u8(&oracle) && r.u64(&out.echo_cells) && r.str(&out.echo_payload) &&
         r.f64(&out.deadline_seconds) && r.str(&chaos_spec))) {
     return false;
+  }
+  std::uint64_t nthreads = 0;
+  if (!r.u64(&nthreads) || nthreads > support::kMaxSpecThreads) return false;
+  out.spec_threads.resize(static_cast<std::size_t>(nthreads));
+  for (std::uint32_t& n : out.spec_threads) {
+    if (!r.u32(&n) || n < 1 || n > support::kMaxSpecThreads) return false;
   }
   if (oracle > 2 || !r.ok() || !r.atEnd()) return false;
   out.oracle = static_cast<support::OracleMode>(oracle);
@@ -379,7 +393,7 @@ std::string serviceSpecProduce(const std::string& spec) {
     case ServiceRequest::Kind::kSweep: {
       std::vector<SweepCase> cases =
           buildSuiteSweepCases(req.machine, req.copts, req.scale,
-                               req.benchmarks);
+                               req.benchmarks, req.spec_threads);
       if (cell >= cases.size()) {
         throw std::runtime_error("sweep cell index out of range");
       }
@@ -610,7 +624,7 @@ struct SweepService::Impl {
       case ServiceRequest::Kind::kSweep: {
         std::vector<SweepCase> cases =
             buildSuiteSweepCases(req.machine, req.copts, req.scale,
-                                 req.benchmarks);
+                                 req.benchmarks, req.spec_threads);
         total = cases.size();
         c.sweep_keys.clear();
         c.sweep_keys.reserve(cases.size());

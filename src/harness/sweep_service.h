@@ -95,6 +95,10 @@ struct ServiceRequest {
   /// Workload-name filter; empty = the whole suite. Unknown names are
   /// rejected with a kError frame.
   std::vector<std::string> benchmarks;
+  /// Thread-count grid axis for kSweep (buildSuiteSweepCases): empty keeps
+  /// the plain single-config grid; out-of-range values (0 or >
+  /// support::kMaxSpecThreads) are rejected with a kError frame.
+  std::vector<std::uint32_t> spec_threads;
   // Campaign knobs (kCampaign only).
   std::uint64_t seeds = 8;
   std::uint64_t base_seed = 0x5eed;

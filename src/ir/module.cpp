@@ -72,6 +72,21 @@ void Module::finalize() {
   finalized_ = true;
 }
 
+void Module::setForkSlice(StaticId fork_sid, std::vector<Instr> slice) {
+  SPT_CHECK_MSG(finalized_, "attach slices after the final finalize()");
+  SPT_CHECK(instrAt(fork_sid).op == Opcode::kSptFork);
+  if (slice.empty()) {
+    fork_slices_.erase(fork_sid);
+  } else {
+    fork_slices_[fork_sid] = std::move(slice);
+  }
+}
+
+const std::vector<Instr>* Module::forkSlice(StaticId fork_sid) const {
+  const auto it = fork_slices_.find(fork_sid);
+  return it == fork_slices_.end() ? nullptr : &it->second;
+}
+
 std::uint64_t Module::structuralDigest() const {
   std::uint64_t h = 0xcbf29ce484222325ull;
   const auto byte = [&h](unsigned char b) {

@@ -2,6 +2,7 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -80,6 +81,19 @@ class Module {
   const StaticLocation& locate(StaticId id) const;
   const Instr& instrAt(StaticId id) const;
 
+  /// Precomputation slices (docs/MULTIWAY.md): straight-line live-in
+  /// predictor code the precomputation-slice pass attaches to a kSptFork
+  /// instruction. The interpreter ignores them (they are metadata, not
+  /// executed IR); the SPT machine runs them over the fork-time register
+  /// snapshot before the chained speculative thread starts. Keys are
+  /// finalize()-assigned StaticIds, so slices must be attached after the
+  /// pipeline's final finalize() and are invalidated by structural edits.
+  void setForkSlice(StaticId fork_sid, std::vector<Instr> slice);
+  /// The slice for a fork site, or nullptr when the site uses the plain
+  /// register-copy fork.
+  const std::vector<Instr>* forkSlice(StaticId fork_sid) const;
+  bool hasForkSlices() const { return !fork_slices_.empty(); }
+
   /// Order-sensitive FNV-1a digest of the module's structure: functions,
   /// blocks, and every instruction field except the finalize-assigned
   /// static_id, so the digest is stable across finalize() calls. Two
@@ -94,6 +108,7 @@ class Module {
   bool finalized_ = false;
   std::uint32_t static_count_ = 0;
   std::vector<StaticLocation> locations_;
+  std::map<StaticId, std::vector<Instr>> fork_slices_;
 };
 
 }  // namespace spt::ir

@@ -58,32 +58,38 @@ class FaultInjector {
   explicit FaultInjector(const support::FaultPlan& plan)
       : plan_(plan), rng_(plan.seed) {}
 
-  /// Number of faults injected into the currently active speculative
-  /// thread (reset by threadStart).
-  std::size_t pending() const { return pending_; }
-  void threadStart() { pending_ = 0; }
+  // Data faults return true when they fired; the machine charges the fault
+  // to the speculative thread it hit (SpecThread::faults_pending) and
+  // classifies it when that thread settles. With chained speculation the
+  // injector is thread-agnostic: every active thread draws from the same
+  // seeded stream in simulation order, so a campaign is bit-reproducible
+  // at any spec_threads value.
 
-  /// Maybe flips one bit of one register in the fork-time context copy.
+  /// Maybe flips one bit of one register in the fork-time context copy
+  /// (main-forked snapshots and chained cross-thread snapshots alike).
   bool maybeFlipForkReg(std::vector<std::int64_t>& fork_rf) {
     if (!plan_.fork_reg_flip || fork_rf.empty() || !fire()) return false;
     const std::size_t reg = rng_.nextBelow(fork_rf.size());
     fork_rf[reg] ^= std::int64_t{1} << rng_.nextBelow(64);
-    ++pending_;
     return true;
   }
 
-  /// Maybe flips one bit of a speculative store's SSB value.
+  /// Maybe flips one bit of a speculative store's SSB value. In chained
+  /// mode the corrupted copy is also what *successor threads* forward
+  /// cross-thread, so the divergence can surface in a different thread
+  /// than the one charged — the commit-time exemption check compares the
+  /// forwarded value against the trace and flags the consumer.
   bool maybeCorruptSsbValue(std::int64_t& value) {
     if (!plan_.ssb_value_flip || !fire()) return false;
     value ^= std::int64_t{1} << rng_.nextBelow(64);
-    ++pending_;
     return true;
   }
 
-  /// Maybe decides to drop the LAB record a load just registered.
+  /// Maybe decides to drop the LAB record a load just registered (own-SSB
+  /// misses and cross-thread forwarded loads both register in the LAB, so
+  /// chained forwards are droppable targets too).
   bool maybeDropLabRecord() {
     if (!plan_.lab_drop || !fire()) return false;
-    ++pending_;
     return true;
   }
 
@@ -91,11 +97,10 @@ class FaultInjector {
   bool maybeCorruptSrbPayload(std::int64_t& emu_value) {
     if (!plan_.srb_payload_flip || !fire()) return false;
     emu_value ^= std::int64_t{1} << rng_.nextBelow(64);
-    ++pending_;
     return true;
   }
 
-  // ---- Timing-metadata faults. These do NOT touch pending_: the
+  // ---- Timing-metadata faults. These are not charged to any thread: the
   // structures they corrupt hold no data values, so the faults cannot be
   // detected (there is nothing to diverge) and must not dilute the
   // detection-net classification. They are tallied separately and folded
@@ -118,7 +123,7 @@ class FaultInjector {
   }
 
   /// Timing-metadata faults injected over the whole run (benign by
-  /// construction; never part of pending()).
+  /// construction; never charged to a thread).
   std::uint64_t metadataInjected() const { return metadata_injected_; }
 
  private:
@@ -128,7 +133,6 @@ class FaultInjector {
 
   support::FaultPlan plan_;
   support::Rng rng_;
-  std::size_t pending_ = 0;
   std::uint64_t metadata_injected_ = 0;
 };
 

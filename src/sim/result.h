@@ -89,6 +89,8 @@ struct HotPathStats {
   std::uint64_t dispatch_fallback = 0;  // records through the generic path
   std::uint64_t arena_frame_allocs = 0;  // frames newly allocated
   std::uint64_t arena_frame_reuses = 0;  // frames recycled from the arena
+  std::uint64_t fork_site_hits = 0;    // fork records served from the
+  std::uint64_t fork_site_misses = 0;  // FlatMap64 site cache vs first seen
 
   double recordsPerAlloc() const {
     return support::safeRatio(

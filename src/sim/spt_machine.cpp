@@ -89,13 +89,26 @@ SptMachine::SptMachine(const ir::Module& module, trace::TraceView trace,
       decode_(module),
       memory_(std::make_unique<MemorySystem>(config)),
       main_pipe_(std::make_unique<Pipeline>(config, *memory_)),
-      spec_pipe_(std::make_unique<Pipeline>(config, *memory_)),
       arch_(module),
       loop_tracker_(module) {
-  // The SSB/LAB hold at most the configured number of distinct addresses
-  // (capacity stalls enforce it), so size them once and never rehash.
-  spec_.ssb.reserveFor(config.speculative_store_buffer_entries);
-  spec_.lab.reserveFor(config.load_address_buffer_entries);
+  SPT_CHECK_MSG(config.spec_threads >= 1 &&
+                    config.spec_threads <= support::kMaxSpecThreads,
+                "spec_threads out of range");
+  multiway_ = config.spec_threads > 1;
+  spec_pipes_.reserve(config.spec_threads);
+  slots_.reserve(config.spec_threads);
+  chain_.reserve(config.spec_threads);
+  for (std::uint32_t i = 0; i < config.spec_threads; ++i) {
+    spec_pipes_.push_back(std::make_unique<Pipeline>(config, *memory_));
+    auto t = std::make_unique<SpecThread>();
+    t->slot = i;
+    t->pipe = spec_pipes_[i].get();
+    // The SSB/LAB hold at most the configured number of distinct addresses
+    // (capacity stalls enforce it), so size them once and never rehash.
+    t->ssb.reserveFor(config.speculative_store_buffer_entries);
+    t->lab.reserveFor(config.load_address_buffer_entries);
+    slots_.push_back(std::move(t));
+  }
   if (config.fault_plan.enabled) {
     injector_ = std::make_unique<FaultInjector>(config.fault_plan);
     fault_mode_ = true;
@@ -110,8 +123,11 @@ void SptMachine::SpecThread::reset() {
   active = false;
   wrong_path = false;
   stalled = false;
+  forked_by_main = false;
+  seq = 0;
   start_pos = 0;
   pos = 0;
+  limit_pos = kNoLimit;
   fork_frame = 0;
   rf.reset();
   ssb.clear();
@@ -122,6 +138,7 @@ void SptMachine::SpecThread::reset() {
   srb.clear();
   call_stack.clear();
   halloc_at_fork = 0;
+  faults_pending = 0;
   breakdown_at_fork = CycleBreakdown{};
   loop_stats = nullptr;
 }
@@ -137,11 +154,12 @@ std::vector<std::size_t>& SptMachine::SpecThread::labList(
   return lab_pool[slot - 1];
 }
 
-ThreadStats& SptMachine::loopThreadStats() { return *spec_.loop_stats; }
-
 SptMachine::ForkSite& SptMachine::forkSiteOf(const trace::Record& r) {
-  const auto it = fork_sites_.find(r.sid);
-  if (it != fork_sites_.end()) return it->second;
+  if (ForkSite* found = fork_sites_.find(r.sid)) {
+    ++fork_site_hits_;
+    return *found;
+  }
+  ++fork_site_misses_;
 
   // Loop attribution: the fork's target block is the loop header.
   const auto& loc = module_.locate(r.sid);
@@ -150,15 +168,17 @@ SptMachine::ForkSite& SptMachine::forkSiteOf(const trace::Record& r) {
   const ir::StaticId header_sid =
       func.blocks[fork.target0].instrs.front().static_id;
 
-  ForkSite site;
+  ForkSite& site = fork_sites_[r.sid];
   site.loop_name = trace::loopNameOf(module_, header_sid);
   site.stats = &result_.loop_threads[site.loop_name];
-  return fork_sites_.emplace(r.sid, std::move(site)).first->second;
+  site.slice = module_.forkSlice(r.sid);
+  site.frame_regs = func.reg_count;
+  return site;
 }
 
-CycleBreakdown SptMachine::specProfileSinceFork() const {
-  const CycleBreakdown& now = spec_pipe_->breakdown();
-  const CycleBreakdown& base = spec_.breakdown_at_fork;
+CycleBreakdown SptMachine::specProfileSinceFork(const SpecThread& t) const {
+  const CycleBreakdown& now = t.pipe->breakdown();
+  const CycleBreakdown& base = t.breakdown_at_fork;
   CycleBreakdown delta;
   delta.execution = now.execution - base.execution;
   delta.pipeline_stall = now.pipeline_stall - base.pipeline_stall;
@@ -166,39 +186,64 @@ CycleBreakdown SptMachine::specProfileSinceFork() const {
   return delta;
 }
 
-std::int64_t SptMachine::specPeekReg(trace::FrameId frame,
+std::int64_t SptMachine::specPeekReg(const SpecThread& t,
+                                     trace::FrameId frame,
                                      ir::Reg reg) const {
-  const std::int64_t* v = spec_.rf.find(frame, reg.index);
+  const std::int64_t* v = t.rf.find(frame, reg.index);
   if (v != nullptr) return *v;
-  if (frame == spec_.fork_frame) return spec_.fork_rf[reg.index];
+  if (frame == t.fork_frame) return t.fork_rf[reg.index];
   return 0;
 }
 
-std::int64_t SptMachine::specReadReg(trace::FrameId frame, ir::Reg reg) {
-  const std::int64_t* v = spec_.rf.find(frame, reg.index);
+std::int64_t SptMachine::specReadReg(SpecThread& t, trace::FrameId frame,
+                                     ir::Reg reg) {
+  const std::int64_t* v = t.rf.find(frame, reg.index);
   if (v != nullptr) return *v;
-  if (frame == spec_.fork_frame) {
+  if (frame == t.fork_frame) {
     // Live-in read from the fork-time register context.
-    std::vector<std::size_t>& reads = spec_.livein_reads[reg.index];
-    if (reads.empty()) spec_.livein_touched.push_back(reg.index);
-    reads.push_back(spec_.srb.size());
-    return spec_.fork_rf[reg.index];
+    std::vector<std::size_t>& reads = t.livein_reads[reg.index];
+    if (reads.empty()) t.livein_touched.push_back(reg.index);
+    reads.push_back(t.srb.size());
+    return t.fork_rf[reg.index];
   }
   // Registers of frames created during speculation are zero-initialized,
   // matching interpreter frames.
   return 0;
 }
 
-void SptMachine::specWriteReg(trace::FrameId frame, ir::Reg reg,
-                              std::int64_t value) {
-  spec_.rf.at(frame, reg.index) = value;
+void SptMachine::specWriteReg(SpecThread& t, trace::FrameId frame,
+                              ir::Reg reg, std::int64_t value) {
+  t.rf.at(frame, reg.index) = value;
 }
 
-bool SptMachine::specCanStep() const {
-  return spec_.active && !spec_.wrong_path && !spec_.stalled &&
-         spec_.pos < trace_.size() &&
-         spec_.srb.size() < config_.speculation_result_buffer_entries &&
-         spec_pipe_->cycle() <= main_pipe_->cycle();
+bool SptMachine::specCanStep(const SpecThread& t) const {
+  return t.active && !t.wrong_path && !t.stalled && t.pos < trace_.size() &&
+         t.pos < t.limit_pos &&
+         t.srb.size() < config_.speculation_result_buffer_entries &&
+         t.pipe->cycle() <= main_pipe_->cycle();
+}
+
+SptMachine::SpecThread* SptMachine::firstSteppable() {
+  for (const std::uint32_t slot : chain_) {
+    SpecThread& t = *slots_[slot];
+    if (specCanStep(t)) return &t;
+  }
+  return nullptr;
+}
+
+std::size_t SptMachine::chainIndexOf(const SpecThread& t) const {
+  for (std::size_t i = 0; i < chain_.size(); ++i) {
+    if (chain_[i] == t.slot) return i;
+  }
+  SPT_UNREACHABLE("thread not in chain");
+}
+
+bool SptMachine::seqIsLivePredecessor(std::uint32_t seq) const {
+  if (seq == 0) return false;
+  for (const std::uint32_t slot : chain_) {
+    if (slots_[slot]->seq == seq) return true;
+  }
+  return false;
 }
 
 MachineResult SptMachine::run() {
@@ -207,20 +252,22 @@ MachineResult SptMachine::run() {
   std::uint64_t steps = 0;
   while (pos_ < trace_.size()) {
     if (budgeted && (++steps & 1023u) == 0) checkBudgets();
-    if (specCanStep()) {
-      stepSpec();
+    if (SpecThread* t = firstSteppable()) {
+      stepSpec(*t);
     } else {
       stepMain();
     }
   }
-  if (spec_.active) killSpec();
+  killChain();
   if (budgeted) checkBudgets();
 
   main_pipe_->finish();
   loop_tracker_.finish(main_pipe_->cycle());
 
   result_.cycles = main_pipe_->cycle();
-  result_.instrs = main_pipe_->instrsIssued() + spec_pipe_->instrsIssued();
+  std::uint64_t spec_issued = 0;
+  for (const auto& p : spec_pipes_) spec_issued += p->instrsIssued();
+  result_.instrs = main_pipe_->instrsIssued() + spec_issued;
   result_.breakdown = main_pipe_->breakdown();
   result_.loops = loop_tracker_.stats();
   result_.l1d = memory_->l1d().stats();
@@ -231,6 +278,8 @@ MachineResult SptMachine::run() {
   result_.hotpath.dispatch_fast = result_.instrs - dispatch_fallbacks_;
   result_.hotpath.arena_frame_allocs = arch_.arenaAllocs();
   result_.hotpath.arena_frame_reuses = arch_.arenaReuses();
+  result_.hotpath.fork_site_hits = fork_site_hits_;
+  result_.hotpath.fork_site_misses = fork_site_misses_;
   if (injector_) {
     // Timing-metadata faults never enter the per-thread classification:
     // fold them in as injected + benign (the claim the campaign asserts).
@@ -261,9 +310,12 @@ void SptMachine::checkBudgets() const {
 void SptMachine::stepMain() {
   const trace::Record& r = trace_[pos_];
 
-  if (spec_.active && !spec_.wrong_path && pos_ == spec_.start_pos) {
-    arrival();
-    return;
+  if (!chain_.empty()) {
+    SpecThread& front = *slots_[chain_.front()];
+    if (!front.wrong_path && pos_ == front.start_pos) {
+      arrival(front);
+      return;
+    }
   }
 
   if (r.kind != trace::RecordKind::kInstr) {
@@ -292,63 +344,232 @@ void SptMachine::executeFork(const trace::Record& r) {
                         StallKind::kPipeline);
   arch_.apply(r, *d.instr);
 
-  if (spec_.active) {
-    // The fork is dropped because the speculative core is busy; attribute
-    // it to the loop whose thread is occupying the core so per-loop and
-    // whole-program fork counts stay consistent.
+  if (!chain_.empty()) {
+    // The fork is dropped because the chain head's core is busy; attribute
+    // it to the loop whose thread is occupying the most speculative core so
+    // per-loop and whole-program fork counts stay consistent.
     ++result_.threads.forks_ignored;
-    ++loopThreadStats().forks_ignored;
+    ++slots_[chain_.back()]->loop_stats->forks_ignored;
     return;
   }
 
   const std::size_t start = loop_index_.startOfFork(pos_);
   ForkSite& site = forkSiteOf(r);
 
-  spec_.reset();
-  spec_.active = true;
-  if (injector_) injector_->threadStart();
-  spec_.loop_stats = site.stats;
-  spec_.halloc_at_fork = arch_.hallocCount();
-  spec_.breakdown_at_fork = spec_pipe_->breakdown();
+  // The chain is empty, so every slot is free; the head always spawns into
+  // slot 0 (the paper's single speculative core).
+  SpecThread& t = *slots_[0];
+  t.reset();
+  t.active = true;
+  t.forked_by_main = true;
+  t.seq = next_seq_++;
+  t.loop_stats = site.stats;
+  t.halloc_at_fork = arch_.hallocCount();
+  t.breakdown_at_fork = t.pipe->breakdown();
+  chain_.push_back(t.slot);
 
-  ThreadStats& ts = loopThreadStats();
+  ThreadStats& ts = *t.loop_stats;
   ++result_.threads.spawned;
   ++ts.spawned;
 
   if (start == trace::LoopIndex::kNoStart) {
     // No next iteration exists in the trace: the speculative thread runs a
     // wrong path we cannot replay; it occupies the core until spt_kill.
-    spec_.wrong_path = true;
+    t.wrong_path = true;
     ++result_.threads.wrong_path;
     ++ts.wrong_path;
     return;
   }
 
-  spec_.start_pos = start;
+  t.start_pos = start;
   // Loop forks start at a kIterBegin marker (skip it); region forks start
   // directly at the target instruction.
-  spec_.pos = trace_[start].kind == trace::RecordKind::kInstr ? start
-                                                              : start + 1;
-  spec_.fork_frame = arch_.curFrame();
-  spec_.fork_rf = arch_.topRegs();
+  t.pos =
+      trace_[start].kind == trace::RecordKind::kInstr ? start : start + 1;
+  t.fork_frame = arch_.curFrame();
+  t.fork_rf = arch_.topRegs();
   if (injector_) {
-    injector_->maybeFlipForkReg(spec_.fork_rf);
+    if (injector_->maybeFlipForkReg(t.fork_rf)) ++t.faults_pending;
     // Timing-metadata faults, fired once per fork: the shared hierarchy
     // and the speculative pipeline's predictor carry no data values, so
     // these are benign by construction (counted separately; see run()).
     injector_->maybeCorruptCacheMeta(*memory_);
-    injector_->maybeCorruptBpMeta(spec_pipe_->predictor());
+    injector_->maybeCorruptBpMeta(t.pipe->predictor());
   }
-  if (spec_.livein_reads.size() < spec_.fork_rf.size()) {
-    spec_.livein_reads.resize(spec_.fork_rf.size());
+  if (t.livein_reads.size() < t.fork_rf.size()) {
+    t.livein_reads.resize(t.fork_rf.size());
   }
-  main_written_.assign(spec_.fork_rf.size(), 0);
-  spec_pipe_->advanceTo(main_pipe_->cycle(), StallKind::kPipeline);
+  main_written_.assign(t.fork_rf.size(), 0);
+  sb_thread_ = &t;
+  t.pipe->advanceTo(main_pipe_->cycle(), StallKind::kPipeline);
+  // Main forks copy the architectural registers directly — the snapshot is
+  // already exact, so the precomputation slice (which *predicts* live-ins
+  // from a stale context) only runs for chained forks.
+}
+
+void SptMachine::chainFork(SpecThread& t, const trace::Record& r) {
+  ForkSite& site = forkSiteOf(r);
+  if (chain_.size() >= config_.spec_threads || chain_.back() != t.slot) {
+    // Every speculative core is occupied, or a more speculative thread
+    // already owns the chain tail (only the tail may extend the chain:
+    // its successor would otherwise speculate an iteration an existing
+    // thread already covers).
+    ++result_.threads.forks_ignored;
+    ++site.stats->forks_ignored;
+    return;
+  }
+
+  // Spawn into the lowest free slot.
+  bool used[support::kMaxSpecThreads] = {};
+  for (const std::uint32_t slot : chain_) used[slot] = true;
+  std::uint32_t free_slot = 0;
+  while (used[free_slot]) ++free_slot;
+
+  SpecThread& nt = *slots_[free_slot];
+  nt.reset();
+  nt.active = true;
+  nt.seq = next_seq_++;
+  nt.loop_stats = site.stats;
+  nt.halloc_at_fork = arch_.hallocCount();
+  nt.breakdown_at_fork = nt.pipe->breakdown();
+  chain_.push_back(nt.slot);
+
+  ++result_.threads.spawned;
+  ++site.stats->spawned;
+
+  const std::size_t start = loop_index_.startOfFork(t.pos);
+  if (start == trace::LoopIndex::kNoStart) {
+    // The forker speculates the loop's last iteration: its successor has
+    // no trace to replay. The wrong-path thread occupies the tail slot
+    // (blocking further chaining) until the chain is squashed or killed —
+    // the forker's own horizon stays unbounded.
+    nt.wrong_path = true;
+    ++result_.threads.wrong_path;
+    ++site.stats->wrong_path;
+    return;
+  }
+
+  nt.start_pos = start;
+  nt.pos =
+      trace_[start].kind == trace::RecordKind::kInstr ? start : start + 1;
+  nt.fork_frame = r.frame;
+  // The successor's context is the forker's *speculative* view of the
+  // forking frame — possibly stale or wrong; the arrival register check
+  // (always value-based for chained threads) validates every live-in
+  // against ground truth.
+  nt.fork_rf = snapshotRegsFrom(t, r.frame, site.frame_regs);
+  if (injector_) {
+    if (injector_->maybeFlipForkReg(nt.fork_rf)) ++nt.faults_pending;
+    injector_->maybeCorruptCacheMeta(*memory_);
+    injector_->maybeCorruptBpMeta(nt.pipe->predictor());
+  }
+  if (nt.livein_reads.size() < nt.fork_rf.size()) {
+    nt.livein_reads.resize(nt.fork_rf.size());
+  }
+  // The forker freezes at its successor's start-point: records from
+  // `start` on belong to the successor.
+  t.limit_pos = start;
+  // Timing: the forker pays the register-context copy; the new core then
+  // syncs to the forker's clock and runs the precomputation slice, if any.
+  t.pipe->advanceTo(t.pipe->cycle() + config_.rf_copy_overhead,
+                    StallKind::kPipeline);
+  nt.pipe->advanceTo(t.pipe->cycle(), StallKind::kPipeline);
+  applyForkSlice(nt, site);
+}
+
+std::vector<std::int64_t> SptMachine::snapshotRegsFrom(
+    SpecThread& t, trace::FrameId frame, std::uint32_t reg_count) {
+  std::vector<std::int64_t> out(reg_count, 0);
+  const bool base = frame == t.fork_frame;
+  for (std::uint32_t i = 0; i < reg_count; ++i) {
+    const std::int64_t* v = t.rf.find(frame, i);
+    if (v != nullptr) {
+      out[i] = *v;
+    } else if (base && i < t.fork_rf.size()) {
+      out[i] = t.fork_rf[i];
+    }
+  }
+  return out;
+}
+
+void SptMachine::applyForkSlice(SpecThread& t, const ForkSite& site) {
+  if (site.slice == nullptr) return;
+  // The slice is straight-line predictor code over the snapshot: each
+  // instruction reads and writes t.fork_rf, refining the live-ins the
+  // forked iteration will observe. A wrong prediction is safe — the
+  // arrival register check validates every live-in read against ground
+  // truth — so a suppressed fault simply stops the refinement.
+  for (const ir::Instr& in : *site.slice) {
+    const auto reg = [&t](ir::Reg rg) -> std::int64_t {
+      return rg.valid() && rg.index < t.fork_rf.size() ? t.fork_rf[rg.index]
+                                                       : 0;
+    };
+    std::int64_t v = 0;
+    if (in.op == ir::Opcode::kConst) {
+      v = in.imm;
+    } else if (in.op == ir::Opcode::kMov) {
+      v = reg(in.a);
+    } else {
+      bool fault = false;
+      v = emulateBinary(in.op, reg(in.a), reg(in.b), fault);
+      if (fault) break;
+    }
+    if (in.dst.valid() && in.dst.index < t.fork_rf.size()) {
+      t.fork_rf[in.dst.index] = v;
+    }
+  }
+  // Slice execution occupies the speculative core before its first record:
+  // one cycle per slice instruction.
+  t.pipe->advanceTo(t.pipe->cycle() + site.slice->size(),
+                    StallKind::kPipeline);
+}
+
+void SptMachine::flagSuccessorLoads(const SpecThread& t, std::uint64_t addr,
+                                    std::int64_t value,
+                                    std::uint32_t store_srb,
+                                    bool allow_forward_exemption) {
+  // A store by thread t conflicts with every load of `addr` a more
+  // speculative thread has already executed — unless (commit time only)
+  // the load forwarded this exact store's committed value, or a later
+  // store of the same thread that sequentially shadows this one.
+  const std::size_t ci = chainIndexOf(t);
+  for (std::size_t j = ci + 1; j < chain_.size(); ++j) {
+    SpecThread& s = *slots_[chain_[j]];
+    if (s.wrong_path) continue;
+    const std::uint32_t* slot = s.lab.find(addr);
+    if (slot == nullptr) continue;
+    for (const std::size_t idx : s.lab_pool[*slot - 1]) {
+      SrbEntry& le = s.srb[idx];
+      if (allow_forward_exemption && le.fwd_seq == t.seq) {
+        if (le.fwd_srb > store_srb) continue;
+        if (le.fwd_srb == store_srb && le.emu_value == value) continue;
+      }
+      le.violated = true;
+    }
+  }
+}
+
+void SptMachine::mainStoreCheck(std::uint64_t addr) {
+  // Memory dependence checking: every main store is checked against every
+  // active thread's load address buffer (paper Section 3.2). A load that
+  // forwarded from a *still-active* chained thread's SSB is exempt: that
+  // thread's store is sequentially ahead of this one and shadows it. Once
+  // the forwarding thread has committed (or was discarded), its stores are
+  // in the main thread's past and this store supersedes them.
+  for (const std::uint32_t ci : chain_) {
+    SpecThread& s = *slots_[ci];
+    if (s.wrong_path) continue;
+    const std::uint32_t* slot = s.lab.find(addr);
+    if (slot == nullptr) continue;
+    for (const std::size_t idx : s.lab_pool[*slot - 1]) {
+      SrbEntry& le = s.srb[idx];
+      if (!seqIsLivePredecessor(le.fwd_seq)) le.violated = true;
+    }
+  }
 }
 
 void SptMachine::executeMainInstr(const trace::Record& r) {
   const DecodedInstr& d = decode_[r.sid];
-  const bool spec_live = spec_.active && !spec_.wrong_path;
 
   // Threaded dispatch off the predecoded class (jump table): each fast case
   // pairs the class-specialized ExecInstr builder and executeKnown
@@ -360,7 +581,7 @@ void SptMachine::executeMainInstr(const trace::Record& r) {
       main_pipe_->executeKnown<Pipeline::kExecPlain>(
           makeExecInstrFor<DispatchClass::kValue>(d, r));
       arch_.applyValue(r, d.dst_reg);
-      if (spec_live && r.frame == spec_.fork_frame) {
+      if (sb_thread_ != nullptr && r.frame == sb_thread_->fork_frame) {
         main_written_[d.dst_reg] = 1;  // scoreboard-mode register tracking
       }
       return;
@@ -368,7 +589,7 @@ void SptMachine::executeMainInstr(const trace::Record& r) {
       main_pipe_->executeKnown<Pipeline::kExecLoad>(
           makeExecInstrFor<DispatchClass::kLoad>(d, r));
       arch_.applyLoad(r, d.dst_reg);
-      if (spec_live && r.frame == spec_.fork_frame) {
+      if (sb_thread_ != nullptr && r.frame == sb_thread_->fork_frame) {
         main_written_[d.dst_reg] = 1;
       }
       return;
@@ -376,16 +597,7 @@ void SptMachine::executeMainInstr(const trace::Record& r) {
       main_pipe_->executeKnown<Pipeline::kExecStore>(
           makeExecInstrFor<DispatchClass::kStore>(d, r));
       arch_.applyStore(r);
-      if (spec_live) {
-        // Memory dependence checking: every main store is checked against
-        // the speculative load address buffer (paper Section 3.2).
-        const std::uint32_t* slot = spec_.lab.find(r.mem_addr);
-        if (slot != nullptr) {
-          for (const std::size_t idx : spec_.lab_pool[*slot - 1]) {
-            spec_.srb[idx].violated = true;
-          }
-        }
-      }
+      if (!chain_.empty()) mainStoreCheck(r.mem_addr);
       return;
     case DispatchClass::kCondBr:
       main_pipe_->executeKnown<Pipeline::kExecBranch>(
@@ -411,7 +623,7 @@ void SptMachine::executeMainFallback(const DecodedInstr& d,
   if (d.op == ir::Opcode::kSptKill) {
     main_pipe_->execute(makeExecInstr(d, r));
     arch_.apply(r, instr);
-    if (spec_.active) killSpec();
+    killChain();
     return;
   }
 
@@ -429,38 +641,29 @@ void SptMachine::executeMainFallback(const DecodedInstr& d,
         Pipeline::regKey(info.caller_frame, info.caller_dst), done, false);
   }
 
-  if (!spec_.active || spec_.wrong_path) return;
-
   // Memory dependence checking (see the kStore fast case).
-  if (d.is_store) {
-    const std::uint32_t* slot = spec_.lab.find(r.mem_addr);
-    if (slot != nullptr) {
-      for (const std::size_t idx : spec_.lab_pool[*slot - 1]) {
-        spec_.srb[idx].violated = true;
-      }
-    }
-  }
+  if (d.is_store && !chain_.empty()) mainStoreCheck(r.mem_addr);
 
   // Register tracking for the scoreboard checking mode. A call's optional
   // destination counts as written by the main thread here, exactly as the
   // pre-dispatch implementation did.
-  if (r.frame == spec_.fork_frame && instr.dst.valid() &&
-      ir::producesValue(instr.op)) {
+  if (sb_thread_ != nullptr && r.frame == sb_thread_->fork_frame &&
+      instr.dst.valid() && ir::producesValue(instr.op)) {
     main_written_[instr.dst.index] = 1;
   }
 }
 
-void SptMachine::stepSpec() {
-  const trace::Record& r = trace_[spec_.pos];
+void SptMachine::stepSpec(SpecThread& t) {
+  const trace::Record& r = trace_[t.pos];
   if (r.kind != trace::RecordKind::kInstr) {
-    ++spec_.pos;
+    ++t.pos;
     return;
   }
 
   const DecodedInstr& d = decode_[r.sid];
   const ir::Instr& instr = *d.instr;
   SrbEntry entry;
-  entry.record_index = spec_.pos;
+  entry.record_index = t.pos;
 
   // Buffer-capacity stalls for stores/loads. Both buffers are keyed by
   // address, so only an access that would create a *new* entry can exceed
@@ -473,19 +676,19 @@ void SptMachine::stepSpec() {
   // must not leave a dangling SRB reference behind.
   if (d.is_store) {
     const std::uint64_t addr = static_cast<std::uint64_t>(
-        specPeekReg(r.frame, instr.a) + instr.imm);
-    if (!spec_.ssb.contains(addr) &&
-        spec_.ssb.size() >= config_.speculative_store_buffer_entries) {
-      spec_.stalled = true;
+        specPeekReg(t, r.frame, instr.a) + instr.imm);
+    if (!t.ssb.contains(addr) &&
+        t.ssb.size() >= config_.speculative_store_buffer_entries) {
+      t.stalled = true;
       return;
     }
   }
   if (d.is_load) {
     const std::uint64_t addr = static_cast<std::uint64_t>(
-        specPeekReg(r.frame, instr.a) + instr.imm);
-    if (!spec_.ssb.contains(addr) && !spec_.lab.contains(addr) &&
-        spec_.lab.size() >= config_.load_address_buffer_entries) {
-      spec_.stalled = true;
+        specPeekReg(t, r.frame, instr.a) + instr.imm);
+    if (!t.ssb.contains(addr) && !t.lab.contains(addr) &&
+        t.lab.size() >= config_.load_address_buffer_entries) {
+      t.stalled = true;
       return;
     }
   }
@@ -497,56 +700,90 @@ void SptMachine::stepSpec() {
   switch (instr.op) {
     case ir::Opcode::kConst:
       entry.emu_value = instr.imm;
-      specWriteReg(r.frame, instr.dst, entry.emu_value);
+      specWriteReg(t, r.frame, instr.dst, entry.emu_value);
       break;
     case ir::Opcode::kMov:
-      entry.emu_value = specReadReg(r.frame, instr.a);
-      specWriteReg(r.frame, instr.dst, entry.emu_value);
+      entry.emu_value = specReadReg(t, r.frame, instr.a);
+      specWriteReg(t, r.frame, instr.dst, entry.emu_value);
       break;
     case ir::Opcode::kLoad: {
-      const std::int64_t base = specReadReg(r.frame, instr.a);
+      const std::int64_t base = specReadReg(t, r.frame, instr.a);
       const std::uint64_t addr =
           static_cast<std::uint64_t>(base + instr.imm);
       entry.emu_addr = addr;
       mem_addr_override = addr;
-      const SsbEntry* hit = spec_.ssb.find(addr);
+      const SsbEntry* hit = t.ssb.find(addr);
       if (hit != nullptr) {
         entry.emu_value = hit->value;
         ssb_forwarded = true;  // forwarded from the SSB: no cache access
       } else {
-        spec_.labList(addr).push_back(spec_.srb.size());
-        // Dropping the record cuts the memory-dependence net's wire for
-        // this load: a conflicting main store can no longer flag it, and
-        // only the commit-time validation walk can catch the divergence.
-        if (injector_ && injector_->maybeDropLabRecord()) {
-          spec_.labList(addr).pop_back();
+        // Chained mode: a miss in the thread's own SSB consults every
+        // less-speculative predecessor's SSB, nearest first — the nearest
+        // predecessor's store is the latest one sequentially before this
+        // load. A cross-thread forward records its provenance in the SRB
+        // entry (commit-time exemption) and still registers in this
+        // thread's LAB: main-thread and intermediate stores must be able
+        // to flag it. It is charged as a cache access, not a same-core
+        // forward — the value crosses cores.
+        bool cross = false;
+        if (multiway_ && chain_.size() > 1) {
+          for (std::size_t j = chainIndexOf(t); j-- > 0;) {
+            SpecThread& p = *slots_[chain_[j]];
+            const SsbEntry* ph = p.ssb.find(addr);
+            if (ph != nullptr) {
+              entry.emu_value = ph->value;
+              entry.fwd_seq = p.seq;
+              entry.fwd_srb = static_cast<std::uint32_t>(ph->srb_index);
+              cross = true;
+              break;
+            }
+          }
         }
-        entry.emu_value = addr == r.mem_addr
-                              ? arch_.memValue(addr, r.value)
-                              : arch_.memValue(addr, 0);
+        t.labList(addr).push_back(t.srb.size());
+        // Dropping the record cuts the memory-dependence net's wire for
+        // this load: a conflicting store can no longer flag it, and only
+        // the commit-time validation walk can catch the divergence.
+        if (injector_ && injector_->maybeDropLabRecord()) {
+          t.labList(addr).pop_back();
+          ++t.faults_pending;
+        }
+        if (!cross) {
+          entry.emu_value = addr == r.mem_addr
+                                ? arch_.memValue(addr, r.value)
+                                : arch_.memValue(addr, 0);
+        }
       }
-      specWriteReg(r.frame, instr.dst, entry.emu_value);
+      specWriteReg(t, r.frame, instr.dst, entry.emu_value);
       break;
     }
     case ir::Opcode::kStore: {
-      const std::int64_t base = specReadReg(r.frame, instr.a);
-      const std::int64_t value = specReadReg(r.frame, instr.b);
+      const std::int64_t base = specReadReg(t, r.frame, instr.a);
+      const std::int64_t value = specReadReg(t, r.frame, instr.b);
       const std::uint64_t addr =
           static_cast<std::uint64_t>(base + instr.imm);
       entry.emu_addr = addr;
       entry.emu_value = value;
       mem_addr_override = addr;
-      SsbEntry& slot = (spec_.ssb[addr] = SsbEntry{value, spec_.srb.size()});
+      SsbEntry& slot = (t.ssb[addr] = SsbEntry{value, t.srb.size()});
       // Corrupts the buffered copy only: later loads forward the corrupted
       // value while this store's own SRB payload stays correct, so only the
       // *consumers* can diverge.
-      if (injector_) injector_->maybeCorruptSsbValue(slot.value);
+      if (injector_ && injector_->maybeCorruptSsbValue(slot.value)) {
+        ++t.faults_pending;
+      }
+      // Cross-thread dependence: this store may conflict with loads already
+      // executed by more speculative successors. No exemption at execute
+      // time — a successor's forward from an *earlier* store of this thread
+      // is stale by definition once this one executes.
+      if (multiway_ && chain_.size() > 1) {
+        flagSuccessorLoads(t, addr, 0, 0, /*allow_forward_exemption=*/false);
+      }
       break;
     }
     case ir::Opcode::kBr:
       break;
     case ir::Opcode::kCondBr: {
-      const std::int64_t cond = specReadReg(r.frame, instr.a);
+      const std::int64_t cond = specReadReg(t, r.frame, instr.a);
       entry.emu_value = cond;
       const bool outcome = cond != 0;
       if (outcome != r.taken) {
@@ -561,51 +798,55 @@ void SptMachine::stepSpec() {
     case ir::Opcode::kCall: {
       const ir::Function& callee = module_.function(instr.callee);
       for (std::size_t i = 0; i < instr.args.size(); ++i) {
-        const std::int64_t v = specReadReg(r.frame, instr.args[i]);
-        specWriteReg(r.callee_frame, ir::Reg{static_cast<std::uint32_t>(i)},
-                     v);
+        const std::int64_t v = specReadReg(t, r.frame, instr.args[i]);
+        specWriteReg(t, r.callee_frame,
+                     ir::Reg{static_cast<std::uint32_t>(i)}, v);
       }
       (void)callee;
-      spec_.call_stack.push_back({r.frame, instr.dst});
+      t.call_stack.push_back({r.frame, instr.dst});
       break;
     }
     case ir::Opcode::kRet: {
-      if (spec_.call_stack.empty()) {
+      if (t.call_stack.empty()) {
         // Returning out of the forked function: stop speculating.
-        spec_.stalled = true;
+        t.stalled = true;
         return;
       }
       const std::int64_t v =
-          instr.a.valid() ? specReadReg(r.frame, instr.a) : 0;
+          instr.a.valid() ? specReadReg(t, r.frame, instr.a) : 0;
       entry.emu_value = v;
-      const CallCtx ctx = spec_.call_stack.back();
-      spec_.call_stack.pop_back();
-      if (ctx.dst.valid()) specWriteReg(ctx.caller_frame, ctx.dst, v);
+      const CallCtx ctx = t.call_stack.back();
+      t.call_stack.pop_back();
+      if (ctx.dst.valid()) specWriteReg(t, ctx.caller_frame, ctx.dst, v);
       break;
     }
     case ir::Opcode::kHalloc:
       // The bump allocator is shared architectural state; if the main
       // thread allocated since the fork the speculative address is stale.
       entry.emu_value = r.value;
-      entry.violated = arch_.hallocCount() != spec_.halloc_at_fork;
-      specWriteReg(r.frame, instr.dst, entry.emu_value);
+      entry.violated = arch_.hallocCount() != t.halloc_at_fork;
+      specWriteReg(t, r.frame, instr.dst, entry.emu_value);
       break;
     case ir::Opcode::kSptFork:
+      // Chained speculation: the tail thread consuming a fork record spawns
+      // its own successor (single-core mode: a no-op on the spec pipeline).
+      if (multiway_) chainFork(t, r);
+      break;
     case ir::Opcode::kSptKill:
     case ir::Opcode::kNop:
       // No-ops on the speculative pipeline (paper Section 3.1).
       break;
     default: {
       bool fault = false;
-      const std::int64_t a = specReadReg(r.frame, instr.a);
-      const std::int64_t b = specReadReg(r.frame, instr.b);
+      const std::int64_t a = specReadReg(t, r.frame, instr.a);
+      const std::int64_t b = specReadReg(t, r.frame, instr.b);
       entry.emu_value = emulateBinary(instr.op, a, b, fault);
       if (fault) {
         entry.violated = true;
         entry.emu_value = r.value;
         stall_after = true;
       }
-      specWriteReg(r.frame, instr.dst, entry.emu_value);
+      specWriteReg(t, r.frame, instr.dst, entry.emu_value);
       break;
     }
   }
@@ -616,7 +857,7 @@ void SptMachine::stepSpec() {
   // cache access.
   e.is_store = false;
   if (ssb_forwarded) e.is_load = false;
-  spec_pipe_->execute(e);
+  t.pipe->execute(e);
   ++dispatch_fallbacks_;  // emulation mutates flags: always the generic path
   // SRB payload corruption targets entries whose buffered result is
   // actually consumed at commit (value producers, stores, returns); the
@@ -625,30 +866,40 @@ void SptMachine::stepSpec() {
   if (injector_ && (d.is_store || instr.op == ir::Opcode::kRet ||
                     (ir::producesValue(instr.op) &&
                      instr.op != ir::Opcode::kCall))) {
-    injector_->maybeCorruptSrbPayload(entry.emu_value);
+    if (injector_->maybeCorruptSrbPayload(entry.emu_value)) {
+      ++t.faults_pending;
+    }
   }
-  spec_.srb.push_back(entry);
-  ++spec_.pos;
-  if (stall_after) spec_.stalled = true;
+  t.srb.push_back(entry);
+  ++t.pos;
+  if (stall_after) t.stalled = true;
 }
 
-void SptMachine::arrival() {
-  SPT_CHECK(arch_.curFrame() == spec_.fork_frame);
-  ThreadStats& ts = loopThreadStats();
+void SptMachine::arrival(SpecThread& t) {
+  SPT_CHECK(arch_.curFrame() == t.fork_frame);
+  ThreadStats& ts = *t.loop_stats;
 
   // Register dependence check (paper Section 3.2). Flag setting is
   // idempotent, so the iteration order over live-in registers is free.
+  // Chained threads always use the value-based check: their snapshot was
+  // materialized from a predecessor's speculative view, so the main-thread
+  // scoreboard does not describe it — comparing against the architectural
+  // registers at arrival both detects main-thread overwrites and validates
+  // the (possibly slice-predicted) snapshot itself.
+  const bool value_based =
+      config_.register_check == support::RegisterCheckMode::kValueBased ||
+      !t.forked_by_main;
   const std::vector<std::int64_t>& now = arch_.topRegs();
-  for (const std::uint32_t reg : spec_.livein_touched) {
+  for (const std::uint32_t reg : t.livein_touched) {
     bool violated;
-    if (config_.register_check == support::RegisterCheckMode::kValueBased) {
-      violated = now[reg] != spec_.fork_rf[reg];
+    if (value_based) {
+      violated = now[reg] != t.fork_rf[reg];
     } else {
       violated = main_written_[reg] != 0;
     }
     if (violated) {
-      for (const std::size_t idx : spec_.livein_reads[reg]) {
-        spec_.srb[idx].input_violated = true;
+      for (const std::size_t idx : t.livein_reads[reg]) {
+        t.srb[idx].input_violated = true;
       }
     }
   }
@@ -657,41 +908,47 @@ void SptMachine::arrival() {
   // buffered result diverges from the trace — possible only when injection
   // cut one of the net's wires — is flagged here, forcing the thread into
   // the replay/squash path instead of fast-committing a wrong value.
-  const std::size_t oracle_flagged =
-      fault_mode_ ? validateSrbAtArrival() : 0;
+  const std::size_t oracle_flagged = fault_mode_ ? validateSrbAtArrival(t) : 0;
 
   bool any_violation = false;
-  for (const SrbEntry& e : spec_.srb) {
+  for (const SrbEntry& e : t.srb) {
     if (e.violated || e.input_violated) {
       any_violation = true;
       break;
     }
   }
-  result_.threads.spec_instrs += spec_.srb.size();
-  ts.spec_instrs += spec_.srb.size();
+  result_.threads.spec_instrs += t.srb.size();
+  ts.spec_instrs += t.srb.size();
 
   switch (config_.recovery) {
     case support::RecoveryMechanism::kSelectiveReplayFastCommit:
       if (!any_violation) {
-        settleFaults(false, oracle_flagged, false, fastCommit());
+        settleFaults(t, false, oracle_flagged, false, fastCommit(t));
       } else {
-        replayCommit();
-        settleFaults(true, oracle_flagged, false);
+        replayCommit(t);
+        settleFaults(t, true, oracle_flagged, false);
       }
-      return;
+      break;
     case support::RecoveryMechanism::kSelectiveReplay:
-      replayCommit();
-      settleFaults(true, oracle_flagged, false);
-      return;
+      replayCommit(t);
+      settleFaults(t, true, oracle_flagged, false);
+      break;
     case support::RecoveryMechanism::kFullSquash:
       if (!any_violation) {
-        settleFaults(false, oracle_flagged, false, fastCommit());
+        settleFaults(t, false, oracle_flagged, false, fastCommit(t));
       } else {
-        fullSquash();
-        settleFaults(true, oracle_flagged, false);
+        fullSquash(t);
+        settleFaults(t, true, oracle_flagged, false);
       }
-      return;
+      break;
   }
+
+  // The thread is settled either way: remove it from the chain head. Its
+  // successor (if any) becomes the least-speculative thread and the main
+  // thread will arrive at its start-point next — cascaded in-order commit.
+  SPT_CHECK(!chain_.empty() && chain_.front() == t.slot);
+  chain_.erase(chain_.begin());
+  if (sb_thread_ == &t) sb_thread_ = nullptr;
 }
 
 bool SptMachine::entryDiverges(const SrbEntry& e,
@@ -714,7 +971,7 @@ bool SptMachine::entryDiverges(const SrbEntry& e,
   }
 }
 
-std::size_t SptMachine::validateSrbAtArrival() {
+std::size_t SptMachine::validateSrbAtArrival(SpecThread& t) {
   // Mirrors replayCommit's dirty-closure walk (same scratch maps, same
   // propagation rule) but with no timing or architectural effects: its only
   // output is `violated` flags on clean entries that diverge from the
@@ -723,14 +980,15 @@ std::size_t SptMachine::validateSrbAtArrival() {
   replay_dirty_regs_.reset();
   replay_dirty_addrs_.clear();
   const bool value_based =
-      config_.register_check == support::RegisterCheckMode::kValueBased;
+      config_.register_check == support::RegisterCheckMode::kValueBased ||
+      !t.forked_by_main;
   // Local call contexts for ret propagation: every executed ret in the SRB
   // range has its matching call in range (a ret with an empty speculative
   // call stack stalls the thread before recording an entry).
   std::vector<CallCtx> calls;
   std::size_t flagged = 0;
 
-  for (SrbEntry& e : spec_.srb) {
+  for (SrbEntry& e : t.srb) {
     const trace::Record& r = trace_[e.record_index];
     const DecodedInstr& d = decode_[r.sid];
     const ir::Instr& instr = *d.instr;
@@ -800,11 +1058,12 @@ std::size_t SptMachine::validateSrbAtArrival() {
   return flagged;
 }
 
-void SptMachine::settleFaults(bool replayed, std::size_t oracle_flagged,
-                              bool discarded, std::size_t escapes) {
+void SptMachine::settleFaults(SpecThread& t, bool replayed,
+                              std::size_t oracle_flagged, bool discarded,
+                              std::size_t escapes) {
   if (!injector_) return;
-  const std::size_t n = injector_->pending();
-  injector_->threadStart();
+  const std::size_t n = t.faults_pending;
+  t.faults_pending = 0;
   if (n == 0) return;
   result_.faults.injected += n;
   if (escapes > 0) {
@@ -812,8 +1071,9 @@ void SptMachine::settleFaults(bool replayed, std::size_t oracle_flagged,
     // campaign asserts this stays zero.
     result_.faults.escaped += n;
   } else if (discarded || !replayed) {
-    // Discarded wholesale (kill / wrong path), or fast-committed with every
-    // entry validated equal: the corruption never reached committed state.
+    // Discarded wholesale (kill / wrong path / cascade), or fast-committed
+    // with every entry validated equal: the corruption never reached
+    // committed state.
     result_.faults.benign += n;
   } else if (oracle_flagged > 0) {
     result_.faults.detected_by_oracle += n;
@@ -822,19 +1082,18 @@ void SptMachine::settleFaults(bool replayed, std::size_t oracle_flagged,
   }
 }
 
-void SptMachine::syncToFreezePoint() {
+void SptMachine::syncToFreezePoint(SpecThread& t) {
   // The speculative thread is frozen at arrival; results in the buffer were
   // produced by (at latest) the speculative pipeline's clock, so the main
   // pipeline cannot consume them earlier. The jump inherits the speculative
   // pipeline's cycle breakdown — it represents that pipeline's work.
-  const std::uint64_t freeze =
-      std::max(main_pipe_->cycle(), spec_pipe_->cycle());
-  main_pipe_->advanceToWithProfile(freeze, specProfileSinceFork());
+  const std::uint64_t freeze = std::max(main_pipe_->cycle(), t.pipe->cycle());
+  main_pipe_->advanceToWithProfile(freeze, specProfileSinceFork(t));
 }
 
-std::size_t SptMachine::fastCommit() {
-  ThreadStats& ts = loopThreadStats();
-  syncToFreezePoint();
+std::size_t SptMachine::fastCommit(SpecThread& t) {
+  ThreadStats& ts = *t.loop_stats;
+  syncToFreezePoint(t);
   // The bulk commit costs the Table 1 minimum regardless of buffer depth —
   // that is fast commit's whole point versus walking the buffer at replay
   // width.
@@ -846,12 +1105,14 @@ std::size_t SptMachine::fastCommit() {
   // class-dispatched like executeMainInstr: the common classes pair the
   // inline ArchState applier with the scoreboard update, and only
   // calls/returns/hallocs re-dispatch through the generic apply().
-  for (std::size_t i = spec_.start_pos; i < spec_.pos; ++i) {
+  std::size_t srb_i = 0;
+  for (std::size_t i = t.start_pos; i < t.pos; ++i) {
     const trace::Record& r = trace_[i];
     if (r.kind != trace::RecordKind::kInstr) {
       loop_tracker_.onMarker(r, main_pipe_->cycle());
       continue;
     }
+    const std::size_t cur_srb = srb_i++;
     const DecodedInstr& d = decode_[r.sid];
     switch (static_cast<DispatchClass>(d.klass)) {
       case DispatchClass::kValue:
@@ -870,12 +1131,25 @@ std::size_t SptMachine::fastCommit() {
         arch_.applyStore(r);
         // Outstanding speculative stores write back at commit.
         memory_->accessData(r.mem_addr, main_pipe_->cycle());
+        // Cross-thread dependence: the committed store checks successor
+        // LABs; a successor load that forwarded exactly this store's
+        // committed value is exempt.
+        if (multiway_ && chain_.size() > 1) {
+          flagSuccessorLoads(t, r.mem_addr, r.value,
+                             static_cast<std::uint32_t>(cur_srb),
+                             /*allow_forward_exemption=*/true);
+        }
         continue;
       case DispatchClass::kCondBr:
       case DispatchClass::kJump:
       case DispatchClass::kFork:
+        arch_.applyNoEffect(r);
+        continue;
       case DispatchClass::kKill:
         arch_.applyNoEffect(r);
+        // The loop exited inside the committed span: every more
+        // speculative thread runs iterations that never execute.
+        if (multiway_) cascadeKillSuccessors();
         continue;
       default:
         break;
@@ -893,8 +1167,8 @@ std::size_t SptMachine::fastCommit() {
     }
   }
 
-  result_.threads.committed_instrs += spec_.srb.size();
-  ts.committed_instrs += spec_.srb.size();
+  result_.threads.committed_instrs += t.srb.size();
+  ts.committed_instrs += t.srb.size();
   ++result_.threads.fast_commits;
   ++ts.fast_commits;
 
@@ -903,40 +1177,42 @@ std::size_t SptMachine::fastCommit() {
   // fast commit may mismatch the trace.
   std::size_t escapes = 0;
   if (fault_mode_) {
-    for (const SrbEntry& e : spec_.srb) {
+    for (const SrbEntry& e : t.srb) {
       if (entryDiverges(e, trace_[e.record_index])) ++escapes;
     }
   }
 
-  pos_ = spec_.pos;
-  spec_.active = false;
+  pos_ = t.pos;
+  t.active = false;
   if (oracle_) oracle_->checkAt(pos_, arch_, "fast-commit");
   return escapes;
 }
 
-void SptMachine::replayCommit() {
-  ThreadStats& ts = loopThreadStats();
+void SptMachine::replayCommit(SpecThread& t) {
+  ThreadStats& ts = *t.loop_stats;
   ++result_.threads.replays;
   ++ts.replays;
-  syncToFreezePoint();
+  syncToFreezePoint(t);
 
   replay_dirty_regs_.reset();
   replay_dirty_addrs_.clear();
   const bool value_based =
-      config_.register_check == support::RegisterCheckMode::kValueBased;
+      config_.register_check == support::RegisterCheckMode::kValueBased ||
+      !t.forked_by_main;
 
   std::size_t srb_i = 0;
   bool diverged = false;
-  std::size_t resume_pos = spec_.pos;
+  std::size_t resume_pos = t.pos;
 
-  for (std::size_t rec_i = spec_.start_pos;
-       rec_i < spec_.pos && !diverged; ++rec_i) {
+  for (std::size_t rec_i = t.start_pos; rec_i < t.pos && !diverged;
+       ++rec_i) {
     const trace::Record& r = trace_[rec_i];
     if (r.kind != trace::RecordKind::kInstr) {
       loop_tracker_.onMarker(r, main_pipe_->cycle());
       continue;
     }
-    SrbEntry& e = spec_.srb[srb_i++];
+    const std::size_t cur_srb = srb_i;
+    SrbEntry& e = t.srb[srb_i++];
     SPT_CHECK(e.record_index == rec_i);
     const DecodedInstr& d = decode_[r.sid];
     const ir::Instr& instr = *d.instr;
@@ -963,6 +1239,21 @@ void SptMachine::replayCommit() {
     }
 
     const ApplyInfo info = arch_.apply(r, instr);
+
+    // Cross-thread dependence on the architecturally applied record: the
+    // committed store checks successor LABs (forwarding exemption against
+    // the trace value), and a speculative store whose emulated address was
+    // wrong additionally invalidates forwards from the phantom address.
+    if (multiway_ && d.is_store && chain_.size() > 1) {
+      flagSuccessorLoads(t, r.mem_addr, r.value,
+                         static_cast<std::uint32_t>(cur_srb),
+                         /*allow_forward_exemption=*/true);
+      if (e.emu_addr != r.mem_addr) {
+        flagSuccessorLoads(t, e.emu_addr, 0, 0,
+                           /*allow_forward_exemption=*/false);
+      }
+    }
+    if (multiway_ && d.op == ir::Opcode::kSptKill) cascadeKillSuccessors();
 
     if (dirty) {
       // Selective re-execution on the main pipeline (normal width).
@@ -1022,34 +1313,83 @@ void SptMachine::replayCommit() {
     }
   }
 
-  pos_ = diverged ? resume_pos : spec_.pos;
-  spec_.active = false;
+  if (multiway_ && diverged && chain_.size() > 1) {
+    // Replay stopped at the mismatching branch: stores past it never
+    // commit, so any successor load that forwarded from one read a phantom
+    // value the net can no longer observe — flag those entries directly.
+    // (The successors themselves stay alive: their spans are real trace
+    // iterations the main thread will still arrive at.)
+    const std::uint32_t div_srb = static_cast<std::uint32_t>(srb_i - 1);
+    for (std::size_t j = 1; j < chain_.size(); ++j) {
+      SpecThread& s = *slots_[chain_[j]];
+      if (s.wrong_path) continue;
+      for (SrbEntry& le : s.srb) {
+        if (le.fwd_seq == t.seq && le.fwd_srb > div_srb) le.violated = true;
+      }
+    }
+  }
+
+  pos_ = diverged ? resume_pos : t.pos;
+  t.active = false;
   if (oracle_) oracle_->checkAt(pos_, arch_, "replay");
 }
 
-void SptMachine::fullSquash() {
-  ThreadStats& ts = loopThreadStats();
+void SptMachine::fullSquash(SpecThread& t) {
+  ThreadStats& ts = *t.loop_stats;
   ++result_.threads.squashes;
   ++ts.squashes;
-  result_.threads.misspec_instrs += spec_.srb.size();
-  ts.misspec_instrs += spec_.srb.size();
+  result_.threads.misspec_instrs += t.srb.size();
+  ts.misspec_instrs += t.srb.size();
   main_pipe_->advanceTo(main_pipe_->cycle() + config_.fast_commit_overhead,
                         StallKind::kPipeline);
-  pos_ = spec_.start_pos;  // re-execute the whole speculative span normally
-  spec_.active = false;
+
+  // Cascaded squash: the violating thread's whole span re-executes on the
+  // main thread, so every more speculative thread — forked from it and
+  // covering later iterations — is discarded with it.
+  while (chain_.size() > 1) {
+    SpecThread& s = *slots_[chain_.back()];
+    ThreadStats& sts = *s.loop_stats;
+    ++result_.threads.squashes;
+    ++sts.squashes;
+    // Cascaded threads never arrived, so charge both their speculative
+    // and misspeculated instruction counts here.
+    result_.threads.spec_instrs += s.srb.size();
+    sts.spec_instrs += s.srb.size();
+    result_.threads.misspec_instrs += s.srb.size();
+    sts.misspec_instrs += s.srb.size();
+    settleFaults(s, false, 0, /*discarded=*/true);
+    s.active = false;
+    chain_.pop_back();
+  }
+
+  pos_ = t.start_pos;  // re-execute the whole speculative span normally
+  t.active = false;
   if (oracle_) oracle_->checkAt(pos_, arch_, "squash");
 }
 
-void SptMachine::killSpec() {
-  ThreadStats& ts = loopThreadStats();
+void SptMachine::killSpec(SpecThread& t) {
+  ThreadStats& ts = *t.loop_stats;
   ++result_.threads.killed;
   ++ts.killed;
-  result_.threads.spec_instrs += spec_.srb.size();
-  ts.spec_instrs += spec_.srb.size();
-  result_.threads.misspec_instrs += spec_.srb.size();
-  ts.misspec_instrs += spec_.srb.size();
-  spec_.active = false;
-  settleFaults(false, 0, /*discarded=*/true);
+  result_.threads.spec_instrs += t.srb.size();
+  ts.spec_instrs += t.srb.size();
+  result_.threads.misspec_instrs += t.srb.size();
+  ts.misspec_instrs += t.srb.size();
+  t.active = false;
+  settleFaults(t, false, 0, /*discarded=*/true);
+}
+
+void SptMachine::killChain() {
+  for (const std::uint32_t slot : chain_) killSpec(*slots_[slot]);
+  chain_.clear();
+  sb_thread_ = nullptr;
+}
+
+void SptMachine::cascadeKillSuccessors() {
+  while (chain_.size() > 1) {
+    killSpec(*slots_[chain_.back()]);
+    chain_.pop_back();
+  }
 }
 
 }  // namespace spt::sim

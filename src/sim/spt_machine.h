@@ -1,32 +1,48 @@
-// The two-pipeline SPT machine (paper Section 3).
+// The N-pipeline SPT machine (paper Section 3; docs/MULTIWAY.md for the
+// chained N-way generalization).
 //
-// Trace-driven co-simulation of the main and speculative pipelines over the
+// Trace-driven co-simulation of the main pipeline and an ordered chain of
+// up to MachineConfig::spec_threads speculative pipelines over the
 // sequential trace:
 //  * the main pipeline executes trace records in order;
 //  * `spt_fork` spawns a speculative thread at the next iteration's
 //    start-point (resolved by trace::LoopIndex); the register context copy
-//    costs rf_copy_overhead cycles;
-//  * the speculative pipeline runs ahead whenever its clock is behind the
-//    main clock, emulating every instruction on the fork-time register
+//    costs rf_copy_overhead cycles. With spec_threads > 1 a speculative
+//    thread that consumes a fork record spawns its own successor
+//    (Prophet-style chaining): the forker freezes at the successor's
+//    start-point and the successor's context snapshot is materialized from
+//    the forker's speculative view, optionally refined by a compiler
+//    precomputation slice (ir::Module::forkSlice);
+//  * each speculative pipeline runs ahead whenever its clock is behind the
+//    main clock, emulating every instruction on its fork-time register
 //    snapshot — so speculative values, and therefore misspeculation, are
 //    exact rather than modeled probabilistically;
-//  * speculative stores go to the speculative store buffer; speculative
-//    loads look it up first and otherwise register in the load address
-//    buffer, which every later main-thread store checks (memory dependence
-//    checking, Section 3.2);
-//  * when the main thread arrives at the start-point, registers are checked
-//    (value-based or scoreboard mode) and the thread is fast-committed,
-//    selectively replayed (correct entries commit at replay width, dirty
-//    entries re-execute; a mismatching re-executed branch stops replay), or
-//    fully squashed, per the configured recovery mechanism;
-//  * a speculative thread is frozen at arrival; it also stops on its own at
-//    a mismatching branch (wrong path), a division fault, a full SSB/LAB,
-//    or when it would return out of the forked function.
+//  * speculative stores go to the thread's speculative store buffer;
+//    speculative loads look up their own SSB first, then (chained mode)
+//    every less-speculative predecessor's SSB nearest-first, and otherwise
+//    register in the thread's load address buffer. Main-thread stores check
+//    every active thread's LAB; a speculative store also checks the LABs of
+//    all more-speculative successors (cross-thread memory dependence
+//    checking, Section 3.2 generalized);
+//  * when the main thread arrives at the least-speculative thread's
+//    start-point, registers are checked (value-based or scoreboard mode;
+//    chained threads always use value-based — their snapshot has no
+//    main-thread scoreboard) and the thread is fast-committed, selectively
+//    replayed, or fully squashed, per the configured recovery mechanism.
+//    Commits are strictly in chain order; a full squash of the arriving
+//    thread cascades to every more-speculative thread, and a committed
+//    spt_kill record kills the rest of the chain;
+//  * a speculative thread is frozen at arrival and at its successor's
+//    start-point; it also stops on its own at a mismatching branch (wrong
+//    path), a division fault, a full SSB/LAB, or when it would return out
+//    of the forked function.
+//
+// spec_threads == 1 reduces exactly to the paper's 2-core machine: the
+// golden-digest tests assert bit-identity with the pre-multiway simulator.
 #pragma once
 
 #include <memory>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "ir/module.h"
@@ -58,6 +74,13 @@ class SptMachine {
     std::size_t record_index = 0;
     std::int64_t emu_value = 0;
     std::uint64_t emu_addr = 0;
+    // Cross-thread forwarding provenance (chained mode): the spawn id of
+    // the predecessor whose SSB satisfied this load (0 = not forwarded
+    // cross-thread) and the SRB index of the producing store within it.
+    // Commit-time dependence checks use it to exempt a load that read
+    // exactly the value the store later commits.
+    std::uint32_t fwd_seq = 0;
+    std::uint32_t fwd_srb = 0;
     bool violated = false;         // LAB hit / allocator race / fault
     bool input_violated = false;   // register check at arrival
     bool branch_mismatch = false;  // emulated direction != trace direction
@@ -73,15 +96,28 @@ class SptMachine {
     std::size_t srb_index = 0;  // producing store's SRB entry
   };
 
+  /// No freeze horizon: the thread may run to the end of the trace.
+  static constexpr std::size_t kNoLimit = static_cast<std::size_t>(-1);
+
   /// Per-thread speculative state. The containers are persistent across
   /// threads (reset() is O(1) epoch bumps plus clearing the touched lists)
-  /// so per-fork setup does not rehash or free anything.
+  /// so per-fork setup does not rehash or free anything. One instance per
+  /// speculative core; active instances are ordered least- to
+  /// most-speculative by `chain_`.
   struct SpecThread {
     bool active = false;
     bool wrong_path = false;
     bool stalled = false;
+    /// Forked by the main thread (chain head); only such threads have a
+    /// main-written scoreboard for RegisterCheckMode::kScoreboard.
+    bool forked_by_main = false;
+    std::uint32_t seq = 0;   // spawn id, 1-based; 0 is reserved
+    std::uint32_t slot = 0;  // index into slots_ / spec_pipes_
     std::size_t start_pos = 0;
     std::size_t pos = 0;
+    /// Freeze horizon: one past the last record this thread owns (its
+    /// successor's start-point). kNoLimit when it is the most speculative.
+    std::size_t limit_pos = kNoLimit;
     trace::FrameId fork_frame = 0;
     std::vector<std::int64_t> fork_rf;
     FrameRegMap<std::int64_t> rf;  // emulated overlay
@@ -97,61 +133,115 @@ class SptMachine {
     std::vector<SrbEntry> srb;
     std::vector<CallCtx> call_stack;
     std::uint64_t halloc_at_fork = 0;
+    /// Injected faults charged to this thread, classified at settle time.
+    std::size_t faults_pending = 0;
     CycleBreakdown breakdown_at_fork;
     // Per-loop stats of the loop this thread speculates for; points into
     // result_.loop_threads (std::map nodes are stable). Set at fork from
     // the fork-site cache.
     ThreadStats* loop_stats = nullptr;
+    /// This slot's speculative pipeline (owned by spec_pipes_).
+    Pipeline* pipe = nullptr;
 
     void reset();
     std::vector<std::size_t>& labList(std::uint64_t addr);
   };
 
+  /// Fork-site cache: everything executeFork derives from the static fork
+  /// instruction (target-loop header, display name, per-loop stats slot,
+  /// precomputation slice, forking function's register count), computed
+  /// once per site instead of per dynamic fork. FlatMap64-backed — the
+  /// last per-machine hash map; hit/miss counts land in
+  /// MachineResult::hotpath.
+  struct ForkSite {
+    std::string loop_name;
+    ThreadStats* stats = nullptr;  // &result_.loop_threads[loop_name]
+    const std::vector<ir::Instr>* slice = nullptr;  // may be null
+    std::uint32_t frame_regs = 0;  // forking function's reg_count
+  };
+
   void stepMain();
-  void stepSpec();
-  bool specCanStep() const;
+  void stepSpec(SpecThread& t);
+  bool specCanStep(const SpecThread& t) const;
+  /// First thread in chain order that can step this cycle, else nullptr.
+  SpecThread* firstSteppable();
   void executeFork(const trace::Record& record);
+  /// A speculative thread consumed a fork record (chained mode): spawn its
+  /// successor, or drop the fork when no core is free / the forker is not
+  /// the chain tail.
+  void chainFork(SpecThread& t, const trace::Record& record);
+  /// Runs the fork site's precomputation slice (if any) over the fork-time
+  /// snapshot and charges its execution to the new thread's pipeline.
+  void applyForkSlice(SpecThread& t, const ForkSite& site);
+  /// Materializes a register snapshot of `frame` as seen by thread `t`
+  /// (its overlay over its own fork-time context).
+  std::vector<std::int64_t> snapshotRegsFrom(SpecThread& t,
+                                             trace::FrameId frame,
+                                             std::uint32_t reg_count);
   void executeMainInstr(const trace::Record& record);
   /// Generic-path main instruction (calls, returns, kills, hallocs, and
   /// anything classified kGeneric); the class-specialized handlers live in
   /// executeMainInstr's dispatch switch.
   void executeMainFallback(const DecodedInstr& d, const trace::Record& record);
-  void arrival();
+  void arrival(SpecThread& t);
   /// Commit-time value validation (fault mode only): replicates the replay
   /// dirty-closure walk without timing or architectural effects, and flags
   /// any *clean* SRB entry whose emulated result diverges from the trace.
   /// Returns the number of entries it had to flag — divergences the
   /// dependence-checking net alone would have fast-committed.
-  std::size_t validateSrbAtArrival();
+  std::size_t validateSrbAtArrival(SpecThread& t);
   /// True when `e`'s emulated result observably diverges from the trace's
   /// ground truth (opcode-aware: branches compare direction, stores also
   /// compare the address, control records carry no comparable payload).
   bool entryDiverges(const SrbEntry& e, const trace::Record& r) const;
-  /// Classifies this thread's pending injected faults into result_.faults
-  /// and re-arms the injector. `discarded` marks kill/wrong-path paths
-  /// (nothing speculative committed).
-  void settleFaults(bool replayed, std::size_t oracle_flagged,
+  /// Classifies thread `t`'s pending injected faults into result_.faults.
+  /// `discarded` marks kill/wrong-path/cascade paths (nothing speculative
+  /// committed).
+  void settleFaults(SpecThread& t, bool replayed, std::size_t oracle_flagged,
                     bool discarded, std::size_t escapes = 0);
   void checkBudgets() const;
-  void syncToFreezePoint();
+  void syncToFreezePoint(SpecThread& t);
   /// Returns the number of divergent entries it committed (fault mode
   /// only; must be zero — the arrival validation walk forces any thread
   /// with a divergent entry into replay before fast commit is reachable).
-  std::size_t fastCommit();
-  void replayCommit();
-  void fullSquash();
-  void killSpec();
+  std::size_t fastCommit(SpecThread& t);
+  void replayCommit(SpecThread& t);
+  void fullSquash(SpecThread& t);
+  void killSpec(SpecThread& t);
+  /// Kills every active thread and empties the chain (main-thread
+  /// spt_kill / end of trace).
+  void killChain();
+  /// Kills every thread more speculative than the chain head (a committed
+  /// spt_kill record: the loop exited inside the committing thread's span,
+  /// so its successors speculate iterations that never execute).
+  void cascadeKillSuccessors();
+  /// Chain position of `t` (index into chain_).
+  std::size_t chainIndexOf(const SpecThread& t) const;
+  /// True when `seq` names a currently active chained thread — its stores
+  /// are still sequentially ahead of the main thread.
+  bool seqIsLivePredecessor(std::uint32_t seq) const;
+  /// Cross-thread memory dependence check: a store by `t` (at execute or
+  /// commit time) flags every load of `addr` registered in the LAB of a
+  /// more-speculative thread. With `allow_forward_exemption` (commit
+  /// time), a load that forwarded this exact store's committed value — or
+  /// a later store of the same thread — is exempt.
+  void flagSuccessorLoads(const SpecThread& t, std::uint64_t addr,
+                          std::int64_t value, std::uint32_t store_srb,
+                          bool allow_forward_exemption);
+  /// Main-thread store: flags matching loads in every active thread's LAB.
+  void mainStoreCheck(std::uint64_t addr);
 
-  std::int64_t specReadReg(trace::FrameId frame, ir::Reg reg);
+  std::int64_t specReadReg(SpecThread& t, trace::FrameId frame, ir::Reg reg);
   /// Reads like specReadReg but records nothing: used to pre-compute a
   /// memory address for the SSB/LAB capacity check before committing to
   /// execute the instruction (a stalled instruction must leave no live-in
   /// read behind — it never gets an SRB entry to attach the read to).
-  std::int64_t specPeekReg(trace::FrameId frame, ir::Reg reg) const;
-  void specWriteReg(trace::FrameId frame, ir::Reg reg, std::int64_t value);
+  std::int64_t specPeekReg(const SpecThread& t, trace::FrameId frame,
+                           ir::Reg reg) const;
+  void specWriteReg(SpecThread& t, trace::FrameId frame, ir::Reg reg,
+                    std::int64_t value);
 
-  ThreadStats& loopThreadStats();
-  CycleBreakdown specProfileSinceFork() const;
+  CycleBreakdown specProfileSinceFork(const SpecThread& t) const;
 
   const ir::Module& module_;
   trace::TraceView trace_;
@@ -159,30 +249,33 @@ class SptMachine {
   const support::MachineConfig& config_;
   DecodeTable decode_;
 
-  /// Fork-site cache: everything executeFork derives from the static fork
-  /// instruction (target-loop header, display name, per-loop stats slot),
-  /// computed once per site instead of per dynamic fork (the name alone
-  /// cost a string build plus a string-keyed map lookup per fork).
-  struct ForkSite {
-    std::string loop_name;
-    ThreadStats* stats = nullptr;  // &result_.loop_threads[loop_name]
-  };
-  std::unordered_map<ir::StaticId, ForkSite> fork_sites_;
+  FlatMap64<ForkSite> fork_sites_;
   ForkSite& forkSiteOf(const trace::Record& record);
 
   std::unique_ptr<MemorySystem> memory_;
   std::unique_ptr<Pipeline> main_pipe_;
-  std::unique_ptr<Pipeline> spec_pipe_;
+  /// One speculative pipeline per thread slot (slot i drives pipe i).
+  std::vector<std::unique_ptr<Pipeline>> spec_pipes_;
   ArchState arch_;
   LoopCycleTracker loop_tracker_;
 
   std::size_t pos_ = 0;  // main thread's next record
-  SpecThread spec_;
+  /// Thread slots (stable addresses) and the active chain: slot indices
+  /// ordered least- to most-speculative. Slot 0 is the paper's single
+  /// speculative core; chain_.size() <= config_.spec_threads.
+  std::vector<std::unique_ptr<SpecThread>> slots_;
+  std::vector<std::uint32_t> chain_;
+  std::uint32_t next_seq_ = 1;
+  bool multiway_ = false;  // config_.spec_threads > 1
   // Robustness subsystem (null / false on the default path).
   std::unique_ptr<FaultInjector> injector_;
   std::unique_ptr<Oracle> oracle_;
   bool fault_mode_ = false;
-  std::vector<char> main_written_;  // fork-frame regs, dense by index
+  /// Scoreboard tracking for the main-forked thread: fork-frame regs
+  /// written by the main thread since its fork, dense by index.
+  /// sb_thread_ is that thread (null when none is live).
+  SpecThread* sb_thread_ = nullptr;
+  std::vector<char> main_written_;
   // Replay scratch (persistent; epoch-reset at each replayCommit).
   FrameRegMap<char> replay_dirty_regs_;
   EpochMap64<char> replay_dirty_addrs_;
@@ -190,6 +283,8 @@ class SptMachine {
   // returns, speculative emulation, replay re-execution) as opposed to the
   // class-specialized handlers; reported in MachineResult::hotpath.
   std::uint64_t dispatch_fallbacks_ = 0;
+  std::uint64_t fork_site_hits_ = 0;
+  std::uint64_t fork_site_misses_ = 0;
   MachineResult result_;
 };
 

@@ -63,6 +63,17 @@ struct CompilerOptions {
   double fork_overhead = 2.0;    // spt_fork + RF copy
   double commit_overhead = 5.0;  // fast commit
   double replay_width = 12.0;    // SRB entries retired per replay cycle
+
+  // ---- N-way speculation (docs/MULTIWAY.md). spec_threads mirrors
+  // MachineConfig::spec_threads into the compiler: the
+  // precomputation-slice pass only emits live-in slices when compiling
+  // for a chained machine (>= 2), so spec_threads == 1 modules — and
+  // their plan fingerprints — are bit-identical to the pre-multiway
+  // compiler.
+  std::uint32_t spec_threads = 1;
+  /// Cost threshold for the precomputation-slice pass: slices longer than
+  /// this many instructions fall back to the plain register-copy fork.
+  std::uint32_t slice_max_instrs = 12;
 };
 
 }  // namespace spt::compiler

@@ -2,6 +2,7 @@
 // pass is a faithful decomposition of one phase of the former monolithic
 // SptCompiler::compileOnce; the golden-plan tests pin the plans
 // bit-identical to that monolith.
+#include <algorithm>
 #include <cmath>
 
 #include "ir/verifier.h"
@@ -12,6 +13,7 @@
 #include "spt/transform.h"
 #include "spt/unroll.h"
 #include "support/check.h"
+#include "trace/trace.h"
 
 namespace spt::compiler {
 namespace {
@@ -287,6 +289,276 @@ class SptTransformPass : public Pass {
   }
 };
 
+/// Pre-computation slices for chained (N-way) forks. A chained fork copies
+/// the parent's register context, but by the time the child's iteration
+/// actually starts the parent has executed the rest of its own iteration —
+/// so every loop-carried register the child reads at its header arrives one
+/// update stale. The slice is the backward slice, over the post-fork
+/// portion of one iteration, of the registers live-in at the loop header:
+/// straight-line register-only code the machine replays on the fork-time
+/// snapshot to pre-compute the child's true live-ins (paper Section 5 /
+/// the Prophet-style pre-computation fork). When the slice is empty,
+/// defines no live-in, or exceeds CompilerOptions::slice_max_instrs, the
+/// fork keeps the plain register-copy and the plan records the fallback.
+///
+/// Metadata-only: runs after the final finalize()+verify so the attached
+/// StaticIds are the ones the tracer and simulator see, and never mutates
+/// the IR (returns false). A no-op below spec_threads == 2, which keeps
+/// every single-threaded golden plan fingerprint bit-identical.
+class PrecomputationSlicePass : public Pass {
+ public:
+  std::string_view name() const override { return "precomputation-slice"; }
+
+  bool run(PassContext& ctx) override {
+    if (ctx.options.spec_threads < 2) return false;
+    PipelineState& st = ctx.state;
+    for (ir::FuncId f = 0; f < ctx.module.functionCount(); ++f) {
+      const ir::Function& func = ctx.module.function(f);
+      for (const ir::BasicBlock& block : func.blocks) {
+        for (std::uint32_t i = 0; i < block.instrs.size(); ++i) {
+          const ir::Instr& fork = block.instrs[i];
+          if (fork.op != ir::Opcode::kSptFork) continue;
+          sliceFork(ctx, st, f, func, block.id, i, fork);
+        }
+      }
+    }
+    return false;
+  }
+
+ private:
+  static bool isSliceSafe(ir::Opcode op) {
+    switch (op) {
+      case ir::Opcode::kConst:
+      case ir::Opcode::kMov:
+      case ir::Opcode::kAdd:
+      case ir::Opcode::kSub:
+      case ir::Opcode::kMul:
+      case ir::Opcode::kAnd:
+      case ir::Opcode::kOr:
+      case ir::Opcode::kXor:
+      case ir::Opcode::kShl:
+      case ir::Opcode::kShr:
+      case ir::Opcode::kCmpEq:
+      case ir::Opcode::kCmpNe:
+      case ir::Opcode::kCmpLt:
+      case ir::Opcode::kCmpLe:
+      case ir::Opcode::kCmpGt:
+      case ir::Opcode::kCmpGe:
+        return true;
+      default:
+        // Loads/stores/calls need memory, kDiv/kRem can fault mid-slice,
+        // branches and fork/kill have no register value to pre-compute.
+        return false;
+    }
+  }
+
+  /// Blocks of the natural loop around `header`: reachable from the header
+  /// without leaving its SCC (forward ∩ backward reachability over the
+  /// finalized CFG — analyses caches may be stale after the transform).
+  static std::vector<bool> loopBlocksOf(const ir::Function& func,
+                                        ir::BlockId header) {
+    const std::size_t n = func.blocks.size();
+    std::vector<std::vector<ir::BlockId>> preds(n);
+    for (const ir::BasicBlock& b : func.blocks) {
+      for (const ir::BlockId s : b.successors()) preds[s].push_back(b.id);
+    }
+    const auto reach = [n](ir::BlockId from, auto&& next) {
+      std::vector<bool> seen(n, false);
+      std::vector<ir::BlockId> stack{from};
+      seen[from] = true;
+      while (!stack.empty()) {
+        const ir::BlockId b = stack.back();
+        stack.pop_back();
+        for (const ir::BlockId s : next(b)) {
+          if (!seen[s]) {
+            seen[s] = true;
+            stack.push_back(s);
+          }
+        }
+      }
+      return seen;
+    };
+    const std::vector<bool> fwd =
+        reach(header, [&](ir::BlockId b) { return func.blocks[b].successors(); });
+    const std::vector<bool> bwd =
+        reach(header, [&](ir::BlockId b) { return preds[b]; });
+    std::vector<bool> loop(n, false);
+    for (std::size_t b = 0; b < n; ++b) loop[b] = fwd[b] && bwd[b];
+    return loop;
+  }
+
+  void sliceFork(PassContext& ctx, PipelineState& st, ir::FuncId f,
+                 const ir::Function& func, ir::BlockId fork_block,
+                 std::uint32_t fork_index, const ir::Instr& fork) {
+    const ir::BlockId header = fork.target0;
+    if (header >= func.blocks.size() || func.blocks[header].instrs.empty()) {
+      return;
+    }
+    // Only loop forks carry slices: the fork must sit inside the loop it
+    // targets (region-speculation forks target a continuation block that
+    // is not a header of a loop containing them).
+    const std::vector<bool> loop = loopBlocksOf(func, header);
+    if (!loop[fork_block]) return;
+
+    // Match the plan entry by the stable loop name; only loops the
+    // transform actually rewrote have a fork worth annotating.
+    const std::string name = trace::loopNameOf(
+        ctx.module, func.blocks[header].instrs.front().static_id);
+    LoopPlanEntry* entry = nullptr;
+    for (LoopPlanEntry& e : st.plan.loops) {
+      if (e.func == f && e.name == name) {
+        entry = &e;
+        break;
+      }
+    }
+    if (entry == nullptr || !entry->transformed) return;
+
+    // ---- Live-in registers at the header (backward liveness restricted
+    // to the loop's own blocks).
+    const std::size_t regs = func.reg_count;
+    const std::size_t n = func.blocks.size();
+    std::vector<std::vector<bool>> gen(n), kill(n), live_in(n);
+    std::vector<ir::Reg> uses;
+    for (std::size_t b = 0; b < n; ++b) {
+      if (!loop[b]) continue;
+      gen[b].assign(regs, false);
+      kill[b].assign(regs, false);
+      live_in[b].assign(regs, false);
+      for (const ir::Instr& in : func.blocks[b].instrs) {
+        uses.clear();
+        in.appendUses(uses);
+        for (const ir::Reg r : uses) {
+          if (r.index < regs && !kill[b][r.index]) gen[b][r.index] = true;
+        }
+        if (in.dst.valid() && in.dst.index < regs) kill[b][in.dst.index] = true;
+      }
+    }
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (std::size_t b = 0; b < n; ++b) {
+        if (!loop[b]) continue;
+        for (std::size_t r = 0; r < regs; ++r) {
+          if (live_in[b][r]) continue;
+          bool out = false;
+          for (const ir::BlockId s : func.blocks[b].successors()) {
+            if (loop[s] && live_in[s][r]) {
+              out = true;
+              break;
+            }
+          }
+          if (gen[b][r] || (out && !kill[b][r])) {
+            live_in[b][r] = true;
+            changed = true;
+          }
+        }
+      }
+    }
+    const std::vector<bool>& targets = live_in[header];
+
+    // ---- Linearize the post-fork portion of one iteration: the fork
+    // block's remainder, then the loop blocks reachable from it in RPO
+    // with the header acting as the iteration boundary.
+    std::vector<ir::BlockId> order;
+    {
+      std::vector<bool> seen(n, false);
+      seen[fork_block] = true;
+      seen[header] = true;  // never traverse into the next iteration
+      std::vector<std::pair<ir::BlockId, std::size_t>> stack{{fork_block, 0}};
+      std::vector<ir::BlockId> post;
+      while (!stack.empty()) {
+        const ir::BlockId b = stack.back().first;
+        const std::vector<ir::BlockId> succs = func.blocks[b].successors();
+        bool descended = false;
+        while (stack.back().second < succs.size()) {
+          const ir::BlockId s = succs[stack.back().second++];
+          if (loop[s] && !seen[s]) {
+            seen[s] = true;
+            stack.push_back({s, 0});
+            descended = true;
+            break;
+          }
+        }
+        if (!descended) {
+          post.push_back(b);
+          stack.pop_back();
+        }
+      }
+      order.assign(post.rbegin(), post.rend());
+    }
+
+    // ---- Forward computability: keep a safe instruction only when every
+    // source still holds a value derivable from the fork-time snapshot;
+    // anything downstream of a load/call/unsafe op is dirty.
+    std::vector<bool> dirty(regs, false);
+    std::vector<ir::Instr> computable;
+    for (const ir::BlockId b : order) {
+      const ir::BasicBlock& blk = func.blocks[b];
+      const std::uint32_t first = b == fork_block ? fork_index + 1 : 0;
+      for (std::uint32_t i = first; i < blk.instrs.size(); ++i) {
+        const ir::Instr& in = blk.instrs[i];
+        if (!in.dst.valid() || in.dst.index >= regs) continue;
+        bool ok = isSliceSafe(in.op);
+        if (ok) {
+          uses.clear();
+          in.appendUses(uses);
+          for (const ir::Reg r : uses) {
+            if (r.index >= regs || dirty[r.index]) {
+              ok = false;
+              break;
+            }
+          }
+        }
+        dirty[in.dst.index] = !ok;
+        if (ok) computable.push_back(in);
+      }
+    }
+
+    // ---- Backward prune to the instructions that feed a clean live-in.
+    std::vector<bool> want(regs, false);
+    bool any_target = false;
+    for (std::size_t r = 0; r < regs; ++r) {
+      if (targets[r] && !dirty[r]) {
+        want[r] = true;
+        any_target = true;
+      }
+    }
+    std::vector<ir::Instr> slice;
+    if (any_target) {
+      std::vector<bool> defines_target(computable.size(), false);
+      for (std::size_t i = computable.size(); i-- > 0;) {
+        const ir::Instr& in = computable[i];
+        if (!want[in.dst.index]) continue;
+        defines_target[i] = true;
+        want[in.dst.index] = false;
+        uses.clear();
+        in.appendUses(uses);
+        for (const ir::Reg r : uses) want[r.index] = true;
+      }
+      for (std::size_t i = 0; i < computable.size(); ++i) {
+        if (defines_target[i]) slice.push_back(computable[i]);
+      }
+    }
+
+    // ---- Decide, attach, and record.
+    bool defines_live_in = false;
+    for (const ir::Instr& in : slice) {
+      if (targets[in.dst.index]) {
+        defines_live_in = true;
+        break;
+      }
+    }
+    entry->slice_cost = static_cast<std::uint32_t>(slice.size());
+    if (!slice.empty() && defines_live_in &&
+        slice.size() <= ctx.options.slice_max_instrs) {
+      entry->fork_mode = "slice";
+      ctx.module.setForkSlice(fork.static_id, std::move(slice));
+    } else {
+      entry->fork_mode = "register-copy";
+    }
+  }
+};
+
 }  // namespace
 
 void buildSptPipeline(PassManager& pm) {
@@ -297,6 +569,9 @@ void buildSptPipeline(PassManager& pm) {
   pm.add(std::make_unique<GoodLoopSelectionPass>());
   pm.add(std::make_unique<RegionSpeculationPass>());
   pm.add(std::make_unique<SptTransformPass>());
+  // Appended after the transform's final finalize()+verify so the slice
+  // metadata binds to the StaticIds the tracer and simulator will see.
+  pm.add(std::make_unique<PrecomputationSlicePass>());
 }
 
 }  // namespace spt::compiler

@@ -80,6 +80,14 @@ std::uint64_t SptPlan::fingerprint() const {
     fnv.add(e.selected);
     fnv.add(e.transformed);
     fnv.add(e.transform_detail);
+    // Folded only when a slice was actually attached, so every
+    // pre-multiway golden fingerprint (fork_mode == "" or the
+    // register-copy fallback, both byte-equivalent to the old machine)
+    // is preserved bit-identically.
+    if (e.fork_mode == "slice") {
+      fnv.add(e.fork_mode);
+      fnv.add(static_cast<std::uint64_t>(e.slice_cost));
+    }
   }
   fnv.add(static_cast<std::uint64_t>(regions.size()));
   for (const RegionPlanEntry& r : regions) {
@@ -110,6 +118,11 @@ void SptPlan::print(std::ostream& os) const {
       status = "SPT " + entry.transform_detail;
       if (entry.unroll_factor > 1) {
         status += " unroll=" + std::to_string(entry.unroll_factor);
+      }
+      if (entry.fork_mode == "slice") {
+        status += " fork=slice(" + std::to_string(entry.slice_cost) + ")";
+      } else if (!entry.fork_mode.empty()) {
+        status += " fork=" + entry.fork_mode;
       }
     } else if (entry.selected) {
       status = "selected (not applied): " + entry.reject_reason;

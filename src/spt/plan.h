@@ -35,6 +35,15 @@ struct LoopPlanEntry {
   bool selected = false;     // pass-2 decision
   bool transformed = false;  // transformation applied successfully
   std::string transform_detail;
+
+  // Fork strategy chosen by the precomputation-slice pass (multiway
+  // compiles only): "" when the pass did not run (spec_threads == 1),
+  // "slice" when a live-in pre-computation slice was attached to the
+  // loop's fork, "register-copy" when the candidate slice was rejected
+  // (empty, defines no live-in, or over CompilerOptions::slice_max_instrs)
+  // and the fork falls back to the plain register-context copy.
+  std::string fork_mode;
+  std::uint32_t slice_cost = 0;  // candidate slice length in instructions
 };
 
 struct SptPlan {

@@ -78,6 +78,8 @@ void CompilationRemarks::setFromPlan(const SptPlan& plan,
     r.reason = e.reject_reason;
     r.reason_slug = reasonSlug(e.reject_reason);
     r.transform_detail = e.transform_detail;
+    r.fork_mode = e.fork_mode;
+    r.slice_cost = e.slice_cost;
     loops.push_back(std::move(r));
   }
   for (const RegionPlanEntry& e : plan.regions) {
@@ -130,6 +132,8 @@ void CompilationRemarks::writeJson(std::ostream& os) const {
     w.member("reason", r.reason);
     w.member("reason_slug", r.reason_slug);
     w.member("transform_detail", r.transform_detail);
+    w.member("fork_mode", r.fork_mode);
+    w.member("slice_cost", static_cast<std::uint64_t>(r.slice_cost));
     w.endObject();
   }
   w.endArray();

@@ -62,6 +62,12 @@ struct LoopRemark {
   std::string reason;       // human text; "" when transformed
   std::string reason_slug;  // reasonSlug(reason)
   std::string transform_detail;
+
+  // Precomputation-slice decision (multiway compiles only): "" when the
+  // slice pass did not run, else "slice" | "register-copy", with the
+  // candidate slice length in instructions.
+  std::string fork_mode;
+  std::uint32_t slice_cost = 0;
 };
 
 struct RegionRemark {

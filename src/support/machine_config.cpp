@@ -46,7 +46,8 @@ std::string toString(OracleMode mode) {
 }
 
 void MachineConfig::print(std::ostream& os) const {
-  os << "Processor cores: 2 in-order cores (main + speculative)\n"
+  os << "Processor cores: " << 1 + spec_threads << " in-order cores (main + "
+     << spec_threads << " speculative)\n"
      << "Cache hierarchy:\n";
   printCache(os, "L1I", l1i);
   printCache(os, "L1D", l1d);

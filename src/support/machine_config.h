@@ -83,10 +83,16 @@ struct CacheConfig {
   std::uint32_t latency_cycles = 1;
 };
 
+/// Upper bound on `MachineConfig::spec_threads`. Keeps CLI grids and the
+/// per-thread slab allocation bounded; the paper's machine is N=1 and the
+/// Prophet-style scaling studies top out well below this.
+inline constexpr std::uint32_t kMaxSpecThreads = 16;
+
 /// Machine configuration mirroring paper Table 1. Defaults are the paper's
 /// default configuration (Itanium2-like cores and memory subsystem).
 struct MachineConfig {
-  // Two Itanium2-like in-order cores (main + speculative).
+  // Itanium2-like in-order cores: one main core plus `spec_threads`
+  // speculative cores (paper Table 1 is the spec_threads == 1 machine).
   CacheConfig l1i{16 * 1024, 4, 64, 1};
   CacheConfig l1d{16 * 1024, 4, 64, 1};
   CacheConfig l2{256 * 1024, 8, 64, 5};
@@ -108,6 +114,12 @@ struct MachineConfig {
   std::uint32_t speculation_result_buffer_entries = 1024;
   std::uint32_t speculative_store_buffer_entries = 256;
   std::uint32_t load_address_buffer_entries = 256;
+
+  /// Number of speculative thread contexts (cores beyond the main core).
+  /// 1 is the paper's 2-core machine and is bit-identical to the
+  /// pre-multiway simulator; values up to kMaxSpecThreads chain threads
+  /// Prophet-style with cascaded commit/squash (docs/MULTIWAY.md).
+  std::uint32_t spec_threads = 1;
 
   RecoveryMechanism recovery = RecoveryMechanism::kSelectiveReplayFastCommit;
   RegisterCheckMode register_check = RegisterCheckMode::kValueBased;

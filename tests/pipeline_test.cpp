@@ -330,10 +330,12 @@ TEST(Remarks, SchemaAndDeterminism) {
   EXPECT_GT(r.avg_trip, 0.0);
   EXPECT_GT(r.coverage, 0.0);
   EXPECT_GT(r.partitions_evaluated, 0u);
-  ASSERT_EQ(a.passes.size(), 7u);
+  ASSERT_EQ(a.passes.size(), 8u);
   EXPECT_EQ(a.passes[0].name, "unroll-preprocess");
   EXPECT_EQ(a.passes[0].invocations, 2u);  // restart re-runs the pipeline
-  EXPECT_EQ(a.passes.back().name, "spt-transform");
+  EXPECT_EQ(a.passes.back().name, "precomputation-slice");
+  EXPECT_EQ(a.passes.back().mutations, 0u);  // dormant at spec_threads == 1
+  EXPECT_EQ(a.passes[a.passes.size() - 2].name, "spt-transform");
 
   std::ostringstream ja;
   std::ostringstream jb;

@@ -6,7 +6,12 @@ Usage:
                      [--allow-sim-changes]
 
 The document schema is harness::writeSimThroughputJson's: {"rows": [...]}
-with one row per workload. The comparison is host-field-aware:
+with one row per workload. Sweep-schema documents (writeSweepJson, e.g.
+BENCH_multiway.json) work too: their rows are keyed by benchmark@config
+instead of workload, and since they carry no host_ fields the comparison
+degenerates to an exact match on every simulated metric — which is the
+point, those documents are deterministic by contract. The comparison is
+host-field-aware:
 
   * host_-prefixed fields (seconds, MIPS) are *measurements* — noisy and
     machine-dependent — so they are compared per workload with a relative
@@ -39,7 +44,17 @@ def load_rows(path):
     if not isinstance(rows, list) or not rows:
         print(f"bench_compare: {path} has no rows", file=sys.stderr)
         sys.exit(2)
-    return {r["workload"]: r for r in rows}
+
+    def key(r):
+        if "workload" in r:
+            return r["workload"]
+        if "benchmark" in r:
+            return f'{r["benchmark"]}@{r.get("config", "default")}'
+        print(f"bench_compare: {path} row has neither workload nor "
+              f"benchmark", file=sys.stderr)
+        sys.exit(2)
+
+    return {key(r): r for r in rows}
 
 
 def main():
@@ -95,7 +110,8 @@ def main():
     if not args.allow_sim_changes:
         for w in shared:
             for k, old_v in old_rows[w].items():
-                if k.startswith("host_") or k == "workload":
+                if k.startswith("host_") or k in ("workload", "benchmark",
+                                                  "config"):
                     continue
                 if k not in new_rows[w]:
                     # New schema fields may appear; only disappearance or

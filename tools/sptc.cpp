@@ -124,6 +124,13 @@
 //
 // Options for run/compile/sweep:
 //   --scale N          workload input scale (default 1)
+//   --spec-threads L   chained speculative thread count(s), each in
+//                      1..16. sweep and submit sweep accept a comma list
+//                      ("1,2,4") that becomes a grid axis — N == 1 keeps
+//                      the "default" config tag, other values are tagged
+//                      "n<N>". run/compile/perf/inject take a single
+//                      value. N >= 2 also arms the compiler's
+//                      precomputation-slice pass (default 1)
 //   --srb N            speculation result buffer entries (default 1024)
 //   --recovery M       srx_fc | srx | squash (default srx_fc)
 //   --regcheck M       value | scoreboard (default value)
@@ -274,6 +281,9 @@ struct Options {
   std::vector<std::string> benchmarks;  // also filters sweep/inject grids
   double deadline_seconds = 0.0;
   support::ClientChaosPlan client_chaos;
+  // --spec-threads: grid axis for sweep/submit-sweep, single value
+  // elsewhere (applySpecThreads). Empty = flag absent.
+  std::vector<std::uint32_t> spec_threads;
   bool ok = true;
 };
 
@@ -341,6 +351,29 @@ Options parseOptions(int argc, char** argv, int first,
       o.remarks_path = arg.substr(std::string("--remarks=").size());
       if (o.remarks_path.empty()) {
         std::cerr << "sptc: --remarks= needs a file name\n";
+        o.ok = false;
+      }
+    } else if (arg == "--spec-threads") {
+      std::stringstream ss(need_value(i));
+      std::string tok;
+      bool any = false;
+      while (std::getline(ss, tok, ',')) {
+        any = true;
+        char* end = nullptr;
+        const unsigned long v = std::strtoul(tok.c_str(), &end, 10);
+        if (tok.empty() || end == nullptr || *end != '\0' || v < 1 ||
+            v > support::kMaxSpecThreads) {
+          std::cerr << "sptc: bad --spec-threads value '" << tok
+                    << "' (expected 1.." << support::kMaxSpecThreads
+                    << ", e.g. --spec-threads 1,2,4)\n";
+          o.ok = false;
+        } else {
+          o.spec_threads.push_back(static_cast<std::uint32_t>(v));
+        }
+      }
+      if (!any) {
+        std::cerr << "sptc: --spec-threads needs at least one value "
+                     "(e.g. --spec-threads 1,2,4)\n";
         o.ok = false;
       }
     } else if (arg == "--jobs") {
@@ -468,6 +501,22 @@ bool validateBenchmarks(const std::vector<std::string>& benchmarks) {
       return false;
     }
   }
+  return true;
+}
+
+/// Applies a single-valued --spec-threads to the machine and compiler
+/// options (run/compile/perf/inject take one value; only the sweep grids
+/// accept a list).
+bool applySpecThreads(Options& o, const char* command) {
+  if (o.spec_threads.empty()) return true;
+  if (o.spec_threads.size() > 1) {
+    std::cerr << "sptc: " << command
+              << " takes a single --spec-threads value (a comma list is a "
+                 "sweep grid axis)\n";
+    return false;
+  }
+  o.machine.spec_threads = o.spec_threads[0];
+  o.copts.spec_threads = o.spec_threads[0];
   return true;
 }
 
@@ -626,7 +675,8 @@ int cmdSweep(Options options) {
   }
   const harness::ParallelSweep sweep(options.jobs);
   const std::vector<harness::SweepCase> cases = harness::buildSuiteSweepCases(
-      options.machine, options.copts, options.scale, options.benchmarks);
+      options.machine, options.copts, options.scale, options.benchmarks,
+      options.spec_threads);
 
   harness::SweepOptions sweep_opts;
   sweep_opts.quarantine = options.quarantine;
@@ -797,6 +847,18 @@ int cmdSubmit(const std::string& mode, const Options& options) {
   req.oracle = options.oracle;
   req.deadline_seconds = options.deadline_seconds;
   req.chaos = options.supervisor.chaos;
+  if (mode == "sweep") {
+    req.spec_threads = options.spec_threads;
+  } else if (!options.spec_threads.empty()) {
+    // Campaigns run the whole grid at one chain depth.
+    if (options.spec_threads.size() > 1) {
+      std::cerr << "sptc: submit inject takes a single --spec-threads "
+                   "value\n";
+      return 2;
+    }
+    req.machine.spec_threads = options.spec_threads[0];
+    req.copts.spec_threads = options.spec_threads[0];
+  }
 
   harness::SubmitOptions sopts;
   sopts.chaos = options.client_chaos;
@@ -917,13 +979,13 @@ int main(int argc, char** argv) {
     return cmdSweep(options);
   }
   if (cmd == "perf") {
-    const Options options = parseOptions(argc, argv, 2);
-    if (!options.ok) return 2;
+    Options options = parseOptions(argc, argv, 2);
+    if (!options.ok || !applySpecThreads(options, "perf")) return 2;
     return cmdPerf(options);
   }
   if (cmd == "inject") {
-    const Options options = parseOptions(argc, argv, 2);
-    if (!options.ok) return 2;
+    Options options = parseOptions(argc, argv, 2);
+    if (!options.ok || !applySpecThreads(options, "inject")) return 2;
     return cmdInject(options);
   }
   if (cmd == "serve") {
@@ -957,8 +1019,8 @@ int main(int argc, char** argv) {
       return usage();
     }
     const std::string target = argv[2];
-    const Options options = parseOptions(argc, argv, 3);
-    if (!options.ok) return 2;
+    Options options = parseOptions(argc, argv, 3);
+    if (!options.ok || !applySpecThreads(options, cmd.c_str())) return 2;
     if (cmd == "run") return cmdRun(target, options);
     if (cmd == "compile") return cmdCompile(target, options);
     return cmdParse(target);
