@@ -1,7 +1,18 @@
 #include "harness/checkpoint.h"
 
+#include <algorithm>
 #include <fstream>
 #include <sstream>
+
+#if defined(__unix__) || (defined(__APPLE__) && defined(__MACH__))
+#define SPT_CHECKPOINT_POSIX 1
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#else
+#define SPT_CHECKPOINT_POSIX 0
+#endif
 
 namespace spt::harness {
 
@@ -153,5 +164,138 @@ std::map<std::string, CheckpointLine> loadCheckpoint(
   }
   return map;
 }
+
+#if SPT_CHECKPOINT_POSIX
+
+namespace {
+
+bool writeAllDurable(int fd, const char* data, std::size_t size) {
+  std::size_t off = 0;
+  while (off < size) {
+    const ssize_t n = ::write(fd, data + off, size - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+DurableAppendFile::~DurableAppendFile() { close(); }
+
+bool DurableAppendFile::open(const std::string& path, bool truncate) {
+  close();
+  int flags = O_WRONLY | O_CREAT | O_APPEND;
+  if (truncate) flags |= O_TRUNC;
+  int fd = -1;
+  do {
+    fd = ::open(path.c_str(), flags, 0644);
+  } while (fd < 0 && errno == EINTR);
+  if (fd < 0) return false;
+  fd_ = fd;
+  dirty_ = false;
+  return true;
+}
+
+bool DurableAppendFile::isOpen() const { return fd_ >= 0; }
+
+bool DurableAppendFile::appendLine(const std::string& line) {
+  if (fd_ < 0) return false;
+  std::string record = line;
+  record.push_back('\n');
+  if (!writeAllDurable(fd_, record.data(), record.size())) return false;
+  dirty_ = true;
+  return true;
+}
+
+bool DurableAppendFile::appendTorn(const std::string& line,
+                                   std::size_t bytes) {
+  if (fd_ < 0) return false;
+  const std::size_t n = std::min(bytes, line.size());
+  if (!writeAllDurable(fd_, line.data(), n)) return false;
+  dirty_ = true;
+  return sync();
+}
+
+bool DurableAppendFile::sync() {
+  if (fd_ < 0 || !dirty_) return fd_ >= 0;
+  int rc;
+  do {
+    rc = ::fsync(fd_);
+  } while (rc < 0 && errno == EINTR);
+  if (rc < 0) return false;
+  dirty_ = false;
+  return true;
+}
+
+void DurableAppendFile::close() {
+  if (fd_ >= 0) {
+    sync();
+    ::close(fd_);
+    fd_ = -1;
+  }
+  dirty_ = false;
+}
+
+int DurableAppendFile::fd() const { return fd_; }
+
+#else  // !SPT_CHECKPOINT_POSIX
+
+DurableAppendFile::~DurableAppendFile() { close(); }
+
+bool DurableAppendFile::open(const std::string& path, bool truncate) {
+  close();
+  auto* out = new std::ofstream(
+      path, std::ios::binary | std::ios::out |
+                (truncate ? std::ios::trunc : std::ios::app));
+  if (!*out) {
+    delete out;
+    return false;
+  }
+  stream_ = out;
+  return true;
+}
+
+bool DurableAppendFile::isOpen() const { return stream_ != nullptr; }
+
+bool DurableAppendFile::appendLine(const std::string& line) {
+  if (stream_ == nullptr) return false;
+  auto* out = static_cast<std::ofstream*>(stream_);
+  (*out) << line << '\n';
+  return static_cast<bool>(*out);
+}
+
+bool DurableAppendFile::appendTorn(const std::string& line,
+                                   std::size_t bytes) {
+  if (stream_ == nullptr) return false;
+  auto* out = static_cast<std::ofstream*>(stream_);
+  out->write(line.data(),
+             static_cast<std::streamsize>(std::min(bytes, line.size())));
+  out->flush();
+  return static_cast<bool>(*out);
+}
+
+bool DurableAppendFile::sync() {
+  if (stream_ == nullptr) return false;
+  auto* out = static_cast<std::ofstream*>(stream_);
+  out->flush();
+  return static_cast<bool>(*out);
+}
+
+void DurableAppendFile::close() {
+  if (stream_ != nullptr) {
+    auto* out = static_cast<std::ofstream*>(stream_);
+    out->flush();
+    delete out;
+    stream_ = nullptr;
+  }
+}
+
+int DurableAppendFile::fd() const { return -1; }
+
+#endif  // SPT_CHECKPOINT_POSIX
 
 }  // namespace spt::harness

@@ -83,4 +83,56 @@ std::map<std::string, CheckpointLine> loadCheckpoint(
     const std::string& path, std::size_t expected_metrics,
     std::string* warning = nullptr);
 
+/// Durable append-only line writer shared by checkpoints and the sweep
+/// service's request journal.
+///
+/// On POSIX this is an `open(O_WRONLY|O_CREAT|O_APPEND)` fd: each
+/// appendLine() issues one `write(2)` of `line + '\n'` (O_APPEND makes the
+/// seek+write atomic with respect to other appenders), and sync() calls
+/// `fsync(2)` so the record survives power loss — the old
+/// `std::ofstream` + `flush()` path only pushed bytes into the page cache.
+/// sync() is batched: it is a no-op unless an append happened since the
+/// last sync, so callers can call it eagerly per record (checkpoints) or
+/// once per event-loop pass (journal) without paying for empty fsyncs.
+/// File contents are byte-identical to the former ofstream writers.
+///
+/// On non-POSIX builds it degrades to a buffered stream with flush()
+/// (no durability guarantee; the service that needs one is POSIX-only).
+class DurableAppendFile {
+ public:
+  DurableAppendFile() = default;
+  ~DurableAppendFile();
+  DurableAppendFile(const DurableAppendFile&) = delete;
+  DurableAppendFile& operator=(const DurableAppendFile&) = delete;
+
+  /// Opens (creating if needed) for appending; truncates first when
+  /// `truncate` is set. Returns false on failure (isOpen() stays false).
+  bool open(const std::string& path, bool truncate);
+  bool isOpen() const;
+
+  /// Appends `line + '\n'`. Returns false on a short or failed write.
+  bool appendLine(const std::string& line);
+
+  /// Test/chaos hook: appends only the first `bytes` bytes of `line` with
+  /// NO terminating newline — simulates a write torn by a crash mid-append
+  /// (the torn-tail case loadCheckpoint/replayJournal must tolerate). The
+  /// truncated bytes are fsync'd immediately so a SIGKILL right after
+  /// leaves exactly this fragment on disk.
+  bool appendTorn(const std::string& line, std::size_t bytes);
+
+  /// fsync(2) if anything was appended since the last sync.
+  bool sync();
+
+  void close();
+
+  /// The fd backing the writer (-1 when closed or non-POSIX). Exposed so a
+  /// forking caller can close it in the child.
+  int fd() const;
+
+ private:
+  int fd_ = -1;
+  bool dirty_ = false;
+  void* stream_ = nullptr;  // non-POSIX fallback (std::ofstream*)
+};
+
 }  // namespace spt::harness

@@ -81,6 +81,20 @@ void applyCheckpointLine(const CheckpointLine& l, FaultCampaignCell& cell) {
   cell.divergence_pos = l.metrics[10];
 }
 
+}  // namespace
+
+FaultCampaignCell campaignCellFromCheckpointLine(const CheckpointLine& line,
+                                                 const std::string& benchmark,
+                                                 std::uint64_t fault_seed) {
+  FaultCampaignCell cell;
+  cell.benchmark = benchmark;
+  cell.fault_seed = fault_seed;
+  applyCheckpointLine(line, cell);
+  return cell;
+}
+
+namespace {
+
 /// Runs one (workload, seed) cell, catching every cell-level failure into
 /// the cell's status — an oracle divergence, budget blowout, or internal
 /// error is reported, not fatal, on both execution paths.
@@ -187,12 +201,10 @@ FaultCampaignResult runFaultCampaign(const FaultCampaignOptions& opts) {
     return cell;
   };
 
-  std::ofstream checkpoint;
+  DurableAppendFile checkpoint;
   std::mutex checkpoint_mu;
   if (!opts.checkpoint_path.empty()) {
-    checkpoint.open(opts.checkpoint_path,
-                    opts.resume ? std::ios::out | std::ios::app
-                                : std::ios::out | std::ios::trunc);
+    checkpoint.open(opts.checkpoint_path, /*truncate=*/!opts.resume);
   }
 
   if (opts.supervisor.isolate && Supervisor::isolationSupported()) {
@@ -228,9 +240,10 @@ FaultCampaignResult runFaultCampaign(const FaultCampaignOptions& opts) {
       if (!cell.ok() && cell.sequential_digest == 0) {
         cell.sequential_digest = prepared[c / opts.seeds].sequential_digest;
       }
-      if (checkpoint.is_open()) {
-        checkpoint << formatCheckpointLine(campaignCheckpointLine(cell, c)) << '\n'
-                   << std::flush;
+      if (checkpoint.isOpen()) {
+        checkpoint.appendLine(
+            formatCheckpointLine(campaignCheckpointLine(cell, c)));
+        checkpoint.sync();
       }
       result.cells[c] = std::move(cell);
     };
@@ -243,10 +256,11 @@ FaultCampaignResult runFaultCampaign(const FaultCampaignOptions& opts) {
       }
       FaultCampaignCell cell =
           runCampaignCell(prepared[c / opts.seeds], c, opts);
-      if (checkpoint.is_open()) {
+      if (checkpoint.isOpen()) {
         const std::lock_guard<std::mutex> lock(checkpoint_mu);
-        checkpoint << formatCheckpointLine(campaignCheckpointLine(cell, c)) << '\n'
-                   << std::flush;
+        checkpoint.appendLine(
+            formatCheckpointLine(campaignCheckpointLine(cell, c)));
+        checkpoint.sync();
       }
       return cell;
     });

@@ -121,6 +121,18 @@ std::string campaignCellConfigKey(std::size_t cell_index,
 CheckpointLine campaignCheckpointLine(const FaultCampaignCell& cell,
                                       std::size_t cell_index);
 
+/// Inverse of campaignCheckpointLine: reconstructs a resumed cell from a
+/// parsed checkpoint line (`line.metrics.size()` must be
+/// kCampaignCheckpointMetrics) plus the benchmark/fault-seed identity the
+/// caller derives from the cell index. The 11 metrics cover every
+/// deterministic per-cell field writeFaultCampaignJson emits for a clean
+/// cell (the divergence boundary/diff excerpt only exists for diverged
+/// cells, matching `--resume`, which also re-runs those). Shared by
+/// resume and the sweep service's journal recovery.
+FaultCampaignCell campaignCellFromCheckpointLine(const CheckpointLine& line,
+                                                 const std::string& benchmark,
+                                                 std::uint64_t fault_seed);
+
 /// Worker-side body of one campaign cell that owns its whole pipeline:
 /// compiles and traces `benchmark` (a defaultSuite() workload name) in the
 /// calling process, then runs the seeded fault cell exactly as

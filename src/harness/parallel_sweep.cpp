@@ -109,9 +109,7 @@ std::vector<SweepCase> buildSuiteSweepCases(
   return cases;
 }
 
-namespace {
-
-SweepRow fromCheckpointLine(const CheckpointLine& l) {
+SweepRow sweepRowFromCheckpointLine(const CheckpointLine& l) {
   SweepRow out;
   out.status = l.status;
   out.benchmark = l.benchmark;
@@ -141,6 +139,8 @@ SweepRow fromCheckpointLine(const CheckpointLine& l) {
   spt.threads.wrong_path = l.metrics[19];
   return out;
 }
+
+namespace {
 
 /// Runs one cell in-cell (either path): quarantine-catches per `catch_all`.
 SweepRow runCell(const SweepCase& c, bool catch_all, TraceCache* cache) {
@@ -184,11 +184,13 @@ std::vector<SweepRow> runSweepSupervised(
     }
   }
 
-  std::ofstream checkpoint;
+  // Checkpoints go through the durable fd writer (O_APPEND + fsync per
+  // record): the old ofstream flush() only reached the page cache, so a
+  // power loss — or the SIGKILLs the service crash campaign throws — could
+  // lose records the process believed were safe.
+  DurableAppendFile checkpoint;
   if (!opts.checkpoint_path.empty()) {
-    checkpoint.open(opts.checkpoint_path,
-                    opts.resume ? std::ios::out | std::ios::app
-                                : std::ios::out | std::ios::trunc);
+    checkpoint.open(opts.checkpoint_path, /*truncate=*/!opts.resume);
   }
 
   SupervisorOptions sopts = opts.supervisor;
@@ -213,9 +215,9 @@ std::vector<SweepRow> runSweepSupervised(
     const std::size_t i = to_run[k];
     SweepRow row =
         sweepRowFromOutcome(cases[i].benchmark, cases[i].config, oc);
-    if (checkpoint.is_open()) {
-      checkpoint << formatCheckpointLine(sweepCheckpointLine(row)) << '\n'
-                 << std::flush;
+    if (checkpoint.isOpen()) {
+      checkpoint.appendLine(formatCheckpointLine(sweepCheckpointLine(row)));
+      checkpoint.sync();
     }
     rows[i] = std::move(row);
   };
@@ -263,7 +265,7 @@ std::vector<SweepRow> runSweep(const ParallelSweep& sweep,
     std::string torn_warning;
     for (auto& [key, line] : loadCheckpoint(
              opts.checkpoint_path, kSweepCheckpointMetrics, &torn_warning)) {
-      resumed[key] = fromCheckpointLine(line);
+      resumed[key] = sweepRowFromCheckpointLine(line);
     }
     if (!torn_warning.empty()) {
       std::fprintf(stderr, "warning: %s\n", torn_warning.c_str());
@@ -288,12 +290,10 @@ std::vector<SweepRow> runSweep(const ParallelSweep& sweep,
     return runSweepSupervised(sweep, cases, opts, resumed, cache_ptr);
   }
 
-  std::ofstream checkpoint;
+  DurableAppendFile checkpoint;
   std::mutex checkpoint_mu;
   if (!opts.checkpoint_path.empty()) {
-    checkpoint.open(opts.checkpoint_path, opts.resume
-                                              ? std::ios::out | std::ios::app
-                                              : std::ios::out | std::ios::trunc);
+    checkpoint.open(opts.checkpoint_path, /*truncate=*/!opts.resume);
   }
 
   return sweep.run(cases.size(), [&](std::size_t i) {
@@ -303,10 +303,10 @@ std::vector<SweepRow> runSweep(const ParallelSweep& sweep,
       if (it != resumed.end() && it->second.ok()) return it->second;
     }
     SweepRow row = runCell(c, /*catch_all=*/opts.quarantine, cache_ptr);
-    if (checkpoint.is_open()) {
+    if (checkpoint.isOpen()) {
       const std::lock_guard<std::mutex> lock(checkpoint_mu);
-      checkpoint << formatCheckpointLine(sweepCheckpointLine(row)) << '\n'
-                 << std::flush;
+      checkpoint.appendLine(formatCheckpointLine(sweepCheckpointLine(row)));
+      checkpoint.sync();
     }
     return row;
   });

@@ -206,6 +206,15 @@ SweepRow sweepRowFromOutcome(const std::string& benchmark,
 inline constexpr std::size_t kSweepCheckpointMetrics = 20;
 CheckpointLine sweepCheckpointLine(const SweepRow& row);
 
+/// Inverse of sweepCheckpointLine: reconstructs a resumed row from a
+/// parsed checkpoint line (`line.metrics.size()` must be
+/// kSweepCheckpointMetrics). The 20 metrics cover every deterministic
+/// field writeSweepJson emits (speedups and ratios are derived), so a
+/// resumed row renders byte-identically; the full plan/run payloads and
+/// worker diagnostics are not part of the line. Shared by `--resume` and
+/// the sweep service's journal recovery.
+SweepRow sweepRowFromCheckpointLine(const CheckpointLine& line);
+
 /// Runs every case through runSptExperiment on `sweep`'s pool; rows come
 /// back in `cases` order.
 std::vector<SweepRow> runSweep(const ParallelSweep& sweep,

@@ -4,7 +4,6 @@
 #include <chrono>
 #include <cstring>
 #include <deque>
-#include <fstream>
 #include <map>
 #include <memory>
 #include <sstream>
@@ -13,6 +12,7 @@
 
 #include "harness/cell_codec.h"
 #include "harness/checkpoint.h"
+#include "harness/journal.h"
 #include "harness/suite.h"
 #include "harness/trace_cache.h"
 #include "support/json.h"
@@ -219,12 +219,37 @@ bool decodeServiceRequest(const std::string& payload, ServiceRequest* req) {
   return true;
 }
 
+std::string encodeServiceRequestWithToken(const ServiceRequest& req,
+                                          const std::string& token) {
+  // The v1 request bytes ride as one nested string so the journal and the
+  // request-equality check reuse them verbatim, token excluded.
+  ByteWriter w;
+  w.str(encodeServiceRequest(req));
+  w.str(token);
+  return w.take();
+}
+
+bool decodeServiceRequestWithToken(const std::string& payload,
+                                   ServiceRequest* req, std::string* token) {
+  ByteReader r(payload);
+  std::string request_bytes;
+  if (!(r.str(&request_bytes) && r.str(token) && r.atEnd())) return false;
+  return decodeServiceRequest(request_bytes, req);
+}
+
 // ---- Internal frame payloads ----------------------------------------------
 
 namespace {
 
 std::string encodeServiceFrame(std::uint8_t kind, const std::string& payload) {
   return wire::encodeFrame(kServiceFrameMagic, kServiceFrameV1, kind, payload);
+}
+
+/// v2 frames carry only what v1 cannot express (the token request payload
+/// and kAttached); everything else stays v1 so v1 peers keep decoding.
+std::string encodeServiceFrameV2(std::uint8_t kind,
+                                 const std::string& payload) {
+  return wire::encodeFrame(kServiceFrameMagic, kServiceFrameV2, kind, payload);
 }
 
 std::string encodeProgressPayload(std::uint64_t done, std::uint64_t total) {
@@ -501,6 +526,28 @@ struct SweepService::Impl {
     std::vector<std::string> campaign_names;
     // Sweep metadata: benchmark/config per cell.
     std::vector<std::pair<std::string, std::string>> sweep_keys;
+    // ---- Journal / idempotency state ----
+    /// Client-supplied idempotency token ("" = v1 semantics: a disconnect
+    /// cancels the request).
+    std::string token;
+    /// Journal id (0 = unjournaled request).
+    std::uint64_t request_id = 0;
+    /// Re-admitted from the journal at startup (starts with fd == -1).
+    bool recovered = false;
+    /// A settle record was written for this request.
+    bool settled_logged = false;
+    /// The per-request deadline fired (journal outcome "deadline").
+    bool deadline_expired = false;
+    /// kDone was fully flushed to a live client — the tokened request no
+    /// longer needs retention for a future attach.
+    bool delivered = false;
+    /// Encoded kResult payloads in settle order, retained while the token
+    /// is attachable so a reconnecting client can replay the request.
+    std::vector<std::string> result_frames;
+
+    /// Keep serving after a disconnect? Tokened and journal-recovered
+    /// requests survive their client; plain v1 requests are cancelled.
+    bool survivesDisconnect() const { return !token.empty() || recovered; }
   };
 
   std::unique_ptr<WorkerPool> pool;
@@ -517,17 +564,76 @@ struct SweepService::Impl {
   bool draining = false;
   bool drain_flush_armed = false;
   Clock::time_point drain_flush_deadline{};
-  std::ofstream checkpoint;
+  DurableAppendFile checkpoint;
+  DurableAppendFile journal;
+  /// Next journal request id; seeded from the replay so ids stay unique
+  /// across restarts of the same journal file.
+  std::uint64_t next_request_id = 1;
+  /// token -> client id of the live/orphaned/recovered request bound to it.
+  std::map<std::string, std::uint64_t> tokens;
+  std::uint64_t crash_events = 0;  // occurrences of the armed crash point
   // Status counters.
   std::uint64_t requests_admitted = 0;
   std::uint64_t requests_refused = 0;
   std::uint64_t cells_settled = 0;
   std::uint64_t clients_connected = 0;
   std::uint64_t clients_disconnected = 0;
+  std::uint64_t journal_records_replayed = 0;
+  std::uint64_t journal_records_skipped = 0;
+  std::uint64_t journal_requests_recovered = 0;
+  std::uint64_t journal_appends = 0;
+  std::uint64_t requests_attached = 0;
+  bool journal_torn_tail = false;
   ResourceReport resources;
 
   void note(const std::string& msg) {
     if (options.log) options.log(msg);
+  }
+
+  // ---- Scripted crash points (kill/restart chaos campaign) ----
+
+  /// SIGKILL self: no destructors, no flushes beyond what already hit the
+  /// fd — exactly what a real crash leaves behind.
+  [[noreturn]] void crashNow() {
+    note("service: scripted crash (" + options.crash.toSpec() + ")");
+    ::kill(::getpid(), SIGKILL);
+    ::_exit(137);  // unreachable; SIGKILL cannot be handled
+  }
+
+  /// True when `point` is the armed crash point and this is its `at`-th
+  /// occurrence. Call exactly once per event.
+  bool crashDue(support::ServiceCrashPoint point) {
+    return options.crash.point == point && ++crash_events == options.crash.at;
+  }
+
+  // ---- Journal writes ----
+
+  /// Appends one record; the kMidAppend crash point tears the write here.
+  void journalAppend(const JournalRecord& rec) {
+    if (!journal.isOpen()) return;
+    const std::string line = formatJournalRecord(rec);
+    if (crashDue(support::ServiceCrashPoint::kMidAppend)) {
+      journal.appendTorn(line, static_cast<std::size_t>(options.crash.bytes));
+      crashNow();
+    }
+    journal.appendLine(line);
+    ++journal_appends;
+  }
+
+  void journalSettleId(std::uint64_t request_id, const char* outcome) {
+    if (!journal.isOpen() || request_id == 0) return;
+    JournalRecord rec;
+    rec.kind = JournalRecord::Kind::kSettle;
+    rec.id = request_id;
+    rec.outcome = outcome;
+    journalAppend(rec);
+    journal.sync();
+  }
+
+  void journalSettle(Client& c, const char* outcome) {
+    if (c.settled_logged) return;
+    journalSettleId(c.request_id, outcome);
+    c.settled_logged = true;
   }
 
   void queueFrame(Client& c, std::uint8_t kind, const std::string& payload) {
@@ -541,19 +647,63 @@ struct SweepService::Impl {
       c.fd = -1;
       ++clients_disconnected;
     }
+    c.inbuf.clear();
+    c.outbuf.clear();
+    c.out_pos = 0;
+    if (c.admitted && !c.done_sent && c.survivesDisconnect()) {
+      // Tokened / journal-recovered requests outlive their client: the
+      // remaining cells keep running as an orphan and the results are
+      // retained for a later attach (or the next service incarnation).
+      note("service: client " + std::to_string(c.id) +
+           " disconnected; continuing its request as an orphan (" +
+           std::to_string(c.done) + "/" + std::to_string(c.total) + " done)");
+      return;
+    }
     // Only this client's queued cells are cancelled; its in-flight cells
     // finish on their workers and are dropped at settle time.
     queued_cells -= c.ready.size() + c.waiting.size();
     c.ready.clear();
     c.waiting.clear();
-    c.inbuf.clear();
-    c.outbuf.clear();
-    c.out_pos = 0;
+    if (c.admitted && !c.settled_logged) {
+      // Tokenless, so nobody can ever attach: settle now. A request cut
+      // down mid-run is cancelled; one whose work finished but whose
+      // delivery flush failed is done — the results are in the
+      // checkpoint, only the reply was lost.
+      journalSettle(c, c.done_sent
+                           ? (c.deadline_expired ? "deadline" : "done")
+                           : "cancelled");
+    }
+  }
+
+  /// A client entry may be erased once nothing references it: no live fd,
+  /// no worker about to settle into it, no queued cells still being
+  /// served for an orphan, and no token retention awaiting an attach.
+  bool reapable(const Client& c) const {
+    if (c.fd >= 0 || c.running > 0) return false;
+    if (!c.ready.empty() || !c.waiting.empty()) return false;
+    if (c.admitted && !c.token.empty() && !c.delivered && !draining) {
+      return false;  // finished orphan: hold for a same-token attach
+    }
+    return true;
   }
 
   void reapClients() {
     for (auto it = clients.begin(); it != clients.end();) {
-      if (it->second.fd < 0 && it->second.running == 0) {
+      if (reapable(it->second)) {
+        Client& c = it->second;
+        if (c.admitted && c.done_sent && c.token.empty() &&
+            !c.settled_logged) {
+          // A tokenless request that finished with no one to deliver to
+          // (e.g. a journal-recovered v1 orphan): settle it at reap time,
+          // or every future incarnation would pointlessly re-admit it.
+          journalSettle(c, c.deadline_expired ? "deadline" : "done");
+        }
+        if (!c.token.empty()) {
+          auto tit = tokens.find(c.token);
+          if (tit != tokens.end() && tit->second == it->first) {
+            tokens.erase(tit);
+          }
+        }
         it = clients.erase(it);
       } else {
         ++it;
@@ -562,6 +712,27 @@ struct SweepService::Impl {
   }
 
   void flushClient(Client& c) {
+    // An orphan has no connection to flush — and must NOT fall into the
+    // completion branch below: its empty outbuf would read as "fully
+    // flushed" and a finished orphan would be marked delivered (settling
+    // the journal and freeing the token) when nobody received anything.
+    if (c.fd < 0) return;
+    // Scripted mid-flush crash: push only the first `bytes` bytes of the
+    // pending reply onto the wire, then die — the client sees a torn
+    // stream, the journal still holds the request. Counts only flushes
+    // toward admitted clients so status probes can't trip it.
+    if (options.crash.point == support::ServiceCrashPoint::kMidFlush &&
+        c.fd >= 0 && c.admitted && c.out_pos < c.outbuf.size() &&
+        crashDue(support::ServiceCrashPoint::kMidFlush)) {
+      const std::size_t n = std::min(static_cast<std::size_t>(
+                                         options.crash.bytes),
+                                     c.outbuf.size() - c.out_pos);
+      if (n > 0) {
+        [[maybe_unused]] const ssize_t rc =
+            ::write(c.fd, c.outbuf.data() + c.out_pos, n);
+      }
+      crashNow();
+    }
     while (c.fd >= 0 && c.out_pos < c.outbuf.size()) {
       const ssize_t n = ::write(c.fd, c.outbuf.data() + c.out_pos,
                                 c.outbuf.size() - c.out_pos);
@@ -577,7 +748,15 @@ struct SweepService::Impl {
     if (c.out_pos >= c.outbuf.size()) {
       c.outbuf.clear();
       c.out_pos = 0;
-      if (c.done_sent || c.close_after_flush) disconnectClient(c);
+      if (c.done_sent || c.close_after_flush) {
+        if (c.done_sent) {
+          // Delivery is the settle point (see settleCell): only now is
+          // the request beyond recovery's and a token-attach's reach.
+          journalSettle(c, c.deadline_expired ? "deadline" : "done");
+          c.delivered = true;
+        }
+        disconnectClient(c);
+      }
     } else if (c.outbuf.size() - c.out_pos > kMaxClientOutbufBytes) {
       // A reader this slow is indistinguishable from a stuck one; cutting
       // it off bounds service memory and cannot affect other clients.
@@ -594,19 +773,14 @@ struct SweepService::Impl {
     flushClient(c);
   }
 
-  /// Admission: validates, normalizes, and either queues every cell of
-  /// the request or answers busy/error and closes.
-  void admit(Client& c, ServiceRequest req) {
-    if (draining) {
-      refuse(c, kServiceFrameError,
-             encodeTextPayload("service is draining; resubmit later"));
-      return;
-    }
+  /// Validation + normalization shared by live admission and journal
+  /// recovery: fills the request-derived fields of `c` (request,
+  /// request_bytes, total, tag, per-cell keys). Returns a non-empty
+  /// rejection reason for a request the service must not run.
+  std::string prepareRequest(Client& c, ServiceRequest req) {
     if (req.chaos.enabled() && !options.allow_chaos) {
-      refuse(c, kServiceFrameError,
-             encodeTextPayload("request carries a chaos plan but the "
-                               "service was not started with --allow-chaos"));
-      return;
+      return "request carries a chaos plan but the service was not started "
+             "with --allow-chaos";
     }
     // Validate the benchmark filter against the suite (buildSuiteSweepCases
     // silently drops unknown names; the service must not).
@@ -614,9 +788,7 @@ struct SweepService::Impl {
     for (const std::string& b : req.benchmarks) {
       if (std::find(suite_names.begin(), suite_names.end(), b) ==
           suite_names.end()) {
-        refuse(c, kServiceFrameError,
-               encodeTextPayload("unknown benchmark '" + b + "'"));
-        return;
+        return "unknown benchmark '" + b + "'";
       }
     }
     std::uint64_t total = 0;
@@ -645,12 +817,53 @@ struct SweepService::Impl {
         c.tag = 'E';
         break;
     }
-    if (total == 0) {
+    if (total == 0) return "request resolves to zero cells";
+    // Normalize the benchmark filter to suite order so every worker
+    // rebuilds the exact grid the parent admitted.
+    req.benchmarks = resolveSuiteNames(req.benchmarks);
+    c.request = std::move(req);
+    c.request_bytes = encodeServiceRequest(c.request);
+    c.total = total;
+    return std::string();
+  }
+
+  void armDeadline(Client& c) {
+    if (c.request.deadline_seconds <= 0) return;
+    c.has_deadline = true;
+    c.deadline = Clock::now() +
+                 std::chrono::duration_cast<Clock::duration>(
+                     std::chrono::duration<double>(c.request.deadline_seconds));
+  }
+
+  /// Write-ahead admit record: durable before any cell of the request can
+  /// dispatch or any reply reach the client.
+  void journalAdmit(Client& c) {
+    if (!journal.isOpen()) return;
+    c.request_id = next_request_id++;
+    JournalRecord rec;
+    rec.kind = JournalRecord::Kind::kAdmit;
+    rec.id = c.request_id;
+    rec.token = c.token;
+    rec.checkpoint_path = options.checkpoint_path;
+    rec.request_bytes = c.request_bytes;
+    journalAppend(rec);
+    journal.sync();
+  }
+
+  /// Admission: validates, normalizes, and either queues every cell of
+  /// the request or answers busy/error and closes.
+  void admit(Client& c, ServiceRequest req, std::string token) {
+    if (draining) {
       refuse(c, kServiceFrameError,
-             encodeTextPayload("request resolves to zero cells"));
+             encodeTextPayload("service is draining; resubmit later"));
       return;
     }
-    if (queued_cells + total > options.max_queue) {
+    const std::string why = prepareRequest(c, std::move(req));
+    if (!why.empty()) {
+      refuse(c, kServiceFrameError, encodeTextPayload(why));
+      return;
+    }
+    if (queued_cells + c.total > options.max_queue) {
       // Backpressure with an explicit hint: roughly the time for the
       // backlog ahead of this request to drain one pool pass.
       const double per_cell =
@@ -669,27 +882,149 @@ struct SweepService::Impl {
                      ")"));
       return;
     }
-    // Normalize the benchmark filter to suite order so every worker
-    // rebuilds the exact grid the parent admitted.
-    req.benchmarks = resolveSuiteNames(req.benchmarks);
-    c.request = std::move(req);
-    c.request_bytes = encodeServiceRequest(c.request);
-    c.total = total;
+    c.token = std::move(token);
     c.admitted = true;
-    if (c.request.deadline_seconds > 0) {
-      c.has_deadline = true;
-      c.deadline = Clock::now() +
-                   std::chrono::duration_cast<Clock::duration>(
-                       std::chrono::duration<double>(
-                           c.request.deadline_seconds));
-    }
-    for (std::uint64_t i = 0; i < total; ++i) {
+    armDeadline(c);
+    for (std::uint64_t i = 0; i < c.total; ++i) {
       c.ready.push_back(PendingCell{i, 1, Clock::time_point{}});
     }
-    queued_cells += total;
+    queued_cells += c.total;
     ++requests_admitted;
+    if (!c.token.empty()) tokens[c.token] = c.id;
+    journalAdmit(c);
     note("service: client " + std::to_string(c.id) + " admitted (" +
-         std::to_string(total) + " cells)");
+         std::to_string(c.total) + " cells)");
+    if (crashDue(support::ServiceCrashPoint::kAfterAdmit)) crashNow();
+  }
+
+  /// Same-token resubmission: adopt request `r` — live, orphaned, or
+  /// journal-recovered — onto connection `conn`, replay every settled
+  /// result, and continue the stream live from there.
+  void attachClient(Client& conn, Client& r, const ServiceRequest& req) {
+    ServiceRequest normalized = req;
+    normalized.benchmarks = resolveSuiteNames(normalized.benchmarks);
+    if (encodeServiceRequest(normalized) != r.request_bytes) {
+      refuse(conn, kServiceFrameError,
+             encodeTextPayload(
+                 "idempotency token is already bound to a different request"));
+      return;
+    }
+    if (r.fd >= 0) {
+      // The token owner reconnected while its old connection half-lives;
+      // the newest connection wins.
+      ::close(r.fd);
+      r.fd = -1;
+      ++clients_disconnected;
+    }
+    // Transfer the socket, not a disconnect: the connection lives on in
+    // `r`, and `conn` becomes an empty husk for the reaper.
+    r.fd = conn.fd;
+    conn.fd = -1;
+    conn.inbuf.clear();
+    r.outbuf.clear();
+    r.out_pos = 0;
+    r.close_after_flush = false;
+    ++requests_attached;
+    r.outbuf.append(encodeServiceFrameV2(
+        kServiceFrameAttached, encodeProgressPayload(r.done, r.total)));
+    for (const std::string& payload : r.result_frames) {
+      queueFrame(r, kServiceFrameResult, payload);
+    }
+    queueFrame(r, kServiceFrameProgress, encodeProgressPayload(r.done, r.total));
+    if (r.done_sent) queueFrame(r, kServiceFrameDone, encodeDonePayload(r.total));
+    note("service: client " + std::to_string(conn.id) + " attached to request " +
+         std::to_string(r.id) + " by token (" + std::to_string(r.done) + "/" +
+         std::to_string(r.total) + " replayed)");
+    flushClient(r);
+  }
+
+  /// Startup recovery of one unsettled journal record: the request is
+  /// re-admitted as an orphan (no client fd) in its original admission
+  /// order; every cell already settled ok in the bound checkpoint replays
+  /// from its checkpoint line with synthesized single-attempt worker
+  /// diagnostics, and only the remaining cells queue to run.
+  void recoverRequest(const JournalRecord& rec,
+                      const std::map<std::string, CheckpointLine>& sweep_ck,
+                      const std::map<std::string, CheckpointLine>& campaign_ck) {
+    ServiceRequest req;
+    if (!decodeServiceRequest(rec.request_bytes, &req)) {
+      note("service: journal request " + std::to_string(rec.id) +
+           " has undecodable request bytes; settling as cancelled");
+      journalSettleId(rec.id, "cancelled");
+      return;
+    }
+    Client c;
+    c.id = next_client_id++;
+    c.recovered = true;
+    c.token = rec.token;
+    c.request_id = rec.id;
+    const std::string why = prepareRequest(c, std::move(req));
+    if (!why.empty()) {
+      note("service: journal request " + std::to_string(rec.id) +
+           " is no longer admissible (" + why + "); settling as cancelled");
+      journalSettleId(rec.id, "cancelled");
+      return;
+    }
+    c.admitted = true;
+    armDeadline(c);  // the deadline clock restarts at recovery
+    const std::uint64_t cid = c.id;
+    Client& r = clients.emplace(cid, std::move(c)).first->second;
+    if (!r.token.empty()) tokens[r.token] = r.id;
+    ++requests_admitted;
+    ++journal_requests_recovered;
+    std::vector<std::pair<std::uint64_t, const CheckpointLine*>> replay;
+    for (std::uint64_t i = 0; i < r.total; ++i) {
+      const CheckpointLine* line = nullptr;
+      if (r.tag == 'W') {
+        const auto& key = r.sweep_keys[static_cast<std::size_t>(i)];
+        auto cit = sweep_ck.find(checkpointKey(key.first, key.second));
+        if (cit != sweep_ck.end() && cit->second.status == CellStatus::kOk) {
+          line = &cit->second;
+        }
+      } else if (r.tag == 'C') {
+        const std::string& benchmark =
+            r.campaign_names[static_cast<std::size_t>(i / r.request.seeds)];
+        auto cit = campaign_ck.find(checkpointKey(
+            benchmark,
+            campaignCellConfigKey(
+                static_cast<std::size_t>(i),
+                support::deriveSeed(r.request.base_seed, i))));
+        if (cit != campaign_ck.end() &&
+            cit->second.status == CellStatus::kOk) {
+          line = &cit->second;
+        }
+      }
+      if (line != nullptr) {
+        replay.emplace_back(i, line);
+      } else {
+        r.ready.push_back(PendingCell{i, 1, Clock::time_point{}});
+      }
+    }
+    queued_cells += r.ready.size();
+    note("service: recovered request " + std::to_string(rec.id) +
+         " from the journal (" + std::to_string(replay.size()) +
+         " cells from the checkpoint, " + std::to_string(r.ready.size()) +
+         " to run)");
+    for (const auto& [i, line] : replay) {
+      Supervisor::Outcome oc;
+      oc.status = CellStatus::kOk;
+      // Synthesized diagnostics: the cell ran once, cleanly, in a prior
+      // incarnation. attempts == 1 and exit_code == 0 keep the client-side
+      // worker/resource JSON blocks byte-identical to an uninterrupted
+      // pooled run — a checkpointed kOk cell necessarily exited 0 (the
+      // host_ members differ and are filtered, as always).
+      oc.worker.attempts = 1;
+      oc.worker.exit_code = 0;
+      if (r.tag == 'W') {
+        oc.payload = encodeSweepRow(sweepRowFromCheckpointLine(*line));
+      } else {
+        const std::string& benchmark =
+            r.campaign_names[static_cast<std::size_t>(i / r.request.seeds)];
+        oc.payload = encodeCampaignCell(campaignCellFromCheckpointLine(
+            *line, benchmark, support::deriveSeed(r.request.base_seed, i)));
+      }
+      settleCell(r, i, oc, /*record=*/false);
+    }
   }
 
   std::string statusJson() const {
@@ -720,6 +1055,20 @@ struct SweepService::Impl {
     w.member("clients_connected", clients_connected);
     w.member("clients_disconnected", clients_disconnected);
     w.endObject();
+    std::uint64_t orphaned = 0;
+    for (const auto& [id, c] : clients) {
+      if (c.admitted && c.fd < 0 && !c.done_sent) ++orphaned;
+    }
+    w.key("journal").beginObject();
+    w.member("enabled", journal.isOpen());
+    w.member("records_replayed", journal_records_replayed);
+    w.member("records_skipped", journal_records_skipped);
+    w.member("requests_recovered", journal_requests_recovered);
+    w.member("requests_attached", requests_attached);
+    w.member("records_appended", journal_appends);
+    w.member("orphaned_serving", orphaned);
+    w.member("torn_tail_dropped", journal_torn_tail);
+    w.endObject();
     w.key("clients").beginArray();
     for (const auto& [id, c] : clients) {
       if (!c.admitted) continue;
@@ -732,6 +1081,8 @@ struct SweepService::Impl {
                static_cast<std::uint64_t>(c.ready.size() + c.waiting.size()));
       w.member("running", static_cast<std::uint64_t>(c.running));
       w.member("dispatched", c.dispatched);
+      w.member("orphaned", c.fd < 0);
+      w.member("recovered", c.recovered);
       w.endObject();
     }
     w.endArray();
@@ -749,17 +1100,33 @@ struct SweepService::Impl {
 
   /// Handles one decoded frame from a client. Returns false when the
   /// connection can no longer be trusted.
-  bool handleFrame(Client& c, std::uint8_t kind, const std::string& payload) {
+  bool handleFrame(Client& c, std::uint32_t version, std::uint8_t kind,
+                   const std::string& payload) {
     switch (kind) {
       case kServiceFrameRequest: {
         if (c.admitted || c.close_after_flush) return false;
         ServiceRequest req;
-        if (!decodeServiceRequest(payload, &req)) {
+        std::string token;
+        const bool decoded =
+            version >= kServiceFrameV2
+                ? decodeServiceRequestWithToken(payload, &req, &token)
+                : decodeServiceRequest(payload, &req);
+        if (!decoded) {
           refuse(c, kServiceFrameError,
                  encodeTextPayload("undecodable request payload"));
           return true;
         }
-        admit(c, std::move(req));
+        if (!token.empty() && !draining) {
+          auto tit = tokens.find(token);
+          if (tit != tokens.end()) {
+            auto rit = clients.find(tit->second);
+            if (rit != clients.end() && rit->first != c.id) {
+              attachClient(c, rit->second, req);
+              return true;
+            }
+          }
+        }
+        admit(c, std::move(req), std::move(token));
         return true;
       }
       case kServiceFrameStatusRequest:
@@ -773,12 +1140,19 @@ struct SweepService::Impl {
   }
 
   void readClient(Client& c) {
+    // Drain the socket first and only note the close; the buffered bytes
+    // are parsed before the disconnect is honoured. A client that writes
+    // a request and immediately closes (crash, `--client-chaos
+    // disconnect@0`) delivers its frame and its EOF in the same pass —
+    // disconnecting first would throw the request away unparsed, and a
+    // tokened request must be admitted so the retry can attach to it.
+    bool closed = false;
     for (;;) {
       const int n = wire::readSomeFd(c.fd, &c.inbuf, 1 << 20);
       if (n == -1) break;  // EAGAIN: drained the socket for now
       if (n == 0 || n == -2) {
-        disconnectClient(c);
-        return;
+        closed = true;
+        break;
       }
     }
     while (c.fd >= 0) {
@@ -799,25 +1173,34 @@ struct SweepService::Impl {
       std::uint8_t kind = 0;
       std::string payload;
       if (!wire::decodeFrame(kServiceFrameMagic, frame, kServiceFrameV1,
-                             kServiceFrameV1, kServiceFrameMaxKind, &version,
+                             kServiceFrameV2, kServiceFrameMaxKindV2, &version,
                              &kind, &payload, &error)) {
         note("service: client " + std::to_string(c.id) +
              " sent an invalid frame (" + error + "); disconnecting");
         disconnectClient(c);
         return;
       }
-      if (!handleFrame(c, kind, payload)) {
+      if (version == kServiceFrameV1 && kind > kServiceFrameMaxKind) {
+        note("service: client " + std::to_string(c.id) +
+             " sent a v1 frame with a v2-only kind; disconnecting");
+        disconnectClient(c);
+        return;
+      }
+      if (!handleFrame(c, version, kind, payload)) {
         disconnectClient(c);
         return;
       }
     }
+    if (closed && c.fd >= 0) disconnectClient(c);
   }
 
   /// Converts a settled outcome into the client-facing result frame (and
   /// the checkpoint line), using the same decode helpers as the batch
   /// paths — which is what keeps serve output field-identical to them.
-  void settleCell(Client& c, std::uint64_t cell,
-                  const Supervisor::Outcome& oc) {
+  /// `record` is false when replaying an already-checkpointed cell during
+  /// journal recovery: no checkpoint re-append, no crash point.
+  void settleCell(Client& c, std::uint64_t cell, const Supervisor::Outcome& oc,
+                  bool record = true) {
     ++cells_settled;
     resources.add(oc.worker);
     ResultFramePayload p;
@@ -830,9 +1213,9 @@ struct SweepService::Impl {
         const auto& key = c.sweep_keys[static_cast<std::size_t>(cell)];
         SweepRow row = sweepRowFromOutcome(key.first, key.second, oc);
         p.inner = encodeSweepRow(row);
-        if (checkpoint.is_open()) {
-          checkpoint << formatCheckpointLine(sweepCheckpointLine(row)) << '\n'
-                     << std::flush;
+        if (record && checkpoint.isOpen()) {
+          checkpoint.appendLine(formatCheckpointLine(sweepCheckpointLine(row)));
+          checkpoint.sync();
         }
         break;
       }
@@ -842,11 +1225,10 @@ struct SweepService::Impl {
         FaultCampaignCell fc = campaignCellFromOutcome(
             benchmark, support::deriveSeed(c.request.base_seed, cell), oc);
         p.inner = encodeCampaignCell(fc);
-        if (checkpoint.is_open()) {
-          checkpoint << formatCheckpointLine(campaignCheckpointLine(
-                            fc, static_cast<std::size_t>(cell)))
-                     << '\n'
-                     << std::flush;
+        if (record && checkpoint.isOpen()) {
+          checkpoint.appendLine(formatCheckpointLine(
+              campaignCheckpointLine(fc, static_cast<std::size_t>(cell))));
+          checkpoint.sync();
         }
         break;
       }
@@ -856,13 +1238,27 @@ struct SweepService::Impl {
                       : "error:" + toString(oc.status);
         break;
     }
+    // The settle crash point fires with the cell checkpointed but the
+    // request still unsettled in the journal: recovery must re-admit and
+    // replay this cell from the checkpoint, never re-run it.
+    if (record && crashDue(support::ServiceCrashPoint::kAfterSettle)) {
+      crashNow();
+    }
+    const std::string result_payload = encodeResultPayload(p);
+    if (!c.token.empty()) c.result_frames.push_back(result_payload);
     ++c.done;
-    queueFrame(c, kServiceFrameResult, encodeResultPayload(p));
+    queueFrame(c, kServiceFrameResult, result_payload);
     queueFrame(c, kServiceFrameProgress,
                encodeProgressPayload(c.done, c.total));
     if (c.done == c.total) {
       queueFrame(c, kServiceFrameDone, encodeDonePayload(c.total));
       c.done_sent = true;
+      // Deliberately NOT journal-settled here: the settle record is
+      // written at *delivery* (the done frame fully flushed to a client),
+      // so a crash in the completion-to-delivery window leaves the
+      // request recoverable — the next incarnation replays every cell
+      // from the checkpoint and a same-token resubmission still attaches
+      // instead of re-running the grid as a fresh request.
     }
     flushClient(c);
   }
@@ -883,7 +1279,9 @@ struct SweepService::Impl {
                 return a.cell < b.cell;
               });
     for (const PendingCell& pc : cells) {
-      if (c.fd < 0) break;
+      // A mid-loop disconnect cancels a plain client's remaining settles;
+      // an orphaned tokened/recovered request settles regardless.
+      if (c.fd < 0 && !c.survivesDisconnect()) break;
       settleCell(c, pc.cell, oc);
     }
   }
@@ -936,7 +1334,10 @@ struct SweepService::Impl {
         const std::uint64_t id = it->first;
         Client& c = it->second;
         ++it;
-        if (c.fd < 0 || !c.admitted || c.done_sent) continue;
+        // Orphans (fd < 0 with a token or recovered from the journal)
+        // keep dispatching; their queues are cleared at disconnect
+        // otherwise, so ready.empty() skips plain disconnected clients.
+        if (!c.admitted || c.done_sent) continue;
         moveDueRetries(c, now);
         if (c.ready.empty()) continue;
         if (dispatchCell(id, c)) {
@@ -959,7 +1360,9 @@ struct SweepService::Impl {
       if (cit == clients.end()) continue;
       Client& c = cit->second;
       --c.running;
-      if (c.fd < 0) continue;  // disconnected mid-flight: result dropped
+      if (c.fd < 0 && !c.survivesDisconnect()) {
+        continue;  // disconnected mid-flight: result dropped
+      }
       if (!draining && isTransportFailure(s.outcome.status) &&
           s.attempt <= options.supervisor.retries) {
         const double delay = backoff->backoffSeconds(
@@ -979,11 +1382,13 @@ struct SweepService::Impl {
   void checkDeadlines() {
     const Clock::time_point now = Clock::now();
     for (auto& [id, c] : clients) {
-      if (c.fd < 0 || !c.admitted || c.done_sent || !c.has_deadline) continue;
+      if (!c.admitted || c.done_sent || !c.has_deadline) continue;
+      if (c.fd < 0 && !c.survivesDisconnect()) continue;
       if (now < c.deadline) continue;
       if (c.ready.empty() && c.waiting.empty()) continue;
       note("service: client " + std::to_string(id) +
            " deadline expired; failing its queued cells");
+      c.deadline_expired = true;
       settleQueuedAs(c, CellStatus::kTimeout, kDeadlineDiagnostic);
     }
   }
@@ -996,17 +1401,29 @@ struct SweepService::Impl {
       listen_fd = -1;
     }
     pool->setRespawnPolicy([] { return false; });
+    std::uint64_t orphans_preserved = 0;
     for (auto& [id, c] : clients) {
       if (c.fd < 0 || !c.admitted || c.done_sent) {
         if (c.fd >= 0 && !c.admitted) {
           refuse(c, kServiceFrameError,
                  encodeTextPayload("service is draining; resubmit later"));
         }
+        // An orphaned journaled request is left unsettled on purpose: the
+        // journal carries it to the next incarnation, which resumes it
+        // from the checkpoint instead of failing its cells here.
+        if (c.fd < 0 && c.admitted && !c.done_sent && c.request_id != 0) {
+          ++orphans_preserved;
+        }
         continue;
       }
       settleQueuedAs(c, CellStatus::kInternalError, kDrainDiagnostic);
     }
-    if (checkpoint.is_open()) checkpoint.flush();
+    if (orphans_preserved > 0) {
+      note("service: drain preserves " + std::to_string(orphans_preserved) +
+           " orphaned journaled request(s) for the next start");
+    }
+    checkpoint.sync();
+    journal.sync();
   }
 
   int run() {
@@ -1023,10 +1440,37 @@ struct SweepService::Impl {
     }
     wire::setNonBlocking(listen_fd, true);
     if (!options.checkpoint_path.empty()) {
-      checkpoint.open(options.checkpoint_path,
-                      std::ios::out | std::ios::app);
-      if (!checkpoint.is_open()) {
+      if (!checkpoint.open(options.checkpoint_path, /*truncate=*/false)) {
         note("service: cannot open checkpoint " + options.checkpoint_path);
+        ::close(listen_fd);
+        return 1;
+      }
+    }
+    JournalReplay replay;
+    if (!options.journal_path.empty()) {
+      replay = replayJournal(options.journal_path);
+      journal_records_replayed = replay.records_replayed;
+      journal_records_skipped = replay.records_skipped;
+      journal_torn_tail = replay.torn_tail;
+      next_request_id = replay.next_id;
+      for (const std::string& w : replay.warnings) note("service: " + w);
+      if (replay.torn_tail) {
+        // Drop the torn fragment before reopening for append: O_APPEND
+        // would otherwise glue the next record onto the fragment's line
+        // and the merged line would fail its checksum on every later
+        // replay.
+        if (::truncate(options.journal_path.c_str(),
+                       static_cast<off_t>(replay.valid_bytes)) != 0) {
+          note("service: cannot truncate torn journal tail in " +
+               options.journal_path);
+          checkpoint.close();
+          ::close(listen_fd);
+          return 1;
+        }
+      }
+      if (!journal.open(options.journal_path, /*truncate=*/false)) {
+        note("service: cannot open journal " + options.journal_path);
+        checkpoint.close();
         ::close(listen_fd);
         return 1;
       }
@@ -1043,16 +1487,48 @@ struct SweepService::Impl {
     pool->setChildSetup([this] {
       // Workers must never hold the service's sockets open: a forked
       // worker outliving the service would otherwise keep clients (and
-      // the listening socket) half-alive.
+      // the listening socket) half-alive. The checkpoint/journal fds are
+      // closed for the same hygiene — only the parent settles cells.
       if (listen_fd >= 0) ::close(listen_fd);
       for (auto& [id, c] : clients) {
         if (c.fd >= 0) ::close(c.fd);
       }
+      if (checkpoint.fd() >= 0) ::close(checkpoint.fd());
+      if (journal.fd() >= 0) ::close(journal.fd());
     });
     if (!pool->ensure(jobs) && pool->workerCount() == 0) {
       note("service: could not fork any pooled worker");
       ::close(listen_fd);
       return 1;
+    }
+    // Crash recovery: re-admit every unsettled journaled request, oldest
+    // first, before accepting new connections' traffic. Cells already ok
+    // in the bound checkpoint replay from it; the rest queue behind the
+    // ordinary scheduler.
+    if (!replay.unsettled.empty()) {
+      std::map<std::string,
+               std::pair<std::map<std::string, CheckpointLine>,
+                         std::map<std::string, CheckpointLine>>>
+          by_path;  // checkpoint path -> (sweep-shape map, campaign-shape map)
+      for (const JournalRecord& rec : replay.unsettled) {
+        if (rec.checkpoint_path.empty()) continue;
+        if (by_path.count(rec.checkpoint_path)) continue;
+        std::string warning;
+        auto& maps = by_path[rec.checkpoint_path];
+        maps.first = loadCheckpoint(rec.checkpoint_path,
+                                    kSweepCheckpointMetrics, &warning);
+        if (!warning.empty()) note("service: " + warning);
+        warning.clear();
+        maps.second = loadCheckpoint(rec.checkpoint_path,
+                                     kCampaignCheckpointMetrics, &warning);
+        if (!warning.empty()) note("service: " + warning);
+      }
+      const std::map<std::string, CheckpointLine> empty;
+      for (const JournalRecord& rec : replay.unsettled) {
+        auto pit = by_path.find(rec.checkpoint_path);
+        recoverRequest(rec, pit == by_path.end() ? empty : pit->second.first,
+                       pit == by_path.end() ? empty : pit->second.second);
+      }
     }
     note("service: listening on " + options.socket_path + " (" +
          std::to_string(pool->workerCount()) + " workers)");
@@ -1168,10 +1644,8 @@ struct SweepService::Impl {
       if (c.fd >= 0) disconnectClient(c);
     }
     pool->shutdown();
-    if (checkpoint.is_open()) {
-      checkpoint.flush();
-      checkpoint.close();
-    }
+    checkpoint.close();
+    journal.close();
     if (listen_fd >= 0) ::close(listen_fd);
     ::unlink(options.socket_path.c_str());
     note("service: drained cleanly");
@@ -1281,7 +1755,7 @@ bool readServiceFrames(
       std::uint8_t kind = 0;
       std::string payload;
       if (!wire::decodeFrame(kServiceFrameMagic, frame, kServiceFrameV1,
-                             kServiceFrameV1, kServiceFrameMaxKind, &version,
+                             kServiceFrameV2, kServiceFrameMaxKindV2, &version,
                              &kind, &payload, &error)) {
         *transport_error = "invalid frame from the service: " + error;
         return false;
@@ -1302,12 +1776,21 @@ SubmitOutcome submitToService(const std::string& socket_path,
   const int fd = wire::connectUnix(socket_path, &error);
   if (fd < 0) {
     outcome.error = error;
+    outcome.transport = true;
     return outcome;
   }
-  const std::string frame = encodeServiceFrame(
-      kServiceFrameRequest, encodeServiceRequest(request));
+  // A token selects v2 framing; tokenless requests stay v1 so a new
+  // client keeps working against an old service.
+  const std::string frame =
+      options.token.empty()
+          ? encodeServiceFrame(kServiceFrameRequest,
+                               encodeServiceRequest(request))
+          : encodeServiceFrameV2(
+                kServiceFrameRequest,
+                encodeServiceRequestWithToken(request, options.token));
   if (!wire::writeAllFd(fd, frame.data(), frame.size())) {
     outcome.error = "failed to send the request";
+    outcome.transport = true;
     ::close(fd);
     return outcome;
   }
@@ -1426,6 +1909,12 @@ SubmitOutcome submitToService(const std::string& socket_path,
             finished = true;
             return false;
           }
+          case kServiceFrameAttached: {
+            // This connection adopted an existing request (same token);
+            // its settled results replay as ordinary kResult frames next.
+            outcome.attached = true;
+            return true;
+          }
           default:
             return true;  // progress/status noise is ignorable
         }
@@ -1443,10 +1932,12 @@ SubmitOutcome submitToService(const std::string& socket_path,
   }
   if (!read_ok) {
     outcome.error = error;
+    outcome.transport = true;
     return outcome;
   }
   if (!finished) {
     outcome.error = "service stream ended without a done frame";
+    outcome.transport = true;
     return outcome;
   }
   for (const auto& r : rows) {
@@ -1478,6 +1969,59 @@ SubmitOutcome submitToService(const std::string& socket_path,
   for (auto& e : echoes) outcome.echoes.push_back(std::move(*e));
   outcome.ok = true;
   return outcome;
+}
+
+SubmitOutcome submitToServiceWithRetry(const std::string& socket_path,
+                                       const ServiceRequest& request,
+                                       const SubmitOptions& options) {
+  SubmitOutcome outcome = submitToService(socket_path, request, options);
+  if (options.retry_for_seconds <= 0) return outcome;
+  const Clock::time_point give_up =
+      Clock::now() +
+      std::chrono::duration_cast<Clock::duration>(
+          std::chrono::duration<double>(options.retry_for_seconds));
+  // The supervisor's deterministic seeded backoff, capped at 2 s per
+  // attempt: a service restart window is seconds, not minutes, and a
+  // tokened retry that reconnects attaches instead of re-running, so
+  // probing often is cheap.
+  const Supervisor backoff{SupervisorOptions{}};
+  std::uint32_t attempt = 1;
+  for (;;) {
+    if (outcome.ok) return outcome;
+    if (options.stop && *options.stop) return outcome;
+    double delay = 0.0;
+    std::string why;
+    if (outcome.busy) {
+      // Honor the service's own backpressure hint.
+      delay = outcome.retry_after_seconds > 0 ? outcome.retry_after_seconds
+                                              : 0.25;
+      why = "service busy";
+    } else if (outcome.transport && !options.token.empty()) {
+      delay = std::min(2.0, backoff.backoffSeconds(0, attempt + 1));
+      why = "transport failure (" + outcome.error + ")";
+    } else {
+      // Structured service errors (bad request, chaos refusal, token
+      // conflict) never resolve by retrying; tokenless transport failures
+      // cannot safely retry (a re-run could duplicate work).
+      return outcome;
+    }
+    const Clock::time_point now = Clock::now();
+    const Clock::time_point wake =
+        now + std::chrono::duration_cast<Clock::duration>(
+                  std::chrono::duration<double>(delay));
+    if (wake >= give_up) return outcome;
+    if (options.log) {
+      std::ostringstream msg;
+      msg << "submit: " << why << "; retrying in " << delay << "s";
+      options.log(msg.str());
+    }
+    while (Clock::now() < wake) {
+      if (options.stop && *options.stop) return outcome;
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+    ++attempt;
+    outcome = submitToService(socket_path, request, options);
+  }
 }
 
 std::optional<std::string> queryServiceStatus(const std::string& socket_path,
@@ -1515,6 +2059,12 @@ SubmitOutcome submitToService(const std::string&, const ServiceRequest&,
   SubmitOutcome outcome;
   outcome.error = "sockets are unsupported on this platform";
   return outcome;
+}
+
+SubmitOutcome submitToServiceWithRetry(const std::string& socket_path,
+                                       const ServiceRequest& request,
+                                       const SubmitOptions& options) {
+  return submitToService(socket_path, request, options);
 }
 
 std::optional<std::string> queryServiceStatus(const std::string&,

@@ -16,6 +16,8 @@
 //                       kDone           request complete
 //                       kError          request rejected (bad spec, ...)
 //                       kStatus         JSON status document
+//                       kAttached       (v2) token matched an existing
+//                                       request; settled results replayed
 //
 // Scheduling and robustness properties (exercised by sweep_service_test
 // and the CI soak):
@@ -67,6 +69,10 @@ namespace spt::harness {
 
 inline constexpr char kServiceFrameMagic[4] = {'S', 'P', 'T', 'S'};
 inline constexpr std::uint32_t kServiceFrameV1 = 1;
+/// SPTS v2 adds the idempotency-token request payload and the kAttached
+/// reply. v1 negotiation is preserved: a v1 client's frames decode and are
+/// answered with v1 frames; a v2 frame with a v1-only kind is invalid.
+inline constexpr std::uint32_t kServiceFrameV2 = 2;
 
 inline constexpr std::uint8_t kServiceFrameRequest = 0;
 inline constexpr std::uint8_t kServiceFrameProgress = 1;
@@ -76,7 +82,12 @@ inline constexpr std::uint8_t kServiceFrameDone = 4;
 inline constexpr std::uint8_t kServiceFrameError = 5;
 inline constexpr std::uint8_t kServiceFrameStatusRequest = 6;
 inline constexpr std::uint8_t kServiceFrameStatus = 7;
+/// v2 only, service -> client: the request's idempotency token matched a
+/// live or journal-recovered request; every already-settled result is
+/// replayed on this connection, then the stream continues live.
+inline constexpr std::uint8_t kServiceFrameAttached = 8;
 inline constexpr std::uint8_t kServiceFrameMaxKind = kServiceFrameStatus;
+inline constexpr std::uint8_t kServiceFrameMaxKindV2 = kServiceFrameAttached;
 
 /// One client request. The grid is described, not enumerated: the service
 /// and its workers rebuild the cases through buildSuiteSweepCases /
@@ -118,6 +129,16 @@ struct ServiceRequest {
 std::string encodeServiceRequest(const ServiceRequest& req);
 bool decodeServiceRequest(const std::string& payload, ServiceRequest* req);
 
+/// SPTS v2 request payload: the v1 request bytes followed by a
+/// client-supplied idempotency token. The token is *not* part of the v1
+/// request encoding (journal records and request-equality checks use the
+/// tokenless bytes), so a v2 resubmission with the same token and grid
+/// attaches to the original request instead of re-running it.
+std::string encodeServiceRequestWithToken(const ServiceRequest& req,
+                                          const std::string& token);
+bool decodeServiceRequestWithToken(const std::string& payload,
+                                   ServiceRequest* req, std::string* token);
+
 // ---- The service ----------------------------------------------------------
 
 struct SweepServiceOptions {
@@ -137,6 +158,24 @@ struct SweepServiceOptions {
   std::string checkpoint_path;
   /// Shared mmap trace cache for sweep cells (sweep --trace-cache).
   std::string trace_cache_dir;
+  /// Write-ahead request journal (docs/ROBUSTNESS.md "Request journal").
+  /// When non-empty, every admitted request appends a durable
+  /// `spt-journal-v1` admit record (idempotency token, full request bytes,
+  /// checkpoint binding) before any of its cells dispatch, and a settle
+  /// record (done/cancelled/deadline) when its results are *delivered* —
+  /// the done frame fully flushed to a client — not merely computed, so a
+  /// crash between completion and delivery still recovers (the cells
+  /// replay from the checkpoint; nothing re-runs). On startup the journal
+  /// is replayed: unsettled requests are re-admitted in their original
+  /// admission order as orphans (no client fd), cells already settled ok
+  /// in the bound checkpoint are replayed from it instead of re-running,
+  /// and the rest run to completion whether or not the original client
+  /// ever returns.
+  std::string journal_path;
+  /// Scripted crash for the kill/restart chaos campaign (tests / CI soak):
+  /// SIGKILL self at the Nth occurrence of the chosen point. Inert by
+  /// default.
+  support::ServiceCrashPlan crash;
   /// Graceful-drain flag, set from a SIGTERM/SIGINT handler.
   const volatile std::sig_atomic_t* stop = nullptr;
   /// Progress note sink (stderr in sptc; capturable in tests). Null = quiet.
@@ -171,8 +210,23 @@ struct SubmitOptions {
   support::ClientChaosPlan chaos;
   /// Overall client-side wait bound in seconds (0 = wait forever).
   double timeout_seconds = 0.0;
+  /// Idempotency token (non-empty selects SPTS v2 framing). A
+  /// resubmission with the same token and grid attaches to the original
+  /// request — live, orphaned, or journal-recovered — and replays its
+  /// already-settled results instead of re-running any cell.
+  std::string token;
+  /// submitToServiceWithRetry only: keep retrying for this many seconds.
+  /// kBusy replies honor the service's retry_after hint; transport
+  /// failures (refused connect, mid-stream disconnect) reconnect and
+  /// re-attach by token after a deterministic seeded backoff. 0 disables
+  /// retries.
+  double retry_for_seconds = 0.0;
+  /// Abort flag for the retry loop's sleeps (SIGINT handler).
+  const volatile std::sig_atomic_t* stop = nullptr;
   /// Called after every result frame (done, total).
   std::function<void(std::uint64_t, std::uint64_t)> on_progress;
+  /// Retry-loop note sink (stderr in sptc). Null = quiet.
+  std::function<void(const std::string&)> log;
 };
 
 struct SubmitOutcome {
@@ -182,6 +236,14 @@ struct SubmitOutcome {
   bool busy = false;
   double retry_after_seconds = 0.0;
   std::string error;  // transport/protocol/service error when !ok && !busy
+  /// The failure was transport-level (connect refused, send failure,
+  /// stream cut before kDone) rather than a structured service reply —
+  /// the class of failure a tokened client retries.
+  bool transport = false;
+  /// The service replied kAttached: this connection adopted an existing
+  /// request (after a client reconnect or a service restart) and replayed
+  /// its settled results.
+  bool attached = false;
   /// kSweep: rows in grid order, exactly as runSweep would return them.
   std::vector<SweepRow> rows;
   /// kCampaign: cells + totals, exactly as runFaultCampaign would.
@@ -194,6 +256,16 @@ struct SubmitOutcome {
 SubmitOutcome submitToService(const std::string& socket_path,
                               const ServiceRequest& request,
                               const SubmitOptions& options = {});
+
+/// submitToService wrapped in the `--retry-for` loop: retries kBusy
+/// refusals after the service's retry_after hint and — when
+/// `options.token` is non-empty — transport failures after a
+/// deterministic seeded backoff (Supervisor::backoffSeconds, capped at
+/// 2 s per attempt), until the request succeeds, a structured service
+/// error arrives, or `options.retry_for_seconds` of wall clock elapse.
+SubmitOutcome submitToServiceWithRetry(const std::string& socket_path,
+                                       const ServiceRequest& request,
+                                       const SubmitOptions& options = {});
 
 /// Fetches the service's status JSON (queue depths, per-client fairness
 /// counters, worker health, aggregated resource report).

@@ -180,4 +180,67 @@ std::string ClientChaosPlan::toSpec() const {
   return s;
 }
 
+std::string toString(ServiceCrashPoint point) {
+  switch (point) {
+    case ServiceCrashPoint::kNone:
+      return "none";
+    case ServiceCrashPoint::kAfterAdmit:
+      return "admit";
+    case ServiceCrashPoint::kAfterSettle:
+      return "settle";
+    case ServiceCrashPoint::kMidFlush:
+      return "flush";
+    case ServiceCrashPoint::kMidAppend:
+      return "append";
+  }
+  return "none";
+}
+
+std::optional<ServiceCrashPlan> ServiceCrashPlan::parse(
+    const std::string& spec, std::string* error) {
+  const auto fail =
+      [&](const std::string& why) -> std::optional<ServiceCrashPlan> {
+    if (error != nullptr) *error = why;
+    return std::nullopt;
+  };
+  ServiceCrashPlan plan;
+  if (spec.empty()) return plan;  // inert
+  std::string point = spec;
+  const std::size_t colon = point.find(':');
+  if (colon != std::string::npos) {
+    if (!parseUnsigned(point.substr(colon + 1), plan.bytes)) {
+      return fail("crash spec '" + spec + "' has a malformed :BYTES suffix");
+    }
+    point.resize(colon);
+  }
+  const std::size_t at = point.find('@');
+  if (at != std::string::npos) {
+    if (!parseUnsigned(point.substr(at + 1), plan.at) || plan.at == 0) {
+      return fail("crash spec '" + spec + "' has a malformed @AT suffix");
+    }
+    point.resize(at);
+  }
+  if (point == "admit") {
+    plan.point = ServiceCrashPoint::kAfterAdmit;
+  } else if (point == "settle") {
+    plan.point = ServiceCrashPoint::kAfterSettle;
+  } else if (point == "flush") {
+    plan.point = ServiceCrashPoint::kMidFlush;
+  } else if (point == "append") {
+    plan.point = ServiceCrashPoint::kMidAppend;
+  } else {
+    return fail("crash spec '" + spec + "' names unknown point '" + point +
+                "' (expected admit|settle|flush|append)");
+  }
+  return plan;
+}
+
+std::string ServiceCrashPlan::toSpec() const {
+  if (point == ServiceCrashPoint::kNone) return "";
+  std::string s = toString(point);
+  if (at != 1) s += '@' + std::to_string(at);
+  if (bytes != 0) s += ':' + std::to_string(bytes);
+  return s;
+}
+
 }  // namespace spt::support

@@ -107,4 +107,44 @@ struct ClientChaosPlan {
   std::string toSpec() const;
 };
 
+/// Scripted self-destruction for the sweep *service* process. Where
+/// ChaosPlan sabotages workers and ClientChaosPlan sabotages clients,
+/// ServiceCrashPlan makes `sptc serve` SIGKILL itself at a deterministic
+/// point in its own lifecycle — the kill/restart recovery campaign drives
+/// a journaled service through every crash point and asserts the final
+/// results are byte-identical to an uninterrupted run. Points fire on
+/// event counts, never timers, so every run crashes at the same state.
+enum class ServiceCrashPoint {
+  kNone,
+  kAfterAdmit,   // after the admit journal record is fsync'd, before any
+                 // cell dispatch or reply
+  kAfterSettle,  // after the Nth cell settles (checkpoint + journal
+                 // synced) — remaining cells and in-flight workers die
+                 // with the process
+  kMidFlush,     // after writing only the first `bytes` bytes of a reply
+                 // flush to an admitted client
+  kMidAppend,    // after appending only the first `bytes` bytes of a
+                 // journal record (no newline) — leaves a torn tail
+};
+
+std::string toString(ServiceCrashPoint point);
+
+struct ServiceCrashPlan {
+  ServiceCrashPoint point = ServiceCrashPoint::kNone;
+  /// The 1-based occurrence of the point's event that triggers the crash.
+  std::uint64_t at = 1;
+  /// For kMidFlush / kMidAppend: bytes written before dying.
+  std::uint64_t bytes = 0;
+
+  bool enabled() const { return point != ServiceCrashPoint::kNone; }
+
+  /// Parses `POINT[@AT][:BYTES]` with POINT one of admit | settle | flush
+  /// | append, e.g. "admit", "settle@2", "flush@1:7", "append:16".
+  static std::optional<ServiceCrashPlan> parse(const std::string& spec,
+                                               std::string* error = nullptr);
+
+  /// The canonical spec string (round-trips through parse()).
+  std::string toSpec() const;
+};
+
 }  // namespace spt::support

@@ -8,6 +8,7 @@
 #include <errno.h>
 #include <fcntl.h>
 #include <sys/socket.h>
+#include <sys/stat.h>
 #include <sys/un.h>
 #include <unistd.h>
 #endif
@@ -156,10 +157,51 @@ int listenUnix(const std::string& path, int backlog, std::string* error) {
     if (error) *error = std::string("socket: ") + std::strerror(errno);
     return -1;
   }
-  // A stale socket file from a killed service would fail the bind; a
-  // *live* service would too, but its file is indistinguishable here, so
-  // the caller is expected to own the path.
-  ::unlink(path.c_str());
+  // A leftover socket file would fail the bind with EADDRINUSE whether
+  // its owner is alive or was SIGKILLed, so probe it with a connect: a
+  // refused connection means nobody is accepting — a stale file from an
+  // unclean crash — and is safe to unlink; an accepted connection means a
+  // live service owns the path and this start must refuse rather than
+  // steal it. Only a real socket is ever unlinked: a regular file at the
+  // path also refuses the connect, and deleting a user's file because it
+  // shares a name with our socket would be unforgivable.
+  struct stat st;
+  if (::lstat(path.c_str(), &st) == 0) {
+    if (!S_ISSOCK(st.st_mode)) {
+      if (error) {
+        *error = "socket path " + path + " exists and is not a socket";
+      }
+      ::close(fd);
+      return -1;
+    }
+    const int probe = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (probe >= 0) {
+      int rc;
+      do {
+        rc = ::connect(probe, reinterpret_cast<const sockaddr*>(&addr),
+                       sizeof addr);
+      } while (rc != 0 && errno == EINTR);
+      const int connect_errno = errno;
+      ::close(probe);
+      if (rc == 0) {
+        if (error) {
+          *error = "socket path " + path +
+                   " is owned by a live service; refusing to replace it";
+        }
+        ::close(fd);
+        return -1;
+      }
+      if (connect_errno != ECONNREFUSED && connect_errno != ENOENT) {
+        if (error) {
+          *error = "probe connect " + path + ": " +
+                   std::strerror(connect_errno);
+        }
+        ::close(fd);
+        return -1;
+      }
+    }
+    ::unlink(path.c_str());
+  }
   if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) !=
       0) {
     if (error) {

@@ -56,8 +56,11 @@ bool decodeFrame(const char magic[4], const std::string& frame,
 /// Supervisor::isolationSupported()).
 bool socketsSupported();
 
-/// Binds and listens on `path` (an existing stale socket file is
-/// unlinked first). Returns the listening fd, or -1 with `error` set.
+/// Binds and listens on `path`. An existing socket file is probed with a
+/// connect first: refused (ECONNREFUSED — the stale leftover of a crashed
+/// service) is unlinked and replaced; accepted (a live service owns the
+/// path) refuses to start; a non-socket file at the path is never
+/// touched. Returns the listening fd, or -1 with `error` set.
 int listenUnix(const std::string& path, int backlog, std::string* error);
 
 /// Connects to a listening Unix socket. Returns the fd, or -1 with

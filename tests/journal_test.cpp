@@ -1,0 +1,372 @@
+// Tests for the `spt-journal-v1` write-ahead request journal
+// (harness/journal.h): record formatting/parsing round-trips, the replay
+// state machine (admits erased by settles, admission order preserved,
+// next-id handoff), torn-tail tolerance proven by truncating a journal at
+// every byte, loud skip-with-byte-offset handling of checksum corruption
+// and unknown version tags, and the DurableAppendFile writer the journal
+// and checkpoints share.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "harness/checkpoint.h"
+#include "harness/journal.h"
+
+namespace spt::harness {
+namespace {
+
+std::string testPath(const std::string& name) {
+  return ::testing::TempDir() + "/spt_journal_" + name + ".txt";
+}
+
+void writeFile(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  ASSERT_TRUE(out.good()) << "cannot write " << path;
+}
+
+std::string readFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+JournalRecord admitRecord(std::uint64_t id, const std::string& token,
+                          const std::string& checkpoint,
+                          const std::string& bytes) {
+  JournalRecord rec;
+  rec.kind = JournalRecord::Kind::kAdmit;
+  rec.id = id;
+  rec.token = token;
+  rec.checkpoint_path = checkpoint;
+  rec.request_bytes = bytes;
+  return rec;
+}
+
+JournalRecord settleRecord(std::uint64_t id, const std::string& outcome) {
+  JournalRecord rec;
+  rec.kind = JournalRecord::Kind::kSettle;
+  rec.id = id;
+  rec.outcome = outcome;
+  return rec;
+}
+
+// ---- Record codec ---------------------------------------------------------
+
+TEST(JournalRecordCodec, AdmitRoundTripsHostileFieldBytes) {
+  // The token is client-controlled text and the request bytes are a binary
+  // codec payload: both must survive tabs, newlines, backslashes, NULs and
+  // every other byte value.
+  std::string binary;
+  for (int b = 0; b < 256; ++b) binary.push_back(static_cast<char>(b));
+  const JournalRecord rec =
+      admitRecord(42, "tok\twith\ntabs\\and\rreturns", "ck\tpath.txt", binary);
+  const std::string line = formatJournalRecord(rec);
+  EXPECT_EQ(line.find('\n'), std::string::npos)
+      << "a formatted record must be one line";
+
+  JournalRecord back;
+  std::string why;
+  ASSERT_TRUE(parseJournalLine(line, &back, &why)) << why;
+  EXPECT_EQ(back.kind, JournalRecord::Kind::kAdmit);
+  EXPECT_EQ(back.id, 42u);
+  EXPECT_EQ(back.token, rec.token);
+  EXPECT_EQ(back.checkpoint_path, rec.checkpoint_path);
+  EXPECT_EQ(back.request_bytes, binary);
+  EXPECT_TRUE(back.outcome.empty());
+}
+
+TEST(JournalRecordCodec, SettleRoundTripsEveryOutcome) {
+  for (const char* outcome : {"done", "cancelled", "deadline"}) {
+    const std::string line = formatJournalRecord(settleRecord(7, outcome));
+    JournalRecord back;
+    std::string why;
+    ASSERT_TRUE(parseJournalLine(line, &back, &why)) << why;
+    EXPECT_EQ(back.kind, JournalRecord::Kind::kSettle);
+    EXPECT_EQ(back.id, 7u);
+    EXPECT_EQ(back.outcome, outcome);
+  }
+}
+
+TEST(JournalRecordCodec, ParseRejectsEveryMalformation) {
+  const std::string good = formatJournalRecord(admitRecord(1, "t", "c", "rq"));
+  JournalRecord out;
+  std::string why;
+
+  EXPECT_FALSE(parseJournalLine("no tabs at all", &out, &why));
+  EXPECT_NE(why.find("checksum"), std::string::npos) << why;
+
+  // Flip one checksum hex digit: the reported reason names the mismatch.
+  std::string bad_sum = good;
+  bad_sum.back() = bad_sum.back() == '0' ? '1' : '0';
+  EXPECT_FALSE(parseJournalLine(bad_sum, &out, &why));
+  EXPECT_NE(why.find("checksum mismatch"), std::string::npos) << why;
+
+  // Flip one body byte: same failure (the checksum covers the body).
+  std::string bad_body = good;
+  bad_body[0] = 'S';
+  EXPECT_FALSE(parseJournalLine(bad_body, &out, &why));
+  EXPECT_NE(why.find("checksum mismatch"), std::string::npos) << why;
+
+  // A rewritten version tag invalidates the checksum (the tag is part of
+  // the checksummed body) — a future format can never half-parse as v1.
+  std::string v2 = good;
+  const std::string tag = "spt-journal-v1";
+  ASSERT_EQ(v2.compare(0, tag.size(), tag), 0);
+  v2[tag.size() - 1] = '2';  // spt-journal-v2, checksum now stale
+  EXPECT_FALSE(parseJournalLine(v2, &out, &why));
+  EXPECT_NE(why.find("checksum mismatch"), std::string::npos) << why;
+
+  // Structural failures behind a valid checksum: truncate fields from the
+  // body and re-checksum by re-formatting is impossible here, so assert
+  // the settle-outcome vocabulary instead.
+  const std::string bad_outcome =
+      formatJournalRecord(settleRecord(3, "exploded"));
+  EXPECT_FALSE(parseJournalLine(bad_outcome, &out, &why));
+  EXPECT_NE(why.find("bad settle outcome"), std::string::npos) << why;
+
+  EXPECT_TRUE(parseJournalLine(good, &out, &why)) << why;
+}
+
+// ---- Replay state machine -------------------------------------------------
+
+TEST(JournalReplay, MissingFileYieldsEmptyReplayNotError) {
+  const JournalReplay replay = replayJournal(testPath("never_written"));
+  EXPECT_TRUE(replay.unsettled.empty());
+  EXPECT_EQ(replay.next_id, 1u);
+  EXPECT_EQ(replay.records_replayed, 0u);
+  EXPECT_EQ(replay.records_skipped, 0u);
+  EXPECT_FALSE(replay.torn_tail);
+  EXPECT_TRUE(replay.warnings.empty());
+}
+
+TEST(JournalReplay, SettlesEraseAdmitsAndOrderSurvives) {
+  const std::string path = testPath("state");
+  std::string text;
+  text += formatJournalRecord(admitRecord(1, "a", "ck", "r1")) + "\n";
+  text += formatJournalRecord(admitRecord(2, "b", "ck", "r2")) + "\n";
+  text += formatJournalRecord(settleRecord(1, "done")) + "\n";
+  text += formatJournalRecord(admitRecord(3, "", "ck", "r3")) + "\n";
+  text += formatJournalRecord(settleRecord(3, "cancelled")) + "\n";
+  writeFile(path, text);
+
+  const JournalReplay replay = replayJournal(path);
+  EXPECT_EQ(replay.records_replayed, 5u);
+  EXPECT_EQ(replay.records_skipped, 0u);
+  EXPECT_EQ(replay.requests_settled, 2u);
+  EXPECT_EQ(replay.next_id, 4u);
+  EXPECT_FALSE(replay.torn_tail);
+  ASSERT_EQ(replay.unsettled.size(), 1u);
+  EXPECT_EQ(replay.unsettled[0].id, 2u);
+  EXPECT_EQ(replay.unsettled[0].token, "b");
+  EXPECT_EQ(replay.unsettled[0].request_bytes, "r2");
+}
+
+TEST(JournalReplay, SettleWithoutAdmitWarnsAndContinues) {
+  const std::string path = testPath("orphan_settle");
+  std::string text;
+  text += formatJournalRecord(settleRecord(9, "done")) + "\n";
+  text += formatJournalRecord(admitRecord(10, "", "", "r")) + "\n";
+  writeFile(path, text);
+
+  const JournalReplay replay = replayJournal(path);
+  EXPECT_EQ(replay.records_replayed, 2u);
+  ASSERT_EQ(replay.unsettled.size(), 1u);
+  EXPECT_EQ(replay.unsettled[0].id, 10u);
+  EXPECT_EQ(replay.next_id, 11u);
+  ASSERT_EQ(replay.warnings.size(), 1u);
+  EXPECT_NE(replay.warnings[0].find("settle for unknown request id 9"),
+            std::string::npos)
+      << replay.warnings[0];
+}
+
+// ---- Torn-tail tolerance: truncation at every byte ------------------------
+
+TEST(JournalReplay, TruncationAtEveryByteNeverLiesAboutPrefixRecords) {
+  // A mixed admit/settle journal; after k complete records the expected
+  // unsettled ids are known exactly. Truncating the file at EVERY byte
+  // offset must (a) never mis-parse, (b) replay exactly the records whose
+  // terminating newline survived, and (c) flag the torn tail and hand back
+  // the valid-bytes offset a restarting writer must truncate to.
+  std::vector<std::string> lines;
+  lines.push_back(formatJournalRecord(admitRecord(1, "t1", "ck", "req-one")));
+  lines.push_back(formatJournalRecord(admitRecord(2, "t2", "ck", "req-two")));
+  lines.push_back(formatJournalRecord(settleRecord(1, "done")));
+  lines.push_back(formatJournalRecord(admitRecord(3, "", "ck", "req-three")));
+  lines.push_back(formatJournalRecord(settleRecord(3, "deadline")));
+  const std::vector<std::vector<std::uint64_t>> unsettled_after = {
+      {}, {1}, {1, 2}, {2}, {2, 3}, {2}};
+  const std::vector<std::uint64_t> next_id_after = {1, 2, 3, 3, 4, 4};
+
+  std::string text;
+  std::vector<std::size_t> line_end;  // offset just past each '\n'
+  for (const std::string& l : lines) {
+    text += l;
+    text += '\n';
+    line_end.push_back(text.size());
+  }
+
+  const std::string path = testPath("truncate_property");
+  for (std::size_t len = 0; len <= text.size(); ++len) {
+    writeFile(path, text.substr(0, len));
+    const JournalReplay replay = replayJournal(path);
+
+    std::size_t complete = 0;  // records whose newline is inside the prefix
+    std::size_t valid = 0;
+    while (complete < line_end.size() && line_end[complete] <= len) {
+      valid = line_end[complete];
+      ++complete;
+    }
+    const bool torn = len != valid;
+
+    ASSERT_EQ(replay.records_replayed, complete) << "len " << len;
+    ASSERT_EQ(replay.records_skipped, 0u) << "len " << len;
+    ASSERT_EQ(replay.torn_tail, torn) << "len " << len;
+    ASSERT_EQ(replay.valid_bytes, valid) << "len " << len;
+    ASSERT_EQ(replay.next_id, next_id_after[complete]) << "len " << len;
+    std::vector<std::uint64_t> ids;
+    for (const JournalRecord& r : replay.unsettled) ids.push_back(r.id);
+    ASSERT_EQ(ids, unsettled_after[complete]) << "len " << len;
+    if (torn) {
+      ASSERT_FALSE(replay.warnings.empty()) << "len " << len;
+      EXPECT_NE(replay.warnings.back().find(
+                    "byte offset " + std::to_string(valid)),
+                std::string::npos)
+          << replay.warnings.back();
+    }
+  }
+}
+
+// ---- Corruption is loud, not fatal ----------------------------------------
+
+TEST(JournalReplay, ChecksumCorruptionSkipsOneRecordWithByteOffset) {
+  const std::string first =
+      formatJournalRecord(admitRecord(1, "a", "ck", "r1"));
+  std::string corrupt = formatJournalRecord(admitRecord(2, "b", "ck", "r2"));
+  corrupt[corrupt.size() / 2] ^= 0x20;  // flip one body bit
+  const std::string third = formatJournalRecord(settleRecord(1, "done"));
+  const std::string path = testPath("checksum_corruption");
+  writeFile(path, first + "\n" + corrupt + "\n" + third + "\n");
+
+  const JournalReplay replay = replayJournal(path);
+  EXPECT_EQ(replay.records_replayed, 2u);
+  EXPECT_EQ(replay.records_skipped, 1u);
+  EXPECT_TRUE(replay.unsettled.empty());  // 1 settled; 2 was corrupt
+  ASSERT_EQ(replay.warnings.size(), 1u);
+  EXPECT_NE(replay.warnings[0].find("byte offset " +
+                                    std::to_string(first.size() + 1)),
+            std::string::npos)
+      << replay.warnings[0];
+  EXPECT_NE(replay.warnings[0].find("checksum mismatch"), std::string::npos)
+      << replay.warnings[0];
+}
+
+TEST(JournalReplay, UnknownVersionTagIsSkippedLoudly) {
+  // A record written by a future format version: its checksum fails (the
+  // tag is part of the checksummed body), so it is skipped with the byte
+  // offset — never silently reinterpreted.
+  const std::string good = formatJournalRecord(admitRecord(5, "", "", "r"));
+  std::string future = good;
+  const std::string tag = "spt-journal-v1";
+  future.replace(0, tag.size(), "spt-journal-v9");
+  const std::string path = testPath("future_version");
+  writeFile(path, future + "\n" + good + "\n");
+
+  const JournalReplay replay = replayJournal(path);
+  EXPECT_EQ(replay.records_replayed, 1u);
+  EXPECT_EQ(replay.records_skipped, 1u);
+  ASSERT_EQ(replay.unsettled.size(), 1u);
+  EXPECT_EQ(replay.unsettled[0].id, 5u);
+  ASSERT_EQ(replay.warnings.size(), 1u);
+  EXPECT_NE(replay.warnings[0].find("byte offset 0"), std::string::npos)
+      << replay.warnings[0];
+}
+
+TEST(JournalReplay, DuplicateAdmitIdKeepsTheLastRecord) {
+  const std::string path = testPath("dup_admit");
+  std::string text;
+  text += formatJournalRecord(admitRecord(4, "old", "ck", "r-old")) + "\n";
+  text += formatJournalRecord(admitRecord(4, "new", "ck", "r-new")) + "\n";
+  writeFile(path, text);
+
+  const JournalReplay replay = replayJournal(path);
+  ASSERT_EQ(replay.unsettled.size(), 1u);
+  EXPECT_EQ(replay.unsettled[0].token, "new");
+  EXPECT_EQ(replay.unsettled[0].request_bytes, "r-new");
+  EXPECT_EQ(replay.next_id, 5u);
+}
+
+// ---- DurableAppendFile ----------------------------------------------------
+
+TEST(DurableAppendFile, BytesMatchTheFormerOfstreamWriterExactly) {
+  // The fd-based writer replaced ofstream+flush in the checkpoint and
+  // journal paths; resumed runs depend on the file contents being
+  // byte-identical across that swap.
+  const std::string durable_path = testPath("durable");
+  const std::string stream_path = testPath("stream");
+  const std::vector<std::string> records = {
+      formatJournalRecord(admitRecord(1, "t", "ck", "r1")),
+      formatJournalRecord(settleRecord(1, "done")), "plain text line"};
+
+  DurableAppendFile f;
+  ASSERT_TRUE(f.open(durable_path, /*truncate=*/true));
+  ASSERT_TRUE(f.isOpen());
+  std::ofstream os(stream_path, std::ios::binary | std::ios::trunc);
+  for (const std::string& r : records) {
+    ASSERT_TRUE(f.appendLine(r));
+    ASSERT_TRUE(f.sync());
+    os << r << '\n';
+    os.flush();
+  }
+  f.close();
+  os.close();
+  EXPECT_EQ(readFile(durable_path), readFile(stream_path));
+
+  // Reopening without truncate appends; with truncate starts fresh.
+  DurableAppendFile again;
+  ASSERT_TRUE(again.open(durable_path, /*truncate=*/false));
+  ASSERT_TRUE(again.appendLine("tail"));
+  again.close();
+  EXPECT_EQ(readFile(durable_path), readFile(stream_path) + "tail\n");
+  DurableAppendFile fresh;
+  ASSERT_TRUE(fresh.open(durable_path, /*truncate=*/true));
+  fresh.close();
+  EXPECT_EQ(readFile(durable_path), "");
+}
+
+TEST(DurableAppendFile, AppendTornLeavesExactlyTheFragment) {
+  const std::string path = testPath("torn");
+  const std::string record = formatJournalRecord(admitRecord(1, "", "", "r"));
+
+  DurableAppendFile f;
+  ASSERT_TRUE(f.open(path, /*truncate=*/true));
+  ASSERT_TRUE(f.appendLine(record));
+  ASSERT_TRUE(f.appendTorn(record, 16));
+  f.close();
+  EXPECT_EQ(readFile(path), record + "\n" + record.substr(0, 16));
+
+  // The replayer sees one clean record and one torn tail, and reports the
+  // truncation point the next writer must cut back to.
+  const JournalReplay replay = replayJournal(path);
+  EXPECT_EQ(replay.records_replayed, 1u);
+  EXPECT_TRUE(replay.torn_tail);
+  EXPECT_EQ(replay.valid_bytes, record.size() + 1);
+
+  // A torn request longer than the record degrades to the whole line
+  // (still without the newline that would make it trusted).
+  DurableAppendFile g;
+  ASSERT_TRUE(g.open(path, /*truncate=*/true));
+  ASSERT_TRUE(g.appendTorn(record, record.size() + 100));
+  g.close();
+  EXPECT_EQ(readFile(path), record);
+  EXPECT_TRUE(replayJournal(path).torn_tail);
+  EXPECT_EQ(replayJournal(path).records_replayed, 0u);
+}
+
+}  // namespace
+}  // namespace spt::harness

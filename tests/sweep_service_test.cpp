@@ -21,6 +21,7 @@
 #include "harness/cell_status.h"
 #include "harness/checkpoint.h"
 #include "harness/fault_campaign.h"
+#include "harness/journal.h"
 #include "harness/parallel_sweep.h"
 #include "harness/suite.h"
 #include "harness/supervisor.h"
@@ -131,14 +132,14 @@ struct ServiceHandle {
   std::string socket_path;
 };
 
-/// Forks a child that runs a SweepService until SIGTERM; waits for the
-/// socket to answer a status query before returning.
-ServiceHandle startService(SweepServiceOptions opts,
-                           const std::string& tag) {
+/// Forks a child that runs a SweepService on `socket_path` until SIGTERM;
+/// waits for the socket to answer a status query before returning. The
+/// kill/restart tests reuse one socket path across service incarnations,
+/// so the path is the caller's (startService generates a fresh one).
+ServiceHandle startServiceAt(SweepServiceOptions opts,
+                             const std::string& socket_path) {
   ServiceHandle h;
-  h.socket_path = ::testing::TempDir() + "/spts_" + tag + "_" +
-                  std::to_string(::getpid()) + ".sock";
-  ::unlink(h.socket_path.c_str());
+  h.socket_path = socket_path;
   opts.socket_path = h.socket_path;
   if (opts.supervisor.jobs == 0) opts.supervisor.jobs = 2;
   if (opts.supervisor.cell_timeout_seconds == 0.0) {
@@ -165,6 +166,13 @@ ServiceHandle startService(SweepServiceOptions opts,
   }
   ADD_FAILURE() << "service did not come up on " << h.socket_path;
   return h;
+}
+
+ServiceHandle startService(SweepServiceOptions opts, const std::string& tag) {
+  const std::string path = ::testing::TempDir() + "/spts_" + tag + "_" +
+                           std::to_string(::getpid()) + ".sock";
+  ::unlink(path.c_str());
+  return startServiceAt(std::move(opts), path);
 }
 
 /// SIGTERMs the service and returns its exit code (-1 on abnormal death).
@@ -565,6 +573,320 @@ TEST(SweepService, SigtermMidRequestDeliversEveryCellAndExitsZero) {
   ASSERT_EQ(::waitpid(client, &status, 0), client);
   ASSERT_TRUE(WIFEXITED(status));
   EXPECT_EQ(WEXITSTATUS(status), 0) << "client exit " << WEXITSTATUS(status);
+}
+
+// ---- Stale-socket recovery ------------------------------------------------
+
+TEST(SweepService, StaleSocketIsReclaimedAndLiveSocketRefused) {
+  if (!SweepService::supported()) GTEST_SKIP() << "no AF_UNIX/fork here";
+  // SIGKILL leaves the socket file behind (no drain ran to unlink it).
+  const ServiceHandle dead = startService({}, "stale");
+  ASSERT_GT(dead.pid, 0);
+  ::kill(dead.pid, SIGKILL);
+  int status = 0;
+  ASSERT_EQ(::waitpid(dead.pid, &status, 0), dead.pid);
+  ASSERT_EQ(::access(dead.socket_path.c_str(), F_OK), 0)
+      << "SIGKILL should leave the socket file";
+
+  // A restart on the same path probes the stale file, unlinks it, binds.
+  const ServiceHandle live = startServiceAt({}, dead.socket_path);
+  ASSERT_GT(live.pid, 0);
+  ASSERT_TRUE(queryServiceStatus(live.socket_path).has_value());
+
+  // A second service on a path owned by a LIVE service must refuse to
+  // steal it (exit 1 at startup), and the live service is unharmed.
+  const pid_t thief = ::fork();
+  if (thief == 0) {
+    SweepServiceOptions opts;
+    opts.socket_path = live.socket_path;
+    opts.supervisor.jobs = 1;
+    opts.log = nullptr;
+    SweepService service(std::move(opts));
+    ::_exit(service.run());
+  }
+  ASSERT_GT(thief, 0);
+  ASSERT_EQ(::waitpid(thief, &status, 0), thief);
+  ASSERT_TRUE(WIFEXITED(status));
+  EXPECT_EQ(WEXITSTATUS(status), 1);
+  EXPECT_TRUE(queryServiceStatus(live.socket_path).has_value());
+  EXPECT_EQ(stopService(live), 0);
+}
+
+// ---- Idempotency tokens ---------------------------------------------------
+
+TEST(SweepService, TokenResubmissionAttachesWithoutDuplicateWork) {
+  if (!SweepService::supported()) GTEST_SKIP() << "no AF_UNIX/fork here";
+  SweepServiceOptions opts;
+  opts.checkpoint_path = ::testing::TempDir() + "/spts_token_ck.txt";
+  opts.journal_path = ::testing::TempDir() + "/spts_token_journal.txt";
+  ::unlink(opts.checkpoint_path.c_str());
+  ::unlink(opts.journal_path.c_str());
+  const std::string ck = opts.checkpoint_path;
+  const std::string jl = opts.journal_path;
+  const ServiceHandle h = startService(std::move(opts), "token");
+  ASSERT_GT(h.pid, 0);
+
+  ServiceRequest req;
+  req.kind = ServiceRequest::Kind::kSweep;
+  req.benchmarks = {"mcf"};
+
+  // First submission vanishes right after sending its request; the token
+  // keeps the request running server-side as an orphan.
+  SubmitOptions first;
+  first.token = "tok-attach";
+  first.chaos.action = support::ClientChaosAction::kDisconnect;
+  first.chaos.after_results = 0;
+  const SubmitOutcome dropped = submitToService(h.socket_path, req, first);
+  EXPECT_FALSE(dropped.ok);
+
+  // While the token is bound to the running orphan, the same token with a
+  // DIFFERENT grid is a caller bug: refused. (After delivery the token is
+  // released — the binding guards the undelivered window, not forever.)
+  SubmitOptions again;
+  again.token = "tok-attach";
+  ServiceRequest other = req;
+  other.benchmarks = {"gzip"};
+  const SubmitOutcome conflict = submitToService(h.socket_path, other, again);
+  EXPECT_FALSE(conflict.ok);
+  EXPECT_NE(conflict.error.find("already bound"), std::string::npos)
+      << conflict.error;
+
+  // Resubmitting the same token + grid attaches to the orphan and plays
+  // the stream to completion; nothing is admitted twice.
+  const SubmitOutcome out = submitToService(h.socket_path, req, again);
+  ASSERT_TRUE(out.ok) << out.error;
+  EXPECT_TRUE(out.attached);
+  ASSERT_EQ(out.rows.size(), 1u);
+  EXPECT_EQ(out.rows[0].benchmark, "mcf");
+  EXPECT_TRUE(out.rows[0].ok());
+
+  EXPECT_EQ(stopService(h), 0);
+
+  // Proof of no duplicate work: the sweep ran its one cell exactly once.
+  std::size_t checkpoint_lines = 0;
+  std::stringstream ck_in(readWholeFile(ck));
+  for (std::string line; std::getline(ck_in, line);) {
+    if (line.rfind(kCheckpointTag, 0) == 0) ++checkpoint_lines;
+  }
+  EXPECT_EQ(checkpoint_lines, 1u);
+  // And the journal holds one admission, settled at delivery.
+  const JournalReplay replay = replayJournal(jl);
+  EXPECT_EQ(replay.records_replayed, 2u);
+  EXPECT_EQ(replay.requests_settled, 1u);
+  EXPECT_TRUE(replay.unsettled.empty());
+}
+
+// ---- Kill/restart chaos campaign ------------------------------------------
+
+/// Reaps a service incarnation that scripted its own SIGKILL.
+void expectCrashed(const ServiceHandle& h) {
+  int status = 0;
+  ASSERT_EQ(::waitpid(h.pid, &status, 0), h.pid);
+  EXPECT_TRUE(WIFSIGNALED(status) && WTERMSIG(status) == SIGKILL)
+      << "expected a scripted SIGKILL, got status " << status;
+}
+
+TEST(SweepService, KillRestartChaosRecoversByteIdenticalSweep) {
+  if (!SweepService::supported()) GTEST_SKIP() << "no AF_UNIX/fork here";
+  const std::vector<std::string> benchmarks = {"mcf", "gzip"};
+
+  // Uninterrupted baseline: the exact grid `sptc sweep --pool` runs.
+  SweepOptions base;
+  base.supervisor.isolate = true;
+  base.supervisor.pool = true;
+  base.supervisor.cell_timeout_seconds = 240.0;
+  base.supervisor.jobs = 2;
+  const auto cases = buildSuiteSweepCases({}, {}, 1, benchmarks);
+  const auto baseline = runSweep(ParallelSweep(2), cases, base);
+  const std::string base_path = ::testing::TempDir() + "/spts_kill_base.json";
+  ASSERT_TRUE(writeSweepJson(base_path, baseline));
+
+  const std::string sock = ::testing::TempDir() + "/spts_kill_" +
+                           std::to_string(::getpid()) + ".sock";
+  const std::string ck = ::testing::TempDir() + "/spts_kill_ck.txt";
+  const std::string jl = ::testing::TempDir() + "/spts_kill_journal.txt";
+  const std::string serve_path = ::testing::TempDir() + "/spts_kill_serve.json";
+  ::unlink(sock.c_str());
+  ::unlink(ck.c_str());
+  ::unlink(jl.c_str());
+  ::unlink(serve_path.c_str());
+
+  const auto incarnation = [&](const char* crash_spec) {
+    SweepServiceOptions opts;
+    opts.checkpoint_path = ck;
+    opts.journal_path = jl;
+    if (crash_spec != nullptr) {
+      opts.crash = *support::ServiceCrashPlan::parse(crash_spec);
+    }
+    return startServiceAt(std::move(opts), sock);
+  };
+
+  // One persistent client rides out every crash: it resubmits by token
+  // (reconnect + re-attach) until the final incarnation delivers.
+  ServiceHandle h = incarnation("append:16");  // torn admit record
+  ASSERT_GT(h.pid, 0);
+  const std::size_t want_rows = baseline.size();
+  const pid_t client = ::fork();
+  if (client == 0) {
+    ServiceRequest req;
+    req.kind = ServiceRequest::Kind::kSweep;
+    req.benchmarks = benchmarks;
+    SubmitOptions sopts;
+    sopts.token = "chaos-sweep";
+    sopts.retry_for_seconds = 240.0;
+    const SubmitOutcome out = submitToServiceWithRetry(sock, req, sopts);
+    if (!out.ok) ::_exit(1);
+    if (out.rows.size() != want_rows) ::_exit(2);
+    if (!writeSweepJson(serve_path, out.rows)) ::_exit(3);
+    ::_exit(0);
+  }
+  ASSERT_GT(client, 0);
+
+  // 1: died mid-append — the journal tail is a torn fragment, dropped and
+  //    truncated on restart; the client's retry re-submits from scratch.
+  expectCrashed(h);
+  // 2: died right after the admit record became durable, before any cell
+  //    or reply — restart re-admits from the journal alone.
+  h = incarnation("admit");
+  ASSERT_GT(h.pid, 0);
+  expectCrashed(h);
+  // 3: recovered the request, then died after the first cell settled into
+  //    the checkpoint (before its result/done reached anyone).
+  h = incarnation("settle@1");
+  ASSERT_GT(h.pid, 0);
+  expectCrashed(h);
+  // 4: recovered (first cell replayed from the checkpoint, not re-run),
+  //    then died 7 bytes into a reply flush to the re-attached client.
+  h = incarnation("flush:7");
+  ASSERT_GT(h.pid, 0);
+  expectCrashed(h);
+  // 5: clean incarnation — recovery finishes the remaining cells and the
+  //    client finally takes delivery.
+  h = incarnation(nullptr);
+  ASSERT_GT(h.pid, 0);
+  int status = 0;
+  ASSERT_EQ(::waitpid(client, &status, 0), client);
+  ASSERT_TRUE(WIFEXITED(status));
+  ASSERT_EQ(WEXITSTATUS(status), 0) << "client exit " << WEXITSTATUS(status);
+  EXPECT_EQ(stopService(h), 0);
+
+  // The five-incarnation, four-crash run produced byte-identical filtered
+  // JSON to the uninterrupted pooled sweep...
+  EXPECT_EQ(filterHostLines(readWholeFile(serve_path)),
+            filterHostLines(readWholeFile(base_path)));
+  // ...and no cell ever ran twice: one checkpoint line per grid cell.
+  std::size_t checkpoint_lines = 0;
+  std::stringstream ck_in(readWholeFile(ck));
+  for (std::string line; std::getline(ck_in, line);) {
+    if (line.rfind(kCheckpointTag, 0) == 0) ++checkpoint_lines;
+  }
+  EXPECT_EQ(checkpoint_lines, baseline.size());
+  // The journal settled the request exactly once, at delivery.
+  const JournalReplay replay = replayJournal(jl);
+  EXPECT_TRUE(replay.unsettled.empty());
+  // Only one admit is ever durable: incarnation 1's record was torn
+  // mid-append and truncated away on restart, so the retry's admit (id 1)
+  // is the journal's sole request, settled once at delivery.
+  EXPECT_EQ(replay.requests_settled, 1u);
+}
+
+TEST(SweepService, KillRestartChaosRecoversByteIdenticalCampaign) {
+  if (!SweepService::supported()) GTEST_SKIP() << "no AF_UNIX/fork here";
+  // Uninterrupted baseline: the exact grid `sptc inject --pool` runs.
+  FaultCampaignOptions fc;
+  fc.seeds = 2;
+  fc.base_seed = 0xc0ffee;
+  fc.period = 16;
+  fc.jobs = 2;
+  fc.supervisor.isolate = true;
+  fc.supervisor.pool = true;
+  fc.supervisor.cell_timeout_seconds = 240.0;
+  fc.supervisor.jobs = 2;
+  const FaultCampaignResult baseline = [&] {
+    // runFaultCampaign has no benchmark filter; build via the service's
+    // own standalone worker body to keep the baseline an independent
+    // derivation of the same cells.
+    FaultCampaignResult r;
+    for (std::size_t i = 0; i < 2; ++i) {
+      FaultCampaignCell cell = runFaultCampaignCellStandalone("mcf", i, fc);
+      cell.worker.attempts = 1;
+      cell.worker.exit_code = 0;
+      r.cells.push_back(std::move(cell));
+    }
+    for (const FaultCampaignCell& c : r.cells) {
+      if (c.ok()) r.totals.accumulate(c.faults);
+    }
+    return r;
+  }();
+  ASSERT_EQ(baseline.totals.escaped, 0u);
+  const std::string base_path =
+      ::testing::TempDir() + "/spts_killc_base.json";
+  ASSERT_TRUE(writeFaultCampaignJson(base_path, baseline));
+
+  const std::string sock = ::testing::TempDir() + "/spts_killc_" +
+                           std::to_string(::getpid()) + ".sock";
+  const std::string ck = ::testing::TempDir() + "/spts_killc_ck.txt";
+  const std::string jl = ::testing::TempDir() + "/spts_killc_journal.txt";
+  const std::string serve_path =
+      ::testing::TempDir() + "/spts_killc_serve.json";
+  ::unlink(sock.c_str());
+  ::unlink(ck.c_str());
+  ::unlink(jl.c_str());
+  ::unlink(serve_path.c_str());
+
+  const auto incarnation = [&](const char* crash_spec) {
+    SweepServiceOptions opts;
+    opts.checkpoint_path = ck;
+    opts.journal_path = jl;
+    if (crash_spec != nullptr) {
+      opts.crash = *support::ServiceCrashPlan::parse(crash_spec);
+    }
+    return startServiceAt(std::move(opts), sock);
+  };
+
+  ServiceHandle h = incarnation("settle@1");
+  ASSERT_GT(h.pid, 0);
+  const pid_t client = ::fork();
+  if (client == 0) {
+    ServiceRequest req;
+    req.kind = ServiceRequest::Kind::kCampaign;
+    req.benchmarks = {"mcf"};
+    req.seeds = 2;
+    req.base_seed = 0xc0ffee;
+    req.period = 16;
+    SubmitOptions sopts;
+    sopts.token = "chaos-campaign";
+    sopts.retry_for_seconds = 240.0;
+    const SubmitOutcome out = submitToServiceWithRetry(sock, req, sopts);
+    if (!out.ok) ::_exit(1);
+    if (out.campaign.cells.size() != 2u) ::_exit(2);
+    // The robustness claim must hold across the crash: nothing escaped.
+    if (out.campaign.totals.escaped != 0) ::_exit(3);
+    if (!out.campaign.allDetectedOrBenign()) ::_exit(4);
+    if (!writeFaultCampaignJson(serve_path, out.campaign)) ::_exit(5);
+    ::_exit(0);
+  }
+  ASSERT_GT(client, 0);
+
+  // Crash after the first campaign cell checkpointed; the clean restart
+  // replays it and runs only the second.
+  expectCrashed(h);
+  h = incarnation(nullptr);
+  ASSERT_GT(h.pid, 0);
+  int status = 0;
+  ASSERT_EQ(::waitpid(client, &status, 0), client);
+  ASSERT_TRUE(WIFEXITED(status));
+  ASSERT_EQ(WEXITSTATUS(status), 0) << "client exit " << WEXITSTATUS(status);
+  EXPECT_EQ(stopService(h), 0);
+
+  EXPECT_EQ(filterHostLines(readWholeFile(serve_path)),
+            filterHostLines(readWholeFile(base_path)));
+  std::size_t checkpoint_lines = 0;
+  std::stringstream ck_in(readWholeFile(ck));
+  for (std::string line; std::getline(ck_in, line);) {
+    if (line.rfind(kCheckpointTag, 0) == 0) ++checkpoint_lines;
+  }
+  EXPECT_EQ(checkpoint_lines, 2u);
 }
 
 #endif  // SPT_SERVICE_TEST_POSIX

@@ -37,7 +37,9 @@
 //       one warm worker pool with fair round-robin scheduling, bounded
 //       admission, per-request deadlines and graceful SIGTERM drain.
 //       --jobs / --cell-timeout / --retries / --rlimit-* size the pool;
-//       --checkpoint appends every finished cell service-wide.
+//       --checkpoint appends every finished cell service-wide; --journal
+//       makes admission restart-safe (docs/ROBUSTNESS.md "Request
+//       journal"): requests are recovered and finished after a crash.
 //   sptc submit <sweep|inject|status> --socket PATH [options]
 //       Submit one request to a running service and print/emit the same
 //       table and JSON the one-shot command would (byte-identical filtered
@@ -51,6 +53,15 @@
 //                      before requests are refused with a busy/retry-after
 //                      reply (default 1024)
 //   --allow-chaos      accept request-embedded worker chaos plans (tests)
+//   --journal PATH     write-ahead request journal: every admission is
+//                      fsync'd to PATH before any work, every settlement
+//                      after; on restart unsettled requests are re-admitted
+//                      and finished (ok cells replayed from --checkpoint,
+//                      the rest re-run), even if the client never returns
+//   --crash-at SPEC    scripted self-SIGKILL for the kill/restart tests:
+//                      POINT[@AT][:BYTES] with POINT one of admit | settle
+//                      | flush | append (append:N dies after N bytes of a
+//                      torn journal record)
 //
 // Options for submit:
 //   --socket PATH      service socket to connect to (required)
@@ -58,6 +69,14 @@
 //                      by sweep/inject for one-shot runs)
 //   --deadline S       whole-request deadline in seconds; queued cells
 //                      past it settle as timeout rows (0 = none)
+//   --token STR        idempotency token: the request survives client
+//                      disconnects, and resubmitting the same token
+//                      attaches to the running (or journal-recovered)
+//                      request instead of starting a duplicate
+//   --retry-for S      keep retrying for up to S seconds of wall clock:
+//                      busy replies honor the service's retry-after,
+//                      transport failures reconnect and re-attach by
+//                      --token with deterministic backoff
 //   --client-chaos SPEC  sabotage THIS client for resilience testing:
 //                      disconnect[@N] | garbage[@N] | slow-reader[@MS]
 //
@@ -281,6 +300,10 @@ struct Options {
   std::vector<std::string> benchmarks;  // also filters sweep/inject grids
   double deadline_seconds = 0.0;
   support::ClientChaosPlan client_chaos;
+  std::string journal_path;  // serve: empty = no request journal
+  support::ServiceCrashPlan service_crash;  // serve: scripted self-SIGKILL
+  std::string token;         // submit: empty = no idempotency token
+  double retry_for_seconds = 0.0;  // submit: 0 = single attempt
   // --spec-threads: grid axis for sweep/submit-sweep, single value
   // elsewhere (applySpecThreads). Empty = flag absent.
   std::vector<std::uint32_t> spec_threads;
@@ -462,6 +485,22 @@ Options parseOptions(int argc, char** argv, int first,
       }
     } else if (arg == "--deadline") {
       o.deadline_seconds = std::strtod(need_value(i), nullptr);
+    } else if (arg == "--journal") {
+      o.journal_path = need_value(i);
+    } else if (arg == "--crash-at") {
+      std::string error;
+      const auto plan =
+          support::ServiceCrashPlan::parse(need_value(i), &error);
+      if (!plan) {
+        std::cerr << "sptc: bad --crash-at spec: " << error << "\n";
+        o.ok = false;
+      } else {
+        o.service_crash = *plan;
+      }
+    } else if (arg == "--token") {
+      o.token = need_value(i);
+    } else if (arg == "--retry-for") {
+      o.retry_for_seconds = std::strtod(need_value(i), nullptr);
     } else if (arg == "--client-chaos") {
       std::string error;
       const auto plan = support::ClientChaosPlan::parse(need_value(i), &error);
@@ -805,6 +844,8 @@ int cmdServe(const Options& options) {
   so.max_queue = options.max_queue;
   so.allow_chaos = options.allow_chaos;
   so.checkpoint_path = options.checkpoint_path;
+  so.journal_path = options.journal_path;
+  so.crash = options.service_crash;
   so.trace_cache_dir = options.trace_cache_dir;
   so.stop = &g_interrupted;
   so.log = [](const std::string& m) { std::cerr << m << "\n"; };
@@ -862,8 +903,28 @@ int cmdSubmit(const std::string& mode, const Options& options) {
 
   harness::SubmitOptions sopts;
   sopts.chaos = options.client_chaos;
+  sopts.token = options.token;
+  sopts.retry_for_seconds = options.retry_for_seconds;
+  if (options.retry_for_seconds > 0.0) {
+    // The retry loop sleeps between attempts; SIGINT/SIGTERM must be able
+    // to end it cleanly rather than killing mid-print.
+    installInterruptHandlers();
+    sopts.stop = &g_interrupted;
+    sopts.log = [](const std::string& m) {
+      std::cerr << "sptc: " << m << "\n";
+    };
+  }
   const auto outcome =
-      harness::submitToService(options.socket_path, req, sopts);
+      harness::submitToServiceWithRetry(options.socket_path, req, sopts);
+  if (g_interrupted) {
+    std::cerr << "sptc: submit interrupted";
+    if (!options.token.empty()) {
+      std::cerr << "; resubmit --token " << options.token
+                << " to re-attach to the request";
+    }
+    std::cerr << "\n";
+    return kInterruptedExit;
+  }
   if (outcome.busy) {
     std::cerr << "sptc: service busy (" << outcome.error << "); retry after "
               << support::fixed(outcome.retry_after_seconds, 2) << "s\n";
